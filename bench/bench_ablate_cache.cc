@@ -1,0 +1,101 @@
+// Ablation: proxy disk cache geometry. Sweeps associativity, block size and
+// capacity (the per-application tunables §3.2.1 motivates) for a fixed
+// random-access VM workload over the WAN. The workload runs twice with a
+// kernel-cache drop in between (a session boundary), so the second run
+// exercises exactly the proxy disk cache; we report its time and miss rate.
+#include "bench_util.h"
+#include "workload/synthetic.h"
+
+using namespace gvfs;
+
+namespace {
+
+struct Config {
+  u32 assoc;
+  u64 block;
+  u64 capacity;
+};
+
+Result<std::pair<double, double>> run_one(const Config& c) {
+  core::TestbedOptions opt;
+  opt.scenario = core::Scenario::kWanCached;
+  opt.block_cache.associativity = c.assoc;
+  opt.block_cache.block_size = c.block;
+  opt.block_cache.capacity_bytes = c.capacity;
+  core::Testbed bed(opt);
+
+  workload::SyntheticConfig wcfg;
+  wcfg.file_bytes = 96_MiB;
+  wcfg.io_size = 16_KiB;
+  wcfg.ops = 4000;
+  wcfg.read_fraction = 0.85;
+  wcfg.seed = 0x1;
+  workload::SyntheticWorkload wl(wcfg);
+
+  double second_run_s = 0;
+  Status st = Status::ok();
+  bed.kernel().run_process("bench", [&](sim::Process& p) {
+    core::VmSetupOptions vopt;
+    vopt.spec = bench::app_vm_spec();
+    auto setup = core::prepare_vm(p, bed, vopt);
+    if (!setup.is_ok()) {
+      st = setup.status();
+      return;
+    }
+    if (!wl.install(*setup->guest).is_ok()) {
+      st = err(ErrCode::kInternal, "install failed");
+      return;
+    }
+    bed.drop_all_caches();
+    setup->vm->guest_cache().drop_all();
+    // Run 1: populate the proxy cache.
+    if (auto r = wl.run(p, *setup->guest); !r.is_ok()) {
+      st = r.status();
+      return;
+    }
+    // Session boundary: kernel/guest caches cold, proxy cache persists.
+    bed.nfs_client()->drop_caches();
+    setup->vm->guest_cache().drop_all();
+    bed.block_cache()->reset_stats();
+    SimTime t0 = p.now();
+    if (auto r = wl.run(p, *setup->guest); !r.is_ok()) {
+      st = r.status();
+      return;
+    }
+    second_run_s = to_seconds(p.now() - t0);
+  });
+  if (!st.is_ok()) return st;
+  const auto* cache = bed.block_cache();
+  double miss_rate = static_cast<double>(cache->misses()) /
+                     static_cast<double>(cache->hits() + cache->misses());
+  return std::make_pair(second_run_s, miss_rate);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "Ablation: proxy cache geometry (2nd-session random 85/15 mix over WAN)");
+  bench::Table table({"assoc", "block", "capacity", "2nd-run time (s)", "proxy miss rate"});
+  for (const Config& c : std::initializer_list<Config>{
+           {1, 32_KiB, 64_MiB},
+           {4, 32_KiB, 64_MiB},
+           {16, 32_KiB, 64_MiB},
+           {16, 8_KiB, 64_MiB},
+           {16, 16_KiB, 64_MiB},
+           {16, 32_KiB, 16_MiB},  // capacity far below working set
+           {16, 32_KiB, 8_GiB},   // paper configuration
+       }) {
+    auto r = run_one(c);
+    if (!r.is_ok()) {
+      std::fprintf(stderr, "config failed: %s\n", r.status().to_string().c_str());
+      return 1;
+    }
+    table.add_row({std::to_string(c.assoc), fmt_bytes(c.block), fmt_bytes(c.capacity),
+                   fmt_double(r->first, 1), fmt_double(100.0 * r->second, 1) + "%"});
+  }
+  table.print();
+  std::printf("\nExpectation: capacity dominates; associativity removes conflict\n"
+              "misses at tight capacity; larger blocks amortize WAN latency.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Ablation: meta-data handling. Clones the 320 MB/1.6 GB image with (a) no
+// meta-data (pure block-based GVFS), (b) zero-map only, (c) the full
+// compress/SCP/uncompress file channel — and sweeps the memory state's
+// compressibility, since "the key to the success of this technique is the
+// proper speculation of an application's behavior" plus how compressible the
+// state actually is.
+#include "bench_util.h"
+#include "vm/vm_cloner.h"
+
+using namespace gvfs;
+
+namespace {
+
+Result<double> clone_once(core::Testbed& bed, const vm::VmImagePaths& image) {
+  double t = 0;
+  Status st = Status::ok();
+  bed.kernel().run_process("cloner", [&](sim::Process& p) {
+    if (Status m = bed.mount(p); !m.is_ok()) {
+      st = m;
+      return;
+    }
+    vm::CloneConfig cfg;
+    cfg.image = image;
+    cfg.clone_dir = "/clones/x";
+    SimTime t0 = p.now();
+    auto result = vm::VmCloner::clone(p, bed.image_session(), bed.local_session(), cfg);
+    if (!result.is_ok()) st = result.status();
+    t = to_seconds(p.now() - t0);
+  });
+  if (!st.is_ok()) return st;
+  return t;
+}
+
+Result<double> run_mode(const std::string& mode, double zero_fraction,
+                        double compress_ratio) {
+  core::TestbedOptions opt;
+  opt.scenario = core::Scenario::kWanCached;
+  opt.enable_meta = true;           // proxies honour whatever meta exists
+  opt.generate_image_meta = false;  // install images without meta; add per mode
+  core::Testbed bed(opt);
+  vm::VmImageSpec spec = bench::clone_vm_spec();
+  spec.mem_zero_fraction = zero_fraction;
+  spec.mem_compress_ratio = compress_ratio;
+  auto image = bed.install_image(spec);
+  if (!image.is_ok()) return image.status();
+  vm::VmImagePaths server_paths{bed.image_dir(), spec.name};
+  if (mode == "zero-map") {
+    GVFS_RETURN_IF_ERROR(
+        vm::generate_vmss_metadata(bed.image_fs(), server_paths, 8_KiB, false));
+  } else if (mode == "file-channel") {
+    GVFS_RETURN_IF_ERROR(
+        vm::generate_vmss_metadata(bed.image_fs(), server_paths, 8_KiB, true));
+  }
+  return clone_once(bed, *image);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation: meta-data handling modes for VM cloning");
+  bench::Table table({"meta-data", "mem zero frac", "nonzero ratio", "clone time (s)"});
+  for (const char* mode : {"none", "zero-map", "file-channel"}) {
+    auto t = run_mode(mode, 0.92, 3.0);
+    if (!t.is_ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", mode, t.status().to_string().c_str());
+      return 1;
+    }
+    table.add_row({mode, "0.92", "3.0", fmt_double(*t, 1)});
+  }
+  table.print();
+
+  bench::banner("File-channel sensitivity to memory-state compressibility");
+  bench::Table sweep({"mem zero frac", "nonzero ratio", "clone time (s)"});
+  for (auto [zf, cr] : std::initializer_list<std::pair<double, double>>{
+           {0.98, 4.0}, {0.92, 3.0}, {0.75, 2.5}, {0.50, 2.0}, {0.20, 1.5}, {0.0, 1.05}}) {
+    auto t = run_mode("file-channel", zf, cr);
+    if (!t.is_ok()) return 1;
+    sweep.add_row({fmt_double(zf, 2), fmt_double(cr, 2), fmt_double(*t, 1)});
+  }
+  sweep.print();
+  std::printf("\nExpectation: the file channel wins big on post-boot (mostly-zero)\n"
+              "states and degrades gracefully toward SCP-of-raw-bytes as the\n"
+              "image approaches incompressible.\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Ablation (§6 future work, implemented): dynamic access profiling with
+// pipelined read-ahead at the client proxy. A cold sequential scan over the
+// WAN is latency-bound at one 32 KB block per round trip; profiled
+// pre-fetching overlaps the round trips. Sweeps the read-ahead depth, plus
+// the GridFTP-style parallel-stream knob on the file channel.
+#include "bench_util.h"
+#include "vm/vm_cloner.h"
+#include "workload/synthetic.h"
+
+using namespace gvfs;
+
+namespace {
+
+Result<std::pair<double, u64>> run_scan(u32 depth) {
+  core::TestbedOptions opt;
+  opt.scenario = core::Scenario::kWanCached;
+  opt.prefetch_depth = depth;
+  core::Testbed bed(opt);
+
+  workload::SyntheticConfig wcfg;
+  wcfg.file_bytes = 64_MiB;
+  wcfg.io_size = 64_KiB;
+  wcfg.ops = 1024;  // exactly one sequential pass
+  wcfg.read_fraction = 1.0;
+  wcfg.sequential = true;
+  workload::SyntheticWorkload wl(wcfg);
+  auto report = bench::run_app_benchmark(bed, wl);
+  if (!report.is_ok()) return report.status();
+  return std::make_pair(report->total_s(), bed.client_proxy()->blocks_prefetched());
+}
+
+Result<double> run_streams(u32 streams) {
+  core::TestbedOptions opt;
+  opt.scenario = core::Scenario::kWanCached;
+  opt.file_channel_streams = streams;
+  core::Testbed bed(opt);
+  // A poorly-compressible image makes the wire transfer dominate.
+  vm::VmImageSpec spec = bench::clone_vm_spec();
+  spec.mem_zero_fraction = 0.10;
+  spec.mem_compress_ratio = 1.3;
+  auto image = bed.install_image(spec);
+  if (!image.is_ok()) return image.status();
+  double t = 0;
+  Status st = Status::ok();
+  bed.kernel().run_process("clone", [&](sim::Process& p) {
+    if (Status m = bed.mount(p); !m.is_ok()) {
+      st = m;
+      return;
+    }
+    vm::CloneConfig cfg;
+    cfg.image = *image;
+    cfg.clone_dir = "/clones/s";
+    SimTime t0 = p.now();
+    auto r = vm::VmCloner::clone(p, bed.image_session(), bed.local_session(), cfg);
+    if (!r.is_ok()) st = r.status();
+    t = to_seconds(p.now() - t0);
+  });
+  if (!st.is_ok()) return st;
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation: proxy read-ahead depth (cold 64 MB sequential scan, WAN)");
+  bench::Table table({"prefetch depth", "scan time (s)", "blocks prefetched"});
+  for (u32 depth : {0u, 2u, 4u, 8u, 16u}) {
+    auto r = run_scan(depth);
+    if (!r.is_ok()) {
+      std::fprintf(stderr, "depth %u failed: %s\n", depth,
+                   r.status().to_string().c_str());
+      return 1;
+    }
+    table.add_row({std::to_string(depth), fmt_double(r->first, 1),
+                   std::to_string(r->second)});
+  }
+  table.print();
+
+  bench::banner("Ablation: parallel-stream file channel (incompressible 320 MB state)");
+  bench::Table st({"streams", "cold clone time (s)"});
+  for (u32 streams : {1u, 2u, 4u, 8u}) {
+    auto t = run_streams(streams);
+    if (!t.is_ok()) {
+      std::fprintf(stderr, "streams %u failed\n", streams);
+      return 1;
+    }
+    st.add_row({std::to_string(streams), fmt_double(*t, 1)});
+  }
+  st.print();
+  std::printf("\nExpectation: read-ahead collapses the per-block RTT of cold\n"
+              "sequential scans; parallel streams lift the per-flow ceiling until\n"
+              "the shared WAN pipe saturates.\n");
+  return 0;
+}

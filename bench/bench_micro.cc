@@ -1,0 +1,171 @@
+// Micro-benchmarks (google-benchmark) for the hot paths of the GVFS
+// implementation itself: XDR codecs, proxy cache indexing, extent store
+// operations, synthetic content generation and hashing.
+#include <benchmark/benchmark.h>
+
+#include "blob/blob.h"
+#include "blob/extent_store.h"
+#include "cache/block_cache.h"
+#include "common/rng.h"
+#include "nfs/nfs_types.h"
+#include "sim/kernel.h"
+#include "xdr/xdr.h"
+
+namespace gvfs {
+namespace {
+
+void BM_XdrEncodeReadArgs(benchmark::State& state) {
+  nfs::ReadArgs args;
+  args.fh = nfs::Fh{1, 42};
+  args.offset = 1_MiB;
+  args.count = 32_KiB;
+  for (auto _ : state) {
+    xdr::XdrEncoder enc;
+    args.encode(enc);
+    benchmark::DoNotOptimize(enc.size());
+  }
+}
+BENCHMARK(BM_XdrEncodeReadArgs);
+
+void BM_XdrDecodeReadArgs(benchmark::State& state) {
+  nfs::ReadArgs args;
+  args.fh = nfs::Fh{1, 42};
+  args.offset = 1_MiB;
+  args.count = 32_KiB;
+  xdr::XdrEncoder enc;
+  args.encode(enc);
+  std::vector<u8> raw = enc.take();
+  for (auto _ : state) {
+    xdr::XdrDecoder dec(raw);
+    auto back = nfs::ReadArgs::decode(dec);
+    benchmark::DoNotOptimize(back.is_ok());
+  }
+}
+BENCHMARK(BM_XdrDecodeReadArgs);
+
+void BM_XdrEncodeFattr(benchmark::State& state) {
+  nfs::Fattr f;
+  f.a.size = 320_MiB;
+  for (auto _ : state) {
+    xdr::XdrEncoder enc;
+    f.encode(enc);
+    benchmark::DoNotOptimize(enc.size());
+  }
+}
+BENCHMARK(BM_XdrEncodeFattr);
+
+void BM_CacheLookupHit(benchmark::State& state) {
+  sim::SimKernel kernel;
+  sim::DiskConfig dcfg;
+  dcfg.seek = 0;
+  dcfg.seq_overhead = 0;
+  dcfg.bytes_per_sec = 1e15;
+  sim::DiskModel disk(kernel, "d", dcfg);
+  cache::BlockCacheConfig cfg;
+  cfg.capacity_bytes = 1_GiB;
+  cache::ProxyDiskCache cache(disk, cfg);
+  kernel.run_process("bench", [&](sim::Process& p) {
+    for (u64 b = 0; b < 1024; ++b) {
+      (void)cache.insert(p, cache::BlockId{7, b}, blob::make_zero(32_KiB), false);
+    }
+    SplitMix64 rng(1);
+    for (auto _ : state) {
+      auto hit = cache.lookup(p, cache::BlockId{7, rng.next_below(1024)});
+      benchmark::DoNotOptimize(hit.has_value());
+    }
+  });
+}
+BENCHMARK(BM_CacheLookupHit);
+
+void BM_CacheSetIndexing(benchmark::State& state) {
+  sim::SimKernel kernel;
+  sim::DiskConfig dcfg;
+  dcfg.seek = 0;
+  dcfg.seq_overhead = 0;
+  dcfg.bytes_per_sec = 1e15;
+  sim::DiskModel disk(kernel, "d", dcfg);
+  cache::BlockCacheConfig cfg;  // paper geometry: 8 GiB, 512 banks, 16-way
+  cache::ProxyDiskCache cache(disk, cfg);
+  kernel.run_process("bench", [&](sim::Process& p) {
+    SplitMix64 rng(2);
+    u64 b = 0;
+    for (auto _ : state) {
+      (void)cache.insert(p, cache::BlockId{rng.next() % 64, b++ % 262144},
+                         blob::make_zero(1), false);
+    }
+  });
+}
+BENCHMARK(BM_CacheSetIndexing);
+
+void BM_ExtentStoreWrite(benchmark::State& state) {
+  blob::ExtentStore es;
+  SplitMix64 rng(3);
+  auto data = blob::make_zero(4_KiB);
+  for (auto _ : state) {
+    es.write_blob(rng.next_below(1_GiB) & ~u64{4095}, data, 0, 4_KiB);
+  }
+  benchmark::DoNotOptimize(es.extent_count());
+}
+BENCHMARK(BM_ExtentStoreWrite);
+
+void BM_ExtentStoreReadSlice(benchmark::State& state) {
+  blob::ExtentStore es;
+  SplitMix64 rng(4);
+  auto data = blob::make_zero(4_KiB);
+  for (int i = 0; i < 10000; ++i) {
+    es.write_blob(rng.next_below(1_GiB) & ~u64{4095}, data, 0, 4_KiB);
+  }
+  es.truncate(1_GiB);
+  for (auto _ : state) {
+    auto slice = es.read_slice(rng.next_below(1_GiB - 64_KiB), 64_KiB);
+    benchmark::DoNotOptimize(slice->size());
+  }
+}
+BENCHMARK(BM_ExtentStoreReadSlice);
+
+void BM_SyntheticRead32K(benchmark::State& state) {
+  auto blob = blob::make_synthetic(5, 1_GiB, 0.92, 3.0);
+  std::vector<u8> buf(32_KiB);
+  SplitMix64 rng(6);
+  for (auto _ : state) {
+    blob->read(rng.next_below(1_GiB - 32_KiB), buf);
+    benchmark::DoNotOptimize(buf[0]);
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) * 32_KiB);
+}
+BENCHMARK(BM_SyntheticRead32K);
+
+void BM_ZeroRangeCheck(benchmark::State& state) {
+  auto blob = blob::make_synthetic(7, 512_MiB, 0.92, 3.0);
+  SplitMix64 rng(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        blob->is_zero_range(rng.next_below(512_MiB - 8_KiB) & ~u64{8191}, 8_KiB));
+  }
+}
+BENCHMARK(BM_ZeroRangeCheck);
+
+void BM_RangeHash1M(benchmark::State& state) {
+  auto blob = blob::make_synthetic(9, 64_MiB, 0.5, 2.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(blob::range_hash(*blob, 0, 1_MiB));
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) * 1_MiB);
+}
+BENCHMARK(BM_RangeHash1M);
+
+void BM_SimProcessSwitch(benchmark::State& state) {
+  // Cost of one virtual-time block/resume pair — the simulator's unit cost.
+  sim::SimKernel kernel;
+  kernel.run_process("bench", [&](sim::Process& p) {
+    for (auto _ : state) {
+      p.delay(1);
+    }
+  });
+}
+BENCHMARK(BM_SimProcessSwitch);
+
+}  // namespace
+}  // namespace gvfs
+
+BENCHMARK_MAIN();

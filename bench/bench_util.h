@@ -1,0 +1,122 @@
+// Shared harness glue for the paper-reproduction benches: table printing in
+// the paper's formats and scenario/VM setup helpers.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "gvfs/experiment.h"
+#include "gvfs/testbed.h"
+#include "workload/report.h"
+
+namespace gvfs::bench {
+
+// Fixed-width text table (the repo's stand-in for the paper's figures).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void print() const {
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], row[c].size());
+      }
+    }
+    print_row_(header_, width);
+    std::string sep;
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      sep += std::string(width[c] + 2, '-');
+    }
+    std::printf("%s\n", sep.c_str());
+    for (const auto& row : rows_) print_row_(row, width);
+  }
+
+ private:
+  static void print_row_(const std::vector<std::string>& row,
+                         const std::vector<std::size_t>& width) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::printf("%-*s  ", static_cast<int>(width[c]), row[c].c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline void banner(const std::string& title) {
+  std::printf("\n== %s ==\n", title.c_str());
+}
+
+// The four §4.2 execution scenarios.
+inline std::vector<core::Scenario> app_scenarios() {
+  return {core::Scenario::kLocal, core::Scenario::kLan, core::Scenario::kWan,
+          core::Scenario::kWanCached};
+}
+
+// The paper's §4.2 VM: 512 MB RAM / 2 GB plain virtual disk, RedHat 7.3.
+inline vm::VmImageSpec app_vm_spec() {
+  vm::VmImageSpec spec;
+  spec.name = "rh73";
+  spec.memory_bytes = 512_MiB;
+  spec.disk_bytes = 2_GiB;
+  spec.mem_zero_fraction = 0.92;
+  return spec;
+}
+
+// The §4.3 cloning image: 320 MB RAM / 1.6 GB disk.
+inline vm::VmImageSpec clone_vm_spec(const std::string& name = "vm1", u64 seed = 42) {
+  vm::VmImageSpec spec;
+  spec.name = name;
+  spec.memory_bytes = 320_MiB;
+  spec.disk_bytes = u64{1638} * 1_MiB;
+  spec.seed = seed;
+  return spec;
+}
+
+// Page-cache sizes for the §4.2 application experiments: the VMM's 512 MB
+// guest RAM leaves the 1 GB host with a small pagecache.
+inline void shrink_host_caches(core::TestbedOptions& opt) {
+  opt.client_page_cache_bytes = 224_MiB;
+  opt.local_page_cache_bytes = 288_MiB;
+}
+
+// Run an application workload inside a VM whose state is mounted per the
+// scenario. The workload is handed the guest FS; returns the report.
+// Caches are cold at workload start ("un-mounting and mounting the virtual
+// file system, and flushing the proxy caches" §4.2.2) unless keep_warm.
+template <typename Workload>
+Result<workload::WorkloadReport> run_app_benchmark(core::Testbed& bed,
+                                                   Workload& wl,
+                                                   bool cold_start = true) {
+  Result<workload::WorkloadReport> out = err(ErrCode::kInternal, "not run");
+  bed.kernel().run_process("bench", [&](sim::Process& p) {
+    core::VmSetupOptions vopt;
+    vopt.spec = app_vm_spec();
+    auto setup = core::prepare_vm(p, bed, vopt);
+    if (!setup.is_ok()) {
+      out = setup.status();
+      return;
+    }
+    if (!wl.install(*setup->guest).is_ok()) {
+      out = err(ErrCode::kInternal, "install failed");
+      return;
+    }
+    if (cold_start) {
+      bed.drop_all_caches();
+      setup->vm->guest_cache().drop_all();
+    }
+    out = wl.run(p, *setup->guest);
+  });
+  return out;
+}
+
+}  // namespace gvfs::bench

@@ -1,0 +1,69 @@
+// §3.2.2 text statistic: resuming a 512 MB-RAM RedHat 7.3 VM suspended
+// post-boot issues 65,750 NFS reads of which 60,452 are satisfied locally by
+// the zero-block map. This bench reproduces the experiment: a 512 MB memory
+// state read in full through a GVFS proxy with a zero-map-only meta-data
+// file at the plain-mount 8 KB rsize.
+#include "bench_util.h"
+#include "vm/vm_image.h"
+
+using namespace gvfs;
+
+int main() {
+  bench::banner("Zero-block filtering on a 512 MB post-boot memory state");
+
+  core::TestbedOptions opt;
+  opt.scenario = core::Scenario::kWanCached;
+  opt.net.gvfs_rsize = 8_KiB;  // match the paper's per-read granularity
+  core::Testbed bed(opt);
+
+  vm::VmImageSpec spec = bench::app_vm_spec();
+  auto paths = bed.install_image(spec);
+  if (!paths.is_ok()) return 1;
+  // Replace the default (file-channel) meta-data with a zero-map-only one so
+  // every read goes down the block path and zero ranges are filtered.
+  vm::VmImagePaths server_paths{bed.image_dir(), spec.name};
+  if (!vm::generate_vmss_metadata(bed.image_fs(), server_paths, 8_KiB,
+                                  /*with_file_channel=*/false)
+           .is_ok()) {
+    return 1;
+  }
+
+  double elapsed = 0;
+  Status st = Status::ok();
+  bed.kernel().run_process("resume", [&](sim::Process& p) {
+    if (Status m = bed.mount(p); !m.is_ok()) {
+      st = m;
+      return;
+    }
+    SimTime t0 = p.now();
+    auto data = bed.image_session().read_all(p, paths->vmss());
+    if (!data.is_ok()) {
+      st = data.status();
+      return;
+    }
+    elapsed = to_seconds(p.now() - t0);
+    // Integrity: the reconstructed state matches the golden image.
+    if (blob::content_hash(**data) != blob::content_hash(*vm::memory_state_blob(spec))) {
+      st = err(ErrCode::kIo, "content mismatch after zero filtering");
+    }
+  });
+  if (!st.is_ok()) {
+    std::fprintf(stderr, "failed: %s\n", st.to_string().c_str());
+    return 1;
+  }
+
+  u64 client_reads = bed.nfs_client()->rpcs_sent(nfs::Proc::kRead);
+  u64 filtered = bed.client_proxy()->zero_filtered_reads();
+  bench::Table table({"metric", "measured", "paper"});
+  table.add_row({"NFS reads issued by client", std::to_string(client_reads), "65750"});
+  table.add_row({"reads filtered by zero map", std::to_string(filtered), "60452"});
+  table.add_row(
+      {"filter rate",
+       fmt_double(100.0 * static_cast<double>(filtered) / static_cast<double>(client_reads),
+                  1) +
+           "%",
+       "91.9%"});
+  table.add_row({"full read of memory state", fmt_double(elapsed, 1) + " s", "-"});
+  table.print();
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Example: checkpoint/migrate a running Grid VM between two compute servers
+// (the paper's §6 future-work direction, built here from GVFS mechanisms:
+// write-back suspend, middleware write-back, meta-data refresh, file-channel
+// resume on the destination).
+#include <cstdio>
+
+#include "gvfs/migration.h"
+
+using namespace gvfs;
+
+int main() {
+  core::TestbedOptions opt;
+  opt.scenario = core::Scenario::kWanCached;
+  opt.compute_nodes = 2;
+  core::Testbed bed(opt);
+
+  vm::VmImageSpec spec;
+  spec.name = "worker-vm";
+  spec.memory_bytes = 320_MiB;
+  spec.disk_bytes = u64{1638} * 1_MiB;
+  auto image = bed.install_image(spec);
+  if (!image.is_ok()) return 1;
+
+  bed.kernel().run_process("scheduler", [&](sim::Process& p) {
+    // Bring the VM up on compute server 0.
+    bed.mount(p, 0);
+    vfs::FsSession& src = bed.image_session(0);
+    vm::VmMonitor vm0;
+    vm0.attach(src, image->cfg(), image->vmss(), src, image->flat_vmdk());
+    if (!vm0.resume(p).is_ok()) return;
+    std::printf("VM running on node 0 (t=%.1f s)\n", to_seconds(p.now()));
+    // It does some work...
+    vm0.disk_write(p, 700_MiB, blob::make_synthetic(1, 2_MiB, 0, 2.0));
+    p.delay(30 * kSecond);
+
+    // The scheduler decides to move it to node 1 (load balancing).
+    auto ram = blob::make_synthetic(0x3141, spec.memory_bytes, 0.80, 3.0);
+    auto moved = core::migrate_vm(p, bed, *image, vm0, ram, /*src=*/0, /*dst=*/1);
+    if (!moved.is_ok()) {
+      std::printf("migration failed: %s\n", moved.status().to_string().c_str());
+      return;
+    }
+    std::printf("migrated to node 1: suspend %.1f s + write-back %.1f s + "
+                "meta %.1f s + resume %.1f s = %.1f s downtime\n",
+                moved->timing.suspend_s, moved->timing.write_back_s,
+                moved->timing.metadata_s, moved->timing.resume_s,
+                moved->timing.downtime_s());
+    // The VM continues on node 1, virtual disk still on demand.
+    auto data = moved->vm->disk_read(p, 700_MiB, 64_KiB);
+    std::printf("VM alive on node 1, read %llu bytes from its disk\n",
+                static_cast<unsigned long long>((*data)->size()));
+  });
+  return 0;
+}

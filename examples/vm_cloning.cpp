@@ -1,0 +1,67 @@
+// Example: golden-image VM cloning over the WAN (the paper's §3.2.3
+// non-persistent scenario). Clones a 320 MB-RAM / 1.6 GB-disk image twice —
+// cold, then warm — showing the meta-data file channel, on-demand virtual
+// disk access through symlinks, redo-log writes, and cache locality across
+// clones of the same golden image.
+#include <cstdio>
+
+#include "gvfs/testbed.h"
+#include "vm/vm_cloner.h"
+
+using namespace gvfs;
+
+int main() {
+  core::TestbedOptions opt;
+  opt.scenario = core::Scenario::kWanCached;
+  core::Testbed bed(opt);
+
+  // Middleware archives a golden image on the image server and pre-processes
+  // its memory state into a meta-data file (zero map + file-channel actions).
+  vm::VmImageSpec spec;
+  spec.name = "rh73-golden";
+  spec.memory_bytes = 320_MiB;
+  spec.disk_bytes = u64{1638} * 1_MiB;
+  auto image = bed.install_image(spec);
+  if (!image.is_ok()) {
+    std::printf("install failed: %s\n", image.status().to_string().c_str());
+    return 1;
+  }
+
+  bed.kernel().run_process("cloner", [&](sim::Process& p) {
+    bed.mount(p);
+    for (int i = 0; i < 2; ++i) {
+      vm::CloneConfig cfg;
+      cfg.image = *image;
+      cfg.clone_dir = "/var/vms/clone" + std::to_string(i);
+      cfg.clone_name = "user-vm-" + std::to_string(i);
+      SimTime t0 = p.now();
+      auto clone = vm::VmCloner::clone(p, bed.image_session(), bed.local_session(), cfg);
+      if (!clone.is_ok()) {
+        std::printf("clone failed: %s\n", clone.status().to_string().c_str());
+        return;
+      }
+      std::printf("clone %d (%s caches): %.1f s  "
+                  "[cfg %.1f | memory %.1f | links %.2f | configure %.1f | resume %.1f]\n",
+                  i, i == 0 ? "cold" : "warm", clone->timing.total_s(),
+                  clone->timing.copy_cfg_s, clone->timing.copy_mem_s,
+                  clone->timing.links_s, clone->timing.configure_s,
+                  clone->timing.resume_s);
+
+      // The clone is alive: guest disk reads hit the golden image on demand
+      // through the symlinked mount; writes land in the local redo log.
+      auto data = clone->vm->disk_read(p, 512_MiB, 64_KiB);
+      clone->vm->disk_write(p, 512_MiB, blob::make_synthetic(1, 64_KiB, 0, 2.0));
+      clone->vm->sync(p);
+      std::printf("  guest I/O ok: read %llu bytes, redo log now %llu bytes\n",
+                  static_cast<unsigned long long>((*data)->size()),
+                  static_cast<unsigned long long>(clone->vm->redo_log()->log_bytes()));
+
+      // Session boundary: fresh kernel caches; proxy caches stay warm.
+      bed.nfs_client()->drop_caches();
+    }
+  });
+
+  std::printf("file-channel fetches over WAN: %llu (second clone reused the cache)\n",
+              static_cast<unsigned long long>(bed.file_cache()->files_cached()));
+  return 0;
+}

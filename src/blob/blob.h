@@ -1,0 +1,144 @@
+// Content sources ("blobs") back every file byte in the repository.
+//
+// VM state files are gigabytes; experiments only care about which bytes are
+// zero, how compressible they are, and how many cross the wire. Blobs let a
+// file declare its content (seeded-synthetic, zeros, or real bytes) and
+// synthesize any byte range on demand, so a 1.6 GB virtual disk costs a few
+// hundred bytes of descriptor until somebody actually reads it — while unit
+// tests still push real bytes end-to-end through the full protocol stack and
+// verify them.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace gvfs::blob {
+
+// Page granularity at which zero-ness and compressibility are tracked.
+// 4 KiB matches both x86 pages (memory state files) and common FS blocks.
+constexpr u64 kPage = 4_KiB;
+
+class Blob {
+ public:
+  virtual ~Blob() = default;
+
+  [[nodiscard]] virtual u64 size() const = 0;
+
+  // Copy bytes [offset, offset+out.size()) into `out`.
+  // Precondition: the range lies within the blob.
+  virtual void read(u64 offset, std::span<u8> out) const = 0;
+
+  // True iff every byte in [offset, offset+len) is zero.
+  [[nodiscard]] virtual bool is_zero_range(u64 offset, u64 len) const;
+
+  // Estimated size of [offset, offset+len) after gzip-class compression.
+  [[nodiscard]] virtual u64 compressed_size(u64 /*offset*/, u64 len) const {
+    return len;
+  }
+
+  [[nodiscard]] u64 compressed_size() const { return compressed_size(0, size()); }
+};
+
+using BlobRef = std::shared_ptr<const Blob>;
+
+// Real bytes held in memory; the workhorse for tests and small files.
+class BytesBlob final : public Blob {
+ public:
+  using Blob::compressed_size;
+  explicit BytesBlob(std::vector<u8> data) : data_(std::move(data)) {}
+
+  [[nodiscard]] u64 size() const override { return data_.size(); }
+  void read(u64 offset, std::span<u8> out) const override;
+  [[nodiscard]] bool is_zero_range(u64 offset, u64 len) const override;
+  [[nodiscard]] u64 compressed_size(u64 offset, u64 len) const override;
+
+  [[nodiscard]] const std::vector<u8>& bytes() const { return data_; }
+
+ private:
+  std::vector<u8> data_;
+};
+
+// All zeros, any size.
+class ZeroBlob final : public Blob {
+ public:
+  using Blob::compressed_size;
+  explicit ZeroBlob(u64 size) : size_(size) {}
+  [[nodiscard]] u64 size() const override { return size_; }
+  void read(u64 offset, std::span<u8> out) const override;
+  [[nodiscard]] bool is_zero_range(u64, u64) const override { return true; }
+  [[nodiscard]] u64 compressed_size(u64, u64 len) const override {
+    // Long zero runs compress to roughly 1/1000 under gzip.
+    return len / 1000 + 16;
+  }
+
+ private:
+  u64 size_;
+};
+
+// Deterministic synthetic content: a page-granular zero map plus seeded
+// pseudo-random bytes for non-zero pages with a declared compressibility.
+// Used to model VM memory state ("many zero-filled blocks" — §3.2.2) and
+// virtual disks without storing them.
+class SyntheticBlob final : public Blob {
+ public:
+  using Blob::compressed_size;
+  // `zero_fraction` of pages are all-zero, deterministically scattered by
+  // `seed`; non-zero pages compress by `nonzero_compress_ratio` (e.g. 2.5
+  // means a page shrinks to 40 % of its size).
+  SyntheticBlob(u64 seed, u64 size, double zero_fraction,
+                double nonzero_compress_ratio);
+
+  [[nodiscard]] u64 size() const override { return size_; }
+  void read(u64 offset, std::span<u8> out) const override;
+  [[nodiscard]] bool is_zero_range(u64 offset, u64 len) const override;
+  [[nodiscard]] u64 compressed_size(u64 offset, u64 len) const override;
+
+  [[nodiscard]] bool page_is_zero(u64 page_index) const;
+  [[nodiscard]] u64 seed() const { return seed_; }
+  [[nodiscard]] double zero_fraction() const { return zero_fraction_; }
+
+ private:
+  u64 seed_;
+  u64 size_;
+  double zero_fraction_;
+  double nonzero_ratio_;
+};
+
+// A view into another blob.
+class SliceBlob final : public Blob {
+ public:
+  using Blob::compressed_size;
+  SliceBlob(BlobRef base, u64 offset, u64 len);
+  [[nodiscard]] u64 size() const override { return len_; }
+  void read(u64 offset, std::span<u8> out) const override {
+    base_->read(off_ + offset, out);
+  }
+  [[nodiscard]] bool is_zero_range(u64 offset, u64 len) const override {
+    return base_->is_zero_range(off_ + offset, len);
+  }
+  [[nodiscard]] u64 compressed_size(u64 offset, u64 len) const override {
+    return base_->compressed_size(off_ + offset, len);
+  }
+
+ private:
+  BlobRef base_;
+  u64 off_;
+  u64 len_;
+};
+
+// FNV-1a hash of a byte range, materialized in bounded chunks; the
+// end-to-end integrity check used throughout the tests.
+u64 range_hash(const Blob& b, u64 offset, u64 len);
+inline u64 content_hash(const Blob& b) { return range_hash(b, 0, b.size()); }
+
+// Convenience constructors.
+BlobRef make_bytes(std::vector<u8> data);
+BlobRef make_bytes(std::span<const u8> data);
+BlobRef make_zero(u64 size);
+BlobRef make_synthetic(u64 seed, u64 size, double zero_fraction,
+                       double nonzero_compress_ratio);
+
+}  // namespace gvfs::blob

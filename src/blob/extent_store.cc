@@ -1,0 +1,298 @@
+#include "blob/extent_store.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace gvfs::blob {
+
+namespace {
+
+// Immutable snapshot of an ExtentStore's extents (shares the blob refs).
+class ExtentSnapshotBlob final : public Blob {
+ public:
+  ExtentSnapshotBlob(std::map<u64, std::pair<BlobRef, std::pair<u64, u64>>> exts, u64 size)
+      : exts_(std::move(exts)), size_(size) {}
+
+  [[nodiscard]] u64 size() const override { return size_; }
+
+  void read(u64 offset, std::span<u8> out) const override {
+    u64 pos = 0;
+    while (pos < out.size()) {
+      u64 abs = offset + pos;
+      auto it = exts_.upper_bound(abs);
+      if (it != exts_.begin()) {
+        auto prev = std::prev(it);
+        u64 start = prev->first;
+        u64 len = prev->second.second.second;
+        if (abs < start + len) {
+          u64 n = std::min<u64>(out.size() - pos, start + len - abs);
+          prev->second.first->read(prev->second.second.first + (abs - start),
+                                   out.subspan(pos, n));
+          pos += n;
+          continue;
+        }
+      }
+      u64 next_start = it == exts_.end() ? size_ : it->first;
+      u64 n = std::min<u64>(out.size() - pos, std::max(next_start, abs + 1) - abs);
+      std::memset(out.data() + pos, 0, n);
+      pos += n;
+    }
+  }
+
+  [[nodiscard]] bool is_zero_range(u64 offset, u64 len) const override {
+    // Walk overlapping extents; holes are zero.
+    auto it = exts_.upper_bound(offset);
+    if (it != exts_.begin()) --it;
+    for (; it != exts_.end() && it->first < offset + len; ++it) {
+      u64 start = it->first;
+      u64 elen = it->second.second.second;
+      u64 lo = std::max(start, offset);
+      u64 hi = std::min(start + elen, offset + len);
+      if (lo < hi &&
+          !it->second.first->is_zero_range(it->second.second.first + (lo - start), hi - lo)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  [[nodiscard]] u64 compressed_size(u64 offset, u64 len) const override {
+    u64 total = 16;
+    auto it = exts_.upper_bound(offset);
+    if (it != exts_.begin()) --it;
+    u64 covered = 0;
+    for (; it != exts_.end() && it->first < offset + len; ++it) {
+      u64 start = it->first;
+      u64 elen = it->second.second.second;
+      u64 lo = std::max(start, offset);
+      u64 hi = std::min(start + elen, offset + len);
+      if (lo < hi) {
+        total += it->second.first->compressed_size(
+            it->second.second.first + (lo - start), hi - lo);
+        covered += hi - lo;
+      }
+    }
+    total += (len - covered) / 1000;  // holes compress like zeros
+    return total;
+  }
+
+ private:
+  std::map<u64, std::pair<BlobRef, std::pair<u64, u64>>> exts_;
+  u64 size_;
+};
+
+}  // namespace
+
+void ExtentStore::reset(BlobRef content) {
+  extents_.clear();
+  size_ = content ? content->size() : 0;
+  if (content && size_ > 0) {
+    u64 len = content->size();
+    extents_.emplace(0, Extent{len, std::move(content), 0});
+  }
+}
+
+void ExtentStore::punch_(u64 offset, u64 len) {
+  if (len == 0) return;
+  u64 end = offset + len;
+  auto it = extents_.upper_bound(offset);
+  if (it != extents_.begin()) --it;
+  while (it != extents_.end() && it->first < end) {
+    u64 start = it->first;
+    Extent ext = it->second;
+    u64 ext_end = start + ext.len;
+    if (ext_end <= offset) {
+      ++it;
+      continue;
+    }
+    it = extents_.erase(it);
+    if (start < offset) {
+      // Keep the left remainder [start, offset).
+      extents_.emplace(start, Extent{offset - start, ext.src, ext.src_off});
+    }
+    if (ext_end > end) {
+      // Keep the right remainder [end, ext_end).
+      it = extents_
+               .emplace(end, Extent{ext_end - end, ext.src,
+                                    ext.src_off + (end - start)})
+               .first;
+      ++it;
+    }
+  }
+}
+
+void ExtentStore::read(u64 offset, std::span<u8> out) const {
+  u64 pos = 0;
+  while (pos < out.size()) {
+    u64 abs = offset + pos;
+    auto it = extents_.upper_bound(abs);
+    if (it != extents_.begin()) {
+      auto prev = std::prev(it);
+      if (abs < prev->first + prev->second.len) {
+        u64 n = std::min<u64>(out.size() - pos, prev->first + prev->second.len - abs);
+        prev->second.src->read(prev->second.src_off + (abs - prev->first),
+                               out.subspan(pos, n));
+        pos += n;
+        continue;
+      }
+    }
+    u64 next_start = it == extents_.end() ? offset + out.size() : it->first;
+    u64 n = std::min<u64>(out.size() - pos, std::max(next_start, abs + 1) - abs);
+    std::memset(out.data() + pos, 0, n);
+    pos += n;
+  }
+}
+
+void ExtentStore::write(u64 offset, std::span<const u8> data) {
+  if (data.empty()) return;
+  write_blob(offset, make_bytes(data), 0, data.size());
+}
+
+void ExtentStore::write_blob(u64 offset, BlobRef src, u64 src_off, u64 len) {
+  if (len == 0) return;
+  assert(src && src_off + len <= src->size());
+  punch_(offset, len);
+  extents_.emplace(offset, Extent{len, std::move(src), src_off});
+  size_ = std::max(size_, offset + len);
+}
+
+void ExtentStore::truncate(u64 new_size) {
+  if (new_size < size_) {
+    punch_(new_size, size_ - new_size);
+  }
+  size_ = new_size;
+}
+
+bool ExtentStore::is_zero_range(u64 offset, u64 len) const {
+  auto it = extents_.upper_bound(offset);
+  if (it != extents_.begin()) --it;
+  for (; it != extents_.end() && it->first < offset + len; ++it) {
+    u64 start = it->first;
+    u64 lo = std::max(start, offset);
+    u64 hi = std::min(start + it->second.len, offset + len);
+    if (lo < hi &&
+        !it->second.src->is_zero_range(it->second.src_off + (lo - start), hi - lo)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+u64 ExtentStore::compressed_size(u64 offset, u64 len) const {
+  u64 total = 16;
+  u64 covered = 0;
+  auto it = extents_.upper_bound(offset);
+  if (it != extents_.begin()) --it;
+  for (; it != extents_.end() && it->first < offset + len; ++it) {
+    u64 start = it->first;
+    u64 lo = std::max(start, offset);
+    u64 hi = std::min(start + it->second.len, offset + len);
+    if (lo < hi) {
+      total += it->second.src->compressed_size(it->second.src_off + (lo - start), hi - lo);
+      covered += hi - lo;
+    }
+  }
+  total += (len - covered) / 1000;
+  return total;
+}
+
+u64 ExtentStore::materialized_bytes() const {
+  u64 total = 0;
+  for (const auto& [start, ext] : extents_) {
+    if (dynamic_cast<const BytesBlob*>(ext.src.get()) != nullptr) {
+      total += ext.len;
+    }
+  }
+  return total;
+}
+
+namespace {
+
+// Flat immutable extent list for a small range (vector, not map).
+class RangeSliceBlob final : public Blob {
+ public:
+  struct Piece {
+    u64 start;  // offset within this blob
+    u64 len;
+    BlobRef src;
+    u64 src_off;
+  };
+
+  RangeSliceBlob(std::vector<Piece> pieces, u64 size)
+      : pieces_(std::move(pieces)), size_(size) {}
+
+  [[nodiscard]] u64 size() const override { return size_; }
+
+  void read(u64 offset, std::span<u8> out) const override {
+    std::memset(out.data(), 0, out.size());
+    for (const Piece& pc : pieces_) {
+      u64 lo = std::max(pc.start, offset);
+      u64 hi = std::min(pc.start + pc.len, offset + out.size());
+      if (lo < hi) {
+        pc.src->read(pc.src_off + (lo - pc.start),
+                     out.subspan(lo - offset, hi - lo));
+      }
+    }
+  }
+
+  [[nodiscard]] bool is_zero_range(u64 offset, u64 len) const override {
+    for (const Piece& pc : pieces_) {
+      u64 lo = std::max(pc.start, offset);
+      u64 hi = std::min(pc.start + pc.len, offset + len);
+      if (lo < hi && !pc.src->is_zero_range(pc.src_off + (lo - pc.start), hi - lo)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  [[nodiscard]] u64 compressed_size(u64 offset, u64 len) const override {
+    u64 total = 16;
+    u64 covered = 0;
+    for (const Piece& pc : pieces_) {
+      u64 lo = std::max(pc.start, offset);
+      u64 hi = std::min(pc.start + pc.len, offset + len);
+      if (lo < hi) {
+        total += pc.src->compressed_size(pc.src_off + (lo - pc.start), hi - lo);
+        covered += hi - lo;
+      }
+    }
+    total += (len - covered) / 1000;
+    return total;
+  }
+
+ private:
+  std::vector<Piece> pieces_;
+  u64 size_;
+};
+
+}  // namespace
+
+BlobRef ExtentStore::read_slice(u64 offset, u64 len) const {
+  if (offset >= size_) return make_zero(0);
+  len = std::min(len, size_ - offset);
+  std::vector<RangeSliceBlob::Piece> pieces;
+  auto it = extents_.upper_bound(offset);
+  if (it != extents_.begin()) --it;
+  for (; it != extents_.end() && it->first < offset + len; ++it) {
+    u64 start = it->first;
+    u64 lo = std::max(start, offset);
+    u64 hi = std::min(start + it->second.len, offset + len);
+    if (lo < hi) {
+      pieces.push_back(RangeSliceBlob::Piece{lo - offset, hi - lo, it->second.src,
+                                             it->second.src_off + (lo - start)});
+    }
+  }
+  return std::make_shared<RangeSliceBlob>(std::move(pieces), len);
+}
+
+BlobRef ExtentStore::snapshot() const {
+  std::map<u64, std::pair<BlobRef, std::pair<u64, u64>>> exts;
+  for (const auto& [start, ext] : extents_) {
+    exts.emplace(start, std::make_pair(ext.src, std::make_pair(ext.src_off, ext.len)));
+  }
+  return std::make_shared<ExtentSnapshotBlob>(std::move(exts), size_);
+}
+
+}  // namespace gvfs::blob

@@ -1,0 +1,227 @@
+#include "cache/block_cache.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "blob/extent_store.h"
+#include "common/log.h"
+
+namespace gvfs::cache {
+
+ProxyDiskCache::ProxyDiskCache(sim::DiskModel& disk, BlockCacheConfig cfg)
+    : disk_(disk), cfg_(cfg) {
+  u64 total_frames = std::max<u64>(cfg_.associativity,
+                                   cfg_.capacity_bytes / cfg_.block_size);
+  num_sets_ = static_cast<u32>(std::max<u64>(1, total_frames / cfg_.associativity));
+  sets_per_bank_ = std::max<u32>(1, num_sets_ / std::max<u32>(1, cfg_.num_banks));
+  frames_.resize(static_cast<std::size_t>(num_sets_) * cfg_.associativity);
+  bank_exists_.resize(cfg_.num_banks + 1, false);
+}
+
+u32 ProxyDiskCache::set_index_(const BlockId& id) const {
+  // Consecutive blocks of one file map to consecutive sets (spatial
+  // locality within a bank), different files start at hashed origins.
+  return static_cast<u32>((mix64(id.file_key) + id.block) % num_sets_);
+}
+
+ProxyDiskCache::Frame* ProxyDiskCache::find_(const BlockId& id) {
+  u32 set = set_index_(id);
+  Frame* base = &frames_[static_cast<std::size_t>(set) * cfg_.associativity];
+  for (u32 w = 0; w < cfg_.associativity; ++w) {
+    if (base[w].valid && base[w].id == id) return &base[w];
+  }
+  return nullptr;
+}
+
+bool ProxyDiskCache::contains(const BlockId& id) const {
+  return const_cast<ProxyDiskCache*>(this)->find_(id) != nullptr;
+}
+
+void ProxyDiskCache::touch_bank_(sim::Process& p, u32 set) {
+  u32 bank = std::min<u32>(set / sets_per_bank_, cfg_.num_banks - 1);
+  if (!bank_exists_[bank]) {
+    bank_exists_[bank] = true;
+    ++banks_created_;
+    if (cfg_.charge_bank_creation) {
+      // Creating the bank file: one metadata journal write.
+      disk_.access(p, 4_KiB, sim::Locality::kSequential);
+    }
+  }
+}
+
+std::optional<blob::BlobRef> ProxyDiskCache::lookup(sim::Process& p, const BlockId& id) {
+  Frame* f = find_(id);
+  if (f == nullptr) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  f->last_used = ++tick_;
+  // A hit reads the frame from the cache disk. Consecutive blocks of a file
+  // live in consecutive sets of a bank, so sequential access streams.
+  sim::Locality loc = (id.file_key == last_access_.file_key &&
+                       id.block == last_access_.block + 1)
+                          ? sim::Locality::kSequential
+                          : sim::Locality::kRandom;
+  last_access_ = id;
+  disk_.access(p, f->data ? f->data->size() : cfg_.block_size, loc);
+  return f->data;
+}
+
+Status ProxyDiskCache::evict_(sim::Process& p, Frame& victim) {
+  if (!victim.valid) return Status::ok();
+  ++evictions_;
+  if (victim.dirty) {
+    ++writebacks_;
+    --dirty_;
+    if (writeback_) {
+      // Read the frame back from the cache disk, then push upstream.
+      disk_.access(p, victim.data ? victim.data->size() : cfg_.block_size,
+                   sim::Locality::kRandom);
+      GVFS_RETURN_IF_ERROR(writeback_(p, victim.id, victim.data));
+    }
+  }
+  victim.valid = false;
+  victim.dirty = false;
+  victim.data.reset();
+  --resident_;
+  return Status::ok();
+}
+
+Status ProxyDiskCache::insert(sim::Process& p, const BlockId& id, blob::BlobRef data,
+                              bool dirty) {
+  assert(data && data->size() <= cfg_.block_size);
+  if (cfg_.policy == WritePolicy::kWriteThrough && dirty) {
+    if (writeback_) {
+      ++writebacks_;
+      GVFS_RETURN_IF_ERROR(writeback_(p, id, data));
+    }
+    dirty = false;
+  }
+
+  u32 set = set_index_(id);
+  touch_bank_(p, set);
+  Frame* base = &frames_[static_cast<std::size_t>(set) * cfg_.associativity];
+  Frame* slot = nullptr;
+  for (u32 w = 0; w < cfg_.associativity; ++w) {
+    if (base[w].valid && base[w].id == id) {
+      slot = &base[w];
+      break;
+    }
+  }
+  if (slot == nullptr) {
+    // Free way, else LRU victim.
+    for (u32 w = 0; w < cfg_.associativity; ++w) {
+      if (!base[w].valid) {
+        slot = &base[w];
+        break;
+      }
+    }
+    if (slot == nullptr) {
+      slot = base;
+      for (u32 w = 1; w < cfg_.associativity; ++w) {
+        if (base[w].last_used < slot->last_used) slot = &base[w];
+      }
+      GVFS_RETURN_IF_ERROR(evict_(p, *slot));
+    }
+    ++resident_;
+  } else if (slot->dirty) {
+    // Overwriting a dirty frame with new dirty data keeps one dirty count;
+    // overwriting with clean data must not lose staged bytes — the caller
+    // (proxy) merges before inserting, so a clean overwrite means the block
+    // was just written back.
+    if (!dirty) --dirty_;
+    slot->dirty = false;
+  }
+
+  // Frame write to the cache disk. Bank-file writes go through the host
+  // buffer cache and are flushed in elevator order, so they cost
+  // near-sequential time regardless of arrival order.
+  last_access_ = id;
+  disk_.access(p, data->size(), sim::Locality::kSequential);
+
+  slot->valid = true;
+  slot->id = id;
+  slot->data = std::move(data);
+  slot->last_used = ++tick_;
+  if (dirty && !slot->dirty) {
+    slot->dirty = true;
+    ++dirty_;
+  }
+  return Status::ok();
+}
+
+Result<blob::BlobRef> ProxyDiskCache::merge(sim::Process& p, const BlockId& id,
+                                            u64 offset_in_block,
+                                            const blob::BlobRef& data) {
+  Frame* f = find_(id);
+  if (f == nullptr) return err(ErrCode::kNoEnt, "merge on absent block");
+  blob::ExtentStore compose;
+  if (f->data) compose.write_blob(0, f->data, 0, f->data->size());
+  if (data && data->size() > 0) {
+    compose.write_blob(offset_in_block, data, 0, data->size());
+  }
+  blob::BlobRef merged = compose.snapshot();
+  f->data = merged;
+  f->last_used = ++tick_;
+  if (!f->dirty) {
+    f->dirty = true;
+    ++dirty_;
+  }
+  disk_.access(p, data ? data->size() : 4_KiB, sim::Locality::kRandom);
+  return merged;
+}
+
+Status ProxyDiskCache::write_back_all(sim::Process& p) {
+  for (Frame& f : frames_) {
+    if (f.valid && f.dirty) {
+      ++writebacks_;
+      if (writeback_) {
+        disk_.access(p, f.data ? f.data->size() : cfg_.block_size,
+                     sim::Locality::kSequential);
+        GVFS_RETURN_IF_ERROR(writeback_(p, f.id, f.data));
+      }
+      f.dirty = false;
+      --dirty_;
+    }
+  }
+  return Status::ok();
+}
+
+Status ProxyDiskCache::flush_and_invalidate(sim::Process& p) {
+  GVFS_RETURN_IF_ERROR(write_back_all(p));
+  invalidate_all();
+  return Status::ok();
+}
+
+void ProxyDiskCache::invalidate_all() {
+  for (Frame& f : frames_) {
+    if (f.valid && f.dirty) --dirty_;
+    f.valid = false;
+    f.dirty = false;
+    f.data.reset();
+  }
+  resident_ = 0;
+}
+
+void ProxyDiskCache::invalidate_file(u64 file_key) {
+  for (Frame& f : frames_) {
+    if (f.valid && f.id.file_key == file_key) {
+      if (f.dirty) --dirty_;
+      f.valid = false;
+      f.dirty = false;
+      f.data.reset();
+      --resident_;
+    }
+  }
+}
+
+u64 ProxyDiskCache::resident_bytes() const {
+  u64 total = 0;
+  for (const Frame& f : frames_) {
+    if (f.valid && f.data) total += f.data->size();
+  }
+  return total;
+}
+
+}  // namespace gvfs::cache

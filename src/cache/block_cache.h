@@ -1,0 +1,125 @@
+// Proxy-managed disk cache (§3.2.1, TR-ACIS-04-001): the paper's central
+// mechanism. Structured like a set-associative hardware cache: the disk
+// holds "file banks" of fixed-size frames; a frame stores one NFS data block
+// and its tag. The set index is derived from a hash of the file handle plus
+// the block number, so consecutive blocks of a file land in consecutive sets
+// of a bank (spatial locality on the cache disk). Supports write-back or
+// write-through policies, middleware-driven flush/write-back signals,
+// per-proxy sizing/associativity/block size (up to the 32 KB NFS limit), and
+// read-only sharing between proxies.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "blob/blob.h"
+#include "common/hash.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "sim/resources.h"
+
+namespace gvfs::cache {
+
+enum class WritePolicy { kWriteBack, kWriteThrough };
+
+struct BlockCacheConfig {
+  u64 capacity_bytes = 8_GiB;  // paper §4.1
+  u64 block_size = 32_KiB;     // frame payload size (<= NFS limit)
+  u32 num_banks = 512;         // paper §4.1
+  u32 associativity = 16;      // paper §4.1
+  WritePolicy policy = WritePolicy::kWriteBack;
+  // Creating a bank file on first touch costs a metadata disk op.
+  bool charge_bank_creation = true;
+};
+
+// Identifies a cached block: the owning file (by handle key) and the block
+// index within it.
+struct BlockId {
+  u64 file_key = 0;
+  u64 block = 0;
+  bool operator==(const BlockId& o) const {
+    return file_key == o.file_key && block == o.block;
+  }
+};
+
+class ProxyDiskCache {
+ public:
+  // Evicted-dirty / write-through callback: push a block upstream.
+  using WritebackFn = std::function<Status(sim::Process& p, const BlockId& id,
+                                           const blob::BlobRef& data)>;
+
+  ProxyDiskCache(sim::DiskModel& disk, BlockCacheConfig cfg);
+
+  [[nodiscard]] const BlockCacheConfig& config() const { return cfg_; }
+
+  void set_writeback(WritebackFn fn) { writeback_ = std::move(fn); }
+
+  // Look up a block; on hit, charges a cache-disk read and returns the data.
+  std::optional<blob::BlobRef> lookup(sim::Process& p, const BlockId& id);
+
+  // Probe without timing or LRU side effects.
+  [[nodiscard]] bool contains(const BlockId& id) const;
+
+  // Insert (fetch fill or write): charges a cache-disk write; may evict
+  // (dirty victims are written back upstream first). Under write-through,
+  // dirty inserts are pushed upstream immediately and stored clean.
+  Status insert(sim::Process& p, const BlockId& id, blob::BlobRef data, bool dirty);
+
+  // Merge new bytes into a cached block at a byte range (partial-block
+  // write). The block must be present; returns the merged block.
+  Result<blob::BlobRef> merge(sim::Process& p, const BlockId& id, u64 offset_in_block,
+                              const blob::BlobRef& data);
+
+  // Middleware consistency signals (§3.2.1): write back all dirty blocks
+  // (keeping them cached clean), or drop everything.
+  Status write_back_all(sim::Process& p);
+  Status flush_and_invalidate(sim::Process& p);
+  void invalidate_all();  // drop without writeback (read-only session end)
+  void invalidate_file(u64 file_key);
+
+  // ---- Observability -------------------------------------------------------
+  [[nodiscard]] u64 hits() const { return hits_; }
+  [[nodiscard]] u64 misses() const { return misses_; }
+  [[nodiscard]] u64 evictions() const { return evictions_; }
+  [[nodiscard]] u64 writebacks() const { return writebacks_; }
+  [[nodiscard]] u64 dirty_blocks() const { return dirty_; }
+  [[nodiscard]] u64 resident_blocks() const { return resident_; }
+  [[nodiscard]] u64 resident_bytes() const;
+  [[nodiscard]] u64 banks_created() const { return banks_created_; }
+  [[nodiscard]] u32 sets() const { return num_sets_; }
+  void reset_stats() { hits_ = misses_ = evictions_ = writebacks_ = 0; }
+
+ private:
+  struct Frame {
+    bool valid = false;
+    bool dirty = false;
+    BlockId id;
+    blob::BlobRef data;
+    u64 last_used = 0;
+  };
+
+  [[nodiscard]] u32 set_index_(const BlockId& id) const;
+  Frame* find_(const BlockId& id);
+  Status evict_(sim::Process& p, Frame& victim);
+  void touch_bank_(sim::Process& p, u32 set);
+
+  sim::DiskModel& disk_;
+  BlockCacheConfig cfg_;
+  u32 num_sets_;        // total sets across all banks
+  u32 sets_per_bank_;
+  std::vector<Frame> frames_;  // num_sets_ * associativity, set-major
+  std::vector<bool> bank_exists_;
+  WritebackFn writeback_;
+  u64 tick_ = 0;
+  u64 hits_ = 0;
+  u64 misses_ = 0;
+  u64 evictions_ = 0;
+  u64 writebacks_ = 0;
+  u64 dirty_ = 0;
+  u64 resident_ = 0;
+  u64 banks_created_ = 0;
+  BlockId last_access_{};  // sequentiality heuristic for cache-disk locality
+};
+
+}  // namespace gvfs::cache

@@ -1,0 +1,115 @@
+#include "cache/file_cache.h"
+
+#include <algorithm>
+
+#include "blob/extent_store.h"
+
+namespace gvfs::cache {
+
+Status FileCache::evict_lru_(sim::Process& p) {
+  if (lru_.empty()) return err(ErrCode::kNoSpc, "file cache thrashing");
+  Entry& victim = lru_.back();
+  if (victim.dirty && upload_) {
+    GVFS_RETURN_IF_ERROR(upload_(p, victim.key, victim.content));
+  }
+  ++evictions_;
+  resident_bytes_ -= victim.content ? victim.content->size() : 0;
+  map_.erase(victim.key);
+  lru_.pop_back();
+  return Status::ok();
+}
+
+Status FileCache::put(sim::Process& p, u64 file_key, blob::BlobRef content,
+                      bool dirty) {
+  u64 size = content ? content->size() : 0;
+  auto it = map_.find(file_key);
+  if (it != map_.end()) {
+    resident_bytes_ -= it->second->content ? it->second->content->size() : 0;
+    lru_.erase(it->second);
+    map_.erase(it);
+  }
+  while (resident_bytes_ + size > cfg_.capacity_bytes && !lru_.empty()) {
+    GVFS_RETURN_IF_ERROR(evict_lru_(p));
+  }
+  // Lay the file down on the cache disk sequentially.
+  disk_.access(p, std::max<u64>(size, 4_KiB), sim::Locality::kSequential);
+  lru_.push_front(Entry{file_key, std::move(content), dirty, 0});
+  map_[file_key] = lru_.begin();
+  resident_bytes_ += size;
+  return Status::ok();
+}
+
+std::optional<blob::BlobRef> FileCache::read(sim::Process& p, u64 file_key,
+                                             u64 offset, u64 len) {
+  auto it = map_.find(file_key);
+  if (it == map_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  Entry& e = *it->second;
+  u64 size = e.content ? e.content->size() : 0;
+  if (offset >= size || len == 0) return blob::BlobRef(blob::make_zero(0));
+  len = std::min<u64>(len, size - offset);
+  disk_.access(p, len,
+               offset == e.last_read_end ? sim::Locality::kSequential
+                                         : sim::Locality::kRandom);
+  e.last_read_end = offset + len;
+  return blob::BlobRef(std::make_shared<blob::SliceBlob>(e.content, offset, len));
+}
+
+Status FileCache::write(sim::Process& p, u64 file_key, u64 offset,
+                        const blob::BlobRef& data) {
+  auto it = map_.find(file_key);
+  if (it == map_.end()) return err(ErrCode::kNoEnt, "file not cached");
+  Entry& e = *it->second;
+  blob::ExtentStore compose;
+  if (e.content) compose.write_blob(0, e.content, 0, e.content->size());
+  u64 n = data ? data->size() : 0;
+  if (n > 0) compose.write_blob(offset, data, 0, n);
+  u64 old_size = e.content ? e.content->size() : 0;
+  e.content = compose.snapshot();
+  e.dirty = true;
+  resident_bytes_ += e.content->size() - old_size;
+  disk_.access(p, std::max<u64>(n, 4_KiB), sim::Locality::kSequential);
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return Status::ok();
+}
+
+std::optional<u64> FileCache::cached_size(u64 file_key) const {
+  auto it = map_.find(file_key);
+  if (it == map_.end()) return std::nullopt;
+  return it->second->content ? it->second->content->size() : 0;
+}
+
+Status FileCache::write_back_all(sim::Process& p) {
+  for (Entry& e : lru_) {
+    if (e.dirty) {
+      if (upload_) {
+        // Re-read the file from the cache disk for upload.
+        disk_.access(p, e.content ? e.content->size() : 4_KiB,
+                     sim::Locality::kSequential);
+        GVFS_RETURN_IF_ERROR(upload_(p, e.key, e.content));
+      }
+      e.dirty = false;
+    }
+  }
+  return Status::ok();
+}
+
+void FileCache::invalidate(u64 file_key) {
+  auto it = map_.find(file_key);
+  if (it == map_.end()) return;
+  resident_bytes_ -= it->second->content ? it->second->content->size() : 0;
+  lru_.erase(it->second);
+  map_.erase(it);
+}
+
+void FileCache::invalidate_all() {
+  lru_.clear();
+  map_.clear();
+  resident_bytes_ = 0;
+}
+
+}  // namespace gvfs::cache

@@ -1,0 +1,86 @@
+// Whole-file proxy cache (§3.2.2): the landing zone of the meta-data-driven
+// "compress → remote copy → uncompress → read locally" channel. Together
+// with the block cache it forms the paper's heterogeneous disk caching
+// scheme. Entries are whole files on the proxy's cache disk; requests to a
+// cached file are served locally at disk speed.
+#pragma once
+
+#include <functional>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "blob/blob.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "sim/resources.h"
+
+namespace gvfs::cache {
+
+struct FileCacheConfig {
+  u64 capacity_bytes = 8_GiB;
+};
+
+class FileCache {
+ public:
+  // Upload callback for dirty eviction / write-back (compress + SCP push).
+  using UploadFn = std::function<Status(sim::Process& p, u64 file_key,
+                                        const blob::BlobRef& content)>;
+
+  FileCache(sim::DiskModel& disk, FileCacheConfig cfg = {})
+      : disk_(disk), cfg_(cfg) {}
+
+  void set_upload(UploadFn fn) { upload_ = std::move(fn); }
+
+  [[nodiscard]] bool contains(u64 file_key) const {
+    return map_.count(file_key) != 0;
+  }
+
+  // Install a whole file (charges a sequential cache-disk write of its
+  // size — the "uncompress into the file cache" step).
+  Status put(sim::Process& p, u64 file_key, blob::BlobRef content, bool dirty = false);
+
+  // Serve a byte range from the cached copy (cache-disk read). nullopt on
+  // miss.
+  std::optional<blob::BlobRef> read(sim::Process& p, u64 file_key, u64 offset, u64 len);
+
+  // Overwrite a byte range of the cached copy, marking it dirty.
+  Status write(sim::Process& p, u64 file_key, u64 offset, const blob::BlobRef& data);
+
+  [[nodiscard]] std::optional<u64> cached_size(u64 file_key) const;
+
+  // Middleware signals.
+  Status write_back_all(sim::Process& p);
+  void invalidate(u64 file_key);
+  void invalidate_all();
+
+  [[nodiscard]] u64 hits() const { return hits_; }
+  [[nodiscard]] u64 misses() const { return misses_; }
+  [[nodiscard]] u64 evictions() const { return evictions_; }
+  [[nodiscard]] u64 resident_bytes() const { return resident_bytes_; }
+  [[nodiscard]] u64 files_cached() const { return map_.size(); }
+  void reset_stats() { hits_ = misses_ = evictions_ = 0; }
+
+ private:
+  struct Entry {
+    u64 key = 0;
+    blob::BlobRef content;
+    bool dirty = false;
+    u64 last_read_end = 0;  // sequential-read detection
+  };
+  using Lru = std::list<Entry>;
+
+  Status evict_lru_(sim::Process& p);
+
+  sim::DiskModel& disk_;
+  FileCacheConfig cfg_;
+  Lru lru_;  // front = most recent
+  std::unordered_map<u64, Lru::iterator> map_;
+  UploadFn upload_;
+  u64 resident_bytes_ = 0;
+  u64 hits_ = 0;
+  u64 misses_ = 0;
+  u64 evictions_ = 0;
+};
+
+}  // namespace gvfs::cache

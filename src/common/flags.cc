@@ -1,0 +1,122 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace gvfs {
+
+void FlagParser::add_(const std::string& name, Kind kind, void* out,
+                      const std::string& help, std::string default_repr) {
+  flags_[name] = Flag{kind, out, help, std::move(default_repr)};
+}
+
+void FlagParser::add_string(const std::string& name, std::string* out,
+                            const std::string& help) {
+  add_(name, Kind::kString, out, help, *out);
+}
+
+void FlagParser::add_u64(const std::string& name, u64* out, const std::string& help) {
+  add_(name, Kind::kU64, out, help, std::to_string(*out));
+}
+
+void FlagParser::add_u32(const std::string& name, u32* out, const std::string& help) {
+  add_(name, Kind::kU32, out, help, std::to_string(*out));
+}
+
+void FlagParser::add_double(const std::string& name, double* out,
+                            const std::string& help) {
+  add_(name, Kind::kDouble, out, help, std::to_string(*out));
+}
+
+void FlagParser::add_bool(const std::string& name, bool* out, const std::string& help) {
+  add_(name, Kind::kBool, out, help, *out ? "true" : "false");
+}
+
+Status FlagParser::set_(const std::string& name, const std::string& value) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return err(ErrCode::kInval, "unknown flag --" + name);
+  Flag& f = it->second;
+  char* end = nullptr;
+  switch (f.kind) {
+    case Kind::kString:
+      *static_cast<std::string*>(f.out) = value;
+      return Status::ok();
+    case Kind::kU64: {
+      u64 v = std::strtoull(value.c_str(), &end, 0);
+      if (end == nullptr || *end != '\0' || value.empty()) {
+        return err(ErrCode::kInval, "--" + name + " expects an integer");
+      }
+      *static_cast<u64*>(f.out) = v;
+      return Status::ok();
+    }
+    case Kind::kU32: {
+      u64 v = std::strtoull(value.c_str(), &end, 0);
+      if (end == nullptr || *end != '\0' || value.empty() || v > 0xffffffffULL) {
+        return err(ErrCode::kInval, "--" + name + " expects a 32-bit integer");
+      }
+      *static_cast<u32*>(f.out) = static_cast<u32>(v);
+      return Status::ok();
+    }
+    case Kind::kDouble: {
+      double v = std::strtod(value.c_str(), &end);
+      if (end == nullptr || *end != '\0' || value.empty()) {
+        return err(ErrCode::kInval, "--" + name + " expects a number");
+      }
+      *static_cast<double*>(f.out) = v;
+      return Status::ok();
+    }
+    case Kind::kBool: {
+      if (value == "true" || value == "1" || value.empty()) {
+        *static_cast<bool*>(f.out) = true;
+      } else if (value == "false" || value == "0") {
+        *static_cast<bool*>(f.out) = false;
+      } else {
+        return err(ErrCode::kInval, "--" + name + " expects true/false");
+      }
+      return Status::ok();
+    }
+  }
+  return err(ErrCode::kInternal);
+}
+
+Status FlagParser::parse(int argc, const char* const* argv) {
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positionals_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    std::string name = body, value;
+    bool has_value = false;
+    if (auto eq = body.find('='); eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+      has_value = true;
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) return err(ErrCode::kInval, "unknown flag --" + name);
+    if (!has_value && it->second.kind != Kind::kBool) {
+      if (i + 1 >= argc) return err(ErrCode::kInval, "--" + name + " needs a value");
+      value = argv[++i];
+    }
+    GVFS_RETURN_IF_ERROR(set_(name, value));
+  }
+  return Status::ok();
+}
+
+std::string FlagParser::usage() const {
+  std::ostringstream out;
+  out << program_ << " — " << description_ << "\n\nflags:\n";
+  for (const auto& [name, f] : flags_) {
+    out << "  --" << name << "  " << f.help << " (default: " << f.default_repr
+        << ")\n";
+  }
+  return out.str();
+}
+
+}  // namespace gvfs

@@ -1,0 +1,58 @@
+// Minimal command-line flag parser for the repository's tools: supports
+// --name=value and --name value forms, typed bindings with defaults, and
+// generated --help text. No external dependencies.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace gvfs {
+
+class FlagParser {
+ public:
+  FlagParser(std::string program, std::string description)
+      : program_(std::move(program)), description_(std::move(description)) {}
+
+  // Bindings keep pointers to caller storage pre-loaded with defaults.
+  void add_string(const std::string& name, std::string* out, const std::string& help);
+  void add_u64(const std::string& name, u64* out, const std::string& help);
+  void add_u32(const std::string& name, u32* out, const std::string& help);
+  void add_double(const std::string& name, double* out, const std::string& help);
+  // Bools accept --flag, --flag=true/false, --flag=1/0.
+  void add_bool(const std::string& name, bool* out, const std::string& help);
+
+  // Parse argv (excluding argv[0]). Unknown flags or bad values fail.
+  // Positional (non-flag) arguments land in positionals().
+  Status parse(int argc, const char* const* argv);
+
+  [[nodiscard]] const std::vector<std::string>& positionals() const {
+    return positionals_;
+  }
+  [[nodiscard]] bool help_requested() const { return help_requested_; }
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  enum class Kind { kString, kU64, kU32, kDouble, kBool };
+  struct Flag {
+    Kind kind;
+    void* out;
+    std::string help;
+    std::string default_repr;
+  };
+
+  void add_(const std::string& name, Kind kind, void* out, const std::string& help,
+            std::string default_repr);
+  Status set_(const std::string& name, const std::string& value);
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positionals_;
+  bool help_requested_ = false;
+};
+
+}  // namespace gvfs

@@ -1,0 +1,50 @@
+// Small, dependency-free hash utilities. The proxy disk cache indexes frames
+// by a hash of (file handle, block offset); determinism across runs matters
+// for reproducible experiments, so we use fixed algorithms (FNV-1a and a
+// SplitMix-style finalizer) rather than std::hash.
+#pragma once
+
+#include <cstring>
+#include <span>
+#include <string_view>
+
+#include "common/types.h"
+
+namespace gvfs {
+
+constexpr u64 kFnvOffset = 14695981039346656037ULL;
+constexpr u64 kFnvPrime = 1099511628211ULL;
+
+constexpr u64 fnv1a64(std::string_view data, u64 seed = kFnvOffset) {
+  u64 h = seed;
+  for (char c : data) {
+    h ^= static_cast<u8>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+inline u64 fnv1a64(std::span<const u8> data, u64 seed = kFnvOffset) {
+  u64 h = seed;
+  for (u8 c : data) {
+    h ^= c;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+// Stafford mix13 — a high-quality 64-bit finalizer (used by SplitMix64).
+constexpr u64 mix64(u64 x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+constexpr u64 hash_combine(u64 a, u64 b) {
+  return mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+}  // namespace gvfs

@@ -1,0 +1,31 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace gvfs {
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+const char* level_tag(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kWarn: return "W";
+    case LogLevel::kError: return "E";
+    case LogLevel::kOff: return "-";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel Logger::level() { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
+
+void Logger::set_level(LogLevel lvl) { g_level.store(static_cast<int>(lvl), std::memory_order_relaxed); }
+
+void Logger::write(LogLevel lvl, std::string_view facility, std::string_view msg) {
+  std::fprintf(stderr, "[%s %.*s] %.*s\n", level_tag(lvl), static_cast<int>(facility.size()),
+               facility.data(), static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace gvfs

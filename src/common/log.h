@@ -1,0 +1,49 @@
+// Minimal leveled logger. Components log against a named facility; verbosity
+// is controlled globally (default: warnings only) so tests and benches stay
+// quiet unless asked. Not thread-safe beyond line atomicity, which is all the
+// cooperative simulator needs.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace gvfs {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel lvl);
+  static void write(LogLevel lvl, std::string_view facility, std::string_view msg);
+};
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel lvl, std::string_view facility) : lvl_(lvl), facility_(facility) {}
+  ~LogLine() { Logger::write(lvl_, facility_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel lvl_;
+  std::string facility_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+#define GVFS_LOG(lvl, facility)                                 \
+  if (::gvfs::Logger::level() <= (lvl))                         \
+  ::gvfs::detail::LogLine((lvl), (facility))
+
+#define GVFS_DEBUG(facility) GVFS_LOG(::gvfs::LogLevel::kDebug, facility)
+#define GVFS_INFO(facility) GVFS_LOG(::gvfs::LogLevel::kInfo, facility)
+#define GVFS_WARN(facility) GVFS_LOG(::gvfs::LogLevel::kWarn, facility)
+#define GVFS_ERROR(facility) GVFS_LOG(::gvfs::LogLevel::kError, facility)
+
+}  // namespace gvfs

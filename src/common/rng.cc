@@ -1,0 +1,9 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace gvfs {
+
+double SplitMix64::ln_(double x) { return std::log(x); }
+
+}  // namespace gvfs

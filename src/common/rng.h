@@ -1,0 +1,59 @@
+// Deterministic pseudo-random number generation. All synthetic content and
+// workload jitter in the repository derives from seeded SplitMix64 streams so
+// every experiment is bit-reproducible.
+#pragma once
+
+#include "common/hash.h"
+#include "common/types.h"
+
+namespace gvfs {
+
+// SplitMix64: tiny, fast, passes BigCrush; ideal for seeding and for
+// deterministic per-offset content synthesis.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(u64 seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  u64 next() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    return mix64(state_);
+  }
+
+  // Uniform in [0, bound). bound == 0 yields 0.
+  u64 next_below(u64 bound) {
+    if (bound == 0) return 0;
+    // Multiply-shift rejection-free mapping (slight bias acceptable here).
+    return static_cast<u64>((static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  // Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // Exponentially distributed with the given mean (for service-time jitter).
+  double next_exponential(double mean) {
+    double u = next_double();
+    if (u >= 1.0) u = 0.9999999999999999;
+    // -mean * ln(1-u)
+    double x = 1.0 - u;
+    // ln via series is overkill; use std library through a small wrapper to
+    // keep the header light-weight.
+    return -mean * ln_(x);
+  }
+
+  u64 state() const { return state_; }
+
+ private:
+  static double ln_(double x);
+  u64 state_;
+};
+
+// Stateless deterministic value for (seed, index): the content of synthetic
+// blob byte ranges is derived from this so any range can be regenerated
+// without storing it.
+constexpr u64 stateless_rand(u64 seed, u64 index) {
+  return mix64(seed + index * 0x9e3779b97f4a7c15ULL);
+}
+
+}  // namespace gvfs

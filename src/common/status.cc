@@ -1,0 +1,43 @@
+#include "common/status.h"
+
+namespace gvfs {
+
+const char* err_name(ErrCode c) {
+  switch (c) {
+    case ErrCode::kOk: return "OK";
+    case ErrCode::kPerm: return "PERM";
+    case ErrCode::kNoEnt: return "NOENT";
+    case ErrCode::kIo: return "IO";
+    case ErrCode::kAccess: return "ACCESS";
+    case ErrCode::kExist: return "EXIST";
+    case ErrCode::kNotDir: return "NOTDIR";
+    case ErrCode::kIsDir: return "ISDIR";
+    case ErrCode::kInval: return "INVAL";
+    case ErrCode::kFBig: return "FBIG";
+    case ErrCode::kNoSpc: return "NOSPC";
+    case ErrCode::kRoFs: return "ROFS";
+    case ErrCode::kNameTooLong: return "NAMETOOLONG";
+    case ErrCode::kNotEmpty: return "NOTEMPTY";
+    case ErrCode::kStale: return "STALE";
+    case ErrCode::kBadHandle: return "BADHANDLE";
+    case ErrCode::kNotSupported: return "NOTSUPP";
+    case ErrCode::kBadXdr: return "BADXDR";
+    case ErrCode::kRpcMismatch: return "RPCMISMATCH";
+    case ErrCode::kAuthError: return "AUTHERROR";
+    case ErrCode::kTimeout: return "TIMEOUT";
+    case ErrCode::kClosed: return "CLOSED";
+    case ErrCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  std::string s = err_name(code_);
+  if (!msg_.empty()) {
+    s += ": ";
+    s += msg_;
+  }
+  return s;
+}
+
+}  // namespace gvfs

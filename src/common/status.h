@@ -1,0 +1,131 @@
+// Lightweight Status / Result<T> error propagation without exceptions on the
+// hot path. Error codes deliberately mirror the NFSv3 error space so protocol
+// layers can map them 1:1 onto the wire.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace gvfs {
+
+enum class ErrCode : int {
+  kOk = 0,
+  kPerm = 1,          // not owner
+  kNoEnt = 2,         // no such file or directory
+  kIo = 5,            // hard I/O error
+  kAccess = 13,       // permission denied
+  kExist = 17,        // file exists
+  kNotDir = 20,       // not a directory
+  kIsDir = 21,        // is a directory
+  kInval = 22,        // invalid argument
+  kFBig = 27,         // file too large
+  kNoSpc = 28,        // no space on device
+  kRoFs = 30,         // read-only file system
+  kNameTooLong = 63,  // name too long
+  kNotEmpty = 66,     // directory not empty
+  kStale = 70,        // stale file handle
+  kBadHandle = 10001,
+  kNotSupported = 10004,
+  kBadXdr = 20001,    // XDR decode failure
+  kRpcMismatch = 20002,
+  kAuthError = 20003,
+  kTimeout = 20004,
+  kClosed = 20005,    // channel/session shut down
+  kInternal = 29999,
+};
+
+[[nodiscard]] const char* err_name(ErrCode c);
+
+// A success-or-error value; carries an optional human-readable message.
+class Status {
+ public:
+  Status() : code_(ErrCode::kOk) {}
+  explicit Status(ErrCode c, std::string msg = {})
+      : code_(c), msg_(std::move(msg)) {}
+
+  static Status ok() { return Status(); }
+
+  [[nodiscard]] bool is_ok() const { return code_ == ErrCode::kOk; }
+  explicit operator bool() const { return is_ok(); }
+  [[nodiscard]] ErrCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return msg_; }
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  ErrCode code_;
+  std::string msg_;
+};
+
+inline Status err(ErrCode c, std::string msg = {}) {
+  return Status(c, std::move(msg));
+}
+
+// Result<T>: either a value or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}  // NOLINT implicit by design
+  Result(Status s) : v_(std::move(s)) {      // NOLINT implicit by design
+    assert(!std::get<Status>(v_).is_ok() && "Result from OK status");
+  }
+  Result(ErrCode c, std::string msg = {}) : v_(Status(c, std::move(msg))) {}
+
+  [[nodiscard]] bool is_ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return is_ok(); }
+
+  [[nodiscard]] Status status() const {
+    return is_ok() ? Status::ok() : std::get<Status>(v_);
+  }
+  [[nodiscard]] ErrCode code() const {
+    return is_ok() ? ErrCode::kOk : std::get<Status>(v_).code();
+  }
+
+  T& value() & {
+    assert(is_ok());
+    return std::get<T>(v_);
+  }
+  const T& value() const& {
+    assert(is_ok());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    assert(is_ok());
+    return std::get<T>(std::move(v_));
+  }
+  T value_or(T alt) const {
+    return is_ok() ? std::get<T>(v_) : std::move(alt);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+// Propagate errors up the call stack:  GVFS_RETURN_IF_ERROR(fn());
+#define GVFS_RETURN_IF_ERROR(expr)              \
+  do {                                          \
+    ::gvfs::Status _st = (expr);                \
+    if (!_st.is_ok()) return _st;               \
+  } while (0)
+
+// Bind or propagate:  GVFS_ASSIGN_OR_RETURN(auto v, compute());
+#define GVFS_CONCAT_INNER(a, b) a##b
+#define GVFS_CONCAT(a, b) GVFS_CONCAT_INNER(a, b)
+#define GVFS_ASSIGN_OR_RETURN(decl, expr)                    \
+  auto GVFS_CONCAT(_res_, __LINE__) = (expr);                \
+  if (!GVFS_CONCAT(_res_, __LINE__).is_ok())                 \
+    return GVFS_CONCAT(_res_, __LINE__).status();            \
+  decl = std::move(GVFS_CONCAT(_res_, __LINE__)).value()
+
+}  // namespace gvfs

@@ -1,0 +1,85 @@
+#include "common/strings.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace gvfs {
+
+std::string fmt_double(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string fmt_mmss(double seconds) {
+  long total = std::lround(seconds);
+  long m = total / 60, s = total % 60;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%02ld:%02ld", m, s);
+  return buf;
+}
+
+std::string fmt_hhmm(double seconds) {
+  long total = std::lround(seconds);
+  long h = total / 3600, m = (total % 3600) / 60, s = total % 60;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%ld:%02ld:%02ld", h, m, s);
+  return buf;
+}
+
+std::string fmt_bytes(u64 bytes) {
+  char buf[32];
+  if (bytes >= 1_GiB) {
+    std::snprintf(buf, sizeof(buf), "%.1f GB", static_cast<double>(bytes) / (1_GiB));
+  } else if (bytes >= 1_MiB) {
+    std::snprintf(buf, sizeof(buf), "%.0f MB", static_cast<double>(bytes) / (1_MiB));
+  } else if (bytes >= 1_KiB) {
+    std::snprintf(buf, sizeof(buf), "%.0f KB", static_cast<double>(bytes) / (1_KiB));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu B", static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    std::size_t pos = s.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string join_path(const std::string& dir, const std::string& name) {
+  if (dir.empty()) return name;
+  if (dir.back() == '/') return dir + name;
+  return dir + "/" + name;
+}
+
+std::string path_basename(const std::string& path) {
+  std::size_t pos = path.find_last_of('/');
+  return pos == std::string::npos ? path : path.substr(pos + 1);
+}
+
+std::string path_dirname(const std::string& path) {
+  std::size_t pos = path.find_last_of('/');
+  if (pos == std::string::npos) return "";
+  if (pos == 0) return "/";
+  return path.substr(0, pos);
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace gvfs

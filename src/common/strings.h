@@ -1,0 +1,35 @@
+// String formatting helpers used by the benchmark harnesses to print
+// paper-style rows (durations as m:ss / h:mm, byte counts, fixed decimals).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace gvfs {
+
+// "12.34" with the requested number of decimals.
+std::string fmt_double(double v, int decimals = 2);
+
+// Seconds rendered like the paper's axes: "03:25" (min:sec) or "1:07:12".
+std::string fmt_mmss(double seconds);
+std::string fmt_hhmm(double seconds);
+
+// "1.6 GB", "320 MB", "8 KB".
+std::string fmt_bytes(u64 bytes);
+
+// Split "a,b,c" -> {"a","b","c"} (used for simple config strings).
+std::vector<std::string> split(const std::string& s, char sep);
+
+// Path joining with single separators: join_path("/exports", "vm1.vmss").
+std::string join_path(const std::string& dir, const std::string& name);
+
+// Basename / dirname of a slash-separated virtual path.
+std::string path_basename(const std::string& path);
+std::string path_dirname(const std::string& path);
+
+bool starts_with(const std::string& s, const std::string& prefix);
+bool ends_with(const std::string& s, const std::string& suffix);
+
+}  // namespace gvfs

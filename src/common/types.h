@@ -1,0 +1,51 @@
+// Core scalar types and byte-size literals shared across all GVFS modules.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace gvfs {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+// Byte-size literals: 4_KiB, 8_MiB, 2_GiB ...
+constexpr u64 operator""_KiB(unsigned long long v) { return v << 10; }
+constexpr u64 operator""_MiB(unsigned long long v) { return v << 20; }
+constexpr u64 operator""_GiB(unsigned long long v) { return v << 30; }
+
+// Simulated time is kept in integral nanoseconds to stay exact under
+// accumulation; SimTime is a point, SimDuration an interval.
+using SimTime = i64;      // nanoseconds since simulation start
+using SimDuration = i64;  // nanoseconds
+
+constexpr SimDuration kNanosecond = 1;
+constexpr SimDuration kMicrosecond = 1000;
+constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+constexpr SimDuration kSecond = 1000 * kMillisecond;
+
+constexpr double to_seconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+constexpr SimDuration from_seconds(double s) {
+  return static_cast<SimDuration>(s * static_cast<double>(kSecond));
+}
+constexpr SimDuration from_millis(double ms) {
+  return static_cast<SimDuration>(ms * static_cast<double>(kMillisecond));
+}
+
+// Time to move `bytes` at `bytes_per_sec` throughput (rounded up to 1 ns).
+constexpr SimDuration transfer_time(u64 bytes, double bytes_per_sec) {
+  if (bytes == 0 || bytes_per_sec <= 0.0) return 0;
+  double secs = static_cast<double>(bytes) / bytes_per_sec;
+  SimDuration d = from_seconds(secs);
+  return d > 0 ? d : 1;
+}
+
+}  // namespace gvfs

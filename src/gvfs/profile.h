@@ -1,0 +1,56 @@
+// Calibrated resource parameters for the paper's testbed (§4.1): compute
+// servers at the University of Florida, a LAN image server on 100 Mb/s
+// Ethernet, and a WAN image server at Northwestern reached through Abilene.
+// Anchors: SCP of the full 1.92 GB image = 1127 s => ~1.7 MB/s per SSH flow;
+// plain-NFS block-by-block clone of the 320 MB memory state = 2060 s =>
+// ~40 ms RTT at 8 KB rsize; Abilene itself has far more aggregate capacity
+// than one flow (Table 1's 7x parallel-cloning speedup).
+#pragma once
+
+#include "nfs/nfs_client.h"
+#include "nfs/nfs_server.h"
+#include "sim/resources.h"
+#include "ssh/ssh.h"
+
+namespace gvfs::core {
+
+struct NetProfile {
+  // WAN path (shared by all flows between the sites).
+  sim::LinkConfig wan{/*latency=*/from_millis(19.5),
+                      /*bytes_per_sec=*/12.0 * 1_MiB,
+                      /*chunk_bytes=*/64_KiB,
+                      /*per_message_overhead=*/40 * kMicrosecond};
+  ssh::CipherSpec wan_cipher{/*per_flow_bps=*/1.9 * 1_MiB,
+                             /*setup_time=*/400 * kMillisecond,
+                             /*frame_overhead=*/48,
+                             /*pacing_chunk=*/64_KiB};
+
+  // 100 Mb/s switched Ethernet.
+  sim::LinkConfig lan{/*latency=*/from_millis(0.15),
+                      /*bytes_per_sec=*/11.5 * 1_MiB,
+                      /*chunk_bytes=*/64_KiB,
+                      /*per_message_overhead=*/25 * kMicrosecond};
+  ssh::CipherSpec lan_cipher{/*per_flow_bps=*/8.5 * 1_MiB,
+                             /*setup_time=*/150 * kMillisecond,
+                             /*frame_overhead=*/48,
+                             /*pacing_chunk=*/64_KiB};
+
+  // 2001-era SCSI disks (compute nodes and servers alike).
+  sim::DiskConfig disk{/*seek=*/from_millis(9.0),
+                       /*seq_overhead=*/from_millis(0.12),
+                       /*bytes_per_sec=*/35.0 * 1_MiB};
+
+  // Image server: dual-processor PIII (bounds concurrent gzip jobs).
+  int image_server_cpus = 2;
+
+  // GZIP throughputs (era defaults from ssh::GzipModel: ~8 MB/s compress,
+  // ~30 MB/s inflate on a 1 GHz PIII).
+  ssh::GzipModel gzip{};
+
+  // Kernel NFS client defaults. Plain WAN mounts of the era used 8 KB
+  // rsize/wsize; GVFS sessions negotiate the 32 KB protocol limit.
+  u32 plain_rsize = 8_KiB;
+  u32 gvfs_rsize = 32_KiB;
+};
+
+}  // namespace gvfs::core

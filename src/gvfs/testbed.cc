@@ -1,0 +1,288 @@
+#include "gvfs/testbed.h"
+
+#include "common/log.h"
+#include "vfs/prefix_session.h"
+
+namespace gvfs::core {
+
+const char* scenario_name(Scenario s) {
+  switch (s) {
+    case Scenario::kLocal: return "Local";
+    case Scenario::kLan: return "LAN";
+    case Scenario::kWan: return "WAN";
+    case Scenario::kWanCached: return "WAN+C";
+    case Scenario::kPlainNfsWan: return "NFS/WAN";
+  }
+  return "?";
+}
+
+struct Testbed::Node {
+  std::unique_ptr<vfs::MemFs> fs;
+  std::unique_ptr<sim::DiskModel> disk;
+  std::unique_ptr<vfs::LocalFsSession> local;
+  std::unique_ptr<vfs::PrefixSession> image_view;  // kLocal: export-dir view
+
+  std::unique_ptr<cache::ProxyDiskCache> block_cache;
+  std::unique_ptr<cache::FileCache> file_cache;
+  std::unique_ptr<ssh::Scp> scp;
+  std::unique_ptr<meta::FileChannelClient> file_channel;
+  std::unique_ptr<ssh::SshTunnel> tunnel;
+  std::unique_ptr<proxy::GvfsProxy> client_proxy;
+  std::unique_ptr<rpc::LinkChannel> loopback;
+  std::unique_ptr<rpc::LinkChannel> direct;
+  std::unique_ptr<nfs::NfsClient> client;
+};
+
+Testbed::Testbed(TestbedOptions opt) : opt_(std::move(opt)) {
+  // Shared network pipes (all per-node flows contend here).
+  wan_up_ = std::make_unique<sim::Link>(kernel_, "wan-up", opt_.net.wan);
+  wan_down_ = std::make_unique<sim::Link>(kernel_, "wan-down", opt_.net.wan);
+  lan_up_ = std::make_unique<sim::Link>(kernel_, "lan-up", opt_.net.lan);
+  lan_down_ = std::make_unique<sim::Link>(kernel_, "lan-down", opt_.net.lan);
+
+  if (opt_.scenario != Scenario::kLocal) {
+    build_server_side_();
+    if (opt_.second_level_lan_cache) build_lan_cache_node_();
+  }
+  for (int i = 0; i < opt_.compute_nodes; ++i) {
+    nodes_.push_back(build_node_(i));
+  }
+}
+
+Testbed::~Testbed() = default;
+
+void Testbed::build_server_side_() {
+  image_fs_ = std::make_unique<vfs::MemFs>();
+  image_fs_->set_clock([this] { return kernel_.now(); });
+  image_disk_ = std::make_unique<sim::DiskModel>(kernel_, "image-disk", opt_.net.disk);
+  image_cpu_ = std::make_unique<sim::CpuPool>(kernel_, opt_.net.image_server_cpus);
+
+  nfs::NfsServerConfig scfg;
+  scfg.max_io = nfs::kMaxBlockSize;
+  server_ = std::make_unique<nfs::NfsServer>(kernel_, *image_fs_, *image_disk_, scfg);
+  Status st = server_->add_export(opt_.export_path);
+  if (!st.is_ok()) GVFS_ERROR("testbed") << "export failed: " << st.to_string();
+
+  server_loop_ = std::make_unique<rpc::LinkChannel>(*server_, nullptr, nullptr,
+                                                    10 * kMicrosecond);
+  proxy::ProxyConfig spcfg;
+  spcfg.name = "server-proxy";
+  spcfg.enable_meta = false;  // server side only authenticates and maps ids
+  server_proxy_ = std::make_unique<proxy::GvfsProxy>(spcfg, *server_loop_);
+  // Logical user accounts: remap the grid identity onto a short-lived local
+  // shadow account allocated for this session (§3.1).
+  server_proxy_->set_cred_mapper([](const rpc::Credential& in) {
+    rpc::Credential out = in;
+    out.uid = 500 + in.uid % 100;
+    out.gid = 500;
+    out.machine = "shadow";
+    return out;
+  });
+
+  server_endpoint_ = std::make_unique<meta::ServerFileChannel>(
+      *image_fs_, *image_disk_, image_cpu_.get(), opt_.net.gzip);
+}
+
+void Testbed::build_lan_cache_node_() {
+  lan_disk_ = std::make_unique<sim::DiskModel>(kernel_, "lan-cache-disk", opt_.net.disk);
+  lan_scp_up_ = std::make_unique<ssh::Scp>(*wan_down_, opt_.net.wan_cipher);
+  lan_endpoint_ = std::make_unique<proxy::CachingFileEndpoint>(
+      *server_endpoint_, *lan_scp_up_, *lan_disk_, opt_.file_cache_bytes);
+
+  // Second-level block-cache proxy on the LAN server.
+  lan_to_origin_ = std::make_unique<ssh::SshTunnel>(*server_proxy_, wan_up_.get(),
+                                                    wan_down_.get(), opt_.net.wan_cipher);
+  cache::BlockCacheConfig l2cfg = opt_.block_cache;
+  lan_block_cache_ = std::make_unique<cache::ProxyDiskCache>(*lan_disk_, l2cfg);
+  proxy::ProxyConfig lpcfg;
+  lpcfg.name = "lan-l2-proxy";
+  lpcfg.enable_meta = false;
+  lan_proxy_ = std::make_unique<proxy::GvfsProxy>(lpcfg, *lan_to_origin_);
+  lan_proxy_->attach_block_cache(*lan_block_cache_);
+}
+
+std::unique_ptr<Testbed::Node> Testbed::build_node_(int index) {
+  auto node = std::make_unique<Node>();
+  std::string tag = "node" + std::to_string(index);
+  node->fs = std::make_unique<vfs::MemFs>();
+  node->fs->set_clock([this] { return kernel_.now(); });
+  node->disk = std::make_unique<sim::DiskModel>(kernel_, tag + "-disk", opt_.net.disk);
+  vfs::LocalSessionConfig lcfg;
+  lcfg.buffer_cache_bytes = opt_.local_page_cache_bytes;
+  node->local = std::make_unique<vfs::LocalFsSession>(*node->fs, *node->disk, lcfg);
+
+  if (opt_.scenario == Scenario::kLocal) {
+    node->image_view =
+        std::make_unique<vfs::PrefixSession>(*node->local, opt_.export_path);
+    return node;
+  }
+
+  rpc::Credential cred;
+  cred.uid = 1000 + static_cast<u32>(index);
+  cred.gid = 1000;
+  cred.machine = tag;
+
+  nfs::NfsClientConfig ccfg;
+  ccfg.buffer_cache_bytes = opt_.client_page_cache_bytes;
+  if (opt_.scenario == Scenario::kPlainNfsWan) {
+    ccfg.rsize = ccfg.wsize = opt_.net.plain_rsize;
+    node->direct = std::make_unique<rpc::LinkChannel>(*server_, wan_up_.get(),
+                                                      wan_down_.get(),
+                                                      30 * kMicrosecond);
+    node->client = std::make_unique<nfs::NfsClient>(*node->direct, cred, ccfg);
+    return node;
+  }
+
+  ccfg.rsize = ccfg.wsize = opt_.net.gvfs_rsize;
+
+  bool cached = opt_.scenario == Scenario::kWanCached;
+  bool wan = opt_.scenario != Scenario::kLan;
+  sim::Link* up = wan ? wan_up_.get() : lan_up_.get();
+  sim::Link* down = wan ? wan_down_.get() : lan_down_.get();
+  const ssh::CipherSpec& cipher = wan ? opt_.net.wan_cipher : opt_.net.lan_cipher;
+
+  // Client proxy's upstream: either straight to the server-side proxy, or
+  // through the LAN second-level cache proxy (then to the origin).
+  rpc::RpcHandler* upstream_handler = server_proxy_.get();
+  sim::Link* tun_up = up;
+  sim::Link* tun_down = down;
+  ssh::CipherSpec tun_cipher = cipher;
+  if (cached && opt_.second_level_lan_cache) {
+    upstream_handler = lan_proxy_.get();
+    tun_up = lan_up_.get();
+    tun_down = lan_down_.get();
+    tun_cipher = opt_.net.lan_cipher;
+  }
+  node->tunnel = std::make_unique<ssh::SshTunnel>(*upstream_handler, tun_up, tun_down,
+                                                  tun_cipher);
+
+  proxy::ProxyConfig pcfg;
+  pcfg.name = tag + "-proxy";
+  pcfg.fetch_block = static_cast<u32>(opt_.block_cache.block_size);
+  pcfg.enable_meta = cached && opt_.enable_meta;
+  if (cached) pcfg.prefetch_depth = opt_.prefetch_depth;
+  node->client_proxy = std::make_unique<proxy::GvfsProxy>(pcfg, *node->tunnel);
+
+  if (cached) {
+    cache::BlockCacheConfig bcfg = opt_.block_cache;
+    bcfg.policy = opt_.write_policy;
+    node->block_cache = std::make_unique<cache::ProxyDiskCache>(*node->disk, bcfg);
+    node->client_proxy->attach_block_cache(*node->block_cache);
+
+    node->file_cache = std::make_unique<cache::FileCache>(
+        *node->disk, cache::FileCacheConfig{opt_.file_cache_bytes});
+    meta::RemoteFileEndpoint* endpoint =
+        opt_.second_level_lan_cache ? static_cast<meta::RemoteFileEndpoint*>(lan_endpoint_.get())
+                                    : server_endpoint_.get();
+    node->scp = std::make_unique<ssh::Scp>(
+        opt_.second_level_lan_cache ? *lan_down_ : *wan_down_, tun_cipher,
+        opt_.file_channel_streams);
+    node->file_channel = std::make_unique<meta::FileChannelClient>(
+        *endpoint, *node->scp, *node->file_cache, nullptr, opt_.net.gzip);
+    node->client_proxy->attach_file_channel(*node->file_channel, *node->file_cache);
+  }
+
+  node->loopback = std::make_unique<rpc::LinkChannel>(*node->client_proxy, nullptr,
+                                                      nullptr, 15 * kMicrosecond);
+  node->client = std::make_unique<nfs::NfsClient>(*node->loopback, cred, ccfg);
+  return node;
+}
+
+vfs::MemFs& Testbed::image_fs() {
+  return opt_.scenario == Scenario::kLocal ? *nodes_.at(0)->fs : *image_fs_;
+}
+
+std::string Testbed::image_dir() const { return opt_.export_path; }
+
+Result<vm::VmImagePaths> Testbed::install_image(const vm::VmImageSpec& spec) {
+  // Install at the server-side export path...
+  GVFS_ASSIGN_OR_RETURN(vm::VmImagePaths server_paths,
+                        vm::install_image(image_fs(), image_dir(), spec));
+  if (opt_.scenario != Scenario::kLocal && opt_.generate_image_meta) {
+    GVFS_RETURN_IF_ERROR(vm::generate_vmss_metadata(image_fs(), server_paths));
+  }
+  // ...but hand back mount-relative paths: every image_session() (NFS client
+  // or the kLocal prefix view) is rooted at the export directory.
+  return vm::VmImagePaths{"", spec.name};
+}
+
+Status Testbed::mount(sim::Process& p, int node) {
+  Node& n = *nodes_.at(static_cast<std::size_t>(node));
+  if (opt_.scenario == Scenario::kLocal) return Status::ok();
+  if (n.client->mounted()) return Status::ok();
+  return n.client->mount(p, opt_.export_path);
+}
+
+vfs::FsSession& Testbed::image_session(int node) {
+  Node& n = *nodes_.at(static_cast<std::size_t>(node));
+  if (opt_.scenario == Scenario::kLocal) return *n.image_view;
+  return *n.client;
+}
+
+vfs::LocalFsSession& Testbed::local_session(int node) {
+  return *nodes_.at(static_cast<std::size_t>(node))->local;
+}
+
+Status Testbed::signal_write_back(sim::Process& p, int node) {
+  Node& n = *nodes_.at(static_cast<std::size_t>(node));
+  GVFS_RETURN_IF_ERROR(n.client->flush(p));
+  if (n.client_proxy) return n.client_proxy->signal_write_back(p);
+  return Status::ok();
+}
+
+Status Testbed::signal_flush(sim::Process& p, int node) {
+  Node& n = *nodes_.at(static_cast<std::size_t>(node));
+  GVFS_RETURN_IF_ERROR(n.client->flush(p));
+  if (n.client_proxy) return n.client_proxy->signal_flush(p);
+  return Status::ok();
+}
+
+void Testbed::drop_all_caches() {
+  for (auto& n : nodes_) {
+    if (n->client) n->client->drop_caches();
+    if (n->client_proxy) n->client_proxy->drop_soft_state();
+    if (n->block_cache) n->block_cache->invalidate_all();
+    if (n->file_cache) n->file_cache->invalidate_all();
+    n->local->drop_caches();
+  }
+  if (server_) server_->drop_caches();
+  if (server_proxy_) server_proxy_->drop_soft_state();
+  if (lan_proxy_) lan_proxy_->drop_soft_state();
+  if (lan_block_cache_) lan_block_cache_->invalidate_all();
+  if (lan_endpoint_) lan_endpoint_->invalidate_all();
+}
+
+Status Testbed::prewarm_lan_cache(sim::Process& p, const vm::VmImagePaths& image) {
+  if (!lan_endpoint_) return err(ErrCode::kInval, "no LAN cache node in this scenario");
+  // Image paths are mount-relative; resolve against the server export.
+  GVFS_ASSIGN_OR_RETURN(vfs::FileId id,
+                        image_fs().resolve(opt_.export_path + image.vmss()));
+  return lan_endpoint_->prefetch(p, id);
+}
+
+Status Testbed::refresh_image_metadata(sim::Process& p, const vm::VmImagePaths& image) {
+  if (opt_.scenario == Scenario::kLocal) return Status::ok();
+  vm::VmImagePaths server_paths{opt_.export_path, image.name};
+  // The scan streams the state file off the server disk (zero-map pass).
+  GVFS_ASSIGN_OR_RETURN(blob::BlobRef vmss, image_fs().get_file(server_paths.vmss()));
+  image_disk_->access(p, vmss->size(), sim::Locality::kSequential);
+  return vm::generate_vmss_metadata(image_fs(), server_paths);
+}
+
+nfs::NfsClient* Testbed::nfs_client(int node) {
+  return nodes_.at(static_cast<std::size_t>(node))->client.get();
+}
+
+proxy::GvfsProxy* Testbed::client_proxy(int node) {
+  return nodes_.at(static_cast<std::size_t>(node))->client_proxy.get();
+}
+
+cache::ProxyDiskCache* Testbed::block_cache(int node) {
+  return nodes_.at(static_cast<std::size_t>(node))->block_cache.get();
+}
+
+cache::FileCache* Testbed::file_cache(int node) {
+  return nodes_.at(static_cast<std::size_t>(node))->file_cache.get();
+}
+
+}  // namespace gvfs::core

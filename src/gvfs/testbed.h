@@ -1,0 +1,149 @@
+// Scenario testbed: wires kernel clients, GVFS proxies, tunnels, caches and
+// servers into the exact topologies of §4 —
+//   Local   : VM state on the compute server's own disk.
+//   LAN     : state NFS-mounted from the LAN image server via GVFS proxies
+//             over SSH tunnels (no client disk cache).
+//   WAN     : same across the wide-area path.
+//   WAN+C   : WAN plus the client-side proxy disk cache (and, for cloning,
+//             meta-data handling with the file channel).
+//   PlainNfs: unmodified kernel client straight to the kernel server (the
+//             paper's non-GVFS baseline).
+// Multiple compute nodes share the WAN pipe, the image server, and its
+// nfsd/CPU/disk — which is all Table 1's parallel cloning needs.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/block_cache.h"
+#include "cache/file_cache.h"
+#include "gvfs/profile.h"
+#include "meta/file_channel.h"
+#include "nfs/nfs_client.h"
+#include "nfs/nfs_server.h"
+#include "proxy/caching_endpoint.h"
+#include "proxy/gvfs_proxy.h"
+#include "ssh/ssh.h"
+#include "vfs/local_session.h"
+#include "vfs/memfs.h"
+#include "vm/vm_image.h"
+
+namespace gvfs::core {
+
+enum class Scenario {
+  kLocal,
+  kLan,
+  kWan,
+  kWanCached,
+  kPlainNfsWan,  // unmodified NFS baseline over the WAN
+};
+
+const char* scenario_name(Scenario s);
+
+struct TestbedOptions {
+  Scenario scenario = Scenario::kWanCached;
+  int compute_nodes = 1;
+  NetProfile net;
+  cache::WritePolicy write_policy = cache::WritePolicy::kWriteBack;
+  bool enable_meta = true;          // client proxies honour meta-data files
+  bool generate_image_meta = true;  // install_image() drops .vmss meta-data
+  bool second_level_lan_cache = false;  // WAN-S3: LAN server caches for the cluster
+  cache::BlockCacheConfig block_cache;  // client proxy cache geometry (§4.1)
+  u64 file_cache_bytes = 8_GiB;
+  // §6 extensions: proxy read-ahead depth (0 = off) and GridFTP-style
+  // parallel streams for file-channel transfers.
+  u32 prefetch_depth = 0;
+  u32 file_channel_streams = 1;
+  // Host page-cache sizing. A 1 GB compute server hosting a 512 MB-RAM VM
+  // has far less pagecache than an idle one; app-execution benches shrink
+  // these accordingly.
+  u64 client_page_cache_bytes = 512_MiB;
+  u64 local_page_cache_bytes = 640_MiB;
+  std::string export_path = "/exports/images";
+};
+
+class Testbed {
+ public:
+  explicit Testbed(TestbedOptions opt);
+  ~Testbed();
+
+  [[nodiscard]] sim::SimKernel& kernel() { return kernel_; }
+  [[nodiscard]] const TestbedOptions& options() const { return opt_; }
+
+  // The image server's exported filesystem (install images here; for kLocal
+  // this is node 0's local filesystem).
+  [[nodiscard]] vfs::MemFs& image_fs();
+  [[nodiscard]] std::string image_dir() const;
+
+  // Install a VM image on the image store and (if meta is enabled) generate
+  // its .vmss meta-data.
+  Result<vm::VmImagePaths> install_image(const vm::VmImageSpec& spec);
+
+  // Mount the export on a compute node (no-op for kLocal). Must run inside a
+  // simulation process.
+  Status mount(sim::Process& p, int node = 0);
+
+  // The session a node sees the image store through (local session for
+  // kLocal, the NFS client otherwise).
+  [[nodiscard]] vfs::FsSession& image_session(int node = 0);
+  // The node's local-disk session.
+  [[nodiscard]] vfs::LocalFsSession& local_session(int node = 0);
+
+  // ---- middleware controls -------------------------------------------------
+  Status signal_write_back(sim::Process& p, int node = 0);
+  Status signal_flush(sim::Process& p, int node = 0);
+  // Cold-start: drop every cache on the path (client pages, proxy disk
+  // caches, server pages) as the paper does between cold runs.
+  void drop_all_caches();
+  // Pre-warm the LAN second-level cache with an image's memory state
+  // (WAN-S3's "pre-cached due to previous clones for other compute servers").
+  Status prewarm_lan_cache(sim::Process& p, const vm::VmImagePaths& image);
+  // Middleware re-scan of a (changed) memory state: regenerate the .vmss
+  // meta-data on the image server, charging the server-side scan.
+  Status refresh_image_metadata(sim::Process& p, const vm::VmImagePaths& image);
+
+  // ---- observability -------------------------------------------------------
+  [[nodiscard]] nfs::NfsClient* nfs_client(int node = 0);
+  [[nodiscard]] proxy::GvfsProxy* client_proxy(int node = 0);
+  [[nodiscard]] cache::ProxyDiskCache* block_cache(int node = 0);
+  [[nodiscard]] cache::FileCache* file_cache(int node = 0);
+  [[nodiscard]] nfs::NfsServer* server() { return server_.get(); }
+  [[nodiscard]] sim::Link* wan_up() { return wan_up_.get(); }
+  [[nodiscard]] sim::Link* wan_down() { return wan_down_.get(); }
+
+ private:
+  struct Node;
+
+  void build_server_side_();
+  void build_lan_cache_node_();
+  std::unique_ptr<Node> build_node_(int index);
+
+  TestbedOptions opt_;
+  sim::SimKernel kernel_;
+
+  // ---- image server --------------------------------------------------------
+  std::unique_ptr<vfs::MemFs> image_fs_;
+  std::unique_ptr<sim::DiskModel> image_disk_;
+  std::unique_ptr<sim::CpuPool> image_cpu_;
+  std::unique_ptr<nfs::NfsServer> server_;
+  std::unique_ptr<rpc::LinkChannel> server_loop_;      // server proxy -> nfsd
+  std::unique_ptr<proxy::GvfsProxy> server_proxy_;
+  std::unique_ptr<meta::ServerFileChannel> server_endpoint_;
+
+  // ---- shared network ------------------------------------------------------
+  std::unique_ptr<sim::Link> wan_up_, wan_down_;
+  std::unique_ptr<sim::Link> lan_up_, lan_down_;
+
+  // ---- optional LAN cache server (WAN-S3) -----------------------------------
+  std::unique_ptr<sim::DiskModel> lan_disk_;
+  std::unique_ptr<ssh::Scp> lan_scp_up_;  // LAN node -> origin over WAN
+  std::unique_ptr<proxy::CachingFileEndpoint> lan_endpoint_;
+  std::unique_ptr<cache::ProxyDiskCache> lan_block_cache_;
+  std::unique_ptr<ssh::SshTunnel> lan_to_origin_;      // L2 proxy -> server proxy
+  std::unique_ptr<proxy::GvfsProxy> lan_proxy_;        // L2 block-cache proxy
+
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace gvfs::core

@@ -1,0 +1,60 @@
+#include "meta/file_channel.h"
+
+namespace gvfs::meta {
+
+Result<CompressedImage> ServerFileChannel::fetch_compressed(sim::Process& p,
+                                                            vfs::FileId fileid) {
+  GVFS_ASSIGN_OR_RETURN(vfs::Attr a, fs_.getattr(fileid));
+  if (a.type != vfs::FileType::kRegular) return err(ErrCode::kIsDir);
+  GVFS_ASSIGN_OR_RETURN(blob::BlobRef content, fs_.read_ref(fileid, 0, a.size));
+  ++compress_jobs_;
+  // Stream the file off the server disk and through gzip.
+  disk_.access(p, a.size, sim::Locality::kSequential);
+  gzip_.compress(p, cpu_, a.size);
+  CompressedImage img;
+  img.compressed_size = content->compressed_size();
+  img.content = std::move(content);
+  return img;
+}
+
+Status ServerFileChannel::store_compressed(sim::Process& p, vfs::FileId fileid,
+                                           blob::BlobRef content,
+                                           u64 /*compressed_size*/) {
+  u64 size = content ? content->size() : 0;
+  gzip_.inflate(p, cpu_, size);
+  disk_.access(p, std::max<u64>(size, 4_KiB), sim::Locality::kSequential);
+  vfs::SetAttr sa;
+  sa.set_size = true;
+  sa.size = 0;
+  GVFS_RETURN_IF_ERROR(fs_.setattr(fileid, sa));
+  if (size > 0) {
+    GVFS_RETURN_IF_ERROR(fs_.write_blob(fileid, 0, std::move(content), 0, size));
+  }
+  return Status::ok();
+}
+
+Status FileChannelClient::fetch_into_cache(sim::Process& p, vfs::FileId remote_fileid,
+                                           u64 cache_key) {
+  ++fetches_;
+  GVFS_ASSIGN_OR_RETURN(CompressedImage img,
+                        endpoint_.fetch_compressed(p, remote_fileid));
+  wire_bytes_ += img.compressed_size;
+  scp_.transfer(p, img.compressed_size);
+  u64 size = img.content ? img.content->size() : 0;
+  gzip_.inflate(p, cpu_, size);
+  return file_cache_.put(p, cache_key, std::move(img.content), /*dirty=*/false);
+}
+
+Status FileChannelClient::upload_from_cache(sim::Process& p, u64 /*cache_key*/,
+                                            vfs::FileId remote_fileid,
+                                            const blob::BlobRef& content) {
+  ++uploads_;
+  u64 size = content ? content->size() : 0;
+  u64 compressed = content ? content->compressed_size() : 16;
+  gzip_.compress(p, cpu_, size);
+  wire_bytes_ += compressed;
+  scp_.transfer(p, compressed);
+  return endpoint_.store_compressed(p, remote_fileid, content, compressed);
+}
+
+}  // namespace gvfs::meta

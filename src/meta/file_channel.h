@@ -1,0 +1,93 @@
+// The on-demand fast file-based data channel (§3.2.2): executes a meta-data
+// action list by compressing a file at the server, SCP-ing the compressed
+// image across the WAN, inflating it into the client proxy's file cache, and
+// serving all further requests locally. The reverse path implements
+// file-cache write-back (compress, upload, uncompress at the server).
+#pragma once
+
+#include "blob/blob.h"
+#include "cache/file_cache.h"
+#include "common/status.h"
+#include "sim/resources.h"
+#include "ssh/ssh.h"
+#include "vfs/memfs.h"
+
+namespace gvfs::meta {
+
+struct CompressedImage {
+  blob::BlobRef content;    // the (lazy) uncompressed content
+  u64 compressed_size = 0;  // bytes that actually cross the wire
+};
+
+// Server-side half: what the remote (server-side) proxy exposes to peers for
+// file-channel transfers, beside the NFS path.
+class RemoteFileEndpoint {
+ public:
+  virtual ~RemoteFileEndpoint() = default;
+
+  // Compress file `fileid` on the server (charges server disk + CPU) and
+  // hand back its content plus compressed size.
+  virtual Result<CompressedImage> fetch_compressed(sim::Process& p,
+                                                   vfs::FileId fileid) = 0;
+
+  // Accept an uploaded compressed image, inflate and store it (write-back of
+  // a dirty file-cache entry).
+  virtual Status store_compressed(sim::Process& p, vfs::FileId fileid,
+                                  blob::BlobRef content, u64 compressed_size) = 0;
+};
+
+// Concrete server-side endpoint over the image server's filesystem.
+class ServerFileChannel final : public RemoteFileEndpoint {
+ public:
+  ServerFileChannel(vfs::MemFs& fs, sim::DiskModel& disk, sim::CpuPool* cpu,
+                    ssh::GzipModel gzip = {})
+      : fs_(fs), disk_(disk), cpu_(cpu), gzip_(gzip) {}
+
+  Result<CompressedImage> fetch_compressed(sim::Process& p,
+                                           vfs::FileId fileid) override;
+  Status store_compressed(sim::Process& p, vfs::FileId fileid, blob::BlobRef content,
+                          u64 compressed_size) override;
+
+  [[nodiscard]] u64 compress_jobs() const { return compress_jobs_; }
+
+ private:
+  vfs::MemFs& fs_;
+  sim::DiskModel& disk_;
+  sim::CpuPool* cpu_;
+  ssh::GzipModel gzip_;
+  u64 compress_jobs_ = 0;
+};
+
+// Client-side half: drives the end-to-end action list against an endpoint
+// and lands results in the proxy's file cache.
+class FileChannelClient {
+ public:
+  FileChannelClient(RemoteFileEndpoint& endpoint, ssh::Scp& scp,
+                    cache::FileCache& file_cache, sim::CpuPool* cpu = nullptr,
+                    ssh::GzipModel gzip = {})
+      : endpoint_(endpoint), scp_(scp), file_cache_(file_cache), cpu_(cpu), gzip_(gzip) {}
+
+  // compress@server -> SCP -> uncompress -> file cache. `cache_key` is the
+  // key under which the proxy will later look the file up.
+  Status fetch_into_cache(sim::Process& p, vfs::FileId remote_fileid, u64 cache_key);
+
+  // Reverse: compress locally, SCP push, server inflates + stores.
+  Status upload_from_cache(sim::Process& p, u64 cache_key, vfs::FileId remote_fileid,
+                           const blob::BlobRef& content);
+
+  [[nodiscard]] u64 fetches() const { return fetches_; }
+  [[nodiscard]] u64 uploads() const { return uploads_; }
+  [[nodiscard]] u64 wire_bytes() const { return wire_bytes_; }
+
+ private:
+  RemoteFileEndpoint& endpoint_;
+  ssh::Scp& scp_;
+  cache::FileCache& file_cache_;
+  sim::CpuPool* cpu_;
+  ssh::GzipModel gzip_;
+  u64 fetches_ = 0;
+  u64 uploads_ = 0;
+  u64 wire_bytes_ = 0;
+};
+
+}  // namespace gvfs::meta

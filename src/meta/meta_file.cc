@@ -1,0 +1,118 @@
+#include "meta/meta_file.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "xdr/xdr.h"
+
+namespace gvfs::meta {
+
+namespace {
+constexpr u32 kMagic = 0x47564d44;  // "GVMD"
+constexpr char kSuffix[] = ".gvfsmeta";
+}  // namespace
+
+std::vector<Action> file_channel_actions() {
+  return {Action::kCompress, Action::kRemoteCopy, Action::kUncompress,
+          Action::kReadLocally};
+}
+
+std::string MetaFile::meta_name_for(const std::string& name) {
+  return "." + name + kSuffix;
+}
+
+std::string MetaFile::meta_path_for(const std::string& path) {
+  std::string dir = path_dirname(path);
+  return join_path(dir, meta_name_for(path_basename(path)));
+}
+
+bool MetaFile::is_meta_name(const std::string& name) {
+  return name.size() > 1 && name[0] == '.' && ends_with(name, kSuffix);
+}
+
+MetaFile MetaFile::generate(const blob::Blob& content, u32 zero_block_size,
+                            std::vector<Action> actions) {
+  MetaFile m;
+  m.file_size_ = content.size();
+  m.actions_ = std::move(actions);
+  if (zero_block_size > 0 && m.file_size_ > 0) {
+    m.zero_block_size_ = zero_block_size;
+    u64 blocks = (m.file_size_ + zero_block_size - 1) / zero_block_size;
+    m.bitmap_.assign((blocks + 7) / 8, 0);
+    for (u64 b = 0; b < blocks; ++b) {
+      u64 off = b * zero_block_size;
+      u64 len = std::min<u64>(zero_block_size, m.file_size_ - off);
+      if (content.is_zero_range(off, len)) {
+        m.bitmap_[b >> 3] |= static_cast<u8>(1u << (b & 7));
+      }
+    }
+  }
+  return m;
+}
+
+bool MetaFile::block_is_zero_(u64 block) const {
+  u64 byte = block >> 3;
+  if (byte >= bitmap_.size()) return false;
+  return (bitmap_[byte] >> (block & 7)) & 1u;
+}
+
+bool MetaFile::range_is_zero(u64 offset, u64 len) const {
+  if (!has_zero_map() || len == 0) return false;
+  if (offset >= file_size_) return true;  // reads past EOF are zero anyway
+  u64 end = std::min(offset + len, file_size_);
+  u64 first = offset / zero_block_size_;
+  u64 last = (end - 1) / zero_block_size_;
+  for (u64 b = first; b <= last; ++b) {
+    if (!block_is_zero_(b)) return false;
+  }
+  return true;
+}
+
+u64 MetaFile::total_blocks() const {
+  if (!has_zero_map()) return 0;
+  return (file_size_ + zero_block_size_ - 1) / zero_block_size_;
+}
+
+u64 MetaFile::zero_block_count() const {
+  u64 n = 0;
+  for (u64 b = 0; b < total_blocks(); ++b) {
+    if (block_is_zero_(b)) ++n;
+  }
+  return n;
+}
+
+bool MetaFile::wants_file_channel() const {
+  return std::find(actions_.begin(), actions_.end(), Action::kRemoteCopy) !=
+         actions_.end();
+}
+
+blob::BlobRef MetaFile::serialize() const {
+  xdr::XdrEncoder enc;
+  enc.put_u32(kMagic);
+  enc.put_u32(1);  // version
+  enc.put_u64(file_size_);
+  enc.put_u32(zero_block_size_);
+  enc.put_opaque(bitmap_);
+  enc.put_u32(static_cast<u32>(actions_.size()));
+  for (Action a : actions_) enc.put_u32(static_cast<u32>(a));
+  return blob::make_bytes(enc.take());
+}
+
+Result<MetaFile> MetaFile::parse(const blob::Blob& raw) {
+  std::vector<u8> buf(raw.size());
+  raw.read(0, buf);
+  xdr::XdrDecoder dec(buf);
+  if (dec.get_u32() != kMagic) return err(ErrCode::kInval, "bad meta magic");
+  if (dec.get_u32() != 1) return err(ErrCode::kInval, "bad meta version");
+  MetaFile m;
+  m.file_size_ = dec.get_u64();
+  m.zero_block_size_ = dec.get_u32();
+  m.bitmap_ = dec.get_opaque();
+  u32 n = dec.get_u32();
+  if (n > 16) return err(ErrCode::kInval, "too many actions");
+  for (u32 i = 0; i < n; ++i) m.actions_.push_back(static_cast<Action>(dec.get_u32()));
+  if (!dec.ok()) return err(ErrCode::kBadXdr, "meta file");
+  return m;
+}
+
+}  // namespace gvfs::meta

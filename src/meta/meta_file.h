@@ -1,0 +1,76 @@
+// Application meta-data files (§3.2.2). Grid middleware pre-processes files
+// it understands (e.g. VM memory state) and drops a meta-data file next to
+// them ("stored in the same directory ... with a special filename"). A GVFS
+// proxy that finds one acts on it:
+//   * a zero-block map lets the client proxy satisfy reads of all-zero
+//     blocks locally (60452 of 65750 reads for a 512 MB post-boot image);
+//   * an action list (compress → remote copy → uncompress → read locally)
+//     replaces block-by-block fetch of a whole-file-needed file with one
+//     compressed SCP transfer into the proxy's file cache.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "blob/blob.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace gvfs::meta {
+
+enum class Action : u32 {
+  kCompress = 1,     // compress the file on the server
+  kRemoteCopy = 2,   // SCP the compressed image to the client
+  kUncompress = 3,   // inflate into the proxy file cache
+  kReadLocally = 4,  // serve all further requests from the file cache
+};
+
+// The standard action sequence for a whole-file-needed file.
+std::vector<Action> file_channel_actions();
+
+class MetaFile {
+ public:
+  MetaFile() = default;
+
+  // Naming convention: "/dir/f.vmss" -> "/dir/.f.vmss.gvfsmeta".
+  static std::string meta_path_for(const std::string& path);
+  static std::string meta_name_for(const std::string& name);
+  static bool is_meta_name(const std::string& name);
+
+  // Scan content and build a zero map at `block_size` granularity.
+  static MetaFile generate(const blob::Blob& content, u32 zero_block_size,
+                           std::vector<Action> actions = {});
+
+  // ---- zero map ------------------------------------------------------------
+  [[nodiscard]] bool has_zero_map() const { return zero_block_size_ != 0; }
+  [[nodiscard]] u32 zero_block_size() const { return zero_block_size_; }
+  // True iff [offset, offset+len) is covered entirely by zero blocks.
+  [[nodiscard]] bool range_is_zero(u64 offset, u64 len) const;
+  [[nodiscard]] u64 zero_block_count() const;
+  [[nodiscard]] u64 total_blocks() const;
+
+  // ---- actions ---------------------------------------------------------------
+  [[nodiscard]] const std::vector<Action>& actions() const { return actions_; }
+  [[nodiscard]] bool wants_file_channel() const;
+
+  [[nodiscard]] u64 file_size() const { return file_size_; }
+
+  // ---- codec (the meta-data file's on-disk representation) -----------------
+  [[nodiscard]] blob::BlobRef serialize() const;
+  static Result<MetaFile> parse(const blob::Blob& raw);
+
+  bool operator==(const MetaFile& o) const {
+    return file_size_ == o.file_size_ && zero_block_size_ == o.zero_block_size_ &&
+           bitmap_ == o.bitmap_ && actions_ == o.actions_;
+  }
+
+ private:
+  [[nodiscard]] bool block_is_zero_(u64 block) const;
+
+  u64 file_size_ = 0;
+  u32 zero_block_size_ = 0;
+  std::vector<u8> bitmap_;  // 1 bit per block; set = all-zero
+  std::vector<Action> actions_;
+};
+
+}  // namespace gvfs::meta

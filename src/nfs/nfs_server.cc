@@ -1,0 +1,524 @@
+#include "nfs/nfs_server.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace gvfs::nfs {
+
+namespace {
+
+// Map a Result/Status error into an NFS status word for a result body.
+NfsStat to_nfsstat(const Status& st) { return st.code(); }
+
+template <typename Res>
+rpc::MessagePtr error_res(NfsStat s) {
+  auto res = std::make_shared<Res>();
+  res->status = s;
+  return res;
+}
+
+}  // namespace
+
+NfsServer::NfsServer(sim::SimKernel& kernel, vfs::MemFs& fs, sim::DiskModel& disk,
+                     NfsServerConfig cfg)
+    : kernel_(kernel),
+      fs_(fs),
+      disk_(disk),
+      cfg_(cfg),
+      page_cache_(cfg.buffer_cache_bytes, cfg.page_size),
+      nfsd_(kernel, cfg.nfsd_threads),
+      write_verifier_(0x6776667376657266ULL) {
+  page_cache_.set_writeback(
+      [this](sim::Process& p, u64, u64, const blob::BlobRef& data) {
+        disk_.access(p, data ? data->size() : cfg_.page_size,
+                     sim::Locality::kSequential);
+      });
+}
+
+Status NfsServer::add_export(const std::string& path) {
+  GVFS_RETURN_IF_ERROR(fs_.mkdirs(path));
+  GVFS_ASSIGN_OR_RETURN(vfs::FileId id, fs_.resolve(path));
+  exports_[path] = id;
+  return Status::ok();
+}
+
+Fh NfsServer::root_fh(const std::string& export_path) {
+  auto it = exports_.find(export_path);
+  return it == exports_.end() ? Fh{} : Fh{cfg_.fsid, it->second};
+}
+
+u64 NfsServer::calls(Proc proc) const {
+  auto it = proc_calls_.find(static_cast<u32>(proc));
+  return it == proc_calls_.end() ? 0 : it->second;
+}
+
+void NfsServer::reset_stats() {
+  proc_calls_.clear();
+  total_calls_ = 0;
+  page_cache_.reset_stats();
+}
+
+PostOpAttr NfsServer::post_attr_(vfs::FileId id) {
+  PostOpAttr poa;
+  auto a = fs_.getattr(id);
+  if (a.is_ok()) poa.attr = *a;
+  return poa;
+}
+
+void NfsServer::charge_read_(sim::Process& p, vfs::FileId id, u64 file_size,
+                             u64 offset, u64 len) {
+  if (len == 0) return;
+  u64 first = offset / cfg_.page_size;
+  u64 last = (offset + len - 1) / cfg_.page_size;
+  u64 pages_per_cluster = std::max<u64>(1, cfg_.readahead_bytes / cfg_.page_size);
+  for (u64 pg = first; pg <= last; ++pg) {
+    if (page_cache_.lookup(id, pg)) continue;
+    // Miss: one disk op for the readahead cluster containing this page.
+    u64 cluster_first = pg - (pg % pages_per_cluster);
+    u64 start = cluster_first * cfg_.page_size;
+    u64 bytes = file_size > start
+                    ? std::min<u64>(cfg_.readahead_bytes, file_size - start)
+                    : cfg_.page_size;
+    auto it = last_read_page_.find(id);
+    sim::Locality loc =
+        (it != last_read_page_.end() &&
+         cluster_first >= it->second && cluster_first <= it->second + 2 * pages_per_cluster)
+            ? sim::Locality::kSequential
+            : sim::Locality::kRandom;
+    last_read_page_[id] = cluster_first;
+    disk_.access(p, bytes, loc);
+    for (u64 i = 0; i < pages_per_cluster; ++i) {
+      u64 cp = cluster_first + i;
+      u64 off = cp * cfg_.page_size;
+      if (off >= file_size && cp != pg) continue;
+      u64 n = off < file_size ? std::min<u64>(cfg_.page_size, file_size - off) : 0;
+      auto data = n > 0 ? fs_.read_ref(id, off, n) : Result<blob::BlobRef>(blob::make_zero(0));
+      page_cache_.insert(p, id, cp, data.is_ok() ? *data : blob::make_zero(0),
+                         /*dirty=*/false);
+    }
+  }
+}
+
+void NfsServer::flush_dirty_(sim::Process& p, vfs::FileId id) {
+  auto it = dirty_bytes_.find(id);
+  if (it == dirty_bytes_.end() || it->second == 0) return;
+  disk_.access(p, it->second, sim::Locality::kSequential);
+  it->second = 0;
+}
+
+rpc::RpcReply NfsServer::handle(sim::Process& p, const rpc::RpcCall& call) {
+  sim::ScopedPermit permit(p, nfsd_);
+  ++total_calls_;
+  ++proc_calls_[call.proc];
+  if (cfg_.per_op_cpu > 0) p.delay(cfg_.per_op_cpu);
+
+  if (cfg_.require_auth_unix && call.prog == rpc::kNfsProgram &&
+      call.cred.flavor != rpc::AuthFlavor::kUnix) {
+    return rpc::make_error_reply(call, err(ErrCode::kAuthError, "AUTH_UNIX required"));
+  }
+  if (authorizer_ && !authorizer_(call.cred)) {
+    return rpc::make_error_reply(call, err(ErrCode::kAuthError, "rejected by policy"));
+  }
+
+  if (call.prog == rpc::kMountProgram) return dispatch_mount_(p, call);
+  if (call.prog == rpc::kNfsProgram) return dispatch_nfs_(p, call);
+  return rpc::make_error_reply(call, err(ErrCode::kRpcMismatch, "unknown program"));
+}
+
+rpc::RpcReply NfsServer::dispatch_mount_(sim::Process&, const rpc::RpcCall& call) {
+  switch (static_cast<MountProc>(call.proc)) {
+    case MountProc::kNull:
+      return rpc::make_reply(call, std::make_shared<VoidMsg>());
+    case MountProc::kMnt: {
+      auto args = rpc::message_cast<MountArgs>(call.args);
+      if (!args) return rpc::make_error_reply(call, err(ErrCode::kBadXdr));
+      auto res = std::make_shared<MountRes>();
+      auto it = exports_.find(args->dirpath);
+      if (it == exports_.end()) {
+        res->status = NfsStat::kNoEnt;
+      } else {
+        res->root = Fh{cfg_.fsid, it->second};
+      }
+      return rpc::make_reply(call, res);
+    }
+    case MountProc::kUmnt:
+      return rpc::make_reply(call, std::make_shared<VoidMsg>());
+  }
+  return rpc::make_error_reply(call, err(ErrCode::kRpcMismatch, "bad mount proc"));
+}
+
+rpc::RpcReply NfsServer::dispatch_nfs_(sim::Process& p, const rpc::RpcCall& call) {
+  rpc::MessagePtr res;
+  switch (static_cast<Proc>(call.proc)) {
+    case Proc::kNull:
+      res = std::make_shared<VoidMsg>();
+      break;
+    case Proc::kGetattr: {
+      auto a = rpc::message_cast<GetattrArgs>(call.args);
+      res = a ? do_getattr_(*a) : nullptr;
+      break;
+    }
+    case Proc::kSetattr: {
+      auto a = rpc::message_cast<SetattrArgs>(call.args);
+      res = a ? do_setattr_(p, *a) : nullptr;
+      break;
+    }
+    case Proc::kLookup: {
+      auto a = rpc::message_cast<LookupArgs>(call.args);
+      res = a ? do_lookup_(*a) : nullptr;
+      break;
+    }
+    case Proc::kAccess: {
+      auto a = rpc::message_cast<AccessArgs>(call.args);
+      res = a ? do_access_(*a) : nullptr;
+      break;
+    }
+    case Proc::kReadlink: {
+      auto a = rpc::message_cast<ReadlinkArgs>(call.args);
+      res = a ? do_readlink_(*a) : nullptr;
+      break;
+    }
+    case Proc::kRead: {
+      auto a = rpc::message_cast<ReadArgs>(call.args);
+      res = a ? do_read_(p, *a) : nullptr;
+      break;
+    }
+    case Proc::kWrite: {
+      auto a = rpc::message_cast<WriteArgs>(call.args);
+      res = a ? do_write_(p, *a) : nullptr;
+      break;
+    }
+    case Proc::kCreate: {
+      auto a = rpc::message_cast<CreateArgs>(call.args);
+      res = a ? do_create_(*a, call.cred) : nullptr;
+      break;
+    }
+    case Proc::kMkdir: {
+      auto a = rpc::message_cast<MkdirArgs>(call.args);
+      res = a ? do_mkdir_(*a, call.cred) : nullptr;
+      break;
+    }
+    case Proc::kSymlink: {
+      auto a = rpc::message_cast<SymlinkArgs>(call.args);
+      res = a ? do_symlink_(*a) : nullptr;
+      break;
+    }
+    case Proc::kRemove: {
+      auto a = rpc::message_cast<RemoveArgs>(call.args);
+      res = a ? do_remove_(*a) : nullptr;
+      break;
+    }
+    case Proc::kRmdir: {
+      auto a = rpc::message_cast<RemoveArgs>(call.args);
+      res = a ? do_rmdir_(*a) : nullptr;
+      break;
+    }
+    case Proc::kRename: {
+      auto a = rpc::message_cast<RenameArgs>(call.args);
+      res = a ? do_rename_(*a) : nullptr;
+      break;
+    }
+    case Proc::kLink: {
+      auto a = rpc::message_cast<LinkArgs>(call.args);
+      res = a ? do_link_(*a) : nullptr;
+      break;
+    }
+    case Proc::kReaddir: {
+      auto a = rpc::message_cast<ReaddirArgs>(call.args);
+      res = a ? do_readdir_(*a) : nullptr;
+      break;
+    }
+    case Proc::kReaddirplus: {
+      auto a = rpc::message_cast<ReaddirplusArgs>(call.args);
+      res = a ? do_readdirplus_(*a) : nullptr;
+      break;
+    }
+    case Proc::kPathconf: {
+      auto a = rpc::message_cast<GetattrArgs>(call.args);
+      res = a ? do_pathconf_(*a) : nullptr;
+      break;
+    }
+    case Proc::kFsstat:
+      res = do_fsstat_();
+      break;
+    case Proc::kFsinfo:
+      res = do_fsinfo_();
+      break;
+    case Proc::kCommit: {
+      auto a = rpc::message_cast<CommitArgs>(call.args);
+      res = a ? do_commit_(p, *a) : nullptr;
+      break;
+    }
+    default:
+      return rpc::make_error_reply(call, err(ErrCode::kRpcMismatch, "bad proc"));
+  }
+  if (!res) return rpc::make_error_reply(call, err(ErrCode::kBadXdr, "bad args type"));
+  return rpc::make_reply(call, std::move(res));
+}
+
+rpc::MessagePtr NfsServer::do_getattr_(const GetattrArgs& a) {
+  auto res = std::make_shared<GetattrRes>();
+  auto attr = fs_.getattr(a.fh.fileid);
+  if (!attr.is_ok()) {
+    res->status = to_nfsstat(attr.status());
+  } else {
+    res->attr = Fattr{*attr};
+  }
+  return res;
+}
+
+rpc::MessagePtr NfsServer::do_setattr_(sim::Process& p, const SetattrArgs& a) {
+  auto res = std::make_shared<SetattrRes>();
+  // Truncation drops cached pages past EOF — cheap metadata op on disk.
+  if (a.sattr.sa.set_size) disk_.access(p, 4_KiB, sim::Locality::kSequential);
+  Status st = fs_.setattr(a.fh.fileid, a.sattr.sa);
+  res->status = to_nfsstat(st);
+  res->attr = post_attr_(a.fh.fileid);
+  return res;
+}
+
+rpc::MessagePtr NfsServer::do_lookup_(const LookupArgs& a) {
+  auto res = std::make_shared<LookupRes>();
+  auto id = fs_.lookup(a.dir.fileid, a.name);
+  if (!id.is_ok()) {
+    res->status = to_nfsstat(id.status());
+  } else {
+    res->fh = Fh{cfg_.fsid, *id};
+    res->obj_attr = post_attr_(*id);
+  }
+  res->dir_attr = post_attr_(a.dir.fileid);
+  return res;
+}
+
+rpc::MessagePtr NfsServer::do_access_(const AccessArgs& a) {
+  auto res = std::make_shared<AccessRes>();
+  auto attr = fs_.getattr(a.fh.fileid);
+  if (!attr.is_ok()) {
+    res->status = to_nfsstat(attr.status());
+  } else {
+    res->attr.attr = *attr;
+    res->access = a.access;  // permissive export
+  }
+  return res;
+}
+
+rpc::MessagePtr NfsServer::do_readlink_(const ReadlinkArgs& a) {
+  auto res = std::make_shared<ReadlinkRes>();
+  auto target = fs_.readlink(a.fh.fileid);
+  if (!target.is_ok()) {
+    res->status = to_nfsstat(target.status());
+  } else {
+    res->target = *target;
+  }
+  res->attr = post_attr_(a.fh.fileid);
+  return res;
+}
+
+rpc::MessagePtr NfsServer::do_read_(sim::Process& p, const ReadArgs& a) {
+  auto res = std::make_shared<ReadRes>();
+  auto attr = fs_.getattr(a.fh.fileid);
+  if (!attr.is_ok()) {
+    res->status = to_nfsstat(attr.status());
+    return res;
+  }
+  if (attr->type != vfs::FileType::kRegular) {
+    res->status = NfsStat::kIsDir;
+    return res;
+  }
+  u32 count = std::min(a.count, cfg_.max_io);
+  u64 n = a.offset >= attr->size ? 0 : std::min<u64>(count, attr->size - a.offset);
+  charge_read_(p, a.fh.fileid, attr->size, a.offset, n);
+  auto data = n > 0 ? fs_.read_ref(a.fh.fileid, a.offset, n)
+                    : Result<blob::BlobRef>(blob::make_zero(0));
+  if (!data.is_ok()) {
+    res->status = to_nfsstat(data.status());
+    return res;
+  }
+  res->count = static_cast<u32>(n);
+  res->eof = a.offset + n >= attr->size;
+  res->data = *data;
+  res->attr.attr = *attr;
+  return res;
+}
+
+rpc::MessagePtr NfsServer::do_write_(sim::Process& p, const WriteArgs& a) {
+  auto res = std::make_shared<WriteRes>();
+  u32 count = std::min(a.count, cfg_.max_io);
+  if (!a.data || a.data->size() < count) {
+    res->status = NfsStat::kInval;
+    return res;
+  }
+  Status st = fs_.write_blob(a.fh.fileid, a.offset, a.data, 0, count);
+  if (!st.is_ok()) {
+    res->status = to_nfsstat(st);
+    return res;
+  }
+  dirty_bytes_[a.fh.fileid] += count;
+  if (a.stable != StableHow::kUnstable) {
+    flush_dirty_(p, a.fh.fileid);
+    res->committed = StableHow::kFileSync;
+  } else {
+    res->committed = StableHow::kUnstable;
+  }
+  res->count = count;
+  res->verifier = write_verifier_;
+  res->attr = post_attr_(a.fh.fileid);
+  return res;
+}
+
+rpc::MessagePtr NfsServer::do_create_(const CreateArgs& a, const rpc::Credential& cred) {
+  auto res = std::make_shared<CreateRes>();
+  auto id = fs_.create(a.dir.fileid, a.name,
+                       a.sattr.sa.set_mode ? a.sattr.sa.mode : 0644, cred.uid,
+                       cred.gid);
+  if (!id.is_ok()) {
+    res->status = to_nfsstat(id.status());
+    return res;
+  }
+  res->fh = Fh{cfg_.fsid, *id};
+  res->attr = post_attr_(*id);
+  return res;
+}
+
+rpc::MessagePtr NfsServer::do_mkdir_(const MkdirArgs& a, const rpc::Credential& cred) {
+  auto res = std::make_shared<MkdirRes>();
+  auto id = fs_.mkdir(a.dir.fileid, a.name,
+                      a.sattr.sa.set_mode ? a.sattr.sa.mode : 0755, cred.uid,
+                      cred.gid);
+  if (!id.is_ok()) {
+    res->status = to_nfsstat(id.status());
+    return res;
+  }
+  res->fh = Fh{cfg_.fsid, *id};
+  res->attr = post_attr_(*id);
+  return res;
+}
+
+rpc::MessagePtr NfsServer::do_symlink_(const SymlinkArgs& a) {
+  auto res = std::make_shared<SymlinkRes>();
+  auto id = fs_.symlink(a.dir.fileid, a.name, a.target);
+  if (!id.is_ok()) {
+    res->status = to_nfsstat(id.status());
+    return res;
+  }
+  res->fh = Fh{cfg_.fsid, *id};
+  res->attr = post_attr_(*id);
+  return res;
+}
+
+rpc::MessagePtr NfsServer::do_remove_(const RemoveArgs& a) {
+  auto res = std::make_shared<RemoveRes>();
+  res->status = to_nfsstat(fs_.remove(a.dir.fileid, a.name));
+  res->dir_attr = post_attr_(a.dir.fileid);
+  return res;
+}
+
+rpc::MessagePtr NfsServer::do_rmdir_(const RemoveArgs& a) {
+  auto res = std::make_shared<RemoveRes>();
+  res->status = to_nfsstat(fs_.rmdir(a.dir.fileid, a.name));
+  res->dir_attr = post_attr_(a.dir.fileid);
+  return res;
+}
+
+rpc::MessagePtr NfsServer::do_rename_(const RenameArgs& a) {
+  auto res = std::make_shared<RenameRes>();
+  res->status = to_nfsstat(
+      fs_.rename(a.from_dir.fileid, a.from_name, a.to_dir.fileid, a.to_name));
+  res->dir_attr = post_attr_(a.to_dir.fileid);
+  return res;
+}
+
+rpc::MessagePtr NfsServer::do_link_(const LinkArgs& a) {
+  auto res = std::make_shared<LinkRes>();
+  res->status = to_nfsstat(fs_.link(a.file.fileid, a.dir.fileid, a.name));
+  res->file_attr = post_attr_(a.file.fileid);
+  res->dir_attr = post_attr_(a.dir.fileid);
+  return res;
+}
+
+rpc::MessagePtr NfsServer::do_readdirplus_(const ReaddirplusArgs& a) {
+  auto res = std::make_shared<ReaddirplusRes>();
+  auto entries = fs_.readdir(a.dir.fileid);
+  if (!entries.is_ok()) {
+    res->status = to_nfsstat(entries.status());
+    return res;
+  }
+  u64 budget = a.maxcount > 1_KiB ? a.maxcount - 512 : 512;
+  u64 used = 0;
+  for (u64 i = a.cookie; i < entries->size(); ++i) {
+    const auto& e = (*entries)[i];
+    u64 entry_size = 4 + 8 + xdr::size_string(e.name.size()) + 8 +
+                     Fattr::wire_size() + 8 + Fh::wire_size();
+    if (used + entry_size > budget && !res->entries.empty()) {
+      res->eof = false;
+      break;
+    }
+    used += entry_size;
+    ReaddirplusRes::Entry out;
+    out.fileid = e.id;
+    out.name = e.name;
+    out.cookie = i + 1;
+    out.fh = Fh{cfg_.fsid, e.id};
+    out.attr = post_attr_(e.id);
+    res->entries.push_back(std::move(out));
+  }
+  res->dir_attr = post_attr_(a.dir.fileid);
+  return res;
+}
+
+rpc::MessagePtr NfsServer::do_pathconf_(const GetattrArgs& a) {
+  auto res = std::make_shared<PathconfRes>();
+  res->attr = post_attr_(a.fh.fileid);
+  return res;
+}
+
+rpc::MessagePtr NfsServer::do_readdir_(const ReaddirArgs& a) {
+  auto res = std::make_shared<ReaddirRes>();
+  auto entries = fs_.readdir(a.dir.fileid);
+  if (!entries.is_ok()) {
+    res->status = to_nfsstat(entries.status());
+    return res;
+  }
+  // Cookie = index into the stable (sorted) child list.
+  u64 cookie = a.cookie;
+  u64 budget = a.max_count > 512 ? a.max_count - 256 : 256;  // header slack
+  u64 used = 0;
+  for (u64 i = cookie; i < entries->size(); ++i) {
+    const auto& e = (*entries)[i];
+    u64 entry_size = 4 + 8 + xdr::size_string(e.name.size()) + 8;
+    if (used + entry_size > budget && !res->entries.empty()) {
+      res->eof = false;
+      break;
+    }
+    used += entry_size;
+    res->entries.push_back(ReaddirRes::Entry{e.id, e.name, i + 1});
+  }
+  res->dir_attr = post_attr_(a.dir.fileid);
+  return res;
+}
+
+rpc::MessagePtr NfsServer::do_fsstat_() {
+  auto res = std::make_shared<FsstatRes>();
+  res->total_bytes = 576_GiB;
+  res->free_bytes = 500_GiB;
+  res->total_files = fs_.inode_count();
+  return res;
+}
+
+rpc::MessagePtr NfsServer::do_fsinfo_() {
+  auto res = std::make_shared<FsinfoRes>();
+  res->rtmax = res->rtpref = cfg_.max_io;
+  res->wtmax = res->wtpref = cfg_.max_io;
+  return res;
+}
+
+rpc::MessagePtr NfsServer::do_commit_(sim::Process& p, const CommitArgs& a) {
+  auto res = std::make_shared<CommitRes>();
+  flush_dirty_(p, a.fh.fileid);
+  res->verifier = write_verifier_;
+  res->attr = post_attr_(a.fh.fileid);
+  return res;
+}
+
+}  // namespace gvfs::nfs

@@ -1,0 +1,107 @@
+// Kernel NFS server model: services NFSv3 and MOUNT RPCs against a MemFs
+// export, charging CPU per operation and disk time through a server-side
+// page cache. Concurrency is bounded by an nfsd thread pool (semaphore), so
+// eight parallel cloning clients queue here exactly as they would on a real
+// image server.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "nfs/nfs_types.h"
+#include "rpc/rpc.h"
+#include "sim/resources.h"
+#include "vfs/buffer_cache.h"
+#include "vfs/memfs.h"
+
+namespace gvfs::nfs {
+
+struct NfsServerConfig {
+  u32 fsid = 1;
+  u32 max_io = kMaxBlockSize;                  // rtmax/wtmax advertised
+  SimDuration per_op_cpu = 80 * kMicrosecond;  // service CPU per RPC
+  u64 buffer_cache_bytes = 700_MiB;            // page cache share of RAM
+  u32 page_size = 8_KiB;
+  u64 readahead_bytes = 64_KiB;
+  int nfsd_threads = 8;
+  bool require_auth_unix = true;
+};
+
+class NfsServer final : public rpc::RpcHandler {
+ public:
+  NfsServer(sim::SimKernel& kernel, vfs::MemFs& fs, sim::DiskModel& disk,
+            NfsServerConfig cfg = {});
+
+  // Register an exported directory (created if missing). MOUNT requests for
+  // other paths are rejected.
+  Status add_export(const std::string& path);
+
+  // Optional policy hook: return false to reject a credential (AUTH_ERROR).
+  void set_authorizer(std::function<bool(const rpc::Credential&)> fn) {
+    authorizer_ = std::move(fn);
+  }
+
+  rpc::RpcReply handle(sim::Process& p, const rpc::RpcCall& call) override;
+
+  [[nodiscard]] Fh root_fh(const std::string& export_path);
+  [[nodiscard]] Fh fh_of(vfs::FileId id) const { return Fh{cfg_.fsid, id}; }
+  [[nodiscard]] vfs::MemFs& fs() { return fs_; }
+  [[nodiscard]] vfs::BufferCache& page_cache() { return page_cache_; }
+
+  // Per-procedure call counters (experiment observability).
+  [[nodiscard]] u64 calls(Proc proc) const;
+  [[nodiscard]] u64 total_calls() const { return total_calls_; }
+  void reset_stats();
+
+  // Drop the server page cache (cold experiment start).
+  void drop_caches() { page_cache_.drop_all(); }
+
+ private:
+  rpc::RpcReply dispatch_nfs_(sim::Process& p, const rpc::RpcCall& call);
+  rpc::RpcReply dispatch_mount_(sim::Process& p, const rpc::RpcCall& call);
+
+  rpc::MessagePtr do_getattr_(const GetattrArgs& a);
+  rpc::MessagePtr do_setattr_(sim::Process& p, const SetattrArgs& a);
+  rpc::MessagePtr do_lookup_(const LookupArgs& a);
+  rpc::MessagePtr do_access_(const AccessArgs& a);
+  rpc::MessagePtr do_readlink_(const ReadlinkArgs& a);
+  rpc::MessagePtr do_read_(sim::Process& p, const ReadArgs& a);
+  rpc::MessagePtr do_write_(sim::Process& p, const WriteArgs& a);
+  rpc::MessagePtr do_create_(const CreateArgs& a, const rpc::Credential& cred);
+  rpc::MessagePtr do_mkdir_(const MkdirArgs& a, const rpc::Credential& cred);
+  rpc::MessagePtr do_symlink_(const SymlinkArgs& a);
+  rpc::MessagePtr do_remove_(const RemoveArgs& a);
+  rpc::MessagePtr do_rmdir_(const RemoveArgs& a);
+  rpc::MessagePtr do_rename_(const RenameArgs& a);
+  rpc::MessagePtr do_link_(const LinkArgs& a);
+  rpc::MessagePtr do_readdir_(const ReaddirArgs& a);
+  rpc::MessagePtr do_readdirplus_(const ReaddirplusArgs& a);
+  rpc::MessagePtr do_pathconf_(const GetattrArgs& a);
+  rpc::MessagePtr do_fsstat_();
+  rpc::MessagePtr do_fsinfo_();
+  rpc::MessagePtr do_commit_(sim::Process& p, const CommitArgs& a);
+
+  PostOpAttr post_attr_(vfs::FileId id);
+  // Timed page-cache read of [offset, offset+len) from file `id`.
+  void charge_read_(sim::Process& p, vfs::FileId id, u64 file_size, u64 offset,
+                    u64 len);
+  // Flush dirty byte accounting for a file to disk.
+  void flush_dirty_(sim::Process& p, vfs::FileId id);
+
+  sim::SimKernel& kernel_;
+  vfs::MemFs& fs_;
+  sim::DiskModel& disk_;
+  NfsServerConfig cfg_;
+  vfs::BufferCache page_cache_;
+  sim::Semaphore nfsd_;
+  std::function<bool(const rpc::Credential&)> authorizer_;
+  std::unordered_map<std::string, vfs::FileId> exports_;
+  std::unordered_map<vfs::FileId, u64> dirty_bytes_;
+  std::unordered_map<vfs::FileId, u64> last_read_page_;
+  std::unordered_map<u32, u64> proc_calls_;
+  u64 total_calls_ = 0;
+  u64 write_verifier_;
+};
+
+}  // namespace gvfs::nfs

@@ -1,0 +1,816 @@
+#include "nfs/nfs_types.h"
+
+namespace gvfs::nfs {
+
+namespace {
+
+void put_time(xdr::XdrEncoder& enc, SimTime t) {
+  enc.put_u32(static_cast<u32>(t / kSecond));
+  enc.put_u32(static_cast<u32>(t % kSecond));
+}
+
+SimTime get_time(xdr::XdrDecoder& dec) {
+  u64 sec = dec.get_u32();
+  u64 nsec = dec.get_u32();
+  return static_cast<SimTime>(sec * kSecond + nsec);
+}
+
+void put_status(xdr::XdrEncoder& enc, NfsStat s) {
+  enc.put_u32(static_cast<u32>(s));
+}
+
+NfsStat get_status(xdr::XdrDecoder& dec) {
+  return static_cast<NfsStat>(dec.get_u32());
+}
+
+// Materialize a lazy payload for true wire encoding (tests only; the
+// simulation transport never calls encode on the hot path).
+void put_payload(xdr::XdrEncoder& enc, const blob::BlobRef& data, u32 count) {
+  std::vector<u8> buf(count);
+  if (data && count > 0) data->read(0, buf);
+  enc.put_opaque(buf);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------- Fh --
+
+void Fh::encode(xdr::XdrEncoder& enc) const {
+  xdr::XdrEncoder body;
+  body.put_u64(fsid);
+  body.put_u64(fileid);
+  enc.put_opaque(body.bytes());
+}
+
+Result<Fh> Fh::decode(xdr::XdrDecoder& dec) {
+  std::vector<u8> raw = dec.get_opaque();
+  if (!dec.ok() || raw.size() != 16) return err(ErrCode::kBadXdr, "fhandle");
+  xdr::XdrDecoder b(raw);
+  Fh fh;
+  fh.fsid = b.get_u64();
+  fh.fileid = b.get_u64();
+  return fh;
+}
+
+// ------------------------------------------------------------------- Fattr --
+
+void Fattr::encode(xdr::XdrEncoder& enc) const {
+  enc.put_u32(static_cast<u32>(a.type));
+  enc.put_u32(a.mode);
+  enc.put_u32(a.nlink);
+  enc.put_u32(a.uid);
+  enc.put_u32(a.gid);
+  enc.put_u64(a.size);
+  enc.put_u64(a.size);  // "used"
+  enc.put_u64(0);       // rdev
+  enc.put_u64(1);       // fsid
+  enc.put_u64(a.fileid);
+  put_time(enc, a.atime);
+  put_time(enc, a.mtime);
+  put_time(enc, a.ctime);
+}
+
+Result<Fattr> Fattr::decode(xdr::XdrDecoder& dec) {
+  Fattr f;
+  f.a.type = static_cast<vfs::FileType>(dec.get_u32());
+  f.a.mode = dec.get_u32();
+  f.a.nlink = dec.get_u32();
+  f.a.uid = dec.get_u32();
+  f.a.gid = dec.get_u32();
+  f.a.size = dec.get_u64();
+  dec.get_u64();  // used
+  dec.get_u64();  // rdev
+  dec.get_u64();  // fsid
+  f.a.fileid = dec.get_u64();
+  f.a.atime = get_time(dec);
+  f.a.mtime = get_time(dec);
+  f.a.ctime = get_time(dec);
+  if (!dec.ok()) return err(ErrCode::kBadXdr, "fattr3");
+  return f;
+}
+
+void PostOpAttr::encode(xdr::XdrEncoder& enc) const {
+  enc.put_bool(attr.has_value());
+  if (attr) Fattr{*attr}.encode(enc);
+}
+
+Result<PostOpAttr> PostOpAttr::decode(xdr::XdrDecoder& dec) {
+  PostOpAttr p;
+  if (dec.get_bool()) {
+    GVFS_ASSIGN_OR_RETURN(Fattr f, Fattr::decode(dec));
+    p.attr = f.a;
+  }
+  if (!dec.ok()) return err(ErrCode::kBadXdr, "post_op_attr");
+  return p;
+}
+
+// ------------------------------------------------------------------- Sattr --
+
+u64 Sattr::wire_size() const {
+  u64 n = 0;
+  n += xdr::size_bool() + (sa.set_mode ? xdr::size_u32() : 0);
+  n += xdr::size_bool() + (sa.set_uid ? xdr::size_u32() : 0);
+  n += xdr::size_bool() + (sa.set_gid ? xdr::size_u32() : 0);
+  n += xdr::size_bool() + (sa.set_size ? xdr::size_u64() : 0);
+  n += xdr::size_u32();  // atime: DONT_CHANGE
+  n += xdr::size_u32() + (sa.set_mtime ? 8 : 0);
+  return n;
+}
+
+void Sattr::encode(xdr::XdrEncoder& enc) const {
+  enc.put_bool(sa.set_mode);
+  if (sa.set_mode) enc.put_u32(sa.mode);
+  enc.put_bool(sa.set_uid);
+  if (sa.set_uid) enc.put_u32(sa.uid);
+  enc.put_bool(sa.set_gid);
+  if (sa.set_gid) enc.put_u32(sa.gid);
+  enc.put_bool(sa.set_size);
+  if (sa.set_size) enc.put_u64(sa.size);
+  enc.put_u32(0);  // atime DONT_CHANGE
+  enc.put_u32(sa.set_mtime ? 2 : 0);  // SET_TO_CLIENT_TIME
+  if (sa.set_mtime) put_time(enc, sa.mtime);
+}
+
+Result<Sattr> Sattr::decode(xdr::XdrDecoder& dec) {
+  Sattr s;
+  s.sa.set_mode = dec.get_bool();
+  if (s.sa.set_mode) s.sa.mode = dec.get_u32();
+  s.sa.set_uid = dec.get_bool();
+  if (s.sa.set_uid) s.sa.uid = dec.get_u32();
+  s.sa.set_gid = dec.get_bool();
+  if (s.sa.set_gid) s.sa.gid = dec.get_u32();
+  s.sa.set_size = dec.get_bool();
+  if (s.sa.set_size) s.sa.size = dec.get_u64();
+  dec.get_u32();  // atime mode
+  u32 mtime_mode = dec.get_u32();
+  s.sa.set_mtime = mtime_mode == 2;
+  if (s.sa.set_mtime) s.sa.mtime = get_time(dec);
+  if (!dec.ok()) return err(ErrCode::kBadXdr, "sattr3");
+  return s;
+}
+
+// --------------------------------------------------------------- Getattr ----
+
+Result<GetattrArgs> GetattrArgs::decode(xdr::XdrDecoder& dec) {
+  GetattrArgs a;
+  GVFS_ASSIGN_OR_RETURN(a.fh, Fh::decode(dec));
+  return a;
+}
+
+void GetattrRes::encode(xdr::XdrEncoder& enc) const {
+  put_status(enc, status);
+  if (status == NfsStat::kOk) attr.encode(enc);
+}
+
+Result<GetattrRes> GetattrRes::decode(xdr::XdrDecoder& dec) {
+  GetattrRes r;
+  r.status = get_status(dec);
+  if (r.status == NfsStat::kOk) {
+    GVFS_ASSIGN_OR_RETURN(r.attr, Fattr::decode(dec));
+  }
+  return r;
+}
+
+// --------------------------------------------------------------- Setattr ----
+
+void SetattrArgs::encode(xdr::XdrEncoder& enc) const {
+  fh.encode(enc);
+  sattr.encode(enc);
+  enc.put_bool(false);  // no guard
+}
+
+Result<SetattrArgs> SetattrArgs::decode(xdr::XdrDecoder& dec) {
+  SetattrArgs a;
+  GVFS_ASSIGN_OR_RETURN(a.fh, Fh::decode(dec));
+  GVFS_ASSIGN_OR_RETURN(a.sattr, Sattr::decode(dec));
+  dec.get_bool();
+  if (!dec.ok()) return err(ErrCode::kBadXdr, "setattr args");
+  return a;
+}
+
+void SetattrRes::encode(xdr::XdrEncoder& enc) const {
+  put_status(enc, status);
+  attr.encode(enc);
+}
+
+Result<SetattrRes> SetattrRes::decode(xdr::XdrDecoder& dec) {
+  SetattrRes r;
+  r.status = get_status(dec);
+  GVFS_ASSIGN_OR_RETURN(r.attr, PostOpAttr::decode(dec));
+  return r;
+}
+
+// ---------------------------------------------------------------- Lookup ----
+
+void LookupArgs::encode(xdr::XdrEncoder& enc) const {
+  dir.encode(enc);
+  enc.put_string(name);
+}
+
+Result<LookupArgs> LookupArgs::decode(xdr::XdrDecoder& dec) {
+  LookupArgs a;
+  GVFS_ASSIGN_OR_RETURN(a.dir, Fh::decode(dec));
+  a.name = dec.get_string();
+  if (!dec.ok()) return err(ErrCode::kBadXdr, "lookup args");
+  return a;
+}
+
+void LookupRes::encode(xdr::XdrEncoder& enc) const {
+  put_status(enc, status);
+  if (status == NfsStat::kOk) {
+    fh.encode(enc);
+    obj_attr.encode(enc);
+  }
+  dir_attr.encode(enc);
+}
+
+Result<LookupRes> LookupRes::decode(xdr::XdrDecoder& dec) {
+  LookupRes r;
+  r.status = get_status(dec);
+  if (r.status == NfsStat::kOk) {
+    GVFS_ASSIGN_OR_RETURN(r.fh, Fh::decode(dec));
+    GVFS_ASSIGN_OR_RETURN(r.obj_attr, PostOpAttr::decode(dec));
+  }
+  GVFS_ASSIGN_OR_RETURN(r.dir_attr, PostOpAttr::decode(dec));
+  return r;
+}
+
+// ---------------------------------------------------------------- Access ----
+
+void AccessArgs::encode(xdr::XdrEncoder& enc) const {
+  fh.encode(enc);
+  enc.put_u32(access);
+}
+
+Result<AccessArgs> AccessArgs::decode(xdr::XdrDecoder& dec) {
+  AccessArgs a;
+  GVFS_ASSIGN_OR_RETURN(a.fh, Fh::decode(dec));
+  a.access = dec.get_u32();
+  if (!dec.ok()) return err(ErrCode::kBadXdr, "access args");
+  return a;
+}
+
+void AccessRes::encode(xdr::XdrEncoder& enc) const {
+  put_status(enc, status);
+  attr.encode(enc);
+  if (status == NfsStat::kOk) enc.put_u32(access);
+}
+
+Result<AccessRes> AccessRes::decode(xdr::XdrDecoder& dec) {
+  AccessRes r;
+  r.status = get_status(dec);
+  GVFS_ASSIGN_OR_RETURN(r.attr, PostOpAttr::decode(dec));
+  if (r.status == NfsStat::kOk) r.access = dec.get_u32();
+  if (!dec.ok()) return err(ErrCode::kBadXdr, "access res");
+  return r;
+}
+
+// -------------------------------------------------------------- Readlink ----
+
+Result<ReadlinkArgs> ReadlinkArgs::decode(xdr::XdrDecoder& dec) {
+  ReadlinkArgs a;
+  GVFS_ASSIGN_OR_RETURN(a.fh, Fh::decode(dec));
+  return a;
+}
+
+void ReadlinkRes::encode(xdr::XdrEncoder& enc) const {
+  put_status(enc, status);
+  attr.encode(enc);
+  if (status == NfsStat::kOk) enc.put_string(target);
+}
+
+Result<ReadlinkRes> ReadlinkRes::decode(xdr::XdrDecoder& dec) {
+  ReadlinkRes r;
+  r.status = get_status(dec);
+  GVFS_ASSIGN_OR_RETURN(r.attr, PostOpAttr::decode(dec));
+  if (r.status == NfsStat::kOk) r.target = dec.get_string();
+  if (!dec.ok()) return err(ErrCode::kBadXdr, "readlink res");
+  return r;
+}
+
+// ------------------------------------------------------------------ Read ----
+
+void ReadArgs::encode(xdr::XdrEncoder& enc) const {
+  fh.encode(enc);
+  enc.put_u64(offset);
+  enc.put_u32(count);
+}
+
+Result<ReadArgs> ReadArgs::decode(xdr::XdrDecoder& dec) {
+  ReadArgs a;
+  GVFS_ASSIGN_OR_RETURN(a.fh, Fh::decode(dec));
+  a.offset = dec.get_u64();
+  a.count = dec.get_u32();
+  if (!dec.ok()) return err(ErrCode::kBadXdr, "read args");
+  return a;
+}
+
+void ReadRes::encode(xdr::XdrEncoder& enc) const {
+  put_status(enc, status);
+  attr.encode(enc);
+  if (status == NfsStat::kOk) {
+    enc.put_u32(count);
+    enc.put_bool(eof);
+    put_payload(enc, data, count);
+  }
+}
+
+Result<ReadRes> ReadRes::decode(xdr::XdrDecoder& dec) {
+  ReadRes r;
+  r.status = get_status(dec);
+  GVFS_ASSIGN_OR_RETURN(r.attr, PostOpAttr::decode(dec));
+  if (r.status == NfsStat::kOk) {
+    r.count = dec.get_u32();
+    r.eof = dec.get_bool();
+    std::vector<u8> raw = dec.get_opaque();
+    if (!dec.ok() || raw.size() != r.count) return err(ErrCode::kBadXdr, "read data");
+    r.data = blob::make_bytes(std::move(raw));
+  }
+  return r;
+}
+
+// ----------------------------------------------------------------- Write ----
+
+void WriteArgs::encode(xdr::XdrEncoder& enc) const {
+  fh.encode(enc);
+  enc.put_u64(offset);
+  enc.put_u32(count);
+  enc.put_u32(static_cast<u32>(stable));
+  put_payload(enc, data, count);
+}
+
+Result<WriteArgs> WriteArgs::decode(xdr::XdrDecoder& dec) {
+  WriteArgs a;
+  GVFS_ASSIGN_OR_RETURN(a.fh, Fh::decode(dec));
+  a.offset = dec.get_u64();
+  a.count = dec.get_u32();
+  a.stable = static_cast<StableHow>(dec.get_u32());
+  std::vector<u8> raw = dec.get_opaque();
+  if (!dec.ok() || raw.size() != a.count) return err(ErrCode::kBadXdr, "write data");
+  a.data = blob::make_bytes(std::move(raw));
+  return a;
+}
+
+void WriteRes::encode(xdr::XdrEncoder& enc) const {
+  put_status(enc, status);
+  attr.encode(enc);
+  if (status == NfsStat::kOk) {
+    enc.put_u32(count);
+    enc.put_u32(static_cast<u32>(committed));
+    enc.put_u64(verifier);
+  }
+}
+
+Result<WriteRes> WriteRes::decode(xdr::XdrDecoder& dec) {
+  WriteRes r;
+  r.status = get_status(dec);
+  GVFS_ASSIGN_OR_RETURN(r.attr, PostOpAttr::decode(dec));
+  if (r.status == NfsStat::kOk) {
+    r.count = dec.get_u32();
+    r.committed = static_cast<StableHow>(dec.get_u32());
+    r.verifier = dec.get_u64();
+  }
+  if (!dec.ok()) return err(ErrCode::kBadXdr, "write res");
+  return r;
+}
+
+// ---------------------------------------------------------------- Create ----
+
+void CreateArgs::encode(xdr::XdrEncoder& enc) const {
+  dir.encode(enc);
+  enc.put_string(name);
+  enc.put_u32(0);  // UNCHECKED
+  sattr.encode(enc);
+}
+
+Result<CreateArgs> CreateArgs::decode(xdr::XdrDecoder& dec) {
+  CreateArgs a;
+  GVFS_ASSIGN_OR_RETURN(a.dir, Fh::decode(dec));
+  a.name = dec.get_string();
+  dec.get_u32();
+  GVFS_ASSIGN_OR_RETURN(a.sattr, Sattr::decode(dec));
+  if (!dec.ok()) return err(ErrCode::kBadXdr, "create args");
+  return a;
+}
+
+void CreateRes::encode(xdr::XdrEncoder& enc) const {
+  put_status(enc, status);
+  if (status == NfsStat::kOk) {
+    enc.put_bool(true);
+    fh.encode(enc);
+    attr.encode(enc);
+  }
+}
+
+Result<CreateRes> CreateRes::decode(xdr::XdrDecoder& dec) {
+  CreateRes r;
+  r.status = get_status(dec);
+  if (r.status == NfsStat::kOk) {
+    dec.get_bool();
+    GVFS_ASSIGN_OR_RETURN(r.fh, Fh::decode(dec));
+    GVFS_ASSIGN_OR_RETURN(r.attr, PostOpAttr::decode(dec));
+  }
+  return r;
+}
+
+// ----------------------------------------------------------------- Mkdir ----
+
+void MkdirArgs::encode(xdr::XdrEncoder& enc) const {
+  dir.encode(enc);
+  enc.put_string(name);
+  sattr.encode(enc);
+}
+
+Result<MkdirArgs> MkdirArgs::decode(xdr::XdrDecoder& dec) {
+  MkdirArgs a;
+  GVFS_ASSIGN_OR_RETURN(a.dir, Fh::decode(dec));
+  a.name = dec.get_string();
+  GVFS_ASSIGN_OR_RETURN(a.sattr, Sattr::decode(dec));
+  if (!dec.ok()) return err(ErrCode::kBadXdr, "mkdir args");
+  return a;
+}
+
+// --------------------------------------------------------------- Symlink ----
+
+void SymlinkArgs::encode(xdr::XdrEncoder& enc) const {
+  dir.encode(enc);
+  enc.put_string(name);
+  enc.put_string(target);
+}
+
+Result<SymlinkArgs> SymlinkArgs::decode(xdr::XdrDecoder& dec) {
+  SymlinkArgs a;
+  GVFS_ASSIGN_OR_RETURN(a.dir, Fh::decode(dec));
+  a.name = dec.get_string();
+  a.target = dec.get_string();
+  if (!dec.ok()) return err(ErrCode::kBadXdr, "symlink args");
+  return a;
+}
+
+// ---------------------------------------------------------------- Remove ----
+
+void RemoveArgs::encode(xdr::XdrEncoder& enc) const {
+  dir.encode(enc);
+  enc.put_string(name);
+}
+
+Result<RemoveArgs> RemoveArgs::decode(xdr::XdrDecoder& dec) {
+  RemoveArgs a;
+  GVFS_ASSIGN_OR_RETURN(a.dir, Fh::decode(dec));
+  a.name = dec.get_string();
+  if (!dec.ok()) return err(ErrCode::kBadXdr, "remove args");
+  return a;
+}
+
+void RemoveRes::encode(xdr::XdrEncoder& enc) const {
+  put_status(enc, status);
+  dir_attr.encode(enc);
+}
+
+Result<RemoveRes> RemoveRes::decode(xdr::XdrDecoder& dec) {
+  RemoveRes r;
+  r.status = get_status(dec);
+  GVFS_ASSIGN_OR_RETURN(r.dir_attr, PostOpAttr::decode(dec));
+  return r;
+}
+
+// ---------------------------------------------------------------- Rename ----
+
+void RenameArgs::encode(xdr::XdrEncoder& enc) const {
+  from_dir.encode(enc);
+  enc.put_string(from_name);
+  to_dir.encode(enc);
+  enc.put_string(to_name);
+}
+
+Result<RenameArgs> RenameArgs::decode(xdr::XdrDecoder& dec) {
+  RenameArgs a;
+  GVFS_ASSIGN_OR_RETURN(a.from_dir, Fh::decode(dec));
+  a.from_name = dec.get_string();
+  GVFS_ASSIGN_OR_RETURN(a.to_dir, Fh::decode(dec));
+  a.to_name = dec.get_string();
+  if (!dec.ok()) return err(ErrCode::kBadXdr, "rename args");
+  return a;
+}
+
+// ------------------------------------------------------------------ Link ----
+
+void LinkArgs::encode(xdr::XdrEncoder& enc) const {
+  file.encode(enc);
+  dir.encode(enc);
+  enc.put_string(name);
+}
+
+Result<LinkArgs> LinkArgs::decode(xdr::XdrDecoder& dec) {
+  LinkArgs a;
+  GVFS_ASSIGN_OR_RETURN(a.file, Fh::decode(dec));
+  GVFS_ASSIGN_OR_RETURN(a.dir, Fh::decode(dec));
+  a.name = dec.get_string();
+  if (!dec.ok()) return err(ErrCode::kBadXdr, "link args");
+  return a;
+}
+
+void LinkRes::encode(xdr::XdrEncoder& enc) const {
+  put_status(enc, status);
+  file_attr.encode(enc);
+  dir_attr.encode(enc);
+}
+
+Result<LinkRes> LinkRes::decode(xdr::XdrDecoder& dec) {
+  LinkRes r;
+  r.status = get_status(dec);
+  GVFS_ASSIGN_OR_RETURN(r.file_attr, PostOpAttr::decode(dec));
+  GVFS_ASSIGN_OR_RETURN(r.dir_attr, PostOpAttr::decode(dec));
+  return r;
+}
+
+// --------------------------------------------------------------- Readdir ----
+
+void ReaddirArgs::encode(xdr::XdrEncoder& enc) const {
+  dir.encode(enc);
+  enc.put_u64(cookie);
+  enc.put_u64(0);  // cookie verifier
+  enc.put_u32(max_count);
+}
+
+Result<ReaddirArgs> ReaddirArgs::decode(xdr::XdrDecoder& dec) {
+  ReaddirArgs a;
+  GVFS_ASSIGN_OR_RETURN(a.dir, Fh::decode(dec));
+  a.cookie = dec.get_u64();
+  dec.get_u64();
+  a.max_count = dec.get_u32();
+  if (!dec.ok()) return err(ErrCode::kBadXdr, "readdir args");
+  return a;
+}
+
+u64 ReaddirRes::wire_size() const {
+  u64 n = xdr::size_u32() + dir_attr.wire_size() + 8;  // + cookie verifier
+  for (const Entry& e : entries) {
+    // value-follows bool + fileid + name + cookie
+    n += xdr::size_bool() + xdr::size_u64() + xdr::size_string(e.name.size()) +
+         xdr::size_u64();
+  }
+  n += xdr::size_bool() + xdr::size_bool();  // final value-follows + eof
+  return n;
+}
+
+void ReaddirRes::encode(xdr::XdrEncoder& enc) const {
+  put_status(enc, status);
+  dir_attr.encode(enc);
+  enc.put_u64(0);  // cookie verifier
+  for (const Entry& e : entries) {
+    enc.put_bool(true);
+    enc.put_u64(e.fileid);
+    enc.put_string(e.name);
+    enc.put_u64(e.cookie);
+  }
+  enc.put_bool(false);
+  enc.put_bool(eof);
+}
+
+Result<ReaddirRes> ReaddirRes::decode(xdr::XdrDecoder& dec) {
+  ReaddirRes r;
+  r.status = get_status(dec);
+  GVFS_ASSIGN_OR_RETURN(r.dir_attr, PostOpAttr::decode(dec));
+  dec.get_u64();
+  while (dec.get_bool()) {
+    Entry e;
+    e.fileid = dec.get_u64();
+    e.name = dec.get_string();
+    e.cookie = dec.get_u64();
+    r.entries.push_back(std::move(e));
+    if (!dec.ok()) return err(ErrCode::kBadXdr, "readdir entry");
+  }
+  r.eof = dec.get_bool();
+  if (!dec.ok()) return err(ErrCode::kBadXdr, "readdir res");
+  return r;
+}
+
+// ----------------------------------------------------------- Readdirplus ----
+
+void ReaddirplusArgs::encode(xdr::XdrEncoder& enc) const {
+  dir.encode(enc);
+  enc.put_u64(cookie);
+  enc.put_u64(0);  // cookie verifier
+  enc.put_u32(dircount);
+  enc.put_u32(maxcount);
+}
+
+Result<ReaddirplusArgs> ReaddirplusArgs::decode(xdr::XdrDecoder& dec) {
+  ReaddirplusArgs a;
+  GVFS_ASSIGN_OR_RETURN(a.dir, Fh::decode(dec));
+  a.cookie = dec.get_u64();
+  dec.get_u64();
+  a.dircount = dec.get_u32();
+  a.maxcount = dec.get_u32();
+  if (!dec.ok()) return err(ErrCode::kBadXdr, "readdirplus args");
+  return a;
+}
+
+u64 ReaddirplusRes::wire_size() const {
+  u64 n = xdr::size_u32() + dir_attr.wire_size() + 8;
+  for (const Entry& e : entries) {
+    n += xdr::size_bool() + xdr::size_u64() + xdr::size_string(e.name.size()) +
+         xdr::size_u64() + e.attr.wire_size() + xdr::size_bool() + Fh::wire_size();
+  }
+  n += xdr::size_bool() + xdr::size_bool();
+  return n;
+}
+
+void ReaddirplusRes::encode(xdr::XdrEncoder& enc) const {
+  put_status(enc, status);
+  dir_attr.encode(enc);
+  enc.put_u64(0);  // cookie verifier
+  for (const Entry& e : entries) {
+    enc.put_bool(true);
+    enc.put_u64(e.fileid);
+    enc.put_string(e.name);
+    enc.put_u64(e.cookie);
+    e.attr.encode(enc);
+    enc.put_bool(true);  // handle follows
+    e.fh.encode(enc);
+  }
+  enc.put_bool(false);
+  enc.put_bool(eof);
+}
+
+Result<ReaddirplusRes> ReaddirplusRes::decode(xdr::XdrDecoder& dec) {
+  ReaddirplusRes r;
+  r.status = get_status(dec);
+  GVFS_ASSIGN_OR_RETURN(r.dir_attr, PostOpAttr::decode(dec));
+  dec.get_u64();
+  while (dec.get_bool()) {
+    Entry e;
+    e.fileid = dec.get_u64();
+    e.name = dec.get_string();
+    e.cookie = dec.get_u64();
+    GVFS_ASSIGN_OR_RETURN(e.attr, PostOpAttr::decode(dec));
+    if (dec.get_bool()) {
+      GVFS_ASSIGN_OR_RETURN(e.fh, Fh::decode(dec));
+    }
+    r.entries.push_back(std::move(e));
+    if (!dec.ok()) return err(ErrCode::kBadXdr, "readdirplus entry");
+  }
+  r.eof = dec.get_bool();
+  if (!dec.ok()) return err(ErrCode::kBadXdr, "readdirplus res");
+  return r;
+}
+
+// -------------------------------------------------------------- Pathconf ----
+
+void PathconfRes::encode(xdr::XdrEncoder& enc) const {
+  put_status(enc, status);
+  attr.encode(enc);
+  if (status == NfsStat::kOk) {
+    enc.put_u32(linkmax);
+    enc.put_u32(name_max);
+    enc.put_bool(true);   // no_trunc
+    enc.put_bool(false);  // chown_restricted
+    enc.put_bool(true);   // case_insensitive = false... case_sensitive fs
+    enc.put_bool(true);   // case_preserving
+  }
+}
+
+Result<PathconfRes> PathconfRes::decode(xdr::XdrDecoder& dec) {
+  PathconfRes r;
+  r.status = get_status(dec);
+  GVFS_ASSIGN_OR_RETURN(r.attr, PostOpAttr::decode(dec));
+  if (r.status == NfsStat::kOk) {
+    r.linkmax = dec.get_u32();
+    r.name_max = dec.get_u32();
+    for (int i = 0; i < 4; ++i) dec.get_bool();
+  }
+  if (!dec.ok()) return err(ErrCode::kBadXdr, "pathconf res");
+  return r;
+}
+
+// ---------------------------------------------------------------- Fsstat ----
+
+void FsstatRes::encode(xdr::XdrEncoder& enc) const {
+  put_status(enc, status);
+  attr.encode(enc);
+  if (status == NfsStat::kOk) {
+    enc.put_u64(total_bytes);
+    enc.put_u64(free_bytes);
+    enc.put_u64(free_bytes);  // available
+    enc.put_u64(total_files);
+    enc.put_u64(0);
+    enc.put_u64(0);
+    enc.put_u64(0);  // combined remaining fields
+    enc.put_u32(0);  // invarsec
+  }
+}
+
+Result<FsstatRes> FsstatRes::decode(xdr::XdrDecoder& dec) {
+  FsstatRes r;
+  r.status = get_status(dec);
+  GVFS_ASSIGN_OR_RETURN(r.attr, PostOpAttr::decode(dec));
+  if (r.status == NfsStat::kOk) {
+    r.total_bytes = dec.get_u64();
+    r.free_bytes = dec.get_u64();
+    dec.get_u64();
+    r.total_files = dec.get_u64();
+    dec.get_u64();
+    dec.get_u64();
+    dec.get_u64();
+    dec.get_u32();
+  }
+  if (!dec.ok()) return err(ErrCode::kBadXdr, "fsstat res");
+  return r;
+}
+
+// ---------------------------------------------------------------- Fsinfo ----
+
+void FsinfoRes::encode(xdr::XdrEncoder& enc) const {
+  put_status(enc, status);
+  attr.encode(enc);
+  if (status == NfsStat::kOk) {
+    enc.put_u32(rtmax);
+    enc.put_u32(rtpref);
+    enc.put_u32(512);  // rtmult
+    enc.put_u32(wtmax);
+    enc.put_u32(wtpref);
+    enc.put_u32(512);   // wtmult
+    enc.put_u32(4096);  // dtpref
+    enc.put_u32(0);     // maxfilesize hi
+    enc.put_u32(0xffffffffu);  // maxfilesize lo
+    enc.put_u32(0);     // time_delta sec
+    enc.put_u32(1);     // time_delta nsec
+    enc.put_u32(0x1b);  // properties
+  }
+}
+
+Result<FsinfoRes> FsinfoRes::decode(xdr::XdrDecoder& dec) {
+  FsinfoRes r;
+  r.status = get_status(dec);
+  GVFS_ASSIGN_OR_RETURN(r.attr, PostOpAttr::decode(dec));
+  if (r.status == NfsStat::kOk) {
+    r.rtmax = dec.get_u32();
+    r.rtpref = dec.get_u32();
+    dec.get_u32();
+    r.wtmax = dec.get_u32();
+    r.wtpref = dec.get_u32();
+    for (int i = 0; i < 7; ++i) dec.get_u32();
+  }
+  if (!dec.ok()) return err(ErrCode::kBadXdr, "fsinfo res");
+  return r;
+}
+
+// ---------------------------------------------------------------- Commit ----
+
+void CommitArgs::encode(xdr::XdrEncoder& enc) const {
+  fh.encode(enc);
+  enc.put_u64(offset);
+  enc.put_u32(count);
+}
+
+Result<CommitArgs> CommitArgs::decode(xdr::XdrDecoder& dec) {
+  CommitArgs a;
+  GVFS_ASSIGN_OR_RETURN(a.fh, Fh::decode(dec));
+  a.offset = dec.get_u64();
+  a.count = dec.get_u32();
+  if (!dec.ok()) return err(ErrCode::kBadXdr, "commit args");
+  return a;
+}
+
+void CommitRes::encode(xdr::XdrEncoder& enc) const {
+  put_status(enc, status);
+  attr.encode(enc);
+  if (status == NfsStat::kOk) enc.put_u64(verifier);
+}
+
+Result<CommitRes> CommitRes::decode(xdr::XdrDecoder& dec) {
+  CommitRes r;
+  r.status = get_status(dec);
+  GVFS_ASSIGN_OR_RETURN(r.attr, PostOpAttr::decode(dec));
+  if (r.status == NfsStat::kOk) r.verifier = dec.get_u64();
+  if (!dec.ok()) return err(ErrCode::kBadXdr, "commit res");
+  return r;
+}
+
+// ----------------------------------------------------------------- Mount ----
+
+void MountArgs::encode(xdr::XdrEncoder& enc) const { enc.put_string(dirpath); }
+
+Result<MountArgs> MountArgs::decode(xdr::XdrDecoder& dec) {
+  MountArgs a;
+  a.dirpath = dec.get_string();
+  if (!dec.ok()) return err(ErrCode::kBadXdr, "mount args");
+  return a;
+}
+
+void MountRes::encode(xdr::XdrEncoder& enc) const {
+  put_status(enc, status);
+  if (status == NfsStat::kOk) root.encode(enc);
+}
+
+Result<MountRes> MountRes::decode(xdr::XdrDecoder& dec) {
+  MountRes r;
+  r.status = get_status(dec);
+  if (r.status == NfsStat::kOk) {
+    GVFS_ASSIGN_OR_RETURN(r.root, Fh::decode(dec));
+  }
+  return r;
+}
+
+}  // namespace gvfs::nfs

@@ -1,0 +1,538 @@
+// NFSv3-style protocol messages (RFC 1813 subset) with XDR codecs and
+// analytic wire sizes. Every procedure used by the paper's workloads is
+// modeled; argument/result structs derive rpc::Message so they flow through
+// channels, proxies and tunnels uniformly.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "blob/blob.h"
+#include "common/hash.h"
+#include "common/status.h"
+#include "rpc/rpc.h"
+#include "vfs/vfs.h"
+#include "xdr/xdr.h"
+
+namespace gvfs::nfs {
+
+// Procedure numbers (RFC 1813 §3).
+enum class Proc : u32 {
+  kNull = 0,
+  kGetattr = 1,
+  kSetattr = 2,
+  kLookup = 3,
+  kAccess = 4,
+  kReadlink = 5,
+  kRead = 6,
+  kWrite = 7,
+  kCreate = 8,
+  kMkdir = 9,
+  kSymlink = 10,
+  kRemove = 12,
+  kRmdir = 13,
+  kRename = 14,
+  kLink = 15,
+  kReaddir = 16,
+  kReaddirplus = 17,
+  kFsstat = 18,
+  kFsinfo = 19,
+  kPathconf = 20,
+  kCommit = 21,
+};
+
+// NFSv3 status codes ride the same numeric space as ErrCode (by design).
+using NfsStat = ErrCode;
+
+// Protocol hard limit on READ/WRITE transfer size (§3.2.1: "up to the NFS
+// protocol limit of 32KB").
+constexpr u32 kMaxBlockSize = 32768;
+
+enum class StableHow : u32 { kUnstable = 0, kDataSync = 1, kFileSync = 2 };
+
+// --------------------------------------------------------------------------
+// File handle: fixed 16-byte payload (fsid + fileid) carried as variable
+// opaque on the wire, as real servers do.
+struct Fh {
+  u64 fsid = 0;
+  u64 fileid = 0;
+
+  [[nodiscard]] bool valid() const { return fileid != 0; }
+  [[nodiscard]] u64 key() const { return hash_combine(fsid, fileid); }
+  bool operator==(const Fh& o) const { return fsid == o.fsid && fileid == o.fileid; }
+
+  static constexpr u64 wire_size() { return xdr::size_opaque(16); }
+  void encode(xdr::XdrEncoder& enc) const;
+  static Result<Fh> decode(xdr::XdrDecoder& dec);
+};
+
+struct FhHash {
+  std::size_t operator()(const Fh& fh) const { return static_cast<std::size_t>(fh.key()); }
+};
+
+// fattr3 (84 bytes on the wire).
+struct Fattr {
+  vfs::Attr a;
+
+  static constexpr u64 wire_size() { return 84; }
+  void encode(xdr::XdrEncoder& enc) const;
+  static Result<Fattr> decode(xdr::XdrDecoder& dec);
+};
+
+// post_op_attr: bool + optional fattr3.
+struct PostOpAttr {
+  std::optional<vfs::Attr> attr;
+
+  [[nodiscard]] u64 wire_size() const {
+    return xdr::size_bool() + (attr ? Fattr::wire_size() : 0);
+  }
+  void encode(xdr::XdrEncoder& enc) const;
+  static Result<PostOpAttr> decode(xdr::XdrDecoder& dec);
+};
+
+// sattr3.
+struct Sattr {
+  vfs::SetAttr sa;
+
+  [[nodiscard]] u64 wire_size() const;
+  void encode(xdr::XdrEncoder& enc) const;
+  static Result<Sattr> decode(xdr::XdrDecoder& dec);
+};
+
+// --------------------------------------------------------------------------
+// Generic bodies.
+
+// Void body (NULL proc, and a placeholder for errors).
+struct VoidMsg final : rpc::Message {
+  [[nodiscard]] u64 wire_size() const override { return 0; }
+  void encode(xdr::XdrEncoder&) const override {}
+};
+
+// Every NFS result starts with a status word; failed results carry only
+// (status + post-op attrs), which we model by zeroing the optional parts.
+
+struct GetattrArgs final : rpc::Message {
+  Fh fh;
+  [[nodiscard]] u64 wire_size() const override { return Fh::wire_size(); }
+  void encode(xdr::XdrEncoder& enc) const override { fh.encode(enc); }
+  static Result<GetattrArgs> decode(xdr::XdrDecoder& dec);
+};
+
+struct GetattrRes final : rpc::Message {
+  NfsStat status = NfsStat::kOk;
+  Fattr attr;
+  [[nodiscard]] u64 wire_size() const override {
+    return xdr::size_u32() + (status == NfsStat::kOk ? Fattr::wire_size() : 0);
+  }
+  void encode(xdr::XdrEncoder& enc) const override;
+  static Result<GetattrRes> decode(xdr::XdrDecoder& dec);
+};
+
+struct SetattrArgs final : rpc::Message {
+  Fh fh;
+  Sattr sattr;
+  [[nodiscard]] u64 wire_size() const override {
+    return Fh::wire_size() + sattr.wire_size() + xdr::size_bool();  // + guard
+  }
+  void encode(xdr::XdrEncoder& enc) const override;
+  static Result<SetattrArgs> decode(xdr::XdrDecoder& dec);
+};
+
+struct SetattrRes final : rpc::Message {
+  NfsStat status = NfsStat::kOk;
+  PostOpAttr attr;
+  [[nodiscard]] u64 wire_size() const override {
+    return xdr::size_u32() + attr.wire_size();
+  }
+  void encode(xdr::XdrEncoder& enc) const override;
+  static Result<SetattrRes> decode(xdr::XdrDecoder& dec);
+};
+
+struct LookupArgs final : rpc::Message {
+  Fh dir;
+  std::string name;
+  [[nodiscard]] u64 wire_size() const override {
+    return Fh::wire_size() + xdr::size_string(name.size());
+  }
+  void encode(xdr::XdrEncoder& enc) const override;
+  static Result<LookupArgs> decode(xdr::XdrDecoder& dec);
+};
+
+struct LookupRes final : rpc::Message {
+  NfsStat status = NfsStat::kOk;
+  Fh fh;
+  PostOpAttr obj_attr;
+  PostOpAttr dir_attr;
+  [[nodiscard]] u64 wire_size() const override {
+    u64 n = xdr::size_u32() + dir_attr.wire_size();
+    if (status == NfsStat::kOk) n += Fh::wire_size() + obj_attr.wire_size();
+    return n;
+  }
+  void encode(xdr::XdrEncoder& enc) const override;
+  static Result<LookupRes> decode(xdr::XdrDecoder& dec);
+};
+
+struct AccessArgs final : rpc::Message {
+  Fh fh;
+  u32 access = 0;
+  [[nodiscard]] u64 wire_size() const override {
+    return Fh::wire_size() + xdr::size_u32();
+  }
+  void encode(xdr::XdrEncoder& enc) const override;
+  static Result<AccessArgs> decode(xdr::XdrDecoder& dec);
+};
+
+struct AccessRes final : rpc::Message {
+  NfsStat status = NfsStat::kOk;
+  PostOpAttr attr;
+  u32 access = 0;
+  [[nodiscard]] u64 wire_size() const override {
+    return xdr::size_u32() + attr.wire_size() +
+           (status == NfsStat::kOk ? xdr::size_u32() : 0);
+  }
+  void encode(xdr::XdrEncoder& enc) const override;
+  static Result<AccessRes> decode(xdr::XdrDecoder& dec);
+};
+
+struct ReadlinkArgs final : rpc::Message {
+  Fh fh;
+  [[nodiscard]] u64 wire_size() const override { return Fh::wire_size(); }
+  void encode(xdr::XdrEncoder& enc) const override { fh.encode(enc); }
+  static Result<ReadlinkArgs> decode(xdr::XdrDecoder& dec);
+};
+
+struct ReadlinkRes final : rpc::Message {
+  NfsStat status = NfsStat::kOk;
+  PostOpAttr attr;
+  std::string target;
+  [[nodiscard]] u64 wire_size() const override {
+    return xdr::size_u32() + attr.wire_size() +
+           (status == NfsStat::kOk ? xdr::size_string(target.size()) : 0);
+  }
+  void encode(xdr::XdrEncoder& enc) const override;
+  static Result<ReadlinkRes> decode(xdr::XdrDecoder& dec);
+};
+
+struct ReadArgs final : rpc::Message {
+  Fh fh;
+  u64 offset = 0;
+  u32 count = 0;
+  [[nodiscard]] u64 wire_size() const override {
+    return Fh::wire_size() + xdr::size_u64() + xdr::size_u32();
+  }
+  void encode(xdr::XdrEncoder& enc) const override;
+  static Result<ReadArgs> decode(xdr::XdrDecoder& dec);
+};
+
+struct ReadRes final : rpc::Message {
+  NfsStat status = NfsStat::kOk;
+  PostOpAttr attr;
+  u32 count = 0;
+  bool eof = false;
+  blob::BlobRef data;  // lazy payload; count == data->size()
+  [[nodiscard]] u64 wire_size() const override {
+    u64 n = xdr::size_u32() + attr.wire_size();
+    if (status == NfsStat::kOk) {
+      n += xdr::size_u32() + xdr::size_bool() + xdr::size_opaque(count);
+    }
+    return n;
+  }
+  void encode(xdr::XdrEncoder& enc) const override;
+  static Result<ReadRes> decode(xdr::XdrDecoder& dec);
+};
+
+struct WriteArgs final : rpc::Message {
+  Fh fh;
+  u64 offset = 0;
+  u32 count = 0;
+  StableHow stable = StableHow::kUnstable;
+  blob::BlobRef data;
+  [[nodiscard]] u64 wire_size() const override {
+    return Fh::wire_size() + xdr::size_u64() + xdr::size_u32() + xdr::size_u32() +
+           xdr::size_opaque(count);
+  }
+  void encode(xdr::XdrEncoder& enc) const override;
+  static Result<WriteArgs> decode(xdr::XdrDecoder& dec);
+};
+
+struct WriteRes final : rpc::Message {
+  NfsStat status = NfsStat::kOk;
+  PostOpAttr attr;
+  u32 count = 0;
+  StableHow committed = StableHow::kFileSync;
+  u64 verifier = 0;
+  [[nodiscard]] u64 wire_size() const override {
+    u64 n = xdr::size_u32() + attr.wire_size();
+    if (status == NfsStat::kOk) {
+      n += xdr::size_u32() + xdr::size_u32() + xdr::size_u64();
+    }
+    return n;
+  }
+  void encode(xdr::XdrEncoder& enc) const override;
+  static Result<WriteRes> decode(xdr::XdrDecoder& dec);
+};
+
+struct CreateArgs final : rpc::Message {
+  Fh dir;
+  std::string name;
+  Sattr sattr;
+  [[nodiscard]] u64 wire_size() const override {
+    // + createmode word
+    return Fh::wire_size() + xdr::size_string(name.size()) + xdr::size_u32() +
+           sattr.wire_size();
+  }
+  void encode(xdr::XdrEncoder& enc) const override;
+  static Result<CreateArgs> decode(xdr::XdrDecoder& dec);
+};
+
+struct CreateRes final : rpc::Message {
+  NfsStat status = NfsStat::kOk;
+  Fh fh;
+  PostOpAttr attr;
+  [[nodiscard]] u64 wire_size() const override {
+    u64 n = xdr::size_u32();
+    if (status == NfsStat::kOk) {
+      n += xdr::size_bool() + Fh::wire_size() + attr.wire_size();
+    }
+    return n;
+  }
+  void encode(xdr::XdrEncoder& enc) const override;
+  static Result<CreateRes> decode(xdr::XdrDecoder& dec);
+};
+
+struct MkdirArgs final : rpc::Message {
+  Fh dir;
+  std::string name;
+  Sattr sattr;
+  [[nodiscard]] u64 wire_size() const override {
+    return Fh::wire_size() + xdr::size_string(name.size()) + sattr.wire_size();
+  }
+  void encode(xdr::XdrEncoder& enc) const override;
+  static Result<MkdirArgs> decode(xdr::XdrDecoder& dec);
+};
+
+using MkdirRes = CreateRes;
+
+struct SymlinkArgs final : rpc::Message {
+  Fh dir;
+  std::string name;
+  std::string target;
+  [[nodiscard]] u64 wire_size() const override {
+    return Fh::wire_size() + xdr::size_string(name.size()) +
+           xdr::size_string(target.size());
+  }
+  void encode(xdr::XdrEncoder& enc) const override;
+  static Result<SymlinkArgs> decode(xdr::XdrDecoder& dec);
+};
+
+using SymlinkRes = CreateRes;
+
+struct RemoveArgs final : rpc::Message {
+  Fh dir;
+  std::string name;
+  [[nodiscard]] u64 wire_size() const override {
+    return Fh::wire_size() + xdr::size_string(name.size());
+  }
+  void encode(xdr::XdrEncoder& enc) const override;
+  static Result<RemoveArgs> decode(xdr::XdrDecoder& dec);
+};
+
+struct RemoveRes final : rpc::Message {
+  NfsStat status = NfsStat::kOk;
+  PostOpAttr dir_attr;
+  [[nodiscard]] u64 wire_size() const override {
+    return xdr::size_u32() + dir_attr.wire_size();
+  }
+  void encode(xdr::XdrEncoder& enc) const override;
+  static Result<RemoveRes> decode(xdr::XdrDecoder& dec);
+};
+
+struct RenameArgs final : rpc::Message {
+  Fh from_dir;
+  std::string from_name;
+  Fh to_dir;
+  std::string to_name;
+  [[nodiscard]] u64 wire_size() const override {
+    return 2 * Fh::wire_size() + xdr::size_string(from_name.size()) +
+           xdr::size_string(to_name.size());
+  }
+  void encode(xdr::XdrEncoder& enc) const override;
+  static Result<RenameArgs> decode(xdr::XdrDecoder& dec);
+};
+
+using RenameRes = RemoveRes;
+
+struct LinkArgs final : rpc::Message {
+  Fh file;
+  Fh dir;
+  std::string name;
+  [[nodiscard]] u64 wire_size() const override {
+    return 2 * Fh::wire_size() + xdr::size_string(name.size());
+  }
+  void encode(xdr::XdrEncoder& enc) const override;
+  static Result<LinkArgs> decode(xdr::XdrDecoder& dec);
+};
+
+struct LinkRes final : rpc::Message {
+  NfsStat status = NfsStat::kOk;
+  PostOpAttr file_attr;
+  PostOpAttr dir_attr;
+  [[nodiscard]] u64 wire_size() const override {
+    return xdr::size_u32() + file_attr.wire_size() + dir_attr.wire_size();
+  }
+  void encode(xdr::XdrEncoder& enc) const override;
+  static Result<LinkRes> decode(xdr::XdrDecoder& dec);
+};
+
+struct ReaddirArgs final : rpc::Message {
+  Fh dir;
+  u64 cookie = 0;
+  u32 max_count = 4096;
+  [[nodiscard]] u64 wire_size() const override {
+    // + 8-byte cookie verifier
+    return Fh::wire_size() + xdr::size_u64() + 8 + xdr::size_u32();
+  }
+  void encode(xdr::XdrEncoder& enc) const override;
+  static Result<ReaddirArgs> decode(xdr::XdrDecoder& dec);
+};
+
+struct ReaddirRes final : rpc::Message {
+  struct Entry {
+    u64 fileid = 0;
+    std::string name;
+    u64 cookie = 0;
+  };
+  NfsStat status = NfsStat::kOk;
+  PostOpAttr dir_attr;
+  std::vector<Entry> entries;
+  bool eof = true;
+  [[nodiscard]] u64 wire_size() const override;
+  void encode(xdr::XdrEncoder& enc) const override;
+  static Result<ReaddirRes> decode(xdr::XdrDecoder& dec);
+};
+
+// READDIRPLUS (proc 17): directory entries with handles and attributes, so
+// one round trip primes the client's dentry and attribute caches.
+struct ReaddirplusArgs final : rpc::Message {
+  Fh dir;
+  u64 cookie = 0;
+  u32 dircount = 4096;
+  u32 maxcount = 32768;
+  [[nodiscard]] u64 wire_size() const override {
+    return Fh::wire_size() + xdr::size_u64() + 8 + 2 * xdr::size_u32();
+  }
+  void encode(xdr::XdrEncoder& enc) const override;
+  static Result<ReaddirplusArgs> decode(xdr::XdrDecoder& dec);
+};
+
+struct ReaddirplusRes final : rpc::Message {
+  struct Entry {
+    u64 fileid = 0;
+    std::string name;
+    u64 cookie = 0;
+    PostOpAttr attr;
+    Fh fh;
+  };
+  NfsStat status = NfsStat::kOk;
+  PostOpAttr dir_attr;
+  std::vector<Entry> entries;
+  bool eof = true;
+  [[nodiscard]] u64 wire_size() const override;
+  void encode(xdr::XdrEncoder& enc) const override;
+  static Result<ReaddirplusRes> decode(xdr::XdrDecoder& dec);
+};
+
+struct PathconfRes final : rpc::Message {
+  NfsStat status = NfsStat::kOk;
+  PostOpAttr attr;
+  u32 linkmax = 32000;
+  u32 name_max = 255;
+  [[nodiscard]] u64 wire_size() const override {
+    u64 n = xdr::size_u32() + attr.wire_size();
+    if (status == NfsStat::kOk) n += 2 * xdr::size_u32() + 4 * xdr::size_bool();
+    return n;
+  }
+  void encode(xdr::XdrEncoder& enc) const override;
+  static Result<PathconfRes> decode(xdr::XdrDecoder& dec);
+};
+
+struct FsstatRes final : rpc::Message {
+  NfsStat status = NfsStat::kOk;
+  PostOpAttr attr;
+  u64 total_bytes = 0;
+  u64 free_bytes = 0;
+  u64 total_files = 0;
+  [[nodiscard]] u64 wire_size() const override {
+    u64 n = xdr::size_u32() + attr.wire_size();
+    if (status == NfsStat::kOk) n += 7 * xdr::size_u64() + xdr::size_u32();
+    return n;
+  }
+  void encode(xdr::XdrEncoder& enc) const override;
+  static Result<FsstatRes> decode(xdr::XdrDecoder& dec);
+};
+
+struct FsinfoRes final : rpc::Message {
+  NfsStat status = NfsStat::kOk;
+  PostOpAttr attr;
+  u32 rtmax = kMaxBlockSize;
+  u32 wtmax = kMaxBlockSize;
+  u32 rtpref = kMaxBlockSize;
+  u32 wtpref = kMaxBlockSize;
+  [[nodiscard]] u64 wire_size() const override {
+    u64 n = xdr::size_u32() + attr.wire_size();
+    if (status == NfsStat::kOk) n += 12 * xdr::size_u32();
+    return n;
+  }
+  void encode(xdr::XdrEncoder& enc) const override;
+  static Result<FsinfoRes> decode(xdr::XdrDecoder& dec);
+};
+
+struct CommitArgs final : rpc::Message {
+  Fh fh;
+  u64 offset = 0;
+  u32 count = 0;
+  [[nodiscard]] u64 wire_size() const override {
+    return Fh::wire_size() + xdr::size_u64() + xdr::size_u32();
+  }
+  void encode(xdr::XdrEncoder& enc) const override;
+  static Result<CommitArgs> decode(xdr::XdrDecoder& dec);
+};
+
+struct CommitRes final : rpc::Message {
+  NfsStat status = NfsStat::kOk;
+  PostOpAttr attr;
+  u64 verifier = 0;
+  [[nodiscard]] u64 wire_size() const override {
+    u64 n = xdr::size_u32() + attr.wire_size();
+    if (status == NfsStat::kOk) n += xdr::size_u64();
+    return n;
+  }
+  void encode(xdr::XdrEncoder& enc) const override;
+  static Result<CommitRes> decode(xdr::XdrDecoder& dec);
+};
+
+// MOUNT program (RFC 1813 appendix): MNT returns the export's root handle.
+enum class MountProc : u32 { kNull = 0, kMnt = 1, kUmnt = 3 };
+
+struct MountArgs final : rpc::Message {
+  std::string dirpath;
+  [[nodiscard]] u64 wire_size() const override {
+    return xdr::size_string(dirpath.size());
+  }
+  void encode(xdr::XdrEncoder& enc) const override;
+  static Result<MountArgs> decode(xdr::XdrDecoder& dec);
+};
+
+struct MountRes final : rpc::Message {
+  NfsStat status = NfsStat::kOk;
+  Fh root;
+  [[nodiscard]] u64 wire_size() const override {
+    return xdr::size_u32() + (status == NfsStat::kOk ? Fh::wire_size() : 0);
+  }
+  void encode(xdr::XdrEncoder& enc) const override;
+  static Result<MountRes> decode(xdr::XdrDecoder& dec);
+};
+
+}  // namespace gvfs::nfs

@@ -1,0 +1,54 @@
+#include "proxy/caching_endpoint.h"
+
+namespace gvfs::proxy {
+
+Status CachingFileEndpoint::pull_(sim::Process& p, vfs::FileId fileid) {
+  GVFS_ASSIGN_OR_RETURN(meta::CompressedImage img,
+                        upstream_.fetch_compressed(p, fileid));
+  // Compressed image crosses the WAN once, then lands on the LAN disk.
+  scp_up_.transfer(p, img.compressed_size);
+  disk_.access(p, img.compressed_size, sim::Locality::kSequential);
+  while (resident_ + img.compressed_size > capacity_ && !images_.empty()) {
+    auto victim = images_.begin();
+    resident_ -= victim->second.compressed_size;
+    images_.erase(victim);
+  }
+  resident_ += img.compressed_size;
+  images_[fileid] = std::move(img);
+  return Status::ok();
+}
+
+Result<meta::CompressedImage> CachingFileEndpoint::fetch_compressed(
+    sim::Process& p, vfs::FileId fileid) {
+  auto it = images_.find(fileid);
+  if (it == images_.end()) {
+    ++misses_;
+    GVFS_RETURN_IF_ERROR(pull_(p, fileid));
+    it = images_.find(fileid);
+  } else {
+    ++hits_;
+  }
+  // Stream the cached compressed image off the LAN disk; no recompression.
+  disk_.access(p, it->second.compressed_size, sim::Locality::kSequential);
+  return it->second;
+}
+
+Status CachingFileEndpoint::store_compressed(sim::Process& p, vfs::FileId fileid,
+                                             blob::BlobRef content,
+                                             u64 compressed_size) {
+  // Write-back from a compute server: keep the new compressed image here and
+  // forward it to the origin (the LAN hop already happened downstream).
+  disk_.access(p, compressed_size, sim::Locality::kSequential);
+  meta::CompressedImage img;
+  img.content = content;
+  img.compressed_size = compressed_size;
+  auto it = images_.find(fileid);
+  if (it != images_.end()) {
+    resident_ -= it->second.compressed_size;
+  }
+  resident_ += compressed_size;
+  images_[fileid] = img;
+  return upstream_.store_compressed(p, fileid, std::move(content), compressed_size);
+}
+
+}  // namespace gvfs::proxy

@@ -1,0 +1,59 @@
+// Second-level file-channel cache (§3.2.1 cascading, used by WAN-S3): a
+// LAN-server proxy that implements RemoteFileEndpoint for the compute
+// servers below it while itself fetching from the WAN image server above.
+// The cache holds the *compressed* golden-image state, so downstream clones
+// pay only a LAN-disk read plus the LAN hop — no per-clone recompression.
+#pragma once
+
+#include <unordered_map>
+
+#include "meta/file_channel.h"
+#include "sim/resources.h"
+#include "ssh/ssh.h"
+
+namespace gvfs::proxy {
+
+class CachingFileEndpoint final : public meta::RemoteFileEndpoint {
+ public:
+  // `upstream` + `scp_up` reach the origin server; `disk` stores cached
+  // compressed images on this LAN server; `capacity` bounds them.
+  CachingFileEndpoint(meta::RemoteFileEndpoint& upstream, ssh::Scp& scp_up,
+                      sim::DiskModel& disk, u64 capacity_bytes = 8_GiB)
+      : upstream_(upstream), scp_up_(scp_up), disk_(disk), capacity_(capacity_bytes) {}
+
+  Result<meta::CompressedImage> fetch_compressed(sim::Process& p,
+                                                 vfs::FileId fileid) override;
+  Status store_compressed(sim::Process& p, vfs::FileId fileid, blob::BlobRef content,
+                          u64 compressed_size) override;
+
+  [[nodiscard]] u64 cache_hits() const { return hits_; }
+  [[nodiscard]] u64 cache_misses() const { return misses_; }
+  [[nodiscard]] u64 resident_bytes() const { return resident_; }
+  [[nodiscard]] bool contains(vfs::FileId fileid) const {
+    return images_.count(fileid) != 0;
+  }
+  void invalidate_all() {
+    images_.clear();
+    resident_ = 0;
+  }
+
+  // Pre-warm the cache (WAN-S3 models images pulled by earlier clonings for
+  // other compute servers on the same LAN).
+  Status prefetch(sim::Process& p, vfs::FileId fileid) {
+    return fetch_compressed(p, fileid).status();
+  }
+
+ private:
+  Status pull_(sim::Process& p, vfs::FileId fileid);
+
+  meta::RemoteFileEndpoint& upstream_;
+  ssh::Scp& scp_up_;
+  sim::DiskModel& disk_;
+  u64 capacity_;
+  std::unordered_map<vfs::FileId, meta::CompressedImage> images_;
+  u64 resident_ = 0;  // compressed bytes on the cache disk
+  u64 hits_ = 0;
+  u64 misses_ = 0;
+};
+
+}  // namespace gvfs::proxy

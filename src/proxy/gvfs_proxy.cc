@@ -1,0 +1,612 @@
+#include "proxy/gvfs_proxy.h"
+
+#include <algorithm>
+
+#include "blob/extent_store.h"
+#include "common/log.h"
+
+namespace gvfs::proxy {
+
+using nfs::Fh;
+using nfs::NfsStat;
+using nfs::Proc;
+
+GvfsProxy::GvfsProxy(ProxyConfig cfg, rpc::RpcChannel& upstream)
+    : cfg_(std::move(cfg)), upstream_(upstream) {}
+
+void GvfsProxy::attach_block_cache(cache::ProxyDiskCache& c) {
+  block_cache_ = &c;
+  c.set_writeback([this](sim::Process& p, const cache::BlockId& id,
+                         const blob::BlobRef& data) {
+    return cache_writeback_(p, id, data);
+  });
+}
+
+void GvfsProxy::attach_file_channel(meta::FileChannelClient& channel,
+                                    cache::FileCache& fc) {
+  file_channel_ = &channel;
+  file_cache_ = &fc;
+  fc.set_upload([this](sim::Process& p, u64 key, const blob::BlobRef& content) {
+    auto it = key_to_fh_.find(key);
+    if (it == key_to_fh_.end()) return err(ErrCode::kStale, "unknown file key");
+    return file_channel_->upload_from_cache(p, key, it->second.fileid, content);
+  });
+}
+
+void GvfsProxy::reset_stats() {
+  calls_received_ = calls_forwarded_ = 0;
+  block_hits_ = file_hits_ = zero_filtered_ = writes_absorbed_ = 0;
+  blocks_prefetched_ = 0;
+}
+
+// ------------------------------------------------------- upstream helpers --
+
+Result<rpc::MessagePtr> GvfsProxy::upstream_call_(sim::Process& p, Proc proc,
+                                                  rpc::MessagePtr args,
+                                                  const rpc::Credential& cred) {
+  rpc::RpcCall c;
+  c.xid = next_xid_++;
+  c.prog = rpc::kNfsProgram;
+  c.vers = rpc::kNfsVersion3;
+  c.proc = static_cast<u32>(proc);
+  c.cred = cred;
+  c.args = std::move(args);
+  ++calls_forwarded_;
+  rpc::RpcReply reply = upstream_.call(p, c);
+  if (!reply.status.is_ok()) return reply.status;
+  return reply.result;
+}
+
+template <typename Res>
+Result<std::shared_ptr<const Res>> GvfsProxy::upstream_as_(sim::Process& p, Proc proc,
+                                                           rpc::MessagePtr args,
+                                                           const rpc::Credential& cred) {
+  GVFS_ASSIGN_OR_RETURN(rpc::MessagePtr m, upstream_call_(p, proc, std::move(args), cred));
+  auto res = rpc::message_cast<Res>(m);
+  if (!res) return err(ErrCode::kBadXdr, "unexpected upstream result");
+  return res;
+}
+
+rpc::RpcReply GvfsProxy::forward_(sim::Process& p, const rpc::RpcCall& call) {
+  rpc::RpcCall fwd = call;
+  fwd.xid = next_xid_++;
+  if (cred_mapper_) fwd.cred = cred_mapper_(call.cred);
+  ++calls_forwarded_;
+  rpc::RpcReply reply = upstream_.call(p, fwd);
+  reply.xid = call.xid;
+  return reply;
+}
+
+// ---------------------------------------------------------- attr tracking --
+
+std::optional<vfs::Attr> GvfsProxy::cached_attr_(const Fh& fh, SimTime now) const {
+  auto it = attr_cache_.find(fh.key());
+  if (it == attr_cache_.end() || it->second.expires <= now) return std::nullopt;
+  return it->second.attr;
+}
+
+void GvfsProxy::remember_attr_(const Fh& fh, const vfs::Attr& a, SimTime now) {
+  attr_cache_[fh.key()] = CachedAttr{a, now + cfg_.attr_ttl};
+  key_to_fh_[fh.key()] = fh;
+}
+
+u64 GvfsProxy::effective_size_(const Fh& fh, const std::optional<vfs::Attr>& a) const {
+  u64 size = a ? a->size : 0;
+  auto it = size_override_.find(fh.key());
+  if (it != size_override_.end()) size = std::max(size, it->second);
+  return size;
+}
+
+// -------------------------------------------------------------- meta-data --
+
+const meta::MetaFile* GvfsProxy::meta_for_(sim::Process& p, const Fh& fh,
+                                           const rpc::Credential& cred) {
+  if (!cfg_.enable_meta) return nullptr;
+  u64 key = fh.key();
+  auto hit = metas_.find(key);
+  if (hit != metas_.end()) return &hit->second;
+  if (meta_negative_.count(key) != 0) return nullptr;
+  auto parent = parents_.find(key);
+  if (parent == parents_.end()) {
+    meta_negative_.insert(key);
+    return nullptr;
+  }
+
+  // Probe for "<dir>/.<name>.gvfsmeta" upstream.
+  auto largs = std::make_shared<nfs::LookupArgs>();
+  largs->dir = parent->second.dir;
+  largs->name = meta::MetaFile::meta_name_for(parent->second.name);
+  auto lres = upstream_as_<nfs::LookupRes>(p, Proc::kLookup, largs, cred);
+  if (!lres.is_ok() || (*lres)->status != NfsStat::kOk) {
+    meta_negative_.insert(key);
+    return nullptr;
+  }
+  Fh meta_fh = (*lres)->fh;
+  u64 meta_size = (*lres)->obj_attr.attr ? (*lres)->obj_attr.attr->size : 0;
+  if (meta_size == 0 || meta_size > 64_MiB) {
+    meta_negative_.insert(key);
+    return nullptr;
+  }
+
+  // Read the whole (small) meta-data file over the block channel.
+  blob::ExtentStore content;
+  u64 off = 0;
+  while (off < meta_size) {
+    auto rargs = std::make_shared<nfs::ReadArgs>();
+    rargs->fh = meta_fh;
+    rargs->offset = off;
+    rargs->count = static_cast<u32>(std::min<u64>(cfg_.fetch_block, meta_size - off));
+    auto rres = upstream_as_<nfs::ReadRes>(p, Proc::kRead, rargs, cred);
+    if (!rres.is_ok() || (*rres)->status != NfsStat::kOk || (*rres)->count == 0) {
+      meta_negative_.insert(key);
+      return nullptr;
+    }
+    content.write_blob(off, (*rres)->data, 0, (*rres)->count);
+    off += (*rres)->count;
+    if ((*rres)->eof) break;
+  }
+  auto parsed = meta::MetaFile::parse(*content.snapshot());
+  if (!parsed.is_ok()) {
+    GVFS_WARN("proxy") << cfg_.name << ": malformed meta-data file ignored";
+    meta_negative_.insert(key);
+    return nullptr;
+  }
+  auto [it, inserted] = metas_.emplace(key, std::move(parsed).value());
+  (void)inserted;
+  return &it->second;
+}
+
+// ------------------------------------------------------------ block cache --
+
+Result<blob::BlobRef> GvfsProxy::get_block_(sim::Process& p, const Fh& fh, u64 block,
+                                            const rpc::Credential& cred) {
+  cache::BlockId id{fh.key(), block};
+  if (auto hit = block_cache_->lookup(p, id)) {
+    ++block_hits_;
+    return *hit;
+  }
+  auto rargs = std::make_shared<nfs::ReadArgs>();
+  rargs->fh = fh;
+  rargs->offset = block * cfg_.fetch_block;
+  rargs->count = cfg_.fetch_block;
+  GVFS_ASSIGN_OR_RETURN(auto rres, upstream_as_<nfs::ReadRes>(p, Proc::kRead, rargs, cred));
+  if (rres->status != NfsStat::kOk) return err(rres->status, "upstream read");
+  if (rres->attr.attr) remember_attr_(fh, *rres->attr.attr, p.now());
+  blob::BlobRef data = rres->count > 0 ? rres->data : blob::make_zero(0);
+  if (rres->count > 0) {
+    GVFS_RETURN_IF_ERROR(block_cache_->insert(p, id, data, /*dirty=*/false));
+  }
+  return data;
+}
+
+void GvfsProxy::maybe_prefetch_(sim::Process& p, const nfs::Fh& fh, u64 block,
+                                u64 file_size, const rpc::Credential& cred) {
+  AccessProfile& prof = profiles_[fh.key()];
+  if (prof.last_block != ~u64{0} && block == prof.last_block + 1) {
+    ++prof.run;
+  } else if (block != prof.last_block) {
+    prof.run = 0;
+  }
+  prof.last_block = block;
+  if (cfg_.prefetch_depth == 0 || block_cache_ == nullptr ||
+      prof.run < cfg_.prefetch_trigger) {
+    return;
+  }
+  // Keep a read-ahead window of `prefetch_depth` blocks open: refill only
+  // when the reader has consumed half of it, so the refill is a genuinely
+  // pipelined multi-block burst (one RTT amortized over the batch), not a
+  // degenerate one-block fetch per request.
+  if (block + cfg_.prefetch_depth / 2 < prof.ahead_until) return;
+  u64 refill_from = std::max(block + 1, prof.ahead_until);
+  u64 refill_to = block + cfg_.prefetch_depth;  // inclusive
+  prof.ahead_until = refill_to + 1;
+
+  // Pipeline the missing blocks of the window in one overlapped burst.
+  std::vector<rpc::RpcCall> calls;
+  std::vector<u64> blocks;
+  for (u64 b = refill_from; b <= refill_to; ++b) {
+    u64 start = b * cfg_.fetch_block;
+    if (start >= file_size) break;
+    if (block_cache_->contains(cache::BlockId{fh.key(), b})) continue;
+    auto args = std::make_shared<nfs::ReadArgs>();
+    args->fh = fh;
+    args->offset = start;
+    args->count = cfg_.fetch_block;
+    rpc::RpcCall c;
+    c.xid = next_xid_++;
+    c.prog = rpc::kNfsProgram;
+    c.vers = rpc::kNfsVersion3;
+    c.proc = static_cast<u32>(Proc::kRead);
+    c.cred = cred;
+    c.args = std::move(args);
+    calls.push_back(std::move(c));
+    blocks.push_back(b);
+  }
+  if (calls.empty()) return;
+  calls_forwarded_ += calls.size();
+  std::vector<rpc::RpcReply> replies = upstream_.call_pipelined(p, calls);
+  for (std::size_t i = 0; i < replies.size(); ++i) {
+    if (!replies[i].status.is_ok()) continue;
+    auto res = rpc::message_cast<nfs::ReadRes>(replies[i].result);
+    if (!res || res->status != NfsStat::kOk || res->count == 0) continue;
+    if (res->attr.attr) remember_attr_(fh, *res->attr.attr, p.now());
+    (void)block_cache_->insert(p, cache::BlockId{fh.key(), blocks[i]}, res->data,
+                               /*dirty=*/false);
+    ++blocks_prefetched_;
+  }
+}
+
+Status GvfsProxy::cache_writeback_(sim::Process& p, const cache::BlockId& id,
+                                   const blob::BlobRef& data) {
+  auto it = key_to_fh_.find(id.file_key);
+  if (it == key_to_fh_.end()) return err(ErrCode::kStale, "writeback: unknown fh");
+  auto wargs = std::make_shared<nfs::WriteArgs>();
+  wargs->fh = it->second;
+  wargs->offset = id.block * cfg_.fetch_block;
+  wargs->count = data ? static_cast<u32>(data->size()) : 0;
+  wargs->stable = nfs::StableHow::kFileSync;
+  wargs->data = data;
+  GVFS_ASSIGN_OR_RETURN(auto res, upstream_as_<nfs::WriteRes>(p, Proc::kWrite, wargs,
+                                                              session_cred_));
+  if (res->status != NfsStat::kOk) return err(res->status, "writeback write");
+  if (res->attr.attr) remember_attr_(it->second, *res->attr.attr, p.now());
+  return Status::ok();
+}
+
+// ---------------------------------------------------------------- handlers --
+
+rpc::RpcReply GvfsProxy::handle(sim::Process& p, const rpc::RpcCall& call) {
+  ++calls_received_;
+  if (cfg_.per_call_cpu > 0) p.delay(cfg_.per_call_cpu);
+  if (authorizer_ && !authorizer_(call.cred)) {
+    return rpc::make_error_reply(call, err(ErrCode::kAuthError, "proxy policy"));
+  }
+  session_cred_ = cred_mapper_ ? cred_mapper_(call.cred) : call.cred;
+
+  if (call.prog != rpc::kNfsProgram) return forward_(p, call);
+
+  switch (static_cast<Proc>(call.proc)) {
+    case Proc::kRead: {
+      auto a = rpc::message_cast<nfs::ReadArgs>(call.args);
+      if (!a) break;
+      return handle_read_(p, call, *a);
+    }
+    case Proc::kWrite: {
+      auto a = rpc::message_cast<nfs::WriteArgs>(call.args);
+      if (!a) break;
+      return handle_write_(p, call, *a);
+    }
+    case Proc::kGetattr: {
+      auto a = rpc::message_cast<nfs::GetattrArgs>(call.args);
+      if (!a) break;
+      return handle_getattr_(p, call, *a);
+    }
+    case Proc::kCommit: {
+      auto a = rpc::message_cast<nfs::CommitArgs>(call.args);
+      if (!a) break;
+      return handle_commit_(p, call, *a);
+    }
+    case Proc::kSetattr: {
+      auto a = rpc::message_cast<nfs::SetattrArgs>(call.args);
+      if (!a) break;
+      return handle_setattr_(p, call, *a);
+    }
+    case Proc::kLookup: {
+      // Forward, but learn the namespace so meta-data probing can find the
+      // companion file later.
+      auto a = rpc::message_cast<nfs::LookupArgs>(call.args);
+      rpc::RpcReply reply = forward_(p, call);
+      if (a && reply.status.is_ok()) {
+        if (auto res = rpc::message_cast<nfs::LookupRes>(reply.result);
+            res && res->status == NfsStat::kOk) {
+          parents_[res->fh.key()] = ParentLink{a->dir, a->name};
+          key_to_fh_[res->fh.key()] = res->fh;
+          if (res->obj_attr.attr) remember_attr_(res->fh, *res->obj_attr.attr, p.now());
+        }
+      }
+      return reply;
+    }
+    case Proc::kCreate: {
+      auto a = rpc::message_cast<nfs::CreateArgs>(call.args);
+      rpc::RpcReply reply = forward_(p, call);
+      if (a && reply.status.is_ok()) {
+        if (auto res = rpc::message_cast<nfs::CreateRes>(reply.result);
+            res && res->status == NfsStat::kOk) {
+          parents_[res->fh.key()] = ParentLink{a->dir, a->name};
+          key_to_fh_[res->fh.key()] = res->fh;
+          if (res->attr.attr) remember_attr_(res->fh, *res->attr.attr, p.now());
+        }
+      }
+      return reply;
+    }
+    default:
+      break;
+  }
+  return forward_(p, call);
+}
+
+rpc::RpcReply GvfsProxy::handle_read_(sim::Process& p, const rpc::RpcCall& call,
+                                      const nfs::ReadArgs& a) {
+  const rpc::Credential& cred = session_cred_;
+  key_to_fh_[a.fh.key()] = a.fh;
+  const meta::MetaFile* meta = meta_for_(p, a.fh, cred);
+
+  // ---- file-based channel (compress/copy/uncompress/read-locally) ---------
+  if (meta != nullptr && meta->wants_file_channel() && file_channel_ != nullptr &&
+      file_cache_ != nullptr) {
+    u64 key = a.fh.key();
+    if (!file_cache_->contains(key)) {
+      Status st = file_channel_->fetch_into_cache(p, a.fh.fileid, key);
+      if (!st.is_ok()) {
+        GVFS_WARN("proxy") << cfg_.name << ": file channel failed ("
+                           << st.to_string() << "), falling back to blocks";
+      }
+    }
+    if (file_cache_->contains(key)) {
+      u64 size = file_cache_->cached_size(key).value_or(0);
+      auto res = std::make_shared<nfs::ReadRes>();
+      u64 n = a.offset >= size ? 0 : std::min<u64>(a.count, size - a.offset);
+      auto data = file_cache_->read(p, key, a.offset, n);
+      ++file_hits_;
+      res->count = static_cast<u32>(n);
+      res->eof = a.offset + n >= size;
+      res->data = data && *data ? *data : blob::make_zero(0);
+      if (auto attr = cached_attr_(a.fh, p.now())) {
+        attr->size = std::max(attr->size, size);
+        res->attr.attr = *attr;
+      }
+      return rpc::make_reply(call, res);
+    }
+  }
+
+  // ---- zero-block filtering ------------------------------------------------
+  if (meta != nullptr && meta->has_zero_map() &&
+      meta->range_is_zero(a.offset, a.count)) {
+    ++zero_filtered_;
+    u64 size = meta->file_size();
+    auto res = std::make_shared<nfs::ReadRes>();
+    u64 n = a.offset >= size ? 0 : std::min<u64>(a.count, size - a.offset);
+    res->count = static_cast<u32>(n);
+    res->eof = a.offset + n >= size;
+    res->data = blob::make_zero(n);
+    if (auto attr = cached_attr_(a.fh, p.now())) res->attr.attr = *attr;
+    return rpc::make_reply(call, res);
+  }
+
+  // ---- block cache ----------------------------------------------------------
+  if (block_cache_ == nullptr) return forward_(p, call);
+
+  std::optional<vfs::Attr> attr = cached_attr_(a.fh, p.now());
+  if (!attr) {
+    auto gargs = std::make_shared<nfs::GetattrArgs>();
+    gargs->fh = a.fh;
+    auto gres = upstream_as_<nfs::GetattrRes>(p, Proc::kGetattr, gargs, cred);
+    if (!gres.is_ok()) return rpc::make_error_reply(call, gres.status());
+    if ((*gres)->status != NfsStat::kOk) {
+      auto res = std::make_shared<nfs::ReadRes>();
+      res->status = (*gres)->status;
+      return rpc::make_reply(call, res);
+    }
+    remember_attr_(a.fh, (*gres)->attr.a, p.now());
+    attr = (*gres)->attr.a;
+  }
+  u64 size = effective_size_(a.fh, attr);
+  u64 n = a.offset >= size ? 0 : std::min<u64>(a.count, size - a.offset);
+
+  auto res = std::make_shared<nfs::ReadRes>();
+  if (n > 0) {
+    blob::ExtentStore assembled;
+    assembled.truncate(n);
+    u64 first = a.offset / cfg_.fetch_block;
+    u64 last = (a.offset + n - 1) / cfg_.fetch_block;
+    for (u64 b = first; b <= last; ++b) {
+      auto blockr = get_block_(p, a.fh, b, cred);
+      if (!blockr.is_ok()) return rpc::make_error_reply(call, blockr.status());
+      const blob::BlobRef& data = *blockr;
+      u64 block_start = b * cfg_.fetch_block;
+      u64 lo = std::max(block_start, a.offset);
+      u64 hi = std::min(block_start + (data ? data->size() : 0), a.offset + n);
+      if (lo < hi) assembled.write_blob(lo - a.offset, data, lo - block_start, hi - lo);
+    }
+    maybe_prefetch_(p, a.fh, last, size, cred);
+    res->data = assembled.snapshot();
+  } else {
+    res->data = blob::make_zero(0);
+  }
+  res->count = static_cast<u32>(n);
+  res->eof = a.offset + n >= size;
+  if (attr) {
+    vfs::Attr out = *attr;
+    out.size = size;
+    res->attr.attr = out;
+  }
+  return rpc::make_reply(call, res);
+}
+
+rpc::RpcReply GvfsProxy::handle_write_(sim::Process& p, const rpc::RpcCall& call,
+                                       const nfs::WriteArgs& a) {
+  const rpc::Credential& cred = session_cred_;
+  key_to_fh_[a.fh.key()] = a.fh;
+  u64 key = a.fh.key();
+
+  // Writes to a file served by the file channel update the whole-file cache
+  // (write-back uploads it later as compress+SCP).
+  if (file_cache_ != nullptr && file_cache_->contains(key)) {
+    Status st = file_cache_->write(p, key, a.offset, a.data);
+    if (!st.is_ok()) return rpc::make_error_reply(call, st);
+    ++writes_absorbed_;
+    size_override_[key] = std::max(effective_size_(a.fh, cached_attr_(a.fh, p.now())),
+                                   a.offset + a.count);
+    auto res = std::make_shared<nfs::WriteRes>();
+    res->count = a.count;
+    res->committed = nfs::StableHow::kFileSync;
+    if (auto attr = cached_attr_(a.fh, p.now())) {
+      attr->size = size_override_[key];
+      attr->mtime = p.now();
+      res->attr.attr = *attr;
+    }
+    return rpc::make_reply(call, res);
+  }
+
+  if (block_cache_ == nullptr) return forward_(p, call);
+
+  if (block_cache_->config().policy == cache::WritePolicy::kWriteThrough) {
+    // Forward synchronously; drop overlapping cached blocks so the next read
+    // refetches fresh data (coherence without dirty state).
+    rpc::RpcReply reply = forward_(p, call);
+    if (reply.status.is_ok()) {
+      if (auto res = rpc::message_cast<nfs::WriteRes>(reply.result);
+          res && res->status == NfsStat::kOk) {
+        block_cache_->invalidate_file(key);
+        if (res->attr.attr) remember_attr_(a.fh, *res->attr.attr, p.now());
+        size_override_.erase(key);
+      }
+    }
+    return reply;
+  }
+
+  // ---- write-back: absorb locally ------------------------------------------
+  std::optional<vfs::Attr> attr = cached_attr_(a.fh, p.now());
+  u64 known = effective_size_(a.fh, attr);
+  u64 end = a.offset + a.count;
+  u64 first = a.offset / cfg_.fetch_block;
+  u64 last = a.count > 0 ? (end - 1) / cfg_.fetch_block : first;
+  for (u64 b = first; b <= last; ++b) {
+    u64 block_start = b * cfg_.fetch_block;
+    u64 lo = std::max(block_start, a.offset);
+    u64 hi = std::min(block_start + cfg_.fetch_block, end);
+    auto slice = std::make_shared<blob::SliceBlob>(a.data, lo - a.offset, hi - lo);
+    cache::BlockId id{key, b};
+    bool full = lo == block_start && hi - lo == cfg_.fetch_block;
+    if (full) {
+      Status st = block_cache_->insert(p, id, slice, /*dirty=*/true);
+      if (!st.is_ok()) return rpc::make_error_reply(call, st);
+      continue;
+    }
+    if (!block_cache_->contains(id) && block_start < known) {
+      // Partial write into an existing block: fetch-and-merge.
+      auto blockr = get_block_(p, a.fh, b, cred);
+      if (!blockr.is_ok()) return rpc::make_error_reply(call, blockr.status());
+    }
+    if (block_cache_->contains(id)) {
+      auto merged = block_cache_->merge(p, id, lo - block_start, slice);
+      if (!merged.is_ok()) return rpc::make_error_reply(call, merged.status());
+    } else {
+      // New tail block: zeros up to the write, then the data.
+      blob::ExtentStore compose;
+      compose.truncate(hi - block_start);
+      compose.write_blob(lo - block_start, slice, 0, hi - lo);
+      Status st = block_cache_->insert(p, id, compose.snapshot(), /*dirty=*/true);
+      if (!st.is_ok()) return rpc::make_error_reply(call, st);
+    }
+  }
+  size_override_[key] = std::max(known, end);
+  commit_pending_.insert(key);
+  ++writes_absorbed_;
+
+  auto res = std::make_shared<nfs::WriteRes>();
+  res->count = a.count;
+  res->committed = nfs::StableHow::kFileSync;
+  if (attr) {
+    vfs::Attr out = *attr;
+    out.size = size_override_[key];
+    out.mtime = p.now();
+    remember_attr_(a.fh, out, p.now());
+    res->attr.attr = out;
+  }
+  return rpc::make_reply(call, res);
+}
+
+rpc::RpcReply GvfsProxy::handle_getattr_(sim::Process& p, const rpc::RpcCall& call,
+                                         const nfs::GetattrArgs& a) {
+  key_to_fh_[a.fh.key()] = a.fh;
+  std::optional<vfs::Attr> attr = cached_attr_(a.fh, p.now());
+  if (!attr) {
+    rpc::RpcReply reply = forward_(p, call);
+    if (!reply.status.is_ok()) return reply;
+    auto res = rpc::message_cast<nfs::GetattrRes>(reply.result);
+    if (!res || res->status != NfsStat::kOk) return reply;
+    vfs::Attr out = res->attr.a;
+    remember_attr_(a.fh, out, p.now());
+    u64 size = effective_size_(a.fh, out);
+    if (size != out.size) {
+      auto patched = std::make_shared<nfs::GetattrRes>(*res);
+      patched->attr.a.size = size;
+      return rpc::make_reply(call, patched);
+    }
+    return reply;
+  }
+  auto res = std::make_shared<nfs::GetattrRes>();
+  res->attr.a = *attr;
+  res->attr.a.size = effective_size_(a.fh, attr);
+  return rpc::make_reply(call, res);
+}
+
+rpc::RpcReply GvfsProxy::handle_commit_(sim::Process& p, const rpc::RpcCall& call,
+                                        const nfs::CommitArgs& a) {
+  bool write_back_mode =
+      block_cache_ != nullptr &&
+      block_cache_->config().policy == cache::WritePolicy::kWriteBack;
+  bool file_cached = file_cache_ != nullptr && file_cache_->contains(a.fh.key());
+  if (cfg_.absorb_commit && (write_back_mode || file_cached)) {
+    auto res = std::make_shared<nfs::CommitRes>();
+    if (auto attr = cached_attr_(a.fh, p.now())) res->attr.attr = *attr;
+    res->verifier = 0x67766673ULL;
+    return rpc::make_reply(call, res);
+  }
+  return forward_(p, call);
+}
+
+rpc::RpcReply GvfsProxy::handle_setattr_(sim::Process& p, const rpc::RpcCall& call,
+                                         const nfs::SetattrArgs& a) {
+  u64 key = a.fh.key();
+  if (a.sattr.sa.set_size) {
+    // Truncation: staged data past the new EOF must not survive.
+    if (block_cache_ != nullptr) block_cache_->invalidate_file(key);
+    if (file_cache_ != nullptr) file_cache_->invalidate(key);
+    size_override_.erase(key);
+    attr_cache_.erase(key);
+  }
+  rpc::RpcReply reply = forward_(p, call);
+  if (reply.status.is_ok()) {
+    if (auto res = rpc::message_cast<nfs::SetattrRes>(reply.result);
+        res && res->status == NfsStat::kOk && res->attr.attr) {
+      remember_attr_(a.fh, *res->attr.attr, p.now());
+    }
+  }
+  return reply;
+}
+
+// ------------------------------------------------------ middleware signals --
+
+Status GvfsProxy::signal_write_back(sim::Process& p) {
+  if (block_cache_ != nullptr) {
+    GVFS_RETURN_IF_ERROR(block_cache_->write_back_all(p));
+  }
+  if (file_cache_ != nullptr) {
+    GVFS_RETURN_IF_ERROR(file_cache_->write_back_all(p));
+  }
+  commit_pending_.clear();
+  return Status::ok();
+}
+
+void GvfsProxy::drop_soft_state() {
+  attr_cache_.clear();
+  size_override_.clear();
+  metas_.clear();
+  meta_negative_.clear();
+  commit_pending_.clear();
+}
+
+Status GvfsProxy::signal_flush(sim::Process& p) {
+  GVFS_RETURN_IF_ERROR(signal_write_back(p));
+  if (block_cache_ != nullptr) block_cache_->invalidate_all();
+  if (file_cache_ != nullptr) file_cache_->invalidate_all();
+  attr_cache_.clear();
+  size_override_.clear();
+  metas_.clear();
+  meta_negative_.clear();
+  return Status::ok();
+}
+
+}  // namespace gvfs::proxy

@@ -1,0 +1,184 @@
+// The GVFS user-level file system proxy (§3). A proxy behaves as an NFS
+// server toward its downstream (kernel client or another proxy) and as an
+// NFS client toward its upstream, so proxies cascade into multi-level
+// hierarchies (§3.2.1). Depending on attachments one instance plays either
+// role from the paper:
+//   * server-side proxy: authenticates requests and remaps credentials onto
+//     short-lived shadow accounts (logical user accounts);
+//   * client-side proxy: block-based disk cache (write-back or
+//     write-through), meta-data handling (zero-block filtering + the
+//     file-based channel into a whole-file cache), and middleware-driven
+//     consistency signals.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "cache/block_cache.h"
+#include "cache/file_cache.h"
+#include "meta/file_channel.h"
+#include "meta/meta_file.h"
+#include "nfs/nfs_types.h"
+#include "rpc/rpc.h"
+
+namespace gvfs::proxy {
+
+struct ProxyConfig {
+  std::string name = "gvfs-proxy";
+  // Upstream READ granularity: the proxy fetches whole cache blocks
+  // (<= the 32 KB NFS limit) regardless of the downstream rsize.
+  u32 fetch_block = 32_KiB;
+  SimDuration per_call_cpu = 25 * kMicrosecond;
+  SimDuration attr_ttl = 5 * kSecond;
+  // In write-back mode the proxy acknowledges COMMIT locally; consistency
+  // comes from middleware signals (§3.2.1).
+  bool absorb_commit = true;
+  bool enable_meta = true;  // honour meta-data files when found
+
+  // §6 future work, implemented: dynamic profiling of access behaviour to
+  // drive pre-fetching. After `prefetch_trigger` consecutive sequential
+  // block fetches on a file, the proxy pipelines `prefetch_depth` blocks
+  // ahead (0 disables).
+  u32 prefetch_depth = 0;
+  u32 prefetch_trigger = 3;
+};
+
+class GvfsProxy final : public rpc::RpcHandler {
+ public:
+  GvfsProxy(ProxyConfig cfg, rpc::RpcChannel& upstream);
+
+  // ---- attachments ---------------------------------------------------------
+  // Client-side block cache; the proxy wires the cache's writeback to
+  // upstream WRITEs.
+  void attach_block_cache(cache::ProxyDiskCache& c);
+  // Meta-data file channel: whole-file cache + transfer engine.
+  void attach_file_channel(meta::FileChannelClient& channel, cache::FileCache& fc);
+  // Server-side identity mapping (logical user accounts).
+  void set_cred_mapper(std::function<rpc::Credential(const rpc::Credential&)> fn) {
+    cred_mapper_ = std::move(fn);
+  }
+  // Server-side authorization policy.
+  void set_authorizer(std::function<bool(const rpc::Credential&)> fn) {
+    authorizer_ = std::move(fn);
+  }
+
+  // ---- RPC service ---------------------------------------------------------
+  rpc::RpcReply handle(sim::Process& p, const rpc::RpcCall& call) override;
+
+  // ---- middleware consistency signals (O/S signals in the paper) -----------
+  // SIGUSR1-equivalent: write dirty cache state upstream, keep it cached.
+  Status signal_write_back(sim::Process& p);
+  // SIGUSR2-equivalent: write back and invalidate everything.
+  Status signal_flush(sim::Process& p);
+
+  // Drop soft state only (attr cache, learned namespace, parsed meta-data)
+  // without touching cache contents or charging time — used by experiment
+  // harnesses to cold-start cleanly. Caches are dropped by their owners.
+  void drop_soft_state();
+
+  // ---- observability -------------------------------------------------------
+  [[nodiscard]] u64 calls_received() const { return calls_received_; }
+  [[nodiscard]] u64 calls_forwarded() const { return calls_forwarded_; }
+  [[nodiscard]] u64 reads_served_from_block_cache() const { return block_hits_; }
+  [[nodiscard]] u64 reads_served_from_file_cache() const { return file_hits_; }
+  [[nodiscard]] u64 zero_filtered_reads() const { return zero_filtered_; }
+  [[nodiscard]] u64 writes_absorbed() const { return writes_absorbed_; }
+  [[nodiscard]] u64 meta_files_loaded() const { return metas_.size(); }
+  [[nodiscard]] u64 blocks_prefetched() const { return blocks_prefetched_; }
+  void reset_stats();
+
+ private:
+  struct ParentLink {
+    nfs::Fh dir;
+    std::string name;
+  };
+
+  // -- upstream helpers ------------------------------------------------------
+  rpc::RpcReply forward_(sim::Process& p, const rpc::RpcCall& call);
+  Result<rpc::MessagePtr> upstream_call_(sim::Process& p, nfs::Proc proc,
+                                         rpc::MessagePtr args,
+                                         const rpc::Credential& cred);
+  template <typename Res>
+  Result<std::shared_ptr<const Res>> upstream_as_(sim::Process& p, nfs::Proc proc,
+                                                  rpc::MessagePtr args,
+                                                  const rpc::Credential& cred);
+
+  // -- request handlers ------------------------------------------------------
+  rpc::RpcReply handle_read_(sim::Process& p, const rpc::RpcCall& call,
+                             const nfs::ReadArgs& a);
+  rpc::RpcReply handle_write_(sim::Process& p, const rpc::RpcCall& call,
+                              const nfs::WriteArgs& a);
+  rpc::RpcReply handle_getattr_(sim::Process& p, const rpc::RpcCall& call,
+                                const nfs::GetattrArgs& a);
+  rpc::RpcReply handle_commit_(sim::Process& p, const rpc::RpcCall& call,
+                               const nfs::CommitArgs& a);
+  rpc::RpcReply handle_setattr_(sim::Process& p, const rpc::RpcCall& call,
+                                const nfs::SetattrArgs& a);
+
+  // -- meta-data -------------------------------------------------------------
+  // Look for (and load) a meta-data file for `fh` the first time it is read.
+  const meta::MetaFile* meta_for_(sim::Process& p, const nfs::Fh& fh,
+                                  const rpc::Credential& cred);
+
+  // -- block cache internals -------------------------------------------------
+  // Read one proxy block (block index in fetch_block units) through the
+  // cache; returns its data (may be short at EOF).
+  Result<blob::BlobRef> get_block_(sim::Process& p, const nfs::Fh& fh, u64 block,
+                                   const rpc::Credential& cred);
+  // Access-profile bookkeeping + pipelined read-ahead when a sequential run
+  // is detected.
+  void maybe_prefetch_(sim::Process& p, const nfs::Fh& fh, u64 block, u64 file_size,
+                       const rpc::Credential& cred);
+  Status cache_writeback_(sim::Process& p, const cache::BlockId& id,
+                          const blob::BlobRef& data);
+
+  [[nodiscard]] std::optional<vfs::Attr> cached_attr_(const nfs::Fh& fh,
+                                                      SimTime now) const;
+  void remember_attr_(const nfs::Fh& fh, const vfs::Attr& a, SimTime now);
+  [[nodiscard]] u64 effective_size_(const nfs::Fh& fh,
+                                    const std::optional<vfs::Attr>& a) const;
+
+  ProxyConfig cfg_;
+  rpc::RpcChannel& upstream_;
+  cache::ProxyDiskCache* block_cache_ = nullptr;
+  meta::FileChannelClient* file_channel_ = nullptr;
+  cache::FileCache* file_cache_ = nullptr;
+  std::function<rpc::Credential(const rpc::Credential&)> cred_mapper_;
+  std::function<bool(const rpc::Credential&)> authorizer_;
+
+  struct CachedAttr {
+    vfs::Attr attr;
+    SimTime expires;
+  };
+  std::unordered_map<u64, CachedAttr> attr_cache_;          // fh.key()
+  std::unordered_map<u64, u64> size_override_;              // staged sizes
+  std::unordered_map<u64, ParentLink> parents_;             // fh.key() -> (dir, name)
+  std::unordered_map<u64, meta::MetaFile> metas_;           // fh.key()
+  std::unordered_set<u64> meta_negative_;                   // probed, none found
+  std::unordered_map<u64, nfs::Fh> key_to_fh_;
+  std::unordered_set<u64> commit_pending_;  // fh keys with absorbed writes
+  rpc::Credential session_cred_;  // per-session identity used upstream
+
+  // Access profile per file: last block fetched and current sequential run
+  // length (the "dynamic profiling of application data access behavior" the
+  // paper's conclusions call for).
+  struct AccessProfile {
+    u64 last_block = ~u64{0};
+    u32 run = 0;
+    u64 ahead_until = 0;  // exclusive end of the prefetched window
+  };
+  std::unordered_map<u64, AccessProfile> profiles_;
+
+  u32 next_xid_ = 0x70000000;
+  u64 calls_received_ = 0;
+  u64 blocks_prefetched_ = 0;
+  u64 calls_forwarded_ = 0;
+  u64 block_hits_ = 0;
+  u64 file_hits_ = 0;
+  u64 zero_filtered_ = 0;
+  u64 writes_absorbed_ = 0;
+};
+
+}  // namespace gvfs::proxy

@@ -1,0 +1,158 @@
+#include "sim/kernel.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.h"
+
+namespace gvfs::sim {
+
+// ---------------------------------------------------------------- Process --
+
+void Process::block_(std::unique_lock<std::mutex>& lk) {
+  state_ = State::kBlocked;
+  kernel_.kernel_cv_.notify_one();
+  cv_.wait(lk, [this] { return state_ == State::kRunning || killed_; });
+  if (killed_) throw ProcessKilled{};
+}
+
+void Process::delay(SimDuration d) {
+  assert(d >= 0 && "negative delay");
+  std::unique_lock<std::mutex> lk(kernel_.mu_);
+  kernel_.schedule_locked(kernel_.now_ + d, this);
+  block_(lk);
+}
+
+void Process::delay_until(SimTime t) {
+  std::unique_lock<std::mutex> lk(kernel_.mu_);
+  kernel_.schedule_locked(std::max(t, kernel_.now_), this);
+  block_(lk);
+}
+
+SimTime Process::now() const { return kernel_.now_; }
+
+// ----------------------------------------------------------------- Signal --
+
+void Signal::notify_all() {
+  std::unique_lock<std::mutex> lk(kernel_.mu_);
+  for (Process* w : waiters_) kernel_.schedule_locked(kernel_.now_, w);
+  waiters_.clear();
+}
+
+bool Signal::notify_one() {
+  std::unique_lock<std::mutex> lk(kernel_.mu_);
+  if (waiters_.empty()) return false;
+  Process* w = waiters_.front();
+  waiters_.erase(waiters_.begin());
+  kernel_.schedule_locked(kernel_.now_, w);
+  return true;
+}
+
+void Process::wait(Signal& s) {
+  std::unique_lock<std::mutex> lk(kernel_.mu_);
+  s.waiters_.push_back(this);
+  block_(lk);
+}
+
+// -------------------------------------------------------------- SimKernel --
+
+SimKernel::~SimKernel() {
+  std::unique_lock<std::mutex> lk(mu_);
+  // Kill anything still alive so its thread unwinds and can be joined.
+  for (auto& p : procs_) {
+    if (p->state_ != Process::State::kDone) {
+      p->killed_ = true;
+      p->cv_.notify_one();
+    }
+  }
+  for (auto& p : procs_) {
+    kernel_cv_.wait(lk, [&] { return p->state_ == Process::State::kDone; });
+  }
+  reap_locked(lk);
+}
+
+Process& SimKernel::spawn(std::string name, ProcessBody body, SimDuration start_after) {
+  std::unique_lock<std::mutex> lk(mu_);
+  auto proc = std::unique_ptr<Process>(new Process(*this, std::move(name)));
+  Process* p = proc.get();
+  p->thread_ = std::thread([this, p, body = std::move(body)]() mutable {
+    {
+      std::unique_lock<std::mutex> tlk(mu_);
+      p->cv_.wait(tlk, [p] { return p->state_ == Process::State::kRunning || p->killed_; });
+      if (p->killed_) {
+        p->state_ = Process::State::kDone;
+        done_unjoined_.push_back(p);
+        kernel_cv_.notify_one();
+        return;
+      }
+    }
+    try {
+      body(*p);
+    } catch (const ProcessKilled&) {
+      // normal shutdown path
+    } catch (...) {
+      p->failed_ = true;
+      GVFS_ERROR("sim") << "process '" << p->name() << "' threw";
+    }
+    std::unique_lock<std::mutex> tlk(mu_);
+    if (p->failed_) ++failed_;
+    p->state_ = Process::State::kDone;
+    done_unjoined_.push_back(p);
+    kernel_cv_.notify_one();
+  });
+  schedule_locked(now_ + start_after, p);
+  procs_.push_back(std::move(proc));
+  return *p;
+}
+
+void SimKernel::schedule_locked(SimTime t, Process* p) {
+  queue_.push(Wakeup{t, seq_++, p});
+}
+
+void SimKernel::resume_and_wait_locked(std::unique_lock<std::mutex>& lk, Process* p) {
+  p->state_ = Process::State::kRunning;
+  p->cv_.notify_one();
+  kernel_cv_.wait(lk, [p] { return p->state_ != Process::State::kRunning; });
+}
+
+void SimKernel::reap_locked(std::unique_lock<std::mutex>&) {
+  for (Process* p : done_unjoined_) {
+    if (p->thread_.joinable()) p->thread_.join();
+  }
+  done_unjoined_.clear();
+}
+
+SimTime SimKernel::run() {
+  std::unique_lock<std::mutex> lk(mu_);
+  assert(!running_ && "SimKernel::run is not reentrant");
+  running_ = true;
+  while (!queue_.empty()) {
+    Wakeup w = queue_.top();
+    queue_.pop();
+    if (w.proc->state_ == Process::State::kDone) continue;
+    assert(w.time >= now_ && "time went backwards");
+    now_ = w.time;
+    resume_and_wait_locked(lk, w.proc);
+    reap_locked(lk);
+  }
+  // Event queue drained: any process still blocked waits on a signal that
+  // will never fire. Kill them so their threads unwind.
+  for (auto& p : procs_) {
+    if (p->state_ == Process::State::kBlocked || p->state_ == Process::State::kCreated) {
+      GVFS_WARN("sim") << "killing process '" << p->name() << "' blocked at end of run";
+      p->killed_ = true;
+      p->cv_.notify_one();
+      kernel_cv_.wait(lk, [&] { return p->state_ == Process::State::kDone; });
+    }
+  }
+  reap_locked(lk);
+  running_ = false;
+  return now_;
+}
+
+SimTime SimKernel::run_process(std::string name, ProcessBody body) {
+  spawn(std::move(name), std::move(body));
+  return run();
+}
+
+}  // namespace gvfs::sim

@@ -1,0 +1,146 @@
+// Process-oriented discrete-event simulation kernel.
+//
+// Every actor in an experiment (a VM monitor, a background cache flusher, a
+// parallel cloning client) is a Process: a cooperatively-scheduled OS thread
+// that blocks on virtual time. Exactly one thread — either the kernel's
+// driver or a single process — runs at any moment, so simulation state needs
+// no further synchronization. Determinism: the ready queue orders wakeups by
+// (time, sequence number), and sequence numbers are handed out in program
+// order, so identical inputs give identical schedules.
+//
+// The protocol stack (NFS client, proxies, caches, servers) is written as
+// ordinary synchronous code; latency and bandwidth costs are charged by
+// blocking the calling process on Link / DiskModel resources (resources.h).
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+
+namespace gvfs::sim {
+
+class SimKernel;
+class Process;
+
+// Thrown inside a process when the kernel shuts down while it is blocked;
+// unwinds the process body so its thread can be joined.
+struct ProcessKilled {};
+
+// A waitable pulse: processes block on it, another process releases them.
+// Used for semaphores, RPC completion, middleware signals (SIGUSR-style
+// flush/write-back commands in the paper map onto these).
+class Signal {
+ public:
+  explicit Signal(SimKernel& kernel) : kernel_(kernel) {}
+  Signal(const Signal&) = delete;
+  Signal& operator=(const Signal&) = delete;
+
+  // Wake every currently-blocked waiter at the current virtual time.
+  void notify_all();
+  // Wake one waiter (FIFO). Returns false if nobody was waiting.
+  bool notify_one();
+
+ private:
+  friend class Process;
+  SimKernel& kernel_;
+  std::vector<Process*> waiters_;
+};
+
+// Handle passed to a process body; all blocking primitives live here.
+class Process {
+ public:
+  // Advance virtual time by `d` (>= 0).
+  void delay(SimDuration d);
+  // Block until virtual time `t` (no-op if already past).
+  void delay_until(SimTime t);
+  // Block until the signal fires.
+  void wait(Signal& s);
+
+  [[nodiscard]] SimTime now() const;
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] SimKernel& kernel() { return kernel_; }
+
+ private:
+  friend class SimKernel;
+  friend class Signal;
+
+  enum class State { kCreated, kRunning, kBlocked, kDone };
+
+  Process(SimKernel& kernel, std::string name) : kernel_(kernel), name_(std::move(name)) {}
+
+  // Blocks the calling thread until the kernel hands control back.
+  // Precondition: `lk` holds the kernel mutex and this process is current.
+  void block_(std::unique_lock<std::mutex>& lk);
+
+  SimKernel& kernel_;
+  std::string name_;
+  std::thread thread_;
+  std::condition_variable cv_;
+  State state_ = State::kCreated;
+  bool killed_ = false;
+  bool failed_ = false;  // body exited via exception other than ProcessKilled
+};
+
+using ProcessBody = std::function<void(Process&)>;
+
+class SimKernel {
+ public:
+  SimKernel() = default;
+  ~SimKernel();
+  SimKernel(const SimKernel&) = delete;
+  SimKernel& operator=(const SimKernel&) = delete;
+
+  // Create a process that becomes runnable at the current virtual time
+  // (plus `start_after`). Callable before run() or from inside a process.
+  Process& spawn(std::string name, ProcessBody body, SimDuration start_after = 0);
+
+  // Drive the simulation until no scheduled wakeups remain. Processes still
+  // blocked on signals at that point are killed (they unwind and join).
+  // Returns the final virtual time.
+  SimTime run();
+
+  // Convenience: spawn a single process and run the kernel to completion.
+  SimTime run_process(std::string name, ProcessBody body);
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  // Number of processes whose bodies threw (test hygiene: assert == 0).
+  [[nodiscard]] int failed_processes() const { return failed_; }
+
+ private:
+  friend class Process;
+  friend class Signal;
+
+  struct Wakeup {
+    SimTime time;
+    u64 seq;
+    Process* proc;
+    bool operator>(const Wakeup& o) const {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+
+  // Precondition for *_locked: mu_ held.
+  void schedule_locked(SimTime t, Process* p);
+  void resume_and_wait_locked(std::unique_lock<std::mutex>& lk, Process* p);
+  void reap_locked(std::unique_lock<std::mutex>& lk);
+
+  std::mutex mu_;
+  std::condition_variable kernel_cv_;
+  std::priority_queue<Wakeup, std::vector<Wakeup>, std::greater<>> queue_;
+  std::vector<std::unique_ptr<Process>> procs_;
+  std::vector<Process*> done_unjoined_;
+  SimTime now_ = 0;
+  u64 seq_ = 0;
+  int failed_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace gvfs::sim

@@ -1,0 +1,78 @@
+#include "ssh/ssh.h"
+
+#include <algorithm>
+
+namespace gvfs::ssh {
+
+SshTunnel::SshTunnel(rpc::RpcHandler& upstream, sim::Link* to_server,
+                     sim::Link* to_client, CipherSpec spec)
+    : upstream_(upstream), to_server_(to_server), to_client_(to_client), spec_(spec) {}
+
+void SshTunnel::establish(sim::Process& p) {
+  if (established_) return;
+  p.delay(spec_.setup_time);
+  established_ = true;
+}
+
+void SshTunnel::send_(sim::Process& p, sim::Link* link, u64 bytes, bool propagate) {
+  u64 framed = bytes + spec_.frame_overhead;
+  bytes_ += framed;
+  // Flow pacing (cipher + TCP window ceiling) applied as extra serial time,
+  // interleaved chunk-wise with the shared-link occupancy.
+  if (link == nullptr) {
+    p.delay(transfer_time(framed, spec_.per_flow_bps));
+    return;
+  }
+  u64 remaining = framed;
+  while (remaining > 0) {
+    u64 chunk = std::min<u64>(remaining, spec_.pacing_chunk);
+    p.delay(transfer_time(chunk, spec_.per_flow_bps));
+    link->transmit_ex(p, chunk, false);
+    remaining -= chunk;
+  }
+  if (propagate && link->config().latency > 0) p.delay(link->config().latency);
+}
+
+rpc::RpcReply SshTunnel::call(sim::Process& p, const rpc::RpcCall& call) {
+  establish(p);
+  ++messages_;
+  send_(p, to_server_, call.wire_size(), true);
+  rpc::RpcReply reply = upstream_.handle(p, call);
+  send_(p, to_client_, reply.wire_size(), true);
+  return reply;
+}
+
+std::vector<rpc::RpcReply> SshTunnel::call_pipelined(
+    sim::Process& p, const std::vector<rpc::RpcCall>& calls) {
+  establish(p);
+  std::vector<rpc::RpcReply> replies;
+  replies.reserve(calls.size());
+  for (std::size_t i = 0; i < calls.size(); ++i) {
+    ++messages_;
+    send_(p, to_server_, calls[i].wire_size(), i == 0);
+    rpc::RpcReply reply = upstream_.handle(p, calls[i]);
+    send_(p, to_client_, reply.wire_size(), i + 1 == calls.size());
+    replies.push_back(std::move(reply));
+  }
+  return replies;
+}
+
+void Scp::transfer(sim::Process& p, u64 bytes, bool include_setup) {
+  ++transfers_;
+  bytes_moved_ += bytes;
+  // Parallel streams handshake concurrently: one setup latency.
+  if (include_setup) p.delay(spec_.setup_time);
+  // N flows pace in parallel (N x the per-flow ceiling); the shared link
+  // still serializes aggregate bytes at its capacity.
+  double pace_bps = spec_.per_flow_bps * static_cast<double>(streams_);
+  u64 remaining = bytes;
+  while (remaining > 0) {
+    u64 chunk = std::min<u64>(remaining, spec_.pacing_chunk);
+    p.delay(transfer_time(chunk, pace_bps));
+    link_.transmit_ex(p, chunk, false);
+    remaining -= chunk;
+  }
+  if (link_.config().latency > 0) p.delay(link_.config().latency);
+}
+
+}  // namespace gvfs::ssh

@@ -1,0 +1,137 @@
+#include "vfs/buffer_cache.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace gvfs::vfs {
+
+BufferCache::BufferCache(u64 capacity_bytes, u32 page_size)
+    : page_size_(page_size),
+      capacity_pages_(std::max<u64>(1, capacity_bytes / page_size)) {}
+
+std::optional<blob::BlobRef> BufferCache::lookup(u64 file, u64 page_index) {
+  auto it = map_.find(Key{file, page_index});
+  if (it == map_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->data;
+}
+
+void BufferCache::insert(sim::Process& p, u64 file, u64 page_index,
+                         blob::BlobRef data, bool dirty) {
+  Key key{file, page_index};
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    if (it->second->dirty && !dirty) {
+      // A clean refill must never clobber staged (newer) data; keep the
+      // dirty page as-is, just refresh recency.
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return;
+    }
+    if (dirty && !it->second->dirty) ++dirty_count_;
+    it->second->data = std::move(data);
+    it->second->dirty = dirty;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  while (map_.size() >= capacity_pages_) evict_one_(p);
+  lru_.push_front(Entry{key, std::move(data), dirty});
+  map_.emplace(key, lru_.begin());
+  if (dirty) ++dirty_count_;
+}
+
+void BufferCache::evict_one_(sim::Process& p) {
+  assert(!lru_.empty());
+  Entry& victim = lru_.back();
+  if (victim.dirty) {
+    if (writeback_) writeback_(p, victim.key.file, victim.key.page, victim.data);
+    --dirty_count_;
+  }
+  ++evictions_;
+  map_.erase(victim.key);
+  lru_.pop_back();
+}
+
+void BufferCache::mark_clean(u64 file, u64 page_index) {
+  auto it = map_.find(Key{file, page_index});
+  if (it != map_.end() && it->second->dirty) {
+    it->second->dirty = false;
+    --dirty_count_;
+  }
+}
+
+u64 BufferCache::flush(sim::Process& p, u64 file) {
+  // Collect (file, page) pairs first: writeback may recurse into the cache.
+  std::vector<std::pair<Key, blob::BlobRef>> dirty;
+  for (const Entry& e : lru_) {
+    if (e.dirty && (file == 0 || e.key.file == file)) {
+      dirty.emplace_back(e.key, e.data);
+    }
+  }
+  std::sort(dirty.begin(), dirty.end(), [](const auto& a, const auto& b) {
+    return a.first.file != b.first.file ? a.first.file < b.first.file
+                                        : a.first.page < b.first.page;
+  });
+  for (auto& [key, data] : dirty) {
+    if (writeback_) writeback_(p, key.file, key.page, data);
+    mark_clean(key.file, key.page);
+  }
+  return dirty.size();
+}
+
+std::vector<std::pair<u64, blob::BlobRef>> BufferCache::dirty_pages_of(u64 file) const {
+  std::vector<std::pair<u64, blob::BlobRef>> out;
+  for (const Entry& e : lru_) {
+    if (e.dirty && e.key.file == file) out.emplace_back(e.key.page, e.data);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+void BufferCache::invalidate_file(sim::Process& p, u64 file) {
+  flush(p, file);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->key.file == file) {
+      map_.erase(it->key);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void BufferCache::discard_file(u64 file) {
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->key.file == file) {
+      if (it->dirty) --dirty_count_;
+      map_.erase(it->key);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<u64> BufferCache::dirty_files() const {
+  std::vector<u64> out;
+  for (const Entry& e : lru_) {
+    if (e.dirty && std::find(out.begin(), out.end(), e.key.file) == out.end()) {
+      out.push_back(e.key.file);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void BufferCache::drop_all() {
+  lru_.clear();
+  map_.clear();
+  dirty_count_ = 0;
+}
+
+}  // namespace gvfs::vfs

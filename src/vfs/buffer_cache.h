@@ -1,0 +1,116 @@
+// Kernel buffer/page cache model: a capacity-bounded LRU of fixed-size pages
+// holding lazy data references. Shared by the local filesystem session and
+// the NFS client — the paper's "memory file system buffer" whose limited
+// capacity and write-through behaviour over WAN motivates the proxy disk
+// cache (§1, §3.2.1).
+//
+// Dirty pages model kernel write staging; when a dirty page is evicted (or
+// the owner flushes) a writeback callback pushes it to the backing store,
+// charging whatever time that store costs.
+#pragma once
+
+#include <functional>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "blob/blob.h"
+#include "common/hash.h"
+#include "common/types.h"
+#include "sim/kernel.h"
+
+namespace gvfs::vfs {
+
+class BufferCache {
+ public:
+  // `file` is an owner-chosen file key (inode number / handle hash).
+  using WritebackFn =
+      std::function<void(sim::Process& p, u64 file, u64 page_index, const blob::BlobRef& data)>;
+
+  BufferCache(u64 capacity_bytes, u32 page_size);
+
+  [[nodiscard]] u32 page_size() const { return page_size_; }
+  [[nodiscard]] u64 capacity_pages() const { return capacity_pages_; }
+
+  void set_writeback(WritebackFn fn) { writeback_ = std::move(fn); }
+
+  // Returns the cached page data (page-sized, or shorter at EOF) and
+  // refreshes LRU position; nullopt on miss.
+  std::optional<blob::BlobRef> lookup(u64 file, u64 page_index);
+
+  // Insert/replace a page. Evicts LRU pages as needed (dirty evictions call
+  // the writeback function with `p`).
+  void insert(sim::Process& p, u64 file, u64 page_index, blob::BlobRef data, bool dirty);
+
+  // Mark an existing page clean (after an explicit writeback).
+  void mark_clean(u64 file, u64 page_index);
+
+  // Write back every dirty page of `file` (all files if file == 0) in page
+  // order, then mark clean. Returns number of pages written.
+  u64 flush(sim::Process& p, u64 file = 0);
+
+  // Drop all pages of a file (cache invalidation on close/reopen); dirty
+  // pages are written back first.
+  void invalidate_file(sim::Process& p, u64 file);
+
+  // Drop all pages of a file WITHOUT writeback (truncate semantics: staged
+  // data past the truncation point must not be written back).
+  void discard_file(u64 file);
+
+  // File keys that currently have dirty pages.
+  [[nodiscard]] std::vector<u64> dirty_files() const;
+
+  // Drop everything without writeback (unmount of a read-only session /
+  // experiment reset to a cold state).
+  void drop_all();
+
+  // Sorted (page_index, data) list of dirty pages of `file` — used by the
+  // NFS client to coalesce staged pages into wsize WRITE runs.
+  [[nodiscard]] std::vector<std::pair<u64, blob::BlobRef>> dirty_pages_of(u64 file) const;
+
+  // Peek without touching LRU order or stats.
+  [[nodiscard]] bool contains(u64 file, u64 page_index) const {
+    return map_.count(Key{file, page_index}) != 0;
+  }
+
+  [[nodiscard]] u64 hits() const { return hits_; }
+  [[nodiscard]] u64 misses() const { return misses_; }
+  [[nodiscard]] u64 evictions() const { return evictions_; }
+  [[nodiscard]] u64 dirty_pages() const { return dirty_count_; }
+  [[nodiscard]] u64 resident_pages() const { return map_.size(); }
+  void reset_stats() { hits_ = misses_ = evictions_ = 0; }
+
+ private:
+  struct Key {
+    u64 file;
+    u64 page;
+    bool operator==(const Key& o) const { return file == o.file && page == o.page; }
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return static_cast<std::size_t>(hash_combine(k.file, k.page));
+    }
+  };
+  struct Entry {
+    Key key;
+    blob::BlobRef data;
+    bool dirty = false;
+  };
+  using LruList = std::list<Entry>;
+
+  void evict_one_(sim::Process& p);
+
+  u32 page_size_;
+  u64 capacity_pages_;
+  LruList lru_;  // front = most recent
+  std::unordered_map<Key, LruList::iterator, KeyHash> map_;
+  WritebackFn writeback_;
+  u64 hits_ = 0;
+  u64 misses_ = 0;
+  u64 evictions_ = 0;
+  u64 dirty_count_ = 0;
+};
+
+}  // namespace gvfs::vfs

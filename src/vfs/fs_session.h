@@ -1,0 +1,74 @@
+// The "system call" surface that VM monitors and application workloads
+// program against — implemented by LocalFsSession (VM state on local disk)
+// and nfs::NfsClient (VM state on an NFS/GVFS mount). Paths are relative to
+// the session's root (the mount point).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "blob/blob.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "sim/kernel.h"
+#include "vfs/vfs.h"
+
+namespace gvfs::vfs {
+
+class FsSession {
+ public:
+  virtual ~FsSession() = default;
+
+  virtual Result<Attr> stat(sim::Process& p, const std::string& path) = 0;
+
+  // Read [offset, offset+len) clamped to EOF; returns the (possibly shorter)
+  // data as a lazy blob.
+  virtual Result<blob::BlobRef> read(sim::Process& p, const std::string& path,
+                                     u64 offset, u64 len) = 0;
+
+  // Write blob content at offset (file must exist).
+  virtual Status write(sim::Process& p, const std::string& path, u64 offset,
+                       blob::BlobRef data) = 0;
+
+  virtual Status create(sim::Process& p, const std::string& path) = 0;
+  virtual Status mkdirs(sim::Process& p, const std::string& path) = 0;
+  virtual Status remove(sim::Process& p, const std::string& path) = 0;
+  virtual Status truncate(sim::Process& p, const std::string& path, u64 size) = 0;
+  virtual Status symlink(sim::Process& p, const std::string& link_path,
+                         const std::string& target) = 0;
+
+  // Hard link an existing file at a second path.
+  virtual Status hard_link(sim::Process& p, const std::string& existing,
+                           const std::string& link_path) {
+    (void)p;
+    (void)existing;
+    (void)link_path;
+    return err(ErrCode::kNotSupported, "hard links");
+  }
+  virtual Result<std::vector<DirEntry>> list(sim::Process& p,
+                                             const std::string& path) = 0;
+
+  // Push staged dirty data to the backing store (close/fsync semantics).
+  virtual Status flush(sim::Process& p) = 0;
+
+  // Convenience: read the whole file.
+  Result<blob::BlobRef> read_all(sim::Process& p, const std::string& path) {
+    GVFS_ASSIGN_OR_RETURN(Attr a, stat(p, path));
+    return read(p, path, 0, a.size);
+  }
+
+  // Convenience: create-or-truncate (making parent directories) then write
+  // the whole content.
+  Status put(sim::Process& p, const std::string& path, blob::BlobRef data) {
+    if (!stat(p, path).is_ok()) {
+      GVFS_RETURN_IF_ERROR(mkdirs(p, path_dirname(path)));
+      GVFS_RETURN_IF_ERROR(create(p, path));
+    } else {
+      GVFS_RETURN_IF_ERROR(truncate(p, path, 0));
+    }
+    if (!data || data->size() == 0) return Status::ok();
+    return write(p, path, 0, std::move(data));
+  }
+};
+
+}  // namespace gvfs::vfs

@@ -1,0 +1,261 @@
+#include "vfs/memfs.h"
+
+#include <algorithm>
+
+namespace gvfs::vfs {
+
+MemFs::MemFs() {
+  Inode root;
+  root.attr.type = FileType::kDirectory;
+  root.attr.mode = 0755;
+  root.attr.nlink = 2;
+  root.attr.fileid = kRootId;
+  inodes_.emplace(kRootId, std::move(root));
+}
+
+Result<MemFs::Inode*> MemFs::get_(FileId id) {
+  auto it = inodes_.find(id);
+  if (it == inodes_.end()) return err(ErrCode::kStale, "no such inode");
+  return &it->second;
+}
+
+Result<MemFs::Inode*> MemFs::get_dir_(FileId id) {
+  GVFS_ASSIGN_OR_RETURN(Inode * ino, get_(id));
+  if (ino->attr.type != FileType::kDirectory) return err(ErrCode::kNotDir);
+  return ino;
+}
+
+FileId MemFs::alloc_(FileType type, u32 mode, u32 uid, u32 gid) {
+  FileId id = next_id_++;
+  Inode ino;
+  ino.attr.type = type;
+  ino.attr.mode = mode;
+  ino.attr.uid = uid;
+  ino.attr.gid = gid;
+  ino.attr.fileid = id;
+  ino.attr.nlink = type == FileType::kDirectory ? 2 : 1;
+  SimTime t = now_();
+  ino.attr.atime = ino.attr.mtime = ino.attr.ctime = t;
+  inodes_.emplace(id, std::move(ino));
+  return id;
+}
+
+void MemFs::touch_(Inode& ino, bool content_changed) {
+  SimTime t = now_();
+  ino.attr.ctime = t;
+  if (content_changed) ino.attr.mtime = t;
+}
+
+Result<FileId> MemFs::lookup(FileId dir, const std::string& name) {
+  GVFS_ASSIGN_OR_RETURN(Inode * d, get_dir_(dir));
+  if (name == ".") return dir;
+  auto it = d->children.find(name);
+  if (it == d->children.end()) return err(ErrCode::kNoEnt, name);
+  return it->second;
+}
+
+Result<Attr> MemFs::getattr(FileId id) {
+  GVFS_ASSIGN_OR_RETURN(Inode * ino, get_(id));
+  Attr a = ino->attr;
+  if (a.type == FileType::kRegular) a.size = ino->content.size();
+  return a;
+}
+
+Status MemFs::setattr(FileId id, const SetAttr& sa) {
+  GVFS_ASSIGN_OR_RETURN(Inode * ino, get_(id));
+  if (sa.set_mode) ino->attr.mode = sa.mode;
+  if (sa.set_uid) ino->attr.uid = sa.uid;
+  if (sa.set_gid) ino->attr.gid = sa.gid;
+  if (sa.set_mtime) ino->attr.mtime = sa.mtime;
+  if (sa.set_size) {
+    if (ino->attr.type != FileType::kRegular) return err(ErrCode::kIsDir);
+    ino->content.truncate(sa.size);
+    touch_(*ino, true);
+  } else {
+    touch_(*ino, false);
+  }
+  return Status::ok();
+}
+
+Result<u32> MemFs::read(FileId id, u64 offset, std::span<u8> out) {
+  GVFS_ASSIGN_OR_RETURN(Inode * ino, get_(id));
+  if (ino->attr.type != FileType::kRegular) return err(ErrCode::kIsDir);
+  u64 size = ino->content.size();
+  if (offset >= size) return u32{0};
+  u64 n = std::min<u64>(out.size(), size - offset);
+  ino->content.read(offset, out.subspan(0, n));
+  ino->attr.atime = now_();
+  return static_cast<u32>(n);
+}
+
+Result<blob::BlobRef> MemFs::read_ref(FileId id, u64 offset, u64 len) {
+  GVFS_ASSIGN_OR_RETURN(Inode * ino, get_(id));
+  if (ino->attr.type != FileType::kRegular) return err(ErrCode::kIsDir);
+  u64 size = ino->content.size();
+  u64 n = offset >= size ? 0 : std::min<u64>(len, size - offset);
+  ino->attr.atime = now_();
+  if (n == 0) return blob::BlobRef(blob::make_zero(0));
+  // Range slice: shares only the overlapping extents (stays immutable —
+  // later writes replace map entries, never mutate blobs).
+  return ino->content.read_slice(offset, n);
+}
+
+Status MemFs::write(FileId id, u64 offset, std::span<const u8> data) {
+  GVFS_ASSIGN_OR_RETURN(Inode * ino, get_(id));
+  if (ino->attr.type != FileType::kRegular) return err(ErrCode::kIsDir);
+  ino->content.write(offset, data);
+  touch_(*ino, true);
+  return Status::ok();
+}
+
+Status MemFs::write_blob(FileId id, u64 offset, blob::BlobRef data, u64 src_off,
+                         u64 len) {
+  GVFS_ASSIGN_OR_RETURN(Inode * ino, get_(id));
+  if (ino->attr.type != FileType::kRegular) return err(ErrCode::kIsDir);
+  ino->content.write_blob(offset, std::move(data), src_off, len);
+  touch_(*ino, true);
+  return Status::ok();
+}
+
+Result<FileId> MemFs::create(FileId dir, const std::string& name, u32 mode,
+                             u32 uid, u32 gid) {
+  GVFS_ASSIGN_OR_RETURN(Inode * d, get_dir_(dir));
+  if (name.empty() || name.size() > 255) return err(ErrCode::kNameTooLong);
+  if (d->children.count(name) != 0) return err(ErrCode::kExist, name);
+  FileId id = alloc_(FileType::kRegular, mode, uid, gid);
+  // alloc_ may rehash inodes_; re-fetch the directory.
+  d = get_dir_(dir).value();
+  d->children.emplace(name, id);
+  touch_(*d, true);
+  return id;
+}
+
+Result<FileId> MemFs::mkdir(FileId dir, const std::string& name, u32 mode,
+                            u32 uid, u32 gid) {
+  GVFS_ASSIGN_OR_RETURN(Inode * d, get_dir_(dir));
+  if (name.empty() || name.size() > 255) return err(ErrCode::kNameTooLong);
+  if (d->children.count(name) != 0) return err(ErrCode::kExist, name);
+  FileId id = alloc_(FileType::kDirectory, mode, uid, gid);
+  d = get_dir_(dir).value();
+  d->children.emplace(name, id);
+  d->attr.nlink++;
+  touch_(*d, true);
+  return id;
+}
+
+Result<FileId> MemFs::symlink(FileId dir, const std::string& name,
+                              const std::string& target) {
+  GVFS_ASSIGN_OR_RETURN(Inode * d, get_dir_(dir));
+  if (d->children.count(name) != 0) return err(ErrCode::kExist, name);
+  FileId id = alloc_(FileType::kSymlink, 0777, 0, 0);
+  get_(id).value()->symlink_target = target;
+  d = get_dir_(dir).value();
+  d->children.emplace(name, id);
+  touch_(*d, true);
+  return id;
+}
+
+Result<std::string> MemFs::readlink(FileId id) {
+  GVFS_ASSIGN_OR_RETURN(Inode * ino, get_(id));
+  if (ino->attr.type != FileType::kSymlink) return err(ErrCode::kInval);
+  return ino->symlink_target;
+}
+
+Status MemFs::link(FileId file, FileId dir, const std::string& name) {
+  GVFS_ASSIGN_OR_RETURN(Inode * target, get_(file));
+  if (target->attr.type == FileType::kDirectory) return err(ErrCode::kIsDir);
+  GVFS_ASSIGN_OR_RETURN(Inode * d, get_dir_(dir));
+  if (d->children.count(name) != 0) return err(ErrCode::kExist, name);
+  d->children.emplace(name, file);
+  touch_(*d, true);
+  target = get_(file).value();
+  target->attr.nlink++;
+  touch_(*target, false);
+  return Status::ok();
+}
+
+Status MemFs::remove(FileId dir, const std::string& name) {
+  GVFS_ASSIGN_OR_RETURN(Inode * d, get_dir_(dir));
+  auto it = d->children.find(name);
+  if (it == d->children.end()) return err(ErrCode::kNoEnt, name);
+  FileId child_id = it->second;
+  GVFS_ASSIGN_OR_RETURN(Inode * child, get_(child_id));
+  if (child->attr.type == FileType::kDirectory) return err(ErrCode::kIsDir);
+  // Drop this directory entry; the inode survives while hard links remain.
+  if (child->attr.nlink > 1) {
+    child->attr.nlink--;
+    touch_(*child, false);
+  } else {
+    inodes_.erase(child_id);
+  }
+  d = get_dir_(dir).value();
+  d->children.erase(name);
+  touch_(*d, true);
+  return Status::ok();
+}
+
+Status MemFs::rmdir(FileId dir, const std::string& name) {
+  GVFS_ASSIGN_OR_RETURN(Inode * d, get_dir_(dir));
+  auto it = d->children.find(name);
+  if (it == d->children.end()) return err(ErrCode::kNoEnt, name);
+  GVFS_ASSIGN_OR_RETURN(Inode * child, get_(it->second));
+  if (child->attr.type != FileType::kDirectory) return err(ErrCode::kNotDir);
+  if (!child->children.empty()) return err(ErrCode::kNotEmpty, name);
+  inodes_.erase(it->second);
+  d = get_dir_(dir).value();
+  d->children.erase(name);
+  d->attr.nlink--;
+  touch_(*d, true);
+  return Status::ok();
+}
+
+Status MemFs::rename(FileId from_dir, const std::string& from_name,
+                     FileId to_dir, const std::string& to_name) {
+  GVFS_ASSIGN_OR_RETURN(Inode * from, get_dir_(from_dir));
+  auto it = from->children.find(from_name);
+  if (it == from->children.end()) return err(ErrCode::kNoEnt, from_name);
+  FileId moving = it->second;
+  GVFS_ASSIGN_OR_RETURN(Inode * to, get_dir_(to_dir));
+  // Overwrite semantics: replace an existing regular-file target.
+  auto existing = to->children.find(to_name);
+  if (existing != to->children.end()) {
+    GVFS_ASSIGN_OR_RETURN(Inode * tgt, get_(existing->second));
+    if (tgt->attr.type == FileType::kDirectory) return err(ErrCode::kIsDir);
+    inodes_.erase(existing->second);
+    to = get_dir_(to_dir).value();
+    to->children.erase(to_name);
+  }
+  from = get_dir_(from_dir).value();
+  from->children.erase(from_name);
+  to = get_dir_(to_dir).value();
+  to->children.emplace(to_name, moving);
+  touch_(*from, true);
+  touch_(*to, true);
+  return Status::ok();
+}
+
+Result<std::vector<DirEntry>> MemFs::readdir(FileId dir) {
+  GVFS_ASSIGN_OR_RETURN(Inode * d, get_dir_(dir));
+  std::vector<DirEntry> out;
+  out.reserve(d->children.size());
+  for (const auto& [name, id] : d->children) {
+    auto child = get_(id);
+    out.push_back(DirEntry{name, id,
+                           child.is_ok() ? (*child)->attr.type : FileType::kRegular});
+  }
+  return out;
+}
+
+Result<const blob::ExtentStore*> MemFs::peek_content(FileId id) const {
+  auto it = inodes_.find(id);
+  if (it == inodes_.end()) return err(ErrCode::kStale);
+  return &it->second.content;
+}
+
+u64 MemFs::materialized_bytes() const {
+  u64 total = 0;
+  for (const auto& [id, ino] : inodes_) total += ino.content.materialized_bytes();
+  return total;
+}
+
+}  // namespace gvfs::vfs

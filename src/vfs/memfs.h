@@ -1,0 +1,85 @@
+// In-memory filesystem with blob-backed sparse file content. Serves as the
+// exported filesystem of image/data servers, the local filesystem of compute
+// servers, and the backing store of the proxy file cache. Purely logical —
+// timing is charged by whoever performs the I/O (NFS server disk model,
+// TimedFs, proxy cache disk).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+
+#include "blob/extent_store.h"
+#include "vfs/vfs.h"
+
+namespace gvfs::vfs {
+
+class MemFs final : public Vfs {
+ public:
+  MemFs();
+
+  [[nodiscard]] FileId root() const override { return kRootId; }
+
+  Result<FileId> lookup(FileId dir, const std::string& name) override;
+  Result<Attr> getattr(FileId id) override;
+  Status setattr(FileId id, const SetAttr& sa) override;
+
+  Result<u32> read(FileId id, u64 offset, std::span<u8> out) override;
+  Result<blob::BlobRef> read_ref(FileId id, u64 offset, u64 len) override;
+
+  Status write(FileId id, u64 offset, std::span<const u8> data) override;
+  Status write_blob(FileId id, u64 offset, blob::BlobRef data, u64 src_off,
+                    u64 len) override;
+
+  Result<FileId> create(FileId dir, const std::string& name, u32 mode, u32 uid,
+                        u32 gid) override;
+  Result<FileId> mkdir(FileId dir, const std::string& name, u32 mode, u32 uid,
+                       u32 gid) override;
+  Result<FileId> symlink(FileId dir, const std::string& name,
+                         const std::string& target) override;
+  Result<std::string> readlink(FileId id) override;
+  Status link(FileId file, FileId dir, const std::string& name) override;
+
+  Status remove(FileId dir, const std::string& name) override;
+  Status rmdir(FileId dir, const std::string& name) override;
+  Status rename(FileId from_dir, const std::string& from_name, FileId to_dir,
+                const std::string& to_name) override;
+
+  Result<std::vector<DirEntry>> readdir(FileId dir) override;
+
+  // Clock source for timestamps; the scenario wires this to the simulation
+  // clock. Defaults to 0 (epoch) which is fine for logic-only tests.
+  void set_clock(std::function<SimTime()> clock) { clock_ = std::move(clock); }
+
+  // Direct access to a file's extent store (observability + zero-copy
+  // internals for caches; not part of the Vfs interface).
+  Result<const blob::ExtentStore*> peek_content(FileId id) const;
+
+  // Sum of materialized (real) bytes across all files.
+  [[nodiscard]] u64 materialized_bytes() const;
+
+  [[nodiscard]] u64 inode_count() const { return inodes_.size(); }
+
+ private:
+  static constexpr FileId kRootId = 1;
+
+  struct Inode {
+    Attr attr;
+    blob::ExtentStore content;                      // regular files
+    std::map<std::string, FileId> children;         // directories
+    std::string symlink_target;                     // symlinks
+  };
+
+  Result<Inode*> get_(FileId id);
+  Result<Inode*> get_dir_(FileId id);
+  SimTime now_() const { return clock_ ? clock_() : 0; }
+  FileId alloc_(FileType type, u32 mode, u32 uid, u32 gid);
+  void touch_(Inode& ino, bool content_changed);
+
+  std::unordered_map<FileId, Inode> inodes_;
+  FileId next_id_ = kRootId + 1;
+  std::function<SimTime()> clock_;
+};
+
+}  // namespace gvfs::vfs

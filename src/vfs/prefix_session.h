@@ -1,0 +1,60 @@
+// A view of another FsSession rooted at a path prefix — how the Local
+// scenario exposes the image directory under the same mount-relative paths
+// that NFS sessions use, so experiment code is scenario-agnostic.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "common/strings.h"
+#include "vfs/fs_session.h"
+
+namespace gvfs::vfs {
+
+class PrefixSession final : public FsSession {
+ public:
+  PrefixSession(FsSession& inner, std::string prefix)
+      : inner_(inner), prefix_(std::move(prefix)) {}
+
+  Result<Attr> stat(sim::Process& p, const std::string& path) override {
+    return inner_.stat(p, abs_(path));
+  }
+  Result<blob::BlobRef> read(sim::Process& p, const std::string& path, u64 offset,
+                             u64 len) override {
+    return inner_.read(p, abs_(path), offset, len);
+  }
+  Status write(sim::Process& p, const std::string& path, u64 offset,
+               blob::BlobRef data) override {
+    return inner_.write(p, abs_(path), offset, std::move(data));
+  }
+  Status create(sim::Process& p, const std::string& path) override {
+    return inner_.create(p, abs_(path));
+  }
+  Status mkdirs(sim::Process& p, const std::string& path) override {
+    return inner_.mkdirs(p, abs_(path));
+  }
+  Status remove(sim::Process& p, const std::string& path) override {
+    return inner_.remove(p, abs_(path));
+  }
+  Status truncate(sim::Process& p, const std::string& path, u64 size) override {
+    return inner_.truncate(p, abs_(path), size);
+  }
+  Status symlink(sim::Process& p, const std::string& link_path,
+                 const std::string& target) override {
+    return inner_.symlink(p, abs_(link_path), target);
+  }
+  Result<std::vector<DirEntry>> list(sim::Process& p, const std::string& path) override {
+    return inner_.list(p, abs_(path));
+  }
+  Status flush(sim::Process& p) override { return inner_.flush(p); }
+
+ private:
+  [[nodiscard]] std::string abs_(const std::string& path) const {
+    return join_path(prefix_, path.empty() || path[0] != '/' ? path : path.substr(1));
+  }
+
+  FsSession& inner_;
+  std::string prefix_;
+};
+
+}  // namespace gvfs::vfs

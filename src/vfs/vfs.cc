@@ -1,0 +1,71 @@
+#include "vfs/vfs.h"
+
+#include "common/strings.h"
+
+namespace gvfs::vfs {
+
+Result<FileId> Vfs::resolve(const std::string& path) {
+  FileId cur = root();
+  for (const std::string& part : split(path, '/')) {
+    if (part.empty() || part == ".") continue;
+    GVFS_ASSIGN_OR_RETURN(FileId next, lookup(cur, part));
+    // Follow symlinks one level (sufficient for the VM image layouts used
+    // here, where symlinks point at sibling files with absolute paths).
+    GVFS_ASSIGN_OR_RETURN(Attr a, getattr(next));
+    if (a.type == FileType::kSymlink) {
+      GVFS_ASSIGN_OR_RETURN(std::string target, readlink(next));
+      GVFS_ASSIGN_OR_RETURN(next, resolve(target));
+    }
+    cur = next;
+  }
+  return cur;
+}
+
+Status Vfs::mkdirs(const std::string& path) {
+  FileId cur = root();
+  for (const std::string& part : split(path, '/')) {
+    if (part.empty() || part == ".") continue;
+    Result<FileId> next = lookup(cur, part);
+    if (next.is_ok()) {
+      cur = *next;
+      continue;
+    }
+    if (next.code() != ErrCode::kNoEnt) return next.status();
+    GVFS_ASSIGN_OR_RETURN(cur, mkdir(cur, part, 0755, 0, 0));
+  }
+  return Status::ok();
+}
+
+Result<FileId> Vfs::put_file(const std::string& path, blob::BlobRef data) {
+  std::string dir = path_dirname(path);
+  std::string name = path_basename(path);
+  GVFS_RETURN_IF_ERROR(mkdirs(dir));
+  GVFS_ASSIGN_OR_RETURN(FileId dir_id, resolve(dir));
+  Result<FileId> existing = lookup(dir_id, name);
+  FileId id;
+  if (existing.is_ok()) {
+    id = *existing;
+    SetAttr sa;
+    sa.set_size = true;
+    sa.size = 0;
+    GVFS_RETURN_IF_ERROR(setattr(id, sa));
+  } else {
+    GVFS_ASSIGN_OR_RETURN(id, create(dir_id, name, 0644, 0, 0));
+  }
+  if (data && data->size() > 0) {
+    u64 len = data->size();
+    GVFS_RETURN_IF_ERROR(write_blob(id, 0, std::move(data), 0, len));
+  }
+  return id;
+}
+
+Result<blob::BlobRef> Vfs::get_file(const std::string& path) {
+  GVFS_ASSIGN_OR_RETURN(FileId id, resolve(path));
+  GVFS_ASSIGN_OR_RETURN(Attr a, getattr(id));
+  if (a.type != FileType::kRegular) return err(ErrCode::kIsDir, path);
+  return read_ref(id, 0, a.size);
+}
+
+bool Vfs::exists(const std::string& path) { return resolve(path).is_ok(); }
+
+}  // namespace gvfs::vfs

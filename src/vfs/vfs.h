@@ -1,0 +1,107 @@
+// Virtual filesystem interface backing NFS servers, local scenarios and the
+// proxy file cache. MemFs (memfs.h) is the canonical implementation. The
+// interface is deliberately NFSv3-shaped (handle-based, stateless) so the
+// NFS server maps onto it 1:1.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "blob/blob.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace gvfs::vfs {
+
+using FileId = u64;  // inode number; doubles as the NFS file handle payload
+
+enum class FileType : u32 { kRegular = 1, kDirectory = 2, kSymlink = 5 };
+
+struct Attr {
+  FileType type = FileType::kRegular;
+  u32 mode = 0644;
+  u32 nlink = 1;
+  u32 uid = 0;
+  u32 gid = 0;
+  u64 size = 0;
+  SimTime atime = 0;
+  SimTime mtime = 0;
+  SimTime ctime = 0;
+  FileId fileid = 0;
+};
+
+// Subset of attributes settable via SETATTR; unset fields untouched.
+struct SetAttr {
+  bool set_mode = false;
+  u32 mode = 0;
+  bool set_uid = false;
+  u32 uid = 0;
+  bool set_gid = false;
+  u32 gid = 0;
+  bool set_size = false;
+  u64 size = 0;
+  bool set_mtime = false;
+  SimTime mtime = 0;
+};
+
+struct DirEntry {
+  std::string name;
+  FileId id = 0;
+  FileType type = FileType::kRegular;
+};
+
+class Vfs {
+ public:
+  virtual ~Vfs() = default;
+
+  [[nodiscard]] virtual FileId root() const = 0;
+
+  virtual Result<FileId> lookup(FileId dir, const std::string& name) = 0;
+  virtual Result<Attr> getattr(FileId id) = 0;
+  virtual Status setattr(FileId id, const SetAttr& sa) = 0;
+
+  // Read up to out.size() bytes; returns bytes read (short at EOF).
+  virtual Result<u32> read(FileId id, u64 offset, std::span<u8> out) = 0;
+  // Zero-copy read: a blob covering min(len, size-offset) bytes.
+  virtual Result<blob::BlobRef> read_ref(FileId id, u64 offset, u64 len) = 0;
+
+  virtual Status write(FileId id, u64 offset, std::span<const u8> data) = 0;
+  // Zero-copy write (splices the blob in).
+  virtual Status write_blob(FileId id, u64 offset, blob::BlobRef data, u64 src_off,
+                            u64 len) = 0;
+
+  virtual Result<FileId> create(FileId dir, const std::string& name, u32 mode,
+                                u32 uid, u32 gid) = 0;
+  virtual Result<FileId> mkdir(FileId dir, const std::string& name, u32 mode,
+                               u32 uid, u32 gid) = 0;
+  virtual Result<FileId> symlink(FileId dir, const std::string& name,
+                                 const std::string& target) = 0;
+  virtual Result<std::string> readlink(FileId id) = 0;
+
+  // Hard link: a second directory entry for an existing file (nlink++).
+  virtual Status link(FileId file, FileId dir, const std::string& name) {
+    (void)file;
+    (void)dir;
+    (void)name;
+    return err(ErrCode::kNotSupported, "hard links");
+  }
+
+  virtual Status remove(FileId dir, const std::string& name) = 0;
+  virtual Status rmdir(FileId dir, const std::string& name) = 0;
+  virtual Status rename(FileId from_dir, const std::string& from_name,
+                        FileId to_dir, const std::string& to_name) = 0;
+
+  virtual Result<std::vector<DirEntry>> readdir(FileId dir) = 0;
+
+  // --- Path convenience layer (slash-separated, rooted at root()) ---------
+  Result<FileId> resolve(const std::string& path);
+  // Creates missing intermediate directories.
+  Status mkdirs(const std::string& path);
+  // Create-or-replace a regular file whose content is `data`.
+  Result<FileId> put_file(const std::string& path, blob::BlobRef data);
+  Result<blob::BlobRef> get_file(const std::string& path);
+  [[nodiscard]] bool exists(const std::string& path);
+};
+
+}  // namespace gvfs::vfs

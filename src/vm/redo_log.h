@@ -1,0 +1,51 @@
+// Redo log for non-persistent virtual disks (§3.2.3): writes of a cloned VM
+// go to an append-only log file while the golden virtual disk stays
+// read-only; reads consult the log index first. When the log lives on a
+// GVFS mount, proxy write-back absorbs its latency (the paper's
+// "write-back of redo logs" case).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "blob/blob.h"
+#include "common/status.h"
+#include "sim/kernel.h"
+#include "vfs/fs_session.h"
+
+namespace gvfs::vm {
+
+class RedoLog {
+ public:
+  // `fs`/`path`: where the log file lives. `grain`: block granularity of
+  // the index (VMware uses sector runs; 4 KiB is a faithful simplification).
+  RedoLog(vfs::FsSession& fs, std::string path, u32 grain = 4_KiB)
+      : fs_(fs), path_(std::move(path)), grain_(grain) {}
+
+  Status create(sim::Process& p) { return fs_.put(p, path_, blob::make_zero(0)); }
+
+  // Record a write of `data` at virtual-disk offset `disk_off`.
+  // Precondition: offset and size are grain-aligned (the VM monitor aligns).
+  Status append(sim::Process& p, u64 disk_off, const blob::BlobRef& data);
+
+  // True iff the grain containing `disk_off` has been overwritten.
+  [[nodiscard]] bool covers(u64 disk_off) const;
+
+  // Read one grain-aligned range previously written (must be covered).
+  Result<blob::BlobRef> read(sim::Process& p, u64 disk_off, u64 len);
+
+  Status flush(sim::Process& p) { return fs_.flush(p); }
+
+  [[nodiscard]] u64 log_bytes() const { return log_size_; }
+  [[nodiscard]] u64 grains() const { return index_.size(); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  vfs::FsSession& fs_;
+  std::string path_;
+  u32 grain_;
+  std::map<u64, u64> index_;  // disk grain index -> log file offset
+  u64 log_size_ = 0;
+};
+
+}  // namespace gvfs::vm

@@ -1,0 +1,65 @@
+#include "vm/vm_image.h"
+
+#include "common/hash.h"
+#include "meta/meta_file.h"
+
+namespace gvfs::vm {
+
+namespace {
+
+blob::BlobRef cfg_blob(const VmImageSpec& spec) {
+  std::string cfg;
+  cfg += "config.version = \"7\"\n";
+  cfg += "virtualHW.version = \"3\"\n";
+  cfg += "displayName = \"" + spec.name + "\"\n";
+  cfg += "memsize = \"" + std::to_string(spec.memory_bytes >> 20) + "\"\n";
+  cfg += "scsi0:0.fileName = \"" + spec.name + ".vmdk\"\n";
+  cfg += "guestOS = \"linux\"\n";
+  std::vector<u8> raw(cfg.begin(), cfg.end());
+  return blob::make_bytes(std::move(raw));
+}
+
+blob::BlobRef vmdk_descriptor(const VmImageSpec& spec) {
+  std::string d;
+  d += "# Disk DescriptorFile\nversion=1\ncreateType=\"monolithicFlat\"\n";
+  d += "RW " + std::to_string(spec.disk_bytes / 512) + " FLAT \"" + spec.name +
+       "-flat.vmdk\" 0\n";
+  std::vector<u8> raw(d.begin(), d.end());
+  return blob::make_bytes(std::move(raw));
+}
+
+}  // namespace
+
+blob::BlobRef memory_state_blob(const VmImageSpec& spec) {
+  return blob::make_synthetic(hash_combine(spec.seed, 0x6d656d), spec.memory_bytes,
+                              spec.mem_zero_fraction, spec.mem_compress_ratio);
+}
+
+blob::BlobRef disk_blob(const VmImageSpec& spec) {
+  return blob::make_synthetic(hash_combine(spec.seed, 0x6469736b), spec.disk_bytes,
+                              spec.disk_zero_fraction, spec.disk_compress_ratio);
+}
+
+Result<VmImagePaths> install_image(vfs::Vfs& fs, const std::string& dir,
+                                   const VmImageSpec& spec) {
+  VmImagePaths paths{dir, spec.name};
+  GVFS_RETURN_IF_ERROR(fs.mkdirs(dir));
+  GVFS_RETURN_IF_ERROR(fs.put_file(paths.cfg(), cfg_blob(spec)).status());
+  GVFS_RETURN_IF_ERROR(fs.put_file(paths.vmss(), memory_state_blob(spec)).status());
+  GVFS_RETURN_IF_ERROR(fs.put_file(paths.vmdk(), vmdk_descriptor(spec)).status());
+  GVFS_RETURN_IF_ERROR(fs.put_file(paths.flat_vmdk(), disk_blob(spec)).status());
+  return paths;
+}
+
+Status generate_vmss_metadata(vfs::Vfs& fs, const VmImagePaths& paths,
+                              u32 zero_block_size, bool with_file_channel) {
+  GVFS_ASSIGN_OR_RETURN(blob::BlobRef vmss, fs.get_file(paths.vmss()));
+  meta::MetaFile m = meta::MetaFile::generate(
+      *vmss, zero_block_size,
+      with_file_channel ? meta::file_channel_actions() : std::vector<meta::Action>{});
+  GVFS_RETURN_IF_ERROR(
+      fs.put_file(meta::MetaFile::meta_path_for(paths.vmss()), m.serialize()).status());
+  return Status::ok();
+}
+
+}  // namespace gvfs::vm

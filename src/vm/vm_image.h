@@ -1,0 +1,59 @@
+// VM image model: the on-server representation of a VMware-GSX-style hosted
+// VM — a small .cfg, a memory state file (.vmss) written at suspend, and a
+// plain-mode virtual disk (.vmdk descriptor + -flat.vmdk extent). Content is
+// synthetic (seeded, with realistic zero fractions and compressibility) so a
+// 320 MB / 1.6 GB image costs almost nothing until read.
+#pragma once
+
+#include <string>
+
+#include "blob/blob.h"
+#include "common/status.h"
+#include "vfs/vfs.h"
+
+namespace gvfs::vm {
+
+struct VmImageSpec {
+  std::string name = "vm";
+  u64 memory_bytes = 320_MiB;
+  u64 disk_bytes = u64{1638} * 1_MiB;  // 1.6 GB
+  // Post-boot suspended images are mostly zero pages (§3.2.2: 60452 of
+  // 65750 8 KB reads of a 512 MB image were all-zero ≈ 92 %).
+  double mem_zero_fraction = 0.92;
+  double mem_compress_ratio = 3.0;  // of non-zero pages
+  double disk_zero_fraction = 0.55;  // unallocated guest blocks
+  double disk_compress_ratio = 2.2;
+  u64 seed = 42;
+};
+
+// Standard file names within the image directory.
+struct VmImagePaths {
+  std::string dir;
+  std::string name;
+
+  [[nodiscard]] std::string cfg() const { return dir + "/" + name + ".cfg"; }
+  [[nodiscard]] std::string vmss() const { return dir + "/" + name + ".vmss"; }
+  [[nodiscard]] std::string vmdk() const { return dir + "/" + name + ".vmdk"; }
+  [[nodiscard]] std::string flat_vmdk() const {
+    return dir + "/" + name + "-flat.vmdk";
+  }
+};
+
+// Create the image files on a filesystem (an image server export or a local
+// disk). Returns the paths.
+Result<VmImagePaths> install_image(vfs::Vfs& fs, const std::string& dir,
+                                   const VmImageSpec& spec);
+
+// The memory-state content blob an installed image has (deterministic from
+// the spec; used by tests and meta-data generation).
+blob::BlobRef memory_state_blob(const VmImageSpec& spec);
+blob::BlobRef disk_blob(const VmImageSpec& spec);
+
+// Middleware pre-processing (§3.2.2): scan the .vmss and drop a meta-data
+// file with a zero map at `zero_block_size` plus the file-channel action
+// list next to it.
+Status generate_vmss_metadata(vfs::Vfs& fs, const VmImagePaths& paths,
+                              u32 zero_block_size = 8_KiB,
+                              bool with_file_channel = true);
+
+}  // namespace gvfs::vm

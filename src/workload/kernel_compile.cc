@@ -1,0 +1,92 @@
+#include "workload/kernel_compile.h"
+
+namespace gvfs::workload {
+
+Status KernelCompileWorkload::install(vm::GuestFs& fs) {
+  PopulationSpec src;
+  src.prefix = "src";
+  src.files = cfg_.source_files;
+  src.total_bytes = cfg_.source_bytes;
+  src.min_file = 1_KiB;
+  src.seed = cfg_.seed;
+  src.inode_region = 160_MiB;
+  sources_ = std::make_unique<FilePopulation>(fs, src);
+  GVFS_RETURN_IF_ERROR(sources_->install());
+
+  // Object files start empty with growth reserves (outputs of the build).
+  for (u32 i = 0; i < cfg_.object_files; ++i) {
+    GVFS_RETURN_IF_ERROR(fs.add_file("obj" + std::to_string(i), 0,
+                                     2 * cfg_.object_bytes / cfg_.object_files + 8_KiB));
+  }
+
+  GVFS_RETURN_IF_ERROR(fs.add_file("vmlinux.dep", 0, 4_MiB));
+  GVFS_RETURN_IF_ERROR(fs.add_file("bzImage", 0, cfg_.bzimage_bytes + 1_MiB));
+  GVFS_RETURN_IF_ERROR(fs.add_file("modules.tar", 0, cfg_.modules_out_bytes + 2_MiB));
+  GVFS_RETURN_IF_ERROR(fs.add_file("modules.inst", 0, cfg_.modules_out_bytes + 2_MiB));
+  return Status::ok();
+}
+
+Result<WorkloadReport> KernelCompileWorkload::run(sim::Process& p, vm::GuestFs& fs) {
+  if (!sources_) return err(ErrCode::kInval, "install() not run");
+  WorkloadReport report;
+  report.workload = "kernel-compile";
+  u64 per_obj = cfg_.object_bytes / cfg_.object_files;
+
+  // make dep: scan every source file, emit the dependency database.
+  SimTime t0 = p.now();
+  GVFS_RETURN_IF_ERROR(sources_->read_all(p));
+  p.delay(from_seconds(cfg_.dep_compute_s));
+  GVFS_RETURN_IF_ERROR(fs.write(p, "vmlinux.dep", 0, payload(cfg_.seed ^ 1, 2_MiB)));
+  GVFS_RETURN_IF_ERROR(fs.sync(p));
+  report.phases.push_back({"make dep", to_seconds(p.now() - t0)});
+
+  // make bzImage: compile the core (re-reads ~40% of sources, writes ~55% of
+  // the objects, links the image).
+  t0 = p.now();
+  for (u32 i = 0; i < cfg_.source_files; i += 5) {
+    for (u32 j = i; j < std::min(cfg_.source_files, i + 2); ++j) {
+      GVFS_RETURN_IF_ERROR(sources_->read_file(p, j).status());
+    }
+  }
+  p.delay(from_seconds(cfg_.bzimage_compute_s));
+  for (u32 i = 0; i < cfg_.object_files; i += 2) {
+    GVFS_RETURN_IF_ERROR(
+        fs.write(p, "obj" + std::to_string(i), 0, payload(cfg_.seed + i, per_obj)));
+    if (i % 64 == 0) GVFS_RETURN_IF_ERROR(fs.sync(p));
+  }
+  GVFS_RETURN_IF_ERROR(
+      fs.write(p, "bzImage", 0, payload(cfg_.seed ^ 2, cfg_.bzimage_bytes)));
+  GVFS_RETURN_IF_ERROR(fs.sync(p));
+  report.phases.push_back({"make bzImage", to_seconds(p.now() - t0)});
+
+  // make modules: compile the rest.
+  t0 = p.now();
+  for (u32 i = 2; i < cfg_.source_files; i += 5) {
+    for (u32 j = i; j < std::min(cfg_.source_files, i + 3); ++j) {
+      GVFS_RETURN_IF_ERROR(sources_->read_file(p, j).status());
+    }
+  }
+  p.delay(from_seconds(cfg_.modules_compute_s));
+  for (u32 i = 1; i < cfg_.object_files; i += 2) {
+    GVFS_RETURN_IF_ERROR(
+        fs.write(p, "obj" + std::to_string(i), 0, payload(cfg_.seed + i, per_obj)));
+    if (i % 64 == 1) GVFS_RETURN_IF_ERROR(fs.sync(p));
+  }
+  GVFS_RETURN_IF_ERROR(
+      fs.write(p, "modules.tar", 0, payload(cfg_.seed ^ 3, cfg_.modules_out_bytes)));
+  GVFS_RETURN_IF_ERROR(fs.sync(p));
+  report.phases.push_back({"make modules", to_seconds(p.now() - t0)});
+
+  // make modules_install: copy the freshly built modules.
+  t0 = p.now();
+  GVFS_RETURN_IF_ERROR(fs.read(p, "modules.tar", 0, cfg_.modules_out_bytes).status());
+  p.delay(from_seconds(cfg_.install_compute_s));
+  GVFS_RETURN_IF_ERROR(
+      fs.write(p, "modules.inst", 0, payload(cfg_.seed ^ 4, cfg_.modules_out_bytes)));
+  GVFS_RETURN_IF_ERROR(fs.sync(p));
+  report.phases.push_back({"make modules_install", to_seconds(p.now() - t0)});
+
+  return report;
+}
+
+}  // namespace gvfs::workload

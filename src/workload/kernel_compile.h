@@ -1,0 +1,46 @@
+// Linux 2.4.18 kernel-compilation model (§4.2.1): "make dep",
+// "make bzImage", "make modules", "make modules_install" — substantial reads
+// and writes over a large number of files, the Andrew-benchmark-style
+// software development pattern of Figure 5. Two consecutive runs distinguish
+// cold from warm host caches.
+#pragma once
+
+#include <memory>
+
+#include "common/status.h"
+#include "sim/kernel.h"
+#include "vm/guest_fs.h"
+#include "workload/population.h"
+#include "workload/report.h"
+
+namespace gvfs::workload {
+
+struct KernelCompileConfig {
+  u32 source_files = 5200;       // .c/.h population touched by the build
+  u64 source_bytes = 118_MiB;
+  u32 object_files = 1400;
+  u64 object_bytes = 58_MiB;     // .o outputs
+  u64 bzimage_bytes = u64{1300} * 1_KiB;
+  u64 modules_out_bytes = 34_MiB;
+  double dep_compute_s = 95;
+  double bzimage_compute_s = 520;
+  double modules_compute_s = 760;
+  double install_compute_s = 25;
+  u64 seed = 0xc0de;
+};
+
+class KernelCompileWorkload {
+ public:
+  explicit KernelCompileWorkload(KernelCompileConfig cfg = {}) : cfg_(cfg) {}
+
+  Status install(vm::GuestFs& fs);
+
+  // One full build (4 phases: dep / bzImage / modules / modules_install).
+  Result<WorkloadReport> run(sim::Process& p, vm::GuestFs& fs);
+
+ private:
+  KernelCompileConfig cfg_;
+  std::unique_ptr<FilePopulation> sources_;
+};
+
+}  // namespace gvfs::workload

@@ -1,0 +1,77 @@
+#include "workload/latex.h"
+
+namespace gvfs::workload {
+
+Status LatexWorkload::install(vm::GuestFs& fs) {
+  PopulationSpec support;
+  support.prefix = "texmf";
+  support.files = cfg_.support_files;
+  support.total_bytes = cfg_.support_bytes;
+  support.min_file = 2_KiB;
+  support.seed = cfg_.seed;
+  support.inode_region = 180_MiB;
+  support_ = std::make_unique<FilePopulation>(fs, support);
+  GVFS_RETURN_IF_ERROR(support_->install());
+
+  PopulationSpec sources;
+  sources.prefix = "doc";
+  sources.files = cfg_.source_files;
+  sources.total_bytes = cfg_.source_bytes;
+  sources.min_file = 4_KiB;
+  sources.seed = cfg_.seed ^ 0x5;
+  sources.inode_region = 186_MiB;
+  sources_ = std::make_unique<FilePopulation>(fs, sources);
+  GVFS_RETURN_IF_ERROR(sources_->install());
+
+  GVFS_RETURN_IF_ERROR(fs.add_file("paper.aux", 0, 2_MiB));
+  GVFS_RETURN_IF_ERROR(fs.add_file("paper.dvi", 0, 4_MiB));
+  GVFS_RETURN_IF_ERROR(fs.add_file("paper.pdf", 0, 6_MiB));
+  GVFS_RETURN_IF_ERROR(fs.add_file("paper.bbl", 0, 512_KiB));
+  return Status::ok();
+}
+
+Status LatexWorkload::iteration_(sim::Process& p, vm::GuestFs& fs, u32 iter) {
+  u64 seed = cfg_.seed + iter * 1009;
+
+  // patch: rewrite one source file.
+  p.delay(from_seconds(cfg_.patch_compute_s));
+  u32 victim = iter % sources_->count();
+  GVFS_RETURN_IF_ERROR(
+      sources_->write_file(p, victim, sources_->file_size(victim)));
+  GVFS_RETURN_IF_ERROR(fs.sync(p));
+
+  // latex: read binaries/styles/fonts + all sources, write aux/log/dvi.
+  GVFS_RETURN_IF_ERROR(support_->read_all(p));
+  GVFS_RETURN_IF_ERROR(sources_->read_all(p));
+  p.delay(from_seconds(cfg_.latex_compute_s));
+  GVFS_RETURN_IF_ERROR(fs.write(p, "paper.aux", 0, payload(seed, cfg_.aux_bytes)));
+  GVFS_RETURN_IF_ERROR(fs.write(p, "paper.dvi", 0, payload(seed ^ 1, cfg_.dvi_bytes)));
+  GVFS_RETURN_IF_ERROR(fs.sync(p));
+
+  // bibtex: read aux + a few database files, write bbl.
+  GVFS_RETURN_IF_ERROR(fs.read(p, "paper.aux", 0, cfg_.aux_bytes).status());
+  p.delay(from_seconds(cfg_.bibtex_compute_s));
+  GVFS_RETURN_IF_ERROR(fs.write(p, "paper.bbl", 0, payload(seed ^ 2, 96_KiB)));
+  GVFS_RETURN_IF_ERROR(fs.sync(p));
+
+  // dvipdf: read dvi + fonts (already cached), write the PDF.
+  GVFS_RETURN_IF_ERROR(fs.read(p, "paper.dvi", 0, cfg_.dvi_bytes).status());
+  p.delay(from_seconds(cfg_.dvipdf_compute_s));
+  GVFS_RETURN_IF_ERROR(fs.write(p, "paper.pdf", 0, payload(seed ^ 3, cfg_.pdf_bytes)));
+  GVFS_RETURN_IF_ERROR(fs.sync(p));
+  return Status::ok();
+}
+
+Result<WorkloadReport> LatexWorkload::run(sim::Process& p, vm::GuestFs& fs) {
+  if (!support_) return err(ErrCode::kInval, "install() not run");
+  WorkloadReport report;
+  report.workload = "LaTeX";
+  for (u32 i = 0; i < cfg_.iterations; ++i) {
+    SimTime t0 = p.now();
+    GVFS_RETURN_IF_ERROR(iteration_(p, fs, i));
+    report.phases.push_back({"iter" + std::to_string(i + 1), to_seconds(p.now() - t0)});
+  }
+  return report;
+}
+
+}  // namespace gvfs::workload

@@ -1,0 +1,55 @@
+// LaTeX interactive-session model (§4.2.1): 20 iterations of
+// patch → latex → bibtex → dvipdf over a 190-page document. The first
+// iteration reads the whole binary + style/font population cold; later
+// iterations re-read mostly from caches and are dominated by the patched
+// inputs and written outputs — the response-time pattern Figure 4 plots.
+#pragma once
+
+#include <memory>
+
+#include "common/status.h"
+#include "sim/kernel.h"
+#include "vm/guest_fs.h"
+#include "workload/population.h"
+#include "workload/report.h"
+
+namespace gvfs::workload {
+
+struct LatexConfig {
+  u32 iterations = 20;
+  // Binaries, class/style files, fonts: read (cold) by the first iteration.
+  u32 support_files = 300;
+  u64 support_bytes = 13_MiB;
+  // Document sources: patched and re-read every iteration.
+  u32 source_files = 24;
+  u64 source_bytes = 1500_KiB;
+  // Outputs written per iteration (aux/log/dvi/pdf).
+  u64 dvi_bytes = 900_KiB;
+  u64 pdf_bytes = 1300_KiB;
+  u64 aux_bytes = 200_KiB;
+  double latex_compute_s = 4.2;
+  double bibtex_compute_s = 0.6;
+  double dvipdf_compute_s = 4.8;
+  double patch_compute_s = 0.1;
+  u64 seed = 0x1a7e;
+};
+
+class LatexWorkload {
+ public:
+  explicit LatexWorkload(LatexConfig cfg = {}) : cfg_(cfg) {}
+
+  Status install(vm::GuestFs& fs);
+
+  // Runs all iterations; the report has one phase per iteration
+  // ("iter1" ... "iterN") so harnesses can split first vs. mean-of-rest.
+  Result<WorkloadReport> run(sim::Process& p, vm::GuestFs& fs);
+
+ private:
+  Status iteration_(sim::Process& p, vm::GuestFs& fs, u32 iter);
+
+  LatexConfig cfg_;
+  std::unique_ptr<FilePopulation> support_;
+  std::unique_ptr<FilePopulation> sources_;
+};
+
+}  // namespace gvfs::workload

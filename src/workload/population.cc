@@ -1,0 +1,80 @@
+#include "workload/population.h"
+
+#include <algorithm>
+
+namespace gvfs::workload {
+
+blob::BlobRef payload(u64 seed, u64 bytes, double zero_fraction,
+                      double compress_ratio) {
+  return blob::make_synthetic(seed, bytes, zero_fraction, compress_ratio);
+}
+
+FilePopulation::FilePopulation(vm::GuestFs& fs, PopulationSpec spec)
+    : fs_(fs), spec_(std::move(spec)) {
+  // Draw sizes from an exponential mix (many small, a few large), then scale
+  // to the requested total.
+  SplitMix64 rng(spec_.seed);
+  sizes_.resize(spec_.files);
+  double sum = 0;
+  std::vector<double> w(spec_.files);
+  for (u32 i = 0; i < spec_.files; ++i) {
+    w[i] = rng.next_exponential(1.0);
+    sum += w[i];
+  }
+  u64 assigned = 0;
+  for (u32 i = 0; i < spec_.files; ++i) {
+    u64 s = spec_.min_file +
+            static_cast<u64>(w[i] / sum * static_cast<double>(spec_.total_bytes));
+    sizes_[i] = s;
+    assigned += s;
+  }
+  (void)assigned;
+}
+
+std::string FilePopulation::name_of(u32 index) const {
+  return spec_.prefix + std::to_string(index);
+}
+
+u64 FilePopulation::total_bytes() const {
+  u64 t = 0;
+  for (u64 s : sizes_) t += s;
+  return t;
+}
+
+Status FilePopulation::install() {
+  for (u32 i = 0; i < spec_.files; ++i) {
+    // Populations model aged filesystems: small files live in scattered
+    // extents, so cold reads cannot be coalesced into large transfers.
+    GVFS_RETURN_IF_ERROR(fs_.add_file(name_of(i), sizes_[i],
+                                      sizes_[i] + spec_.inter_file_gap,
+                                      /*fragmented=*/true));
+  }
+  return Status::ok();
+}
+
+Status FilePopulation::open(sim::Process& p, u32 index) {
+  // Inode block read: 4 KiB in this population's inode region, scattered by
+  // a hash so unrelated opens don't share blocks.
+  u64 block = mix64(spec_.seed ^ index) % std::max<u32>(1, spec_.files / spec_.inodes_per_block + 1);
+  return fs_.vm_read_meta(p, spec_.inode_region + block * 4_KiB, 4_KiB);
+}
+
+Result<blob::BlobRef> FilePopulation::read_file(sim::Process& p, u32 index) {
+  GVFS_RETURN_IF_ERROR(open(p, index));
+  return fs_.read_all(p, name_of(index));
+}
+
+Status FilePopulation::write_file(sim::Process& p, u32 index, u64 bytes) {
+  GVFS_RETURN_IF_ERROR(open(p, index));
+  return fs_.write(p, name_of(index), 0,
+                   payload(mix64(spec_.seed + index), bytes));
+}
+
+Status FilePopulation::read_all(sim::Process& p) {
+  for (u32 i = 0; i < spec_.files; ++i) {
+    GVFS_RETURN_IF_ERROR(read_file(p, i).status());
+  }
+  return Status::ok();
+}
+
+}  // namespace gvfs::workload

@@ -1,0 +1,66 @@
+// File population model: the set of files an application touches inside the
+// guest, laid out on the virtual disk with realistic scatter, plus an
+// inode-region model so cold opens cost metadata block reads (which become
+// WAN round trips on uncached mounts — a large share of the paper's
+// first-iteration latencies).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "blob/blob.h"
+#include "common/rng.h"
+#include "sim/kernel.h"
+#include "vm/guest_fs.h"
+
+namespace gvfs::workload {
+
+struct PopulationSpec {
+  std::string prefix = "f";
+  u32 files = 100;
+  u64 total_bytes = 16_MiB;
+  u64 min_file = 1_KiB;
+  u64 seed = 1;
+  // Disk region where this population's inode blocks live.
+  u64 inode_region = 192_MiB;
+  u32 inodes_per_block = 32;
+  // Gap inserted between files on disk (fragmentation model).
+  u64 inter_file_gap = 8_KiB;
+};
+
+class FilePopulation {
+ public:
+  FilePopulation(vm::GuestFs& fs, PopulationSpec spec);
+
+  // Lay the files out on the virtual disk (image-install time, no sim cost).
+  Status install();
+
+  [[nodiscard]] u32 count() const { return spec_.files; }
+  [[nodiscard]] u64 file_size(u32 index) const { return sizes_[index]; }
+  [[nodiscard]] u64 total_bytes() const;
+  [[nodiscard]] std::string name_of(u32 index) const;
+
+  // Open models the metadata path: reads the file's inode block (guest
+  // cached after first touch).
+  Status open(sim::Process& p, u32 index);
+
+  // open + read the whole file.
+  Result<blob::BlobRef> read_file(sim::Process& p, u32 index);
+
+  // open + overwrite the first `bytes` (extends if needed) with seeded data.
+  Status write_file(sim::Process& p, u32 index, u64 bytes);
+
+  // Read every file in index order (a scan pass).
+  Status read_all(sim::Process& p);
+
+ private:
+  vm::GuestFs& fs_;
+  PopulationSpec spec_;
+  std::vector<u64> sizes_;
+};
+
+// Seeded payload helper shared by workloads.
+blob::BlobRef payload(u64 seed, u64 bytes, double zero_fraction = 0.05,
+                      double compress_ratio = 2.0);
+
+}  // namespace gvfs::workload

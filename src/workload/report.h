@@ -1,0 +1,34 @@
+// Phase-structured timing reports produced by workload models — the rows the
+// paper's Figures 3-5 plot.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace gvfs::workload {
+
+struct PhaseTiming {
+  std::string name;
+  double seconds = 0;
+};
+
+struct WorkloadReport {
+  std::string workload;
+  std::vector<PhaseTiming> phases;
+
+  [[nodiscard]] double total_s() const {
+    double t = 0;
+    for (const PhaseTiming& ph : phases) t += ph.seconds;
+    return t;
+  }
+  [[nodiscard]] double phase_s(const std::string& name) const {
+    for (const PhaseTiming& ph : phases) {
+      if (ph.name == name) return ph.seconds;
+    }
+    return 0;
+  }
+};
+
+}  // namespace gvfs::workload

@@ -1,0 +1,83 @@
+#include "workload/specseis.h"
+
+#include <algorithm>
+
+#include "workload/population.h"
+
+namespace gvfs::workload {
+
+Status SpecSeisWorkload::install(vm::GuestFs& fs) {
+  GVFS_RETURN_IF_ERROR(fs.add_file("seis.in", cfg_.input_bytes));
+  GVFS_RETURN_IF_ERROR(fs.add_file("seis.trace", 0, cfg_.trace_bytes + 1_MiB));
+  GVFS_RETURN_IF_ERROR(fs.add_file("seis.work", 0, 8_MiB));
+  GVFS_RETURN_IF_ERROR(fs.add_file("seis.out", 0, cfg_.result_bytes + 1_MiB));
+  return Status::ok();
+}
+
+Status SpecSeisWorkload::stream_read_(sim::Process& p, vm::GuestFs& fs,
+                                      const std::string& name, u64 bytes) {
+  u64 size = std::min(bytes, fs.size(name));
+  u64 off = 0;
+  while (off < size) {
+    u64 n = std::min<u64>(cfg_.io_chunk, size - off);
+    GVFS_RETURN_IF_ERROR(fs.read(p, name, off, n).status());
+    off += n;
+  }
+  return Status::ok();
+}
+
+Status SpecSeisWorkload::stream_write_(sim::Process& p, vm::GuestFs& fs,
+                                       const std::string& name, u64 bytes,
+                                       u64 seed) {
+  u64 off = fs.size(name) == 0 ? 0 : fs.size(name);
+  (void)off;
+  u64 written = 0;
+  while (written < bytes) {
+    u64 n = std::min<u64>(cfg_.io_chunk, bytes - written);
+    GVFS_RETURN_IF_ERROR(fs.write(p, name, written, payload(seed + written, n)));
+    written += n;
+  }
+  return Status::ok();
+}
+
+Result<WorkloadReport> SpecSeisWorkload::run(sim::Process& p, vm::GuestFs& fs) {
+  WorkloadReport report;
+  report.workload = "SPECseis96";
+
+  // Phase 1: read the source data, heavy compute, generate the trace file.
+  SimTime t0 = p.now();
+  GVFS_RETURN_IF_ERROR(stream_read_(p, fs, "seis.in", cfg_.input_bytes));
+  p.delay(from_seconds(cfg_.p1_compute_s));
+  GVFS_RETURN_IF_ERROR(stream_write_(p, fs, "seis.trace", cfg_.trace_bytes, cfg_.seed));
+  GVFS_RETURN_IF_ERROR(fs.sync(p));
+  report.phases.push_back({"phase1", to_seconds(p.now() - t0)});
+
+  // Phase 2: first processing pass over the trace.
+  t0 = p.now();
+  GVFS_RETURN_IF_ERROR(stream_read_(p, fs, "seis.trace", cfg_.trace_bytes));
+  p.delay(from_seconds(cfg_.p2_compute_s));
+  GVFS_RETURN_IF_ERROR(stream_write_(p, fs, "seis.work", 2_MiB, cfg_.seed ^ 2));
+  GVFS_RETURN_IF_ERROR(fs.sync(p));
+  report.phases.push_back({"phase2", to_seconds(p.now() - t0)});
+
+  // Phase 3: partial pass + intermediate output.
+  t0 = p.now();
+  GVFS_RETURN_IF_ERROR(stream_read_(p, fs, "seis.trace", cfg_.trace_bytes * 3 / 5));
+  p.delay(from_seconds(cfg_.p3_compute_s));
+  GVFS_RETURN_IF_ERROR(stream_write_(p, fs, "seis.work", 4_MiB, cfg_.seed ^ 3));
+  GVFS_RETURN_IF_ERROR(fs.sync(p));
+  report.phases.push_back({"phase3", to_seconds(p.now() - t0)});
+
+  // Phase 4: compute-bound seismic stacking/migration.
+  t0 = p.now();
+  GVFS_RETURN_IF_ERROR(stream_read_(p, fs, "seis.trace", cfg_.trace_bytes));
+  p.delay(from_seconds(cfg_.p4_compute_s));
+  GVFS_RETURN_IF_ERROR(
+      stream_write_(p, fs, "seis.out", cfg_.result_bytes, cfg_.seed ^ 4));
+  GVFS_RETURN_IF_ERROR(fs.sync(p));
+  report.phases.push_back({"phase4", to_seconds(p.now() - t0)});
+
+  return report;
+}
+
+}  // namespace gvfs::workload

@@ -1,0 +1,47 @@
+// SPECseis96 model (§4.2.1): four phases; phase 1 generates a large trace
+// file consumed by the later phases, phase 4 is compute-dominated seismic
+// processing. Run in sequential mode with the small dataset, as the paper
+// does. The phase structure is what matters: phase 1 exposes write policy
+// (write-back wins), phase 4 shows compute insensitivity to the file system.
+#pragma once
+
+#include "common/status.h"
+#include "sim/kernel.h"
+#include "vm/guest_fs.h"
+#include "workload/report.h"
+
+namespace gvfs::workload {
+
+struct SpecSeisConfig {
+  u64 input_bytes = 10_MiB;    // seismic source data (in the image)
+  u64 trace_bytes = 56_MiB;    // phase-1 output, re-read by later phases
+  u64 result_bytes = 8_MiB;
+  double p1_compute_s = 70;    // phase 1 is I/O-heavy (writes the trace)
+  double p2_compute_s = 68;
+  double p3_compute_s = 92;
+  double p4_compute_s = 415;   // "intensive seismic processing computations"
+  u64 io_chunk = 256_KiB;
+  u64 seed = 0x5e15;
+};
+
+class SpecSeisWorkload {
+ public:
+  explicit SpecSeisWorkload(SpecSeisConfig cfg = {}) : cfg_(cfg) {}
+
+  // Lay the input data out in the guest (image-build time).
+  Status install(vm::GuestFs& fs);
+
+  // Run all four phases; phase boundaries sync the guest (batch-job file
+  // closes + journal commits).
+  Result<WorkloadReport> run(sim::Process& p, vm::GuestFs& fs);
+
+ private:
+  Status stream_read_(sim::Process& p, vm::GuestFs& fs, const std::string& name,
+                      u64 bytes);
+  Status stream_write_(sim::Process& p, vm::GuestFs& fs, const std::string& name,
+                       u64 bytes, u64 seed);
+
+  SpecSeisConfig cfg_;
+};
+
+}  // namespace gvfs::workload

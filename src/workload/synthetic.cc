@@ -1,0 +1,40 @@
+#include "workload/synthetic.h"
+
+#include <algorithm>
+
+#include "workload/population.h"
+
+namespace gvfs::workload {
+
+Status SyntheticWorkload::install(vm::GuestFs& fs) {
+  return fs.add_file("synth.dat", cfg_.file_bytes, cfg_.file_bytes + 1_MiB);
+}
+
+Result<WorkloadReport> SyntheticWorkload::run(sim::Process& p, vm::GuestFs& fs) {
+  WorkloadReport report;
+  report.workload = "synthetic";
+  SplitMix64 rng(cfg_.seed);
+  SimTime t0 = p.now();
+  u64 blocks = std::max<u64>(1, cfg_.file_bytes / cfg_.io_size);
+  u64 cursor = 0;
+  for (u32 i = 0; i < cfg_.ops; ++i) {
+    u64 block = cfg_.sequential ? (cursor++ % blocks) : rng.next_below(blocks);
+    u64 off = block * cfg_.io_size;
+    bool is_read = rng.next_double() < cfg_.read_fraction;
+    if (is_read) {
+      GVFS_ASSIGN_OR_RETURN(blob::BlobRef data,
+                            fs.read(p, "synth.dat", off, cfg_.io_size));
+      bytes_read_ += data->size();
+    } else {
+      GVFS_RETURN_IF_ERROR(
+          fs.write(p, "synth.dat", off, payload(cfg_.seed + i, cfg_.io_size)));
+      bytes_written_ += cfg_.io_size;
+    }
+    if (cfg_.compute_per_op_s > 0) p.delay(from_seconds(cfg_.compute_per_op_s));
+  }
+  GVFS_RETURN_IF_ERROR(fs.sync(p));
+  report.phases.push_back({"mix", to_seconds(p.now() - t0)});
+  return report;
+}
+
+}  // namespace gvfs::workload

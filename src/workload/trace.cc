@@ -1,0 +1,129 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "workload/population.h"
+
+namespace gvfs::workload {
+
+Result<std::vector<TraceOp>> TraceWorkload::parse(const std::string& text) {
+  std::vector<TraceOp> ops;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip comments and blank lines.
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::istringstream ls(line);
+    std::string verb;
+    if (!(ls >> verb)) continue;
+    TraceOp op;
+    auto bad = [&](const char* what) {
+      return err(ErrCode::kInval,
+                 "trace line " + std::to_string(line_no) + ": " + what);
+    };
+    if (verb == "open") {
+      op.kind = TraceOp::Kind::kOpen;
+      if (!(ls >> op.file)) return bad("open needs a file");
+    } else if (verb == "read" || verb == "write") {
+      op.kind = verb == "read" ? TraceOp::Kind::kRead : TraceOp::Kind::kWrite;
+      if (!(ls >> op.file >> op.offset >> op.length)) {
+        return bad("read/write need file offset length");
+      }
+    } else if (verb == "compute") {
+      op.kind = TraceOp::Kind::kCompute;
+      if (!(ls >> op.seconds) || op.seconds < 0) return bad("compute needs seconds");
+    } else if (verb == "sync") {
+      op.kind = TraceOp::Kind::kSync;
+    } else {
+      return bad("unknown verb");
+    }
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+std::string TraceWorkload::serialize(const std::vector<TraceOp>& ops) {
+  std::ostringstream out;
+  for (const TraceOp& op : ops) {
+    switch (op.kind) {
+      case TraceOp::Kind::kOpen:
+        out << "open " << op.file << "\n";
+        break;
+      case TraceOp::Kind::kRead:
+        out << "read " << op.file << " " << op.offset << " " << op.length << "\n";
+        break;
+      case TraceOp::Kind::kWrite:
+        out << "write " << op.file << " " << op.offset << " " << op.length << "\n";
+        break;
+      case TraceOp::Kind::kCompute:
+        out << "compute " << op.seconds << "\n";
+        break;
+      case TraceOp::Kind::kSync:
+        out << "sync\n";
+        break;
+    }
+  }
+  return out.str();
+}
+
+Status TraceWorkload::install(vm::GuestFs& fs) {
+  // Size each file to its largest referenced extent; reads treat the file as
+  // pre-existing image content, writes may extend within the reserve.
+  std::map<std::string, u64> extents;
+  for (const TraceOp& op : ops_) {
+    if (op.kind == TraceOp::Kind::kRead || op.kind == TraceOp::Kind::kWrite ||
+        op.kind == TraceOp::Kind::kOpen) {
+      u64& e = extents[op.file];
+      e = std::max(e, op.offset + op.length);
+    }
+  }
+  for (const auto& [name, extent] : extents) {
+    if (fs.exists(name)) continue;
+    u64 size = std::max<u64>(extent, 4_KiB);
+    GVFS_RETURN_IF_ERROR(fs.add_file(name, size, size + 64_KiB));
+  }
+  return Status::ok();
+}
+
+Result<WorkloadReport> TraceWorkload::run(sim::Process& p, vm::GuestFs& fs) {
+  WorkloadReport report;
+  report.workload = "trace-replay";
+  SimTime t0 = p.now();
+  u64 idx = 0;
+  for (const TraceOp& op : ops_) {
+    ++idx;
+    switch (op.kind) {
+      case TraceOp::Kind::kOpen:
+        // The open itself is guest metadata; charge a small exit.
+        GVFS_RETURN_IF_ERROR(fs.read(p, op.file, 0, 1).status());
+        break;
+      case TraceOp::Kind::kRead: {
+        GVFS_ASSIGN_OR_RETURN(blob::BlobRef data,
+                              fs.read(p, op.file, op.offset, op.length));
+        bytes_read_ += data->size();
+        break;
+      }
+      case TraceOp::Kind::kWrite:
+        GVFS_RETURN_IF_ERROR(
+            fs.write(p, op.file, op.offset, payload(seed_ + idx, op.length)));
+        bytes_written_ += op.length;
+        break;
+      case TraceOp::Kind::kCompute:
+        p.delay(from_seconds(op.seconds));
+        break;
+      case TraceOp::Kind::kSync:
+        GVFS_RETURN_IF_ERROR(fs.sync(p));
+        break;
+    }
+  }
+  GVFS_RETURN_IF_ERROR(fs.sync(p));
+  report.phases.push_back({"replay", to_seconds(p.now() - t0)});
+  return report;
+}
+
+}  // namespace gvfs::workload

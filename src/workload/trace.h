@@ -1,0 +1,66 @@
+// Trace-driven workload: replay a recorded application I/O trace inside the
+// guest. This is the extension point for users who have real traces of their
+// Grid applications — the paper's middleware "accumulates knowledge for
+// applications from their past behaviors"; a trace is that knowledge in its
+// rawest form.
+//
+// Text format (one op per line, '#' comments):
+//   open  <file>
+//   read  <file> <offset> <length>
+//   write <file> <offset> <length>
+//   compute <seconds>
+//   sync
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/kernel.h"
+#include "vm/guest_fs.h"
+#include "workload/report.h"
+
+namespace gvfs::workload {
+
+struct TraceOp {
+  enum class Kind { kOpen, kRead, kWrite, kCompute, kSync };
+  Kind kind = Kind::kRead;
+  std::string file;
+  u64 offset = 0;
+  u64 length = 0;
+  double seconds = 0;  // kCompute only
+
+  bool operator==(const TraceOp& o) const {
+    return kind == o.kind && file == o.file && offset == o.offset &&
+           length == o.length && seconds == o.seconds;
+  }
+};
+
+class TraceWorkload {
+ public:
+  explicit TraceWorkload(std::vector<TraceOp> ops, u64 seed = 0x7ace)
+      : ops_(std::move(ops)), seed_(seed) {}
+
+  // Parse / serialize the text format (round-trip stable).
+  static Result<std::vector<TraceOp>> parse(const std::string& text);
+  static std::string serialize(const std::vector<TraceOp>& ops);
+
+  // Declare every referenced file in the guest, sized to cover the trace's
+  // largest accessed extent (pre-existing content for reads).
+  Status install(vm::GuestFs& fs);
+
+  // Replay. The report has one "replay" phase; per-op failures abort.
+  Result<WorkloadReport> run(sim::Process& p, vm::GuestFs& fs);
+
+  [[nodiscard]] const std::vector<TraceOp>& ops() const { return ops_; }
+  [[nodiscard]] u64 bytes_read() const { return bytes_read_; }
+  [[nodiscard]] u64 bytes_written() const { return bytes_written_; }
+
+ private:
+  std::vector<TraceOp> ops_;
+  u64 seed_;
+  u64 bytes_read_ = 0;
+  u64 bytes_written_ = 0;
+};
+
+}  // namespace gvfs::workload

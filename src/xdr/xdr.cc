@@ -1,0 +1,89 @@
+#include "xdr/xdr.h"
+
+namespace gvfs::xdr {
+
+// ------------------------------------------------------------- XdrEncoder --
+
+void XdrEncoder::put_u32(u32 v) {
+  buf_.push_back(static_cast<u8>(v >> 24));
+  buf_.push_back(static_cast<u8>(v >> 16));
+  buf_.push_back(static_cast<u8>(v >> 8));
+  buf_.push_back(static_cast<u8>(v));
+}
+
+void XdrEncoder::put_u64(u64 v) {
+  put_u32(static_cast<u32>(v >> 32));
+  put_u32(static_cast<u32>(v));
+}
+
+void XdrEncoder::pad_() {
+  while (buf_.size() % 4 != 0) buf_.push_back(0);
+}
+
+void XdrEncoder::put_opaque(std::span<const u8> data) {
+  put_u32(static_cast<u32>(data.size()));
+  buf_.insert(buf_.end(), data.begin(), data.end());
+  pad_();
+}
+
+void XdrEncoder::put_opaque_fixed(std::span<const u8> data) {
+  buf_.insert(buf_.end(), data.begin(), data.end());
+  pad_();
+}
+
+void XdrEncoder::put_string(std::string_view s) {
+  put_opaque(std::span<const u8>(reinterpret_cast<const u8*>(s.data()), s.size()));
+}
+
+// ------------------------------------------------------------- XdrDecoder --
+
+bool XdrDecoder::need_(std::size_t n) {
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+void XdrDecoder::skip_pad_(std::size_t n) {
+  std::size_t padded = (n + 3) & ~std::size_t{3};
+  std::size_t pad = padded - n;
+  if (need_(pad)) pos_ += pad;
+}
+
+u32 XdrDecoder::get_u32() {
+  if (!need_(4)) return 0;
+  u32 v = (static_cast<u32>(data_[pos_]) << 24) |
+          (static_cast<u32>(data_[pos_ + 1]) << 16) |
+          (static_cast<u32>(data_[pos_ + 2]) << 8) |
+          static_cast<u32>(data_[pos_ + 3]);
+  pos_ += 4;
+  return v;
+}
+
+u64 XdrDecoder::get_u64() {
+  u64 hi = get_u32();
+  u64 lo = get_u32();
+  return (hi << 32) | lo;
+}
+
+std::vector<u8> XdrDecoder::get_opaque() {
+  u32 n = get_u32();
+  return get_opaque_fixed(n);
+}
+
+std::vector<u8> XdrDecoder::get_opaque_fixed(std::size_t n) {
+  if (!need_(n)) return {};
+  std::vector<u8> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                      data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  skip_pad_(n);
+  return out;
+}
+
+std::string XdrDecoder::get_string() {
+  std::vector<u8> raw = get_opaque();
+  return std::string(raw.begin(), raw.end());
+}
+
+}  // namespace gvfs::xdr

@@ -1,0 +1,79 @@
+// XDR (RFC 1014) encoding: big-endian, 4-byte aligned primitives — the wire
+// format beneath ONC RPC and NFS. The encoder produces real octets (unit
+// tests round-trip every protocol message through it); the simulation
+// transport uses the analytic wire_size() of each message, which tests
+// assert equals the encoded size.
+#pragma once
+
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace gvfs::xdr {
+
+class XdrEncoder {
+ public:
+  void put_u32(u32 v);
+  void put_i32(i32 v) { put_u32(static_cast<u32>(v)); }
+  void put_u64(u64 v);
+  void put_bool(bool v) { put_u32(v ? 1 : 0); }
+  // Variable-length opaque: length word + data + pad to 4.
+  void put_opaque(std::span<const u8> data);
+  // Fixed-length opaque: data + pad to 4 (length known from protocol).
+  void put_opaque_fixed(std::span<const u8> data);
+  void put_string(std::string_view s);
+
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] std::span<const u8> bytes() const { return buf_; }
+  std::vector<u8> take() { return std::move(buf_); }
+
+ private:
+  void pad_();
+  std::vector<u8> buf_;
+};
+
+// Decoder with a sticky fail bit: getters return a default on failure and
+// the caller checks status() once at the end of the message.
+class XdrDecoder {
+ public:
+  explicit XdrDecoder(std::span<const u8> data) : data_(data) {}
+
+  u32 get_u32();
+  i32 get_i32() { return static_cast<i32>(get_u32()); }
+  u64 get_u64();
+  bool get_bool() { return get_u32() != 0; }
+  std::vector<u8> get_opaque();                  // variable-length
+  std::vector<u8> get_opaque_fixed(std::size_t n);
+  std::string get_string();
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] Status status() const {
+    return ok_ ? Status::ok() : err(ErrCode::kBadXdr, "short or malformed XDR");
+  }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool fully_consumed() const { return ok_ && pos_ == data_.size(); }
+
+ private:
+  bool need_(std::size_t n);
+  void skip_pad_(std::size_t n);
+
+  std::span<const u8> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// Analytic size helpers (bytes on the wire).
+constexpr u64 size_u32() { return 4; }
+constexpr u64 size_u64() { return 8; }
+constexpr u64 size_bool() { return 4; }
+constexpr u64 pad4(u64 n) { return (n + 3) & ~u64{3}; }
+constexpr u64 size_opaque(u64 n) { return 4 + pad4(n); }
+constexpr u64 size_opaque_fixed(u64 n) { return pad4(n); }
+constexpr u64 size_string(u64 n) { return 4 + pad4(n); }
+
+}  // namespace gvfs::xdr

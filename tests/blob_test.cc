@@ -1,0 +1,247 @@
+// Tests for lazy content blobs and the sparse extent store, including the
+// copy-on-write snapshot semantics the whole zero-copy data path rests on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "blob/blob.h"
+#include "blob/extent_store.h"
+#include "common/rng.h"
+
+namespace gvfs::blob {
+namespace {
+
+std::vector<u8> materialize(const Blob& b, u64 off, u64 len) {
+  std::vector<u8> out(len);
+  b.read(off, out);
+  return out;
+}
+
+TEST(BytesBlob, ReadBack) {
+  std::vector<u8> data{1, 2, 3, 4, 5};
+  BytesBlob b(data);
+  EXPECT_EQ(b.size(), 5u);
+  EXPECT_EQ(materialize(b, 1, 3), (std::vector<u8>{2, 3, 4}));
+}
+
+TEST(BytesBlob, ZeroRange) {
+  std::vector<u8> data(100, 0);
+  data[50] = 7;
+  BytesBlob b(data);
+  EXPECT_TRUE(b.is_zero_range(0, 50));
+  EXPECT_FALSE(b.is_zero_range(0, 51));
+  EXPECT_TRUE(b.is_zero_range(51, 49));
+}
+
+TEST(BytesBlob, CompressedSizeReflectsContent) {
+  std::vector<u8> zeros(16_KiB, 0);
+  std::vector<u8> uniform(16_KiB, 42);
+  std::vector<u8> noisy(16_KiB);
+  for (std::size_t i = 0; i < noisy.size(); ++i) noisy[i] = static_cast<u8>(i * 31);
+  u64 cz = BytesBlob(zeros).compressed_size(0, 16_KiB);
+  u64 cu = BytesBlob(uniform).compressed_size(0, 16_KiB);
+  u64 cn = BytesBlob(noisy).compressed_size(0, 16_KiB);
+  EXPECT_LT(cz, 256u);
+  EXPECT_LT(cu, cn);
+  EXPECT_LE(cn, 17_KiB);
+}
+
+TEST(ZeroBlob, AllZero) {
+  ZeroBlob z(1_MiB);
+  EXPECT_EQ(z.size(), 1_MiB);
+  EXPECT_TRUE(z.is_zero_range(0, 1_MiB));
+  auto bytes = materialize(z, 12345, 100);
+  EXPECT_TRUE(std::all_of(bytes.begin(), bytes.end(), [](u8 v) { return v == 0; }));
+  EXPECT_LT(z.compressed_size(), 2_KiB);
+}
+
+TEST(SyntheticBlob, DeterministicContent) {
+  SyntheticBlob a(7, 1_MiB, 0.5, 2.0);
+  SyntheticBlob b(7, 1_MiB, 0.5, 2.0);
+  EXPECT_EQ(materialize(a, 100_KiB, 256), materialize(b, 100_KiB, 256));
+  EXPECT_EQ(content_hash(a), content_hash(b));
+  SyntheticBlob c(8, 1_MiB, 0.5, 2.0);
+  EXPECT_NE(content_hash(a), content_hash(c));
+}
+
+TEST(SyntheticBlob, ZeroFractionApproximatelyHonored) {
+  // Zero-ness is decided per 16-page run, so use a large blob to tighten the
+  // sample error around the configured fraction.
+  SyntheticBlob b(3, 128_MiB, 0.92, 3.0);
+  u64 zero_pages = 0, pages = 128_MiB / kPage;
+  for (u64 p = 0; p < pages; ++p) {
+    if (b.page_is_zero(p)) ++zero_pages;
+  }
+  double frac = static_cast<double>(zero_pages) / static_cast<double>(pages);
+  EXPECT_NEAR(frac, 0.92, 0.02);
+}
+
+TEST(SyntheticBlob, ZeroPagesReadAsZero) {
+  SyntheticBlob b(3, 1_MiB, 0.5, 2.0);
+  for (u64 p = 0; p < 1_MiB / kPage; ++p) {
+    auto bytes = materialize(b, p * kPage, kPage);
+    bool all_zero = std::all_of(bytes.begin(), bytes.end(), [](u8 v) { return v == 0; });
+    EXPECT_EQ(all_zero, b.page_is_zero(p));
+    EXPECT_EQ(b.is_zero_range(p * kPage, kPage), all_zero);
+  }
+}
+
+TEST(SyntheticBlob, CompressedSizeTracksZeroFraction) {
+  SyntheticBlob mostly_zero(1, 8_MiB, 0.92, 3.0);
+  SyntheticBlob half_zero(1, 8_MiB, 0.5, 3.0);
+  EXPECT_LT(mostly_zero.compressed_size(), half_zero.compressed_size());
+  // ~8% nonzero at ratio 3 => ~2.7% of size plus epsilon.
+  EXPECT_LT(mostly_zero.compressed_size(), 8_MiB / 20);
+}
+
+TEST(SliceBlob, WindowsIntoBase) {
+  std::vector<u8> data(256);
+  std::iota(data.begin(), data.end(), 0);
+  auto base = make_bytes(std::move(data));
+  SliceBlob s(base, 10, 50);
+  EXPECT_EQ(s.size(), 50u);
+  EXPECT_EQ(materialize(s, 0, 3), (std::vector<u8>{10, 11, 12}));
+  EXPECT_EQ(materialize(s, 47, 3), (std::vector<u8>{57, 58, 59}));
+}
+
+TEST(RangeHash, MatchesConcatenation) {
+  auto b = make_synthetic(9, 256_KiB, 0.3, 2.0);
+  // Hash over the whole range equals hashing in one go (chunked internally).
+  EXPECT_EQ(range_hash(*b, 0, b->size()), content_hash(*b));
+}
+
+// ---------------------------------------------------------- ExtentStore ----
+
+TEST(ExtentStore, EmptyReadsZero) {
+  ExtentStore es;
+  es.truncate(100);
+  EXPECT_EQ(es.size(), 100u);
+  std::vector<u8> buf(100, 0xff);
+  es.read(0, buf);
+  EXPECT_TRUE(std::all_of(buf.begin(), buf.end(), [](u8 v) { return v == 0; }));
+}
+
+TEST(ExtentStore, WriteAndReadBack) {
+  ExtentStore es;
+  es.write(10, std::vector<u8>{1, 2, 3});
+  EXPECT_EQ(es.size(), 13u);
+  std::vector<u8> buf(13);
+  es.read(0, buf);
+  EXPECT_EQ(buf[9], 0);
+  EXPECT_EQ(buf[10], 1);
+  EXPECT_EQ(buf[12], 3);
+}
+
+TEST(ExtentStore, OverlappingWritesLastWins) {
+  ExtentStore es;
+  es.write(0, std::vector<u8>(10, 0xaa));
+  es.write(3, std::vector<u8>(4, 0xbb));
+  std::vector<u8> buf(10);
+  es.read(0, buf);
+  EXPECT_EQ(buf, (std::vector<u8>{0xaa, 0xaa, 0xaa, 0xbb, 0xbb, 0xbb, 0xbb, 0xaa, 0xaa, 0xaa}));
+  EXPECT_EQ(es.extent_count(), 3u);  // left remainder, new, right remainder
+}
+
+TEST(ExtentStore, WriteSpanningMultipleExtents) {
+  ExtentStore es;
+  es.write(0, std::vector<u8>(4, 1));
+  es.write(8, std::vector<u8>(4, 2));
+  es.write(2, std::vector<u8>(8, 3));  // covers tail of first, hole, head of second
+  std::vector<u8> buf(12);
+  es.read(0, buf);
+  EXPECT_EQ(buf, (std::vector<u8>{1, 1, 3, 3, 3, 3, 3, 3, 3, 3, 2, 2}));
+}
+
+TEST(ExtentStore, WriteBlobNoMaterialization) {
+  ExtentStore es;
+  auto big = make_synthetic(5, 512_MiB, 0.9, 3.0);
+  es.write_blob(0, big, 0, big->size());
+  EXPECT_EQ(es.size(), 512_MiB);
+  EXPECT_EQ(es.materialized_bytes(), 0u);  // the point of the design
+  std::vector<u8> probe(64);
+  es.read(100_MiB, probe);
+  std::vector<u8> expect(64);
+  big->read(100_MiB, expect);
+  EXPECT_EQ(probe, expect);
+}
+
+TEST(ExtentStore, TruncateShrinkDropsData) {
+  ExtentStore es;
+  es.write(0, std::vector<u8>(100, 7));
+  es.truncate(40);
+  EXPECT_EQ(es.size(), 40u);
+  es.truncate(100);  // grow again: hole reads zero
+  std::vector<u8> buf(100);
+  es.read(0, buf);
+  EXPECT_EQ(buf[39], 7);
+  EXPECT_EQ(buf[40], 0);
+}
+
+TEST(ExtentStore, IsZeroRangeAcrossHolesAndExtents) {
+  ExtentStore es;
+  es.truncate(1000);
+  es.write(100, std::vector<u8>(10, 0));   // explicit zeros
+  es.write(500, std::vector<u8>(10, 9));
+  EXPECT_TRUE(es.is_zero_range(0, 500));
+  EXPECT_FALSE(es.is_zero_range(0, 510));
+  EXPECT_TRUE(es.is_zero_range(510, 490));
+}
+
+TEST(ExtentStore, SnapshotIsImmutable) {
+  ExtentStore es;
+  es.write(0, std::vector<u8>{1, 2, 3, 4});
+  BlobRef snap = es.snapshot();
+  es.write(1, std::vector<u8>{9, 9});
+  EXPECT_EQ(materialize(*snap, 0, 4), (std::vector<u8>{1, 2, 3, 4}));
+  std::vector<u8> now(4);
+  es.read(0, now);
+  EXPECT_EQ(now, (std::vector<u8>{1, 9, 9, 4}));
+}
+
+TEST(ExtentStore, SnapshotZeroAndCompression) {
+  ExtentStore es;
+  es.truncate(100_KiB);
+  es.write_blob(0, make_zero(50_KiB), 0, 50_KiB);
+  BlobRef snap = es.snapshot();
+  EXPECT_TRUE(snap->is_zero_range(0, 100_KiB));
+  EXPECT_LT(snap->compressed_size(0, 100_KiB), 1_KiB);
+}
+
+TEST(ExtentStore, ResetReplacesContent) {
+  ExtentStore es;
+  es.write(0, std::vector<u8>(10, 1));
+  es.reset(make_zero(5));
+  EXPECT_EQ(es.size(), 5u);
+  EXPECT_TRUE(es.is_zero_range(0, 5));
+}
+
+// Property: a randomized sequence of writes matches a reference vector model.
+TEST(ExtentStoreProperty, RandomOpsMatchReference) {
+  for (u64 seed = 1; seed <= 5; ++seed) {
+    ExtentStore es;
+    std::vector<u8> ref(4096, 0);
+    SplitMix64 rng(seed);
+    for (int op = 0; op < 300; ++op) {
+      u64 off = rng.next_below(4000);
+      u64 len = 1 + rng.next_below(96);
+      u8 fill = static_cast<u8>(rng.next());
+      std::vector<u8> data(len, fill);
+      es.write(off, data);
+      std::copy(data.begin(), data.end(), ref.begin() + static_cast<long>(off));
+      if (op % 37 == 0) {
+        u64 cut = rng.next_below(4096);
+        es.truncate(cut);
+        std::fill(ref.begin() + static_cast<long>(cut), ref.end(), 0);
+        es.truncate(4096);
+      }
+    }
+    es.truncate(4096);
+    std::vector<u8> got(4096);
+    es.read(0, got);
+    EXPECT_EQ(got, ref) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace gvfs::blob

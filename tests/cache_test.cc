@@ -1,0 +1,413 @@
+// Tests for the proxy disk cache (set-associative geometry, LRU within sets,
+// write policies, middleware signals, sharing invariants) and the whole-file
+// cache behind the meta-data channel. Includes parameterized sweeps over
+// geometry as property tests.
+#include <gtest/gtest.h>
+
+#include "cache/block_cache.h"
+#include "cache/file_cache.h"
+#include "common/rng.h"
+#include "sim/kernel.h"
+
+namespace gvfs::cache {
+namespace {
+
+blob::BlobRef block_data(u8 fill, u64 size = 32_KiB) {
+  return blob::make_bytes(std::vector<u8>(size, fill));
+}
+
+struct CacheFixture {
+  sim::SimKernel kernel;
+  sim::DiskModel disk{kernel, "cdisk", sim::DiskConfig{}};
+
+  BlockCacheConfig small_cfg() {
+    BlockCacheConfig cfg;
+    cfg.capacity_bytes = 64 * 32_KiB;  // 64 frames
+    cfg.block_size = 32_KiB;
+    cfg.num_banks = 4;
+    cfg.associativity = 4;  // 16 sets
+    return cfg;
+  }
+
+  void run(std::function<void(sim::Process&)> body) {
+    kernel.run_process("t", std::move(body));
+    EXPECT_EQ(kernel.failed_processes(), 0);
+  }
+};
+
+TEST(BlockCache, GeometryDerivedFromConfig) {
+  CacheFixture f;
+  ProxyDiskCache c(f.disk, f.small_cfg());
+  EXPECT_EQ(c.sets(), 16u);
+}
+
+TEST(BlockCache, PaperGeometry) {
+  CacheFixture f;
+  BlockCacheConfig cfg;  // defaults: 8 GB, 32 KB blocks, 512 banks, 16-way
+  ProxyDiskCache c(f.disk, cfg);
+  // 8 GiB / 32 KiB = 262144 frames; /16 = 16384 sets.
+  EXPECT_EQ(c.sets(), 16384u);
+}
+
+TEST(BlockCache, MissThenHit) {
+  CacheFixture f;
+  ProxyDiskCache c(f.disk, f.small_cfg());
+  f.run([&](sim::Process& p) {
+    BlockId id{42, 7};
+    EXPECT_FALSE(c.lookup(p, id).has_value());
+    ASSERT_TRUE(c.insert(p, id, block_data(1), false).is_ok());
+    auto hit = c.lookup(p, id);
+    ASSERT_TRUE(hit.has_value());
+    std::vector<u8> buf(1);
+    (*hit)->read(0, buf);
+    EXPECT_EQ(buf[0], 1);
+  });
+  EXPECT_EQ(c.hits(), 1u);
+  EXPECT_EQ(c.misses(), 1u);
+  EXPECT_EQ(c.resident_blocks(), 1u);
+}
+
+TEST(BlockCache, HitChargesCacheDiskTime) {
+  CacheFixture f;
+  ProxyDiskCache c(f.disk, f.small_cfg());
+  f.run([&](sim::Process& p) {
+    BlockId id{1, 0};
+    c.insert(p, id, block_data(1), false);
+    SimTime t0 = p.now();
+    c.lookup(p, id);
+    EXPECT_GT(p.now(), t0);  // disk access, not free
+  });
+}
+
+TEST(BlockCache, ConsecutiveBlocksMapToConsecutiveSets) {
+  CacheFixture f;
+  auto cfg = f.small_cfg();
+  ProxyDiskCache c(f.disk, cfg);
+  f.run([&](sim::Process& p) {
+    // Fill way beyond one set's associativity with consecutive blocks of one
+    // file; nothing should evict because they spread across sets.
+    for (u64 b = 0; b < 16; ++b) {
+      ASSERT_TRUE(c.insert(p, BlockId{9, b}, block_data(static_cast<u8>(b)), false).is_ok());
+    }
+    EXPECT_EQ(c.evictions(), 0u);
+    for (u64 b = 0; b < 16; ++b) {
+      EXPECT_TRUE(c.lookup(p, BlockId{9, b}).has_value());
+    }
+  });
+}
+
+TEST(BlockCache, LruEvictionWithinSet) {
+  CacheFixture f;
+  auto cfg = f.small_cfg();
+  ProxyDiskCache c(f.disk, cfg);
+  f.run([&](sim::Process& p) {
+    // Blocks spaced 16 apart land in the same set (16 sets).
+    std::vector<BlockId> ids;
+    for (u64 i = 0; i < 5; ++i) ids.push_back(BlockId{3, i * 16});
+    for (u64 i = 0; i < 4; ++i) c.insert(p, ids[i], block_data(1), false);
+    c.lookup(p, ids[0]);  // refresh 0 -> victim should be 1
+    c.insert(p, ids[4], block_data(1), false);
+    EXPECT_TRUE(c.contains(ids[0]));
+    EXPECT_FALSE(c.contains(ids[1]));
+    EXPECT_TRUE(c.contains(ids[4]));
+  });
+  EXPECT_EQ(c.evictions(), 1u);
+}
+
+TEST(BlockCache, DirtyEvictionWritesBack) {
+  CacheFixture f;
+  auto cfg = f.small_cfg();
+  ProxyDiskCache c(f.disk, cfg);
+  std::vector<BlockId> written;
+  c.set_writeback([&](sim::Process&, const BlockId& id, const blob::BlobRef&) {
+    written.push_back(id);
+    return Status::ok();
+  });
+  f.run([&](sim::Process& p) {
+    for (u64 i = 0; i < 5; ++i) {
+      c.insert(p, BlockId{3, i * 16}, block_data(1), /*dirty=*/true);
+    }
+  });
+  ASSERT_EQ(written.size(), 1u);
+  EXPECT_EQ(written[0].block, 0u);
+  EXPECT_EQ(c.writebacks(), 1u);
+  EXPECT_EQ(c.dirty_blocks(), 4u);
+}
+
+TEST(BlockCache, WriteThroughPushesImmediately) {
+  CacheFixture f;
+  auto cfg = f.small_cfg();
+  cfg.policy = WritePolicy::kWriteThrough;
+  ProxyDiskCache c(f.disk, cfg);
+  int upstream_writes = 0;
+  c.set_writeback([&](sim::Process&, const BlockId&, const blob::BlobRef&) {
+    ++upstream_writes;
+    return Status::ok();
+  });
+  f.run([&](sim::Process& p) {
+    c.insert(p, BlockId{1, 0}, block_data(1), /*dirty=*/true);
+  });
+  EXPECT_EQ(upstream_writes, 1);
+  EXPECT_EQ(c.dirty_blocks(), 0u);
+}
+
+TEST(BlockCache, WriteBackAllCleansButKeepsCached) {
+  CacheFixture f;
+  ProxyDiskCache c(f.disk, f.small_cfg());
+  int upstream_writes = 0;
+  c.set_writeback([&](sim::Process&, const BlockId&, const blob::BlobRef&) {
+    ++upstream_writes;
+    return Status::ok();
+  });
+  f.run([&](sim::Process& p) {
+    c.insert(p, BlockId{1, 0}, block_data(1), true);
+    c.insert(p, BlockId{1, 1}, block_data(2), true);
+    c.insert(p, BlockId{1, 2}, block_data(3), false);
+    ASSERT_TRUE(c.write_back_all(p).is_ok());
+    EXPECT_EQ(c.dirty_blocks(), 0u);
+    EXPECT_EQ(c.resident_blocks(), 3u);  // still cached
+    EXPECT_TRUE(c.lookup(p, BlockId{1, 0}).has_value());
+  });
+  EXPECT_EQ(upstream_writes, 2);
+}
+
+TEST(BlockCache, FlushAndInvalidateEmptiesCache) {
+  CacheFixture f;
+  ProxyDiskCache c(f.disk, f.small_cfg());
+  c.set_writeback([](sim::Process&, const BlockId&, const blob::BlobRef&) {
+    return Status::ok();
+  });
+  f.run([&](sim::Process& p) {
+    c.insert(p, BlockId{1, 0}, block_data(1), true);
+    ASSERT_TRUE(c.flush_and_invalidate(p).is_ok());
+    EXPECT_EQ(c.resident_blocks(), 0u);
+    EXPECT_FALSE(c.lookup(p, BlockId{1, 0}).has_value());
+  });
+}
+
+TEST(BlockCache, InvalidateFileDropsOnlyThatFile) {
+  CacheFixture f;
+  ProxyDiskCache c(f.disk, f.small_cfg());
+  f.run([&](sim::Process& p) {
+    c.insert(p, BlockId{1, 0}, block_data(1), false);
+    c.insert(p, BlockId{2, 0}, block_data(2), false);
+    c.invalidate_file(1);
+    EXPECT_FALSE(c.contains(BlockId{1, 0}));
+    EXPECT_TRUE(c.contains(BlockId{2, 0}));
+  });
+}
+
+TEST(BlockCache, MergeUpdatesRangeAndMarksDirty) {
+  CacheFixture f;
+  ProxyDiskCache c(f.disk, f.small_cfg());
+  f.run([&](sim::Process& p) {
+    c.insert(p, BlockId{1, 0}, block_data(0xaa, 1024), false);
+    auto merged = c.merge(p, BlockId{1, 0}, 100,
+                          blob::make_bytes(std::vector<u8>(10, 0xbb)));
+    ASSERT_TRUE(merged.is_ok());
+    std::vector<u8> buf(1024);
+    (*merged)->read(0, buf);
+    EXPECT_EQ(buf[99], 0xaa);
+    EXPECT_EQ(buf[100], 0xbb);
+    EXPECT_EQ(buf[110], 0xaa);
+    EXPECT_EQ(c.dirty_blocks(), 1u);
+    EXPECT_EQ(c.merge(p, BlockId{9, 9}, 0, block_data(1, 8)).code(), ErrCode::kNoEnt);
+  });
+}
+
+TEST(BlockCache, BanksCreatedOnDemand) {
+  CacheFixture f;
+  ProxyDiskCache c(f.disk, f.small_cfg());
+  f.run([&](sim::Process& p) {
+    EXPECT_EQ(c.banks_created(), 0u);
+    c.insert(p, BlockId{1, 0}, block_data(1), false);
+    EXPECT_GE(c.banks_created(), 1u);
+  });
+}
+
+TEST(BlockCache, ResidentBytesTracksPayload) {
+  CacheFixture f;
+  ProxyDiskCache c(f.disk, f.small_cfg());
+  f.run([&](sim::Process& p) {
+    c.insert(p, BlockId{1, 0}, block_data(1, 32_KiB), false);
+    c.insert(p, BlockId{1, 1}, block_data(1, 10_KiB), false);  // short tail block
+    EXPECT_EQ(c.resident_bytes(), 42_KiB);
+  });
+}
+
+// Parameterized geometry sweep: for any (associativity, banks) geometry, a
+// working set within capacity never thrashes, and data integrity holds under
+// a random access pattern.
+struct Geometry {
+  u32 assoc;
+  u32 banks;
+  u64 frames;
+};
+
+class BlockCacheGeometry : public ::testing::TestWithParam<Geometry> {};
+
+TEST_P(BlockCacheGeometry, IntegrityAndNoThrashWithinCapacity) {
+  Geometry g = GetParam();
+  sim::SimKernel kernel;
+  sim::DiskModel disk{kernel, "d", sim::DiskConfig{}};
+  BlockCacheConfig cfg;
+  cfg.block_size = 8_KiB;
+  cfg.capacity_bytes = g.frames * cfg.block_size;
+  cfg.associativity = g.assoc;
+  cfg.num_banks = g.banks;
+  ProxyDiskCache c(disk, cfg);
+  kernel.run_process("t", [&](sim::Process& p) {
+    SplitMix64 rng(g.assoc * 1000 + g.banks);
+    // Insert a working set of one file's consecutive blocks, half capacity.
+    u64 ws = g.frames / 2;
+    for (u64 b = 0; b < ws; ++b) {
+      ASSERT_TRUE(
+          c.insert(p, BlockId{7, b}, block_data(static_cast<u8>(b), 8_KiB), false).is_ok());
+    }
+    // Random re-reads all hit and return the right data.
+    for (int i = 0; i < 200; ++i) {
+      u64 b = rng.next_below(ws);
+      auto hit = c.lookup(p, BlockId{7, b});
+      ASSERT_TRUE(hit.has_value()) << "assoc=" << g.assoc << " block=" << b;
+      std::vector<u8> buf(1);
+      (*hit)->read(0, buf);
+      EXPECT_EQ(buf[0], static_cast<u8>(b));
+    }
+    EXPECT_EQ(c.evictions(), 0u);
+  });
+  EXPECT_EQ(kernel.failed_processes(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, BlockCacheGeometry,
+    ::testing::Values(Geometry{1, 1, 64}, Geometry{2, 2, 64}, Geometry{4, 4, 128},
+                      Geometry{8, 16, 256}, Geometry{16, 32, 512},
+                      Geometry{16, 512, 1024}),
+    [](const ::testing::TestParamInfo<Geometry>& info) {
+      return "assoc" + std::to_string(info.param.assoc) + "banks" +
+             std::to_string(info.param.banks) + "frames" +
+             std::to_string(info.param.frames);
+    });
+
+// ---------------------------------------------------------------- FileCache --
+
+TEST(FileCache, PutReadBack) {
+  CacheFixture f;
+  FileCache fc(f.disk);
+  auto content = blob::make_synthetic(5, 1_MiB, 0.5, 2.0);
+  f.run([&](sim::Process& p) {
+    ASSERT_TRUE(fc.put(p, 1, content).is_ok());
+    EXPECT_TRUE(fc.contains(1));
+    EXPECT_EQ(fc.cached_size(1), content->size());
+    auto range = fc.read(p, 1, 100, 50);
+    ASSERT_TRUE(range.has_value());
+    std::vector<u8> got(50), expect(50);
+    (*range)->read(0, got);
+    content->read(100, expect);
+    EXPECT_EQ(got, expect);
+  });
+  EXPECT_EQ(fc.hits(), 1u);
+}
+
+TEST(FileCache, MissReturnsNullopt) {
+  CacheFixture f;
+  FileCache fc(f.disk);
+  f.run([&](sim::Process& p) { EXPECT_FALSE(fc.read(p, 9, 0, 10).has_value()); });
+  EXPECT_EQ(fc.misses(), 1u);
+}
+
+TEST(FileCache, CapacityEvictsLru) {
+  CacheFixture f;
+  FileCache fc(f.disk, FileCacheConfig{2_MiB});
+  f.run([&](sim::Process& p) {
+    fc.put(p, 1, blob::make_zero(1_MiB));
+    fc.put(p, 2, blob::make_zero(1_MiB));
+    fc.read(p, 1, 0, 1);  // refresh 1
+    fc.put(p, 3, blob::make_zero(1_MiB));
+    EXPECT_TRUE(fc.contains(1));
+    EXPECT_FALSE(fc.contains(2));
+    EXPECT_TRUE(fc.contains(3));
+  });
+  EXPECT_EQ(fc.evictions(), 1u);
+}
+
+TEST(FileCache, DirtyEvictionUploads) {
+  CacheFixture f;
+  FileCache fc(f.disk, FileCacheConfig{1_MiB});
+  std::vector<u64> uploaded;
+  fc.set_upload([&](sim::Process&, u64 key, const blob::BlobRef&) {
+    uploaded.push_back(key);
+    return Status::ok();
+  });
+  f.run([&](sim::Process& p) {
+    fc.put(p, 1, blob::make_zero(512_KiB), /*dirty=*/true);
+    fc.put(p, 2, blob::make_zero(1_MiB));  // evicts dirty 1
+  });
+  EXPECT_EQ(uploaded, (std::vector<u64>{1}));
+}
+
+TEST(FileCache, WriteMarksDirtyAndWriteBackUploads) {
+  CacheFixture f;
+  FileCache fc(f.disk);
+  int uploads = 0;
+  fc.set_upload([&](sim::Process&, u64, const blob::BlobRef& content) {
+    EXPECT_EQ(content->size(), 1_MiB);
+    ++uploads;
+    return Status::ok();
+  });
+  f.run([&](sim::Process& p) {
+    fc.put(p, 1, blob::make_zero(1_MiB));
+    ASSERT_TRUE(fc.write(p, 1, 100, blob::make_bytes(std::vector<u8>(8, 0xcc))).is_ok());
+    ASSERT_TRUE(fc.write_back_all(p).is_ok());
+    ASSERT_TRUE(fc.write_back_all(p).is_ok());  // idempotent: clean now
+    auto back = fc.read(p, 1, 100, 8);
+    std::vector<u8> got(8);
+    (*back)->read(0, got);
+    EXPECT_EQ(got, std::vector<u8>(8, 0xcc));
+  });
+  EXPECT_EQ(uploads, 1);
+}
+
+TEST(FileCache, WriteToAbsentFileFails) {
+  CacheFixture f;
+  FileCache fc(f.disk);
+  f.run([&](sim::Process& p) {
+    EXPECT_EQ(fc.write(p, 5, 0, block_data(1, 8)).code(), ErrCode::kNoEnt);
+  });
+}
+
+TEST(FileCache, InvalidateDrops) {
+  CacheFixture f;
+  FileCache fc(f.disk);
+  f.run([&](sim::Process& p) {
+    fc.put(p, 1, blob::make_zero(1_KiB));
+    fc.put(p, 2, blob::make_zero(1_KiB));
+    fc.invalidate(1);
+    EXPECT_FALSE(fc.contains(1));
+    EXPECT_TRUE(fc.contains(2));
+    fc.invalidate_all();
+    EXPECT_EQ(fc.files_cached(), 0u);
+    EXPECT_EQ(fc.resident_bytes(), 0u);
+  });
+}
+
+TEST(FileCache, SequentialReadsCheaperThanRandom) {
+  CacheFixture f;
+  FileCache fc(f.disk);
+  f.run([&](sim::Process& p) {
+    fc.put(p, 1, blob::make_zero(4_MiB));
+    SimTime t0 = p.now();
+    for (u64 off = 0; off < 4_MiB; off += 64_KiB) fc.read(p, 1, off, 64_KiB);
+    SimTime seq = p.now() - t0;
+    t0 = p.now();
+    SplitMix64 rng(4);
+    for (int i = 0; i < 64; ++i) {
+      fc.read(p, 1, rng.next_below(63) * 64_KiB, 64_KiB);
+    }
+    SimTime random = p.now() - t0;
+    EXPECT_LT(seq, random);
+  });
+}
+
+}  // namespace
+}  // namespace gvfs::cache

@@ -1,0 +1,339 @@
+// Tests for the implemented §6 future-work extensions (VM migration, proxy
+// read-ahead, parallel-stream file channel), the trace-replay workload, and
+// the NFS completeness procedures (LINK / READDIRPLUS / PATHCONF).
+#include <gtest/gtest.h>
+
+#include "gvfs/migration.h"
+#include "gvfs/testbed.h"
+#include "nfs/nfs_client.h"
+#include "nfs/nfs_server.h"
+#include "workload/synthetic.h"
+#include "workload/trace.h"
+
+namespace gvfs {
+namespace {
+
+// ---------------------------------------------------------------- migration --
+
+TEST(Migration, MovesRunningVmBetweenNodes) {
+  core::TestbedOptions opt;
+  opt.scenario = core::Scenario::kWanCached;
+  opt.compute_nodes = 2;
+  core::Testbed bed(opt);
+  vm::VmImageSpec spec;
+  spec.name = "migrant";
+  spec.memory_bytes = 8_MiB;
+  spec.disk_bytes = 64_MiB;
+  auto image = bed.install_image(spec);
+  ASSERT_TRUE(image.is_ok());
+
+  auto new_state = blob::make_synthetic(0x99, spec.memory_bytes, 0.8, 3.0);
+  bed.kernel().run_process("migrate", [&](sim::Process& p) {
+    ASSERT_TRUE(bed.mount(p, 0).is_ok());
+    // Bring the VM up on node 0.
+    vfs::FsSession& src = bed.image_session(0);
+    vm::VmMonitor src_vm;
+    src_vm.attach(src, image->cfg(), image->vmss(), src, image->flat_vmdk());
+    ASSERT_TRUE(src_vm.resume(p).is_ok());
+    // Dirty some guest state so the caches have work to do.
+    ASSERT_TRUE(src_vm.disk_write(p, 1_MiB, blob::make_synthetic(5, 64_KiB, 0, 2.0)).is_ok());
+
+    auto result = core::migrate_vm(p, bed, *image, src_vm, new_state, 0, 1);
+    ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+    EXPECT_TRUE(result->vm->resumed());
+    EXPECT_FALSE(src_vm.resumed());
+    EXPECT_GT(result->timing.suspend_s, 0.0);
+    EXPECT_GT(result->timing.resume_s, 0.0);
+    EXPECT_GT(result->timing.total_s(), 0.0);
+  });
+  EXPECT_EQ(bed.kernel().failed_processes(), 0);
+  // The image server holds the migrated memory state.
+  auto server_state = bed.image_fs().get_file(bed.image_dir() + image->vmss());
+  ASSERT_TRUE(server_state.is_ok());
+  EXPECT_EQ(blob::content_hash(**server_state), blob::content_hash(*new_state));
+  // And the meta-data was refreshed to describe the NEW state.
+  auto meta_raw =
+      bed.image_fs().get_file(meta::MetaFile::meta_path_for(bed.image_dir() + image->vmss()));
+  ASSERT_TRUE(meta_raw.is_ok());
+  auto parsed = meta::MetaFile::parse(**meta_raw);
+  ASSERT_TRUE(parsed.is_ok());
+  for (u64 off = 0; off < spec.memory_bytes; off += 16_KiB) {
+    ASSERT_EQ(parsed->range_is_zero(off, 8_KiB), new_state->is_zero_range(off, 8_KiB))
+        << off;
+  }
+}
+
+TEST(Migration, DestinationSeesFreshStateDespiteWarmCaches) {
+  // Regression: the destination once fetched the image earlier; after
+  // migration its caches must not serve the stale memory state.
+  core::TestbedOptions opt;
+  opt.scenario = core::Scenario::kWanCached;
+  opt.compute_nodes = 2;
+  core::Testbed bed(opt);
+  vm::VmImageSpec spec;
+  spec.name = "migrant";
+  spec.memory_bytes = 4_MiB;
+  spec.disk_bytes = 32_MiB;
+  auto image = bed.install_image(spec);
+  ASSERT_TRUE(image.is_ok());
+  auto new_state = blob::make_synthetic(0xf4e54, spec.memory_bytes, 0.7, 3.0);
+
+  bed.kernel().run_process("t", [&](sim::Process& p) {
+    ASSERT_TRUE(bed.mount(p, 0).is_ok());
+    ASSERT_TRUE(bed.mount(p, 1).is_ok());
+    // Node 1 reads the OLD state into its caches.
+    bed.image_session(1).read_all(p, image->vmss());
+    // Node 0 runs the VM and migrates it with new state.
+    vfs::FsSession& src = bed.image_session(0);
+    vm::VmMonitor src_vm;
+    src_vm.attach(src, image->cfg(), image->vmss(), src, image->flat_vmdk());
+    ASSERT_TRUE(src_vm.resume(p).is_ok());
+    auto result = core::migrate_vm(p, bed, *image, src_vm, new_state, 0, 1);
+    ASSERT_TRUE(result.is_ok());
+    // Read the state through node 1's session: must be the new content.
+    bed.nfs_client(1)->drop_caches();
+    auto via_dst = bed.image_session(1).read_all(p, image->vmss());
+    ASSERT_TRUE(via_dst.is_ok());
+    EXPECT_EQ(blob::content_hash(**via_dst), blob::content_hash(*new_state));
+  });
+  EXPECT_EQ(bed.kernel().failed_processes(), 0);
+}
+
+// ----------------------------------------------------------------- prefetch --
+
+TEST(Prefetch, SequentialScanFasterWithReadAhead) {
+  double times[2] = {0, 0};
+  for (int pass = 0; pass < 2; ++pass) {
+    core::TestbedOptions opt;
+    opt.scenario = core::Scenario::kWanCached;
+    opt.prefetch_depth = pass == 0 ? 0 : 8;
+    core::Testbed bed(opt);
+    ASSERT_TRUE(bed.image_fs()
+                    .put_file(bed.image_dir() + "/big", blob::make_synthetic(3, 8_MiB, 0, 2.0))
+                    .is_ok());
+    bed.kernel().run_process("t", [&](sim::Process& p) {
+      ASSERT_TRUE(bed.mount(p).is_ok());
+      SimTime t0 = p.now();
+      auto data = bed.image_session().read_all(p, "/big");
+      ASSERT_TRUE(data.is_ok());
+      times[pass] = to_seconds(p.now() - t0);
+      // Integrity with prefetching on.
+      EXPECT_EQ(blob::content_hash(**data),
+                blob::content_hash(*blob::make_synthetic(3, 8_MiB, 0, 2.0)));
+    });
+    EXPECT_EQ(bed.kernel().failed_processes(), 0);
+    if (pass == 1) EXPECT_GT(bed.client_proxy()->blocks_prefetched(), 0u);
+  }
+  EXPECT_LT(times[1] * 1.5, times[0]);
+}
+
+TEST(Prefetch, RandomAccessDoesNotTrigger) {
+  core::TestbedOptions opt;
+  opt.scenario = core::Scenario::kWanCached;
+  opt.prefetch_depth = 8;
+  core::Testbed bed(opt);
+  ASSERT_TRUE(bed.image_fs()
+                  .put_file(bed.image_dir() + "/rand", blob::make_synthetic(4, 8_MiB, 0, 2.0))
+                  .is_ok());
+  bed.kernel().run_process("t", [&](sim::Process& p) {
+    ASSERT_TRUE(bed.mount(p).is_ok());
+    SplitMix64 rng(9);
+    for (int i = 0; i < 40; ++i) {
+      u64 block = rng.next_below(256);
+      bed.image_session().read(p, "/rand", block * 32_KiB, 32_KiB);
+    }
+  });
+  EXPECT_EQ(bed.kernel().failed_processes(), 0);
+  EXPECT_EQ(bed.client_proxy()->blocks_prefetched(), 0u);
+}
+
+// ------------------------------------------------------------- trace replay --
+
+TEST(TraceWorkload, ParseSerializeRoundTrip) {
+  std::string text =
+      "# an example trace\n"
+      "open data.bin\n"
+      "read data.bin 0 4096\n"
+      "compute 0.5\n"
+      "write data.bin 4096 8192\n"
+      "sync\n";
+  auto ops = workload::TraceWorkload::parse(text);
+  ASSERT_TRUE(ops.is_ok());
+  ASSERT_EQ(ops->size(), 5u);
+  EXPECT_EQ((*ops)[0].kind, workload::TraceOp::Kind::kOpen);
+  EXPECT_EQ((*ops)[1].length, 4096u);
+  EXPECT_DOUBLE_EQ((*ops)[2].seconds, 0.5);
+  auto again = workload::TraceWorkload::parse(workload::TraceWorkload::serialize(*ops));
+  ASSERT_TRUE(again.is_ok());
+  EXPECT_EQ(*again, *ops);
+}
+
+TEST(TraceWorkload, ParseRejectsMalformed) {
+  EXPECT_FALSE(workload::TraceWorkload::parse("explode data 1 2\n").is_ok());
+  EXPECT_FALSE(workload::TraceWorkload::parse("read data\n").is_ok());
+  EXPECT_FALSE(workload::TraceWorkload::parse("compute -3\n").is_ok());
+  EXPECT_FALSE(workload::TraceWorkload::parse("open\n").is_ok());
+}
+
+TEST(TraceWorkload, ReplayAccountsIo) {
+  core::TestbedOptions opt;
+  opt.scenario = core::Scenario::kLocal;
+  core::Testbed bed(opt);
+  auto ops = workload::TraceWorkload::parse(
+      "open a\nread a 0 65536\nwrite b 0 32768\ncompute 1.5\nsync\nread b 0 32768\n");
+  ASSERT_TRUE(ops.is_ok());
+  workload::TraceWorkload wl(*ops);
+  bed.kernel().run_process("t", [&](sim::Process& p) {
+    vm::VmImageSpec spec;
+    spec.memory_bytes = 4_MiB;
+    spec.disk_bytes = 64_MiB;
+    auto paths = vm::install_image(bed.image_fs(), bed.image_dir(), spec);
+    ASSERT_TRUE(paths.is_ok());
+    vm::VmMonitor vm;
+    auto& session = bed.local_session();
+    vm.attach(session, paths->cfg(), paths->vmss(), session, paths->flat_vmdk());
+    vm::GuestFs gfs(vm);
+    ASSERT_TRUE(wl.install(gfs).is_ok());
+    auto report = wl.run(p, gfs);
+    ASSERT_TRUE(report.is_ok());
+    EXPECT_GE(report->total_s(), 1.5);  // at least the compute op
+  });
+  EXPECT_EQ(bed.kernel().failed_processes(), 0);
+  // open's metadata touch is not accounted as data read.
+  EXPECT_EQ(wl.bytes_read(), 65536u + 32768u);
+  EXPECT_EQ(wl.bytes_written(), 32768u);
+}
+
+// -------------------------------------------------- NFS completeness procs --
+
+struct NfsFixture {
+  sim::SimKernel kernel;
+  vfs::MemFs fs;
+  sim::DiskModel disk{kernel, "d", sim::DiskConfig{}};
+  nfs::NfsServer server{kernel, fs, disk, nfs::NfsServerConfig{}};
+  rpc::LinkChannel loop{server, nullptr, nullptr, 10 * kMicrosecond};
+  rpc::Credential cred;
+  nfs::NfsClient client{loop, cred, nfs::NfsClientConfig{}};
+
+  NfsFixture() { EXPECT_TRUE(server.add_export("/exports").is_ok()); }
+};
+
+TEST(NfsLink, HardLinkSharesContent) {
+  NfsFixture f;
+  ASSERT_TRUE(f.fs.put_file("/exports/orig", blob::make_bytes(std::vector<u8>{1, 2, 3})).is_ok());
+  f.kernel.run_process("t", [&](sim::Process& p) {
+    ASSERT_TRUE(f.client.mount(p, "/exports").is_ok());
+    ASSERT_TRUE(f.client.hard_link(p, "/orig", "/alias").is_ok());
+    auto via_alias = f.client.read_all(p, "/alias");
+    ASSERT_TRUE(via_alias.is_ok());
+    EXPECT_EQ((*via_alias)->size(), 3u);
+    // nlink bumped on the server.
+    auto id = f.fs.resolve("/exports/orig");
+    EXPECT_EQ(f.fs.getattr(*id)->nlink, 2u);
+    // Removing one name keeps the other alive.
+    ASSERT_TRUE(f.client.remove(p, "/orig").is_ok());
+    f.client.drop_caches();
+    auto still = f.client.read_all(p, "/alias");
+    ASSERT_TRUE(still.is_ok());
+    EXPECT_EQ((*still)->size(), 3u);
+  });
+  EXPECT_EQ(f.kernel.failed_processes(), 0);
+}
+
+TEST(NfsLink, LinkToDirectoryRejected) {
+  NfsFixture f;
+  ASSERT_TRUE(f.fs.mkdirs("/exports/subdir").is_ok());
+  f.kernel.run_process("t", [&](sim::Process& p) {
+    ASSERT_TRUE(f.client.mount(p, "/exports").is_ok());
+    EXPECT_FALSE(f.client.hard_link(p, "/subdir", "/alias").is_ok());
+  });
+}
+
+TEST(NfsReaddirplus, ListPrimesCaches) {
+  NfsFixture f;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        f.fs.put_file("/exports/dir/f" + std::to_string(i), blob::make_zero(100)).is_ok());
+  }
+  f.kernel.run_process("t", [&](sim::Process& p) {
+    ASSERT_TRUE(f.client.mount(p, "/exports").is_ok());
+    auto entries = f.client.list(p, "/dir");
+    ASSERT_TRUE(entries.is_ok());
+    EXPECT_EQ(entries->size(), 10u);
+    // After READDIRPLUS, stats need no further LOOKUP or GETATTR RPCs.
+    u64 lookups = f.client.rpcs_sent(nfs::Proc::kLookup);
+    u64 getattrs = f.client.rpcs_sent(nfs::Proc::kGetattr);
+    for (int i = 0; i < 10; ++i) {
+      auto a = f.client.stat(p, "/dir/f" + std::to_string(i));
+      ASSERT_TRUE(a.is_ok());
+      EXPECT_EQ(a->size, 100u);
+    }
+    EXPECT_EQ(f.client.rpcs_sent(nfs::Proc::kLookup), lookups);
+    EXPECT_EQ(f.client.rpcs_sent(nfs::Proc::kGetattr), getattrs);
+  });
+  EXPECT_EQ(f.kernel.failed_processes(), 0);
+}
+
+TEST(NfsTypesExt, LinkReaddirplusPathconfRoundTrip) {
+  using namespace nfs;
+  LinkArgs la;
+  la.file = Fh{1, 5};
+  la.dir = Fh{1, 1};
+  la.name = "alias";
+  xdr::XdrEncoder e1;
+  la.encode(e1);
+  EXPECT_EQ(e1.size(), la.wire_size());
+  xdr::XdrDecoder d1(e1.bytes());
+  auto lback = LinkArgs::decode(d1);
+  ASSERT_TRUE(lback.is_ok());
+  EXPECT_EQ(lback->name, "alias");
+
+  ReaddirplusRes rr;
+  ReaddirplusRes::Entry ent;
+  ent.fileid = 9;
+  ent.name = "file.bin";
+  ent.cookie = 1;
+  vfs::Attr attr;
+  attr.size = 123;
+  attr.fileid = 9;
+  ent.attr.attr = attr;
+  ent.fh = Fh{1, 9};
+  rr.entries.push_back(ent);
+  xdr::XdrEncoder e2;
+  rr.encode(e2);
+  EXPECT_EQ(e2.size(), rr.wire_size());
+  xdr::XdrDecoder d2(e2.bytes());
+  auto rback = ReaddirplusRes::decode(d2);
+  ASSERT_TRUE(rback.is_ok());
+  ASSERT_EQ(rback->entries.size(), 1u);
+  EXPECT_EQ(rback->entries[0].fh, (Fh{1, 9}));
+  ASSERT_TRUE(rback->entries[0].attr.attr.has_value());
+  EXPECT_EQ(rback->entries[0].attr.attr->size, 123u);
+
+  PathconfRes pc;
+  xdr::XdrEncoder e3;
+  pc.encode(e3);
+  EXPECT_EQ(e3.size(), pc.wire_size());
+  xdr::XdrDecoder d3(e3.bytes());
+  auto pback = PathconfRes::decode(d3);
+  ASSERT_TRUE(pback.is_ok());
+  EXPECT_EQ(pback->name_max, 255u);
+}
+
+TEST(LocalSession, HardLinkSupported) {
+  sim::SimKernel kernel;
+  vfs::MemFs fs;
+  sim::DiskModel disk{kernel, "d", sim::DiskConfig{}};
+  vfs::LocalFsSession session{fs, disk};
+  kernel.run_process("t", [&](sim::Process& p) {
+    ASSERT_TRUE(session.put(p, "/a", blob::make_bytes(std::vector<u8>{7})).is_ok());
+    ASSERT_TRUE(session.hard_link(p, "/a", "/b").is_ok());
+    auto b = session.read_all(p, "/b");
+    ASSERT_TRUE(b.is_ok());
+    EXPECT_EQ((*b)->size(), 1u);
+  });
+  EXPECT_EQ(kernel.failed_processes(), 0);
+}
+
+}  // namespace
+}  // namespace gvfs

@@ -1,0 +1,283 @@
+// Meta-data handling tests: the on-disk meta file format, zero-map
+// generation and queries (including the paper's 512 MB post-boot statistic),
+// and the compress/SCP/uncompress file channel in both directions.
+#include <gtest/gtest.h>
+
+#include "cache/file_cache.h"
+#include "meta/file_channel.h"
+#include "meta/meta_file.h"
+#include "meta/speculation.h"
+#include "sim/kernel.h"
+#include "ssh/ssh.h"
+#include "vfs/memfs.h"
+
+namespace gvfs::meta {
+namespace {
+
+TEST(MetaFile, NamingConvention) {
+  EXPECT_EQ(MetaFile::meta_name_for("vm1.vmss"), ".vm1.vmss.gvfsmeta");
+  EXPECT_EQ(MetaFile::meta_path_for("/exports/images/vm1.vmss"),
+            "/exports/images/.vm1.vmss.gvfsmeta");
+  EXPECT_TRUE(MetaFile::is_meta_name(".vm1.vmss.gvfsmeta"));
+  EXPECT_FALSE(MetaFile::is_meta_name("vm1.vmss"));
+  EXPECT_FALSE(MetaFile::is_meta_name(".hidden"));
+}
+
+TEST(MetaFile, GenerateZeroMapFromContent) {
+  // 64 KiB file: first half zeros, second half data.
+  std::vector<u8> data(64_KiB, 0);
+  for (u64 i = 32_KiB; i < 64_KiB; ++i) data[i] = 1;
+  auto m = MetaFile::generate(*blob::make_bytes(std::move(data)), 8_KiB);
+  EXPECT_TRUE(m.has_zero_map());
+  EXPECT_EQ(m.total_blocks(), 8u);
+  EXPECT_EQ(m.zero_block_count(), 4u);
+  EXPECT_TRUE(m.range_is_zero(0, 32_KiB));
+  EXPECT_FALSE(m.range_is_zero(0, 33_KiB));
+  EXPECT_FALSE(m.range_is_zero(40_KiB, 1_KiB));
+  EXPECT_TRUE(m.range_is_zero(8_KiB, 8_KiB));
+}
+
+TEST(MetaFile, RangePastEofIsZero) {
+  auto m = MetaFile::generate(*blob::make_zero(16_KiB), 8_KiB);
+  EXPECT_TRUE(m.range_is_zero(16_KiB, 1_KiB));
+  EXPECT_TRUE(m.range_is_zero(100_KiB, 8_KiB));
+}
+
+TEST(MetaFile, EmptyRangeNotZero) {
+  auto m = MetaFile::generate(*blob::make_zero(16_KiB), 8_KiB);
+  EXPECT_FALSE(m.range_is_zero(0, 0));
+}
+
+TEST(MetaFile, SerializeParseRoundTrip) {
+  auto content = blob::make_synthetic(9, 1_MiB, 0.7, 3.0);
+  auto m = MetaFile::generate(*content, 8_KiB, file_channel_actions());
+  auto raw = m.serialize();
+  auto back = MetaFile::parse(*raw);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(*back, m);
+  EXPECT_TRUE(back->wants_file_channel());
+  EXPECT_EQ(back->actions().size(), 4u);
+}
+
+TEST(MetaFile, ParseRejectsGarbage) {
+  EXPECT_FALSE(MetaFile::parse(*blob::make_zero(64)).is_ok());
+  EXPECT_FALSE(MetaFile::parse(*blob::make_bytes(std::vector<u8>{1, 2, 3})).is_ok());
+}
+
+TEST(MetaFile, ActionsWithoutZeroMap) {
+  auto m = MetaFile::generate(*blob::make_zero(0), 0, file_channel_actions());
+  EXPECT_FALSE(m.has_zero_map());
+  EXPECT_TRUE(m.wants_file_channel());
+  auto back = MetaFile::parse(*m.serialize());
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_TRUE(back->wants_file_channel());
+}
+
+TEST(MetaFile, PaperZeroStatistic) {
+  // A 512 MB post-boot memory image read at 8 KB granularity: 65536 blocks,
+  // ~92% zero => the paper's "60452 of 65750 reads filtered" figure.
+  auto mem = blob::make_synthetic(0x42, 512_MiB, 0.9223, 3.0);
+  auto m = MetaFile::generate(*mem, 8_KiB);
+  EXPECT_EQ(m.total_blocks(), 65536u);
+  double frac = static_cast<double>(m.zero_block_count()) /
+                static_cast<double>(m.total_blocks());
+  // Zero pages come in 64 KiB runs, so 8 KiB blocks filter at close to the
+  // page-level fraction (paper: 60452/65750 = 91.9%).
+  EXPECT_NEAR(frac, 0.9223, 0.02);
+}
+
+// ------------------------------------------------------------ file channel --
+
+struct ChannelFixture {
+  sim::SimKernel kernel;
+  vfs::MemFs server_fs;
+  sim::DiskModel server_disk{kernel, "sd", sim::DiskConfig{}};
+  sim::CpuPool server_cpu{kernel, 2};
+  meta::ServerFileChannel endpoint{server_fs, server_disk, &server_cpu};
+  sim::Link wan{kernel, "wan", sim::LinkConfig{from_millis(20), 12.0 * 1_MiB, 64_KiB, 0}};
+  ssh::Scp scp{wan, ssh::CipherSpec{}};
+  sim::DiskModel client_disk{kernel, "cd", sim::DiskConfig{}};
+  cache::FileCache file_cache{client_disk};
+  meta::FileChannelClient channel{endpoint, scp, file_cache};
+};
+
+TEST(FileChannel, FetchLandsContentInCache) {
+  ChannelFixture f;
+  auto content = blob::make_synthetic(1, 8_MiB, 0.9, 3.0);
+  auto id = f.server_fs.put_file("/exports/m.vmss", content);
+  ASSERT_TRUE(id.is_ok());
+  f.kernel.run_process("t", [&](sim::Process& p) {
+    ASSERT_TRUE(f.channel.fetch_into_cache(p, *id, 77).is_ok());
+    ASSERT_TRUE(f.file_cache.contains(77));
+    auto back = f.file_cache.read(p, 77, 0, 8_MiB);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(blob::content_hash(**back), blob::content_hash(*content));
+  });
+  EXPECT_EQ(f.channel.fetches(), 1u);
+  // Only the compressed bytes crossed the WAN.
+  EXPECT_LT(f.channel.wire_bytes(), 2_MiB);
+  EXPECT_LT(f.scp.bytes_moved(), 2_MiB);
+}
+
+TEST(FileChannel, CompressedTransferFasterThanRaw) {
+  ChannelFixture f;
+  auto content = blob::make_synthetic(2, 16_MiB, 0.92, 3.0);
+  auto id = f.server_fs.put_file("/exports/m.vmss", content);
+  SimTime elapsed = 0;
+  f.kernel.run_process("t", [&](sim::Process& p) {
+    SimTime t0 = p.now();
+    ASSERT_TRUE(f.channel.fetch_into_cache(p, *id, 1).is_ok());
+    elapsed = p.now() - t0;
+  });
+  // Raw 16 MiB at the ~1.8 MB/s flow ceiling would take ~9 s; compressed
+  // (~8% nonzero at 3x) it lands around compress time (~2 s at 8 MB/s).
+  EXPECT_LT(to_seconds(elapsed), 5.0);
+}
+
+TEST(FileChannel, UploadPushesBackToServer) {
+  ChannelFixture f;
+  auto original = blob::make_synthetic(3, 4_MiB, 0.9, 3.0);
+  auto id = f.server_fs.put_file("/exports/m.vmss", original);
+  auto modified = blob::make_synthetic(4, 4_MiB, 0.8, 3.0);
+  f.kernel.run_process("t", [&](sim::Process& p) {
+    ASSERT_TRUE(f.channel.upload_from_cache(p, 1, *id, modified).is_ok());
+  });
+  auto server_now = f.server_fs.get_file("/exports/m.vmss");
+  ASSERT_TRUE(server_now.is_ok());
+  EXPECT_EQ(blob::content_hash(**server_now), blob::content_hash(*modified));
+  EXPECT_EQ(f.channel.uploads(), 1u);
+}
+
+TEST(FileChannel, FetchMissingFileFails) {
+  ChannelFixture f;
+  f.kernel.run_process("t", [&](sim::Process& p) {
+    EXPECT_FALSE(f.channel.fetch_into_cache(p, 424242, 1).is_ok());
+  });
+}
+
+TEST(FileChannel, ServerCpuBoundsConcurrentCompression) {
+  ChannelFixture f;
+  // Four concurrent fetches on a 2-CPU server: compression serializes 2-wide.
+  std::vector<vfs::FileId> ids;
+  for (int i = 0; i < 4; ++i) {
+    auto id = f.server_fs.put_file("/exports/m" + std::to_string(i),
+                                   blob::make_synthetic(10 + i, 32_MiB, 0.0, 1.2));
+    ids.push_back(*id);
+  }
+  std::vector<std::unique_ptr<cache::FileCache>> caches;
+  std::vector<std::unique_ptr<meta::FileChannelClient>> channels;
+  for (int i = 0; i < 4; ++i) {
+    caches.push_back(std::make_unique<cache::FileCache>(f.client_disk));
+    channels.push_back(
+        std::make_unique<meta::FileChannelClient>(f.endpoint, f.scp, *caches.back()));
+  }
+  SimTime end = 0;
+  for (int i = 0; i < 4; ++i) {
+    f.kernel.spawn("fetch" + std::to_string(i), [&, i](sim::Process& p) {
+      ASSERT_TRUE(channels[i]->fetch_into_cache(p, ids[static_cast<size_t>(i)], 1).is_ok());
+      end = std::max(end, p.now());
+    });
+  }
+  f.kernel.run();
+  EXPECT_EQ(f.kernel.failed_processes(), 0);
+  // 32 MiB at 20 MB/s = ~1.6 s compress each; 4 jobs over 2 CPUs >= 3.2 s.
+  EXPECT_GT(to_seconds(end), 3.0);
+}
+
+// ---------------------------------------------------------- knowledge base --
+
+AccessObservation full_read(u64 size, double zeros = 0.9) {
+  AccessObservation o;
+  o.file_size = size;
+  o.bytes_touched = size;
+  o.sequential = true;
+  o.zero_fraction = zeros;
+  return o;
+}
+
+AccessObservation sparse_read(u64 size, double frac, double zeros = 0.0) {
+  AccessObservation o;
+  o.file_size = size;
+  o.bytes_touched = static_cast<u64>(static_cast<double>(size) * frac);
+  o.sequential = false;
+  o.zero_fraction = zeros;
+  return o;
+}
+
+TEST(KnowledgeBase, NoHistoryNoSpeculation) {
+  KnowledgeBase kb;
+  EXPECT_EQ(kb.recommend("vmware", "vmss"), Recommendation::kNone);
+  EXPECT_EQ(kb.sessions("vmware", "vmss"), 0u);
+}
+
+TEST(KnowledgeBase, SingleSessionInsufficient) {
+  KnowledgeBase kb;
+  kb.record("vmware", "vmss", full_read(320_MiB));
+  EXPECT_EQ(kb.recommend("vmware", "vmss"), Recommendation::kNone);
+}
+
+TEST(KnowledgeBase, ConsistentFullReadsRecommendFileChannel) {
+  // The paper's .vmss case: "the entire memory state file is always
+  // required from the image server before a VM can be resumed".
+  KnowledgeBase kb;
+  kb.record("vmware", "vmss", full_read(320_MiB));
+  kb.record("vmware", "vmss", full_read(320_MiB));
+  EXPECT_EQ(kb.recommend("vmware", "vmss"), Recommendation::kFileChannel);
+  EXPECT_EQ(kb.sessions("vmware", "vmss"), 2u);
+}
+
+TEST(KnowledgeBase, SparseWorkingSetRecommendsNothing) {
+  // The paper's .vmdk case: accesses "restricted to a working set that is
+  // much smaller (<10%) than the large virtual disk file".
+  KnowledgeBase kb;
+  kb.record("vmware", "vmdk", sparse_read(u64{1638} * 1_MiB, 0.08));
+  kb.record("vmware", "vmdk", sparse_read(u64{1638} * 1_MiB, 0.06));
+  kb.record("vmware", "vmdk", sparse_read(u64{1638} * 1_MiB, 0.09));
+  EXPECT_EQ(kb.recommend("vmware", "vmdk"), Recommendation::kNone);
+}
+
+TEST(KnowledgeBase, MostlyZeroPartialReadsRecommendZeroMap) {
+  KnowledgeBase kb;
+  kb.record("resume", "swap", sparse_read(512_MiB, 0.4, /*zeros=*/0.9));
+  kb.record("resume", "swap", sparse_read(512_MiB, 0.5, /*zeros=*/0.85));
+  EXPECT_EQ(kb.recommend("resume", "swap"), Recommendation::kZeroMapOnly);
+}
+
+TEST(KnowledgeBase, OneDeviatingSessionBreaksFullReadRule) {
+  KnowledgeBase kb;
+  kb.record("app", "dat", full_read(64_MiB, 0.1));
+  kb.record("app", "dat", sparse_read(64_MiB, 0.2));
+  kb.record("app", "dat", full_read(64_MiB, 0.1));
+  EXPECT_NE(kb.recommend("app", "dat"), Recommendation::kFileChannel);
+}
+
+TEST(KnowledgeBase, KeysAreIndependent) {
+  KnowledgeBase kb;
+  kb.record("vmware", "vmss", full_read(320_MiB));
+  kb.record("vmware", "vmss", full_read(320_MiB));
+  kb.record("latex", "vmss", sparse_read(320_MiB, 0.1));
+  kb.record("latex", "vmss", sparse_read(320_MiB, 0.1));
+  EXPECT_EQ(kb.recommend("vmware", "vmss"), Recommendation::kFileChannel);
+  EXPECT_EQ(kb.recommend("latex", "vmss"), Recommendation::kNone);
+}
+
+TEST(KnowledgeBase, SerializeParseRoundTrip) {
+  KnowledgeBase kb;
+  kb.record("vmware", "vmss", full_read(320_MiB));
+  kb.record("vmware", "vmss", full_read(320_MiB));
+  kb.record("vmware", "vmdk", sparse_read(1_GiB, 0.05));
+  auto back = KnowledgeBase::parse(kb.serialize());
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(*back, kb);
+  EXPECT_EQ(back->recommend("vmware", "vmss"), Recommendation::kFileChannel);
+  EXPECT_FALSE(KnowledgeBase::parse("garbage").is_ok());
+}
+
+TEST(KnowledgeBase, RecommendationNames) {
+  EXPECT_STREQ(recommendation_name(Recommendation::kNone), "none");
+  EXPECT_STREQ(recommendation_name(Recommendation::kZeroMapOnly), "zero-map");
+  EXPECT_STREQ(recommendation_name(Recommendation::kFileChannel), "file-channel");
+}
+
+}  // namespace
+}  // namespace gvfs::meta

@@ -1,0 +1,290 @@
+// Server-side NFS tests: write stability semantics and disk accounting,
+// nfsd concurrency limits, READDIR pagination, export handling, and RPC
+// error paths — behaviours the client-focused tests don't pin down.
+#include <gtest/gtest.h>
+
+#include "blob/blob.h"
+#include "nfs/nfs_server.h"
+#include "rpc/rpc.h"
+#include "sim/kernel.h"
+
+namespace gvfs::nfs {
+namespace {
+
+struct ServerFixture {
+  sim::SimKernel kernel;
+  vfs::MemFs fs;
+  sim::DiskModel disk{kernel, "d", sim::DiskConfig{}};
+  NfsServerConfig cfg;
+  std::unique_ptr<NfsServer> server;
+
+  explicit ServerFixture(NfsServerConfig c = {}) : cfg(c) {
+    server = std::make_unique<NfsServer>(kernel, fs, disk, cfg);
+    EXPECT_TRUE(server->add_export("/exports").is_ok());
+  }
+
+  Fh root() { return server->root_fh("/exports"); }
+
+  rpc::RpcCall call(Proc proc, rpc::MessagePtr args) {
+    rpc::RpcCall c;
+    c.xid = 1;
+    c.prog = rpc::kNfsProgram;
+    c.vers = rpc::kNfsVersion3;
+    c.proc = static_cast<u32>(proc);
+    c.cred.uid = 1000;
+    c.args = std::move(args);
+    return c;
+  }
+
+  template <typename Res>
+  std::shared_ptr<const Res> invoke(sim::Process& p, Proc proc, rpc::MessagePtr args) {
+    rpc::RpcReply reply = server->handle(p, call(proc, args));
+    EXPECT_TRUE(reply.status.is_ok()) << reply.status.to_string();
+    auto res = rpc::message_cast<Res>(reply.result);
+    EXPECT_NE(res, nullptr);
+    return res;
+  }
+};
+
+TEST(NfsServer, RootFhValidOnlyForExports) {
+  ServerFixture f;
+  EXPECT_TRUE(f.root().valid());
+  EXPECT_FALSE(f.server->root_fh("/other").valid());
+}
+
+TEST(NfsServer, MountUnknownPathReturnsNoEnt) {
+  ServerFixture f;
+  f.kernel.run_process("t", [&](sim::Process& p) {
+    auto args = std::make_shared<MountArgs>();
+    args->dirpath = "/nope";
+    rpc::RpcCall c = f.call(static_cast<Proc>(1), args);
+    c.prog = rpc::kMountProgram;
+    c.vers = rpc::kMountVersion3;
+    rpc::RpcReply reply = f.server->handle(p, c);
+    ASSERT_TRUE(reply.status.is_ok());
+    auto res = rpc::message_cast<MountRes>(reply.result);
+    ASSERT_NE(res, nullptr);
+    EXPECT_EQ(res->status, NfsStat::kNoEnt);
+  });
+}
+
+TEST(NfsServer, UnstableWritesDeferDiskUntilCommit) {
+  ServerFixture f;
+  auto id = f.fs.put_file("/exports/f", blob::make_zero(0));
+  ASSERT_TRUE(id.is_ok());
+  f.kernel.run_process("t", [&](sim::Process& p) {
+    u64 ops_before = f.disk.ops();
+    for (int i = 0; i < 8; ++i) {
+      auto args = std::make_shared<WriteArgs>();
+      args->fh = f.server->fh_of(*id);
+      args->offset = static_cast<u64>(i) * 32_KiB;
+      args->count = 32_KiB;
+      args->stable = StableHow::kUnstable;
+      args->data = blob::make_zero(32_KiB);
+      auto res = f.invoke<WriteRes>(p, Proc::kWrite, args);
+      EXPECT_EQ(res->status, NfsStat::kOk);
+      EXPECT_EQ(res->committed, StableHow::kUnstable);
+    }
+    EXPECT_EQ(f.disk.ops(), ops_before);  // nothing hit the disk yet
+    auto cargs = std::make_shared<CommitArgs>();
+    cargs->fh = f.server->fh_of(*id);
+    auto cres = f.invoke<CommitRes>(p, Proc::kCommit, cargs);
+    EXPECT_EQ(cres->status, NfsStat::kOk);
+    EXPECT_GT(f.disk.ops(), ops_before);  // commit flushed 256 KiB
+    EXPECT_GE(f.disk.bytes_moved(), 256_KiB);
+  });
+}
+
+TEST(NfsServer, FileSyncWritesHitDiskImmediately) {
+  ServerFixture f;
+  auto id = f.fs.put_file("/exports/f", blob::make_zero(0));
+  f.kernel.run_process("t", [&](sim::Process& p) {
+    auto args = std::make_shared<WriteArgs>();
+    args->fh = f.server->fh_of(*id);
+    args->count = 32_KiB;
+    args->stable = StableHow::kFileSync;
+    args->data = blob::make_zero(32_KiB);
+    u64 ops_before = f.disk.ops();
+    auto res = f.invoke<WriteRes>(p, Proc::kWrite, args);
+    EXPECT_EQ(res->committed, StableHow::kFileSync);
+    EXPECT_GT(f.disk.ops(), ops_before);
+  });
+}
+
+TEST(NfsServer, WriteCountClampedToMaxIo) {
+  NfsServerConfig cfg;
+  cfg.max_io = 8_KiB;
+  ServerFixture f(cfg);
+  auto id = f.fs.put_file("/exports/f", blob::make_zero(0));
+  f.kernel.run_process("t", [&](sim::Process& p) {
+    auto args = std::make_shared<WriteArgs>();
+    args->fh = f.server->fh_of(*id);
+    args->count = 32_KiB;
+    args->stable = StableHow::kUnstable;
+    args->data = blob::make_zero(32_KiB);
+    auto res = f.invoke<WriteRes>(p, Proc::kWrite, args);
+    EXPECT_EQ(res->count, 8_KiB);
+  });
+}
+
+TEST(NfsServer, ReadBeyondEofReturnsZeroCountEof) {
+  ServerFixture f;
+  auto id = f.fs.put_file("/exports/f", blob::make_zero(10));
+  f.kernel.run_process("t", [&](sim::Process& p) {
+    auto args = std::make_shared<ReadArgs>();
+    args->fh = f.server->fh_of(*id);
+    args->offset = 100;
+    args->count = 4_KiB;
+    auto res = f.invoke<ReadRes>(p, Proc::kRead, args);
+    EXPECT_EQ(res->status, NfsStat::kOk);
+    EXPECT_EQ(res->count, 0u);
+    EXPECT_TRUE(res->eof);
+  });
+}
+
+TEST(NfsServer, ReadOfDirectoryIsIsDir) {
+  ServerFixture f;
+  f.kernel.run_process("t", [&](sim::Process& p) {
+    auto args = std::make_shared<ReadArgs>();
+    args->fh = f.root();
+    args->count = 4_KiB;
+    auto res = f.invoke<ReadRes>(p, Proc::kRead, args);
+    EXPECT_EQ(res->status, NfsStat::kIsDir);
+  });
+}
+
+TEST(NfsServer, StaleHandleSurfacesInResult) {
+  ServerFixture f;
+  f.kernel.run_process("t", [&](sim::Process& p) {
+    auto args = std::make_shared<GetattrArgs>();
+    args->fh = Fh{1, 424242};
+    auto res = f.invoke<GetattrRes>(p, Proc::kGetattr, args);
+    EXPECT_EQ(res->status, NfsStat::kStale);
+  });
+}
+
+TEST(NfsServer, BadArgsTypeRejected) {
+  ServerFixture f;
+  f.kernel.run_process("t", [&](sim::Process& p) {
+    // READ args handed to WRITE: message_cast fails -> BADXDR error reply.
+    auto args = std::make_shared<ReadArgs>();
+    args->fh = f.root();
+    rpc::RpcReply reply = f.server->handle(p, f.call(Proc::kWrite, args));
+    EXPECT_FALSE(reply.status.is_ok());
+    EXPECT_EQ(reply.status.code(), ErrCode::kBadXdr);
+  });
+}
+
+TEST(NfsServer, UnknownProcRejected) {
+  ServerFixture f;
+  f.kernel.run_process("t", [&](sim::Process& p) {
+    rpc::RpcCall c = f.call(static_cast<Proc>(11), nullptr);  // MKNOD unimpl.
+    rpc::RpcReply reply = f.server->handle(p, c);
+    EXPECT_EQ(reply.status.code(), ErrCode::kRpcMismatch);
+  });
+}
+
+TEST(NfsServer, ReaddirPaginates) {
+  ServerFixture f;
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(
+        f.fs.put_file("/exports/file_with_a_long_name_" + std::to_string(i),
+                      blob::make_zero(1))
+            .is_ok());
+  }
+  f.kernel.run_process("t", [&](sim::Process& p) {
+    u64 cookie = 0;
+    std::size_t total = 0;
+    int pages = 0;
+    while (true) {
+      auto args = std::make_shared<ReaddirArgs>();
+      args->dir = f.root();
+      args->cookie = cookie;
+      args->max_count = 2048;
+      auto res = f.invoke<ReaddirRes>(p, Proc::kReaddir, args);
+      ASSERT_EQ(res->status, NfsStat::kOk);
+      total += res->entries.size();
+      ++pages;
+      if (res->eof) break;
+      ASSERT_FALSE(res->entries.empty());
+      cookie = res->entries.back().cookie;
+      ASSERT_LT(pages, 100);  // termination guard
+    }
+    EXPECT_EQ(total, 200u);
+    EXPECT_GT(pages, 1);  // actually paginated
+  });
+}
+
+TEST(NfsServer, NfsdThreadsBoundConcurrency) {
+  NfsServerConfig cfg;
+  cfg.nfsd_threads = 2;
+  cfg.per_op_cpu = 10 * kMillisecond;
+  ServerFixture f(cfg);
+  auto id = f.fs.put_file("/exports/f", blob::make_zero(4_KiB));
+  SimTime end = 0;
+  for (int i = 0; i < 6; ++i) {
+    f.kernel.spawn("c" + std::to_string(i), [&](sim::Process& p) {
+      auto args = std::make_shared<GetattrArgs>();
+      args->fh = f.server->fh_of(*id);
+      f.server->handle(p, f.call(Proc::kGetattr, args));
+      end = std::max(end, p.now());
+    });
+  }
+  f.kernel.run();
+  // 6 calls of >=10ms CPU on 2 service threads: at least 3 serial rounds.
+  EXPECT_GE(end, 30 * kMillisecond);
+  EXPECT_EQ(f.kernel.failed_processes(), 0);
+}
+
+TEST(NfsServer, ServerPageCacheAbsorbsRereads) {
+  ServerFixture f;
+  auto id = f.fs.put_file("/exports/big", blob::make_synthetic(1, 1_MiB, 0, 2.0));
+  f.kernel.run_process("t", [&](sim::Process& p) {
+    auto read_all = [&] {
+      for (u64 off = 0; off < 1_MiB; off += 32_KiB) {
+        auto args = std::make_shared<ReadArgs>();
+        args->fh = f.server->fh_of(*id);
+        args->offset = off;
+        args->count = 32_KiB;
+        f.invoke<ReadRes>(p, Proc::kRead, args);
+      }
+    };
+    read_all();
+    u64 disk_ops = f.disk.ops();
+    read_all();
+    EXPECT_EQ(f.disk.ops(), disk_ops);  // second pass from the page cache
+    f.server->drop_caches();
+    read_all();
+    EXPECT_GT(f.disk.ops(), disk_ops);
+  });
+}
+
+TEST(NfsServer, FsstatReportsInodes) {
+  ServerFixture f;
+  f.fs.put_file("/exports/a", blob::make_zero(1));
+  f.kernel.run_process("t", [&](sim::Process& p) {
+    auto res = f.invoke<FsstatRes>(p, Proc::kFsstat, nullptr);
+    EXPECT_EQ(res->status, NfsStat::kOk);
+    EXPECT_GT(res->total_files, 1u);
+    EXPECT_GT(res->total_bytes, res->free_bytes);
+  });
+}
+
+TEST(NfsServer, TruncateChargesMetadataWrite) {
+  ServerFixture f;
+  auto id = f.fs.put_file("/exports/f", blob::make_zero(1_MiB));
+  f.kernel.run_process("t", [&](sim::Process& p) {
+    u64 ops = f.disk.ops();
+    auto args = std::make_shared<SetattrArgs>();
+    args->fh = f.server->fh_of(*id);
+    args->sattr.sa.set_size = true;
+    args->sattr.sa.size = 0;
+    auto res = f.invoke<SetattrRes>(p, Proc::kSetattr, args);
+    EXPECT_EQ(res->status, NfsStat::kOk);
+    EXPECT_GT(f.disk.ops(), ops);
+  });
+  EXPECT_EQ((*f.fs.get_file("/exports/f"))->size(), 0u);
+}
+
+}  // namespace
+}  // namespace gvfs::nfs

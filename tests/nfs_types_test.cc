@@ -1,0 +1,368 @@
+// NFS protocol message tests: every procedure's args/results XDR-round-trip
+// and the analytic wire_size() equals the real encoded size — the invariant
+// that lets the simulation transport skip serialization without lying about
+// bytes on the wire.
+#include <gtest/gtest.h>
+
+#include "nfs/nfs_types.h"
+
+namespace gvfs::nfs {
+namespace {
+
+// Encode a message and assert wire_size() telling the truth.
+template <typename T>
+std::vector<u8> encode_checked(const T& msg) {
+  xdr::XdrEncoder enc;
+  msg.encode(enc);
+  EXPECT_EQ(enc.size(), msg.wire_size()) << "wire_size mismatch";
+  return enc.take();
+}
+
+vfs::Attr sample_attr() {
+  vfs::Attr a;
+  a.type = vfs::FileType::kRegular;
+  a.mode = 0644;
+  a.nlink = 1;
+  a.uid = 1000;
+  a.gid = 1000;
+  a.size = 320_MiB;
+  a.atime = 5 * kSecond;
+  a.mtime = 6 * kSecond + 123;
+  a.ctime = 7 * kSecond;
+  a.fileid = 42;
+  return a;
+}
+
+TEST(NfsTypes, FhRoundTrip) {
+  Fh fh{7, 1234567};
+  xdr::XdrEncoder enc;
+  fh.encode(enc);
+  EXPECT_EQ(enc.size(), Fh::wire_size());
+  xdr::XdrDecoder dec(enc.bytes());
+  auto back = Fh::decode(dec);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(*back, fh);
+  EXPECT_TRUE(back->valid());
+  EXPECT_EQ(Fh{}.valid(), false);
+}
+
+TEST(NfsTypes, FhKeyDistinguishes) {
+  EXPECT_NE((Fh{1, 2}.key()), (Fh{1, 3}.key()));
+  EXPECT_NE((Fh{1, 2}.key()), (Fh{2, 2}.key()));
+  EXPECT_EQ((Fh{1, 2}.key()), (Fh{1, 2}.key()));
+}
+
+TEST(NfsTypes, FattrRoundTrip) {
+  Fattr f{sample_attr()};
+  xdr::XdrEncoder enc;
+  f.encode(enc);
+  EXPECT_EQ(enc.size(), Fattr::wire_size());
+  xdr::XdrDecoder dec(enc.bytes());
+  auto back = Fattr::decode(dec);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back->a.size, 320_MiB);
+  EXPECT_EQ(back->a.mtime, 6 * kSecond + 123);
+  EXPECT_EQ(back->a.fileid, 42u);
+  EXPECT_EQ(back->a.type, vfs::FileType::kRegular);
+}
+
+TEST(NfsTypes, PostOpAttrBothArms) {
+  PostOpAttr with;
+  with.attr = sample_attr();
+  xdr::XdrEncoder e1;
+  with.encode(e1);
+  EXPECT_EQ(e1.size(), with.wire_size());
+
+  PostOpAttr without;
+  xdr::XdrEncoder e2;
+  without.encode(e2);
+  EXPECT_EQ(e2.size(), without.wire_size());
+  EXPECT_EQ(e2.size(), 4u);
+}
+
+TEST(NfsTypes, SattrRoundTrip) {
+  Sattr s;
+  s.sa.set_size = true;
+  s.sa.size = 99;
+  s.sa.set_mode = true;
+  s.sa.mode = 0600;
+  xdr::XdrEncoder enc;
+  s.encode(enc);
+  EXPECT_EQ(enc.size(), s.wire_size());
+  xdr::XdrDecoder dec(enc.bytes());
+  auto back = Sattr::decode(dec);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_TRUE(back->sa.set_size);
+  EXPECT_EQ(back->sa.size, 99u);
+  EXPECT_TRUE(back->sa.set_mode);
+  EXPECT_FALSE(back->sa.set_uid);
+}
+
+TEST(NfsTypes, LookupRoundTrip) {
+  LookupArgs a;
+  a.dir = Fh{1, 5};
+  a.name = "vm1.vmss";
+  auto raw = encode_checked(a);
+  xdr::XdrDecoder dec(raw);
+  auto back = LookupArgs::decode(dec);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back->name, "vm1.vmss");
+
+  LookupRes r;
+  r.fh = Fh{1, 9};
+  r.obj_attr.attr = sample_attr();
+  auto rraw = encode_checked(r);
+  xdr::XdrDecoder rdec(rraw);
+  auto rback = LookupRes::decode(rdec);
+  ASSERT_TRUE(rback.is_ok());
+  EXPECT_EQ(rback->fh, (Fh{1, 9}));
+  ASSERT_TRUE(rback->obj_attr.attr.has_value());
+
+  LookupRes fail;
+  fail.status = NfsStat::kNoEnt;
+  auto fraw = encode_checked(fail);
+  xdr::XdrDecoder fdec(fraw);
+  auto fback = LookupRes::decode(fdec);
+  ASSERT_TRUE(fback.is_ok());
+  EXPECT_EQ(fback->status, NfsStat::kNoEnt);
+}
+
+TEST(NfsTypes, ReadRoundTripCarriesData) {
+  ReadArgs a;
+  a.fh = Fh{1, 7};
+  a.offset = 64_KiB;
+  a.count = 8_KiB;
+  auto raw = encode_checked(a);
+  xdr::XdrDecoder dec(raw);
+  auto back = ReadArgs::decode(dec);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back->offset, 64_KiB);
+  EXPECT_EQ(back->count, 8_KiB);
+
+  ReadRes r;
+  r.count = 5;
+  r.eof = true;
+  r.data = blob::make_bytes(std::vector<u8>{1, 2, 3, 4, 5});
+  r.attr.attr = sample_attr();
+  auto rraw = encode_checked(r);
+  xdr::XdrDecoder rdec(rraw);
+  auto rback = ReadRes::decode(rdec);
+  ASSERT_TRUE(rback.is_ok());
+  EXPECT_EQ(rback->count, 5u);
+  EXPECT_TRUE(rback->eof);
+  EXPECT_EQ(blob::content_hash(*rback->data), blob::content_hash(*r.data));
+}
+
+TEST(NfsTypes, WriteRoundTrip) {
+  WriteArgs a;
+  a.fh = Fh{1, 7};
+  a.offset = 100;
+  a.count = 3;
+  a.stable = StableHow::kUnstable;
+  a.data = blob::make_bytes(std::vector<u8>{7, 8, 9});
+  auto raw = encode_checked(a);
+  xdr::XdrDecoder dec(raw);
+  auto back = WriteArgs::decode(dec);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back->stable, StableHow::kUnstable);
+  EXPECT_EQ(blob::content_hash(*back->data), blob::content_hash(*a.data));
+
+  WriteRes r;
+  r.count = 3;
+  r.committed = StableHow::kFileSync;
+  r.verifier = 0xdead;
+  auto rraw = encode_checked(r);
+  xdr::XdrDecoder rdec(rraw);
+  auto rback = WriteRes::decode(rdec);
+  ASSERT_TRUE(rback.is_ok());
+  EXPECT_EQ(rback->verifier, 0xdeadu);
+}
+
+TEST(NfsTypes, CreateMkdirSymlinkRoundTrip) {
+  CreateArgs c;
+  c.dir = Fh{1, 1};
+  c.name = "new.txt";
+  c.sattr.sa.set_mode = true;
+  c.sattr.sa.mode = 0644;
+  auto craw = encode_checked(c);
+  xdr::XdrDecoder cdec(craw);
+  EXPECT_TRUE(CreateArgs::decode(cdec).is_ok());
+
+  MkdirArgs m;
+  m.dir = Fh{1, 1};
+  m.name = "dir";
+  auto mraw = encode_checked(m);
+  xdr::XdrDecoder mdec(mraw);
+  EXPECT_TRUE(MkdirArgs::decode(mdec).is_ok());
+
+  SymlinkArgs s;
+  s.dir = Fh{1, 1};
+  s.name = "link";
+  s.target = "/exports/images/vm1-flat.vmdk";
+  auto sraw = encode_checked(s);
+  xdr::XdrDecoder sdec(sraw);
+  auto sback = SymlinkArgs::decode(sdec);
+  ASSERT_TRUE(sback.is_ok());
+  EXPECT_EQ(sback->target, s.target);
+
+  CreateRes r;
+  r.fh = Fh{1, 10};
+  r.attr.attr = sample_attr();
+  auto rraw = encode_checked(r);
+  xdr::XdrDecoder rdec(rraw);
+  EXPECT_TRUE(CreateRes::decode(rdec).is_ok());
+}
+
+TEST(NfsTypes, RemoveRenameRoundTrip) {
+  RemoveArgs rm;
+  rm.dir = Fh{1, 1};
+  rm.name = "old";
+  auto raw = encode_checked(rm);
+  xdr::XdrDecoder dec(raw);
+  EXPECT_TRUE(RemoveArgs::decode(dec).is_ok());
+
+  RenameArgs rn;
+  rn.from_dir = Fh{1, 1};
+  rn.from_name = "a";
+  rn.to_dir = Fh{1, 2};
+  rn.to_name = "b";
+  auto rraw = encode_checked(rn);
+  xdr::XdrDecoder rdec(rraw);
+  auto back = RenameArgs::decode(rdec);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back->to_name, "b");
+
+  RemoveRes res;
+  res.dir_attr.attr = sample_attr();
+  auto resraw = encode_checked(res);
+  xdr::XdrDecoder resdec(resraw);
+  EXPECT_TRUE(RemoveRes::decode(resdec).is_ok());
+}
+
+TEST(NfsTypes, ReaddirRoundTrip) {
+  ReaddirArgs a;
+  a.dir = Fh{1, 1};
+  a.cookie = 3;
+  auto raw = encode_checked(a);
+  xdr::XdrDecoder dec(raw);
+  EXPECT_TRUE(ReaddirArgs::decode(dec).is_ok());
+
+  ReaddirRes r;
+  r.dir_attr.attr = sample_attr();
+  r.entries.push_back({10, "a.txt", 1});
+  r.entries.push_back({11, "b.txt", 2});
+  r.eof = false;
+  auto rraw = encode_checked(r);
+  xdr::XdrDecoder rdec(rraw);
+  auto back = ReaddirRes::decode(rdec);
+  ASSERT_TRUE(back.is_ok());
+  ASSERT_EQ(back->entries.size(), 2u);
+  EXPECT_EQ(back->entries[1].name, "b.txt");
+  EXPECT_FALSE(back->eof);
+}
+
+TEST(NfsTypes, FsstatFsinfoCommitRoundTrip) {
+  FsstatRes fs;
+  fs.attr.attr = sample_attr();
+  fs.total_bytes = 576_GiB;
+  fs.free_bytes = 100_GiB;
+  auto raw = encode_checked(fs);
+  xdr::XdrDecoder dec(raw);
+  auto back = FsstatRes::decode(dec);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back->total_bytes, 576_GiB);
+
+  FsinfoRes fi;
+  fi.rtmax = fi.wtmax = kMaxBlockSize;
+  auto firaw = encode_checked(fi);
+  xdr::XdrDecoder fidec(firaw);
+  auto fiback = FsinfoRes::decode(fidec);
+  ASSERT_TRUE(fiback.is_ok());
+  EXPECT_EQ(fiback->rtmax, kMaxBlockSize);
+
+  CommitArgs ca;
+  ca.fh = Fh{1, 2};
+  auto caraw = encode_checked(ca);
+  xdr::XdrDecoder cadec(caraw);
+  EXPECT_TRUE(CommitArgs::decode(cadec).is_ok());
+
+  CommitRes cr;
+  cr.verifier = 7;
+  auto crraw = encode_checked(cr);
+  xdr::XdrDecoder crdec(crraw);
+  auto crback = CommitRes::decode(crdec);
+  ASSERT_TRUE(crback.is_ok());
+  EXPECT_EQ(crback->verifier, 7u);
+}
+
+TEST(NfsTypes, MountRoundTrip) {
+  MountArgs a;
+  a.dirpath = "/exports/images";
+  auto raw = encode_checked(a);
+  xdr::XdrDecoder dec(raw);
+  auto back = MountArgs::decode(dec);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back->dirpath, "/exports/images");
+
+  MountRes r;
+  r.root = Fh{1, 1};
+  auto rraw = encode_checked(r);
+  xdr::XdrDecoder rdec(rraw);
+  auto rback = MountRes::decode(rdec);
+  ASSERT_TRUE(rback.is_ok());
+  EXPECT_EQ(rback->root, (Fh{1, 1}));
+}
+
+TEST(NfsTypes, GetattrSetattrAccessReadlinkRoundTrip) {
+  GetattrArgs g;
+  g.fh = Fh{1, 3};
+  auto graw = encode_checked(g);
+  xdr::XdrDecoder gdec(graw);
+  EXPECT_TRUE(GetattrArgs::decode(gdec).is_ok());
+
+  GetattrRes gr;
+  gr.attr = Fattr{sample_attr()};
+  auto grraw = encode_checked(gr);
+  xdr::XdrDecoder grdec(grraw);
+  EXPECT_TRUE(GetattrRes::decode(grdec).is_ok());
+
+  SetattrArgs s;
+  s.fh = Fh{1, 3};
+  s.sattr.sa.set_size = true;
+  s.sattr.sa.size = 0;
+  auto sraw = encode_checked(s);
+  xdr::XdrDecoder sdec(sraw);
+  EXPECT_TRUE(SetattrArgs::decode(sdec).is_ok());
+
+  AccessArgs ac;
+  ac.fh = Fh{1, 3};
+  ac.access = 0x3f;
+  auto acraw = encode_checked(ac);
+  xdr::XdrDecoder acdec(acraw);
+  EXPECT_TRUE(AccessArgs::decode(acdec).is_ok());
+
+  ReadlinkRes rl;
+  rl.target = "/exports/images/vm1.vmdk";
+  auto rlraw = encode_checked(rl);
+  xdr::XdrDecoder rldec(rlraw);
+  auto rlback = ReadlinkRes::decode(rldec);
+  ASSERT_TRUE(rlback.is_ok());
+  EXPECT_EQ(rlback->target, rl.target);
+}
+
+TEST(NfsTypes, ErrorResultsEncodeSmaller) {
+  ReadRes ok;
+  ok.count = 4096;
+  ok.data = blob::make_zero(4096);
+  ReadRes fail;
+  fail.status = NfsStat::kStale;
+  EXPECT_LT(fail.wire_size(), ok.wire_size());
+  auto raw = encode_checked(fail);
+  xdr::XdrDecoder dec(raw);
+  auto back = ReadRes::decode(dec);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back->status, NfsStat::kStale);
+}
+
+}  // namespace
+}  // namespace gvfs::nfs

@@ -1,0 +1,290 @@
+// Property-based tests: randomized operation streams driven through the full
+// GVFS stack, checked against a simple reference model. Parameterized over
+// seeds, write policies and transfer sizes (TEST_P sweeps).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "blob/blob.h"
+#include "common/rng.h"
+#include "gvfs/testbed.h"
+#include "vfs/local_session.h"
+#include "vm/vm_cloner.h"
+#include "vm/vm_image.h"
+#include "vm/vm_monitor.h"
+#include "vm/redo_log.h"
+
+namespace gvfs::core {
+namespace {
+
+// Reference model: plain byte vectors per path.
+struct RefModel {
+  std::map<std::string, std::vector<u8>> files;
+
+  void write(const std::string& path, u64 off, const std::vector<u8>& data) {
+    auto& f = files[path];
+    if (f.size() < off + data.size()) f.resize(off + data.size(), 0);
+    std::copy(data.begin(), data.end(), f.begin() + static_cast<long>(off));
+  }
+  void truncate(const std::string& path, u64 size) { files[path].resize(size, 0); }
+};
+
+struct StackParam {
+  u64 seed;
+  cache::WritePolicy policy;
+  u32 rsize;
+  u64 cache_bytes;
+};
+
+class StackConsistency : public ::testing::TestWithParam<StackParam> {};
+
+TEST_P(StackConsistency, RandomOpsMatchReferenceAndServerConverges) {
+  StackParam param = GetParam();
+  TestbedOptions opt;
+  opt.scenario = Scenario::kWanCached;
+  opt.write_policy = param.policy;
+  opt.block_cache.capacity_bytes = param.cache_bytes;
+  opt.block_cache.num_banks = 8;
+  opt.block_cache.associativity = 4;
+  opt.net.gvfs_rsize = param.rsize;
+  Testbed bed(opt);
+
+  // Pre-install some server-side files.
+  SplitMix64 rng(param.seed);
+  RefModel ref;
+  std::vector<std::string> paths;
+  for (int i = 0; i < 4; ++i) {
+    std::string path = "/f" + std::to_string(i);
+    u64 size = 1_KiB + rng.next_below(200_KiB);
+    std::vector<u8> init(size);
+    for (auto& b : init) b = static_cast<u8>(rng.next());
+    ASSERT_TRUE(bed.image_fs().put_file(bed.image_dir() + path, blob::make_bytes(init)).is_ok());
+    ref.files[path] = std::move(init);
+    paths.push_back(path);
+  }
+
+  bed.kernel().run_process("t", [&](sim::Process& p) {
+    ASSERT_TRUE(bed.mount(p).is_ok());
+    auto& session = bed.image_session();
+    for (int op = 0; op < 120; ++op) {
+      const std::string& path = paths[rng.next_below(paths.size())];
+      u64 fsize = ref.files[path].size();
+      switch (rng.next_below(8)) {
+        case 0:
+        case 1:
+        case 2: {  // read a random range and compare against the model
+          if (fsize == 0) break;
+          u64 off = rng.next_below(fsize);
+          u64 len = 1 + rng.next_below(std::min<u64>(fsize - off, 64_KiB));
+          auto got = session.read(p, path, off, len);
+          ASSERT_TRUE(got.is_ok()) << got.status().to_string();
+          std::vector<u8> got_bytes((*got)->size());
+          (*got)->read(0, got_bytes);
+          std::vector<u8> expect(ref.files[path].begin() + static_cast<long>(off),
+                                 ref.files[path].begin() + static_cast<long>(off + got_bytes.size()));
+          ASSERT_EQ(got_bytes, expect) << path << " @" << off << "+" << len;
+          break;
+        }
+        case 3:
+        case 4:
+        case 5: {  // write a random range (may extend)
+          u64 off = rng.next_below(fsize + 4_KiB);
+          u64 len = 1 + rng.next_below(48_KiB);
+          std::vector<u8> data(len);
+          for (auto& b : data) b = static_cast<u8>(rng.next());
+          ASSERT_TRUE(session.write(p, path, off, blob::make_bytes(data)).is_ok());
+          ref.write(path, off, data);
+          break;
+        }
+        case 6: {  // stat: size must match the model
+          auto a = session.stat(p, path);
+          ASSERT_TRUE(a.is_ok());
+          ASSERT_EQ(a->size, ref.files[path].size()) << path;
+          break;
+        }
+        case 7: {  // occasionally flush client staging
+          ASSERT_TRUE(session.flush(p).is_ok());
+          break;
+        }
+      }
+    }
+    // Session end: flush staged writes and run the middleware write-back.
+    ASSERT_TRUE(session.flush(p).is_ok());
+    ASSERT_TRUE(bed.signal_write_back(p).is_ok());
+  });
+  ASSERT_EQ(bed.kernel().failed_processes(), 0);
+
+  // After write-back, the image server must hold exactly the model content.
+  for (const auto& [path, expect] : ref.files) {
+    auto server = bed.image_fs().get_file(bed.image_dir() + path);
+    ASSERT_TRUE(server.is_ok()) << path;
+    ASSERT_EQ((*server)->size(), expect.size()) << path;
+    std::vector<u8> got((*server)->size());
+    (*server)->read(0, got);
+    ASSERT_EQ(got, expect) << path;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, StackConsistency,
+    ::testing::Values(
+        StackParam{1, cache::WritePolicy::kWriteBack, 32_KiB, 64_MiB},
+        StackParam{2, cache::WritePolicy::kWriteBack, 8_KiB, 64_MiB},
+        StackParam{3, cache::WritePolicy::kWriteBack, 32_KiB, 2_MiB},  // tiny cache: evictions
+        StackParam{4, cache::WritePolicy::kWriteThrough, 32_KiB, 64_MiB},
+        StackParam{5, cache::WritePolicy::kWriteThrough, 8_KiB, 2_MiB},
+        StackParam{6, cache::WritePolicy::kWriteBack, 16_KiB, 8_MiB},
+        StackParam{7, cache::WritePolicy::kWriteBack, 32_KiB, 64_MiB},
+        StackParam{8, cache::WritePolicy::kWriteThrough, 32_KiB, 64_MiB}),
+    [](const ::testing::TestParamInfo<StackParam>& info) {
+      return "seed" + std::to_string(info.param.seed) +
+             (info.param.policy == cache::WritePolicy::kWriteBack ? "_wb" : "_wt") +
+             "_r" + std::to_string(info.param.rsize / 1024) + "k_c" +
+             std::to_string(info.param.cache_bytes / 1_MiB) + "m";
+    });
+
+// Monotonicity property: enlarging the proxy cache never makes a re-read
+// workload slower (same seed, same ops).
+class CacheSizeMonotonic : public ::testing::TestWithParam<u64> {};
+
+TEST_P(CacheSizeMonotonic, RereadTimeDecreasesWithCache) {
+  u64 cache_bytes = GetParam();
+  TestbedOptions opt;
+  opt.scenario = Scenario::kWanCached;
+  opt.block_cache.capacity_bytes = cache_bytes;
+  opt.block_cache.num_banks = 8;
+  Testbed bed(opt);
+  ASSERT_TRUE(
+      bed.image_fs().put_file(bed.image_dir() + "/data", blob::make_synthetic(9, 4_MiB, 0, 2.0)).is_ok());
+  double reread_s = 0;
+  bed.kernel().run_process("t", [&](sim::Process& p) {
+    ASSERT_TRUE(bed.mount(p).is_ok());
+    bed.image_session().read_all(p, "/data");
+    bed.nfs_client()->drop_caches();
+    SimTime t0 = p.now();
+    bed.image_session().read_all(p, "/data");
+    reread_s = to_seconds(p.now() - t0);
+  });
+  ASSERT_EQ(bed.kernel().failed_processes(), 0);
+  // Record into a static map and assert monotonicity across the sweep
+  // (params run smallest-to-largest).
+  static std::map<u64, double> results;
+  for (const auto& [size, secs] : results) {
+    if (size < cache_bytes) {
+      EXPECT_LE(reread_s, secs * 1.05) << "cache " << cache_bytes << " vs " << size;
+    }
+  }
+  results[cache_bytes] = reread_s;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CacheSizeMonotonic,
+                         ::testing::Values(1_MiB, 2_MiB, 4_MiB, 8_MiB, 16_MiB),
+                         [](const ::testing::TestParamInfo<u64>& info) {
+                           return std::to_string(info.param / 1_MiB) + "MiB";
+                         });
+
+// Redo-log property: random grain-aligned writes through a VM monitor with a
+// redo log read back exactly like a reference overlay, and the base image
+// never changes.
+class RedoLogProperty : public ::testing::TestWithParam<u64> {};
+
+TEST_P(RedoLogProperty, OverlaySemanticsMatchReference) {
+  u64 seed = GetParam();
+  sim::SimKernel kernel;
+  vfs::MemFs fs;
+  sim::DiskModel disk{kernel, "d", sim::DiskConfig{}};
+  vfs::LocalFsSession session{fs, disk};
+  vm::VmImageSpec spec;
+  spec.memory_bytes = 2_MiB;
+  spec.disk_bytes = 16_MiB;
+  spec.seed = seed;
+  auto paths = vm::install_image(fs, "/images", spec);
+  ASSERT_TRUE(paths.is_ok());
+
+  // Reference overlay: base content + byte map of writes.
+  std::vector<u8> ref(16_MiB);
+  vm::disk_blob(spec)->read(0, ref);
+  u64 base_hash_before = blob::content_hash(*vm::disk_blob(spec));
+
+  kernel.run_process("t", [&](sim::Process& p) {
+    vm::VmMonitor vm;
+    vm.attach(session, paths->cfg(), paths->vmss(), session, paths->flat_vmdk());
+    auto redo = std::make_unique<vm::RedoLog>(session, "/r.redo");
+    ASSERT_TRUE(redo->create(p).is_ok());
+    vm.enable_redo_log(std::move(redo));
+
+    SplitMix64 rng(seed * 31 + 1);
+    for (int op = 0; op < 120; ++op) {
+      bool is_write = rng.next_double() < 0.5;
+      u64 grain = rng.next_below(16_MiB / 4_KiB);
+      u64 off = grain * 4_KiB;
+      u64 len = (1 + rng.next_below(4)) * 4_KiB;
+      len = std::min<u64>(len, 16_MiB - off);
+      if (is_write) {
+        std::vector<u8> data(len);
+        for (auto& b : data) b = static_cast<u8>(rng.next());
+        ASSERT_TRUE(vm.disk_write(p, off, blob::make_bytes(data)).is_ok());
+        std::copy(data.begin(), data.end(), ref.begin() + static_cast<long>(off));
+      } else {
+        auto got = vm.disk_read(p, off, len);
+        ASSERT_TRUE(got.is_ok());
+        std::vector<u8> got_bytes(len);
+        (*got)->read(0, got_bytes);
+        std::vector<u8> expect(ref.begin() + static_cast<long>(off),
+                               ref.begin() + static_cast<long>(off + len));
+        ASSERT_EQ(got_bytes, expect) << "op " << op << " off " << off;
+      }
+      if (op % 25 == 0) {
+        ASSERT_TRUE(vm.sync(p).is_ok());
+        if (op % 50 == 0) vm.guest_cache().drop_all();  // force redo reads
+      }
+    }
+  });
+  ASSERT_EQ(kernel.failed_processes(), 0);
+  // The golden image is untouched (non-persistent semantics).
+  EXPECT_EQ(blob::content_hash(**fs.get_file(paths->flat_vmdk())), base_hash_before);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RedoLogProperty, ::testing::Values(1, 2, 3, 4),
+                         [](const ::testing::TestParamInfo<u64>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+// Determinism property: the same parallel topology run twice gives the exact
+// same virtual end time (the DES tie-breaks deterministically).
+TEST(Determinism, ParallelClonesBitExact) {
+  auto run_once = [] {
+    TestbedOptions opt;
+    opt.scenario = Scenario::kWanCached;
+    opt.compute_nodes = 3;
+    opt.block_cache.capacity_bytes = 128_MiB;
+    Testbed bed(opt);
+    std::vector<vm::VmImagePaths> images;
+    for (int i = 0; i < 3; ++i) {
+      vm::VmImageSpec spec;
+      spec.name = "vm" + std::to_string(i);
+      spec.seed = 7 + static_cast<u64>(i);
+      spec.memory_bytes = 4_MiB;
+      spec.disk_bytes = 32_MiB;
+      images.push_back(*bed.install_image(spec));
+    }
+    for (int i = 0; i < 3; ++i) {
+      bed.kernel().spawn("c" + std::to_string(i), [&bed, &images, i](sim::Process& p) {
+        ASSERT_TRUE(bed.mount(p, i).is_ok());
+        vm::CloneConfig cfg;
+        cfg.image = images[static_cast<size_t>(i)];
+        cfg.clone_dir = "/clones/x";
+        ASSERT_TRUE(
+            vm::VmCloner::clone(p, bed.image_session(i), bed.local_session(i), cfg).is_ok());
+      });
+    }
+    return bed.kernel().run();
+  };
+  SimTime a = run_once();
+  SimTime b = run_once();
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a, 0);
+}
+
+}  // namespace
+}  // namespace gvfs::core

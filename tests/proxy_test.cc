@@ -1,0 +1,385 @@
+// GVFS proxy tests: block-cache read path, write-back absorption and
+// middleware-signalled flushes, COMMIT absorption, attribute overrides,
+// credential mapping (logical user accounts), meta-data discovery
+// (zero-block filtering + file channel), truncation coherence, and
+// multi-level proxy cascades.
+#include <gtest/gtest.h>
+
+#include "cache/block_cache.h"
+#include "cache/file_cache.h"
+#include "meta/file_channel.h"
+#include "meta/meta_file.h"
+#include "nfs/nfs_client.h"
+#include "nfs/nfs_server.h"
+#include "proxy/gvfs_proxy.h"
+#include "sim/kernel.h"
+#include "ssh/ssh.h"
+
+namespace gvfs::proxy {
+namespace {
+
+struct ProxyFixture {
+  sim::SimKernel kernel;
+  // Image server.
+  vfs::MemFs server_fs;
+  sim::DiskModel server_disk{kernel, "sd", sim::DiskConfig{}};
+  sim::CpuPool server_cpu{kernel, 2};
+  nfs::NfsServer server{kernel, server_fs, server_disk, nfs::NfsServerConfig{}};
+  rpc::LinkChannel server_loop{server, nullptr, nullptr, 10 * kMicrosecond};
+  GvfsProxy server_proxy{make_server_proxy_cfg(), server_loop};
+  meta::ServerFileChannel endpoint{server_fs, server_disk, &server_cpu};
+  // WAN.
+  sim::Link wan_up{kernel, "up", sim::LinkConfig{from_millis(20), 12.0 * 1_MiB, 64_KiB, 0}};
+  sim::Link wan_down{kernel, "down", sim::LinkConfig{from_millis(20), 12.0 * 1_MiB, 64_KiB, 0}};
+  ssh::SshTunnel tunnel{server_proxy, &wan_up, &wan_down, ssh::CipherSpec{}};
+  // Client side.
+  sim::DiskModel client_disk{kernel, "cd", sim::DiskConfig{}};
+  cache::ProxyDiskCache block_cache{client_disk, small_cache_cfg()};
+  cache::FileCache file_cache{client_disk};
+  ssh::Scp scp{wan_down, ssh::CipherSpec{}};
+  meta::FileChannelClient channel{endpoint, scp, file_cache};
+  GvfsProxy client_proxy{make_client_proxy_cfg(), tunnel};
+  rpc::LinkChannel loop{client_proxy, nullptr, nullptr, 15 * kMicrosecond};
+  nfs::NfsClient client{loop, make_cred(), make_client_cfg()};
+
+  static ProxyConfig make_server_proxy_cfg() {
+    ProxyConfig cfg;
+    cfg.name = "server-proxy";
+    cfg.enable_meta = false;
+    return cfg;
+  }
+  static ProxyConfig make_client_proxy_cfg() {
+    ProxyConfig cfg;
+    cfg.name = "client-proxy";
+    return cfg;
+  }
+  static cache::BlockCacheConfig small_cache_cfg() {
+    cache::BlockCacheConfig cfg;
+    cfg.capacity_bytes = 64_MiB;
+    cfg.block_size = 32_KiB;
+    cfg.num_banks = 8;
+    cfg.associativity = 8;
+    return cfg;
+  }
+  static rpc::Credential make_cred() {
+    rpc::Credential c;
+    c.uid = 1234;
+    c.gid = 1234;
+    return c;
+  }
+  static nfs::NfsClientConfig make_client_cfg() {
+    nfs::NfsClientConfig cfg;
+    cfg.rsize = cfg.wsize = 32_KiB;
+    return cfg;
+  }
+
+  ProxyFixture() {
+    EXPECT_TRUE(server.add_export("/exports").is_ok());
+    client_proxy.attach_block_cache(block_cache);
+    client_proxy.attach_file_channel(channel, file_cache);
+  }
+
+  void run(std::function<void(sim::Process&)> body) {
+    kernel.run_process("t", [&](sim::Process& p) {
+      ASSERT_TRUE(client.mount(p, "/exports").is_ok());
+      body(p);
+    });
+    EXPECT_EQ(kernel.failed_processes(), 0);
+  }
+};
+
+TEST(Proxy, ReadThroughCachesBlocks) {
+  ProxyFixture f;
+  auto content = blob::make_synthetic(1, 256_KiB, 0.3, 2.0);
+  ASSERT_TRUE(f.server_fs.put_file("/exports/data", content).is_ok());
+  f.run([&](sim::Process& p) {
+    auto back = f.client.read_all(p, "/data");
+    ASSERT_TRUE(back.is_ok());
+    EXPECT_EQ(blob::content_hash(**back), blob::content_hash(*content));
+  });
+  EXPECT_GT(f.block_cache.resident_blocks(), 0u);
+}
+
+TEST(Proxy, SecondColdClientReadHitsProxyCache) {
+  ProxyFixture f;
+  ASSERT_TRUE(
+      f.server_fs.put_file("/exports/data", blob::make_synthetic(2, 512_KiB, 0, 2.0)).is_ok());
+  f.run([&](sim::Process& p) {
+    f.client.read_all(p, "/data");
+    u64 upstream_after_first = f.tunnel.messages();
+    // Client page cache dropped (fresh session) but proxy cache kept: the
+    // re-read must be served from the proxy disk cache, not the WAN.
+    f.client.drop_caches();
+    SimTime t0 = p.now();
+    auto back = f.client.read_all(p, "/data");
+    ASSERT_TRUE(back.is_ok());
+    SimTime warm = p.now() - t0;
+    EXPECT_LE(f.tunnel.messages(), upstream_after_first + 4);  // attr refresh only
+    EXPECT_LT(to_seconds(warm), 0.5);
+    EXPECT_GT(f.client_proxy.reads_served_from_block_cache(), 0u);
+  });
+}
+
+TEST(Proxy, WriteBackAbsorbsWritesLocally) {
+  ProxyFixture f;
+  ASSERT_TRUE(f.server_fs.put_file("/exports/f", blob::make_zero(64_KiB)).is_ok());
+  f.run([&](sim::Process& p) {
+    u64 upstream_before = f.tunnel.messages();
+    // Aligned full-block write: absorbed entirely by the proxy cache.
+    ASSERT_TRUE(
+        f.client.write(p, "/f", 0, blob::make_synthetic(3, 64_KiB, 0, 2.0)).is_ok());
+    ASSERT_TRUE(f.client.flush(p).is_ok());
+    EXPECT_GT(f.client_proxy.writes_absorbed(), 0u);
+    EXPECT_EQ(f.block_cache.dirty_blocks(), 2u);
+    // Server content unchanged until the middleware signal.
+    EXPECT_TRUE((*f.server_fs.get_file("/exports/f"))->is_zero_range(0, 64_KiB));
+    (void)upstream_before;
+  });
+}
+
+TEST(Proxy, SignalWriteBackPushesDirtyUpstream) {
+  ProxyFixture f;
+  ASSERT_TRUE(f.server_fs.put_file("/exports/f", blob::make_zero(64_KiB)).is_ok());
+  auto content = blob::make_synthetic(4, 64_KiB, 0, 2.0);
+  f.run([&](sim::Process& p) {
+    ASSERT_TRUE(f.client.write(p, "/f", 0, content).is_ok());
+    ASSERT_TRUE(f.client.flush(p).is_ok());
+    ASSERT_TRUE(f.client_proxy.signal_write_back(p).is_ok());
+    EXPECT_EQ(f.block_cache.dirty_blocks(), 0u);
+  });
+  EXPECT_EQ(blob::content_hash(**f.server_fs.get_file("/exports/f")),
+            blob::content_hash(*content));
+}
+
+TEST(Proxy, ReadYourOwnWriteBeforeWriteBack) {
+  ProxyFixture f;
+  ASSERT_TRUE(f.server_fs.put_file("/exports/f", blob::make_zero(64_KiB)).is_ok());
+  auto content = blob::make_synthetic(5, 64_KiB, 0, 2.0);
+  f.run([&](sim::Process& p) {
+    f.client.write(p, "/f", 0, content);
+    f.client.flush(p);
+    f.client.drop_caches();  // force re-read through the proxy
+    auto back = f.client.read_all(p, "/f");
+    ASSERT_TRUE(back.is_ok());
+    EXPECT_EQ(blob::content_hash(**back), blob::content_hash(*content));
+  });
+}
+
+TEST(Proxy, PartialWriteMergesWithUpstreamData) {
+  ProxyFixture f;
+  std::vector<u8> base(64_KiB);
+  for (std::size_t i = 0; i < base.size(); ++i) base[i] = static_cast<u8>(i / 256);
+  ASSERT_TRUE(f.server_fs.put_file("/exports/f", blob::make_bytes(base)).is_ok());
+  f.run([&](sim::Process& p) {
+    ASSERT_TRUE(
+        f.client.write(p, "/f", 40000, blob::make_bytes(std::vector<u8>(100, 0xee))).is_ok());
+    ASSERT_TRUE(f.client.flush(p).is_ok());
+    ASSERT_TRUE(f.client_proxy.signal_write_back(p).is_ok());
+  });
+  std::vector<u8> got(64_KiB);
+  (*f.server_fs.get_file("/exports/f"))->read(0, got);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    u8 expect = (i >= 40000 && i < 40100) ? 0xee : static_cast<u8>(i / 256);
+    ASSERT_EQ(got[i], expect) << "at " << i;
+  }
+}
+
+TEST(Proxy, GrowingWriteExtendsSizeInGetattr) {
+  ProxyFixture f;
+  ASSERT_TRUE(f.server_fs.put_file("/exports/f", blob::make_zero(10_KiB)).is_ok());
+  f.run([&](sim::Process& p) {
+    ASSERT_TRUE(
+        f.client.write(p, "/f", 100_KiB, blob::make_synthetic(6, 8_KiB, 0, 2.0)).is_ok());
+    ASSERT_TRUE(f.client.flush(p).is_ok());
+    f.client.drop_caches();
+    auto a = f.client.stat(p, "/f");
+    ASSERT_TRUE(a.is_ok());
+    EXPECT_EQ(a->size, 108_KiB);  // proxy size override, pre-writeback
+  });
+}
+
+TEST(Proxy, CommitAbsorbedInWriteBackMode) {
+  ProxyFixture f;
+  ASSERT_TRUE(f.server_fs.put_file("/exports/f", blob::make_zero(32_KiB)).is_ok());
+  f.run([&](sim::Process& p) {
+    f.client.write(p, "/f", 0, blob::make_synthetic(7, 32_KiB, 0, 2.0));
+    u64 upstream_before = f.tunnel.messages();
+    ASSERT_TRUE(f.client.flush(p).is_ok());  // WRITE + COMMIT toward proxy
+    // Neither the WRITE nor the COMMIT crossed the WAN.
+    EXPECT_EQ(f.tunnel.messages(), upstream_before);
+  });
+}
+
+TEST(Proxy, CredentialsMappedToShadowAccount) {
+  ProxyFixture f;
+  f.server_proxy.set_cred_mapper([](const rpc::Credential& in) {
+    rpc::Credential out = in;
+    out.uid = 500;
+    out.gid = 500;
+    return out;
+  });
+  f.run([&](sim::Process& p) {
+    ASSERT_TRUE(f.client.create(p, "/newfile").is_ok());
+  });
+  auto id = f.server_fs.resolve("/exports/newfile");
+  ASSERT_TRUE(id.is_ok());
+  EXPECT_EQ(f.server_fs.getattr(*id)->uid, 500u);  // not 1234
+}
+
+TEST(Proxy, AuthorizerRejects) {
+  ProxyFixture f;
+  f.client_proxy.set_authorizer([](const rpc::Credential& c) { return c.uid != 1234; });
+  f.kernel.run_process("t", [&](sim::Process& p) {
+    EXPECT_FALSE(f.client.mount(p, "/exports").is_ok());
+  });
+}
+
+TEST(Proxy, ZeroBlockFilteringServesLocally) {
+  ProxyFixture f;
+  // Memory-state-like file: mostly zeros, with a zero-map meta file but NO
+  // file-channel actions (pure block path).
+  auto mem = blob::make_synthetic(8, 2_MiB, 0.9, 3.0);
+  ASSERT_TRUE(f.server_fs.put_file("/exports/vm.vmss", mem).is_ok());
+  auto meta = meta::MetaFile::generate(*mem, 32_KiB);
+  ASSERT_TRUE(
+      f.server_fs.put_file("/exports/.vm.vmss.gvfsmeta", meta.serialize()).is_ok());
+  f.run([&](sim::Process& p) {
+    auto back = f.client.read_all(p, "/vm.vmss");
+    ASSERT_TRUE(back.is_ok());
+    EXPECT_EQ(blob::content_hash(**back), blob::content_hash(*mem));  // integrity!
+  });
+  EXPECT_GT(f.client_proxy.zero_filtered_reads(), 0u);
+  EXPECT_EQ(f.client_proxy.zero_filtered_reads(), meta.zero_block_count());
+}
+
+TEST(Proxy, FileChannelServesWholeFileNeed) {
+  ProxyFixture f;
+  auto mem = blob::make_synthetic(9, 4_MiB, 0.9, 3.0);
+  ASSERT_TRUE(f.server_fs.put_file("/exports/vm.vmss", mem).is_ok());
+  auto meta = meta::MetaFile::generate(*mem, 8_KiB, meta::file_channel_actions());
+  ASSERT_TRUE(
+      f.server_fs.put_file("/exports/.vm.vmss.gvfsmeta", meta.serialize()).is_ok());
+  f.run([&](sim::Process& p) {
+    auto back = f.client.read_all(p, "/vm.vmss");
+    ASSERT_TRUE(back.is_ok());
+    EXPECT_EQ(blob::content_hash(**back), blob::content_hash(*mem));
+  });
+  EXPECT_EQ(f.channel.fetches(), 1u);
+  EXPECT_GT(f.client_proxy.reads_served_from_file_cache(), 0u);
+  // Wire carried only the compressed image, not 4 MiB of blocks.
+  EXPECT_LT(f.channel.wire_bytes(), 1_MiB);
+}
+
+TEST(Proxy, MetaProbeNegativeCached) {
+  ProxyFixture f;
+  ASSERT_TRUE(f.server_fs.put_file("/exports/plain", blob::make_zero(64_KiB)).is_ok());
+  f.run([&](sim::Process& p) {
+    f.client.read(p, "/plain", 0, 1_KiB);
+    u64 lookups_after_first = f.server.calls(nfs::Proc::kLookup);
+    f.client.read(p, "/plain", 40_KiB, 1_KiB);
+    // No repeated meta-probe LOOKUPs upstream.
+    EXPECT_EQ(f.server.calls(nfs::Proc::kLookup), lookups_after_first);
+  });
+  EXPECT_EQ(f.client_proxy.meta_files_loaded(), 0u);
+}
+
+TEST(Proxy, TruncateInvalidatesCachedBlocks) {
+  ProxyFixture f;
+  auto content = blob::make_synthetic(10, 128_KiB, 0, 2.0);
+  ASSERT_TRUE(f.server_fs.put_file("/exports/f", content).is_ok());
+  f.run([&](sim::Process& p) {
+    f.client.read_all(p, "/f");  // warm the proxy cache
+    EXPECT_GT(f.block_cache.resident_blocks(), 0u);
+    ASSERT_TRUE(f.client.truncate(p, "/f", 0).is_ok());
+    f.client.drop_caches();
+    auto a = f.client.stat(p, "/f");
+    EXPECT_EQ(a->size, 0u);
+    auto back = f.client.read(p, "/f", 0, 128_KiB);
+    ASSERT_TRUE(back.is_ok());
+    EXPECT_EQ((*back)->size(), 0u);
+  });
+}
+
+TEST(Proxy, WriteThroughForwardsSynchronously) {
+  ProxyFixture f;
+  // Rebuild client-side with write-through policy.
+  cache::BlockCacheConfig cfg = ProxyFixture::small_cache_cfg();
+  cfg.policy = cache::WritePolicy::kWriteThrough;
+  cache::ProxyDiskCache wt_cache(f.client_disk, cfg);
+  GvfsProxy wt_proxy(ProxyFixture::make_client_proxy_cfg(), f.tunnel);
+  wt_proxy.attach_block_cache(wt_cache);
+  rpc::LinkChannel loop(wt_proxy, nullptr, nullptr, 15 * kMicrosecond);
+  nfs::NfsClient client(loop, ProxyFixture::make_cred(), ProxyFixture::make_client_cfg());
+  auto content = blob::make_synthetic(11, 32_KiB, 0, 2.0);
+  ASSERT_TRUE(f.server_fs.put_file("/exports/f", blob::make_zero(32_KiB)).is_ok());
+  f.kernel.run_process("t", [&](sim::Process& p) {
+    ASSERT_TRUE(client.mount(p, "/exports").is_ok());
+    ASSERT_TRUE(client.write(p, "/f", 0, content).is_ok());
+    ASSERT_TRUE(client.flush(p).is_ok());
+  });
+  EXPECT_EQ(f.kernel.failed_processes(), 0);
+  // Server already has the data, no signal needed.
+  EXPECT_EQ(blob::content_hash(**f.server_fs.get_file("/exports/f")),
+            blob::content_hash(*content));
+  EXPECT_EQ(wt_cache.dirty_blocks(), 0u);
+}
+
+TEST(Proxy, CascadedProxiesServeFromEitherLevel) {
+  ProxyFixture f;
+  // Second-level proxy between the client proxy and the server proxy.
+  sim::DiskModel l2_disk(f.kernel, "l2d", sim::DiskConfig{});
+  cache::ProxyDiskCache l2_cache(l2_disk, ProxyFixture::small_cache_cfg());
+  ProxyConfig l2cfg;
+  l2cfg.name = "l2";
+  l2cfg.enable_meta = false;
+  GvfsProxy l2(l2cfg, f.tunnel);
+  l2.attach_block_cache(l2_cache);
+  // Client stack pointed at the L2 proxy over a LAN-ish link.
+  sim::Link lan_up(f.kernel, "lu", sim::LinkConfig{from_millis(0.15), 11.5 * 1_MiB, 64_KiB, 0});
+  sim::Link lan_down(f.kernel, "ld", sim::LinkConfig{from_millis(0.15), 11.5 * 1_MiB, 64_KiB, 0});
+  ssh::SshTunnel lan_tunnel(l2, &lan_up, &lan_down, ssh::CipherSpec{});
+  sim::DiskModel c2_disk(f.kernel, "c2d", sim::DiskConfig{});
+  cache::ProxyDiskCache c2_cache(c2_disk, ProxyFixture::small_cache_cfg());
+  GvfsProxy c2_proxy(ProxyFixture::make_client_proxy_cfg(), lan_tunnel);
+  c2_proxy.attach_block_cache(c2_cache);
+  rpc::LinkChannel loop(c2_proxy, nullptr, nullptr, 15 * kMicrosecond);
+  nfs::NfsClient client(loop, ProxyFixture::make_cred(), ProxyFixture::make_client_cfg());
+
+  auto content = blob::make_synthetic(12, 256_KiB, 0, 2.0);
+  ASSERT_TRUE(f.server_fs.put_file("/exports/f", content).is_ok());
+  f.kernel.run_process("t", [&](sim::Process& p) {
+    ASSERT_TRUE(client.mount(p, "/exports").is_ok());
+    auto first = client.read_all(p, "/f");
+    ASSERT_TRUE(first.is_ok());
+    EXPECT_EQ(blob::content_hash(**first), blob::content_hash(*content));
+    // Both levels now hold the blocks.
+    EXPECT_GT(c2_cache.resident_blocks(), 0u);
+    EXPECT_GT(l2_cache.resident_blocks(), 0u);
+    // Drop L1: re-read served by L2 at LAN speed (no WAN messages).
+    c2_cache.invalidate_all();
+    client.drop_caches();
+    u64 wan_msgs = f.tunnel.messages();
+    SimTime t0 = p.now();
+    auto second = client.read_all(p, "/f");
+    ASSERT_TRUE(second.is_ok());
+    EXPECT_EQ(blob::content_hash(**second), blob::content_hash(*content));
+    EXPECT_LE(f.tunnel.messages(), wan_msgs + 2);
+    EXPECT_LT(to_seconds(p.now() - t0), 1.0);
+  });
+  EXPECT_EQ(f.kernel.failed_processes(), 0);
+}
+
+TEST(Proxy, StatsCountersConsistent) {
+  ProxyFixture f;
+  ASSERT_TRUE(f.server_fs.put_file("/exports/f", blob::make_zero(64_KiB)).is_ok());
+  f.run([&](sim::Process& p) {
+    f.client.read_all(p, "/f");
+    EXPECT_GT(f.client_proxy.calls_received(), 0u);
+    EXPECT_GT(f.client_proxy.calls_forwarded(), 0u);
+    f.client_proxy.reset_stats();
+    EXPECT_EQ(f.client_proxy.calls_received(), 0u);
+  });
+}
+
+}  // namespace
+}  // namespace gvfs::proxy

@@ -1,0 +1,285 @@
+// Tests for the discrete-event kernel and its resource models: virtual-time
+// ordering, signals, semaphores, link serialization/fair sharing, disk FIFO
+// queueing and CPU pools.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/kernel.h"
+#include "sim/resources.h"
+
+namespace gvfs::sim {
+namespace {
+
+TEST(SimKernel, SingleProcessAdvancesTime) {
+  SimKernel k;
+  SimTime end = k.run_process("p", [](Process& p) {
+    EXPECT_EQ(p.now(), 0);
+    p.delay(5 * kSecond);
+    EXPECT_EQ(p.now(), 5 * kSecond);
+    p.delay(0);
+    EXPECT_EQ(p.now(), 5 * kSecond);
+  });
+  EXPECT_EQ(end, 5 * kSecond);
+  EXPECT_EQ(k.failed_processes(), 0);
+}
+
+TEST(SimKernel, ProcessesInterleaveDeterministically) {
+  SimKernel k;
+  std::vector<int> order;
+  k.spawn("a", [&](Process& p) {
+    order.push_back(1);
+    p.delay(10);
+    order.push_back(3);
+    p.delay(20);  // wakes at 30
+    order.push_back(6);
+  });
+  k.spawn("b", [&](Process& p) {
+    order.push_back(2);
+    p.delay(15);
+    order.push_back(4);
+    p.delay(10);  // wakes at 25
+    order.push_back(5);
+  });
+  k.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(SimKernel, TieBrokenByScheduleOrder) {
+  SimKernel k;
+  std::vector<char> order;
+  k.spawn("a", [&](Process& p) {
+    p.delay(100);
+    order.push_back('a');
+  });
+  k.spawn("b", [&](Process& p) {
+    p.delay(100);
+    order.push_back('b');
+  });
+  k.run();
+  EXPECT_EQ(order, (std::vector<char>{'a', 'b'}));
+}
+
+TEST(SimKernel, DelayUntilPastIsNoop) {
+  SimKernel k;
+  k.run_process("p", [](Process& p) {
+    p.delay(100);
+    p.delay_until(50);  // already past; must not go backwards
+    EXPECT_EQ(p.now(), 100);
+  });
+}
+
+TEST(SimKernel, SpawnFromProcess) {
+  SimKernel k;
+  int child_ran = 0;
+  k.run_process("parent", [&](Process& p) {
+    p.delay(10);
+    p.kernel().spawn("child", [&](Process& c) {
+      EXPECT_GE(c.now(), 10);
+      c.delay(5);
+      child_ran = 1;
+    });
+    p.delay(100);
+  });
+  EXPECT_EQ(child_ran, 1);
+}
+
+TEST(SimKernel, FailedProcessCounted) {
+  SimKernel k;
+  k.spawn("bad", [](Process&) { throw std::runtime_error("boom"); });
+  k.run();
+  EXPECT_EQ(k.failed_processes(), 1);
+}
+
+TEST(Signal, NotifyAllWakesWaiters) {
+  SimKernel k;
+  Signal sig(k);
+  int woke = 0;
+  for (int i = 0; i < 3; ++i) {
+    k.spawn("waiter", [&](Process& p) {
+      p.wait(sig);
+      ++woke;
+      EXPECT_EQ(p.now(), 50);
+    });
+  }
+  k.spawn("notifier", [&](Process& p) {
+    p.delay(50);
+    sig.notify_all();
+  });
+  k.run();
+  EXPECT_EQ(woke, 3);
+}
+
+TEST(Signal, NotifyOneWakesFifo) {
+  SimKernel k;
+  Signal sig(k);
+  std::vector<int> order;
+  for (int i = 0; i < 2; ++i) {
+    k.spawn("w" + std::to_string(i), [&, i](Process& p) {
+      p.wait(sig);
+      order.push_back(i);
+    });
+  }
+  k.spawn("n", [&](Process& p) {
+    p.delay(10);
+    EXPECT_TRUE(sig.notify_one());
+    p.delay(10);
+    EXPECT_TRUE(sig.notify_one());
+    p.delay(10);
+    EXPECT_FALSE(sig.notify_one());
+  });
+  k.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(Signal, BlockedForeverIsKilledAtEnd) {
+  SimKernel k;
+  Signal sig(k);
+  bool reached_end = false;
+  k.spawn("stuck", [&](Process& p) {
+    p.wait(sig);  // never notified
+    reached_end = true;
+  });
+  k.run();
+  EXPECT_FALSE(reached_end);
+  EXPECT_EQ(k.failed_processes(), 0);  // kill is not a failure
+}
+
+TEST(Semaphore, LimitsConcurrency) {
+  SimKernel k;
+  Semaphore sem(k, 2);
+  int concurrent = 0, max_concurrent = 0, done = 0;
+  for (int i = 0; i < 6; ++i) {
+    k.spawn("job", [&](Process& p) {
+      ScopedPermit permit(p, sem);
+      max_concurrent = std::max(max_concurrent, ++concurrent);
+      p.delay(100);
+      --concurrent;
+      ++done;
+    });
+  }
+  k.run();
+  EXPECT_EQ(done, 6);
+  EXPECT_EQ(max_concurrent, 2);
+  EXPECT_EQ(sem.available(), 2);
+}
+
+TEST(CpuPool, SerializesBeyondWidth) {
+  SimKernel k;
+  CpuPool cpu(k, 2);
+  SimTime last_end = 0;
+  int done = 0;
+  for (int i = 0; i < 4; ++i) {
+    k.spawn("job", [&](Process& p) {
+      cpu.run(p, 100 * kMillisecond);
+      last_end = std::max(last_end, p.now());
+      ++done;
+    });
+  }
+  k.run();
+  EXPECT_EQ(done, 4);
+  // 4 jobs of 100ms on 2 CPUs = 200ms.
+  EXPECT_EQ(last_end, 200 * kMillisecond);
+}
+
+TEST(Link, SerializationPlusLatency) {
+  SimKernel k;
+  Link link(k, "l", LinkConfig{from_millis(10), static_cast<double>(1_MiB), 64_KiB, 0});
+  k.run_process("p", [&](Process& p) {
+    link.transmit(p, 1_MiB);  // 1 s serialization + 10 ms latency
+    EXPECT_EQ(p.now(), kSecond + from_millis(10));
+  });
+  EXPECT_EQ(link.bytes_sent(), 1_MiB);
+  EXPECT_EQ(link.messages(), 1u);
+}
+
+TEST(Link, ZeroByteMessageStillPaysLatency) {
+  SimKernel k;
+  Link link(k, "l", LinkConfig{from_millis(5), 1e9, 64_KiB, 0});
+  k.run_process("p", [&](Process& p) {
+    link.transmit(p, 0);
+    EXPECT_EQ(p.now(), from_millis(5));
+  });
+}
+
+TEST(Link, PerMessageOverheadCharged) {
+  SimKernel k;
+  Link link(k, "l", LinkConfig{0, 1e12, 64_KiB, from_millis(1)});
+  k.run_process("p", [&](Process& p) {
+    link.transmit(p, 100);
+    link.transmit(p, 100);
+    EXPECT_GE(p.now(), 2 * from_millis(1));
+  });
+}
+
+TEST(Link, ConcurrentSendersShareBandwidthFairly) {
+  SimKernel k;
+  // 2 MiB/s pipe, no latency. Two senders of 1 MiB each should take ~1 s
+  // TOTAL if fair-shared (each gets 1 MiB/s), finishing near each other.
+  Link link(k, "l", LinkConfig{0, 2.0 * 1_MiB, 64_KiB, 0});
+  SimTime end_a = 0, end_b = 0;
+  k.spawn("a", [&](Process& p) {
+    link.transmit(p, 1_MiB);
+    end_a = p.now();
+  });
+  k.spawn("b", [&](Process& p) {
+    link.transmit(p, 1_MiB);
+    end_b = p.now();
+  });
+  k.run();
+  // Both finish within one chunk-time of each other and near 1 s.
+  double a = to_seconds(end_a), b = to_seconds(end_b);
+  EXPECT_NEAR(a, 1.0, 0.05);
+  EXPECT_NEAR(b, 1.0, 0.05);
+}
+
+TEST(Link, TransmitExSkipsPropagation) {
+  SimKernel k;
+  Link link(k, "l", LinkConfig{from_millis(50), static_cast<double>(1_MiB), 64_KiB, 0});
+  k.run_process("p", [&](Process& p) {
+    link.transmit_ex(p, 16_KiB, false);
+    EXPECT_LT(p.now(), from_millis(50));  // only serialization (~15.6 ms)
+  });
+}
+
+TEST(Disk, SeekVsSequential) {
+  SimKernel k;
+  DiskModel disk(k, "d", DiskConfig{from_millis(9), from_millis(0.1), 35.0 * 1_MiB});
+  SimTime random_t = 0, seq_t = 0;
+  k.run_process("p", [&](Process& p) {
+    SimTime t0 = p.now();
+    disk.access(p, 32_KiB, Locality::kRandom);
+    random_t = p.now() - t0;
+    t0 = p.now();
+    disk.access(p, 32_KiB, Locality::kSequential);
+    seq_t = p.now() - t0;
+  });
+  EXPECT_GT(random_t, seq_t);
+  EXPECT_GE(random_t, from_millis(9));
+  EXPECT_LT(seq_t, from_millis(2));
+  EXPECT_EQ(disk.ops(), 2u);
+  EXPECT_EQ(disk.bytes_moved(), 64_KiB);
+}
+
+TEST(Disk, FifoQueueing) {
+  SimKernel k;
+  DiskModel disk(k, "d", DiskConfig{from_millis(10), from_millis(10), 1e12});
+  SimTime end_a = 0, end_b = 0;
+  k.spawn("a", [&](Process& p) {
+    disk.access(p, 4_KiB, Locality::kRandom);
+    end_a = p.now();
+  });
+  k.spawn("b", [&](Process& p) {
+    disk.access(p, 4_KiB, Locality::kRandom);
+    end_b = p.now();
+  });
+  k.run();
+  // Each op: 10 ms positioning + ~4 us transfer; b queues behind a.
+  EXPECT_GE(end_a, from_millis(10));
+  EXPECT_LT(end_a, from_millis(11));
+  EXPECT_GE(end_b, end_a + from_millis(10));
+  EXPECT_LT(end_b, from_millis(21));
+}
+
+}  // namespace
+}  // namespace gvfs::sim

@@ -1,0 +1,186 @@
+// SSH transport model tests: tunnel establishment, framing and flow-pacing
+// costs, SCP transfers (single and parallel-stream), and the gzip model.
+#include <gtest/gtest.h>
+
+#include "rpc/rpc.h"
+#include "sim/kernel.h"
+#include "ssh/ssh.h"
+
+namespace gvfs::ssh {
+namespace {
+
+struct Echo final : rpc::RpcHandler {
+  rpc::RpcReply handle(sim::Process&, const rpc::RpcCall& call) override {
+    ++calls;
+    return rpc::make_reply(call, nullptr);
+  }
+  int calls = 0;
+};
+
+struct TunnelFixture {
+  sim::SimKernel kernel;
+  sim::Link up{kernel, "up", sim::LinkConfig{from_millis(20), 12.0 * 1_MiB, 64_KiB, 0}};
+  sim::Link down{kernel, "down",
+                 sim::LinkConfig{from_millis(20), 12.0 * 1_MiB, 64_KiB, 0}};
+  Echo echo;
+};
+
+TEST(SshTunnel, LazyEstablishmentChargesOnce) {
+  TunnelFixture f;
+  CipherSpec spec;
+  spec.setup_time = 400 * kMillisecond;
+  SshTunnel tunnel(f.echo, &f.up, &f.down, spec);
+  EXPECT_FALSE(tunnel.established());
+  f.kernel.run_process("t", [&](sim::Process& p) {
+    rpc::RpcCall call;
+    tunnel.call(p, call);
+    EXPECT_TRUE(tunnel.established());
+    SimTime after_first = p.now();
+    EXPECT_GE(after_first, spec.setup_time);
+    tunnel.call(p, call);
+    // Second call pays no setup: just ~1 RTT + framing.
+    EXPECT_LT(p.now() - after_first, from_millis(45));
+  });
+  EXPECT_EQ(f.echo.calls, 2);
+  EXPECT_EQ(tunnel.messages(), 2u);  // one per RPC round trip
+}
+
+TEST(SshTunnel, ExplicitEstablish) {
+  TunnelFixture f;
+  SshTunnel tunnel(f.echo, &f.up, &f.down);
+  f.kernel.run_process("t", [&](sim::Process& p) {
+    tunnel.establish(p);
+    EXPECT_TRUE(tunnel.established());
+    tunnel.establish(p);  // idempotent
+  });
+}
+
+TEST(SshTunnel, FramingCountsBytes) {
+  TunnelFixture f;
+  CipherSpec spec;
+  spec.setup_time = 0;
+  spec.frame_overhead = 48;
+  SshTunnel tunnel(f.echo, &f.up, &f.down, spec);
+  f.kernel.run_process("t", [&](sim::Process& p) {
+    rpc::RpcCall call;
+    tunnel.call(p, call);
+  });
+  // Tunneled bytes = wire sizes + 48 framing per message.
+  EXPECT_GT(tunnel.bytes_tunneled(), 96u);
+}
+
+TEST(SshTunnel, PipelinedBatchPaysOneRtt) {
+  TunnelFixture f;
+  CipherSpec spec;
+  spec.setup_time = 0;
+  SshTunnel tunnel(f.echo, &f.up, &f.down, spec);
+  f.kernel.run_process("t", [&](sim::Process& p) {
+    std::vector<rpc::RpcCall> calls(10);
+    SimTime t0 = p.now();
+    tunnel.call_pipelined(p, calls);
+    // Serial would be >= 10 * 40 ms; pipelined is ~1 RTT + serialization.
+    EXPECT_LT(p.now() - t0, from_millis(100));
+  });
+  EXPECT_EQ(f.echo.calls, 10);
+}
+
+TEST(Scp, SingleFlowPacedBelowLink) {
+  sim::SimKernel kernel;
+  sim::Link wan(kernel, "wan", sim::LinkConfig{from_millis(20), 12.0 * 1_MiB, 64_KiB, 0});
+  CipherSpec spec;
+  spec.per_flow_bps = 2.0 * 1_MiB;
+  spec.setup_time = 0;
+  Scp scp(wan, spec);
+  kernel.run_process("t", [&](sim::Process& p) {
+    scp.transfer(p, 20_MiB);
+    // ~20 MiB at ~1.7 MB/s effective (flow + link serially) ~= 11.7 s.
+    EXPECT_GT(to_seconds(p.now()), 9.0);
+    EXPECT_LT(to_seconds(p.now()), 14.0);
+  });
+  EXPECT_EQ(scp.transfers(), 1u);
+  EXPECT_EQ(scp.bytes_moved(), 20_MiB);
+}
+
+TEST(Scp, ParallelStreamsApproachLinkCapacity) {
+  sim::SimKernel kernel;
+  sim::Link wan(kernel, "wan", sim::LinkConfig{from_millis(20), 12.0 * 1_MiB, 64_KiB, 0});
+  CipherSpec spec;
+  spec.per_flow_bps = 2.0 * 1_MiB;
+  spec.setup_time = 0;
+  double t1 = 0, t8 = 0;
+  {
+    Scp scp(wan, spec, 1);
+    kernel.run_process("s1", [&](sim::Process& p) {
+      SimTime t0 = p.now();
+      scp.transfer(p, 24_MiB);
+      t1 = to_seconds(p.now() - t0);
+    });
+  }
+  {
+    Scp scp(wan, spec, 8);
+    kernel.run_process("s8", [&](sim::Process& p) {
+      SimTime t0 = p.now();
+      scp.transfer(p, 24_MiB);
+      t8 = to_seconds(p.now() - t0);
+    });
+  }
+  // 8 flows: pacing 16 MB/s > link 12 MB/s => link-bound (~2 s), vs ~14 s.
+  EXPECT_LT(t8 * 3, t1);
+  EXPECT_GT(t8, 24.0 / 13.0);  // can't beat the link
+}
+
+TEST(Scp, ConcurrentTransfersShareTheLink) {
+  sim::SimKernel kernel;
+  sim::Link wan(kernel, "wan", sim::LinkConfig{0, 4.0 * 1_MiB, 64_KiB, 0});
+  CipherSpec spec;
+  spec.per_flow_bps = 4.0 * 1_MiB;  // flow not the bottleneck
+  spec.setup_time = 0;
+  Scp a(wan, spec), b(wan, spec);
+  SimTime end_a = 0, end_b = 0;
+  kernel.spawn("a", [&](sim::Process& p) {
+    a.transfer(p, 8_MiB);
+    end_a = p.now();
+  });
+  kernel.spawn("b", [&](sim::Process& p) {
+    b.transfer(p, 8_MiB);
+    end_b = p.now();
+  });
+  kernel.run();
+  // Two 8 MiB flows over a 4 MiB/s pipe: both finish near 4 s (fair share),
+  // not one at 2 s and one at 4 s.
+  EXPECT_GT(to_seconds(end_a), 3.4);
+  EXPECT_GT(to_seconds(end_b), 3.4);
+}
+
+TEST(Gzip, CostsScaleWithBytes) {
+  sim::SimKernel kernel;
+  GzipModel gz;
+  kernel.run_process("t", [&](sim::Process& p) {
+    SimTime t0 = p.now();
+    gz.compress(p, nullptr, 10_MiB);
+    SimTime compress = p.now() - t0;
+    t0 = p.now();
+    gz.inflate(p, nullptr, 10_MiB);
+    SimTime inflate = p.now() - t0;
+    EXPECT_GT(compress, inflate);  // compression is the slow direction
+    EXPECT_NEAR(to_seconds(compress), 1.0, 0.05);  // 10 MiB at 10 MiB/s
+  });
+}
+
+TEST(Gzip, CpuPoolSerializesJobs) {
+  sim::SimKernel kernel;
+  sim::CpuPool cpu(kernel, 1);
+  GzipModel gz;
+  SimTime end = 0;
+  for (int i = 0; i < 3; ++i) {
+    kernel.spawn("j", [&](sim::Process& p) {
+      gz.compress(p, &cpu, 10_MiB);
+      end = std::max(end, p.now());
+    });
+  }
+  kernel.run();
+  EXPECT_NEAR(to_seconds(end), 3.0, 0.1);  // 3 jobs, 1 CPU
+}
+
+}  // namespace
+}  // namespace gvfs::ssh

@@ -1,0 +1,403 @@
+// VM substrate tests: image installation, the VM monitor's resume/suspend
+// and guest-cached disk I/O, redo logs for non-persistent clones, the guest
+// filesystem layout model, and the full cloning workflow on local state.
+#include <gtest/gtest.h>
+
+#include "meta/meta_file.h"
+#include "sim/kernel.h"
+#include "vfs/local_session.h"
+#include "vfs/memfs.h"
+#include "vm/guest_fs.h"
+#include "vm/redo_log.h"
+#include "vm/vm_cloner.h"
+#include "vm/vm_image.h"
+#include "vm/vm_monitor.h"
+
+namespace gvfs::vm {
+namespace {
+
+struct VmFixture {
+  sim::SimKernel kernel;
+  vfs::MemFs fs;
+  sim::DiskModel disk{kernel, "d", sim::DiskConfig{}};
+  vfs::LocalFsSession session{fs, disk};
+
+  VmImageSpec small_spec() {
+    VmImageSpec spec;
+    spec.name = "vm1";
+    spec.memory_bytes = 8_MiB;
+    spec.disk_bytes = 64_MiB;
+    return spec;
+  }
+
+  void run(std::function<void(sim::Process&)> body) {
+    kernel.run_process("t", std::move(body));
+    EXPECT_EQ(kernel.failed_processes(), 0);
+  }
+};
+
+TEST(VmImage, InstallCreatesAllFiles) {
+  VmFixture f;
+  auto spec = f.small_spec();
+  auto paths = install_image(f.fs, "/images", spec);
+  ASSERT_TRUE(paths.is_ok());
+  EXPECT_TRUE(f.fs.exists(paths->cfg()));
+  EXPECT_TRUE(f.fs.exists(paths->vmss()));
+  EXPECT_TRUE(f.fs.exists(paths->vmdk()));
+  EXPECT_TRUE(f.fs.exists(paths->flat_vmdk()));
+  EXPECT_EQ((*f.fs.get_file(paths->vmss()))->size(), 8_MiB);
+  EXPECT_EQ((*f.fs.get_file(paths->flat_vmdk()))->size(), 64_MiB);
+  // Lazy: nothing materialized despite 72 MB of state.
+  EXPECT_LT(f.fs.materialized_bytes(), 8_KiB);
+}
+
+TEST(VmImage, CfgMentionsNameAndMemory) {
+  VmFixture f;
+  auto spec = f.small_spec();
+  auto paths = install_image(f.fs, "/images", spec);
+  auto cfg = f.fs.get_file(paths->cfg());
+  std::vector<u8> raw((*cfg)->size());
+  (*cfg)->read(0, raw);
+  std::string text(raw.begin(), raw.end());
+  EXPECT_NE(text.find("vm1"), std::string::npos);
+  EXPECT_NE(text.find("memsize = \"8\""), std::string::npos);
+}
+
+TEST(VmImage, MetadataGeneration) {
+  VmFixture f;
+  auto spec = f.small_spec();
+  auto paths = install_image(f.fs, "/images", spec);
+  ASSERT_TRUE(generate_vmss_metadata(f.fs, *paths).is_ok());
+  auto meta_raw = f.fs.get_file(gvfs::meta::MetaFile::meta_path_for(paths->vmss()));
+  ASSERT_TRUE(meta_raw.is_ok());
+  auto parsed = gvfs::meta::MetaFile::parse(**meta_raw);
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_TRUE(parsed->has_zero_map());
+  EXPECT_TRUE(parsed->wants_file_channel());
+  EXPECT_EQ(parsed->file_size(), 8_MiB);
+  // The zero map must agree with the actual content.
+  auto vmss = f.fs.get_file(paths->vmss());
+  for (u64 off = 0; off < 8_MiB; off += 8_KiB) {
+    EXPECT_EQ(parsed->range_is_zero(off, 8_KiB), (*vmss)->is_zero_range(off, 8_KiB))
+        << "at " << off;
+  }
+}
+
+TEST(VmMonitor, ResumeReadsWholeMemoryState) {
+  VmFixture f;
+  auto paths = install_image(f.fs, "/images", f.small_spec());
+  f.run([&](sim::Process& p) {
+    VmMonitor vm;
+    vm.attach(f.session, paths->cfg(), paths->vmss(), f.session, paths->flat_vmdk());
+    EXPECT_FALSE(vm.resumed());
+    ASSERT_TRUE(vm.resume(p).is_ok());
+    EXPECT_TRUE(vm.resumed());
+    EXPECT_EQ(vm.vmss_bytes_read(), 8_MiB);
+    EXPECT_GT(p.now(), 0);
+  });
+}
+
+TEST(VmMonitor, ResumeWithoutAttachFails) {
+  VmFixture f;
+  f.run([&](sim::Process& p) {
+    VmMonitor vm;
+    EXPECT_FALSE(vm.resume(p).is_ok());
+  });
+}
+
+TEST(VmMonitor, DiskReadMatchesImageContent) {
+  VmFixture f;
+  auto spec = f.small_spec();
+  auto paths = install_image(f.fs, "/images", spec);
+  f.run([&](sim::Process& p) {
+    VmMonitor vm;
+    vm.attach(f.session, paths->cfg(), paths->vmss(), f.session, paths->flat_vmdk());
+    auto got = vm.disk_read(p, 1_MiB, 64_KiB);
+    ASSERT_TRUE(got.is_ok());
+    auto expect = disk_blob(spec);
+    EXPECT_EQ(blob::content_hash(**got),
+              blob::range_hash(*expect, 1_MiB, 64_KiB));
+  });
+}
+
+TEST(VmMonitor, GuestCacheAbsorbsRereads) {
+  VmFixture f;
+  auto paths = install_image(f.fs, "/images", f.small_spec());
+  f.run([&](sim::Process& p) {
+    VmMonitor vm;
+    vm.attach(f.session, paths->cfg(), paths->vmss(), f.session, paths->flat_vmdk());
+    vm.disk_read(p, 0, 1_MiB);
+    u64 host_reads = vm.host_reads();
+    vm.disk_read(p, 0, 1_MiB);
+    EXPECT_EQ(vm.host_reads(), host_reads);  // all from guest cache
+  });
+}
+
+TEST(VmMonitor, WriteReadBackThroughGuestCache) {
+  VmFixture f;
+  auto paths = install_image(f.fs, "/images", f.small_spec());
+  f.run([&](sim::Process& p) {
+    VmMonitor vm;
+    vm.attach(f.session, paths->cfg(), paths->vmss(), f.session, paths->flat_vmdk());
+    auto data = blob::make_synthetic(77, 128_KiB, 0, 2.0);
+    ASSERT_TRUE(vm.disk_write(p, 2_MiB, data).is_ok());
+    auto back = vm.disk_read(p, 2_MiB, 128_KiB);
+    ASSERT_TRUE(back.is_ok());
+    EXPECT_EQ(blob::content_hash(**back), blob::content_hash(*data));
+    // Partial overwrite preserves neighbours.
+    ASSERT_TRUE(
+        vm.disk_write(p, 2_MiB + 100, blob::make_bytes(std::vector<u8>(10, 0xee))).is_ok());
+    auto merged = vm.disk_read(p, 2_MiB, 256);
+    std::vector<u8> buf(256);
+    (*merged)->read(0, buf);
+    std::vector<u8> expect(256);
+    data->read(0, expect);
+    for (int i = 100; i < 110; ++i) expect[static_cast<size_t>(i)] = 0xee;
+    EXPECT_EQ(buf, expect);
+  });
+}
+
+TEST(VmMonitor, SyncPushesDirtyToHost) {
+  VmFixture f;
+  auto paths = install_image(f.fs, "/images", f.small_spec());
+  f.run([&](sim::Process& p) {
+    VmMonitor vm;
+    vm.attach(f.session, paths->cfg(), paths->vmss(), f.session, paths->flat_vmdk());
+    vm.disk_write(p, 0, blob::make_synthetic(5, 64_KiB, 0, 2.0));
+    EXPECT_EQ(vm.host_write_bytes(), 0u);
+    ASSERT_TRUE(vm.sync(p).is_ok());
+    EXPECT_EQ(vm.host_write_bytes(), 64_KiB);
+    EXPECT_EQ(vm.guest_cache().dirty_pages(), 0u);
+  });
+}
+
+TEST(VmMonitor, SuspendWritesMemoryState) {
+  VmFixture f;
+  auto spec = f.small_spec();
+  auto paths = install_image(f.fs, "/images", spec);
+  f.run([&](sim::Process& p) {
+    VmMonitor vm;
+    vm.attach(f.session, paths->cfg(), paths->vmss(), f.session, paths->flat_vmdk());
+    ASSERT_TRUE(vm.resume(p).is_ok());
+    auto new_state = blob::make_synthetic(99, 8_MiB, 0.8, 3.0);
+    ASSERT_TRUE(vm.suspend(p, new_state).is_ok());
+    EXPECT_FALSE(vm.resumed());
+  });
+  EXPECT_EQ(blob::content_hash(**f.fs.get_file(paths->vmss())),
+            blob::content_hash(*blob::make_synthetic(99, 8_MiB, 0.8, 3.0)));
+}
+
+// ---------------------------------------------------------------- RedoLog --
+
+TEST(RedoLog, AppendAndReadBack) {
+  VmFixture f;
+  f.run([&](sim::Process& p) {
+    RedoLog log(f.session, "/redo.log");
+    ASSERT_TRUE(log.create(p).is_ok());
+    auto data = blob::make_synthetic(1, 16_KiB, 0, 2.0);
+    ASSERT_TRUE(log.append(p, 64_KiB, data).is_ok());
+    EXPECT_TRUE(log.covers(64_KiB));
+    EXPECT_TRUE(log.covers(64_KiB + 12_KiB));
+    EXPECT_FALSE(log.covers(0));
+    auto back = log.read(p, 64_KiB, 16_KiB);
+    ASSERT_TRUE(back.is_ok());
+    EXPECT_EQ(blob::content_hash(**back), blob::content_hash(*data));
+    EXPECT_EQ(log.grains(), 4u);
+    EXPECT_EQ(log.log_bytes(), 16_KiB);
+  });
+}
+
+TEST(RedoLog, OverwriteReusesGrain) {
+  VmFixture f;
+  f.run([&](sim::Process& p) {
+    RedoLog log(f.session, "/redo.log");
+    log.create(p);
+    log.append(p, 0, blob::make_bytes(std::vector<u8>(4096, 1)));
+    log.append(p, 0, blob::make_bytes(std::vector<u8>(4096, 2)));
+    EXPECT_EQ(log.grains(), 1u);
+    EXPECT_EQ(log.log_bytes(), 4096u);
+    auto back = log.read(p, 0, 16);
+    std::vector<u8> buf(16);
+    (*back)->read(0, buf);
+    EXPECT_EQ(buf[0], 2);
+  });
+}
+
+TEST(RedoLog, UnalignedAppendRejected) {
+  VmFixture f;
+  f.run([&](sim::Process& p) {
+    RedoLog log(f.session, "/redo.log");
+    log.create(p);
+    EXPECT_EQ(log.append(p, 100, blob::make_zero(4096)).code(), ErrCode::kInval);
+  });
+}
+
+TEST(VmMonitor, RedoLogDivertsWrites) {
+  VmFixture f;
+  auto spec = f.small_spec();
+  auto paths = install_image(f.fs, "/images", spec);
+  f.run([&](sim::Process& p) {
+    VmMonitor vm;
+    vm.attach(f.session, paths->cfg(), paths->vmss(), f.session, paths->flat_vmdk());
+    auto redo = std::make_unique<RedoLog>(f.session, "/clone.redo");
+    ASSERT_TRUE(redo->create(p).is_ok());
+    vm.enable_redo_log(std::move(redo));
+    auto data = blob::make_synthetic(6, 64_KiB, 0, 2.0);
+    ASSERT_TRUE(vm.disk_write(p, 1_MiB, data).is_ok());
+    ASSERT_TRUE(vm.sync(p).is_ok());
+    // The golden image is untouched...
+    auto base = f.fs.get_file(paths->flat_vmdk());
+    EXPECT_EQ(blob::range_hash(**base, 1_MiB, 64_KiB),
+              blob::range_hash(*disk_blob(spec), 1_MiB, 64_KiB));
+    // ...the redo log has the writes, and reads see them.
+    EXPECT_GT(vm.redo_log()->log_bytes(), 0u);
+    vm.guest_cache().drop_all();
+    auto back = vm.disk_read(p, 1_MiB, 64_KiB);
+    ASSERT_TRUE(back.is_ok());
+    EXPECT_EQ(blob::content_hash(**back), blob::content_hash(*data));
+  });
+}
+
+TEST(VmMonitor, RedoReadStraddlesBaseAndLog) {
+  VmFixture f;
+  auto spec = f.small_spec();
+  auto paths = install_image(f.fs, "/images", spec);
+  f.run([&](sim::Process& p) {
+    VmMonitor vm;
+    vm.attach(f.session, paths->cfg(), paths->vmss(), f.session, paths->flat_vmdk());
+    auto redo = std::make_unique<RedoLog>(f.session, "/clone.redo");
+    redo->create(p);
+    vm.enable_redo_log(std::move(redo));
+    // Overwrite one 4 KiB grain in the middle of a 16 KiB region.
+    ASSERT_TRUE(vm.disk_write(p, 1_MiB + 4_KiB, blob::make_bytes(std::vector<u8>(4_KiB, 0xcd))).is_ok());
+    ASSERT_TRUE(vm.sync(p).is_ok());
+    vm.guest_cache().drop_all();
+    auto back = vm.disk_read(p, 1_MiB, 16_KiB);
+    ASSERT_TRUE(back.is_ok());
+    std::vector<u8> buf(16_KiB);
+    (*back)->read(0, buf);
+    std::vector<u8> expect(16_KiB);
+    disk_blob(spec)->read(1_MiB, expect);
+    for (u64 i = 4_KiB; i < 8_KiB; ++i) expect[i] = 0xcd;
+    EXPECT_EQ(buf, expect);
+  });
+}
+
+// ---------------------------------------------------------------- GuestFs --
+
+TEST(GuestFs, AddReadWrite) {
+  VmFixture f;
+  auto paths = install_image(f.fs, "/images", f.small_spec());
+  f.run([&](sim::Process& p) {
+    VmMonitor vm;
+    vm.attach(f.session, paths->cfg(), paths->vmss(), f.session, paths->flat_vmdk());
+    GuestFs gfs(vm, 4_MiB, 32_MiB);
+    ASSERT_TRUE(gfs.add_file("a.txt", 10_KiB).is_ok());
+    EXPECT_TRUE(gfs.exists("a.txt"));
+    EXPECT_EQ(gfs.size("a.txt"), 10_KiB);
+    EXPECT_EQ(gfs.add_file("a.txt", 1).code(), ErrCode::kExist);
+    auto data = blob::make_synthetic(3, 4_KiB, 0, 2.0);
+    ASSERT_TRUE(gfs.write(p, "a.txt", 2_KiB, data).is_ok());
+    auto back = gfs.read(p, "a.txt", 2_KiB, 4_KiB);
+    ASSERT_TRUE(back.is_ok());
+    EXPECT_EQ(blob::content_hash(**back), blob::content_hash(*data));
+  });
+}
+
+TEST(GuestFs, AppendGrowsAndRelocates) {
+  VmFixture f;
+  auto paths = install_image(f.fs, "/images", f.small_spec());
+  f.run([&](sim::Process& p) {
+    VmMonitor vm;
+    vm.attach(f.session, paths->cfg(), paths->vmss(), f.session, paths->flat_vmdk());
+    GuestFs gfs(vm, 4_MiB, 32_MiB);
+    ASSERT_TRUE(gfs.add_file("log", 0, 8_KiB).is_ok());
+    auto chunk = blob::make_bytes(std::vector<u8>(4_KiB, 0xab));
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_TRUE(gfs.append(p, "log", chunk).is_ok());  // out-grows reserve
+    }
+    EXPECT_EQ(gfs.size("log"), 32_KiB);
+    auto back = gfs.read(p, "log", 28_KiB, 4_KiB);
+    ASSERT_TRUE(back.is_ok());
+    EXPECT_EQ(blob::content_hash(**back), blob::content_hash(*chunk));
+  });
+}
+
+TEST(GuestFs, TruncateRemoveAndSpace) {
+  VmFixture f;
+  auto paths = install_image(f.fs, "/images", f.small_spec());
+  f.run([&](sim::Process& p) {
+    (void)p;
+    VmMonitor vm;
+    vm.attach(f.session, paths->cfg(), paths->vmss(), f.session, paths->flat_vmdk());
+    GuestFs gfs(vm, 4_MiB, 8_MiB);  // 2 MiB of contiguous space
+    ASSERT_TRUE(gfs.add_file("f", 512_KiB).is_ok());
+    EXPECT_EQ(gfs.add_file("huge", 4_MiB).code(), ErrCode::kNoSpc);
+    ASSERT_TRUE(gfs.truncate("f", 1_KiB).is_ok());
+    EXPECT_EQ(gfs.size("f"), 1_KiB);
+    ASSERT_TRUE(gfs.remove("f").is_ok());
+    EXPECT_FALSE(gfs.exists("f"));
+    EXPECT_EQ(gfs.remove("f").code(), ErrCode::kNoEnt);
+  });
+}
+
+// --------------------------------------------------------------- VmCloner --
+
+TEST(VmCloner, LocalCloneProducesRunningVm) {
+  VmFixture f;
+  auto spec = f.small_spec();
+  auto paths = install_image(f.fs, "/images", spec);
+  f.run([&](sim::Process& p) {
+    CloneConfig cfg;
+    cfg.image = *paths;
+    cfg.clone_dir = "/clones/c1";
+    cfg.clone_name = "clone1";
+    auto result = VmCloner::clone(p, f.session, f.session, cfg);
+    ASSERT_TRUE(result.is_ok());
+    EXPECT_TRUE(result->vm->resumed());
+    EXPECT_GT(result->timing.copy_mem_s, 0.0);
+    EXPECT_GE(result->timing.configure_s, 2.0);
+    EXPECT_GT(result->timing.resume_s, 0.0);
+    EXPECT_GT(result->timing.total_s(), 0.0);
+    // Clone artifacts exist: cfg + memory copy + symlinks + redo log.
+    EXPECT_TRUE(f.fs.exists("/clones/c1/clone1.cfg"));
+    EXPECT_TRUE(f.fs.exists("/clones/c1/clone1.vmss"));
+    EXPECT_TRUE(f.fs.exists("/clones/c1/clone1.vmdk"));
+    EXPECT_TRUE(f.fs.exists("/clones/c1/clone1.redo"));
+    // The memory copy matches the golden image.
+    EXPECT_EQ(blob::content_hash(**f.fs.get_file("/clones/c1/clone1.vmss")),
+              blob::content_hash(*memory_state_blob(spec)));
+    // Clone's disk reads hit the golden image through the symlinked mount.
+    auto got = result->vm->disk_read(p, 0, 64_KiB);
+    ASSERT_TRUE(got.is_ok());
+    EXPECT_EQ(blob::content_hash(**got), blob::range_hash(*disk_blob(spec), 0, 64_KiB));
+    // And writes stay in the redo log.
+    ASSERT_TRUE(result->vm->disk_write(p, 0, blob::make_bytes(std::vector<u8>(4096, 1))).is_ok());
+    ASSERT_TRUE(result->vm->sync(p).is_ok());
+    EXPECT_EQ(blob::range_hash(**f.fs.get_file(paths->flat_vmdk()), 0, 4096),
+              blob::range_hash(*disk_blob(spec), 0, 4096));
+  });
+}
+
+TEST(VmCloner, PersistentCloneWithoutRedo) {
+  VmFixture f;
+  auto paths = install_image(f.fs, "/images", f.small_spec());
+  f.run([&](sim::Process& p) {
+    CloneConfig cfg;
+    cfg.image = *paths;
+    cfg.clone_dir = "/clones/c2";
+    cfg.use_redo_log = false;
+    auto result = VmCloner::clone(p, f.session, f.session, cfg);
+    ASSERT_TRUE(result.is_ok());
+    EXPECT_EQ(result->vm->redo_log(), nullptr);
+    // Writes go straight to the (symlinked) virtual disk.
+    ASSERT_TRUE(result->vm->disk_write(p, 0, blob::make_bytes(std::vector<u8>(4096, 9))).is_ok());
+    ASSERT_TRUE(result->vm->sync(p).is_ok());
+    std::vector<u8> got(1);
+    (*f.fs.get_file(paths->flat_vmdk()))->read(0, got);
+    EXPECT_EQ(got[0], 9);
+  });
+}
+
+}  // namespace
+}  // namespace gvfs::vm

@@ -1,0 +1,219 @@
+// Workload model tests: file populations, phase structure and I/O accounting
+// of the three application models, and the synthetic mix generator.
+#include <gtest/gtest.h>
+
+#include "sim/kernel.h"
+#include "vfs/local_session.h"
+#include "vfs/memfs.h"
+#include "vm/guest_fs.h"
+#include "vm/vm_image.h"
+#include "vm/vm_monitor.h"
+#include "workload/kernel_compile.h"
+#include "workload/latex.h"
+#include "workload/population.h"
+#include "workload/specseis.h"
+#include "workload/synthetic.h"
+
+namespace gvfs::workload {
+namespace {
+
+struct WlFixture {
+  sim::SimKernel kernel;
+  vfs::MemFs fs;
+  sim::DiskModel disk{kernel, "d", sim::DiskConfig{}};
+  vfs::LocalFsSession session{fs, disk};
+  vm::VmImagePaths paths;
+  std::unique_ptr<vm::VmMonitor> vm;
+  std::unique_ptr<vm::GuestFs> gfs;
+
+  WlFixture() {
+    vm::VmImageSpec spec;
+    spec.memory_bytes = 8_MiB;
+    spec.disk_bytes = u64{1638} * 1_MiB;
+    paths = *vm::install_image(fs, "/images", spec);
+    vm = std::make_unique<vm::VmMonitor>();
+    vm->attach(session, paths.cfg(), paths.vmss(), session, paths.flat_vmdk());
+    gfs = std::make_unique<vm::GuestFs>(*vm);
+  }
+
+  void run(std::function<void(sim::Process&)> body) {
+    kernel.run_process("t", std::move(body));
+    EXPECT_EQ(kernel.failed_processes(), 0);
+  }
+};
+
+TEST(Population, SizesSumToRoughlyTotal) {
+  WlFixture f;
+  PopulationSpec spec;
+  spec.files = 200;
+  spec.total_bytes = 10_MiB;
+  spec.min_file = 1_KiB;
+  FilePopulation pop(*f.gfs, spec);
+  ASSERT_TRUE(pop.install().is_ok());
+  EXPECT_EQ(pop.count(), 200u);
+  EXPECT_GE(pop.total_bytes(), 10_MiB);
+  EXPECT_LE(pop.total_bytes(), 12_MiB);  // + min_file per file
+}
+
+TEST(Population, ReadAllTouchesEveryFile) {
+  WlFixture f;
+  PopulationSpec spec;
+  spec.files = 50;
+  spec.total_bytes = 2_MiB;
+  FilePopulation pop(*f.gfs, spec);
+  ASSERT_TRUE(pop.install().is_ok());
+  f.run([&](sim::Process& p) {
+    ASSERT_TRUE(pop.read_all(p).is_ok());
+    EXPECT_GE(f.vm->host_read_bytes(), 2_MiB);
+  });
+}
+
+TEST(Population, OpenTouchesInodeRegionOnce) {
+  WlFixture f;
+  PopulationSpec spec;
+  spec.files = 32;
+  spec.total_bytes = 1_MiB;
+  FilePopulation pop(*f.gfs, spec);
+  ASSERT_TRUE(pop.install().is_ok());
+  f.run([&](sim::Process& p) {
+    pop.open(p, 0);
+    u64 reads = f.vm->host_reads();
+    pop.open(p, 0);  // inode block now guest-cached
+    EXPECT_EQ(f.vm->host_reads(), reads);
+  });
+}
+
+TEST(SpecSeis, FourPhasesWithComputeFloors) {
+  WlFixture f;
+  SpecSeisConfig cfg;
+  cfg.input_bytes = 2_MiB;
+  cfg.trace_bytes = 4_MiB;
+  cfg.result_bytes = 1_MiB;
+  cfg.p1_compute_s = 10;
+  cfg.p2_compute_s = 5;
+  cfg.p3_compute_s = 5;
+  cfg.p4_compute_s = 40;
+  SpecSeisWorkload wl(cfg);
+  ASSERT_TRUE(wl.install(*f.gfs).is_ok());
+  f.run([&](sim::Process& p) {
+    auto report = wl.run(p, *f.gfs);
+    ASSERT_TRUE(report.is_ok());
+    ASSERT_EQ(report->phases.size(), 4u);
+    EXPECT_GE(report->phase_s("phase1"), 10.0);
+    EXPECT_GE(report->phase_s("phase4"), 40.0);
+    // Phase 4 is compute-dominated: I/O adds little.
+    EXPECT_LT(report->phase_s("phase4"), 44.0);
+    EXPECT_NEAR(report->total_s(),
+                report->phase_s("phase1") + report->phase_s("phase2") +
+                    report->phase_s("phase3") + report->phase_s("phase4"),
+                1e-9);
+    // The trace file exists with the full size.
+    EXPECT_EQ(f.gfs->size("seis.trace"), 4_MiB);
+  });
+}
+
+TEST(Latex, IterationsReported) {
+  WlFixture f;
+  LatexConfig cfg;
+  cfg.iterations = 5;
+  cfg.support_files = 40;
+  cfg.support_bytes = 2_MiB;
+  cfg.source_files = 6;
+  cfg.source_bytes = 256_KiB;
+  LatexWorkload wl(cfg);
+  ASSERT_TRUE(wl.install(*f.gfs).is_ok());
+  f.run([&](sim::Process& p) {
+    auto report = wl.run(p, *f.gfs);
+    ASSERT_TRUE(report.is_ok());
+    ASSERT_EQ(report->phases.size(), 5u);
+    double first = report->phases[0].seconds;
+    double later = report->phases[3].seconds;
+    // First iteration pays the cold reads; later ones are cheaper.
+    EXPECT_GT(first, later);
+    // Every iteration includes at least the compute floor.
+    for (const auto& ph : report->phases) {
+      EXPECT_GE(ph.seconds, cfg.latex_compute_s + cfg.bibtex_compute_s +
+                                cfg.dvipdf_compute_s);
+    }
+  });
+}
+
+TEST(Latex, RunWithoutInstallFails) {
+  WlFixture f;
+  LatexWorkload wl;
+  f.run([&](sim::Process& p) {
+    EXPECT_FALSE(wl.run(p, *f.gfs).is_ok());
+  });
+}
+
+TEST(KernelCompile, FourPhases) {
+  WlFixture f;
+  KernelCompileConfig cfg;
+  cfg.source_files = 300;
+  cfg.source_bytes = 8_MiB;
+  cfg.object_files = 80;
+  cfg.object_bytes = 3_MiB;
+  cfg.dep_compute_s = 5;
+  cfg.bzimage_compute_s = 20;
+  cfg.modules_compute_s = 30;
+  cfg.install_compute_s = 2;
+  KernelCompileWorkload wl(cfg);
+  ASSERT_TRUE(wl.install(*f.gfs).is_ok());
+  f.run([&](sim::Process& p) {
+    auto report = wl.run(p, *f.gfs);
+    ASSERT_TRUE(report.is_ok());
+    ASSERT_EQ(report->phases.size(), 4u);
+    EXPECT_EQ(report->phases[0].name, "make dep");
+    EXPECT_EQ(report->phases[3].name, "make modules_install");
+    EXPECT_GE(report->phase_s("make bzImage"), 20.0);
+    EXPECT_GT(f.vm->host_read_bytes(), 8_MiB);  // sources + metadata
+  });
+}
+
+TEST(Synthetic, ReadWriteMixAccounting) {
+  WlFixture f;
+  SyntheticConfig cfg;
+  cfg.file_bytes = 8_MiB;
+  cfg.io_size = 32_KiB;
+  cfg.ops = 200;
+  cfg.read_fraction = 0.5;
+  SyntheticWorkload wl(cfg);
+  ASSERT_TRUE(wl.install(*f.gfs).is_ok());
+  f.run([&](sim::Process& p) {
+    auto report = wl.run(p, *f.gfs);
+    ASSERT_TRUE(report.is_ok());
+    EXPECT_EQ(report->phases.size(), 1u);
+    EXPECT_GT(wl.bytes_read(), 0u);
+    EXPECT_GT(wl.bytes_written(), 0u);
+    EXPECT_EQ(wl.bytes_read() + wl.bytes_written(), 200u * 32_KiB);
+  });
+}
+
+TEST(Synthetic, SequentialCheaperThanRandom) {
+  WlFixture f1, f2;
+  SyntheticConfig cfg;
+  cfg.file_bytes = 16_MiB;
+  cfg.ops = 256;
+  cfg.read_fraction = 1.0;
+  cfg.sequential = true;
+  SyntheticWorkload seq(cfg);
+  cfg.sequential = false;
+  SyntheticWorkload rnd(cfg);
+  ASSERT_TRUE(seq.install(*f1.gfs).is_ok());
+  ASSERT_TRUE(rnd.install(*f2.gfs).is_ok());
+  double seq_s = 0, rnd_s = 0;
+  f1.run([&](sim::Process& p) { seq_s = seq.run(p, *f1.gfs)->total_s(); });
+  f2.run([&](sim::Process& p) { rnd_s = rnd.run(p, *f2.gfs)->total_s(); });
+  EXPECT_LT(seq_s, rnd_s);
+}
+
+TEST(Report, PhaseLookup) {
+  WorkloadReport r;
+  r.phases = {{"a", 1.5}, {"b", 2.5}};
+  EXPECT_DOUBLE_EQ(r.total_s(), 4.0);
+  EXPECT_DOUBLE_EQ(r.phase_s("b"), 2.5);
+  EXPECT_DOUBLE_EQ(r.phase_s("zz"), 0.0);
+}
+
+}  // namespace
+}  // namespace gvfs::workload

@@ -1,0 +1,150 @@
+// XDR codec tests: round trips, big-endian layout, 4-byte padding, and
+// malformed-input handling.
+#include <gtest/gtest.h>
+
+#include "xdr/xdr.h"
+
+namespace gvfs::xdr {
+namespace {
+
+TEST(Xdr, U32BigEndian) {
+  XdrEncoder enc;
+  enc.put_u32(0x01020304);
+  auto bytes = enc.bytes();
+  ASSERT_EQ(bytes.size(), 4u);
+  EXPECT_EQ(bytes[0], 0x01);
+  EXPECT_EQ(bytes[3], 0x04);
+}
+
+TEST(Xdr, U64RoundTrip) {
+  XdrEncoder enc;
+  enc.put_u64(0x0102030405060708ULL);
+  XdrDecoder dec(enc.bytes());
+  EXPECT_EQ(dec.get_u64(), 0x0102030405060708ULL);
+  EXPECT_TRUE(dec.fully_consumed());
+}
+
+TEST(Xdr, I32Negative) {
+  XdrEncoder enc;
+  enc.put_i32(-42);
+  XdrDecoder dec(enc.bytes());
+  EXPECT_EQ(dec.get_i32(), -42);
+}
+
+TEST(Xdr, BoolRoundTrip) {
+  XdrEncoder enc;
+  enc.put_bool(true);
+  enc.put_bool(false);
+  XdrDecoder dec(enc.bytes());
+  EXPECT_TRUE(dec.get_bool());
+  EXPECT_FALSE(dec.get_bool());
+  EXPECT_TRUE(dec.ok());
+}
+
+TEST(Xdr, OpaquePadsToFour) {
+  XdrEncoder enc;
+  std::vector<u8> data{1, 2, 3, 4, 5};
+  enc.put_opaque(data);
+  EXPECT_EQ(enc.size(), 4u + 8u);  // length + 5 bytes padded to 8
+  XdrDecoder dec(enc.bytes());
+  EXPECT_EQ(dec.get_opaque(), data);
+  EXPECT_TRUE(dec.fully_consumed());
+}
+
+TEST(Xdr, OpaqueFixedRoundTrip) {
+  XdrEncoder enc;
+  std::vector<u8> data{9, 8, 7};
+  enc.put_opaque_fixed(data);
+  EXPECT_EQ(enc.size(), 4u);  // padded
+  XdrDecoder dec(enc.bytes());
+  EXPECT_EQ(dec.get_opaque_fixed(3), data);
+  EXPECT_TRUE(dec.fully_consumed());
+}
+
+TEST(Xdr, StringRoundTrip) {
+  XdrEncoder enc;
+  enc.put_string("hello gvfs");
+  XdrDecoder dec(enc.bytes());
+  EXPECT_EQ(dec.get_string(), "hello gvfs");
+}
+
+TEST(Xdr, EmptyStringAndOpaque) {
+  XdrEncoder enc;
+  enc.put_string("");
+  enc.put_opaque({});
+  EXPECT_EQ(enc.size(), 8u);
+  XdrDecoder dec(enc.bytes());
+  EXPECT_EQ(dec.get_string(), "");
+  EXPECT_TRUE(dec.get_opaque().empty());
+  EXPECT_TRUE(dec.ok());
+}
+
+TEST(Xdr, MixedSequence) {
+  XdrEncoder enc;
+  enc.put_u32(7);
+  enc.put_string("abc");
+  enc.put_u64(1_GiB);
+  enc.put_bool(true);
+  XdrDecoder dec(enc.bytes());
+  EXPECT_EQ(dec.get_u32(), 7u);
+  EXPECT_EQ(dec.get_string(), "abc");
+  EXPECT_EQ(dec.get_u64(), 1_GiB);
+  EXPECT_TRUE(dec.get_bool());
+  EXPECT_TRUE(dec.fully_consumed());
+}
+
+TEST(Xdr, ShortBufferSetsFailBit) {
+  std::vector<u8> two{0, 1};
+  XdrDecoder dec(two);
+  EXPECT_EQ(dec.get_u32(), 0u);
+  EXPECT_FALSE(dec.ok());
+  EXPECT_EQ(dec.status().code(), ErrCode::kBadXdr);
+}
+
+TEST(Xdr, FailBitSticky) {
+  XdrEncoder enc;
+  enc.put_u32(5);
+  XdrDecoder dec(enc.bytes());
+  dec.get_u64();  // overruns
+  EXPECT_FALSE(dec.ok());
+  EXPECT_EQ(dec.get_u32(), 0u);  // still failed, returns default
+  EXPECT_FALSE(dec.ok());
+}
+
+TEST(Xdr, OpaqueLengthBeyondBufferFails) {
+  XdrEncoder enc;
+  enc.put_u32(1000);  // claims 1000 bytes follow
+  XdrDecoder dec(enc.bytes());
+  EXPECT_TRUE(dec.get_opaque().empty());
+  EXPECT_FALSE(dec.ok());
+}
+
+TEST(Xdr, SizeHelpersMatchEncoder) {
+  XdrEncoder enc;
+  enc.put_u32(1);
+  EXPECT_EQ(enc.size(), size_u32());
+  XdrEncoder enc2;
+  enc2.put_string("hello");
+  EXPECT_EQ(enc2.size(), size_string(5));
+  XdrEncoder enc3;
+  enc3.put_opaque(std::vector<u8>(7));
+  EXPECT_EQ(enc3.size(), size_opaque(7));
+  EXPECT_EQ(pad4(5), 8u);
+  EXPECT_EQ(pad4(8), 8u);
+}
+
+TEST(Xdr, RemainingTracksPosition) {
+  XdrEncoder enc;
+  enc.put_u32(1);
+  enc.put_u32(2);
+  XdrDecoder dec(enc.bytes());
+  EXPECT_EQ(dec.remaining(), 8u);
+  dec.get_u32();
+  EXPECT_EQ(dec.remaining(), 4u);
+  EXPECT_FALSE(dec.fully_consumed());
+  dec.get_u32();
+  EXPECT_TRUE(dec.fully_consumed());
+}
+
+}  // namespace
+}  // namespace gvfs::xdr
