@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_meta.dir/bench_ablate_meta.cc.o"
+  "CMakeFiles/bench_ablate_meta.dir/bench_ablate_meta.cc.o.d"
+  "bench_ablate_meta"
+  "bench_ablate_meta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_meta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

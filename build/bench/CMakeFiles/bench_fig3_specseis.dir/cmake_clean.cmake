@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_specseis.dir/bench_fig3_specseis.cc.o"
+  "CMakeFiles/bench_fig3_specseis.dir/bench_fig3_specseis.cc.o.d"
+  "bench_fig3_specseis"
+  "bench_fig3_specseis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_specseis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

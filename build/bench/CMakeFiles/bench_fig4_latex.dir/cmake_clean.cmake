@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_latex.dir/bench_fig4_latex.cc.o"
+  "CMakeFiles/bench_fig4_latex.dir/bench_fig4_latex.cc.o.d"
+  "bench_fig4_latex"
+  "bench_fig4_latex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_latex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_cloning.dir/bench_fig6_cloning.cc.o"
+  "CMakeFiles/bench_fig6_cloning.dir/bench_fig6_cloning.cc.o.d"
+  "bench_fig6_cloning"
+  "bench_fig6_cloning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_cloning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

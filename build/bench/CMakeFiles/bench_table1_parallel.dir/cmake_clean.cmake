@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_parallel.dir/bench_table1_parallel.cc.o"
+  "CMakeFiles/bench_table1_parallel.dir/bench_table1_parallel.cc.o.d"
+  "bench_table1_parallel"
+  "bench_table1_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_zerofilter.dir/bench_zerofilter.cc.o"
+  "CMakeFiles/bench_zerofilter.dir/bench_zerofilter.cc.o.d"
+  "bench_zerofilter"
+  "bench_zerofilter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_zerofilter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

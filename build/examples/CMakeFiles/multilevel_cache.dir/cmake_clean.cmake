@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multilevel_cache.dir/multilevel_cache.cpp.o"
+  "CMakeFiles/multilevel_cache.dir/multilevel_cache.cpp.o.d"
+  "multilevel_cache"
+  "multilevel_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multilevel_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_cloning.dir/vm_cloning.cpp.o"
+  "CMakeFiles/vm_cloning.dir/vm_cloning.cpp.o.d"
+  "vm_cloning"
+  "vm_cloning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_cloning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("blob")
+subdirs("xdr")
+subdirs("rpc")
+subdirs("vfs")
+subdirs("nfs")
+subdirs("ssh")
+subdirs("cache")
+subdirs("meta")
+subdirs("proxy")
+subdirs("vm")
+subdirs("workload")
+subdirs("gvfs")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gvfs_blob.dir/blob.cc.o"
+  "CMakeFiles/gvfs_blob.dir/blob.cc.o.d"
+  "CMakeFiles/gvfs_blob.dir/extent_store.cc.o"
+  "CMakeFiles/gvfs_blob.dir/extent_store.cc.o.d"
+  "libgvfs_blob.a"
+  "libgvfs_blob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gvfs_blob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

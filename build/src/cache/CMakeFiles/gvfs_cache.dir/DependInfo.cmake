@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/block_cache.cc" "src/cache/CMakeFiles/gvfs_cache.dir/block_cache.cc.o" "gcc" "src/cache/CMakeFiles/gvfs_cache.dir/block_cache.cc.o.d"
+  "/root/repo/src/cache/file_cache.cc" "src/cache/CMakeFiles/gvfs_cache.dir/file_cache.cc.o" "gcc" "src/cache/CMakeFiles/gvfs_cache.dir/file_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gvfs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/blob/CMakeFiles/gvfs_blob.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gvfs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gvfs_cache.dir/block_cache.cc.o"
+  "CMakeFiles/gvfs_cache.dir/block_cache.cc.o.d"
+  "CMakeFiles/gvfs_cache.dir/file_cache.cc.o"
+  "CMakeFiles/gvfs_cache.dir/file_cache.cc.o.d"
+  "libgvfs_cache.a"
+  "libgvfs_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gvfs_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

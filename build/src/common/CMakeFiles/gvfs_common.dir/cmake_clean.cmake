@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gvfs_common.dir/flags.cc.o"
+  "CMakeFiles/gvfs_common.dir/flags.cc.o.d"
+  "CMakeFiles/gvfs_common.dir/log.cc.o"
+  "CMakeFiles/gvfs_common.dir/log.cc.o.d"
+  "CMakeFiles/gvfs_common.dir/rng.cc.o"
+  "CMakeFiles/gvfs_common.dir/rng.cc.o.d"
+  "CMakeFiles/gvfs_common.dir/status.cc.o"
+  "CMakeFiles/gvfs_common.dir/status.cc.o.d"
+  "CMakeFiles/gvfs_common.dir/strings.cc.o"
+  "CMakeFiles/gvfs_common.dir/strings.cc.o.d"
+  "libgvfs_common.a"
+  "libgvfs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gvfs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

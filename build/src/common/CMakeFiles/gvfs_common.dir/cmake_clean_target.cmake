@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgvfs_common.a"
+)

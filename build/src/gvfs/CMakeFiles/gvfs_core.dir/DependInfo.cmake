@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gvfs/experiment.cc" "src/gvfs/CMakeFiles/gvfs_core.dir/experiment.cc.o" "gcc" "src/gvfs/CMakeFiles/gvfs_core.dir/experiment.cc.o.d"
+  "/root/repo/src/gvfs/migration.cc" "src/gvfs/CMakeFiles/gvfs_core.dir/migration.cc.o" "gcc" "src/gvfs/CMakeFiles/gvfs_core.dir/migration.cc.o.d"
+  "/root/repo/src/gvfs/testbed.cc" "src/gvfs/CMakeFiles/gvfs_core.dir/testbed.cc.o" "gcc" "src/gvfs/CMakeFiles/gvfs_core.dir/testbed.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gvfs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nfs/CMakeFiles/gvfs_nfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/proxy/CMakeFiles/gvfs_proxy.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/gvfs_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/meta/CMakeFiles/gvfs_meta.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssh/CMakeFiles/gvfs_ssh.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/gvfs_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/gvfs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/gvfs_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/xdr/CMakeFiles/gvfs_xdr.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/gvfs_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/blob/CMakeFiles/gvfs_blob.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gvfs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gvfs_core.dir/experiment.cc.o"
+  "CMakeFiles/gvfs_core.dir/experiment.cc.o.d"
+  "CMakeFiles/gvfs_core.dir/migration.cc.o"
+  "CMakeFiles/gvfs_core.dir/migration.cc.o.d"
+  "CMakeFiles/gvfs_core.dir/testbed.cc.o"
+  "CMakeFiles/gvfs_core.dir/testbed.cc.o.d"
+  "libgvfs_core.a"
+  "libgvfs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gvfs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

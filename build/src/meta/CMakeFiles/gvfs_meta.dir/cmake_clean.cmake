@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gvfs_meta.dir/file_channel.cc.o"
+  "CMakeFiles/gvfs_meta.dir/file_channel.cc.o.d"
+  "CMakeFiles/gvfs_meta.dir/meta_file.cc.o"
+  "CMakeFiles/gvfs_meta.dir/meta_file.cc.o.d"
+  "CMakeFiles/gvfs_meta.dir/speculation.cc.o"
+  "CMakeFiles/gvfs_meta.dir/speculation.cc.o.d"
+  "libgvfs_meta.a"
+  "libgvfs_meta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gvfs_meta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nfs/nfs_client.cc" "src/nfs/CMakeFiles/gvfs_nfs.dir/nfs_client.cc.o" "gcc" "src/nfs/CMakeFiles/gvfs_nfs.dir/nfs_client.cc.o.d"
+  "/root/repo/src/nfs/nfs_server.cc" "src/nfs/CMakeFiles/gvfs_nfs.dir/nfs_server.cc.o" "gcc" "src/nfs/CMakeFiles/gvfs_nfs.dir/nfs_server.cc.o.d"
+  "/root/repo/src/nfs/nfs_types.cc" "src/nfs/CMakeFiles/gvfs_nfs.dir/nfs_types.cc.o" "gcc" "src/nfs/CMakeFiles/gvfs_nfs.dir/nfs_types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gvfs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/blob/CMakeFiles/gvfs_blob.dir/DependInfo.cmake"
+  "/root/repo/build/src/xdr/CMakeFiles/gvfs_xdr.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/gvfs_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/gvfs_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gvfs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gvfs_nfs.dir/nfs_client.cc.o"
+  "CMakeFiles/gvfs_nfs.dir/nfs_client.cc.o.d"
+  "CMakeFiles/gvfs_nfs.dir/nfs_server.cc.o"
+  "CMakeFiles/gvfs_nfs.dir/nfs_server.cc.o.d"
+  "CMakeFiles/gvfs_nfs.dir/nfs_types.cc.o"
+  "CMakeFiles/gvfs_nfs.dir/nfs_types.cc.o.d"
+  "libgvfs_nfs.a"
+  "libgvfs_nfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gvfs_nfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gvfs_proxy.dir/caching_endpoint.cc.o"
+  "CMakeFiles/gvfs_proxy.dir/caching_endpoint.cc.o.d"
+  "CMakeFiles/gvfs_proxy.dir/gvfs_proxy.cc.o"
+  "CMakeFiles/gvfs_proxy.dir/gvfs_proxy.cc.o.d"
+  "libgvfs_proxy.a"
+  "libgvfs_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gvfs_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gvfs_sim.dir/kernel.cc.o"
+  "CMakeFiles/gvfs_sim.dir/kernel.cc.o.d"
+  "CMakeFiles/gvfs_sim.dir/resources.cc.o"
+  "CMakeFiles/gvfs_sim.dir/resources.cc.o.d"
+  "libgvfs_sim.a"
+  "libgvfs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gvfs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

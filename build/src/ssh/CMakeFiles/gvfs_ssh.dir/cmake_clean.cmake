@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gvfs_ssh.dir/ssh.cc.o"
+  "CMakeFiles/gvfs_ssh.dir/ssh.cc.o.d"
+  "libgvfs_ssh.a"
+  "libgvfs_ssh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gvfs_ssh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vfs/buffer_cache.cc" "src/vfs/CMakeFiles/gvfs_vfs.dir/buffer_cache.cc.o" "gcc" "src/vfs/CMakeFiles/gvfs_vfs.dir/buffer_cache.cc.o.d"
+  "/root/repo/src/vfs/local_session.cc" "src/vfs/CMakeFiles/gvfs_vfs.dir/local_session.cc.o" "gcc" "src/vfs/CMakeFiles/gvfs_vfs.dir/local_session.cc.o.d"
+  "/root/repo/src/vfs/memfs.cc" "src/vfs/CMakeFiles/gvfs_vfs.dir/memfs.cc.o" "gcc" "src/vfs/CMakeFiles/gvfs_vfs.dir/memfs.cc.o.d"
+  "/root/repo/src/vfs/vfs.cc" "src/vfs/CMakeFiles/gvfs_vfs.dir/vfs.cc.o" "gcc" "src/vfs/CMakeFiles/gvfs_vfs.dir/vfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gvfs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/blob/CMakeFiles/gvfs_blob.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gvfs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

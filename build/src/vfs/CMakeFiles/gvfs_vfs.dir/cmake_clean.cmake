@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gvfs_vfs.dir/buffer_cache.cc.o"
+  "CMakeFiles/gvfs_vfs.dir/buffer_cache.cc.o.d"
+  "CMakeFiles/gvfs_vfs.dir/local_session.cc.o"
+  "CMakeFiles/gvfs_vfs.dir/local_session.cc.o.d"
+  "CMakeFiles/gvfs_vfs.dir/memfs.cc.o"
+  "CMakeFiles/gvfs_vfs.dir/memfs.cc.o.d"
+  "CMakeFiles/gvfs_vfs.dir/vfs.cc.o"
+  "CMakeFiles/gvfs_vfs.dir/vfs.cc.o.d"
+  "libgvfs_vfs.a"
+  "libgvfs_vfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gvfs_vfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/guest_fs.cc" "src/vm/CMakeFiles/gvfs_vm.dir/guest_fs.cc.o" "gcc" "src/vm/CMakeFiles/gvfs_vm.dir/guest_fs.cc.o.d"
+  "/root/repo/src/vm/redo_log.cc" "src/vm/CMakeFiles/gvfs_vm.dir/redo_log.cc.o" "gcc" "src/vm/CMakeFiles/gvfs_vm.dir/redo_log.cc.o.d"
+  "/root/repo/src/vm/vm_cloner.cc" "src/vm/CMakeFiles/gvfs_vm.dir/vm_cloner.cc.o" "gcc" "src/vm/CMakeFiles/gvfs_vm.dir/vm_cloner.cc.o.d"
+  "/root/repo/src/vm/vm_image.cc" "src/vm/CMakeFiles/gvfs_vm.dir/vm_image.cc.o" "gcc" "src/vm/CMakeFiles/gvfs_vm.dir/vm_image.cc.o.d"
+  "/root/repo/src/vm/vm_monitor.cc" "src/vm/CMakeFiles/gvfs_vm.dir/vm_monitor.cc.o" "gcc" "src/vm/CMakeFiles/gvfs_vm.dir/vm_monitor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gvfs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/blob/CMakeFiles/gvfs_blob.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/gvfs_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/meta/CMakeFiles/gvfs_meta.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gvfs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/gvfs_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssh/CMakeFiles/gvfs_ssh.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/gvfs_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/xdr/CMakeFiles/gvfs_xdr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gvfs_vm.dir/guest_fs.cc.o"
+  "CMakeFiles/gvfs_vm.dir/guest_fs.cc.o.d"
+  "CMakeFiles/gvfs_vm.dir/redo_log.cc.o"
+  "CMakeFiles/gvfs_vm.dir/redo_log.cc.o.d"
+  "CMakeFiles/gvfs_vm.dir/vm_cloner.cc.o"
+  "CMakeFiles/gvfs_vm.dir/vm_cloner.cc.o.d"
+  "CMakeFiles/gvfs_vm.dir/vm_image.cc.o"
+  "CMakeFiles/gvfs_vm.dir/vm_image.cc.o.d"
+  "CMakeFiles/gvfs_vm.dir/vm_monitor.cc.o"
+  "CMakeFiles/gvfs_vm.dir/vm_monitor.cc.o.d"
+  "libgvfs_vm.a"
+  "libgvfs_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gvfs_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

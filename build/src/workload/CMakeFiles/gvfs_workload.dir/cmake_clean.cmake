@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gvfs_workload.dir/kernel_compile.cc.o"
+  "CMakeFiles/gvfs_workload.dir/kernel_compile.cc.o.d"
+  "CMakeFiles/gvfs_workload.dir/latex.cc.o"
+  "CMakeFiles/gvfs_workload.dir/latex.cc.o.d"
+  "CMakeFiles/gvfs_workload.dir/population.cc.o"
+  "CMakeFiles/gvfs_workload.dir/population.cc.o.d"
+  "CMakeFiles/gvfs_workload.dir/specseis.cc.o"
+  "CMakeFiles/gvfs_workload.dir/specseis.cc.o.d"
+  "CMakeFiles/gvfs_workload.dir/synthetic.cc.o"
+  "CMakeFiles/gvfs_workload.dir/synthetic.cc.o.d"
+  "CMakeFiles/gvfs_workload.dir/trace.cc.o"
+  "CMakeFiles/gvfs_workload.dir/trace.cc.o.d"
+  "libgvfs_workload.a"
+  "libgvfs_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gvfs_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

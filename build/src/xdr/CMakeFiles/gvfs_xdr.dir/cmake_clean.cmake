@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gvfs_xdr.dir/xdr.cc.o"
+  "CMakeFiles/gvfs_xdr.dir/xdr.cc.o.d"
+  "libgvfs_xdr.a"
+  "libgvfs_xdr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gvfs_xdr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfs_client_server_test.dir/nfs_client_server_test.cc.o"
+  "CMakeFiles/nfs_client_server_test.dir/nfs_client_server_test.cc.o.d"
+  "nfs_client_server_test"
+  "nfs_client_server_test.pdb"
+  "nfs_client_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfs_client_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfs_types_test.dir/nfs_types_test.cc.o"
+  "CMakeFiles/nfs_types_test.dir/nfs_types_test.cc.o.d"
+  "nfs_types_test"
+  "nfs_types_test.pdb"
+  "nfs_types_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfs_types_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssh_test.dir/ssh_test.cc.o"
+  "CMakeFiles/ssh_test.dir/ssh_test.cc.o.d"
+  "ssh_test"
+  "ssh_test.pdb"
+  "ssh_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

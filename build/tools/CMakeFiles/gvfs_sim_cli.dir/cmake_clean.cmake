@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gvfs_sim_cli.dir/gvfs_sim.cc.o"
+  "CMakeFiles/gvfs_sim_cli.dir/gvfs_sim.cc.o.d"
+  "gvfs_sim"
+  "gvfs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gvfs_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
