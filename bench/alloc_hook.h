@@ -1,0 +1,20 @@
+// Global allocation counters for the benches. Linking alloc_hook.cc into a
+// binary overrides operator new/delete to bump these relaxed atomics; the
+// BenchReport harness samples them around the measured region so every
+// BENCH_*.json can report allocation churn alongside wall-clock time.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gvfs::bench {
+
+struct AllocCounters {
+  std::uint64_t count = 0;  // operator new calls
+  std::uint64_t bytes = 0;  // bytes requested
+};
+
+// Snapshot of the process-wide counters (zeros if alloc_hook.cc not linked).
+AllocCounters alloc_snapshot();
+
+}  // namespace gvfs::bench

@@ -74,6 +74,7 @@ Result<std::pair<double, double>> run_one(const Config& c) {
 }  // namespace
 
 int main() {
+  bench::BenchReport rep("ablate_cache");
   bench::banner(
       "Ablation: proxy cache geometry (2nd-session random 85/15 mix over WAN)");
   bench::Table table({"assoc", "block", "capacity", "2nd-run time (s)", "proxy miss rate"});
@@ -94,6 +95,8 @@ int main() {
     table.add_row({std::to_string(c.assoc), fmt_bytes(c.block), fmt_bytes(c.capacity),
                    fmt_double(r->first, 1), fmt_double(100.0 * r->second, 1) + "%"});
   }
+  rep.add_table("cache_geometry", table);
+  rep.write();
   table.print();
   std::printf("\nExpectation: capacity dominates; associativity removes conflict\n"
               "misses at tight capacity; larger blocks amortize WAN latency.\n");

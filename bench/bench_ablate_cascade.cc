@@ -47,6 +47,7 @@ Result<std::vector<double>> run(bool lan_level, int nodes) {
 }  // namespace
 
 int main() {
+  bench::BenchReport rep("ablate_cascade");
   constexpr int kNodes = 4;
   bench::banner("Ablation: second-level LAN cache proxy across cluster nodes");
   auto flat = run(false, kNodes);
@@ -60,6 +61,8 @@ int main() {
     table.add_row({std::to_string(i + 1), fmt_double((*flat)[static_cast<size_t>(i)], 1),
                    fmt_double((*cascaded)[static_cast<size_t>(i)], 1)});
   }
+  rep.add_table("cascade", table);
+  rep.write();
   table.print();
   std::printf("\nExpectation: with the cascade, node 1 pays the WAN once and nodes\n"
               "2..%d clone at LAN speed (the WAN-S3 effect).\n", kNodes);

@@ -57,6 +57,7 @@ Result<double> run_mode(const std::string& mode, double zero_fraction,
 }  // namespace
 
 int main() {
+  bench::BenchReport rep("ablate_meta");
   bench::banner("Ablation: meta-data handling modes for VM cloning");
   bench::Table table({"meta-data", "mem zero frac", "nonzero ratio", "clone time (s)"});
   for (const char* mode : {"none", "zero-map", "file-channel"}) {
@@ -77,6 +78,9 @@ int main() {
     if (!t.is_ok()) return 1;
     sweep.add_row({fmt_double(zf, 2), fmt_double(cr, 2), fmt_double(*t, 1)});
   }
+  rep.add_table("meta_modes", table);
+  rep.add_table("file_channel_sweep", sweep);
+  rep.write();
   sweep.print();
   std::printf("\nExpectation: the file channel wins big on post-boot (mostly-zero)\n"
               "states and degrades gracefully toward SCP-of-raw-bytes as the\n"

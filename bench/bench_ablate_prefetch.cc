@@ -62,6 +62,7 @@ Result<double> run_streams(u32 streams) {
 }  // namespace
 
 int main() {
+  bench::BenchReport rep("ablate_prefetch");
   bench::banner("Ablation: proxy read-ahead depth (cold 64 MB sequential scan, WAN)");
   bench::Table table({"prefetch depth", "scan time (s)", "blocks prefetched"});
   for (u32 depth : {0u, 2u, 4u, 8u, 16u}) {
@@ -86,6 +87,9 @@ int main() {
     }
     st.add_row({std::to_string(streams), fmt_double(*t, 1)});
   }
+  rep.add_table("prefetch_depth", table);
+  rep.add_table("parallel_streams", st);
+  rep.write();
   st.print();
   std::printf("\nExpectation: read-ahead collapses the per-block RTT of cold\n"
               "sequential scans; parallel streams lift the per-flow ceiling until\n"

@@ -42,6 +42,7 @@ Result<Row> run_policy(cache::WritePolicy policy) {
 }  // namespace
 
 int main() {
+  bench::BenchReport rep("ablate_writeback");
   bench::banner("Ablation: proxy write policy (write-dominated workload over WAN)");
   auto wt = run_policy(cache::WritePolicy::kWriteThrough);
   auto wb = run_policy(cache::WritePolicy::kWriteBack);
@@ -55,6 +56,9 @@ int main() {
                  fmt_double(wt->run_s, 1) + " s"});
   table.add_row({"write-back", fmt_double(wb->run_s, 1), fmt_double(wb->flush_s, 1),
                  fmt_double(wb->run_s, 1) + " s (+ offline flush)"});
+  rep.add_table("write_policy", table);
+  rep.add_scalar("writeback_speedup_x", wt->run_s / wb->run_s);
+  rep.write();
   table.print();
   std::printf("\napplication speedup from write-back: %.1fx (paper: phase-1 2.1x)\n",
               wt->run_s / wb->run_s);

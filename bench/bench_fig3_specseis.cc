@@ -10,6 +10,7 @@
 using namespace gvfs;
 
 int main() {
+  bench::BenchReport rep("fig3_specseis");
   bench::banner("Figure 3: SPECseis96 benchmark execution times (mm:ss)");
   bench::Table table({"scenario", "phase1", "phase2", "phase3", "phase4", "total"});
 
@@ -48,5 +49,11 @@ int main() {
               100.0 * (1.0 - wanc_total / wan_total));
   std::printf("phase-4 spread across setups: %.1f%% (paper: within 10%%)\n",
               100.0 * (worst_p4 / local_p4 - 1.0));
+
+  rep.add_table("fig3", table);
+  rep.add_scalar("phase1_wan_over_wanc", wan_p1 / wanc_p1);
+  rep.add_scalar("total_wanc_vs_wan_pct", 100.0 * (1.0 - wanc_total / wan_total));
+  rep.add_scalar("phase4_spread_pct", 100.0 * (worst_p4 / local_p4 - 1.0));
+  rep.write();
   return 0;
 }

@@ -13,10 +13,12 @@
 using namespace gvfs;
 
 int main() {
+  bench::BenchReport rep("fig4_latex");
   bench::banner("Figure 4: LaTeX benchmark execution times (seconds)");
   bench::Table table({"scenario", "first iteration", "mean iters 2-20", "total"});
 
   double wan_mean = 0, wanc_mean = 0, local_mean = 0;
+  double flush_s_out = 0, upload_s_out = 0, dl_out = 0;
   for (core::Scenario s : bench::app_scenarios()) {
     core::TestbedOptions opt;
     opt.scenario = s;
@@ -61,6 +63,8 @@ int main() {
       });
       std::printf("write-back flush of dirty blocks: %.0f s (paper: ~160 s)\n", flush_s);
       std::printf("uploading entire VM state instead: %.0f s (paper: 4633 s)\n", upload_s);
+      flush_s_out = flush_s;
+      upload_s_out = upload_s;
     }
   }
   std::printf("\n");
@@ -79,10 +83,19 @@ int main() {
       dl = to_seconds(p.now());
     });
     std::printf("\nfull-state download before session: %.0f s (paper: 2818 s)\n", dl);
+    dl_out = dl;
   }
   std::printf("WAN+C mean vs Local : %.0f%% slower (paper: ~8%%-16%%)\n",
               100.0 * (wanc_mean / local_mean - 1.0));
   std::printf("WAN   mean vs WAN+C : %.0f%% slower (paper: ~46%%)\n",
               100.0 * (wan_mean / wanc_mean - 1.0));
+
+  rep.add_table("fig4", table);
+  rep.add_scalar("writeback_flush_s", flush_s_out);
+  rep.add_scalar("full_state_upload_s", upload_s_out);
+  rep.add_scalar("full_state_download_s", dl_out);
+  rep.add_scalar("wanc_vs_local_pct", 100.0 * (wanc_mean / local_mean - 1.0));
+  rep.add_scalar("wan_vs_wanc_pct", 100.0 * (wan_mean / wanc_mean - 1.0));
+  rep.write();
   return 0;
 }

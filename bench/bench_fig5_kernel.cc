@@ -9,6 +9,7 @@
 using namespace gvfs;
 
 int main() {
+  bench::BenchReport rep("fig5_kernel");
   bench::banner("Figure 5: kernel compilation execution times (h:mm:ss)");
   bench::Table table({"scenario", "run", "make dep", "make bzImage", "make modules",
                       "modules_install", "total"});
@@ -75,5 +76,12 @@ int main() {
               100.0 * (wanc_run[1] / lan_run2 - 1.0));
   std::printf("WAN+C warm run vs WAN warm run   : %.0f%% faster (paper: >30%%)\n",
               100.0 * (1.0 - wanc_run[1] / wan_run2));
+
+  rep.add_table("fig5", table);
+  rep.add_scalar("wanc_cold_vs_local_pct", 100.0 * (wanc_run[0] / local_run[0] - 1.0));
+  rep.add_scalar("wanc_warm_vs_local_pct", 100.0 * (wanc_run[1] / local_run[1] - 1.0));
+  rep.add_scalar("wanc_warm_vs_lan_pct", 100.0 * (wanc_run[1] / lan_run2 - 1.0));
+  rep.add_scalar("wanc_warm_vs_wan_faster_pct", 100.0 * (1.0 - wanc_run[1] / wan_run2));
+  rep.write();
   return 0;
 }

@@ -80,6 +80,7 @@ std::vector<vm::VmImagePaths> install_images(core::Testbed& bed, int count,
 
 int main() {
   constexpr int kClones = 8;
+  bench::BenchReport rep("fig6_cloning");
   bench::banner("Figure 6: VM cloning times (seconds), images 1..8");
   bench::Table table({"clone#", "Local", "WAN-S1", "WAN-S2", "WAN-S3"});
 
@@ -150,6 +151,7 @@ int main() {
       t = to_seconds(p.now());
     });
     std::printf("\nSCP full-image copy            : %.0f s (paper: 1127 s)\n", t);
+    rep.add_scalar("scp_full_image_s", t);
   }
   {
     // Plain NFS mount: memory state copied block-by-block, no GVFS support.
@@ -177,6 +179,7 @@ int main() {
       return 1;
     }
     std::printf("plain-NFS-mount memory copy    : %.0f s (paper: 2060 s)\n", t);
+    rep.add_scalar("plain_nfs_memory_copy_s", t);
   }
   std::printf("GVFS first clone (cold)        : %.0f s (paper: <160 s)\n",
               columns[2].front());
@@ -184,5 +187,11 @@ int main() {
               columns[1].back());
   std::printf("GVFS clone via LAN 2nd level   : %.0f s (paper: ~80 s)\n",
               columns[3].back());
+
+  rep.add_table("fig6", table);
+  rep.add_scalar("first_clone_cold_s", columns[2].front());
+  rep.add_scalar("reclone_warm_s", columns[1].back());
+  rep.add_scalar("clone_lan_second_level_s", columns[3].back());
+  rep.write();
   return 0;
 }

@@ -3,6 +3,8 @@
 // operations, synthetic content generation and hashing.
 #include <benchmark/benchmark.h>
 
+#include "alloc_hook.h"
+#include "bench_util.h"
 #include "blob/blob.h"
 #include "blob/extent_store.h"
 #include "cache/block_cache.h"
@@ -13,6 +15,20 @@
 
 namespace gvfs {
 namespace {
+
+// Report allocation churn per iteration as user counters, so the zero-copy
+// claims are measured, not asserted.
+struct AllocProbe {
+  bench::AllocCounters start = bench::alloc_snapshot();
+  void finish(benchmark::State& state) const {
+    bench::AllocCounters now = bench::alloc_snapshot();
+    auto iters = static_cast<double>(std::max<i64>(1, state.iterations()));
+    state.counters["allocs/iter"] =
+        static_cast<double>(now.count - start.count) / iters;
+    state.counters["alloc_bytes/iter"] =
+        static_cast<double>(now.bytes - start.bytes) / iters;
+  }
+};
 
 void BM_XdrEncodeReadArgs(benchmark::State& state) {
   nfs::ReadArgs args;
@@ -42,6 +58,51 @@ void BM_XdrDecodeReadArgs(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_XdrDecodeReadArgs);
+
+// The 32 KiB READ decode path: payload must cross the codec without being
+// copied — the decoder hands out a ViewBlob sharing the receive buffer.
+// alloc_bytes/iter stays in the tens of bytes (shared_ptr control blocks),
+// not 32 KiB.
+void BM_XdrDecodeReadRes32K(benchmark::State& state) {
+  nfs::ReadRes res;
+  res.status = nfs::NfsStat::kOk;
+  res.count = 32_KiB;
+  res.eof = false;
+  std::vector<u8> payload(32_KiB, 0xab);
+  res.data = blob::make_bytes(std::move(payload));
+  xdr::XdrEncoder enc;
+  res.encode(enc);
+  auto backing = std::make_shared<const std::vector<u8>>(enc.take());
+  AllocProbe probe;
+  for (auto _ : state) {
+    xdr::XdrDecoder dec(std::span<const u8>(*backing), backing);
+    auto back = nfs::ReadRes::decode(dec);
+    benchmark::DoNotOptimize(back.is_ok());
+  }
+  probe.finish(state);
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) * 32_KiB);
+}
+BENCHMARK(BM_XdrDecodeReadRes32K);
+
+// Scatter-gather encode of a 32 KiB WRITE: the payload blob is borrowed by
+// reference; no flatten happens unless someone asks for the wire image.
+void BM_XdrEncodeWriteArgs32K(benchmark::State& state) {
+  nfs::WriteArgs args;
+  args.fh = nfs::Fh{1, 42};
+  args.offset = 1_MiB;
+  args.count = 32_KiB;
+  std::vector<u8> payload(32_KiB, 0xcd);
+  args.data = blob::make_bytes(std::move(payload));
+  AllocProbe probe;
+  for (auto _ : state) {
+    xdr::XdrEncoder enc;
+    args.encode(enc);
+    benchmark::DoNotOptimize(enc.size());
+  }
+  probe.finish(state);
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) * 32_KiB);
+}
+BENCHMARK(BM_XdrEncodeWriteArgs32K);
 
 void BM_XdrEncodeFattr(benchmark::State& state) {
   nfs::Fattr f;
@@ -96,6 +157,33 @@ void BM_CacheSetIndexing(benchmark::State& state) {
   });
 }
 BENCHMARK(BM_CacheSetIndexing);
+
+// invalidate_file at the paper's 8 GiB / 262,144-frame geometry: cost must
+// scale with the number of file-resident blocks (the Arg), not capacity.
+void BM_CacheInvalidateFile(benchmark::State& state) {
+  sim::SimKernel kernel;
+  sim::DiskConfig dcfg;
+  dcfg.seek = 0;
+  dcfg.seq_overhead = 0;
+  dcfg.bytes_per_sec = 1e15;
+  sim::DiskModel disk(kernel, "d", dcfg);
+  cache::BlockCacheConfig cfg;  // paper geometry: 8 GiB, 512 banks, 16-way
+  cache::ProxyDiskCache cache(disk, cfg);
+  const u64 resident = static_cast<u64>(state.range(0));
+  kernel.run_process("bench", [&](sim::Process& p) {
+    auto block = blob::zero_ref(32_KiB);
+    for (auto _ : state) {
+      state.PauseTiming();
+      for (u64 b = 0; b < resident; ++b) {
+        (void)cache.insert(p, cache::BlockId{99, b}, block, false);
+      }
+      state.ResumeTiming();
+      cache.invalidate_file(99);
+    }
+  });
+  state.counters["resident"] = static_cast<double>(resident);
+}
+BENCHMARK(BM_CacheInvalidateFile)->Arg(16)->Arg(256)->Arg(4096);
 
 void BM_ExtentStoreWrite(benchmark::State& state) {
   blob::ExtentStore es;
@@ -168,4 +256,12 @@ BENCHMARK(BM_SimProcessSwitch);
 }  // namespace
 }  // namespace gvfs
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  gvfs::bench::BenchReport rep("micro");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  rep.write();
+  return 0;
+}

@@ -97,6 +97,7 @@ Result<std::pair<double, double>> run_parallel() {
 }  // namespace
 
 int main() {
+  bench::BenchReport rep("table1_parallel");
   bench::banner("Table 1: total time of cloning eight VM images (seconds)");
   auto seq = run_sequential();
   if (!seq.is_ok()) {
@@ -120,5 +121,10 @@ int main() {
               100.0 * seq->first / par->first);
   std::printf("parallel speedup, warm caches: %.0f%% (paper: >600%%)\n",
               100.0 * seq->second / par->second);
+
+  rep.add_table("table1", table);
+  rep.add_scalar("parallel_speedup_cold_pct", 100.0 * seq->first / par->first);
+  rep.add_scalar("parallel_speedup_warm_pct", 100.0 * seq->second / par->second);
+  rep.write();
   return 0;
 }

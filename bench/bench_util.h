@@ -2,12 +2,14 @@
 // the paper's formats and scenario/VM setup helpers.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "alloc_hook.h"
 #include "common/strings.h"
 #include "gvfs/experiment.h"
 #include "gvfs/testbed.h"
@@ -21,6 +23,11 @@ class Table {
   explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
 
   void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  [[nodiscard]] const std::vector<std::string>& header() const { return header_; }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const {
+    return rows_;
+  }
 
   void print() const {
     std::vector<std::size_t> width(header_.size());
@@ -55,6 +62,102 @@ class Table {
 inline void banner(const std::string& title) {
   std::printf("\n== %s ==\n", title.c_str());
 }
+
+// Machine-readable run record: every bench writes BENCH_<name>.json holding
+// host wall-clock time, allocation counts, and the simulated-time results
+// (tables and scalars). The simulated section must be byte-identical across
+// perf-only changes — it is the regression baseline; only wall_clock_ns and
+// the alloc_* fields are expected to move.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name)
+      : name_(std::move(name)),
+        start_(std::chrono::steady_clock::now()),
+        start_alloc_(alloc_snapshot()) {}
+
+  void add_scalar(const std::string& key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    sim_.emplace_back(key, buf);
+  }
+  void add_scalar(const std::string& key, u64 v) {
+    sim_.emplace_back(key, std::to_string(v));
+  }
+  void add_scalar(const std::string& key, const std::string& v) {
+    sim_.emplace_back(key, quote_(v));
+  }
+  void add_table(const std::string& key, const Table& t) {
+    std::string j = "{\"header\":";
+    j += strings_(t.header());
+    j += ",\"rows\":[";
+    for (std::size_t r = 0; r < t.rows().size(); ++r) {
+      if (r > 0) j += ",";
+      j += strings_(t.rows()[r]);
+    }
+    j += "]}";
+    sim_.emplace_back(key, std::move(j));
+  }
+
+  // Write BENCH_<name>.json into the current directory. Reports progress on
+  // stderr so bench stdout stays byte-comparable across runs.
+  void write() const {
+    auto wall = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - start_)
+                    .count();
+    AllocCounters now = alloc_snapshot();
+    std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "BenchReport: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"name\": %s,\n", quote_(name_).c_str());
+    std::fprintf(f, "  \"wall_clock_ns\": %lld,\n",
+                 static_cast<long long>(wall));
+    std::fprintf(f, "  \"alloc_count\": %llu,\n",
+                 static_cast<unsigned long long>(now.count - start_alloc_.count));
+    std::fprintf(f, "  \"alloc_bytes\": %llu,\n",
+                 static_cast<unsigned long long>(now.bytes - start_alloc_.bytes));
+    std::fprintf(f, "  \"simulated\": {");
+    for (std::size_t i = 0; i < sim_.size(); ++i) {
+      std::fprintf(f, "%s\n    %s: %s", i > 0 ? "," : "",
+                   quote_(sim_[i].first).c_str(), sim_[i].second.c_str());
+    }
+    std::fprintf(f, "\n  }\n}\n");
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %s\n", path.c_str());
+  }
+
+ private:
+  static std::string quote_(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default: out += c;
+      }
+    }
+    out += "\"";
+    return out;
+  }
+  static std::string strings_(const std::vector<std::string>& v) {
+    std::string out = "[";
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (i > 0) out += ",";
+      out += quote_(v[i]);
+    }
+    out += "]";
+    return out;
+  }
+
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  AllocCounters start_alloc_;
+  std::vector<std::pair<std::string, std::string>> sim_;
+};
 
 // The four §4.2 execution scenarios.
 inline std::vector<core::Scenario> app_scenarios() {

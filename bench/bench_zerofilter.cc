@@ -9,6 +9,7 @@
 using namespace gvfs;
 
 int main() {
+  bench::BenchReport rep("zerofilter");
   bench::banner("Zero-block filtering on a 512 MB post-boot memory state");
 
   core::TestbedOptions opt;
@@ -65,5 +66,11 @@ int main() {
        "91.9%"});
   table.add_row({"full read of memory state", fmt_double(elapsed, 1) + " s", "-"});
   table.print();
+
+  rep.add_table("zerofilter", table);
+  rep.add_scalar("client_reads", client_reads);
+  rep.add_scalar("reads_filtered", filtered);
+  rep.add_scalar("read_elapsed_s", elapsed);
+  rep.write();
   return 0;
 }

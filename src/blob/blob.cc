@@ -39,10 +39,12 @@ bool BytesBlob::is_zero_range(u64 offset, u64 len) const {
   return true;
 }
 
-u64 BytesBlob::compressed_size(u64 offset, u64 len) const {
-  // Cheap gzip-class estimate: per 4 KiB page, all-zero pages collapse to a
-  // few bytes; otherwise scale by byte diversity (few distinct values =>
-  // highly compressible).
+namespace {
+
+// Cheap gzip-class estimate: per 4 KiB page, all-zero pages collapse to a
+// few bytes; otherwise scale by byte diversity (few distinct values =>
+// highly compressible).
+u64 estimate_compressed(std::span<const u8> data, u64 offset, u64 len) {
   u64 total = 16;
   u64 end = offset + len;
   while (offset < end) {
@@ -51,7 +53,7 @@ u64 BytesBlob::compressed_size(u64 offset, u64 len) const {
     u32 distinct = 0;
     bool all_zero = true;
     for (u64 i = 0; i < n; ++i) {
-      u8 b = data_[offset + i];
+      u8 b = data[offset + i];
       if (b != 0) all_zero = false;
       if (!seen[b]) {
         seen[b] = true;
@@ -67,6 +69,12 @@ u64 BytesBlob::compressed_size(u64 offset, u64 len) const {
     offset += n;
   }
   return total;
+}
+
+}  // namespace
+
+u64 BytesBlob::compressed_size(u64 offset, u64 len) const {
+  return estimate_compressed(data_, offset, len);
 }
 
 // --------------------------------------------------------------- ZeroBlob --
@@ -145,6 +153,24 @@ u64 SyntheticBlob::compressed_size(u64 offset, u64 len) const {
   return total;
 }
 
+// --------------------------------------------------------------- ViewBlob --
+
+void ViewBlob::read(u64 offset, std::span<u8> out) const {
+  std::memcpy(out.data(), data_.data() + offset, out.size());
+}
+
+bool ViewBlob::is_zero_range(u64 offset, u64 len) const {
+  for (u64 i = 0; i < len; ++i) {
+    if (data_[offset + i] != 0) return false;
+  }
+  return true;
+}
+
+u64 ViewBlob::compressed_size(u64 offset, u64 len) const {
+  // Same estimate as BytesBlob (identical bytes must compress identically).
+  return estimate_compressed(data_, offset, len);
+}
+
 // -------------------------------------------------------------- SliceBlob --
 
 SliceBlob::SliceBlob(BlobRef base, u64 offset, u64 len)
@@ -173,7 +199,30 @@ BlobRef make_bytes(std::span<const u8> data) {
   return std::make_shared<BytesBlob>(std::vector<u8>(data.begin(), data.end()));
 }
 
+BlobRef make_view(std::shared_ptr<const void> owner,
+                  std::span<const u8> data) {
+  return std::make_shared<ViewBlob>(std::move(owner), data);
+}
+
 BlobRef make_zero(u64 size) { return std::make_shared<ZeroBlob>(size); }
+
+BlobRef zero_ref(u64 size) {
+  // One shared control block per hot size; every zero-filtered block and
+  // empty read aliases these instead of allocating a fresh ZeroBlob.
+  static const BlobRef kEmpty = make_zero(0);
+  static const BlobRef k4K = make_zero(4_KiB);
+  static const BlobRef k8K = make_zero(8_KiB);
+  static const BlobRef k16K = make_zero(16_KiB);
+  static const BlobRef k32K = make_zero(32_KiB);
+  switch (size) {
+    case 0: return kEmpty;
+    case 4_KiB: return k4K;
+    case 8_KiB: return k8K;
+    case 16_KiB: return k16K;
+    case 32_KiB: return k32K;
+    default: return make_zero(size);
+  }
+}
 
 BlobRef make_synthetic(u64 seed, u64 size, double zero_fraction,
                        double nonzero_compress_ratio) {

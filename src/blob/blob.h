@@ -107,6 +107,27 @@ class SyntheticBlob final : public Blob {
   double nonzero_ratio_;
 };
 
+// Bytes owned by someone else (an RPC receive buffer, an mmap'd region…):
+// a span plus a shared handle that keeps the owner alive. The zero-copy
+// decode path wraps XDR payloads in these instead of copying them out.
+class ViewBlob final : public Blob {
+ public:
+  using Blob::compressed_size;
+  ViewBlob(std::shared_ptr<const void> owner, std::span<const u8> data)
+      : owner_(std::move(owner)), data_(data) {}
+
+  [[nodiscard]] u64 size() const override { return data_.size(); }
+  void read(u64 offset, std::span<u8> out) const override;
+  [[nodiscard]] bool is_zero_range(u64 offset, u64 len) const override;
+  [[nodiscard]] u64 compressed_size(u64 offset, u64 len) const override;
+
+  [[nodiscard]] std::span<const u8> bytes() const { return data_; }
+
+ private:
+  std::shared_ptr<const void> owner_;
+  std::span<const u8> data_;
+};
+
 // A view into another blob.
 class SliceBlob final : public Blob {
  public:
@@ -138,7 +159,13 @@ inline u64 content_hash(const Blob& b) { return range_hash(b, 0, b.size()); }
 BlobRef make_bytes(std::vector<u8> data);
 BlobRef make_bytes(std::span<const u8> data);
 BlobRef make_zero(u64 size);
+BlobRef make_view(std::shared_ptr<const void> owner, std::span<const u8> data);
 BlobRef make_synthetic(u64 seed, u64 size, double zero_fraction,
                        double nonzero_compress_ratio);
+
+// Shared all-zero blobs for the hot block sizes (0, 4/8/16/32 KiB …): every
+// filtered zero block and empty read reuses one control block instead of
+// allocating a fresh ZeroBlob. Falls back to make_zero for odd sizes.
+BlobRef zero_ref(u64 size);
 
 }  // namespace gvfs::blob

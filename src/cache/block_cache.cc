@@ -24,6 +24,15 @@ u32 ProxyDiskCache::set_index_(const BlockId& id) const {
   return static_cast<u32>((mix64(id.file_key) + id.block) % num_sets_);
 }
 
+const ProxyDiskCache::Frame* ProxyDiskCache::find_(const BlockId& id) const {
+  u32 set = set_index_(id);
+  const Frame* base = &frames_[static_cast<std::size_t>(set) * cfg_.associativity];
+  for (u32 w = 0; w < cfg_.associativity; ++w) {
+    if (base[w].valid && base[w].id == id) return &base[w];
+  }
+  return nullptr;
+}
+
 ProxyDiskCache::Frame* ProxyDiskCache::find_(const BlockId& id) {
   u32 set = set_index_(id);
   Frame* base = &frames_[static_cast<std::size_t>(set) * cfg_.associativity];
@@ -34,7 +43,45 @@ ProxyDiskCache::Frame* ProxyDiskCache::find_(const BlockId& id) {
 }
 
 bool ProxyDiskCache::contains(const BlockId& id) const {
-  return const_cast<ProxyDiskCache*>(this)->find_(id) != nullptr;
+  return find_(id) != nullptr;
+}
+
+void ProxyDiskCache::link_file_(u32 idx) {
+  Frame& f = frames_[idx];
+  f.file_prev = kNil;
+  auto [it, fresh] = file_head_.try_emplace(f.id.file_key, idx);
+  if (fresh) {
+    f.file_next = kNil;
+  } else {
+    f.file_next = it->second;
+    frames_[it->second].file_prev = idx;
+    it->second = idx;
+  }
+}
+
+void ProxyDiskCache::unlink_file_(u32 idx) {
+  Frame& f = frames_[idx];
+  if (f.file_next != kNil) frames_[f.file_next].file_prev = f.file_prev;
+  if (f.file_prev != kNil) {
+    frames_[f.file_prev].file_next = f.file_next;
+  } else {
+    // Head of its file's list.
+    auto it = file_head_.find(f.id.file_key);
+    if (f.file_next != kNil) {
+      it->second = f.file_next;
+    } else {
+      file_head_.erase(it);
+    }
+  }
+  f.file_prev = kNil;
+  f.file_next = kNil;
+}
+
+void ProxyDiskCache::clear_frame_(Frame& f) {
+  if (f.data) resident_bytes_ -= f.data->size();
+  f.valid = false;
+  f.dirty = false;
+  f.data.reset();
 }
 
 void ProxyDiskCache::touch_bank_(sim::Process& p, u32 set) {
@@ -81,9 +128,8 @@ Status ProxyDiskCache::evict_(sim::Process& p, Frame& victim) {
       GVFS_RETURN_IF_ERROR(writeback_(p, victim.id, victim.data));
     }
   }
-  victim.valid = false;
-  victim.dirty = false;
-  victim.data.reset();
+  unlink_file_(static_cast<u32>(&victim - frames_.data()));
+  clear_frame_(victim);
   --resident_;
   return Status::ok();
 }
@@ -109,6 +155,7 @@ Status ProxyDiskCache::insert(sim::Process& p, const BlockId& id, blob::BlobRef 
       break;
     }
   }
+  bool new_residency = false;
   if (slot == nullptr) {
     // Free way, else LRU victim.
     for (u32 w = 0; w < cfg_.associativity; ++w) {
@@ -125,12 +172,13 @@ Status ProxyDiskCache::insert(sim::Process& p, const BlockId& id, blob::BlobRef 
       GVFS_RETURN_IF_ERROR(evict_(p, *slot));
     }
     ++resident_;
-  } else if (slot->dirty) {
-    // Overwriting a dirty frame with new dirty data keeps one dirty count;
-    // overwriting with clean data must not lose staged bytes — the caller
-    // (proxy) merges before inserting, so a clean overwrite means the block
-    // was just written back.
-    if (!dirty) --dirty_;
+    new_residency = true;
+  } else if (slot->dirty && !dirty) {
+    // Overwriting a dirty frame with clean data must not lose staged bytes —
+    // the caller (proxy) merges before inserting, so a clean overwrite means
+    // the block was just written back. A dirty overwrite keeps the frame
+    // dirty and its single dirty count.
+    --dirty_;
     slot->dirty = false;
   }
 
@@ -140,10 +188,13 @@ Status ProxyDiskCache::insert(sim::Process& p, const BlockId& id, blob::BlobRef 
   last_access_ = id;
   disk_.access(p, data->size(), sim::Locality::kSequential);
 
+  if (slot->data) resident_bytes_ -= slot->data->size();
+  resident_bytes_ += data->size();
   slot->valid = true;
   slot->id = id;
   slot->data = std::move(data);
   slot->last_used = ++tick_;
+  if (new_residency) link_file_(static_cast<u32>(slot - frames_.data()));
   if (dirty && !slot->dirty) {
     slot->dirty = true;
     ++dirty_;
@@ -162,6 +213,8 @@ Result<blob::BlobRef> ProxyDiskCache::merge(sim::Process& p, const BlockId& id,
     compose.write_blob(offset_in_block, data, 0, data->size());
   }
   blob::BlobRef merged = compose.snapshot();
+  if (f->data) resident_bytes_ -= f->data->size();
+  resident_bytes_ += merged->size();
   f->data = merged;
   f->last_used = ++tick_;
   if (!f->dirty) {
@@ -200,28 +253,37 @@ void ProxyDiskCache::invalidate_all() {
     f.valid = false;
     f.dirty = false;
     f.data.reset();
+    f.file_prev = kNil;
+    f.file_next = kNil;
   }
+  file_head_.clear();
   resident_ = 0;
+  resident_bytes_ = 0;
 }
 
 void ProxyDiskCache::invalidate_file(u64 file_key) {
-  for (Frame& f : frames_) {
-    if (f.valid && f.id.file_key == file_key) {
-      if (f.dirty) --dirty_;
-      f.valid = false;
-      f.dirty = false;
-      f.data.reset();
-      --resident_;
-    }
+  auto it = file_head_.find(file_key);
+  if (it == file_head_.end()) return;
+  u32 idx = it->second;
+  file_head_.erase(it);
+  while (idx != kNil) {
+    Frame& f = frames_[idx];
+    u32 next = f.file_next;
+    if (f.dirty) --dirty_;
+    clear_frame_(f);
+    f.file_prev = kNil;
+    f.file_next = kNil;
+    --resident_;
+    idx = next;
   }
 }
 
-u64 ProxyDiskCache::resident_bytes() const {
-  u64 total = 0;
-  for (const Frame& f : frames_) {
-    if (f.valid && f.data) total += f.data->size();
-  }
-  return total;
+u64 ProxyDiskCache::file_resident_blocks(u64 file_key) const {
+  auto it = file_head_.find(file_key);
+  if (it == file_head_.end()) return 0;
+  u64 n = 0;
+  for (u32 idx = it->second; idx != kNil; idx = frames_[idx].file_next) ++n;
+  return n;
 }
 
 }  // namespace gvfs::cache

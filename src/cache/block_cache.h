@@ -11,6 +11,7 @@
 
 #include <functional>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "blob/blob.h"
@@ -85,24 +86,38 @@ class ProxyDiskCache {
   [[nodiscard]] u64 writebacks() const { return writebacks_; }
   [[nodiscard]] u64 dirty_blocks() const { return dirty_; }
   [[nodiscard]] u64 resident_blocks() const { return resident_; }
-  [[nodiscard]] u64 resident_bytes() const;
+  [[nodiscard]] u64 resident_bytes() const { return resident_bytes_; }
+  // Number of resident blocks belonging to one file (O(1) map lookup +
+  // O(file-resident) walk; used by tests and observability).
+  [[nodiscard]] u64 file_resident_blocks(u64 file_key) const;
   [[nodiscard]] u64 banks_created() const { return banks_created_; }
   [[nodiscard]] u32 sets() const { return num_sets_; }
   void reset_stats() { hits_ = misses_ = evictions_ = writebacks_ = 0; }
 
  private:
+  static constexpr u32 kNil = 0xffffffffu;
+
   struct Frame {
     bool valid = false;
     bool dirty = false;
     BlockId id;
     blob::BlobRef data;
     u64 last_used = 0;
+    // Intrusive doubly-linked list of all resident frames of one file,
+    // threaded through file_head_. Makes invalidate_file O(file-resident)
+    // instead of O(capacity).
+    u32 file_prev = kNil;
+    u32 file_next = kNil;
   };
 
   [[nodiscard]] u32 set_index_(const BlockId& id) const;
+  [[nodiscard]] const Frame* find_(const BlockId& id) const;
   Frame* find_(const BlockId& id);
   Status evict_(sim::Process& p, Frame& victim);
   void touch_bank_(sim::Process& p, u32 set);
+  void link_file_(u32 idx);
+  void unlink_file_(u32 idx);
+  void clear_frame_(Frame& f);
 
   sim::DiskModel& disk_;
   BlockCacheConfig cfg_;
@@ -110,6 +125,8 @@ class ProxyDiskCache {
   u32 sets_per_bank_;
   std::vector<Frame> frames_;  // num_sets_ * associativity, set-major
   std::vector<bool> bank_exists_;
+  // file_key -> index of the first resident frame of that file.
+  std::unordered_map<u64, u32> file_head_;
   WritebackFn writeback_;
   u64 tick_ = 0;
   u64 hits_ = 0;
@@ -118,6 +135,7 @@ class ProxyDiskCache {
   u64 writebacks_ = 0;
   u64 dirty_ = 0;
   u64 resident_ = 0;
+  u64 resident_bytes_ = 0;
   u64 banks_created_ = 0;
   BlockId last_access_{};  // sequentiality heuristic for cache-disk locality
 };

@@ -254,11 +254,29 @@ Result<blob::BlobRef> NfsClient::read(sim::Process& p, const std::string& path,
   u64 size = a.size;
   auto sz = file_sizes_.find(fh.key());
   if (sz != file_sizes_.end()) size = std::max(size, sz->second);
-  if (offset >= size || len == 0) return blob::BlobRef(blob::make_zero(0));
+  if (offset >= size || len == 0) return blob::BlobRef(blob::zero_ref(0));
   len = std::min<u64>(len, size - offset);
 
   u64 first = offset / cfg_.page_size;
   u64 last = (offset + len - 1) / cfg_.page_size;
+  if (first == last) {
+    // Single-page read: return the cached page (or a slice of it) directly
+    // instead of copying through an extent map.
+    auto cached = pages_.lookup(fh.key(), first);
+    if (!cached) {
+      GVFS_RETURN_IF_ERROR(fill_block_(p, fh, size, first));
+      cached = pages_.lookup(fh.key(), first);
+      if (!cached) return err(ErrCode::kIo, "page missing after fill");
+    }
+    const blob::BlobRef& data = *cached;
+    u64 pg_start = first * cfg_.page_size;
+    u64 off_in_pg = offset - pg_start;
+    if (data->size() >= off_in_pg + len) {
+      if (off_in_pg == 0 && data->size() == len) return *cached;
+      return blob::BlobRef(std::make_shared<blob::SliceBlob>(data, off_in_pg, len));
+    }
+    // Short page (sparse tail): fall through to extent assembly below.
+  }
   blob::ExtentStore assembled;
   assembled.truncate(len);
   for (u64 pg = first; pg <= last; ++pg) {

@@ -93,8 +93,8 @@ void NfsServer::charge_read_(sim::Process& p, vfs::FileId id, u64 file_size,
       u64 off = cp * cfg_.page_size;
       if (off >= file_size && cp != pg) continue;
       u64 n = off < file_size ? std::min<u64>(cfg_.page_size, file_size - off) : 0;
-      auto data = n > 0 ? fs_.read_ref(id, off, n) : Result<blob::BlobRef>(blob::make_zero(0));
-      page_cache_.insert(p, id, cp, data.is_ok() ? *data : blob::make_zero(0),
+      auto data = n > 0 ? fs_.read_ref(id, off, n) : Result<blob::BlobRef>(blob::zero_ref(0));
+      page_cache_.insert(p, id, cp, data.is_ok() ? *data : blob::zero_ref(0),
                          /*dirty=*/false);
     }
   }
@@ -330,7 +330,7 @@ rpc::MessagePtr NfsServer::do_read_(sim::Process& p, const ReadArgs& a) {
   u64 n = a.offset >= attr->size ? 0 : std::min<u64>(count, attr->size - a.offset);
   charge_read_(p, a.fh.fileid, attr->size, a.offset, n);
   auto data = n > 0 ? fs_.read_ref(a.fh.fileid, a.offset, n)
-                    : Result<blob::BlobRef>(blob::make_zero(0));
+                    : Result<blob::BlobRef>(blob::zero_ref(0));
   if (!data.is_ok()) {
     res->status = to_nfsstat(data.status());
     return res;

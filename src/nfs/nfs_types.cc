@@ -23,12 +23,11 @@ NfsStat get_status(xdr::XdrDecoder& dec) {
   return static_cast<NfsStat>(dec.get_u32());
 }
 
-// Materialize a lazy payload for true wire encoding (tests only; the
-// simulation transport never calls encode on the hot path).
+// Hand the payload blob to the encoder by reference; it is only read if the
+// flat wire image is materialized (tests; the simulation transport never
+// encodes on the hot path). Null data means `count` zero bytes, as before.
 void put_payload(xdr::XdrEncoder& enc, const blob::BlobRef& data, u32 count) {
-  std::vector<u8> buf(count);
-  if (data && count > 0) data->read(0, buf);
-  enc.put_opaque(buf);
+  enc.put_blob(data ? data : blob::zero_ref(count), 0, count);
 }
 
 }  // namespace
@@ -36,14 +35,15 @@ void put_payload(xdr::XdrEncoder& enc, const blob::BlobRef& data, u32 count) {
 // ---------------------------------------------------------------------- Fh --
 
 void Fh::encode(xdr::XdrEncoder& enc) const {
-  xdr::XdrEncoder body;
-  body.put_u64(fsid);
-  body.put_u64(fileid);
-  enc.put_opaque(body.bytes());
+  // Opaque fhandle whose body is fsid||fileid, emitted directly (no nested
+  // encoder, no intermediate buffer).
+  enc.put_u32(16);
+  enc.put_u64(fsid);
+  enc.put_u64(fileid);
 }
 
 Result<Fh> Fh::decode(xdr::XdrDecoder& dec) {
-  std::vector<u8> raw = dec.get_opaque();
+  std::span<const u8> raw = dec.get_opaque_view();
   if (!dec.ok() || raw.size() != 16) return err(ErrCode::kBadXdr, "fhandle");
   xdr::XdrDecoder b(raw);
   Fh fh;
@@ -322,9 +322,9 @@ Result<ReadRes> ReadRes::decode(xdr::XdrDecoder& dec) {
   if (r.status == NfsStat::kOk) {
     r.count = dec.get_u32();
     r.eof = dec.get_bool();
-    std::vector<u8> raw = dec.get_opaque();
-    if (!dec.ok() || raw.size() != r.count) return err(ErrCode::kBadXdr, "read data");
-    r.data = blob::make_bytes(std::move(raw));
+    r.data = dec.get_opaque_blob();
+    if (!dec.ok() || r.data->size() != r.count)
+      return err(ErrCode::kBadXdr, "read data");
   }
   return r;
 }
@@ -345,9 +345,9 @@ Result<WriteArgs> WriteArgs::decode(xdr::XdrDecoder& dec) {
   a.offset = dec.get_u64();
   a.count = dec.get_u32();
   a.stable = static_cast<StableHow>(dec.get_u32());
-  std::vector<u8> raw = dec.get_opaque();
-  if (!dec.ok() || raw.size() != a.count) return err(ErrCode::kBadXdr, "write data");
-  a.data = blob::make_bytes(std::move(raw));
+  a.data = dec.get_opaque_blob();
+  if (!dec.ok() || a.data->size() != a.count)
+    return err(ErrCode::kBadXdr, "write data");
   return a;
 }
 

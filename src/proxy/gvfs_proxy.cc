@@ -172,7 +172,7 @@ Result<blob::BlobRef> GvfsProxy::get_block_(sim::Process& p, const Fh& fh, u64 b
   GVFS_ASSIGN_OR_RETURN(auto rres, upstream_as_<nfs::ReadRes>(p, Proc::kRead, rargs, cred));
   if (rres->status != NfsStat::kOk) return err(rres->status, "upstream read");
   if (rres->attr.attr) remember_attr_(fh, *rres->attr.attr, p.now());
-  blob::BlobRef data = rres->count > 0 ? rres->data : blob::make_zero(0);
+  blob::BlobRef data = rres->count > 0 ? rres->data : blob::zero_ref(0);
   if (rres->count > 0) {
     GVFS_RETURN_IF_ERROR(block_cache_->insert(p, id, data, /*dirty=*/false));
   }
@@ -350,7 +350,7 @@ rpc::RpcReply GvfsProxy::handle_read_(sim::Process& p, const rpc::RpcCall& call,
       ++file_hits_;
       res->count = static_cast<u32>(n);
       res->eof = a.offset + n >= size;
-      res->data = data && *data ? *data : blob::make_zero(0);
+      res->data = data && *data ? *data : blob::zero_ref(0);
       if (auto attr = cached_attr_(a.fh, p.now())) {
         attr->size = std::max(attr->size, size);
         res->attr.attr = *attr;
@@ -368,7 +368,7 @@ rpc::RpcReply GvfsProxy::handle_read_(sim::Process& p, const rpc::RpcCall& call,
     u64 n = a.offset >= size ? 0 : std::min<u64>(a.count, size - a.offset);
     res->count = static_cast<u32>(n);
     res->eof = a.offset + n >= size;
-    res->data = blob::make_zero(n);
+    res->data = blob::zero_ref(n);
     if (auto attr = cached_attr_(a.fh, p.now())) res->attr.attr = *attr;
     return rpc::make_reply(call, res);
   }
@@ -395,23 +395,46 @@ rpc::RpcReply GvfsProxy::handle_read_(sim::Process& p, const rpc::RpcCall& call,
 
   auto res = std::make_shared<nfs::ReadRes>();
   if (n > 0) {
-    blob::ExtentStore assembled;
-    assembled.truncate(n);
     u64 first = a.offset / cfg_.fetch_block;
     u64 last = (a.offset + n - 1) / cfg_.fetch_block;
-    for (u64 b = first; b <= last; ++b) {
-      auto blockr = get_block_(p, a.fh, b, cred);
+    if (first == last) {
+      // Single-block read: reference the cached block directly (whole-block
+      // reads, the common case) or slice it — no extent map, no copy.
+      auto blockr = get_block_(p, a.fh, first, cred);
       if (!blockr.is_ok()) return rpc::make_error_reply(call, blockr.status());
       const blob::BlobRef& data = *blockr;
-      u64 block_start = b * cfg_.fetch_block;
-      u64 lo = std::max(block_start, a.offset);
-      u64 hi = std::min(block_start + (data ? data->size() : 0), a.offset + n);
-      if (lo < hi) assembled.write_blob(lo - a.offset, data, lo - block_start, hi - lo);
+      u64 block_start = first * cfg_.fetch_block;
+      u64 off_in_block = a.offset - block_start;
+      if (data && data->size() >= off_in_block + n) {
+        res->data = (off_in_block == 0 && data->size() == n)
+                        ? data
+                        : std::make_shared<blob::SliceBlob>(data, off_in_block, n);
+      } else {
+        // Short block (read past cached tail): zero-fill the remainder.
+        blob::ExtentStore assembled;
+        assembled.truncate(n);
+        u64 hi = std::min(block_start + (data ? data->size() : 0), a.offset + n);
+        if (a.offset < hi)
+          assembled.write_blob(0, data, off_in_block, hi - a.offset);
+        res->data = assembled.snapshot();
+      }
+    } else {
+      blob::ExtentStore assembled;
+      assembled.truncate(n);
+      for (u64 b = first; b <= last; ++b) {
+        auto blockr = get_block_(p, a.fh, b, cred);
+        if (!blockr.is_ok()) return rpc::make_error_reply(call, blockr.status());
+        const blob::BlobRef& data = *blockr;
+        u64 block_start = b * cfg_.fetch_block;
+        u64 lo = std::max(block_start, a.offset);
+        u64 hi = std::min(block_start + (data ? data->size() : 0), a.offset + n);
+        if (lo < hi) assembled.write_blob(lo - a.offset, data, lo - block_start, hi - lo);
+      }
+      res->data = assembled.snapshot();
     }
     maybe_prefetch_(p, a.fh, last, size, cred);
-    res->data = assembled.snapshot();
   } else {
-    res->data = blob::make_zero(0);
+    res->data = blob::zero_ref(0);
   }
   res->count = static_cast<u32>(n);
   res->eof = a.offset + n >= size;

@@ -40,7 +40,7 @@ void Credential::encode(xdr::XdrEncoder& enc) const {
 Result<Credential> Credential::decode(xdr::XdrDecoder& dec) {
   Credential c;
   c.flavor = static_cast<AuthFlavor>(dec.get_u32());
-  std::vector<u8> body = dec.get_opaque();
+  std::span<const u8> body = dec.get_opaque_view();  // aliases the wire buffer
   if (c.flavor == AuthFlavor::kUnix) {
     xdr::XdrDecoder b(body);
     c.stamp = b.get_u32();
@@ -53,7 +53,7 @@ Result<Credential> Credential::decode(xdr::XdrDecoder& dec) {
     if (!b.ok()) return err(ErrCode::kBadXdr, "credential body");
   }
   dec.get_u32();  // verifier flavor
-  std::vector<u8> verf = dec.get_opaque();
+  (void)dec.get_opaque_view();  // skip verifier body without copying
   if (!dec.ok()) return err(ErrCode::kBadXdr, "credential");
   return c;
 }

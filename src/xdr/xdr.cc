@@ -1,14 +1,18 @@
 #include "xdr/xdr.h"
 
+#include <algorithm>
+
 namespace gvfs::xdr {
 
 // ------------------------------------------------------------- XdrEncoder --
 
 void XdrEncoder::put_u32(u32 v) {
-  buf_.push_back(static_cast<u8>(v >> 24));
-  buf_.push_back(static_cast<u8>(v >> 16));
-  buf_.push_back(static_cast<u8>(v >> 8));
-  buf_.push_back(static_cast<u8>(v));
+  dirty_();
+  owned_.push_back(static_cast<u8>(v >> 24));
+  owned_.push_back(static_cast<u8>(v >> 16));
+  owned_.push_back(static_cast<u8>(v >> 8));
+  owned_.push_back(static_cast<u8>(v));
+  size_ += 4;
 }
 
 void XdrEncoder::put_u64(u64 v) {
@@ -17,23 +21,109 @@ void XdrEncoder::put_u64(u64 v) {
 }
 
 void XdrEncoder::pad_() {
-  while (buf_.size() % 4 != 0) buf_.push_back(0);
+  while (size_ % 4 != 0) {
+    owned_.push_back(0);
+    ++size_;
+  }
 }
 
 void XdrEncoder::put_opaque(std::span<const u8> data) {
   put_u32(static_cast<u32>(data.size()));
-  buf_.insert(buf_.end(), data.begin(), data.end());
-  pad_();
+  put_opaque_fixed(data);
 }
 
 void XdrEncoder::put_opaque_fixed(std::span<const u8> data) {
-  buf_.insert(buf_.end(), data.begin(), data.end());
+  dirty_();
+  owned_.insert(owned_.end(), data.begin(), data.end());
+  size_ += data.size();
   pad_();
 }
 
 void XdrEncoder::put_string(std::string_view s) {
   put_opaque(std::span<const u8>(reinterpret_cast<const u8*>(s.data()), s.size()));
 }
+
+void XdrEncoder::put_opaque_view(std::span<const u8> data,
+                                 std::shared_ptr<const void> owner) {
+  put_u32(static_cast<u32>(data.size()));
+  put_opaque_fixed_view(data, std::move(owner));
+}
+
+void XdrEncoder::put_opaque_fixed_view(std::span<const u8> data,
+                                       std::shared_ptr<const void> owner) {
+  dirty_();
+  borrows_.push_back(Borrow{.owned_prefix = owned_.size(),
+                            .len = data.size(),
+                            .view = data,
+                            .owner = std::move(owner),
+                            .blob = nullptr});
+  size_ += data.size();
+  pad_();
+}
+
+void XdrEncoder::put_blob(blob::BlobRef b, u64 offset, u64 len) {
+  dirty_();
+  put_u32(static_cast<u32>(len));
+  borrows_.push_back(Borrow{.owned_prefix = owned_.size(),
+                            .len = len,
+                            .view = {},
+                            .owner = nullptr,
+                            .blob = std::move(b),
+                            .blob_off = offset});
+  size_ += len;
+  pad_();
+}
+
+void XdrEncoder::gather_(std::span<u8> out) const {
+  std::size_t owned_pos = 0;  // consumed prefix of owned_
+  std::size_t out_pos = 0;
+  for (const Borrow& b : borrows_) {
+    std::size_t n = b.owned_prefix - owned_pos;
+    std::memcpy(out.data() + out_pos, owned_.data() + owned_pos, n);
+    owned_pos += n;
+    out_pos += n;
+    if (b.blob) {
+      b.blob->read(b.blob_off, out.subspan(out_pos, b.len));
+    } else if (b.len > 0) {
+      std::memcpy(out.data() + out_pos, b.view.data(), b.len);
+    }
+    out_pos += b.len;
+  }
+  std::memcpy(out.data() + out_pos, owned_.data() + owned_pos,
+              owned_.size() - owned_pos);
+}
+
+const std::vector<u8>& XdrEncoder::flat_() const {
+  if (!flat_valid_) {
+    flat_cache_.resize(size_);
+    gather_(flat_cache_);
+    flat_valid_ = true;
+  }
+  return flat_cache_;
+}
+
+std::span<const u8> XdrEncoder::bytes() const {
+  if (borrows_.empty()) return owned_;
+  return flat_();
+}
+
+std::vector<u8> XdrEncoder::take() {
+  std::vector<u8> out;
+  if (borrows_.empty()) {
+    out = std::move(owned_);
+  } else {
+    flat_();
+    out = std::move(flat_cache_);
+  }
+  owned_.clear();
+  borrows_.clear();
+  size_ = 0;
+  flat_valid_ = false;
+  flat_cache_.clear();
+  return out;
+}
+
+void XdrEncoder::copy_to(std::span<u8> out) const { gather_(out); }
 
 // ------------------------------------------------------------- XdrDecoder --
 
@@ -67,23 +157,43 @@ u64 XdrDecoder::get_u64() {
   return (hi << 32) | lo;
 }
 
+std::span<const u8> XdrDecoder::get_opaque_view() {
+  u32 n = get_u32();
+  return get_opaque_fixed_view(n);
+}
+
+std::span<const u8> XdrDecoder::get_opaque_fixed_view(std::size_t n) {
+  if (!need_(n)) return {};
+  std::span<const u8> out = data_.subspan(pos_, n);
+  pos_ += n;
+  skip_pad_(n);
+  return out;
+}
+
 std::vector<u8> XdrDecoder::get_opaque() {
   u32 n = get_u32();
   return get_opaque_fixed(n);
 }
 
 std::vector<u8> XdrDecoder::get_opaque_fixed(std::size_t n) {
-  if (!need_(n)) return {};
-  std::vector<u8> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
-                      data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
-  pos_ += n;
-  skip_pad_(n);
-  return out;
+  std::span<const u8> v = get_opaque_fixed_view(n);
+  if (!ok_) return {};
+  return std::vector<u8>(v.begin(), v.end());
 }
 
 std::string XdrDecoder::get_string() {
-  std::vector<u8> raw = get_opaque();
-  return std::string(raw.begin(), raw.end());
+  std::span<const u8> v = get_opaque_view();
+  if (!ok_) return {};
+  return std::string(reinterpret_cast<const char*>(v.data()), v.size());
+}
+
+blob::BlobRef XdrDecoder::get_opaque_blob() {
+  std::span<const u8> v = get_opaque_view();
+  if (!ok_) return nullptr;
+  bool all_zero = std::all_of(v.begin(), v.end(), [](u8 b) { return b == 0; });
+  if (all_zero) return blob::zero_ref(v.size());
+  if (backing_) return blob::make_view(backing_, v);
+  return blob::make_bytes(v);
 }
 
 }  // namespace gvfs::xdr

@@ -3,14 +3,24 @@
 // tests round-trip every protocol message through it); the simulation
 // transport uses the analytic wire_size() of each message, which tests
 // assert equals the encoded size.
+//
+// The encoder is scatter-gather: primitives and small fields accumulate in
+// an owned buffer, while bulk payloads (READ/WRITE block data) are borrowed
+// by reference — a span plus an ownership handle, or a BlobRef — and only
+// materialized if someone asks for the flat wire image. The decoder can
+// likewise hand out views and blob references into its backing buffer, so a
+// 32 KiB block payload crosses the codec in both directions without being
+// copied.
 #pragma once
 
 #include <cstring>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "blob/blob.h"
 #include "common/status.h"
 #include "common/types.h"
 
@@ -22,26 +32,76 @@ class XdrEncoder {
   void put_i32(i32 v) { put_u32(static_cast<u32>(v)); }
   void put_u64(u64 v);
   void put_bool(bool v) { put_u32(v ? 1 : 0); }
-  // Variable-length opaque: length word + data + pad to 4.
+  // Variable-length opaque: length word + data + pad to 4. Copies.
   void put_opaque(std::span<const u8> data);
-  // Fixed-length opaque: data + pad to 4 (length known from protocol).
+  // Fixed-length opaque: data + pad to 4 (length known from protocol). Copies.
   void put_opaque_fixed(std::span<const u8> data);
   void put_string(std::string_view s);
 
-  [[nodiscard]] std::size_t size() const { return buf_.size(); }
-  [[nodiscard]] std::span<const u8> bytes() const { return buf_; }
-  std::vector<u8> take() { return std::move(buf_); }
+  // Zero-copy variants: borrow the caller's bytes instead of copying them.
+  // `owner`, when non-null, keeps the bytes alive for the encoder's lifetime;
+  // when null the caller guarantees the span outlives the encoder.
+  void put_opaque_view(std::span<const u8> data,
+                       std::shared_ptr<const void> owner = nullptr);
+  void put_opaque_fixed_view(std::span<const u8> data,
+                             std::shared_ptr<const void> owner = nullptr);
+  // Variable-length opaque whose payload is blob bytes [offset, offset+len).
+  // The blob is not read unless the flat wire image is materialized.
+  void put_blob(blob::BlobRef b, u64 offset, u64 len);
+  void put_blob(blob::BlobRef b) {
+    u64 n = b->size();
+    put_blob(std::move(b), 0, n);
+  }
+
+  // Logical encoded size in bytes (includes borrowed segments).
+  [[nodiscard]] std::size_t size() const { return size_; }
+  // Number of borrowed (not yet materialized) segments.
+  [[nodiscard]] std::size_t segment_count() const { return borrows_.size(); }
+
+  // Flat wire image. When nothing was borrowed these are free; otherwise the
+  // first call gathers borrowed segments into an internal buffer (cached
+  // until the next mutation).
+  [[nodiscard]] std::span<const u8> bytes() const;
+  std::vector<u8> take();
+  // Gather the wire image into caller-provided storage (size() bytes).
+  void copy_to(std::span<u8> out) const;
 
  private:
+  struct Borrow {
+    std::size_t owned_prefix;  // bytes of owned_ emitted before this segment
+    u64 len;
+    std::span<const u8> view;            // used when blob == nullptr
+    std::shared_ptr<const void> owner;   // keeps `view` alive (may be null)
+    blob::BlobRef blob;                  // when set: blob bytes [off, off+len)
+    u64 blob_off = 0;
+  };
+
   void pad_();
-  std::vector<u8> buf_;
+  void dirty_() { flat_valid_ = false; }
+  void gather_(std::span<u8> out) const;
+  const std::vector<u8>& flat_() const;
+
+  std::vector<u8> owned_;
+  std::vector<Borrow> borrows_;
+  std::size_t size_ = 0;
+  mutable std::vector<u8> flat_cache_;
+  mutable bool flat_valid_ = false;
 };
 
 // Decoder with a sticky fail bit: getters return a default on failure and
 // the caller checks status() once at the end of the message.
+//
+// Constructed from a bare span it behaves as before (views returned by the
+// *_view getters are valid only while the buffer lives). Constructed with a
+// backing handle, get_opaque_blob() can return zero-copy ViewBlobs that
+// share ownership of the receive buffer.
 class XdrDecoder {
  public:
   explicit XdrDecoder(std::span<const u8> data) : data_(data) {}
+  XdrDecoder(std::span<const u8> data, std::shared_ptr<const void> backing)
+      : data_(data), backing_(std::move(backing)) {}
+  explicit XdrDecoder(std::shared_ptr<const std::vector<u8>> backing)
+      : data_(*backing), backing_(std::move(backing)) {}
 
   u32 get_u32();
   i32 get_i32() { return static_cast<i32>(get_u32()); }
@@ -50,6 +110,14 @@ class XdrDecoder {
   std::vector<u8> get_opaque();                  // variable-length
   std::vector<u8> get_opaque_fixed(std::size_t n);
   std::string get_string();
+
+  // Zero-copy getters: views into the decode buffer (no copy, no alloc).
+  std::span<const u8> get_opaque_view();
+  std::span<const u8> get_opaque_fixed_view(std::size_t n);
+  // Variable-length opaque as a blob. All-zero payloads collapse to the
+  // shared zero blob; otherwise, with a backing handle, the payload is
+  // wrapped as a ViewBlob (zero copy), else copied into a BytesBlob.
+  blob::BlobRef get_opaque_blob();
 
   [[nodiscard]] bool ok() const { return ok_; }
   [[nodiscard]] Status status() const {
@@ -63,6 +131,7 @@ class XdrDecoder {
   void skip_pad_(std::size_t n);
 
   std::span<const u8> data_;
+  std::shared_ptr<const void> backing_;
   std::size_t pos_ = 0;
   bool ok_ = true;
 };

@@ -286,5 +286,311 @@ TEST(Determinism, ParallelClonesBitExact) {
   EXPECT_GT(a, 0);
 }
 
+// ---- cache index equivalence ------------------------------------------------
+// The per-file frame index (file_head_ + intrusive lists + running
+// resident_bytes_ gauge) is a pure indexing change: every observable —
+// hit/miss results, eviction victims, writeback order, counters,
+// resident_bytes, per-file residency — must match the old-style structure
+// that answered those queries with linear scans. RefCache is that old
+// structure: same set mapping, same LRU, no index, all queries O(capacity).
+
+struct WbEvent {
+  u64 file_key;
+  u64 block;
+  u64 size;
+  bool operator==(const WbEvent& o) const {
+    return file_key == o.file_key && block == o.block && size == o.size;
+  }
+};
+
+class RefCache {
+ public:
+  explicit RefCache(const cache::BlockCacheConfig& cfg) : cfg_(cfg) {
+    u64 total = std::max<u64>(cfg_.associativity, cfg_.capacity_bytes / cfg_.block_size);
+    num_sets_ = static_cast<u32>(std::max<u64>(1, total / cfg_.associativity));
+    frames_.resize(static_cast<std::size_t>(num_sets_) * cfg_.associativity);
+  }
+
+  bool lookup(const cache::BlockId& id) {
+    Frame* f = find_(id);
+    if (f == nullptr) {
+      ++misses;
+      return false;
+    }
+    ++hits;
+    f->last_used = ++tick_;
+    return true;
+  }
+
+  void insert(const cache::BlockId& id, u64 size, bool dirty) {
+    if (cfg_.policy == cache::WritePolicy::kWriteThrough && dirty) {
+      ++writebacks;
+      log.push_back({id.file_key, id.block, size});
+      dirty = false;
+    }
+    Frame* base = &frames_[static_cast<std::size_t>(set_index_(id)) * cfg_.associativity];
+    Frame* slot = nullptr;
+    for (u32 w = 0; w < cfg_.associativity; ++w) {
+      if (base[w].valid && base[w].id == id) {
+        slot = &base[w];
+        break;
+      }
+    }
+    if (slot == nullptr) {
+      for (u32 w = 0; w < cfg_.associativity; ++w) {
+        if (!base[w].valid) {
+          slot = &base[w];
+          break;
+        }
+      }
+      if (slot == nullptr) {
+        slot = base;
+        for (u32 w = 1; w < cfg_.associativity; ++w) {
+          if (base[w].last_used < slot->last_used) slot = &base[w];
+        }
+        evict_(*slot);
+      }
+      ++resident;
+    } else if (slot->dirty && !dirty) {
+      --dirty_blocks;
+      slot->dirty = false;
+    }
+    slot->valid = true;
+    slot->id = id;
+    slot->size = size;
+    slot->last_used = ++tick_;
+    if (dirty && !slot->dirty) {
+      slot->dirty = true;
+      ++dirty_blocks;
+    }
+  }
+
+  bool merge(const cache::BlockId& id, u64 offset_in_block, u64 size) {
+    Frame* f = find_(id);
+    if (f == nullptr) return false;
+    f->size = std::max(f->size, offset_in_block + size);
+    f->last_used = ++tick_;
+    if (!f->dirty) {
+      f->dirty = true;
+      ++dirty_blocks;
+    }
+    return true;
+  }
+
+  void write_back_all() {
+    for (Frame& f : frames_) {
+      if (f.valid && f.dirty) {
+        ++writebacks;
+        log.push_back({f.id.file_key, f.id.block, f.size});
+        f.dirty = false;
+        --dirty_blocks;
+      }
+    }
+  }
+
+  void invalidate_file(u64 file_key) {
+    // Old style: full linear scan of every frame.
+    for (Frame& f : frames_) {
+      if (f.valid && f.id.file_key == file_key) {
+        if (f.dirty) --dirty_blocks;
+        f.valid = false;
+        f.dirty = false;
+        f.size = 0;
+        --resident;
+      }
+    }
+  }
+
+  [[nodiscard]] bool contains(const cache::BlockId& id) const {
+    for (const Frame& f : frames_) {
+      if (f.valid && f.id == id) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] u64 resident_bytes() const {
+    u64 total = 0;
+    for (const Frame& f : frames_) {
+      if (f.valid) total += f.size;
+    }
+    return total;
+  }
+
+  [[nodiscard]] u64 file_resident_blocks(u64 file_key) const {
+    u64 n = 0;
+    for (const Frame& f : frames_) {
+      if (f.valid && f.id.file_key == file_key) ++n;
+    }
+    return n;
+  }
+
+  u64 hits = 0, misses = 0, evictions = 0, writebacks = 0;
+  u64 dirty_blocks = 0, resident = 0;
+  std::vector<WbEvent> log;
+
+ private:
+  struct Frame {
+    bool valid = false;
+    bool dirty = false;
+    cache::BlockId id;
+    u64 size = 0;
+    u64 last_used = 0;
+  };
+
+  [[nodiscard]] u32 set_index_(const cache::BlockId& id) const {
+    return static_cast<u32>((mix64(id.file_key) + id.block) % num_sets_);
+  }
+
+  Frame* find_(const cache::BlockId& id) {
+    Frame* base = &frames_[static_cast<std::size_t>(set_index_(id)) * cfg_.associativity];
+    for (u32 w = 0; w < cfg_.associativity; ++w) {
+      if (base[w].valid && base[w].id == id) return &base[w];
+    }
+    return nullptr;
+  }
+
+  void evict_(Frame& victim) {
+    ++evictions;
+    if (victim.dirty) {
+      ++writebacks;
+      --dirty_blocks;
+      log.push_back({victim.id.file_key, victim.id.block, victim.size});
+    }
+    victim.valid = false;
+    victim.dirty = false;
+    victim.size = 0;
+    --resident;
+  }
+
+  cache::BlockCacheConfig cfg_;
+  u32 num_sets_ = 0;
+  std::vector<Frame> frames_;
+  u64 tick_ = 0;
+};
+
+struct IndexParam {
+  u64 seed;
+  cache::WritePolicy policy;
+};
+
+class CacheIndexEquivalence : public ::testing::TestWithParam<IndexParam> {};
+
+TEST_P(CacheIndexEquivalence, RandomOpsMatchLinearScanReference) {
+  IndexParam param = GetParam();
+  sim::SimKernel kernel;
+  sim::DiskConfig dcfg;
+  dcfg.seek = 0;
+  dcfg.seq_overhead = 0;
+  dcfg.bytes_per_sec = 1e15;
+  sim::DiskModel disk(kernel, "d", dcfg);
+
+  cache::BlockCacheConfig cfg;
+  cfg.capacity_bytes = 128_KiB;  // 32 frames: evictions happen constantly
+  cfg.block_size = 4_KiB;
+  cfg.num_banks = 2;
+  cfg.associativity = 4;
+  cfg.policy = param.policy;
+  cfg.charge_bank_creation = false;
+  cache::ProxyDiskCache cache(disk, cfg);
+
+  std::vector<WbEvent> real_log;
+  cache.set_writeback([&](sim::Process&, const cache::BlockId& id,
+                          const blob::BlobRef& data) {
+    real_log.push_back({id.file_key, id.block, data ? data->size() : 0});
+    return Status::ok();
+  });
+  RefCache ref(cfg);
+
+  constexpr u64 kFiles = 6;
+  constexpr u64 kBlocks = 24;
+  kernel.run_process("replay", [&](sim::Process& p) {
+    SplitMix64 rng(param.seed);
+    for (int op = 0; op < 3000; ++op) {
+      cache::BlockId id{1000 + rng.next_below(kFiles), rng.next_below(kBlocks)};
+      switch (rng.next_below(10)) {
+        case 0:
+        case 1:
+        case 2:
+        case 3: {  // insert, sometimes dirty, varying payload size
+          u64 size = 1 + rng.next_below(cfg.block_size);
+          bool dirty = rng.next_below(2) == 0;
+          ASSERT_TRUE(cache.insert(p, id, blob::make_zero(size), dirty).is_ok());
+          ref.insert(id, size, dirty);
+          break;
+        }
+        case 4:
+        case 5:
+        case 6: {  // lookup
+          bool hit = cache.lookup(p, id).has_value();
+          EXPECT_EQ(hit, ref.lookup(id)) << "op " << op;
+          break;
+        }
+        case 7: {  // partial-block merge on a (maybe) present block
+          u64 off = rng.next_below(cfg.block_size / 2);
+          u64 len = 1 + rng.next_below(cfg.block_size - off);
+          auto merged = cache.merge(p, id, off, blob::make_zero(len));
+          EXPECT_EQ(merged.is_ok(), ref.merge(id, off, len)) << "op " << op;
+          break;
+        }
+        case 8: {  // invalidate one file
+          cache.invalidate_file(id.file_key);
+          ref.invalidate_file(id.file_key);
+          break;
+        }
+        case 9: {  // occasionally flush everything
+          if (rng.next_below(4) == 0) {
+            ASSERT_TRUE(cache.write_back_all(p).is_ok());
+            ref.write_back_all();
+          }
+          break;
+        }
+      }
+      // Counters must track the reference exactly, op for op.
+      ASSERT_EQ(cache.hits(), ref.hits) << "op " << op;
+      ASSERT_EQ(cache.misses(), ref.misses) << "op " << op;
+      ASSERT_EQ(cache.evictions(), ref.evictions) << "op " << op;
+      ASSERT_EQ(cache.writebacks(), ref.writebacks) << "op " << op;
+      ASSERT_EQ(cache.dirty_blocks(), ref.dirty_blocks) << "op " << op;
+      ASSERT_EQ(cache.resident_blocks(), ref.resident) << "op " << op;
+      ASSERT_EQ(cache.resident_bytes(), ref.resident_bytes()) << "op " << op;
+      ASSERT_EQ(real_log.size(), ref.log.size()) << "op " << op;
+      if (op % 100 == 0) {
+        for (u64 f = 0; f < kFiles; ++f) {
+          EXPECT_EQ(cache.file_resident_blocks(1000 + f),
+                    ref.file_resident_blocks(1000 + f))
+              << "op " << op << " file " << f;
+        }
+        cache::BlockId probe{1000 + rng.next_below(kFiles), rng.next_below(kBlocks)};
+        EXPECT_EQ(cache.contains(probe), ref.contains(probe)) << "op " << op;
+      }
+    }
+    // The full writeback sequences — order included — must be identical.
+    ASSERT_EQ(real_log.size(), ref.log.size());
+    for (std::size_t i = 0; i < real_log.size(); ++i) {
+      EXPECT_EQ(real_log[i], ref.log[i]) << "event " << i;
+    }
+    // Drain: everything dirty goes upstream, nothing left behind.
+    ASSERT_TRUE(cache.flush_and_invalidate(p).is_ok());
+    EXPECT_EQ(cache.dirty_blocks(), 0u);
+    EXPECT_EQ(cache.resident_blocks(), 0u);
+    EXPECT_EQ(cache.resident_bytes(), 0u);
+    for (u64 f = 0; f < kFiles; ++f) {
+      EXPECT_EQ(cache.file_resident_blocks(1000 + f), 0u);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndPolicies, CacheIndexEquivalence,
+    ::testing::Values(IndexParam{11, cache::WritePolicy::kWriteBack},
+                      IndexParam{12, cache::WritePolicy::kWriteBack},
+                      IndexParam{13, cache::WritePolicy::kWriteThrough},
+                      IndexParam{14, cache::WritePolicy::kWriteThrough}),
+    [](const auto& info) {
+      return std::string(info.param.policy == cache::WritePolicy::kWriteBack ? "wb"
+                                                                             : "wt") +
+             std::to_string(info.param.seed);
+    });
+
 }  // namespace
 }  // namespace gvfs::core

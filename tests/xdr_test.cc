@@ -133,6 +133,168 @@ TEST(Xdr, SizeHelpersMatchEncoder) {
   EXPECT_EQ(pad4(8), 8u);
 }
 
+// ---- zero-copy view / scatter-gather APIs ----------------------------------
+
+std::vector<u8> to_vec(std::span<const u8> s) {
+  return std::vector<u8>(s.begin(), s.end());
+}
+
+TEST(Xdr, OpaqueViewRoundTripMatchesCopying) {
+  std::vector<u8> data{1, 2, 3, 4, 5};
+  XdrEncoder copying;
+  copying.put_opaque(data);
+  XdrEncoder viewing;
+  viewing.put_opaque_view(std::span<const u8>(data));
+  EXPECT_EQ(to_vec(copying.bytes()), to_vec(viewing.bytes()));
+  EXPECT_GE(viewing.segment_count(), 1u);
+}
+
+TEST(Xdr, OpaqueFixedViewPadsFromLogicalSize) {
+  // A borrowed segment of length 5 must still pad the stream to 8, even
+  // though the owned buffer holds none of those 5 bytes.
+  std::vector<u8> data{9, 9, 9, 9, 9};
+  XdrEncoder enc;
+  enc.put_opaque_fixed_view(std::span<const u8>(data));
+  EXPECT_EQ(enc.size(), 8u);
+  auto flat = enc.bytes();
+  ASSERT_EQ(flat.size(), 8u);
+  EXPECT_EQ(flat[4], 9);
+  EXPECT_EQ(flat[5], 0);  // pad bytes are zero
+  EXPECT_EQ(flat[7], 0);
+}
+
+TEST(Xdr, ViewSurvivesSourceViaOwner) {
+  auto owner = std::make_shared<std::vector<u8>>(std::vector<u8>{7, 7, 7, 7});
+  XdrEncoder enc;
+  enc.put_opaque_view(std::span<const u8>(*owner), owner);
+  std::weak_ptr<std::vector<u8>> weak = owner;
+  owner.reset();
+  ASSERT_FALSE(weak.expired());  // encoder keeps the buffer alive
+  XdrDecoder dec(enc.bytes());
+  EXPECT_EQ(dec.get_opaque(), (std::vector<u8>{7, 7, 7, 7}));
+}
+
+TEST(Xdr, PutBlobEmitsSameBytesAsCopy) {
+  std::vector<u8> payload(1000);
+  for (std::size_t i = 0; i < payload.size(); ++i) payload[i] = static_cast<u8>(i);
+  auto blob = blob::make_bytes(payload);
+  XdrEncoder copying;
+  copying.put_opaque(payload);
+  XdrEncoder gathered;
+  gathered.put_blob(blob);
+  EXPECT_EQ(copying.size(), gathered.size());
+  EXPECT_EQ(to_vec(copying.bytes()), to_vec(gathered.bytes()));
+}
+
+TEST(Xdr, PutBlobSubRange) {
+  std::vector<u8> payload{0, 1, 2, 3, 4, 5, 6, 7};
+  auto blob = blob::make_bytes(payload);
+  XdrEncoder enc;
+  enc.put_blob(blob, 2, 4);
+  XdrDecoder dec(enc.bytes());
+  EXPECT_EQ(dec.get_opaque(), (std::vector<u8>{2, 3, 4, 5}));
+  EXPECT_TRUE(dec.fully_consumed());
+}
+
+TEST(Xdr, InterleavedOwnedAndBorrowedSegments) {
+  std::vector<u8> a{1, 2, 3};
+  std::vector<u8> b{4, 5, 6, 7, 8};
+  XdrEncoder enc;
+  enc.put_u32(42);
+  enc.put_opaque_view(std::span<const u8>(a));
+  enc.put_string("mid");
+  enc.put_blob(blob::make_bytes(b));
+  enc.put_u64(9);
+  XdrDecoder dec(enc.bytes());
+  EXPECT_EQ(dec.get_u32(), 42u);
+  EXPECT_EQ(dec.get_opaque(), a);
+  EXPECT_EQ(dec.get_string(), "mid");
+  EXPECT_EQ(dec.get_opaque(), b);
+  EXPECT_EQ(dec.get_u64(), 9u);
+  EXPECT_TRUE(dec.fully_consumed());
+}
+
+TEST(Xdr, TakeAfterBorrowsResetsEncoder) {
+  std::vector<u8> a{1, 2, 3, 4};
+  XdrEncoder enc;
+  enc.put_opaque_view(std::span<const u8>(a));
+  std::vector<u8> first = enc.take();
+  EXPECT_EQ(first.size(), 8u);
+  EXPECT_EQ(enc.size(), 0u);
+  EXPECT_EQ(enc.segment_count(), 0u);
+  enc.put_u32(1);
+  EXPECT_EQ(enc.take().size(), 4u);
+}
+
+TEST(Xdr, DecoderViewIsZeroCopy) {
+  XdrEncoder enc;
+  std::vector<u8> data{5, 6, 7, 8};
+  enc.put_opaque(data);
+  std::vector<u8> raw = enc.take();
+  XdrDecoder dec(raw);
+  std::span<const u8> v = dec.get_opaque_view();
+  ASSERT_EQ(v.size(), 4u);
+  // The view must alias the wire buffer, not a copy.
+  EXPECT_GE(v.data(), raw.data());
+  EXPECT_LT(v.data(), raw.data() + raw.size());
+}
+
+TEST(Xdr, GetOpaqueViewShortBufferFails) {
+  XdrEncoder enc;
+  enc.put_u32(64);  // claims 64 bytes follow; none do
+  XdrDecoder dec(enc.bytes());
+  EXPECT_TRUE(dec.get_opaque_view().empty());
+  EXPECT_FALSE(dec.ok());
+}
+
+TEST(Xdr, GetOpaqueBlobZeroPayloadIsShared) {
+  XdrEncoder enc;
+  enc.put_opaque(std::vector<u8>(8_KiB, 0));
+  XdrDecoder dec(enc.bytes());
+  auto b1 = dec.get_opaque_blob();
+  ASSERT_TRUE(b1);
+  EXPECT_EQ(b1->size(), 8_KiB);
+  EXPECT_TRUE(b1->is_zero_range(0, 8_KiB));
+  // All-zero payloads of a hot size resolve to the shared singleton.
+  EXPECT_EQ(b1.get(), blob::zero_ref(8_KiB).get());
+}
+
+TEST(Xdr, GetOpaqueBlobWithBackingAvoidsCopy) {
+  XdrEncoder enc;
+  std::vector<u8> payload(512);
+  for (std::size_t i = 0; i < payload.size(); ++i) payload[i] = static_cast<u8>(i | 1);
+  enc.put_opaque(payload);
+  auto backing = std::make_shared<const std::vector<u8>>(enc.take());
+  XdrDecoder dec(backing);
+  auto b = dec.get_opaque_blob();
+  ASSERT_TRUE(b);
+  ASSERT_EQ(b->size(), 512u);
+  // The blob must read back the payload and alias the backing buffer.
+  std::vector<u8> round(512);
+  b->read(0, round);
+  EXPECT_EQ(round, payload);
+  auto* view = dynamic_cast<const blob::ViewBlob*>(b.get());
+  ASSERT_NE(view, nullptr);  // zero-copy path: a view, not a copy
+  EXPECT_GE(view->bytes().data(), backing->data());
+  EXPECT_LT(view->bytes().data(), backing->data() + backing->size());
+}
+
+TEST(Xdr, GetOpaqueBlobWithoutBackingCopies) {
+  XdrEncoder enc;
+  std::vector<u8> payload{1, 2, 3, 4};
+  enc.put_opaque(payload);
+  std::vector<u8> raw = enc.take();
+  blob::BlobRef b;
+  {
+    XdrDecoder dec(raw);
+    b = dec.get_opaque_blob();
+  }
+  raw.assign(raw.size(), 0xff);  // clobber the wire buffer
+  std::vector<u8> round(4);
+  b->read(0, round);
+  EXPECT_EQ(round, payload);  // the blob owns its bytes
+}
+
 TEST(Xdr, RemainingTracksPosition) {
   XdrEncoder enc;
   enc.put_u32(1);
