@@ -65,6 +65,7 @@ Result<std::pair<double, double>> run_one(const Config& c) {
     second_run_s = to_seconds(p.now() - t0);
   });
   if (!st.is_ok()) return st;
+  bench::require_no_failed_processes(bed.kernel(), "ablate_cache");
   const auto* cache = bed.block_cache();
   double miss_rate = static_cast<double>(cache->misses()) /
                      static_cast<double>(cache->hits() + cache->misses());

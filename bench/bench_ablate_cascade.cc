@@ -41,6 +41,7 @@ Result<std::vector<double>> run(bool lan_level, int nodes) {
     }
   });
   if (!st.is_ok()) return st;
+  bench::require_no_failed_processes(bed.kernel(), "ablate_cascade");
   return times;
 }
 

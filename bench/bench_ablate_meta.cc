@@ -28,6 +28,7 @@ Result<double> clone_once(core::Testbed& bed, const vm::VmImagePaths& image) {
     t = to_seconds(p.now() - t0);
   });
   if (!st.is_ok()) return st;
+  bench::require_no_failed_processes(bed.kernel(), "ablate_meta");
   return t;
 }
 

@@ -56,6 +56,7 @@ Result<double> run_streams(u32 streams) {
     t = to_seconds(p.now() - t0);
   });
   if (!st.is_ok()) return st;
+  bench::require_no_failed_processes(bed.kernel(), "ablate_prefetch");
   return t;
 }
 

@@ -36,6 +36,7 @@ Result<Row> run_policy(cache::WritePolicy policy) {
     (void)bed.signal_write_back(p);
     row.flush_s = to_seconds(p.now() - t0);
   });
+  bench::require_no_failed_processes(bed.kernel(), "ablate_writeback");
   return row;
 }
 

@@ -1,0 +1,308 @@
+// Fault injection & recovery: NFS hard-mount retransmission and proxy
+// degraded mode under deterministic WAN faults (packet loss, a server
+// crash/restart mid-transfer, and a full partition window).
+//
+// Three experiments, all on the WAN+C topology with a small VM image so the
+// bench stays quick:
+//   A. Memory-state resume read under 0% / 1% / 5% per-message loss — the
+//      workload must complete with byte-identical content, paying only
+//      retransmission delays. The 5% run is executed twice to demonstrate
+//      that one seed gives one timeline.
+//   B. VM cloning across a server crash/restart window: the client rides out
+//      the reboot on retransmissions (hard-mount semantics) and the clone
+//      still verifies.
+//   C. A partition with the proxy in degraded mode and a soft-mount retry
+//      budget: cached reads keep being served, a write is queued locally and
+//      replayed on reconnect, and the recovery time is reported.
+#include "bench_util.h"
+#include "blob/blob.h"
+#include "vm/vm_cloner.h"
+
+using namespace gvfs;
+
+namespace {
+
+// Small image: 16 MB memory state, half zero pages (so zero filtering does
+// not trivialise the transfer), 64 MB disk.
+vm::VmImageSpec small_spec() {
+  vm::VmImageSpec spec;
+  spec.name = "vmf";
+  spec.memory_bytes = 16_MiB;
+  spec.disk_bytes = 64_MiB;
+  spec.mem_zero_fraction = 0.5;
+  spec.seed = 7;
+  return spec;
+}
+
+struct ReadRun {
+  double elapsed_s = 0;
+  bool content_ok = false;
+  u64 retransmits = 0;
+  u64 timeouts = 0;
+  u64 requests_dropped = 0;
+  u64 replies_dropped = 0;
+};
+
+// Experiment A unit: mount, read the full .vmss through the proxy path,
+// verify against the golden bytes.
+Result<ReadRun> run_resume_read(double drop_rate) {
+  core::TestbedOptions opt;
+  opt.scenario = core::Scenario::kWanCached;
+  opt.generate_image_meta = false;  // block-RPC path, not the SCP file channel
+  opt.enable_fault_injection = drop_rate > 0;
+  opt.fault.drop_rate = drop_rate;
+  core::Testbed bed(opt);
+  vm::VmImageSpec spec = small_spec();
+  GVFS_ASSIGN_OR_RETURN(vm::VmImagePaths paths, bed.install_image(spec));
+
+  ReadRun out;
+  Status st = Status::ok();
+  bed.kernel().run_process("resume", [&](sim::Process& p) {
+    if (Status m = bed.mount(p); !m.is_ok()) {
+      st = m;
+      return;
+    }
+    SimTime t0 = p.now();
+    auto data = bed.image_session().read_all(p, paths.vmss());
+    if (!data.is_ok()) {
+      st = data.status();
+      return;
+    }
+    out.elapsed_s = to_seconds(p.now() - t0);
+    out.content_ok = blob::content_hash(**data) ==
+                     blob::content_hash(*vm::memory_state_blob(spec));
+  });
+  if (!st.is_ok()) return st;
+  bench::require_no_failed_processes(bed.kernel(), "fault_recovery resume read");
+  if (const auto* retry = bed.retry_channel()) {
+    out.retransmits = retry->retransmits();
+    out.timeouts = retry->timeouts();
+  }
+  if (const auto* inj = bed.fault_injector()) {
+    out.requests_dropped = inj->requests_dropped();
+    out.replies_dropped = inj->replies_dropped();
+  }
+  return out;
+}
+
+struct CloneRun {
+  double clone_s = 0;
+  u64 retransmits = 0;
+  u64 restarts = 0;
+  u64 drc_inserts = 0;
+};
+
+// Experiment B unit: clone the image once; optionally a server crash window
+// sits in the middle of the transfer.
+Result<CloneRun> run_clone(bool with_crash) {
+  core::TestbedOptions opt;
+  opt.scenario = core::Scenario::kWanCached;
+  opt.generate_image_meta = false;  // keep the transfer on the RPC path
+  opt.enable_fault_injection = with_crash;
+  if (with_crash) {
+    // Light loss plus a 15 s reboot mid-clone.
+    opt.fault.drop_rate = 0.005;
+    opt.fault.crashes.push_back(sim::FaultWindow{10 * kSecond, 25 * kSecond});
+  }
+  core::Testbed bed(opt);
+  GVFS_ASSIGN_OR_RETURN(vm::VmImagePaths image, bed.install_image(small_spec()));
+
+  CloneRun out;
+  Status st = Status::ok();
+  bed.kernel().run_process("cloner", [&](sim::Process& p) {
+    if (Status m = bed.mount(p); !m.is_ok()) {
+      st = m;
+      return;
+    }
+    vm::CloneConfig cfg;
+    cfg.image = image;
+    cfg.clone_dir = "/clones/f";
+    SimTime t0 = p.now();
+    auto r = vm::VmCloner::clone(p, bed.image_session(), bed.local_session(), cfg);
+    if (!r.is_ok()) st = r.status();
+    out.clone_s = to_seconds(p.now() - t0);
+  });
+  if (!st.is_ok()) return st;
+  bench::require_no_failed_processes(bed.kernel(), "fault_recovery clone");
+  if (const auto* retry = bed.retry_channel()) out.retransmits = retry->retransmits();
+  if (const auto* inj = bed.fault_injector()) out.restarts = inj->restarts_fired();
+  if (const auto* srv = bed.server()) out.drc_inserts = srv->drc_inserts();
+  return out;
+}
+
+struct DegradedRun {
+  bool reads_ok = false;
+  bool writeback_ok = false;
+  u64 degraded_reads = 0;
+  u64 queued = 0;
+  u64 replayed = 0;
+  double recovery_s = 0;
+  double outage_s = 0;
+};
+
+// Experiment C: partition [100 s, 160 s); proxy in degraded mode with a
+// soft-mount retry budget so upstream timeouts surface quickly.
+Result<DegradedRun> run_degraded_partition() {
+  core::TestbedOptions opt;
+  opt.scenario = core::Scenario::kWanCached;
+  opt.generate_image_meta = false;  // exercise the block cache, not file cache
+  opt.write_policy = cache::WritePolicy::kWriteThrough;
+  opt.enable_fault_injection = true;
+  opt.degraded_proxy = true;
+  opt.fault.partitions.push_back(sim::FaultWindow{100 * kSecond, 160 * kSecond});
+  opt.retry.timeout = 250 * kMillisecond;
+  opt.retry.max_retransmits = 2;  // soft mount: let kTimeout reach the proxy
+  core::Testbed bed(opt);
+  vm::VmImageSpec spec = small_spec();
+  GVFS_ASSIGN_OR_RETURN(vm::VmImagePaths paths, bed.install_image(spec));
+
+  DegradedRun out;
+  Status st = Status::ok();
+  bed.kernel().run_process("session", [&](sim::Process& p) {
+    if (Status m = bed.mount(p); !m.is_ok()) {
+      st = m;
+      return;
+    }
+    // Warm the proxy cache before the partition opens.
+    auto warm = bed.image_session().read_all(p, paths.vmss());
+    if (!warm.is_ok()) {
+      st = warm.status();
+      return;
+    }
+    u64 golden = blob::content_hash(*vm::memory_state_blob(spec));
+
+    // Inside the partition: cached reads must still be served.
+    p.delay_until(110 * kSecond);
+    bed.nfs_client()->drop_caches();  // force the reads down to the proxy
+    auto data = bed.image_session().read_all(p, paths.vmss());
+    if (!data.is_ok()) {
+      st = data.status();
+      return;
+    }
+    out.reads_ok = blob::content_hash(**data) == golden;
+
+    // A write during the partition: acknowledged locally, queued for replay.
+    blob::BlobRef patch = blob::make_synthetic(11, 64_KiB, 0.0, 1.0);
+    if (Status w = bed.image_session().write(p, paths.vmss(), 0, patch); !w.is_ok()) {
+      st = w;
+      return;
+    }
+    if (Status f = bed.nfs_client()->flush(p); !f.is_ok()) {
+      st = f;
+      return;
+    }
+
+    // After the partition heals: middleware reconnect signal replays the
+    // queue; the patched range must then be readable from the server.
+    p.delay_until(170 * kSecond);
+    if (Status r = bed.client_proxy()->signal_reconnect(p); !r.is_ok()) {
+      st = r;
+      return;
+    }
+    bed.nfs_client()->drop_caches();
+    bed.block_cache()->invalidate_all();
+    auto back = bed.image_session().read(p, paths.vmss(), 0, 64_KiB);
+    if (!back.is_ok()) {
+      st = back.status();
+      return;
+    }
+    out.writeback_ok = blob::content_hash(**back) == blob::content_hash(*patch);
+  });
+  if (!st.is_ok()) return st;
+  bench::require_no_failed_processes(bed.kernel(), "fault_recovery degraded");
+  const auto* proxy = bed.client_proxy();
+  out.degraded_reads = proxy->degraded_reads();
+  out.queued = proxy->queued_writebacks();
+  out.replayed = proxy->replayed_writebacks();
+  out.recovery_s = to_seconds(proxy->last_recovery_time());
+  out.outage_s = to_seconds(proxy->outage_time());
+  if (proxy->pending_writebacks() != 0 || proxy->upstream_down()) {
+    return err(ErrCode::kInternal, "degraded-mode queue did not drain");
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::BenchReport rep("fault_recovery");
+
+  // ---- A: resume read under loss -------------------------------------------
+  bench::banner("Fault injection: 16 MB memory-state read under WAN loss");
+  bench::Table table({"drop rate", "read time (s)", "retransmits", "timeouts",
+                      "req lost", "rep lost", "content"});
+  const double rates[] = {0.0, 0.01, 0.05};
+  double read_s[3] = {0, 0, 0};
+  for (int i = 0; i < 3; ++i) {
+    auto r = run_resume_read(rates[i]);
+    if (!r.is_ok()) {
+      std::fprintf(stderr, "resume read failed: %s\n", r.status().to_string().c_str());
+      return 1;
+    }
+    read_s[i] = r->elapsed_s;
+    char pct[16];
+    std::snprintf(pct, sizeof(pct), "%.0f%%", rates[i] * 100.0);
+    table.add_row({pct, fmt_double(r->elapsed_s, 1), std::to_string(r->retransmits),
+                   std::to_string(r->timeouts), std::to_string(r->requests_dropped),
+                   std::to_string(r->replies_dropped), r->content_ok ? "ok" : "MISMATCH"});
+    if (!r->content_ok) return 1;
+  }
+  table.print();
+
+  // Same seed, same schedule: a second 5% run must land on the same virtual
+  // timeline to the nanosecond.
+  {
+    auto again = run_resume_read(0.05);
+    if (!again.is_ok()) return 1;
+    std::printf("\nsame-seed 5%% rerun      : %s (%.6f s vs %.6f s)\n",
+                again->elapsed_s == read_s[2] ? "identical timeline" : "DIVERGED",
+                again->elapsed_s, read_s[2]);
+    if (again->elapsed_s != read_s[2]) return 1;
+  }
+
+  // ---- B: clone across a server crash/restart -------------------------------
+  bench::banner("Server crash/restart during VM cloning");
+  auto base = run_clone(/*with_crash=*/false);
+  auto crash = run_clone(/*with_crash=*/true);
+  if (!base.is_ok() || !crash.is_ok()) {
+    std::fprintf(stderr, "clone run failed\n");
+    return 1;
+  }
+  std::printf("clone, no faults        : %.1f s\n", base->clone_s);
+  std::printf("clone, crash at 10-25 s : %.1f s (retransmits %llu, reboots %llu)\n",
+              crash->clone_s, static_cast<unsigned long long>(crash->retransmits),
+              static_cast<unsigned long long>(crash->restarts));
+  std::printf("recovery overhead       : %.1f s\n", crash->clone_s - base->clone_s);
+
+  // ---- C: degraded-mode partition ------------------------------------------
+  bench::banner("Degraded proxy across a 60 s partition");
+  auto deg = run_degraded_partition();
+  if (!deg.is_ok()) {
+    std::fprintf(stderr, "degraded run failed: %s\n", deg.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("cached reads during partition : %s (%llu blocks served)\n",
+              deg->reads_ok ? "ok" : "MISMATCH",
+              static_cast<unsigned long long>(deg->degraded_reads));
+  std::printf("write-backs queued / replayed : %llu / %llu (%s)\n",
+              static_cast<unsigned long long>(deg->queued),
+              static_cast<unsigned long long>(deg->replayed),
+              deg->writeback_ok ? "verified" : "MISMATCH");
+  std::printf("outage / recovery time        : %.1f s / %.3f s\n", deg->outage_s,
+              deg->recovery_s);
+  if (!deg->reads_ok || !deg->writeback_ok) return 1;
+
+  rep.add_table("resume_read_under_loss", table);
+  rep.add_scalar("read_s_drop0", read_s[0]);
+  rep.add_scalar("read_s_drop1pct", read_s[1]);
+  rep.add_scalar("read_s_drop5pct", read_s[2]);
+  rep.add_scalar("clone_nofault_s", base->clone_s);
+  rep.add_scalar("clone_crash_s", crash->clone_s);
+  rep.add_scalar("clone_crash_retransmits", crash->retransmits);
+  rep.add_scalar("degraded_reads", deg->degraded_reads);
+  rep.add_scalar("queued_writebacks", deg->queued);
+  rep.add_scalar("replayed_writebacks", deg->replayed);
+  rep.add_scalar("recovery_s", deg->recovery_s);
+  rep.write();
+  return 0;
+}

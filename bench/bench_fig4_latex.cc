@@ -52,6 +52,7 @@ int main() {
         (void)bed.signal_write_back(p);
         flush_s = to_seconds(p.now() - t0);
       });
+      bench::require_no_failed_processes(bed.kernel(), "fig4 flush");
       sim::SimKernel k2;
       sim::Link wan(k2, "wan", opt.net.wan);
       ssh::Scp scp(wan, opt.net.wan_cipher);
@@ -61,6 +62,7 @@ int main() {
                             bench::app_vm_spec().disk_bytes);
         upload_s = to_seconds(p.now());
       });
+      bench::require_no_failed_processes(k2, "fig4 scp upload");
       std::printf("write-back flush of dirty blocks: %.0f s (paper: ~160 s)\n", flush_s);
       std::printf("uploading entire VM state instead: %.0f s (paper: 4633 s)\n", upload_s);
       flush_s_out = flush_s;
@@ -82,6 +84,7 @@ int main() {
       scp.transfer(p, bench::app_vm_spec().memory_bytes + bench::app_vm_spec().disk_bytes);
       dl = to_seconds(p.now());
     });
+    bench::require_no_failed_processes(k, "fig4 scp download");
     std::printf("\nfull-state download before session: %.0f s (paper: 2818 s)\n", dl);
     dl_out = dl;
   }

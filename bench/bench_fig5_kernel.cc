@@ -53,6 +53,7 @@ int main() {
                    st.to_string().c_str());
       return 1;
     }
+    bench::require_no_failed_processes(bed.kernel(), "fig5");
     for (int run = 0; run < 2; ++run) {
       const auto& r = reports[static_cast<std::size_t>(run)];
       table.add_row({core::scenario_name(s), run == 0 ? "first (cold)" : "second (warm)",

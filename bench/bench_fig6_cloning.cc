@@ -57,6 +57,7 @@ Result<SeqResult> run_sequence(core::Testbed& bed,
     }
   });
   if (!st.is_ok()) return st;
+  bench::require_no_failed_processes(bed.kernel(), "fig6 sequence");
   return out;
 }
 
@@ -150,6 +151,7 @@ int main() {
       scp.transfer(p, spec.memory_bytes + spec.disk_bytes);
       t = to_seconds(p.now());
     });
+    bench::require_no_failed_processes(k, "fig6 scp baseline");
     std::printf("\nSCP full-image copy            : %.0f s (paper: 1127 s)\n", t);
     rep.add_scalar("scp_full_image_s", t);
   }
@@ -178,6 +180,7 @@ int main() {
       std::fprintf(stderr, "plain NFS clone failed: %s\n", st.to_string().c_str());
       return 1;
     }
+    bench::require_no_failed_processes(bed.kernel(), "fig6 plain NFS baseline");
     std::printf("plain-NFS-mount memory copy    : %.0f s (paper: 2060 s)\n", t);
     rep.add_scalar("plain_nfs_memory_copy_s", t);
   }

@@ -135,6 +135,7 @@ void BM_CacheLookupHit(benchmark::State& state) {
       benchmark::DoNotOptimize(hit.has_value());
     }
   });
+  bench::require_no_failed_processes(kernel, "BM_CacheLookupHit");
 }
 BENCHMARK(BM_CacheLookupHit);
 
@@ -155,6 +156,7 @@ void BM_CacheSetIndexing(benchmark::State& state) {
                          blob::make_zero(1), false);
     }
   });
+  bench::require_no_failed_processes(kernel, "BM_CacheSetIndexing");
 }
 BENCHMARK(BM_CacheSetIndexing);
 
@@ -181,6 +183,7 @@ void BM_CacheInvalidateFile(benchmark::State& state) {
       cache.invalidate_file(99);
     }
   });
+  bench::require_no_failed_processes(kernel, "BM_CacheInvalidateFile");
   state.counters["resident"] = static_cast<double>(resident);
 }
 BENCHMARK(BM_CacheInvalidateFile)->Arg(16)->Arg(256)->Arg(4096);
@@ -250,6 +253,7 @@ void BM_SimProcessSwitch(benchmark::State& state) {
       p.delay(1);
     }
   });
+  bench::require_no_failed_processes(kernel, "BM_SimProcessSwitch");
 }
 BENCHMARK(BM_SimProcessSwitch);
 

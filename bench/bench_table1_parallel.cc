@@ -55,6 +55,7 @@ Result<std::pair<double, double>> run_sequential() {
     }
   });
   if (!st.is_ok()) return st;
+  bench::require_no_failed_processes(bed.kernel(), "table1");
   return std::make_pair(cold, warm);
 }
 

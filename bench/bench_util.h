@@ -159,6 +159,15 @@ class BenchReport {
   std::vector<std::pair<std::string, std::string>> sim_;
 };
 
+// Abort the bench if any simulated process exited with an error, naming the
+// casualties. Reports on stderr so bench stdout stays byte-comparable.
+inline void require_no_failed_processes(sim::SimKernel& kernel, const char* context) {
+  if (kernel.failed_processes() == 0) return;
+  std::fprintf(stderr, "%s: %d simulated process(es) failed: %s\n", context,
+               kernel.failed_processes(), kernel.failed_names_joined().c_str());
+  std::exit(1);
+}
+
 // The four §4.2 execution scenarios.
 inline std::vector<core::Scenario> app_scenarios() {
   return {core::Scenario::kLocal, core::Scenario::kLan, core::Scenario::kWan,
@@ -219,6 +228,7 @@ Result<workload::WorkloadReport> run_app_benchmark(core::Testbed& bed,
     }
     out = wl.run(p, *setup->guest);
   });
+  require_no_failed_processes(bed.kernel(), "run_app_benchmark");
   return out;
 }
 

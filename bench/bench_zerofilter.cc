@@ -52,6 +52,7 @@ int main() {
     std::fprintf(stderr, "failed: %s\n", st.to_string().c_str());
     return 1;
   }
+  bench::require_no_failed_processes(bed.kernel(), "zerofilter");
 
   u64 client_reads = bed.nfs_client()->rpcs_sent(nfs::Proc::kRead);
   u64 filtered = bed.client_proxy()->zero_filtered_reads();

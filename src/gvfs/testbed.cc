@@ -27,6 +27,8 @@ struct Testbed::Node {
   std::unique_ptr<ssh::Scp> scp;
   std::unique_ptr<meta::FileChannelClient> file_channel;
   std::unique_ptr<ssh::SshTunnel> tunnel;
+  std::unique_ptr<rpc::FaultyChannel> faulty;  // wraps tunnel/direct when faults on
+  std::unique_ptr<rpc::RetryChannel> retry;    // retransmission layer above faults
   std::unique_ptr<proxy::GvfsProxy> client_proxy;
   std::unique_ptr<rpc::LinkChannel> loopback;
   std::unique_ptr<rpc::LinkChannel> direct;
@@ -40,9 +42,25 @@ Testbed::Testbed(TestbedOptions opt) : opt_(std::move(opt)) {
   lan_up_ = std::make_unique<sim::Link>(kernel_, "lan-up", opt_.net.lan);
   lan_down_ = std::make_unique<sim::Link>(kernel_, "lan-down", opt_.net.lan);
 
+  if (opt_.enable_fault_injection) {
+    kernel_.seed_rng(opt_.fault_seed);
+    faults_ = std::make_unique<sim::FaultInjector>(kernel_, opt_.fault);
+    // Latency spikes hit the shared WAN pipe both ways.
+    wan_up_->set_fault_injector(faults_.get());
+    wan_down_->set_fault_injector(faults_.get());
+  }
+
   if (opt_.scenario != Scenario::kLocal) {
     build_server_side_();
     if (opt_.second_level_lan_cache) build_lan_cache_node_();
+  }
+  if (faults_ && server_) {
+    // A crash loses the server's volatile state: page cache and the
+    // duplicate request cache (the FS itself models stable storage).
+    faults_->set_on_restart([this] {
+      server_->drop_caches();
+      server_->clear_drc();
+    });
   }
   for (int i = 0; i < opt_.compute_nodes; ++i) {
     nodes_.push_back(build_node_(i));
@@ -129,7 +147,14 @@ std::unique_ptr<Testbed::Node> Testbed::build_node_(int index) {
     node->direct = std::make_unique<rpc::LinkChannel>(*server_, wan_up_.get(),
                                                       wan_down_.get(),
                                                       30 * kMicrosecond);
-    node->client = std::make_unique<nfs::NfsClient>(*node->direct, cred, ccfg);
+    rpc::RpcChannel* chan = node->direct.get();
+    if (faults_) {
+      node->faulty = std::make_unique<rpc::FaultyChannel>(*chan, *faults_);
+      node->retry =
+          std::make_unique<rpc::RetryChannel>(*node->faulty, kernel_, opt_.retry);
+      chan = node->retry.get();
+    }
+    node->client = std::make_unique<nfs::NfsClient>(*chan, cred, ccfg);
     return node;
   }
 
@@ -156,12 +181,24 @@ std::unique_ptr<Testbed::Node> Testbed::build_node_(int index) {
   node->tunnel = std::make_unique<ssh::SshTunnel>(*upstream_handler, tun_up, tun_down,
                                                   tun_cipher);
 
+  // The proxy's upstream channel: with fault injection enabled the tunnel is
+  // wrapped in the injector (drops/partitions/crashes) and the proxy talks
+  // through the retransmission layer, NFS-client-style.
+  rpc::RpcChannel* upstream_chan = node->tunnel.get();
+  if (faults_) {
+    node->faulty = std::make_unique<rpc::FaultyChannel>(*node->tunnel, *faults_);
+    node->retry =
+        std::make_unique<rpc::RetryChannel>(*node->faulty, kernel_, opt_.retry);
+    upstream_chan = node->retry.get();
+  }
+
   proxy::ProxyConfig pcfg;
   pcfg.name = tag + "-proxy";
   pcfg.fetch_block = static_cast<u32>(opt_.block_cache.block_size);
   pcfg.enable_meta = cached && opt_.enable_meta;
   if (cached) pcfg.prefetch_depth = opt_.prefetch_depth;
-  node->client_proxy = std::make_unique<proxy::GvfsProxy>(pcfg, *node->tunnel);
+  pcfg.degraded_mode = opt_.degraded_proxy;
+  node->client_proxy = std::make_unique<proxy::GvfsProxy>(pcfg, *upstream_chan);
 
   if (cached) {
     cache::BlockCacheConfig bcfg = opt_.block_cache;
@@ -283,6 +320,10 @@ cache::ProxyDiskCache* Testbed::block_cache(int node) {
 
 cache::FileCache* Testbed::file_cache(int node) {
   return nodes_.at(static_cast<std::size_t>(node))->file_cache.get();
+}
+
+rpc::RetryChannel* Testbed::retry_channel(int node) {
+  return nodes_.at(static_cast<std::size_t>(node))->retry.get();
 }
 
 }  // namespace gvfs::core

@@ -24,6 +24,9 @@
 #include "nfs/nfs_server.h"
 #include "proxy/caching_endpoint.h"
 #include "proxy/gvfs_proxy.h"
+#include "rpc/fault_channel.h"
+#include "rpc/retry_channel.h"
+#include "sim/faults.h"
 #include "ssh/ssh.h"
 #include "vfs/local_session.h"
 #include "vfs/memfs.h"
@@ -61,6 +64,15 @@ struct TestbedOptions {
   u64 client_page_cache_bytes = 512_MiB;
   u64 local_page_cache_bytes = 640_MiB;
   std::string export_path = "/exports/images";
+
+  // ---- deterministic WAN fault injection -----------------------------------
+  // Off by default: no injector, no retry layer, no RNG draws — behaviour
+  // (and bench output) is byte-identical to a faultless build.
+  bool enable_fault_injection = false;
+  sim::FaultConfig fault;        // drops / latency spikes / partitions / crashes
+  rpc::RetryConfig retry;        // client retransmission policy (hard mount)
+  bool degraded_proxy = false;   // client proxies serve caches during outages
+  u64 fault_seed = 0x5eed;       // seeds the kernel RNG (faults + retry jitter)
 };
 
 class Testbed {
@@ -111,6 +123,9 @@ class Testbed {
   [[nodiscard]] nfs::NfsServer* server() { return server_.get(); }
   [[nodiscard]] sim::Link* wan_up() { return wan_up_.get(); }
   [[nodiscard]] sim::Link* wan_down() { return wan_down_.get(); }
+  // Fault-injection plumbing (null when enable_fault_injection is false).
+  [[nodiscard]] sim::FaultInjector* fault_injector() { return faults_.get(); }
+  [[nodiscard]] rpc::RetryChannel* retry_channel(int node = 0);
 
  private:
   struct Node;
@@ -134,6 +149,9 @@ class Testbed {
   // ---- shared network ------------------------------------------------------
   std::unique_ptr<sim::Link> wan_up_, wan_down_;
   std::unique_ptr<sim::Link> lan_up_, lan_down_;
+
+  // ---- fault injection (optional) ------------------------------------------
+  std::unique_ptr<sim::FaultInjector> faults_;
 
   // ---- optional LAN cache server (WAN-S3) -----------------------------------
   std::unique_ptr<sim::DiskModel> lan_disk_;

@@ -51,6 +51,14 @@ Result<rpc::MessagePtr> NfsClient::call_(sim::Process& p, Proc proc,
   ++proc_counts_[c.proc];
   rpc::RpcReply reply = channel_.call(p, c);
   if (!reply.status.is_ok()) return reply.status;
+  if (reply.xid != c.xid) {
+    // A reply that doesn't match the issued call must never be accepted —
+    // it belongs to some other transaction (stale retransmit, crossed
+    // wires). Real clients drop the datagram; our synchronous model surfaces
+    // the rejection.
+    ++xid_mismatches_;
+    return err(ErrCode::kBadXdr, "reply xid mismatch");
+  }
   return reply.result;
 }
 
@@ -98,6 +106,10 @@ Status NfsClient::mount(sim::Process& p, const std::string& export_path) {
   ++rpcs_sent_;
   rpc::RpcReply reply = channel_.call(p, c);
   if (!reply.status.is_ok()) return reply.status;
+  if (reply.xid != c.xid) {
+    ++xid_mismatches_;
+    return err(ErrCode::kBadXdr, "mount reply xid mismatch");
+  }
   auto res = rpc::message_cast<MountRes>(reply.result);
   if (!res) return err(ErrCode::kBadXdr, "mount result");
   if (res->status != NfsStat::kOk) return err(res->status, "mount failed");
@@ -227,6 +239,10 @@ Status NfsClient::fill_block_(sim::Process& p, const Fh& fh, u64 file_size, u64 
                         : channel_.call_pipelined(p, calls);
   for (std::size_t i = 0; i < replies.size(); ++i) {
     if (!replies[i].status.is_ok()) return replies[i].status;
+    if (replies[i].xid != calls[i].xid) {
+      ++xid_mismatches_;
+      return err(ErrCode::kBadXdr, "read reply xid mismatch");
+    }
     auto res = rpc::message_cast<ReadRes>(replies[i].result);
     if (!res) return err(ErrCode::kBadXdr, "read result");
     if (res->status != NfsStat::kOk) return err(res->status, "read");

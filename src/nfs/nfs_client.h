@@ -67,6 +67,8 @@ class NfsClient final : public vfs::FsSession {
   [[nodiscard]] u64 rpcs_sent(Proc proc) const;
   [[nodiscard]] u64 bytes_read_wire() const { return bytes_read_wire_; }
   [[nodiscard]] u64 bytes_written_wire() const { return bytes_written_wire_; }
+  // Replies rejected because their xid did not match the issued call.
+  [[nodiscard]] u64 xid_mismatches() const { return xid_mismatches_; }
   [[nodiscard]] vfs::BufferCache& page_cache() { return pages_; }
   void reset_stats();
 
@@ -111,6 +113,7 @@ class NfsClient final : public vfs::FsSession {
   std::unordered_map<u32, u64> proc_counts_;
   u64 bytes_read_wire_ = 0;
   u64 bytes_written_wire_ = 0;
+  u64 xid_mismatches_ = 0;
 };
 
 }  // namespace gvfs::nfs

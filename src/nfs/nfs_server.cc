@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/hash.h"
 #include "common/log.h"
 
 namespace gvfs::nfs {
@@ -100,6 +101,35 @@ void NfsServer::charge_read_(sim::Process& p, vfs::FileId id, u64 file_size,
   }
 }
 
+// ------------------------------------------------- duplicate request cache --
+
+bool NfsServer::is_nonidempotent_(Proc proc) {
+  switch (proc) {
+    case Proc::kSetattr:
+    case Proc::kWrite:
+    case Proc::kCreate:
+    case Proc::kMkdir:
+    case Proc::kSymlink:
+    case Proc::kRemove:
+    case Proc::kRmdir:
+    case Proc::kRename:
+    case Proc::kLink:
+      return true;
+    default:
+      return false;
+  }
+}
+
+u64 NfsServer::drc_key_(const rpc::RpcCall& call) {
+  // Real DRCs key on (xid, client address, prog, proc); our client identity
+  // is the credential's (machine, uid). Distinct transactions always carry
+  // distinct xids per client; a retransmission reuses its xid.
+  u64 h = fnv1a64(call.cred.machine);
+  h = hash_combine(h, call.cred.uid);
+  h = hash_combine(h, (static_cast<u64>(call.prog) << 32) | call.proc);
+  return hash_combine(h, call.xid);
+}
+
 void NfsServer::flush_dirty_(sim::Process& p, vfs::FileId id) {
   auto it = dirty_bytes_.find(id);
   if (it == dirty_bytes_.end() || it->second == 0) return;
@@ -122,7 +152,33 @@ rpc::RpcReply NfsServer::handle(sim::Process& p, const rpc::RpcCall& call) {
   }
 
   if (call.prog == rpc::kMountProgram) return dispatch_mount_(p, call);
-  if (call.prog == rpc::kNfsProgram) return dispatch_nfs_(p, call);
+  if (call.prog == rpc::kNfsProgram) {
+    // Duplicate request cache: a retransmission of a recent non-idempotent
+    // transaction must not execute twice (the first execution's effects are
+    // already in the filesystem) — replay the cached reply.
+    bool cacheable = cfg_.drc_entries > 0 &&
+                     is_nonidempotent_(static_cast<Proc>(call.proc));
+    u64 key = 0;
+    if (cacheable) {
+      key = drc_key_(call);
+      auto hit = drc_.find(key);
+      if (hit != drc_.end()) {
+        ++drc_hits_;
+        return rpc::make_reply(call, hit->second);
+      }
+    }
+    rpc::RpcReply reply = dispatch_nfs_(p, call);
+    if (cacheable && reply.status.is_ok() && reply.result) {
+      if (drc_order_.size() >= cfg_.drc_entries) {
+        drc_.erase(drc_order_.front());
+        drc_order_.pop_front();
+      }
+      drc_.emplace(key, reply.result);
+      drc_order_.push_back(key);
+      ++drc_inserts_;
+    }
+    return reply;
+  }
   return rpc::make_error_reply(call, err(ErrCode::kRpcMismatch, "unknown program"));
 }
 

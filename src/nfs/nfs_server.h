@@ -5,6 +5,7 @@
 // image server.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <string>
 #include <unordered_map>
@@ -26,6 +27,11 @@ struct NfsServerConfig {
   u64 readahead_bytes = 64_KiB;
   int nfsd_threads = 8;
   bool require_auth_unix = true;
+  // Duplicate request cache: retransmitted non-idempotent ops (WRITE,
+  // CREATE, REMOVE, ...) get their cached reply instead of re-executing
+  // (RFC 1813 §4; Juszczak '89). 0 disables. Lost with server volatile
+  // state on a crash (clear_drc()).
+  u32 drc_entries = 256;
 };
 
 class NfsServer final : public rpc::RpcHandler {
@@ -57,9 +63,21 @@ class NfsServer final : public rpc::RpcHandler {
   // Drop the server page cache (cold experiment start).
   void drop_caches() { page_cache_.drop_all(); }
 
+  // Duplicate-request-cache observability / crash simulation.
+  [[nodiscard]] u64 drc_hits() const { return drc_hits_; }
+  [[nodiscard]] u64 drc_inserts() const { return drc_inserts_; }
+  void clear_drc() {
+    drc_.clear();
+    drc_order_.clear();
+  }
+
  private:
   rpc::RpcReply dispatch_nfs_(sim::Process& p, const rpc::RpcCall& call);
   rpc::RpcReply dispatch_mount_(sim::Process& p, const rpc::RpcCall& call);
+
+  // Duplicate request cache internals.
+  static bool is_nonidempotent_(Proc proc);
+  static u64 drc_key_(const rpc::RpcCall& call);
 
   rpc::MessagePtr do_getattr_(const GetattrArgs& a);
   rpc::MessagePtr do_setattr_(sim::Process& p, const SetattrArgs& a);
@@ -100,6 +118,12 @@ class NfsServer final : public rpc::RpcHandler {
   std::unordered_map<vfs::FileId, u64> dirty_bytes_;
   std::unordered_map<vfs::FileId, u64> last_read_page_;
   std::unordered_map<u32, u64> proc_calls_;
+  // Duplicate request cache: bounded FIFO of cached replies for recent
+  // non-idempotent transactions, keyed on (xid, client identity, proc).
+  std::unordered_map<u64, rpc::MessagePtr> drc_;
+  std::deque<u64> drc_order_;
+  u64 drc_hits_ = 0;
+  u64 drc_inserts_ = 0;
   u64 total_calls_ = 0;
   u64 write_verifier_;
 };

@@ -37,6 +37,8 @@ void GvfsProxy::reset_stats() {
   calls_received_ = calls_forwarded_ = 0;
   block_hits_ = file_hits_ = zero_filtered_ = writes_absorbed_ = 0;
   blocks_prefetched_ = 0;
+  degraded_reads_ = queued_writebacks_ = replayed_writebacks_ = 0;
+  outage_total_ = last_recovery_time_ = 0;
 }
 
 // ------------------------------------------------------- upstream helpers --
@@ -53,7 +55,11 @@ Result<rpc::MessagePtr> GvfsProxy::upstream_call_(sim::Process& p, Proc proc,
   c.args = std::move(args);
   ++calls_forwarded_;
   rpc::RpcReply reply = upstream_.call(p, c);
-  if (!reply.status.is_ok()) return reply.status;
+  if (!reply.status.is_ok()) {
+    if (reply.status.code() == ErrCode::kTimeout) note_upstream_timeout_(p.now());
+    return reply.status;
+  }
+  note_upstream_ok_(p);
   return reply.result;
 }
 
@@ -73,6 +79,11 @@ rpc::RpcReply GvfsProxy::forward_(sim::Process& p, const rpc::RpcCall& call) {
   if (cred_mapper_) fwd.cred = cred_mapper_(call.cred);
   ++calls_forwarded_;
   rpc::RpcReply reply = upstream_.call(p, fwd);
+  if (reply.status.code() == ErrCode::kTimeout) {
+    note_upstream_timeout_(p.now());
+  } else if (reply.status.is_ok()) {
+    note_upstream_ok_(p);
+  }
   reply.xid = call.xid;
   return reply;
 }
@@ -163,7 +174,16 @@ Result<blob::BlobRef> GvfsProxy::get_block_(sim::Process& p, const Fh& fh, u64 b
   cache::BlockId id{fh.key(), block};
   if (auto hit = block_cache_->lookup(p, id)) {
     ++block_hits_;
+    if (upstream_down_) ++degraded_reads_;
     return *hit;
+  }
+  if (upstream_down_) {
+    // A dirty block may have been evicted into the write queue; its data
+    // must stay readable while the upstream is unreachable.
+    if (auto queued = queued_block_(fh.key(), block)) {
+      ++degraded_reads_;
+      return *queued;
+    }
   }
   auto rargs = std::make_shared<nfs::ReadArgs>();
   rargs->fh = fh;
@@ -246,11 +266,106 @@ Status GvfsProxy::cache_writeback_(sim::Process& p, const cache::BlockId& id,
   wargs->count = data ? static_cast<u32>(data->size()) : 0;
   wargs->stable = nfs::StableHow::kFileSync;
   wargs->data = data;
-  GVFS_ASSIGN_OR_RETURN(auto res, upstream_as_<nfs::WriteRes>(p, Proc::kWrite, wargs,
-                                                              session_cred_));
-  if (res->status != NfsStat::kOk) return err(res->status, "writeback write");
-  if (res->attr.attr) remember_attr_(it->second, *res->attr.attr, p.now());
+  auto res = upstream_as_<nfs::WriteRes>(p, Proc::kWrite, wargs, session_cred_);
+  if (!res.is_ok()) {
+    if (cfg_.degraded_mode && res.code() == ErrCode::kTimeout) {
+      // Upstream unreachable: the dirty block is leaving the cache, so park
+      // it in the replay queue instead of losing it (or the eviction).
+      write_queue_.push_back(
+          PendingWrite{it->second, id.block * cfg_.fetch_block, data});
+      ++queued_writebacks_;
+      return Status::ok();
+    }
+    return res.status();
+  }
+  if ((*res)->status != NfsStat::kOk) return err((*res)->status, "writeback write");
+  if ((*res)->attr.attr) remember_attr_(it->second, *(*res)->attr.attr, p.now());
   return Status::ok();
+}
+
+// ---------------------------------------------------------- degraded mode --
+
+void GvfsProxy::note_upstream_timeout_(SimTime now) {
+  if (!cfg_.degraded_mode) return;
+  if (!upstream_down_) {
+    upstream_down_ = true;
+    outage_started_ = now;
+  }
+}
+
+void GvfsProxy::note_upstream_ok_(sim::Process& p) {
+  if (!cfg_.degraded_mode || !upstream_down_ || replaying_) return;
+  // First successful upstream call after an outage: reconnect — drain the
+  // queued write-backs before declaring recovery.
+  (void)replay_write_queue_(p);
+}
+
+Status GvfsProxy::replay_write_queue_(sim::Process& p) {
+  if (!upstream_down_ && write_queue_.empty()) return Status::ok();
+  if (replaying_) return Status::ok();
+  replaying_ = true;
+  std::size_t done = 0;
+  Status st = Status::ok();
+  for (; done < write_queue_.size(); ++done) {
+    const PendingWrite& w = write_queue_[done];
+    auto wargs = std::make_shared<nfs::WriteArgs>();
+    wargs->fh = w.fh;
+    wargs->offset = w.offset;
+    wargs->count = w.data ? static_cast<u32>(w.data->size()) : 0;
+    wargs->stable = nfs::StableHow::kFileSync;
+    wargs->data = w.data;
+    auto res = upstream_as_<nfs::WriteRes>(p, Proc::kWrite, wargs, session_cred_);
+    if (!res.is_ok()) {
+      st = res.status();
+      break;
+    }
+    if ((*res)->status != NfsStat::kOk) {
+      st = err((*res)->status, "replay write");
+      break;
+    }
+    ++replayed_writebacks_;
+  }
+  write_queue_.erase(write_queue_.begin(),
+                     write_queue_.begin() + static_cast<std::ptrdiff_t>(done));
+  replaying_ = false;
+  if (st.is_ok() && write_queue_.empty() && upstream_down_) {
+    upstream_down_ = false;
+    last_recovery_time_ = p.now() - outage_started_;
+    outage_total_ += last_recovery_time_;
+  }
+  return st;
+}
+
+std::optional<blob::BlobRef> GvfsProxy::queued_block_(u64 file_key,
+                                                      u64 block) const {
+  // Newest queued write wins (later entries overwrite earlier ones).
+  u64 offset = block * cfg_.fetch_block;
+  for (auto it = write_queue_.rbegin(); it != write_queue_.rend(); ++it) {
+    if (it->fh.key() == file_key && it->offset == offset) return it->data;
+  }
+  return std::nullopt;
+}
+
+std::optional<vfs::Attr> GvfsProxy::stale_attr_(const nfs::Fh& fh) const {
+  auto it = attr_cache_.find(fh.key());
+  if (it == attr_cache_.end()) return std::nullopt;
+  return it->second.attr;
+}
+
+std::shared_ptr<nfs::LookupRes> GvfsProxy::degraded_lookup_(
+    const nfs::LookupArgs& a) const {
+  // Serve a LOOKUP from the namespace learned before the outage (linear
+  // scan: the learned set is small — files the session actually touched).
+  for (const auto& [key, link] : parents_) {
+    if (link.dir.key() != a.dir.key() || link.name != a.name) continue;
+    auto fh_it = key_to_fh_.find(key);
+    if (fh_it == key_to_fh_.end()) break;
+    auto res = std::make_shared<nfs::LookupRes>();
+    res->fh = fh_it->second;
+    if (auto attr = stale_attr_(fh_it->second)) res->obj_attr.attr = *attr;
+    return res;
+  }
+  return nullptr;
 }
 
 // ---------------------------------------------------------------- handlers --
@@ -295,6 +410,9 @@ rpc::RpcReply GvfsProxy::handle(sim::Process& p, const rpc::RpcCall& call) {
       // Forward, but learn the namespace so meta-data probing can find the
       // companion file later.
       auto a = rpc::message_cast<nfs::LookupArgs>(call.args);
+      if (a && cfg_.degraded_mode && upstream_down_) {
+        if (auto hit = degraded_lookup_(*a)) return rpc::make_reply(call, hit);
+      }
       rpc::RpcReply reply = forward_(p, call);
       if (a && reply.status.is_ok()) {
         if (auto res = rpc::message_cast<nfs::LookupRes>(reply.result);
@@ -303,6 +421,9 @@ rpc::RpcReply GvfsProxy::handle(sim::Process& p, const rpc::RpcCall& call) {
           key_to_fh_[res->fh.key()] = res->fh;
           if (res->obj_attr.attr) remember_attr_(res->fh, *res->obj_attr.attr, p.now());
         }
+      } else if (a && cfg_.degraded_mode &&
+                 reply.status.code() == ErrCode::kTimeout) {
+        if (auto hit = degraded_lookup_(*a)) return rpc::make_reply(call, hit);
       }
       return reply;
     }
@@ -377,18 +498,29 @@ rpc::RpcReply GvfsProxy::handle_read_(sim::Process& p, const rpc::RpcCall& call,
   if (block_cache_ == nullptr) return forward_(p, call);
 
   std::optional<vfs::Attr> attr = cached_attr_(a.fh, p.now());
+  if (!attr && cfg_.degraded_mode && upstream_down_) {
+    // Session consistency: an expired attribute beats failing the READ
+    // while the upstream is unreachable.
+    attr = stale_attr_(a.fh);
+  }
   if (!attr) {
     auto gargs = std::make_shared<nfs::GetattrArgs>();
     gargs->fh = a.fh;
     auto gres = upstream_as_<nfs::GetattrRes>(p, Proc::kGetattr, gargs, cred);
-    if (!gres.is_ok()) return rpc::make_error_reply(call, gres.status());
-    if ((*gres)->status != NfsStat::kOk) {
-      auto res = std::make_shared<nfs::ReadRes>();
-      res->status = (*gres)->status;
-      return rpc::make_reply(call, res);
+    if (!gres.is_ok()) {
+      if (cfg_.degraded_mode && gres.code() == ErrCode::kTimeout) {
+        attr = stale_attr_(a.fh);  // serve what we knew before the outage
+      }
+      if (!attr) return rpc::make_error_reply(call, gres.status());
+    } else {
+      if ((*gres)->status != NfsStat::kOk) {
+        auto res = std::make_shared<nfs::ReadRes>();
+        res->status = (*gres)->status;
+        return rpc::make_reply(call, res);
+      }
+      remember_attr_(a.fh, (*gres)->attr.a, p.now());
+      attr = (*gres)->attr.a;
     }
-    remember_attr_(a.fh, (*gres)->attr.a, p.now());
-    attr = (*gres)->attr.a;
   }
   u64 size = effective_size_(a.fh, attr);
   u64 n = a.offset >= size ? 0 : std::min<u64>(a.count, size - a.offset);
@@ -484,6 +616,18 @@ rpc::RpcReply GvfsProxy::handle_write_(sim::Process& p, const rpc::RpcCall& call
         if (res->attr.attr) remember_attr_(a.fh, *res->attr.attr, p.now());
         size_override_.erase(key);
       }
+    } else if (cfg_.degraded_mode && reply.status.code() == ErrCode::kTimeout) {
+      // Degraded write-through: acknowledge locally, queue for replay.
+      write_queue_.push_back(PendingWrite{a.fh, a.offset, a.data});
+      ++queued_writebacks_;
+      block_cache_->invalidate_file(key);
+      size_override_[key] =
+          std::max(effective_size_(a.fh, cached_attr_(a.fh, p.now())),
+                   a.offset + a.count);
+      auto res = std::make_shared<nfs::WriteRes>();
+      res->count = a.count;
+      res->committed = nfs::StableHow::kFileSync;
+      return rpc::make_reply(call, res);
     }
     return reply;
   }
@@ -544,9 +688,20 @@ rpc::RpcReply GvfsProxy::handle_getattr_(sim::Process& p, const rpc::RpcCall& ca
                                          const nfs::GetattrArgs& a) {
   key_to_fh_[a.fh.key()] = a.fh;
   std::optional<vfs::Attr> attr = cached_attr_(a.fh, p.now());
+  if (!attr && cfg_.degraded_mode && upstream_down_) attr = stale_attr_(a.fh);
   if (!attr) {
     rpc::RpcReply reply = forward_(p, call);
-    if (!reply.status.is_ok()) return reply;
+    if (!reply.status.is_ok()) {
+      if (cfg_.degraded_mode && reply.status.code() == ErrCode::kTimeout) {
+        if (auto stale = stale_attr_(a.fh)) {
+          auto res = std::make_shared<nfs::GetattrRes>();
+          res->attr.a = *stale;
+          res->attr.a.size = effective_size_(a.fh, stale);
+          return rpc::make_reply(call, res);
+        }
+      }
+      return reply;
+    }
     auto res = rpc::message_cast<nfs::GetattrRes>(reply.result);
     if (!res || res->status != NfsStat::kOk) return reply;
     vfs::Attr out = res->attr.a;
@@ -577,7 +732,17 @@ rpc::RpcReply GvfsProxy::handle_commit_(sim::Process& p, const rpc::RpcCall& cal
     res->verifier = 0x67766673ULL;
     return rpc::make_reply(call, res);
   }
-  return forward_(p, call);
+  rpc::RpcReply reply = forward_(p, call);
+  if (cfg_.degraded_mode && reply.status.code() == ErrCode::kTimeout) {
+    // The data this COMMIT covers sits in the replay queue; acknowledging it
+    // locally is the same promise write-back mode makes (replayed durable on
+    // reconnect).
+    auto res = std::make_shared<nfs::CommitRes>();
+    if (auto attr = stale_attr_(a.fh)) res->attr.attr = *attr;
+    res->verifier = 0x67766673ULL;
+    return rpc::make_reply(call, res);
+  }
+  return reply;
 }
 
 rpc::RpcReply GvfsProxy::handle_setattr_(sim::Process& p, const rpc::RpcCall& call,

@@ -43,6 +43,12 @@ struct ProxyConfig {
   // ahead (0 disables).
   u32 prefetch_depth = 0;
   u32 prefetch_trigger = 3;
+
+  // Degraded-mode operation during WAN outages (partitions, server
+  // reboots): keep serving reads from the caches (session consistency
+  // permits it), queue failed write-backs, replay the queue on reconnect.
+  // Off by default — without it upstream timeouts surface as errors.
+  bool degraded_mode = false;
 };
 
 class GvfsProxy final : public rpc::RpcHandler {
@@ -72,6 +78,10 @@ class GvfsProxy final : public rpc::RpcHandler {
   Status signal_write_back(sim::Process& p);
   // SIGUSR2-equivalent: write back and invalidate everything.
   Status signal_flush(sim::Process& p);
+  // Reconnect signal: replay write-backs queued while the upstream was
+  // unreachable (degraded mode). Also runs lazily after the first upstream
+  // call that succeeds post-outage.
+  Status signal_reconnect(sim::Process& p) { return replay_write_queue_(p); }
 
   // Drop soft state only (attr cache, learned namespace, parsed meta-data)
   // without touching cache contents or charging time — used by experiment
@@ -87,6 +97,17 @@ class GvfsProxy final : public rpc::RpcHandler {
   [[nodiscard]] u64 writes_absorbed() const { return writes_absorbed_; }
   [[nodiscard]] u64 meta_files_loaded() const { return metas_.size(); }
   [[nodiscard]] u64 blocks_prefetched() const { return blocks_prefetched_; }
+
+  // ---- degraded-mode / recovery metrics ------------------------------------
+  [[nodiscard]] bool upstream_down() const { return upstream_down_; }
+  [[nodiscard]] u64 degraded_reads() const { return degraded_reads_; }
+  [[nodiscard]] u64 queued_writebacks() const { return queued_writebacks_; }
+  [[nodiscard]] u64 replayed_writebacks() const { return replayed_writebacks_; }
+  [[nodiscard]] u64 pending_writebacks() const { return write_queue_.size(); }
+  // Virtual time spent with the upstream marked unreachable (closed outages).
+  [[nodiscard]] SimDuration outage_time() const { return outage_total_; }
+  // Duration of the last outage, first timeout -> queue fully replayed.
+  [[nodiscard]] SimDuration last_recovery_time() const { return last_recovery_time_; }
   void reset_stats();
 
  private:
@@ -134,6 +155,23 @@ class GvfsProxy final : public rpc::RpcHandler {
   Status cache_writeback_(sim::Process& p, const cache::BlockId& id,
                           const blob::BlobRef& data);
 
+  // -- degraded mode ---------------------------------------------------------
+  // Record an upstream timeout (opens an outage) / a success (closes it once
+  // the queue drains).
+  void note_upstream_timeout_(SimTime now);
+  void note_upstream_ok_(sim::Process& p);
+  Status replay_write_queue_(sim::Process& p);
+  // Serve a whole block from the pending write queue if a queued write-back
+  // covers it (a queued block left the cache; its data must stay readable).
+  [[nodiscard]] std::optional<blob::BlobRef> queued_block_(u64 file_key,
+                                                          u64 block) const;
+  // Attribute lookup ignoring the TTL (stale is better than nothing while
+  // the upstream is unreachable).
+  [[nodiscard]] std::optional<vfs::Attr> stale_attr_(const nfs::Fh& fh) const;
+  // LOOKUP served from the learned namespace during an outage (null = miss).
+  [[nodiscard]] std::shared_ptr<nfs::LookupRes> degraded_lookup_(
+      const nfs::LookupArgs& a) const;
+
   [[nodiscard]] std::optional<vfs::Attr> cached_attr_(const nfs::Fh& fh,
                                                       SimTime now) const;
   void remember_attr_(const nfs::Fh& fh, const vfs::Attr& a, SimTime now);
@@ -170,6 +208,22 @@ class GvfsProxy final : public rpc::RpcHandler {
     u64 ahead_until = 0;  // exclusive end of the prefetched window
   };
   std::unordered_map<u64, AccessProfile> profiles_;
+
+  // Write-backs queued while the upstream was unreachable, replay order.
+  struct PendingWrite {
+    nfs::Fh fh;
+    u64 offset = 0;
+    blob::BlobRef data;
+  };
+  std::vector<PendingWrite> write_queue_;
+  bool upstream_down_ = false;
+  bool replaying_ = false;
+  SimTime outage_started_ = 0;
+  SimDuration outage_total_ = 0;
+  SimDuration last_recovery_time_ = 0;
+  u64 degraded_reads_ = 0;
+  u64 queued_writebacks_ = 0;
+  u64 replayed_writebacks_ = 0;
 
   u32 next_xid_ = 0x70000000;
   u64 calls_received_ = 0;

@@ -1,0 +1,47 @@
+#include "rpc/fault_channel.h"
+
+namespace gvfs::rpc {
+
+RpcReply FaultyChannel::call(sim::Process& p, const RpcCall& call) {
+  faults_.fire_restarts_due(p.now());
+  if (faults_.drop_request(p.now())) {
+    return make_error_reply(call, err(ErrCode::kTimeout, "request lost"));
+  }
+  RpcReply reply = inner_.call(p, call);
+  if (faults_.drop_reply(p.now())) {
+    return make_error_reply(call, err(ErrCode::kTimeout, "reply lost"));
+  }
+  return reply;
+}
+
+std::vector<RpcReply> FaultyChannel::call_pipelined(
+    sim::Process& p, const std::vector<RpcCall>& calls) {
+  faults_.fire_restarts_due(p.now());
+  // Decide request losses up front; only the surviving calls reach the inner
+  // channel's pipelined path (the lost ones never occupied the server).
+  std::vector<RpcReply> replies(calls.size());
+  std::vector<std::size_t> live;
+  std::vector<RpcCall> forwarded;
+  for (std::size_t i = 0; i < calls.size(); ++i) {
+    if (faults_.drop_request(p.now())) {
+      replies[i] = make_error_reply(calls[i], err(ErrCode::kTimeout, "request lost"));
+    } else {
+      live.push_back(i);
+      forwarded.push_back(calls[i]);
+    }
+  }
+  if (!forwarded.empty()) {
+    std::vector<RpcReply> inner = inner_.call_pipelined(p, forwarded);
+    for (std::size_t j = 0; j < inner.size(); ++j) {
+      if (faults_.drop_reply(p.now())) {
+        replies[live[j]] =
+            make_error_reply(calls[live[j]], err(ErrCode::kTimeout, "reply lost"));
+      } else {
+        replies[live[j]] = std::move(inner[j]);
+      }
+    }
+  }
+  return replies;
+}
+
+}  // namespace gvfs::rpc

@@ -1,0 +1,67 @@
+#include "rpc/retry_channel.h"
+
+#include <algorithm>
+
+namespace gvfs::rpc {
+
+RpcReply RetryChannel::call(sim::Process& p, const RpcCall& call) {
+  SimDuration rto = cfg_.timeout;
+  u32 attempts = 0;
+  for (;;) {
+    SimTime sent_at = p.now();
+    RpcReply reply = inner_.call(p, call);
+    if (reply.status.code() != ErrCode::kTimeout) {
+      if (reply.status.is_ok() && reply.xid != call.xid) {
+        ++xid_mismatches_;
+        return make_error_reply(call, err(ErrCode::kBadXdr, "reply xid mismatch"));
+      }
+      return reply;
+    }
+    ++timeouts_;
+    if (cfg_.max_retransmits > 0 && attempts >= cfg_.max_retransmits) {
+      ++exhausted_;
+      return reply;
+    }
+    ++attempts;
+    ++retransmits_;
+    // The client sat on the RTO before concluding loss; a dropped reply may
+    // already have consumed part of it (the inner call blocked for the full
+    // round trip before the loss was injected).
+    SimDuration elapsed = p.now() - sent_at;
+    SimDuration wait = rto > elapsed ? rto - elapsed : 0;
+    if (cfg_.jitter > 0.0) {
+      wait += static_cast<SimDuration>(kernel_.rng().next_double() * cfg_.jitter *
+                                       static_cast<double>(rto));
+    }
+    if (wait > 0) p.delay(wait);
+    rto = std::min<SimDuration>(cfg_.max_timeout,
+                                static_cast<SimDuration>(static_cast<double>(rto) *
+                                                         cfg_.backoff));
+  }
+}
+
+std::vector<RpcReply> RetryChannel::call_pipelined(sim::Process& p,
+                                                   const std::vector<RpcCall>& calls) {
+  std::vector<RpcReply> replies = inner_.call_pipelined(p, calls);
+  // Timed-out batch entries are retried serially; the pipelined fast path is
+  // the common (fault-free) case.
+  for (std::size_t i = 0; i < replies.size(); ++i) {
+    if (replies[i].status.code() == ErrCode::kTimeout) {
+      ++timeouts_;
+      SimDuration rto = cfg_.timeout;
+      if (cfg_.jitter > 0.0) {
+        rto += static_cast<SimDuration>(kernel_.rng().next_double() * cfg_.jitter *
+                                        static_cast<double>(rto));
+      }
+      p.delay(rto);
+      ++retransmits_;
+      replies[i] = call(p, calls[i]);
+    } else if (replies[i].status.is_ok() && replies[i].xid != calls[i].xid) {
+      ++xid_mismatches_;
+      replies[i] = make_error_reply(calls[i], err(ErrCode::kBadXdr, "reply xid mismatch"));
+    }
+  }
+  return replies;
+}
+
+}  // namespace gvfs::rpc

@@ -1,0 +1,57 @@
+// RetryChannel: NFS-style retransmission over an unreliable channel.
+//
+// Models a hard-mounted NFS client's RPC layer: each call gets a
+// retransmission timeout (RTO); on kTimeout from below, the caller has
+// waited out the RTO (virtual time), the call is reissued with the SAME xid
+// (so the server's duplicate request cache can suppress re-execution of
+// non-idempotent ops), and the RTO backs off exponentially with
+// deterministic jitter drawn from the kernel PRNG. `max_retransmits == 0`
+// retries forever — hard-mount semantics, which is what lets workloads ride
+// out partitions and server reboots; a finite budget gives soft-mount
+// behaviour (kTimeout surfaces, e.g. into the proxy's degraded mode).
+//
+// Reply xids are verified against the issued call before acceptance.
+#pragma once
+
+#include "rpc/rpc.h"
+#include "sim/kernel.h"
+
+namespace gvfs::rpc {
+
+struct RetryConfig {
+  SimDuration timeout = 1100 * kMillisecond;  // initial RTO (NFS timeo=11)
+  double backoff = 2.0;
+  SimDuration max_timeout = 60 * kSecond;
+  double jitter = 0.1;       // extra wait, uniform in [0, jitter*RTO)
+  u32 max_retransmits = 0;   // 0 = retry forever (hard mount)
+};
+
+class RetryChannel final : public RpcChannel {
+ public:
+  RetryChannel(RpcChannel& inner, sim::SimKernel& kernel, RetryConfig cfg = {})
+      : inner_(inner), kernel_(kernel), cfg_(cfg) {}
+
+  RpcReply call(sim::Process& p, const RpcCall& call) override;
+  std::vector<RpcReply> call_pipelined(sim::Process& p,
+                                       const std::vector<RpcCall>& calls) override;
+
+  [[nodiscard]] const RetryConfig& config() const { return cfg_; }
+
+  // ---- retry-budget counters ----------------------------------------------
+  [[nodiscard]] u64 timeouts() const { return timeouts_; }          // RTO expiries seen
+  [[nodiscard]] u64 retransmits() const { return retransmits_; }    // calls reissued
+  [[nodiscard]] u64 exhausted() const { return exhausted_; }        // budget ran out
+  [[nodiscard]] u64 xid_mismatches() const { return xid_mismatches_; }
+  void reset_stats() { timeouts_ = retransmits_ = exhausted_ = xid_mismatches_ = 0; }
+
+ private:
+  RpcChannel& inner_;
+  sim::SimKernel& kernel_;
+  RetryConfig cfg_;
+  u64 timeouts_ = 0;
+  u64 retransmits_ = 0;
+  u64 exhausted_ = 0;
+  u64 xid_mismatches_ = 0;
+};
+
+}  // namespace gvfs::rpc

@@ -1,0 +1,62 @@
+#include "sim/faults.h"
+
+namespace gvfs::sim {
+
+bool FaultInjector::partitioned(SimTime t) const {
+  for (const FaultWindow& w : cfg_.partitions) {
+    if (w.contains(t)) return true;
+  }
+  return false;
+}
+
+bool FaultInjector::server_down(SimTime t) const {
+  for (const FaultWindow& w : cfg_.crashes) {
+    if (w.contains(t)) return true;
+  }
+  return false;
+}
+
+bool FaultInjector::drop_request(SimTime t) {
+  if (server_down(t) || partitioned(t)) {
+    ++requests_dropped_;
+    return true;
+  }
+  if (cfg_.drop_rate > 0.0 && kernel_.rng().next_double() < cfg_.drop_rate) {
+    ++requests_dropped_;
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::drop_reply(SimTime t) {
+  if (partitioned(t)) {
+    ++replies_dropped_;
+    return true;
+  }
+  if (cfg_.drop_rate > 0.0 && kernel_.rng().next_double() < cfg_.drop_rate) {
+    ++replies_dropped_;
+    return true;
+  }
+  return false;
+}
+
+SimDuration FaultInjector::sample_spike(SimTime) {
+  if (cfg_.spike_rate <= 0.0 || cfg_.spike <= 0) return 0;
+  if (kernel_.rng().next_double() >= cfg_.spike_rate) return 0;
+  ++spikes_injected_;
+  return cfg_.spike;
+}
+
+void FaultInjector::fire_restarts_due(SimTime t) {
+  if (!on_restart_) return;
+  // Crash windows are expected in chronological order (schedules are built
+  // that way); each window reboots the server exactly once.
+  while (restarts_fired_upto_ < cfg_.crashes.size() &&
+         cfg_.crashes[restarts_fired_upto_].end <= t) {
+    ++restarts_fired_upto_;
+    ++restarts_fired_;
+    on_restart_();
+  }
+}
+
+}  // namespace gvfs::sim

@@ -1,0 +1,98 @@
+// Deterministic WAN fault injection (§3.1's wide-area premise, exercised).
+//
+// A FaultInjector owns a schedule of failures for one network path: random
+// per-message drops, latency spikes, partition windows (total communication
+// blackout) and server crash/restart windows. All randomness comes from the
+// simulation kernel's seeded SplitMix64 — draws happen in the kernel's
+// deterministic process-execution order, so identical seeds give identical
+// fault schedules and identical simulated timelines. No wall-clock anywhere.
+//
+// Hook points:
+//   * rpc::FaultyChannel consults drop_request()/drop_reply()/server_down()
+//     around each RPC (rpc/fault_channel.h);
+//   * sim::Link::set_fault_injector() adds sampled latency spikes to
+//     individual message transmissions.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/kernel.h"
+
+namespace gvfs::sim {
+
+// Half-open virtual-time interval [start, end).
+struct FaultWindow {
+  SimTime start = 0;
+  SimTime end = 0;
+  [[nodiscard]] bool contains(SimTime t) const { return t >= start && t < end; }
+};
+
+struct FaultConfig {
+  // Independent per-message loss probability (requests and replies each
+  // flip a coin, as on a real lossy path).
+  double drop_rate = 0.0;
+  // Probability that a message transmission picks up an extra latency spike
+  // (bufferbloat / route flap), and the spike magnitude.
+  double spike_rate = 0.0;
+  SimDuration spike = 200 * kMillisecond;
+  // Network partitions: every message in a window is lost (both directions).
+  std::vector<FaultWindow> partitions;
+  // Server crash windows: requests are lost and the server executes nothing;
+  // at the end of each window the server "reboots" (on_restart fires on the
+  // first traffic afterwards — volatile state like page caches and the
+  // duplicate-request cache is the callback's to clear).
+  std::vector<FaultWindow> crashes;
+};
+
+class FaultInjector {
+ public:
+  // Draws randomness from `kernel.rng()`; seed it via SimKernel::seed_rng
+  // before the run for a reproducible schedule.
+  FaultInjector(SimKernel& kernel, FaultConfig cfg)
+      : kernel_(kernel), cfg_(std::move(cfg)) {}
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  [[nodiscard]] const FaultConfig& config() const { return cfg_; }
+
+  // Fired on the first traffic after a crash window closes (server reboot).
+  void set_on_restart(std::function<void()> fn) { on_restart_ = std::move(fn); }
+
+  // ---- decision points (called by FaultyChannel / Link) --------------------
+  // Should the request at virtual time `t` be lost before reaching the
+  // server? True during crashes and partitions, or on a loss coin flip.
+  bool drop_request(SimTime t);
+  // Should the reply arriving at `t` be lost on the way back? (The server
+  // did execute the request — this is what the duplicate-request cache is
+  // for.)
+  bool drop_reply(SimTime t);
+  // Extra one-way latency for a message sent at `t` (0 when not spiked).
+  SimDuration sample_spike(SimTime t);
+
+  // Fire pending restart callbacks for crash windows that ended at or
+  // before `t`. FaultyChannel calls this before letting traffic through.
+  void fire_restarts_due(SimTime t);
+
+  [[nodiscard]] bool partitioned(SimTime t) const;
+  [[nodiscard]] bool server_down(SimTime t) const;
+
+  // ---- counters ------------------------------------------------------------
+  [[nodiscard]] u64 requests_dropped() const { return requests_dropped_; }
+  [[nodiscard]] u64 replies_dropped() const { return replies_dropped_; }
+  [[nodiscard]] u64 spikes_injected() const { return spikes_injected_; }
+  [[nodiscard]] u64 restarts_fired() const { return restarts_fired_; }
+
+ private:
+  SimKernel& kernel_;
+  FaultConfig cfg_;
+  std::function<void()> on_restart_;
+  std::size_t restarts_fired_upto_ = 0;  // crash windows whose reboot ran
+  u64 requests_dropped_ = 0;
+  u64 replies_dropped_ = 0;
+  u64 spikes_injected_ = 0;
+  u64 restarts_fired_ = 0;
+};
+
+}  // namespace gvfs::sim

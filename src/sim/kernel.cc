@@ -95,7 +95,10 @@ Process& SimKernel::spawn(std::string name, ProcessBody body, SimDuration start_
       GVFS_ERROR("sim") << "process '" << p->name() << "' threw";
     }
     std::unique_lock<std::mutex> tlk(mu_);
-    if (p->failed_) ++failed_;
+    if (p->failed_) {
+      ++failed_;
+      failed_names_.push_back(p->name());
+    }
     p->state_ = Process::State::kDone;
     done_unjoined_.push_back(p);
     kernel_cv_.notify_one();
@@ -148,6 +151,15 @@ SimTime SimKernel::run() {
   reap_locked(lk);
   running_ = false;
   return now_;
+}
+
+std::string SimKernel::failed_names_joined() const {
+  std::string out;
+  for (const std::string& n : failed_names_) {
+    if (!out.empty()) out += ", ";
+    out += n;
+  }
+  return out;
 }
 
 SimTime SimKernel::run_process(std::string name, ProcessBody body) {

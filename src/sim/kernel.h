@@ -22,6 +22,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/types.h"
 
 namespace gvfs::sim {
@@ -111,8 +112,21 @@ class SimKernel {
 
   [[nodiscard]] SimTime now() const { return now_; }
 
+  // The kernel-owned deterministic PRNG: the single randomness source for
+  // fault injection and retry jitter. Processes run one at a time in a
+  // deterministic order, so draws are reproducible; re-seed before a run to
+  // get an identical schedule.
+  [[nodiscard]] SplitMix64& rng() { return rng_; }
+  void seed_rng(u64 seed) { rng_ = SplitMix64(seed); }
+
   // Number of processes whose bodies threw (test hygiene: assert == 0).
   [[nodiscard]] int failed_processes() const { return failed_; }
+  // Names of those processes, in completion order.
+  [[nodiscard]] const std::vector<std::string>& failed_process_names() const {
+    return failed_names_;
+  }
+  // "name1, name2" — convenience for assertion messages.
+  [[nodiscard]] std::string failed_names_joined() const;
 
  private:
   friend class Process;
@@ -139,7 +153,9 @@ class SimKernel {
   std::vector<Process*> done_unjoined_;
   SimTime now_ = 0;
   u64 seq_ = 0;
+  SplitMix64 rng_;
   int failed_ = 0;
+  std::vector<std::string> failed_names_;
   bool running_ = false;
 };
 

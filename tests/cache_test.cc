@@ -31,7 +31,7 @@ struct CacheFixture {
 
   void run(std::function<void(sim::Process&)> body) {
     kernel.run_process("t", std::move(body));
-    EXPECT_EQ(kernel.failed_processes(), 0);
+    EXPECT_EQ(kernel.failed_processes(), 0) << kernel.failed_names_joined();
   }
 };
 
@@ -275,7 +275,7 @@ TEST_P(BlockCacheGeometry, IntegrityAndNoThrashWithinCapacity) {
     }
     EXPECT_EQ(c.evictions(), 0u);
   });
-  EXPECT_EQ(kernel.failed_processes(), 0);
+  EXPECT_EQ(kernel.failed_processes(), 0) << kernel.failed_names_joined();
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -46,7 +46,7 @@ TEST(Migration, MovesRunningVmBetweenNodes) {
     EXPECT_GT(result->timing.resume_s, 0.0);
     EXPECT_GT(result->timing.total_s(), 0.0);
   });
-  EXPECT_EQ(bed.kernel().failed_processes(), 0);
+  EXPECT_EQ(bed.kernel().failed_processes(), 0) << bed.kernel().failed_names_joined();
   // The image server holds the migrated memory state.
   auto server_state = bed.image_fs().get_file(bed.image_dir() + image->vmss());
   ASSERT_TRUE(server_state.is_ok());
@@ -96,7 +96,7 @@ TEST(Migration, DestinationSeesFreshStateDespiteWarmCaches) {
     ASSERT_TRUE(via_dst.is_ok());
     EXPECT_EQ(blob::content_hash(**via_dst), blob::content_hash(*new_state));
   });
-  EXPECT_EQ(bed.kernel().failed_processes(), 0);
+  EXPECT_EQ(bed.kernel().failed_processes(), 0) << bed.kernel().failed_names_joined();
 }
 
 // ----------------------------------------------------------------- prefetch --
@@ -121,7 +121,7 @@ TEST(Prefetch, SequentialScanFasterWithReadAhead) {
       EXPECT_EQ(blob::content_hash(**data),
                 blob::content_hash(*blob::make_synthetic(3, 8_MiB, 0, 2.0)));
     });
-    EXPECT_EQ(bed.kernel().failed_processes(), 0);
+    EXPECT_EQ(bed.kernel().failed_processes(), 0) << bed.kernel().failed_names_joined();
     if (pass == 1) EXPECT_GT(bed.client_proxy()->blocks_prefetched(), 0u);
   }
   EXPECT_LT(times[1] * 1.5, times[0]);
@@ -143,7 +143,7 @@ TEST(Prefetch, RandomAccessDoesNotTrigger) {
       bed.image_session().read(p, "/rand", block * 32_KiB, 32_KiB);
     }
   });
-  EXPECT_EQ(bed.kernel().failed_processes(), 0);
+  EXPECT_EQ(bed.kernel().failed_processes(), 0) << bed.kernel().failed_names_joined();
   EXPECT_EQ(bed.client_proxy()->blocks_prefetched(), 0u);
 }
 
@@ -198,7 +198,7 @@ TEST(TraceWorkload, ReplayAccountsIo) {
     ASSERT_TRUE(report.is_ok());
     EXPECT_GE(report->total_s(), 1.5);  // at least the compute op
   });
-  EXPECT_EQ(bed.kernel().failed_processes(), 0);
+  EXPECT_EQ(bed.kernel().failed_processes(), 0) << bed.kernel().failed_names_joined();
   // open's metadata touch is not accounted as data read.
   EXPECT_EQ(wl.bytes_read(), 65536u + 32768u);
   EXPECT_EQ(wl.bytes_written(), 32768u);
@@ -237,7 +237,7 @@ TEST(NfsLink, HardLinkSharesContent) {
     ASSERT_TRUE(still.is_ok());
     EXPECT_EQ((*still)->size(), 3u);
   });
-  EXPECT_EQ(f.kernel.failed_processes(), 0);
+  EXPECT_EQ(f.kernel.failed_processes(), 0) << f.kernel.failed_names_joined();
 }
 
 TEST(NfsLink, LinkToDirectoryRejected) {
@@ -271,7 +271,7 @@ TEST(NfsReaddirplus, ListPrimesCaches) {
     EXPECT_EQ(f.client.rpcs_sent(nfs::Proc::kLookup), lookups);
     EXPECT_EQ(f.client.rpcs_sent(nfs::Proc::kGetattr), getattrs);
   });
-  EXPECT_EQ(f.kernel.failed_processes(), 0);
+  EXPECT_EQ(f.kernel.failed_processes(), 0) << f.kernel.failed_names_joined();
 }
 
 TEST(NfsTypesExt, LinkReaddirplusPathconfRoundTrip) {
@@ -332,7 +332,7 @@ TEST(LocalSession, HardLinkSupported) {
     ASSERT_TRUE(b.is_ok());
     EXPECT_EQ((*b)->size(), 1u);
   });
-  EXPECT_EQ(kernel.failed_processes(), 0);
+  EXPECT_EQ(kernel.failed_processes(), 0) << kernel.failed_names_joined();
 }
 
 }  // namespace

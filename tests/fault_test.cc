@@ -1,0 +1,528 @@
+// Fault-injection and recovery tests (ctest label: faults): deterministic
+// fault schedules, FaultyChannel drop semantics, NFS-style retransmission
+// (RetryChannel), reply-xid verification, the server duplicate request
+// cache, and end-to-end testbed runs under loss / partitions / crashes with
+// the proxy's degraded mode.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "blob/blob.h"
+#include "gvfs/testbed.h"
+#include "nfs/nfs_client.h"
+#include "nfs/nfs_server.h"
+#include "rpc/fault_channel.h"
+#include "rpc/retry_channel.h"
+#include "sim/faults.h"
+#include "sim/kernel.h"
+
+namespace gvfs {
+namespace {
+
+using core::Scenario;
+using core::Testbed;
+using core::TestbedOptions;
+
+// ---- stub channels ----------------------------------------------------------
+
+// Always succeeds, echoing the call's args back as the result.
+struct EchoChannel final : rpc::RpcChannel {
+  u64 executed = 0;
+  rpc::RpcReply call(sim::Process&, const rpc::RpcCall& c) override {
+    ++executed;
+    return rpc::make_reply(c, c.args);
+  }
+};
+
+// Times out the first `fail_first` calls, then succeeds. Records the xid of
+// every attempt so tests can pin down retransmission identity.
+struct FlakyChannel final : rpc::RpcChannel {
+  explicit FlakyChannel(int n) : fail_first(n) {}
+  int fail_first;
+  std::vector<u32> xids_seen;
+  rpc::RpcReply call(sim::Process&, const rpc::RpcCall& c) override {
+    xids_seen.push_back(c.xid);
+    if (static_cast<int>(xids_seen.size()) <= fail_first) {
+      return rpc::make_error_reply(c, err(ErrCode::kTimeout, "synthetic loss"));
+    }
+    return rpc::make_reply(c, c.args);
+  }
+};
+
+// Passes calls through but corrupts the xid of successful replies while
+// `corrupt` is set (a misbehaving server / crossed wires).
+struct WrongXidChannel final : rpc::RpcChannel {
+  explicit WrongXidChannel(rpc::RpcChannel& in) : inner(in) {}
+  rpc::RpcChannel& inner;
+  bool corrupt = true;
+  rpc::RpcReply call(sim::Process& p, const rpc::RpcCall& c) override {
+    rpc::RpcReply r = inner.call(p, c);
+    if (corrupt && r.status.is_ok()) r.xid ^= 0x5a5a5a5a;
+    return r;
+  }
+};
+
+rpc::RpcCall make_call(u32 xid) {
+  rpc::RpcCall c;
+  c.xid = xid;
+  c.prog = rpc::kNfsProgram;
+  c.vers = rpc::kNfsVersion3;
+  c.proc = static_cast<u32>(nfs::Proc::kGetattr);
+  c.cred.uid = 1000;
+  return c;
+}
+
+// ---- FaultInjector: schedule semantics --------------------------------------
+
+TEST(FaultInjector, SameSeedSameSchedule) {
+  auto draw_schedule = [](u64 seed) {
+    sim::SimKernel k;
+    k.seed_rng(seed);
+    sim::FaultConfig cfg;
+    cfg.drop_rate = 0.3;
+    sim::FaultInjector inj(k, cfg);
+    std::vector<bool> drops;
+    for (int i = 0; i < 256; ++i) drops.push_back(inj.drop_request(i * kMillisecond));
+    return drops;
+  };
+  auto a = draw_schedule(0xabc);
+  auto b = draw_schedule(0xabc);
+  EXPECT_EQ(a, b);  // identical seed -> identical fault schedule
+  EXPECT_NE(a, draw_schedule(0xdef));
+  EXPECT_GT(std::count(a.begin(), a.end(), true), 0);
+  EXPECT_GT(std::count(a.begin(), a.end(), false), 0);
+}
+
+TEST(FaultInjector, PartitionAndCrashWindowsAreTotal) {
+  sim::SimKernel k;
+  sim::FaultConfig cfg;  // drop_rate 0: only the windows can drop traffic
+  cfg.partitions.push_back(sim::FaultWindow{100, 200});
+  cfg.crashes.push_back(sim::FaultWindow{300, 400});
+  sim::FaultInjector inj(k, cfg);
+
+  EXPECT_FALSE(inj.drop_request(50));
+  EXPECT_TRUE(inj.partitioned(150));
+  EXPECT_TRUE(inj.drop_request(150));
+  EXPECT_TRUE(inj.drop_reply(150));
+  EXPECT_FALSE(inj.partitioned(200));  // half-open window
+  EXPECT_TRUE(inj.server_down(350));
+  EXPECT_TRUE(inj.drop_request(350));
+  EXPECT_FALSE(inj.drop_request(400));
+  EXPECT_EQ(inj.requests_dropped(), 2u);
+  EXPECT_EQ(inj.replies_dropped(), 1u);
+}
+
+TEST(FaultInjector, RestartFiresOncePerCrashWindow) {
+  sim::SimKernel k;
+  sim::FaultConfig cfg;
+  cfg.crashes.push_back(sim::FaultWindow{10, 20});
+  cfg.crashes.push_back(sim::FaultWindow{50, 60});
+  sim::FaultInjector inj(k, cfg);
+  int reboots = 0;
+  inj.set_on_restart([&] { ++reboots; });
+  inj.fire_restarts_due(15);  // window still open
+  EXPECT_EQ(reboots, 0);
+  inj.fire_restarts_due(25);
+  EXPECT_EQ(reboots, 1);
+  inj.fire_restarts_due(30);  // no new window closed
+  EXPECT_EQ(reboots, 1);
+  inj.fire_restarts_due(100);
+  EXPECT_EQ(reboots, 2);
+  EXPECT_EQ(inj.restarts_fired(), 2u);
+}
+
+// ---- FaultyChannel ----------------------------------------------------------
+
+TEST(FaultyChannel, DropAccountingMatchesServerExecution) {
+  // Request drops must prevent server execution; reply drops must not (that
+  // asymmetry is the whole reason the DRC exists).
+  sim::SimKernel k;
+  k.seed_rng(42);
+  sim::FaultConfig cfg;
+  cfg.drop_rate = 0.4;
+  sim::FaultInjector inj(k, cfg);
+  EchoChannel echo;
+  rpc::FaultyChannel chan(echo, inj);
+  u64 timeouts = 0;
+  const int kCalls = 200;
+  k.run_process("t", [&](sim::Process& p) {
+    for (int i = 0; i < kCalls; ++i) {
+      rpc::RpcReply r = chan.call(p, make_call(static_cast<u32>(i + 1)));
+      if (r.status.code() == ErrCode::kTimeout) ++timeouts;
+    }
+  });
+  EXPECT_EQ(k.failed_processes(), 0) << k.failed_names_joined();
+  EXPECT_GT(inj.requests_dropped(), 0u);
+  EXPECT_GT(inj.replies_dropped(), 0u);
+  EXPECT_EQ(timeouts, inj.requests_dropped() + inj.replies_dropped());
+  // Only request-dropped calls never reached the server.
+  EXPECT_EQ(echo.executed, static_cast<u64>(kCalls) - inj.requests_dropped());
+}
+
+// ---- RetryChannel -----------------------------------------------------------
+
+TEST(RetryChannel, RetransmitsSameXidWithExponentialBackoff) {
+  sim::SimKernel k;
+  FlakyChannel flaky(3);
+  rpc::RetryConfig cfg;
+  cfg.timeout = 100 * kMillisecond;
+  cfg.backoff = 2.0;
+  cfg.jitter = 0.0;
+  rpc::RetryChannel retry(flaky, k, cfg);
+  k.run_process("t", [&](sim::Process& p) {
+    rpc::RpcReply r = retry.call(p, make_call(77));
+    EXPECT_TRUE(r.status.is_ok()) << r.status.to_string();
+    // Three RTO waits before the fourth attempt succeeds: 100+200+400 ms.
+    EXPECT_EQ(p.now(), 700 * kMillisecond);
+  });
+  EXPECT_EQ(k.failed_processes(), 0) << k.failed_names_joined();
+  EXPECT_EQ(retry.retransmits(), 3u);
+  EXPECT_EQ(retry.timeouts(), 3u);
+  EXPECT_EQ(retry.exhausted(), 0u);
+  // Every attempt reissued the SAME xid — that is what lets the server's
+  // duplicate request cache recognise retransmissions.
+  EXPECT_EQ(flaky.xids_seen, (std::vector<u32>{77, 77, 77, 77}));
+}
+
+TEST(RetryChannel, FiniteBudgetSurfacesTimeout) {
+  sim::SimKernel k;
+  FlakyChannel flaky(1000);  // never recovers
+  rpc::RetryConfig cfg;
+  cfg.timeout = 50 * kMillisecond;
+  cfg.jitter = 0.0;
+  cfg.max_retransmits = 2;  // soft mount
+  rpc::RetryChannel retry(flaky, k, cfg);
+  k.run_process("t", [&](sim::Process& p) {
+    rpc::RpcReply r = retry.call(p, make_call(5));
+    EXPECT_EQ(r.status.code(), ErrCode::kTimeout);
+  });
+  EXPECT_EQ(retry.retransmits(), 2u);
+  EXPECT_EQ(retry.exhausted(), 1u);
+}
+
+TEST(RetryChannel, ReplyXidMismatchRejected) {
+  sim::SimKernel k;
+  EchoChannel echo;
+  WrongXidChannel wrong(echo);
+  rpc::RetryChannel retry(wrong, k, rpc::RetryConfig{});
+  k.run_process("t", [&](sim::Process& p) {
+    rpc::RpcReply r = retry.call(p, make_call(9));
+    EXPECT_EQ(r.status.code(), ErrCode::kBadXdr);
+  });
+  EXPECT_EQ(retry.xid_mismatches(), 1u);
+}
+
+TEST(RetryChannel, HardMountRidesOutPartition) {
+  sim::SimKernel k;
+  k.seed_rng(1);
+  sim::FaultConfig fcfg;
+  fcfg.partitions.push_back(sim::FaultWindow{0, 2 * kSecond});
+  sim::FaultInjector inj(k, fcfg);
+  EchoChannel echo;
+  rpc::FaultyChannel faulty(echo, inj);
+  rpc::RetryConfig rcfg;
+  rcfg.timeout = 100 * kMillisecond;
+  rcfg.jitter = 0.0;  // max_retransmits = 0: hard mount, retry forever
+  rpc::RetryChannel retry(faulty, k, rcfg);
+  k.run_process("t", [&](sim::Process& p) {
+    rpc::RpcReply r = retry.call(p, make_call(3));
+    EXPECT_TRUE(r.status.is_ok()) << r.status.to_string();
+    EXPECT_GE(p.now(), 2 * kSecond);  // stalled until the partition healed
+  });
+  EXPECT_EQ(k.failed_processes(), 0) << k.failed_names_joined();
+  EXPECT_GT(retry.retransmits(), 0u);
+  EXPECT_EQ(echo.executed, 1u);  // nothing reached the server until then
+}
+
+TEST(RetryChannel, ServerRebootFiresRestartCallback) {
+  sim::SimKernel k;
+  sim::FaultConfig fcfg;
+  fcfg.crashes.push_back(sim::FaultWindow{0, kSecond});
+  sim::FaultInjector inj(k, fcfg);
+  bool rebooted = false;
+  inj.set_on_restart([&] { rebooted = true; });
+  EchoChannel echo;
+  rpc::FaultyChannel faulty(echo, inj);
+  rpc::RetryConfig rcfg;
+  rcfg.timeout = 100 * kMillisecond;
+  rcfg.jitter = 0.0;
+  rpc::RetryChannel retry(faulty, k, rcfg);
+  k.run_process("t", [&](sim::Process& p) {
+    EXPECT_TRUE(retry.call(p, make_call(4)).status.is_ok());
+  });
+  EXPECT_TRUE(rebooted);  // first traffic after the window rebooted the server
+  EXPECT_EQ(inj.restarts_fired(), 1u);
+}
+
+// ---- NfsClient: reply verification ------------------------------------------
+
+TEST(NfsClient, XidMismatchSurfacesAsBadXdr) {
+  sim::SimKernel kernel;
+  vfs::MemFs fs;
+  sim::DiskModel disk{kernel, "sdisk", sim::DiskConfig{}};
+  nfs::NfsServer server{kernel, fs, disk, nfs::NfsServerConfig{}};
+  ASSERT_TRUE(server.add_export("/exports").is_ok());
+  ASSERT_TRUE(fs.put_file("/exports/f", blob::make_synthetic(3, 64_KiB, 0, 2.0)).is_ok());
+  rpc::LinkChannel loop{server, nullptr, nullptr, 10 * kMicrosecond};
+  WrongXidChannel wrong(loop);
+  wrong.corrupt = false;  // behave while mounting
+  rpc::Credential cred;
+  cred.uid = 1000;
+  nfs::NfsClient client(wrong, cred, nfs::NfsClientConfig{});
+  kernel.run_process("t", [&](sim::Process& p) {
+    ASSERT_TRUE(client.mount(p, "/exports").is_ok());
+    wrong.corrupt = true;
+    auto r = client.read(p, "/f", 0, 4_KiB);
+    ASSERT_FALSE(r.is_ok());
+    EXPECT_EQ(r.status().code(), ErrCode::kBadXdr);
+  });
+  EXPECT_EQ(kernel.failed_processes(), 0) << kernel.failed_names_joined();
+  EXPECT_GE(client.xid_mismatches(), 1u);
+}
+
+// ---- NfsServer: duplicate request cache -------------------------------------
+
+struct DrcFixture {
+  sim::SimKernel kernel;
+  vfs::MemFs fs;
+  sim::DiskModel disk{kernel, "d", sim::DiskConfig{}};
+  nfs::NfsServer server{kernel, fs, disk, nfs::NfsServerConfig{}};
+
+  DrcFixture() { EXPECT_TRUE(server.add_export("/exports").is_ok()); }
+
+  rpc::RpcCall remove_call(u32 xid, const std::string& name) {
+    auto args = std::make_shared<nfs::RemoveArgs>();
+    args->dir = server.root_fh("/exports");
+    args->name = name;
+    rpc::RpcCall c = make_call(xid);
+    c.proc = static_cast<u32>(nfs::Proc::kRemove);
+    c.args = std::move(args);
+    return c;
+  }
+
+  rpc::RpcCall write_call(u32 xid, const nfs::Fh& fh, u64 offset) {
+    auto args = std::make_shared<nfs::WriteArgs>();
+    args->fh = fh;
+    args->offset = offset;
+    args->count = 32_KiB;
+    args->stable = nfs::StableHow::kFileSync;
+    args->data = blob::make_synthetic(9, 32_KiB, 0, 2.0);
+    rpc::RpcCall c = make_call(xid);
+    c.proc = static_cast<u32>(nfs::Proc::kWrite);
+    c.args = std::move(args);
+    return c;
+  }
+};
+
+TEST(NfsServerDrc, DuplicateRemoveServedFromCache) {
+  DrcFixture f;
+  ASSERT_TRUE(f.fs.put_file("/exports/victim", blob::make_zero(4_KiB)).is_ok());
+  f.kernel.run_process("t", [&](sim::Process& p) {
+    auto first = f.server.handle(p, f.remove_call(100, "victim"));
+    ASSERT_TRUE(first.status.is_ok());
+    EXPECT_EQ(rpc::message_cast<nfs::RemoveRes>(first.result)->status, nfs::NfsStat::kOk);
+
+    // Retransmission (same xid): the cached kOk reply, not a re-execution —
+    // the FS state is exactly as if the op ran once.
+    auto dup = f.server.handle(p, f.remove_call(100, "victim"));
+    ASSERT_TRUE(dup.status.is_ok());
+    EXPECT_EQ(rpc::message_cast<nfs::RemoveRes>(dup.result)->status, nfs::NfsStat::kOk);
+    EXPECT_EQ(f.server.drc_hits(), 1u);
+
+    // A genuinely new request (fresh xid) does re-execute and sees kNoEnt.
+    auto fresh = f.server.handle(p, f.remove_call(101, "victim"));
+    ASSERT_TRUE(fresh.status.is_ok());
+    EXPECT_EQ(rpc::message_cast<nfs::RemoveRes>(fresh.result)->status, nfs::NfsStat::kNoEnt);
+  });
+  EXPECT_EQ(f.kernel.failed_processes(), 0) << f.kernel.failed_names_joined();
+}
+
+TEST(NfsServerDrc, DuplicateWriteExecutesOnce) {
+  DrcFixture f;
+  auto id = f.fs.put_file("/exports/f", blob::make_zero(0));
+  ASSERT_TRUE(id.is_ok());
+  nfs::Fh fh = f.server.fh_of(*id);
+  f.kernel.run_process("t", [&](sim::Process& p) {
+    auto first = f.server.handle(p, f.write_call(200, fh, 0));
+    ASSERT_TRUE(first.status.is_ok());
+    u64 ops_after_first = f.disk.ops();
+    u64 bytes_after_first = f.disk.bytes_moved();
+
+    auto dup = f.server.handle(p, f.write_call(200, fh, 0));
+    ASSERT_TRUE(dup.status.is_ok());
+    EXPECT_EQ(rpc::message_cast<nfs::WriteRes>(dup.result)->status, nfs::NfsStat::kOk);
+    EXPECT_EQ(f.server.drc_hits(), 1u);
+    // Applied once: the duplicate moved no further disk bytes.
+    EXPECT_EQ(f.disk.ops(), ops_after_first);
+    EXPECT_EQ(f.disk.bytes_moved(), bytes_after_first);
+
+    // Same payload under a new xid is a new request: it executes.
+    auto fresh = f.server.handle(p, f.write_call(201, fh, 0));
+    ASSERT_TRUE(fresh.status.is_ok());
+    EXPECT_GT(f.disk.ops(), ops_after_first);
+  });
+  EXPECT_EQ(f.kernel.failed_processes(), 0) << f.kernel.failed_names_joined();
+}
+
+TEST(NfsServerDrc, IdempotentOpsBypassCache) {
+  DrcFixture f;
+  ASSERT_TRUE(f.fs.put_file("/exports/f", blob::make_zero(4_KiB)).is_ok());
+  f.kernel.run_process("t", [&](sim::Process& p) {
+    for (int i = 0; i < 2; ++i) {
+      auto args = std::make_shared<nfs::GetattrArgs>();
+      args->fh = f.server.root_fh("/exports");
+      rpc::RpcCall c = make_call(300);  // same xid both times
+      c.args = std::move(args);
+      EXPECT_TRUE(f.server.handle(p, c).status.is_ok());
+    }
+  });
+  EXPECT_EQ(f.server.drc_hits(), 0u);
+  EXPECT_EQ(f.server.drc_inserts(), 0u);
+}
+
+TEST(NfsServerDrc, CrashClearsCacheSoDuplicateReExecutes) {
+  DrcFixture f;
+  ASSERT_TRUE(f.fs.put_file("/exports/victim", blob::make_zero(4_KiB)).is_ok());
+  f.kernel.run_process("t", [&](sim::Process& p) {
+    ASSERT_TRUE(f.server.handle(p, f.remove_call(400, "victim")).status.is_ok());
+    // Reboot: the DRC is volatile state and does not survive.
+    f.server.clear_drc();
+    auto dup = f.server.handle(p, f.remove_call(400, "victim"));
+    ASSERT_TRUE(dup.status.is_ok());
+    EXPECT_EQ(rpc::message_cast<nfs::RemoveRes>(dup.result)->status, nfs::NfsStat::kNoEnt);
+  });
+  EXPECT_EQ(f.server.drc_hits(), 0u);
+}
+
+// ---- end-to-end: testbed under faults ---------------------------------------
+
+struct E2eResult {
+  u64 hash = 0;
+  SimTime end_time = 0;
+  u64 retransmits = 0;
+  int failed = 0;
+};
+
+E2eResult run_lossy_read(double drop_rate) {
+  TestbedOptions opt;
+  opt.scenario = Scenario::kWanCached;
+  opt.generate_image_meta = false;  // keep transfers on the faultable RPC path
+  opt.enable_fault_injection = true;
+  opt.fault.drop_rate = drop_rate;
+  Testbed bed(opt);
+  blob::BlobRef content = blob::make_synthetic(21, 2_MiB, 0.3, 2.0);
+  EXPECT_TRUE(bed.image_fs().put_file(bed.image_dir() + "/img", content).is_ok());
+  E2eResult out;
+  bed.kernel().run_process("reader", [&](sim::Process& p) {
+    ASSERT_TRUE(bed.mount(p).is_ok());
+    auto data = bed.image_session().read_all(p, "/img");
+    ASSERT_TRUE(data.is_ok()) << data.status().to_string();
+    out.hash = blob::content_hash(**data);
+    out.end_time = p.now();
+  });
+  out.failed = bed.kernel().failed_processes();
+  EXPECT_EQ(out.failed, 0) << bed.kernel().failed_names_joined();
+  if (auto* retry = bed.retry_channel()) out.retransmits = retry->retransmits();
+  EXPECT_EQ(out.hash, blob::content_hash(*content));  // integrity despite loss
+  return out;
+}
+
+TEST(FaultE2E, LossyWanReadDeliversIdenticalContent) {
+  E2eResult clean = run_lossy_read(0.0);
+  E2eResult lossy = run_lossy_read(0.05);
+  EXPECT_EQ(clean.hash, lossy.hash);
+  EXPECT_EQ(clean.retransmits, 0u);
+  EXPECT_GT(lossy.retransmits, 0u);
+  // Recovery costs virtual time: RTO waits push the lossy run later.
+  EXPECT_GT(lossy.end_time, clean.end_time);
+}
+
+TEST(FaultE2E, SameSeedGivesIdenticalTimeline) {
+  E2eResult a = run_lossy_read(0.05);
+  E2eResult b = run_lossy_read(0.05);
+  EXPECT_EQ(a.end_time, b.end_time);  // to the nanosecond
+  EXPECT_EQ(a.retransmits, b.retransmits);
+}
+
+TEST(FaultE2E, DegradedProxyServesCacheAndReplaysWrites) {
+  TestbedOptions opt;
+  opt.scenario = Scenario::kWanCached;
+  opt.generate_image_meta = false;
+  opt.write_policy = cache::WritePolicy::kWriteThrough;
+  opt.enable_fault_injection = true;
+  opt.degraded_proxy = true;
+  opt.fault.partitions.push_back(sim::FaultWindow{30 * kSecond, 90 * kSecond});
+  opt.retry.timeout = 250 * kMillisecond;
+  opt.retry.max_retransmits = 2;  // soft mount: kTimeout reaches the proxy
+  Testbed bed(opt);
+  blob::BlobRef content = blob::make_synthetic(22, 1_MiB, 0.2, 2.0);
+  ASSERT_TRUE(bed.image_fs().put_file(bed.image_dir() + "/img", content).is_ok());
+  blob::BlobRef patch = blob::make_synthetic(23, 64_KiB, 0.0, 1.0);
+
+  bed.kernel().run_process("session", [&](sim::Process& p) {
+    ASSERT_TRUE(bed.mount(p).is_ok());
+    // Warm the proxy cache before the partition opens.
+    auto warm = bed.image_session().read_all(p, "/img");
+    ASSERT_TRUE(warm.is_ok());
+    ASSERT_LT(p.now(), 30 * kSecond) << "warm phase overran into the partition";
+
+    // Inside the partition: reads come from the proxy cache.
+    p.delay_until(40 * kSecond);
+    bed.nfs_client()->drop_caches();  // force reads down to the proxy
+    auto data = bed.image_session().read_all(p, "/img");
+    ASSERT_TRUE(data.is_ok()) << data.status().to_string();
+    EXPECT_EQ(blob::content_hash(**data), blob::content_hash(*content));
+    EXPECT_TRUE(bed.client_proxy()->upstream_down());
+
+    // A write during the partition is acknowledged and queued.
+    ASSERT_TRUE(bed.image_session().write(p, "/img", 0, patch).is_ok());
+    ASSERT_TRUE(bed.nfs_client()->flush(p).is_ok());
+    EXPECT_GT(bed.client_proxy()->queued_writebacks(), 0u);
+
+    // Heal, reconnect, and verify the queued write-backs reached the server.
+    p.delay_until(100 * kSecond);
+    ASSERT_TRUE(bed.client_proxy()->signal_reconnect(p).is_ok());
+    bed.nfs_client()->drop_caches();
+    bed.block_cache()->invalidate_all();
+    auto back = bed.image_session().read(p, "/img", 0, 64_KiB);
+    ASSERT_TRUE(back.is_ok());
+    EXPECT_EQ(blob::content_hash(**back), blob::content_hash(*patch));
+  });
+  EXPECT_EQ(bed.kernel().failed_processes(), 0) << bed.kernel().failed_names_joined();
+
+  const auto* proxy = bed.client_proxy();
+  EXPECT_GT(proxy->degraded_reads(), 0u);
+  EXPECT_EQ(proxy->queued_writebacks(), proxy->replayed_writebacks());
+  EXPECT_EQ(proxy->pending_writebacks(), 0u);
+  EXPECT_FALSE(proxy->upstream_down());
+  EXPECT_GT(proxy->outage_time(), 0);
+  EXPECT_GT(proxy->last_recovery_time(), 0);
+}
+
+TEST(FaultE2E, CloneWorkloadSurvivesServerCrash) {
+  TestbedOptions opt;
+  opt.scenario = Scenario::kWanCached;
+  opt.generate_image_meta = false;
+  opt.enable_fault_injection = true;
+  opt.fault.drop_rate = 0.01;
+  opt.fault.crashes.push_back(sim::FaultWindow{kSecond, 6 * kSecond});
+  Testbed bed(opt);
+  blob::BlobRef content = blob::make_synthetic(24, 2_MiB, 0.3, 2.0);
+  ASSERT_TRUE(bed.image_fs().put_file(bed.image_dir() + "/img", content).is_ok());
+  u64 hash = 0;
+  bed.kernel().run_process("reader", [&](sim::Process& p) {
+    ASSERT_TRUE(bed.mount(p).is_ok());
+    auto data = bed.image_session().read_all(p, "/img");
+    ASSERT_TRUE(data.is_ok()) << data.status().to_string();
+    hash = blob::content_hash(**data);
+    EXPECT_GE(p.now(), 6 * kSecond);  // rode out the crash window
+  });
+  EXPECT_EQ(bed.kernel().failed_processes(), 0) << bed.kernel().failed_names_joined();
+  EXPECT_EQ(hash, blob::content_hash(*content));
+  ASSERT_NE(bed.fault_injector(), nullptr);
+  EXPECT_EQ(bed.fault_injector()->restarts_fired(), 1u);
+}
+
+}  // namespace
+}  // namespace gvfs

@@ -41,7 +41,7 @@ TEST(Testbed, ConstructsEveryScenario) {
     bed.kernel().run_process("t", [&](sim::Process& p) {
       EXPECT_TRUE(bed.mount(p).is_ok());
     });
-    EXPECT_EQ(bed.kernel().failed_processes(), 0);
+    EXPECT_EQ(bed.kernel().failed_processes(), 0) << bed.kernel().failed_names_joined();
   }
 }
 
@@ -62,7 +62,7 @@ TEST(Testbed, EndToEndIntegrityWanCached) {
     ASSERT_TRUE(bed.signal_write_back(p).is_ok());
     EXPECT_EQ(bed.block_cache()->dirty_blocks(), 0u);
   });
-  EXPECT_EQ(bed.kernel().failed_processes(), 0);
+  EXPECT_EQ(bed.kernel().failed_processes(), 0) << bed.kernel().failed_names_joined();
   auto server_copy = bed.image_fs().get_file("/exports/images/work/data.bin");
   ASSERT_TRUE(server_copy.is_ok());
   EXPECT_EQ(blob::content_hash(**server_copy), blob::content_hash(*content));
@@ -84,7 +84,7 @@ TEST(Testbed, WarmProxyCacheBeatsColdWan) {
     session.read_all(p, "/big");
     warm_s = to_seconds(p.now() - t0);
   });
-  EXPECT_EQ(bed.kernel().failed_processes(), 0);
+  EXPECT_EQ(bed.kernel().failed_processes(), 0) << bed.kernel().failed_names_joined();
   EXPECT_LT(warm_s * 3, cold_s);
 }
 
@@ -107,7 +107,7 @@ TEST(Testbed, WanCachedOutperformsWanOnRereadWorkload) {
       }
       *out = to_seconds(p.now() - t0);
     });
-    EXPECT_EQ(bed.kernel().failed_processes(), 0);
+    EXPECT_EQ(bed.kernel().failed_processes(), 0) << bed.kernel().failed_names_joined();
   }
   EXPECT_LT(wanc_s, wan_s * 0.55);  // paper: >30% better; here re-reads dominate
 }
@@ -133,7 +133,7 @@ TEST(Testbed, CloneViaGvfsBeatsPlainNfs) {
       EXPECT_EQ(blob::content_hash(**bed.local_session().fs().get_file("/clones/c0/vm1.vmss")),
                 blob::content_hash(*vm::memory_state_blob(small_image())));
     });
-    EXPECT_EQ(bed.kernel().failed_processes(), 0);
+    EXPECT_EQ(bed.kernel().failed_processes(), 0) << bed.kernel().failed_names_joined();
   }
   // The paper's headline: enhanced GVFS cloning vastly outperforms plain NFS.
   EXPECT_LT(gvfs_s * 3, plain_s);
@@ -161,7 +161,7 @@ TEST(Testbed, SecondCloneFromWarmCachesMuchFaster) {
       bed.nfs_client()->drop_caches();
     }
   });
-  EXPECT_EQ(bed.kernel().failed_processes(), 0);
+  EXPECT_EQ(bed.kernel().failed_processes(), 0) << bed.kernel().failed_names_joined();
   // At paper scale (320 MB) the memory-state transfer dominates; at test
   // scale the fixed configure/resume floor does, so assert on the transfer
   // phase (warm caches >= 2x) plus overall improvement.
@@ -203,8 +203,8 @@ TEST(Testbed, LanSecondLevelCacheSpeedsFirstClone) {
         vm::VmCloner::clone(p, direct.image_session(), direct.local_session(), cfg).is_ok());
     without_lan_s = to_seconds(p.now() - t0);
   });
-  EXPECT_EQ(bed.kernel().failed_processes(), 0);
-  EXPECT_EQ(direct.kernel().failed_processes(), 0);
+  EXPECT_EQ(bed.kernel().failed_processes(), 0) << bed.kernel().failed_names_joined();
+  EXPECT_EQ(direct.kernel().failed_processes(), 0) << direct.kernel().failed_names_joined();
   EXPECT_LT(with_lan_s, without_lan_s);
 }
 
@@ -231,7 +231,7 @@ TEST(Testbed, ParallelClonesScale) {
       }
       sequential_s = to_seconds(p.now() - t0);
     });
-    EXPECT_EQ(bed.kernel().failed_processes(), 0);
+    EXPECT_EQ(bed.kernel().failed_processes(), 0) << bed.kernel().failed_names_joined();
   }
   {
     auto opt = options_for(Scenario::kWanCached);
@@ -255,7 +255,7 @@ TEST(Testbed, ParallelClonesScale) {
     }
     bed.kernel().run();
     parallel_s = to_seconds(end);
-    EXPECT_EQ(bed.kernel().failed_processes(), 0);
+    EXPECT_EQ(bed.kernel().failed_processes(), 0) << bed.kernel().failed_names_joined();
   }
   // Flows are latency/flow-limited, not pipe-limited: parallel wins big.
   EXPECT_LT(parallel_s * 2, sequential_s);
@@ -282,7 +282,7 @@ TEST(Testbed, ZeroFilterStatisticShape) {
     EXPECT_EQ(blob::content_hash(**back),
               blob::content_hash(*vm::memory_state_blob(spec)));
   });
-  EXPECT_EQ(bed.kernel().failed_processes(), 0);
+  EXPECT_EQ(bed.kernel().failed_processes(), 0) << bed.kernel().failed_names_joined();
   u64 filtered = bed.client_proxy()->zero_filtered_reads();
   // ~92% of pages are zero; at 32 KiB requests (8 pages each) the fully-zero
   // fraction is ~0.92^8 ~ 0.51. Expect a large but not total filter rate.
@@ -307,7 +307,7 @@ TEST(Testbed, SuspendWritesBackThroughFileChannel) {
     ASSERT_TRUE(setup->vm->suspend(p, new_state).is_ok());
     ASSERT_TRUE(bed.signal_write_back(p).is_ok());
   });
-  EXPECT_EQ(bed.kernel().failed_processes(), 0);
+  EXPECT_EQ(bed.kernel().failed_processes(), 0) << bed.kernel().failed_names_joined();
   auto server_state = bed.image_fs().get_file(bed.image_dir() + paths->vmss());
   ASSERT_TRUE(server_state.is_ok());
   EXPECT_EQ(blob::content_hash(**server_state), blob::content_hash(*new_state));
@@ -329,7 +329,7 @@ TEST(Testbed, LocalScenarioRunsWorkloads) {
     ASSERT_TRUE(report.is_ok());
     EXPECT_GT(report->total_s(), 0.0);
   });
-  EXPECT_EQ(bed.kernel().failed_processes(), 0);
+  EXPECT_EQ(bed.kernel().failed_processes(), 0) << bed.kernel().failed_names_joined();
 }
 
 TEST(Testbed, ScenarioOrderingForColdStreamRead) {
@@ -348,7 +348,7 @@ TEST(Testbed, ScenarioOrderingForColdStreamRead) {
       EXPECT_EQ(blob::content_hash(**back), blob::content_hash(*content));
       times[s] = to_seconds(p.now() - t0);
     });
-    EXPECT_EQ(bed.kernel().failed_processes(), 0);
+    EXPECT_EQ(bed.kernel().failed_processes(), 0) << bed.kernel().failed_names_joined();
   }
   EXPECT_LT(times[Scenario::kLocal], times[Scenario::kLan]);
   EXPECT_LT(times[Scenario::kLan], times[Scenario::kWan]);

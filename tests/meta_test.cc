@@ -179,7 +179,7 @@ TEST(FileChannel, ServerCpuBoundsConcurrentCompression) {
     });
   }
   f.kernel.run();
-  EXPECT_EQ(f.kernel.failed_processes(), 0);
+  EXPECT_EQ(f.kernel.failed_processes(), 0) << f.kernel.failed_names_joined();
   // 32 MiB at 20 MB/s = ~1.6 s compress each; 4 jobs over 2 CPUs >= 3.2 s.
   EXPECT_GT(to_seconds(end), 3.0);
 }

@@ -37,7 +37,7 @@ struct Fixture {
       ASSERT_TRUE(client->mount(p, "/exports").is_ok());
       body(p, *client);
     });
-    EXPECT_EQ(kernel.failed_processes(), 0);
+    EXPECT_EQ(kernel.failed_processes(), 0) << kernel.failed_names_joined();
   }
 };
 

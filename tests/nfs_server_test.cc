@@ -25,9 +25,13 @@ struct ServerFixture {
 
   Fh root() { return server->root_fh("/exports"); }
 
+  u32 next_xid = 1;
+
+  // Each call gets a fresh xid, as a real client would issue; reusing an xid
+  // now means "retransmission" to the server's duplicate request cache.
   rpc::RpcCall call(Proc proc, rpc::MessagePtr args) {
     rpc::RpcCall c;
-    c.xid = 1;
+    c.xid = next_xid++;
     c.prog = rpc::kNfsProgram;
     c.vers = rpc::kNfsVersion3;
     c.proc = static_cast<u32>(proc);
@@ -233,7 +237,7 @@ TEST(NfsServer, NfsdThreadsBoundConcurrency) {
   f.kernel.run();
   // 6 calls of >=10ms CPU on 2 service threads: at least 3 serial rounds.
   EXPECT_GE(end, 30 * kMillisecond);
-  EXPECT_EQ(f.kernel.failed_processes(), 0);
+  EXPECT_EQ(f.kernel.failed_processes(), 0) << f.kernel.failed_names_joined();
 }
 
 TEST(NfsServer, ServerPageCacheAbsorbsRereads) {

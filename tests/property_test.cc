@@ -112,7 +112,7 @@ TEST_P(StackConsistency, RandomOpsMatchReferenceAndServerConverges) {
     ASSERT_TRUE(session.flush(p).is_ok());
     ASSERT_TRUE(bed.signal_write_back(p).is_ok());
   });
-  ASSERT_EQ(bed.kernel().failed_processes(), 0);
+  ASSERT_EQ(bed.kernel().failed_processes(), 0) << bed.kernel().failed_names_joined();
 
   // After write-back, the image server must hold exactly the model content.
   for (const auto& [path, expect] : ref.files) {
@@ -165,7 +165,7 @@ TEST_P(CacheSizeMonotonic, RereadTimeDecreasesWithCache) {
     bed.image_session().read_all(p, "/data");
     reread_s = to_seconds(p.now() - t0);
   });
-  ASSERT_EQ(bed.kernel().failed_processes(), 0);
+  ASSERT_EQ(bed.kernel().failed_processes(), 0) << bed.kernel().failed_names_joined();
   // Record into a static map and assert monotonicity across the sweep
   // (params run smallest-to-largest).
   static std::map<u64, double> results;
@@ -240,7 +240,7 @@ TEST_P(RedoLogProperty, OverlaySemanticsMatchReference) {
       }
     }
   });
-  ASSERT_EQ(kernel.failed_processes(), 0);
+  ASSERT_EQ(kernel.failed_processes(), 0) << kernel.failed_names_joined();
   // The golden image is untouched (non-persistent semantics).
   EXPECT_EQ(blob::content_hash(**fs.get_file(paths->flat_vmdk())), base_hash_before);
 }

@@ -84,7 +84,7 @@ struct ProxyFixture {
       ASSERT_TRUE(client.mount(p, "/exports").is_ok());
       body(p);
     });
-    EXPECT_EQ(kernel.failed_processes(), 0);
+    EXPECT_EQ(kernel.failed_processes(), 0) << kernel.failed_names_joined();
   }
 };
 
@@ -317,7 +317,7 @@ TEST(Proxy, WriteThroughForwardsSynchronously) {
     ASSERT_TRUE(client.write(p, "/f", 0, content).is_ok());
     ASSERT_TRUE(client.flush(p).is_ok());
   });
-  EXPECT_EQ(f.kernel.failed_processes(), 0);
+  EXPECT_EQ(f.kernel.failed_processes(), 0) << f.kernel.failed_names_joined();
   // Server already has the data, no signal needed.
   EXPECT_EQ(blob::content_hash(**f.server_fs.get_file("/exports/f")),
             blob::content_hash(*content));
@@ -366,7 +366,7 @@ TEST(Proxy, CascadedProxiesServeFromEitherLevel) {
     EXPECT_LE(f.tunnel.messages(), wan_msgs + 2);
     EXPECT_LT(to_seconds(p.now() - t0), 1.0);
   });
-  EXPECT_EQ(f.kernel.failed_processes(), 0);
+  EXPECT_EQ(f.kernel.failed_processes(), 0) << f.kernel.failed_names_joined();
 }
 
 TEST(Proxy, StatsCountersConsistent) {

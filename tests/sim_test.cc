@@ -21,7 +21,7 @@ TEST(SimKernel, SingleProcessAdvancesTime) {
     EXPECT_EQ(p.now(), 5 * kSecond);
   });
   EXPECT_EQ(end, 5 * kSecond);
-  EXPECT_EQ(k.failed_processes(), 0);
+  EXPECT_EQ(k.failed_processes(), 0) << k.failed_names_joined();
 }
 
 TEST(SimKernel, ProcessesInterleaveDeterministically) {
@@ -91,6 +91,20 @@ TEST(SimKernel, FailedProcessCounted) {
   EXPECT_EQ(k.failed_processes(), 1);
 }
 
+TEST(SimKernel, FailedProcessNamesRecorded) {
+  SimKernel k;
+  k.spawn("ok", [](Process& p) { p.delay(10); });
+  k.spawn("bad-writer", [](Process&) { throw std::runtime_error("boom"); });
+  k.spawn("bad-reader", [](Process&) { throw std::runtime_error("bang"); });
+  k.run();
+  EXPECT_EQ(k.failed_processes(), 2);
+  ASSERT_EQ(k.failed_process_names().size(), 2u);
+  std::string joined = k.failed_names_joined();
+  EXPECT_NE(joined.find("bad-writer"), std::string::npos) << joined;
+  EXPECT_NE(joined.find("bad-reader"), std::string::npos) << joined;
+  EXPECT_EQ(joined.find("ok"), std::string::npos) << joined;
+}
+
 TEST(Signal, NotifyAllWakesWaiters) {
   SimKernel k;
   Signal sig(k);
@@ -132,6 +146,88 @@ TEST(Signal, NotifyOneWakesFifo) {
   EXPECT_EQ(order, (std::vector<int>{0, 1}));
 }
 
+TEST(Signal, NotifyOneRewaiterGoesToBackOfQueue) {
+  // A woken process that waits again queues behind waiters that were already
+  // parked — FIFO across re-waits, not just across first waits.
+  SimKernel k;
+  Signal sig(k);
+  std::vector<int> order;
+  k.spawn("w0", [&](Process& p) {
+    p.wait(sig);
+    order.push_back(0);
+    p.wait(sig);  // re-wait: must now queue behind w1
+    order.push_back(0);
+  });
+  k.spawn("w1", [&](Process& p) {
+    p.wait(sig);
+    order.push_back(1);
+  });
+  k.spawn("n", [&](Process& p) {
+    for (int i = 0; i < 3; ++i) {
+      p.delay(10);
+      EXPECT_TRUE(sig.notify_one());
+    }
+    p.delay(10);
+    EXPECT_FALSE(sig.notify_one());  // queue drained
+  });
+  k.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 0}));
+}
+
+TEST(Signal, NotifyAllResumesAtNotifiersVirtualTime) {
+  // Waiters parked at different virtual times all resume at the moment of
+  // the notify_all, and a process that starts waiting afterwards is not
+  // retroactively woken.
+  SimKernel k;
+  Signal sig(k);
+  std::vector<SimTime> wake_times;
+  bool late_woke = false;
+  k.spawn("early", [&](Process& p) {
+    p.wait(sig);  // parked at t=0
+    wake_times.push_back(p.now());
+  });
+  k.spawn("mid", [&](Process& p) {
+    p.delay(30);
+    p.wait(sig);  // parked at t=30
+    wake_times.push_back(p.now());
+  });
+  k.spawn("late", [&](Process& p) {
+    p.delay(100);  // past the notify: waits forever, killed at end
+    p.wait(sig);
+    late_woke = true;
+  });
+  k.spawn("n", [&](Process& p) {
+    p.delay(70);
+    sig.notify_all();
+  });
+  k.run();
+  EXPECT_EQ(wake_times, (std::vector<SimTime>{70, 70}));
+  EXPECT_FALSE(late_woke);
+  EXPECT_EQ(k.failed_processes(), 0) << k.failed_names_joined();
+}
+
+TEST(Signal, ShutdownKillUnwindsWaiterStack) {
+  // When the kernel kills still-blocked processes at end of run, their
+  // stacks unwind (ProcessKilled) so RAII cleanup — permits, locks — runs.
+  SimKernel k;
+  Signal sig(k);
+  Semaphore sem(k, 1);
+  bool destructor_ran = false;
+  struct Sentinel {
+    bool* flag;
+    ~Sentinel() { *flag = true; }
+  };
+  k.spawn("stuck", [&](Process& p) {
+    Sentinel s{&destructor_ran};
+    ScopedPermit permit(p, sem);  // held across the fatal wait
+    p.wait(sig);                  // never notified
+  });
+  k.run();
+  EXPECT_TRUE(destructor_ran);
+  EXPECT_EQ(sem.available(), 1);  // the permit was released by unwinding
+  EXPECT_EQ(k.failed_processes(), 0) << k.failed_names_joined();
+}
+
 TEST(Signal, BlockedForeverIsKilledAtEnd) {
   SimKernel k;
   Signal sig(k);
@@ -142,7 +238,7 @@ TEST(Signal, BlockedForeverIsKilledAtEnd) {
   });
   k.run();
   EXPECT_FALSE(reached_end);
-  EXPECT_EQ(k.failed_processes(), 0);  // kill is not a failure
+  EXPECT_EQ(k.failed_processes(), 0) << k.failed_names_joined();  // kill is not a failure
 }
 
 TEST(Semaphore, LimitsConcurrency) {

@@ -38,7 +38,7 @@ struct WlFixture {
 
   void run(std::function<void(sim::Process&)> body) {
     kernel.run_process("t", std::move(body));
-    EXPECT_EQ(kernel.failed_processes(), 0);
+    EXPECT_EQ(kernel.failed_processes(), 0) << kernel.failed_names_joined();
   }
 };
 

@@ -25,6 +25,7 @@ benches=(
   bench_ablate_meta
   bench_ablate_prefetch
   bench_ablate_writeback
+  bench_fault_recovery
   bench_micro
 )
 

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Sanitizer gate: build the whole tree with AddressSanitizer +
+# UndefinedBehaviorSanitizer and run the test suite (including the
+# fault-injection tests, label "faults") under them. Any sanitizer report
+# aborts the run (halt_on_error / abort-on-UB), so a red exit here means a
+# real memory or UB bug, not a flaky test.
+#
+# Usage: tools/run_checks.sh [build-dir]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build-asan}"
+
+cmake -B "$build_dir" -S "$repo_root" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DGVFS_SANITIZE=address,undefined
+cmake --build "$build_dir" -j "$(nproc)"
+
+# Turn every sanitizer finding into a hard failure: ASan exits non-zero on
+# its first report, UBSan aborts instead of printing-and-continuing.
+export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1:abort_on_error=0"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+
+cd "$build_dir"
+echo "== full test suite under ASan/UBSan =="
+ctest --output-on-failure -j "$(nproc)"
+
+echo "== fault-injection tests (ctest -L faults) =="
+ctest --output-on-failure -L faults -j "$(nproc)"
+
+echo "All checks passed (ASan/UBSan clean)."
