@@ -72,6 +72,7 @@ class BenchReport {
  public:
   explicit BenchReport(std::string name)
       : name_(std::move(name)),
+        // gvfs-lint: allow(determinism-clock) host wall-clock; reported outside the simulated section
         start_(std::chrono::steady_clock::now()),
         start_alloc_(alloc_snapshot()) {}
 
@@ -101,7 +102,9 @@ class BenchReport {
   // Write BENCH_<name>.json into the current directory. Reports progress on
   // stderr so bench stdout stays byte-comparable across runs.
   void write() const {
+    // gvfs-lint: allow(determinism-clock) host wall-clock; reported outside the simulated section
     auto wall = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    // gvfs-lint: allow(determinism-clock) host wall-clock measurement
                     std::chrono::steady_clock::now() - start_)
                     .count();
     AllocCounters now = alloc_snapshot();
@@ -154,7 +157,7 @@ class BenchReport {
   }
 
   std::string name_;
-  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point start_;  // gvfs-lint: allow(determinism-clock) host wall-clock anchor
   AllocCounters start_alloc_;
   std::vector<std::pair<std::string, std::string>> sim_;
 };

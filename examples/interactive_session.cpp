@@ -35,7 +35,7 @@ int main() {
     workload::LatexConfig lcfg;
     lcfg.iterations = 6;
     workload::LatexWorkload latex(lcfg);
-    latex.install(*setup->guest);
+    if (!latex.install(*setup->guest).is_ok()) return;
     auto report = latex.run(p, *setup->guest);
     if (!report.is_ok()) return;
     std::printf("LaTeX iterations (s):");
@@ -46,10 +46,10 @@ int main() {
     // the write-back file cache) and let middleware push everything home.
     t0 = p.now();
     auto new_state = blob::make_synthetic(0xa11ce, vopt.spec.memory_bytes, 0.85, 3.0);
-    setup->vm->suspend(p, new_state);
+    if (!setup->vm->suspend(p, new_state).is_ok()) return;
     std::printf("suspend (locally buffered): %.1f s\n", to_seconds(p.now() - t0));
     t0 = p.now();
-    bed.signal_write_back(p);
+    if (!bed.signal_write_back(p).is_ok()) return;
     std::printf("middleware write-back to image server: %.1f s (user is offline)\n",
                 to_seconds(p.now() - t0));
   });

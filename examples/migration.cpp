@@ -23,14 +23,14 @@ int main() {
 
   bed.kernel().run_process("scheduler", [&](sim::Process& p) {
     // Bring the VM up on compute server 0.
-    bed.mount(p, 0);
+    if (!bed.mount(p, 0).is_ok()) return;
     vfs::FsSession& src = bed.image_session(0);
     vm::VmMonitor vm0;
     vm0.attach(src, image->cfg(), image->vmss(), src, image->flat_vmdk());
     if (!vm0.resume(p).is_ok()) return;
     std::printf("VM running on node 0 (t=%.1f s)\n", to_seconds(p.now()));
     // It does some work...
-    vm0.disk_write(p, 700_MiB, blob::make_synthetic(1, 2_MiB, 0, 2.0));
+    if (!vm0.disk_write(p, 700_MiB, blob::make_synthetic(1, 2_MiB, 0, 2.0)).is_ok()) return;
     p.delay(30 * kSecond);
 
     // The scheduler decides to move it to node 1 (load balancing).

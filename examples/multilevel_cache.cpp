@@ -26,7 +26,7 @@ int main() {
 
   bed.kernel().run_process("rollout", [&](sim::Process& p) {
     for (int node = 0; node < kNodes; ++node) {
-      bed.mount(p, node);
+      if (!bed.mount(p, node).is_ok()) return;
       vm::CloneConfig cfg;
       cfg.image = *image;
       cfg.clone_dir = "/var/vms/clone";

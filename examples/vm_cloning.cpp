@@ -28,13 +28,12 @@ int main() {
   }
 
   bed.kernel().run_process("cloner", [&](sim::Process& p) {
-    bed.mount(p);
+    if (!bed.mount(p).is_ok()) return;
     for (int i = 0; i < 2; ++i) {
       vm::CloneConfig cfg;
       cfg.image = *image;
       cfg.clone_dir = "/var/vms/clone" + std::to_string(i);
       cfg.clone_name = "user-vm-" + std::to_string(i);
-      SimTime t0 = p.now();
       auto clone = vm::VmCloner::clone(p, bed.image_session(), bed.local_session(), cfg);
       if (!clone.is_ok()) {
         std::printf("clone failed: %s\n", clone.status().to_string().c_str());
@@ -50,8 +49,8 @@ int main() {
       // The clone is alive: guest disk reads hit the golden image on demand
       // through the symlinked mount; writes land in the local redo log.
       auto data = clone->vm->disk_read(p, 512_MiB, 64_KiB);
-      clone->vm->disk_write(p, 512_MiB, blob::make_synthetic(1, 64_KiB, 0, 2.0));
-      clone->vm->sync(p);
+      if (!clone->vm->disk_write(p, 512_MiB, blob::make_synthetic(1, 64_KiB, 0, 2.0)).is_ok()) return;
+      if (!clone->vm->sync(p).is_ok()) return;
       std::printf("  guest I/O ok: read %llu bytes, redo log now %llu bytes\n",
                   static_cast<unsigned long long>((*data)->size()),
                   static_cast<unsigned long long>(clone->vm->redo_log()->log_bytes()));

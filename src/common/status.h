@@ -40,7 +40,10 @@ enum class ErrCode : int {
 [[nodiscard]] const char* err_name(ErrCode c);
 
 // A success-or-error value; carries an optional human-readable message.
-class Status {
+// [[nodiscard]]: silently dropping a Status is how user-level file systems
+// historically lost consistency; discard deliberately with (void) and a
+// comment, or propagate.
+class [[nodiscard]] Status {
  public:
   Status() : code_(ErrCode::kOk) {}
   explicit Status(ErrCode c, std::string msg = {})
@@ -69,7 +72,7 @@ inline Status err(ErrCode c, std::string msg = {}) {
 
 // Result<T>: either a value or a non-OK Status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : v_(std::move(value)) {}  // NOLINT implicit by design
   Result(Status s) : v_(std::move(s)) {      // NOLINT implicit by design

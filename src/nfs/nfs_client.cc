@@ -188,6 +188,7 @@ void NfsClient::invalidate_path_(const std::string& path) {
   } else {
     // Fallback: the name may be cached under any directory; scan.
     std::string suffix = "/" + path_basename(path);
+    // gvfs-lint: allow(unordered-iteration) erases every match; the surviving set is order-independent
     for (auto d = dentry_cache_.begin(); d != dentry_cache_.end();) {
       if (ends_with(d->first, suffix)) {
         d = dentry_cache_.erase(d);

@@ -9,7 +9,14 @@ Status CachingFileEndpoint::pull_(sim::Process& p, vfs::FileId fileid) {
   scp_up_.transfer(p, img.compressed_size);
   disk_.access(p, img.compressed_size, sim::Locality::kSequential);
   while (resident_ + img.compressed_size > capacity_ && !images_.empty()) {
-    auto victim = images_.begin();
+    // Evict the smallest file id: unordered_map::begin() would pick a
+    // hash-order (implementation-defined) victim, making eviction — and
+    // every simulated timing downstream of it — non-reproducible.
+    auto victim = images_.begin();  // gvfs-lint: allow(unordered-iteration) seed for the min-key scan
+    // gvfs-lint: allow(unordered-iteration) commutative min-key scan; order cannot escape
+    for (auto it = images_.begin(); it != images_.end(); ++it) {
+      if (it->first < victim->first) victim = it;
+    }
     resident_ -= victim->second.compressed_size;
     images_.erase(victim);
   }

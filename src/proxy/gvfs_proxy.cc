@@ -356,14 +356,26 @@ std::shared_ptr<nfs::LookupRes> GvfsProxy::degraded_lookup_(
     const nfs::LookupArgs& a) const {
   // Serve a LOOKUP from the namespace learned before the outage (linear
   // scan: the learned set is small — files the session actually touched).
+  // If a name was relearned under a new handle there can be two matches;
+  // pick the smallest key so the answer never depends on hash order.
+  bool found = false;
+  u64 best_key = 0;
+  // gvfs-lint: allow(unordered-iteration) commutative min-key scan; order cannot escape
   for (const auto& [key, link] : parents_) {
     if (link.dir.key() != a.dir.key() || link.name != a.name) continue;
-    auto fh_it = key_to_fh_.find(key);
-    if (fh_it == key_to_fh_.end()) break;
-    auto res = std::make_shared<nfs::LookupRes>();
-    res->fh = fh_it->second;
-    if (auto attr = stale_attr_(fh_it->second)) res->obj_attr.attr = *attr;
-    return res;
+    if (!found || key < best_key) {
+      found = true;
+      best_key = key;
+    }
+  }
+  if (found) {
+    auto fh_it = key_to_fh_.find(best_key);
+    if (fh_it != key_to_fh_.end()) {
+      auto res = std::make_shared<nfs::LookupRes>();
+      res->fh = fh_it->second;
+      if (auto attr = stale_attr_(fh_it->second)) res->obj_attr.attr = *attr;
+      return res;
+    }
   }
   return nullptr;
 }

@@ -33,19 +33,46 @@ SimTime Process::now() const { return kernel_.now_; }
 
 // ----------------------------------------------------------------- Signal --
 
+Signal::Signal(SimKernel& kernel, std::string name)
+    : kernel_(kernel), name_(std::move(name)) {
+  std::unique_lock<std::mutex> lk(kernel_.mu_);
+  kernel_.register_signal_locked(this);
+}
+
+Signal::~Signal() {
+  std::unique_lock<std::mutex> lk(kernel_.mu_);
+  kernel_.unregister_signal_locked(this);
+}
+
 void Signal::notify_all() {
   std::unique_lock<std::mutex> lk(kernel_.mu_);
+  if (waiters_.empty()) ++missed_notifies_;
   for (Process* w : waiters_) kernel_.schedule_locked(kernel_.now_, w);
   waiters_.clear();
 }
 
 bool Signal::notify_one() {
   std::unique_lock<std::mutex> lk(kernel_.mu_);
-  if (waiters_.empty()) return false;
+  if (waiters_.empty()) {
+    ++missed_notifies_;
+    return false;
+  }
   Process* w = waiters_.front();
   waiters_.erase(waiters_.begin());
   kernel_.schedule_locked(kernel_.now_, w);
   return true;
+}
+
+void Signal::add_holder() {
+  std::unique_lock<std::mutex> lk(kernel_.mu_);
+  if (kernel_.current_ != nullptr) holders_.push_back(kernel_.current_);
+}
+
+void Signal::remove_holder() {
+  std::unique_lock<std::mutex> lk(kernel_.mu_);
+  if (kernel_.current_ == nullptr) return;
+  auto it = std::find(holders_.begin(), holders_.end(), kernel_.current_);
+  if (it != holders_.end()) holders_.erase(it);
 }
 
 void Process::wait(Signal& s) {
@@ -114,8 +141,76 @@ void SimKernel::schedule_locked(SimTime t, Process* p) {
 
 void SimKernel::resume_and_wait_locked(std::unique_lock<std::mutex>& lk, Process* p) {
   p->state_ = Process::State::kRunning;
+  current_ = p;
   p->cv_.notify_one();
   kernel_cv_.wait(lk, [p] { return p->state_ != Process::State::kRunning; });
+  current_ = nullptr;
+}
+
+void SimKernel::register_signal_locked(Signal* s) { signals_.push_back(s); }
+
+void SimKernel::unregister_signal_locked(Signal* s) {
+  auto it = std::find(signals_.begin(), signals_.end(), s);
+  if (it != signals_.end()) signals_.erase(it);
+}
+
+QuiescenceReport SimKernel::analyze_quiescence_locked() const {
+  QuiescenceReport report;
+  // Wait-for edges: a blocked waiter on signal S waits for every process
+  // currently annotated as holding S (hold-and-wait). Registration order of
+  // signals and FIFO order of wait lists keep the report deterministic.
+  std::vector<Process*> nodes;
+  std::vector<std::vector<Process*>> out;
+  auto node_index = [&](Process* p) {
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (nodes[i] == p) return i;
+    }
+    nodes.push_back(p);
+    out.emplace_back();
+    return nodes.size() - 1;
+  };
+  for (const Signal* s : signals_) {
+    for (Process* w : s->waiters_) {
+      if (w->state_ != Process::State::kBlocked) continue;
+      report.blocked.push_back(
+          {w->name_, s->name_, s->missed_notifies_ > 0});
+      std::size_t wi = node_index(w);
+      for (Process* h : s->holders_) {
+        if (h != w && h->state_ == Process::State::kBlocked) {
+          out[wi].push_back(h);
+        }
+      }
+    }
+  }
+  // Cycle detection: iterative colored DFS over the wait-for graph. Every
+  // node has at most a handful of edges, so the quadratic node lookup above
+  // is fine at quiescence scale.
+  enum class Color { kWhite, kGrey, kBlack };
+  std::vector<Color> color(nodes.size(), Color::kWhite);
+  std::vector<Process*> stack;
+  std::function<void(std::size_t)> dfs = [&](std::size_t v) {
+    color[v] = Color::kGrey;
+    stack.push_back(nodes[v]);
+    for (Process* t : out[v]) {
+      std::size_t ti = node_index(t);
+      if (ti >= color.size()) color.resize(nodes.size(), Color::kWhite);
+      if (color[ti] == Color::kGrey) {
+        // Found a back edge: the cycle is the stack suffix starting at t.
+        auto it = std::find(stack.begin(), stack.end(), t);
+        std::vector<std::string> cycle;
+        for (; it != stack.end(); ++it) cycle.push_back((*it)->name_);
+        report.cycles.push_back(std::move(cycle));
+      } else if (color[ti] == Color::kWhite) {
+        dfs(ti);
+      }
+    }
+    stack.pop_back();
+    color[v] = Color::kBlack;
+  };
+  for (std::size_t v = 0; v < nodes.size(); ++v) {
+    if (color[v] == Color::kWhite) dfs(v);
+  }
+  return report;
 }
 
 void SimKernel::reap_locked(std::unique_lock<std::mutex>&) {
@@ -138,19 +233,67 @@ SimTime SimKernel::run() {
     resume_and_wait_locked(lk, w.proc);
     reap_locked(lk);
   }
-  // Event queue drained: any process still blocked waits on a signal that
-  // will never fire. Kill them so their threads unwind.
+  // Event queue drained ("quiescence"): any process still blocked waits on
+  // a signal that will never fire. Run the lockdep pass over the wait-for
+  // graph first — a hold-and-wait cycle here is a real deadlock, not an
+  // idle server — then kill the stragglers so their threads unwind.
+  quiescence_ = analyze_quiescence_locked();
+  for (const auto& cycle : quiescence_.cycles) {
+    std::string names;
+    for (const std::string& n : cycle) {
+      if (!names.empty()) names += " -> ";
+      names += n;
+    }
+    GVFS_ERROR("sim") << "lockdep: hold-and-wait deadlock cycle: " << names;
+  }
+#ifdef GVFS_DEADLOCK_CHECK
+  for (const auto& b : quiescence_.blocked) {
+    if (b.possible_lost_wakeup) {
+      GVFS_WARN("sim") << "lockdep: process '" << b.process << "' stuck on '"
+                       << b.signal
+                       << "' which was notified with no waiter present "
+                          "(possible lost wakeup)";
+    }
+  }
+#endif
   for (auto& p : procs_) {
     if (p->state_ == Process::State::kBlocked || p->state_ == Process::State::kCreated) {
       GVFS_WARN("sim") << "killing process '" << p->name() << "' blocked at end of run";
       p->killed_ = true;
+      current_ = p.get();  // unwinding RAII cleanup runs on behalf of `p`
       p->cv_.notify_one();
       kernel_cv_.wait(lk, [&] { return p->state_ == Process::State::kDone; });
+      current_ = nullptr;
     }
   }
   reap_locked(lk);
   running_ = false;
   return now_;
+}
+
+bool QuiescenceReport::names_process(const std::string& name) const {
+  for (const auto& b : blocked) {
+    if (b.process == name) return true;
+  }
+  for (const auto& cycle : cycles) {
+    if (std::find(cycle.begin(), cycle.end(), name) != cycle.end()) return true;
+  }
+  return false;
+}
+
+std::string QuiescenceReport::to_string() const {
+  std::string out;
+  for (const auto& b : blocked) {
+    out += "blocked: " + b.process + " on " + b.signal;
+    if (b.possible_lost_wakeup) out += " (possible lost wakeup)";
+    out += "\n";
+  }
+  for (const auto& cycle : cycles) {
+    out += "deadlock cycle:";
+    for (const std::string& n : cycle) out += " " + n;
+    out += "\n";
+  }
+  return out;
 }
 
 std::string SimKernel::failed_names_joined() const {

@@ -34,12 +34,27 @@ class Process;
 // unwinds the process body so its thread can be joined.
 struct ProcessKilled {};
 
+// Deadlock checking (sim lockdep). The kernel always keeps the cheap
+// bookkeeping (who waits on which signal, who holds which lock-like
+// resource) and computes a QuiescenceReport when the event queue drains
+// with processes still blocked. GVFS_DEADLOCK_CHECK additionally logs the
+// full wait-for graph at that point; it is always on in debug builds and
+// can be forced for any build type with -DGVFS_DEADLOCK_CHECK=1 (the CMake
+// option GVFS_DEADLOCK_CHECK does this).
+#if !defined(GVFS_DEADLOCK_CHECK) && !defined(NDEBUG)
+#define GVFS_DEADLOCK_CHECK 1
+#endif
+
 // A waitable pulse: processes block on it, another process releases them.
 // Used for semaphores, RPC completion, middleware signals (SIGUSR-style
 // flush/write-back commands in the paper map onto these).
+//
+// Signals register with their kernel so end-of-run deadlock analysis can
+// walk every wait list; the optional `name` shows up in those reports.
 class Signal {
  public:
-  explicit Signal(SimKernel& kernel) : kernel_(kernel) {}
+  explicit Signal(SimKernel& kernel, std::string name = "signal");
+  ~Signal();
   Signal(const Signal&) = delete;
   Signal& operator=(const Signal&) = delete;
 
@@ -48,10 +63,27 @@ class Signal {
   // Wake one waiter (FIFO). Returns false if nobody was waiting.
   bool notify_one();
 
+  // Lockdep annotation for lock-like resources guarded by this signal
+  // (semaphore permits, leases): the *currently running* process becomes /
+  // stops being a holder. A cycle of blocked waiters through holders is a
+  // hold-and-wait deadlock. No-ops outside process context.
+  void add_holder();
+  void remove_holder();
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  // Times notify_one()/notify_all() found no waiter to wake. A process
+  // stuck on this signal at quiescence after such a notify is the classic
+  // lost-wakeup shape (notify raced ahead of wait).
+  [[nodiscard]] u64 missed_notifies() const { return missed_notifies_; }
+
  private:
   friend class Process;
+  friend class SimKernel;
   SimKernel& kernel_;
+  std::string name_;
   std::vector<Process*> waiters_;
+  std::vector<Process*> holders_;
+  u64 missed_notifies_ = 0;
 };
 
 // Handle passed to a process body; all blocking primitives live here.
@@ -91,6 +123,29 @@ class Process {
 
 using ProcessBody = std::function<void(Process&)>;
 
+// Result of the lockdep pass run when the event queue drains while
+// processes are still blocked on signals ("quiescence"). Servers parked on
+// request signals are normal there; hold-and-wait cycles never are.
+struct QuiescenceReport {
+  struct BlockedWaiter {
+    std::string process;
+    std::string signal;
+    // The awaited signal was notified at least once while nobody was
+    // waiting — the stuck wait is likely a lost wakeup, not an idle server.
+    bool possible_lost_wakeup = false;
+  };
+
+  // Every process still blocked on a signal at quiescence.
+  std::vector<BlockedWaiter> blocked;
+  // Hold-and-wait cycles: process names, each waiting on a resource held by
+  // the next (last waits on the first). A non-empty list is a deadlock.
+  std::vector<std::vector<std::string>> cycles;
+
+  [[nodiscard]] bool deadlock() const { return !cycles.empty(); }
+  [[nodiscard]] bool names_process(const std::string& name) const;
+  [[nodiscard]] std::string to_string() const;
+};
+
 class SimKernel {
  public:
   SimKernel() = default;
@@ -128,6 +183,12 @@ class SimKernel {
   // "name1, name2" — convenience for assertion messages.
   [[nodiscard]] std::string failed_names_joined() const;
 
+  // Lockdep findings from the most recent run() that reached quiescence
+  // with blocked processes; empty when every process ran to completion.
+  [[nodiscard]] const QuiescenceReport& quiescence_report() const {
+    return quiescence_;
+  }
+
  private:
   friend class Process;
   friend class Signal;
@@ -145,6 +206,11 @@ class SimKernel {
   void schedule_locked(SimTime t, Process* p);
   void resume_and_wait_locked(std::unique_lock<std::mutex>& lk, Process* p);
   void reap_locked(std::unique_lock<std::mutex>& lk);
+  void register_signal_locked(Signal* s);
+  void unregister_signal_locked(Signal* s);
+  // Build the wait-for graph over still-blocked waiters and detect
+  // hold-and-wait cycles and lost-wakeup shapes.
+  QuiescenceReport analyze_quiescence_locked() const;
 
   std::mutex mu_;
   std::condition_variable kernel_cv_;
@@ -157,6 +223,9 @@ class SimKernel {
   int failed_ = 0;
   std::vector<std::string> failed_names_;
   bool running_ = false;
+  Process* current_ = nullptr;  // the one process allowed to run right now
+  std::vector<Signal*> signals_;  // live signals, registration order
+  QuiescenceReport quiescence_;
 };
 
 }  // namespace gvfs::sim

@@ -101,16 +101,23 @@ class DiskModel {
   u64 bytes_moved_ = 0;
 };
 
-// Counting semaphore (e.g. bounds concurrent nfsd service threads).
+// Counting semaphore (e.g. bounds concurrent nfsd service threads). Permit
+// ownership is annotated on the underlying signal so the kernel's lockdep
+// pass can walk hold-and-wait cycles through blocked permit holders; the
+// annotation assumes the releasing process is the one that acquired (true
+// for every RAII/scoped use in the tree).
 class Semaphore {
  public:
-  Semaphore(SimKernel& kernel, int permits) : avail_(permits), sig_(kernel) {}
+  Semaphore(SimKernel& kernel, int permits, std::string name = "semaphore")
+      : avail_(permits), sig_(kernel, std::move(name)) {}
 
   void acquire(Process& p) {
     while (avail_ == 0) p.wait(sig_);
     --avail_;
+    sig_.add_holder();
   }
   void release() {
+    sig_.remove_holder();
     ++avail_;
     sig_.notify_one();
   }
@@ -126,7 +133,7 @@ class Semaphore {
 // dual-processor image server).
 class CpuPool {
  public:
-  CpuPool(SimKernel& kernel, int cpus) : sem_(kernel, cpus) {}
+  CpuPool(SimKernel& kernel, int cpus) : sem_(kernel, cpus, "cpu-pool") {}
 
   void run(Process& p, SimDuration work) {
     sem_.acquire(p);

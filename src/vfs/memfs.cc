@@ -254,6 +254,7 @@ Result<const blob::ExtentStore*> MemFs::peek_content(FileId id) const {
 
 u64 MemFs::materialized_bytes() const {
   u64 total = 0;
+  // gvfs-lint: allow(unordered-iteration) commutative sum; order cannot escape
   for (const auto& [id, ino] : inodes_) total += ino.content.materialized_bytes();
   return total;
 }

@@ -4,6 +4,8 @@
 // geometry as property tests.
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include "cache/block_cache.h"
 #include "cache/file_cache.h"
 #include "common/rng.h"
@@ -72,7 +74,7 @@ TEST(BlockCache, HitChargesCacheDiskTime) {
   ProxyDiskCache c(f.disk, f.small_cfg());
   f.run([&](sim::Process& p) {
     BlockId id{1, 0};
-    c.insert(p, id, block_data(1), false);
+    ASSERT_OK(c.insert(p, id, block_data(1), false));
     SimTime t0 = p.now();
     c.lookup(p, id);
     EXPECT_GT(p.now(), t0);  // disk access, not free
@@ -104,9 +106,9 @@ TEST(BlockCache, LruEvictionWithinSet) {
     // Blocks spaced 16 apart land in the same set (16 sets).
     std::vector<BlockId> ids;
     for (u64 i = 0; i < 5; ++i) ids.push_back(BlockId{3, i * 16});
-    for (u64 i = 0; i < 4; ++i) c.insert(p, ids[i], block_data(1), false);
+    for (u64 i = 0; i < 4; ++i) ASSERT_OK(c.insert(p, ids[i], block_data(1), false));
     c.lookup(p, ids[0]);  // refresh 0 -> victim should be 1
-    c.insert(p, ids[4], block_data(1), false);
+    ASSERT_OK(c.insert(p, ids[4], block_data(1), false));
     EXPECT_TRUE(c.contains(ids[0]));
     EXPECT_FALSE(c.contains(ids[1]));
     EXPECT_TRUE(c.contains(ids[4]));
@@ -125,7 +127,7 @@ TEST(BlockCache, DirtyEvictionWritesBack) {
   });
   f.run([&](sim::Process& p) {
     for (u64 i = 0; i < 5; ++i) {
-      c.insert(p, BlockId{3, i * 16}, block_data(1), /*dirty=*/true);
+      ASSERT_OK(c.insert(p, BlockId{3, i * 16}, block_data(1), /*dirty=*/true));
     }
   });
   ASSERT_EQ(written.size(), 1u);
@@ -145,7 +147,7 @@ TEST(BlockCache, WriteThroughPushesImmediately) {
     return Status::ok();
   });
   f.run([&](sim::Process& p) {
-    c.insert(p, BlockId{1, 0}, block_data(1), /*dirty=*/true);
+    ASSERT_OK(c.insert(p, BlockId{1, 0}, block_data(1), /*dirty=*/true));
   });
   EXPECT_EQ(upstream_writes, 1);
   EXPECT_EQ(c.dirty_blocks(), 0u);
@@ -160,9 +162,9 @@ TEST(BlockCache, WriteBackAllCleansButKeepsCached) {
     return Status::ok();
   });
   f.run([&](sim::Process& p) {
-    c.insert(p, BlockId{1, 0}, block_data(1), true);
-    c.insert(p, BlockId{1, 1}, block_data(2), true);
-    c.insert(p, BlockId{1, 2}, block_data(3), false);
+    ASSERT_OK(c.insert(p, BlockId{1, 0}, block_data(1), true));
+    ASSERT_OK(c.insert(p, BlockId{1, 1}, block_data(2), true));
+    ASSERT_OK(c.insert(p, BlockId{1, 2}, block_data(3), false));
     ASSERT_TRUE(c.write_back_all(p).is_ok());
     EXPECT_EQ(c.dirty_blocks(), 0u);
     EXPECT_EQ(c.resident_blocks(), 3u);  // still cached
@@ -178,7 +180,7 @@ TEST(BlockCache, FlushAndInvalidateEmptiesCache) {
     return Status::ok();
   });
   f.run([&](sim::Process& p) {
-    c.insert(p, BlockId{1, 0}, block_data(1), true);
+    ASSERT_OK(c.insert(p, BlockId{1, 0}, block_data(1), true));
     ASSERT_TRUE(c.flush_and_invalidate(p).is_ok());
     EXPECT_EQ(c.resident_blocks(), 0u);
     EXPECT_FALSE(c.lookup(p, BlockId{1, 0}).has_value());
@@ -189,8 +191,8 @@ TEST(BlockCache, InvalidateFileDropsOnlyThatFile) {
   CacheFixture f;
   ProxyDiskCache c(f.disk, f.small_cfg());
   f.run([&](sim::Process& p) {
-    c.insert(p, BlockId{1, 0}, block_data(1), false);
-    c.insert(p, BlockId{2, 0}, block_data(2), false);
+    ASSERT_OK(c.insert(p, BlockId{1, 0}, block_data(1), false));
+    ASSERT_OK(c.insert(p, BlockId{2, 0}, block_data(2), false));
     c.invalidate_file(1);
     EXPECT_FALSE(c.contains(BlockId{1, 0}));
     EXPECT_TRUE(c.contains(BlockId{2, 0}));
@@ -201,7 +203,7 @@ TEST(BlockCache, MergeUpdatesRangeAndMarksDirty) {
   CacheFixture f;
   ProxyDiskCache c(f.disk, f.small_cfg());
   f.run([&](sim::Process& p) {
-    c.insert(p, BlockId{1, 0}, block_data(0xaa, 1024), false);
+    ASSERT_OK(c.insert(p, BlockId{1, 0}, block_data(0xaa, 1024), false));
     auto merged = c.merge(p, BlockId{1, 0}, 100,
                           blob::make_bytes(std::vector<u8>(10, 0xbb)));
     ASSERT_TRUE(merged.is_ok());
@@ -220,7 +222,7 @@ TEST(BlockCache, BanksCreatedOnDemand) {
   ProxyDiskCache c(f.disk, f.small_cfg());
   f.run([&](sim::Process& p) {
     EXPECT_EQ(c.banks_created(), 0u);
-    c.insert(p, BlockId{1, 0}, block_data(1), false);
+    ASSERT_OK(c.insert(p, BlockId{1, 0}, block_data(1), false));
     EXPECT_GE(c.banks_created(), 1u);
   });
 }
@@ -229,8 +231,8 @@ TEST(BlockCache, ResidentBytesTracksPayload) {
   CacheFixture f;
   ProxyDiskCache c(f.disk, f.small_cfg());
   f.run([&](sim::Process& p) {
-    c.insert(p, BlockId{1, 0}, block_data(1, 32_KiB), false);
-    c.insert(p, BlockId{1, 1}, block_data(1, 10_KiB), false);  // short tail block
+    ASSERT_OK(c.insert(p, BlockId{1, 0}, block_data(1, 32_KiB), false));
+    ASSERT_OK(c.insert(p, BlockId{1, 1}, block_data(1, 10_KiB), false));  // short tail block
     EXPECT_EQ(c.resident_bytes(), 42_KiB);
   });
 }
@@ -320,10 +322,10 @@ TEST(FileCache, CapacityEvictsLru) {
   CacheFixture f;
   FileCache fc(f.disk, FileCacheConfig{2_MiB});
   f.run([&](sim::Process& p) {
-    fc.put(p, 1, blob::make_zero(1_MiB));
-    fc.put(p, 2, blob::make_zero(1_MiB));
+    ASSERT_OK(fc.put(p, 1, blob::make_zero(1_MiB)));
+    ASSERT_OK(fc.put(p, 2, blob::make_zero(1_MiB)));
     fc.read(p, 1, 0, 1);  // refresh 1
-    fc.put(p, 3, blob::make_zero(1_MiB));
+    ASSERT_OK(fc.put(p, 3, blob::make_zero(1_MiB)));
     EXPECT_TRUE(fc.contains(1));
     EXPECT_FALSE(fc.contains(2));
     EXPECT_TRUE(fc.contains(3));
@@ -340,8 +342,8 @@ TEST(FileCache, DirtyEvictionUploads) {
     return Status::ok();
   });
   f.run([&](sim::Process& p) {
-    fc.put(p, 1, blob::make_zero(512_KiB), /*dirty=*/true);
-    fc.put(p, 2, blob::make_zero(1_MiB));  // evicts dirty 1
+    ASSERT_OK(fc.put(p, 1, blob::make_zero(512_KiB), /*dirty=*/true));
+    ASSERT_OK(fc.put(p, 2, blob::make_zero(1_MiB)));  // evicts dirty 1
   });
   EXPECT_EQ(uploaded, (std::vector<u64>{1}));
 }
@@ -356,7 +358,7 @@ TEST(FileCache, WriteMarksDirtyAndWriteBackUploads) {
     return Status::ok();
   });
   f.run([&](sim::Process& p) {
-    fc.put(p, 1, blob::make_zero(1_MiB));
+    ASSERT_OK(fc.put(p, 1, blob::make_zero(1_MiB)));
     ASSERT_TRUE(fc.write(p, 1, 100, blob::make_bytes(std::vector<u8>(8, 0xcc))).is_ok());
     ASSERT_TRUE(fc.write_back_all(p).is_ok());
     ASSERT_TRUE(fc.write_back_all(p).is_ok());  // idempotent: clean now
@@ -380,8 +382,8 @@ TEST(FileCache, InvalidateDrops) {
   CacheFixture f;
   FileCache fc(f.disk);
   f.run([&](sim::Process& p) {
-    fc.put(p, 1, blob::make_zero(1_KiB));
-    fc.put(p, 2, blob::make_zero(1_KiB));
+    ASSERT_OK(fc.put(p, 1, blob::make_zero(1_KiB)));
+    ASSERT_OK(fc.put(p, 2, blob::make_zero(1_KiB)));
     fc.invalidate(1);
     EXPECT_FALSE(fc.contains(1));
     EXPECT_TRUE(fc.contains(2));
@@ -395,7 +397,7 @@ TEST(FileCache, SequentialReadsCheaperThanRandom) {
   CacheFixture f;
   FileCache fc(f.disk);
   f.run([&](sim::Process& p) {
-    fc.put(p, 1, blob::make_zero(4_MiB));
+    ASSERT_OK(fc.put(p, 1, blob::make_zero(4_MiB)));
     SimTime t0 = p.now();
     for (u64 off = 0; off < 4_MiB; off += 64_KiB) fc.read(p, 1, off, 64_KiB);
     SimTime seq = p.now() - t0;

@@ -3,6 +3,8 @@
 // the NFS completeness procedures (LINK / READDIRPLUS / PATHCONF).
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include "gvfs/migration.h"
 #include "gvfs/testbed.h"
 #include "nfs/nfs_client.h"
@@ -82,7 +84,7 @@ TEST(Migration, DestinationSeesFreshStateDespiteWarmCaches) {
     ASSERT_TRUE(bed.mount(p, 0).is_ok());
     ASSERT_TRUE(bed.mount(p, 1).is_ok());
     // Node 1 reads the OLD state into its caches.
-    bed.image_session(1).read_all(p, image->vmss());
+    ASSERT_OK(bed.image_session(1).read_all(p, image->vmss()));
     // Node 0 runs the VM and migrates it with new state.
     vfs::FsSession& src = bed.image_session(0);
     vm::VmMonitor src_vm;
@@ -122,7 +124,9 @@ TEST(Prefetch, SequentialScanFasterWithReadAhead) {
                 blob::content_hash(*blob::make_synthetic(3, 8_MiB, 0, 2.0)));
     });
     EXPECT_EQ(bed.kernel().failed_processes(), 0) << bed.kernel().failed_names_joined();
-    if (pass == 1) EXPECT_GT(bed.client_proxy()->blocks_prefetched(), 0u);
+    if (pass == 1) {
+      EXPECT_GT(bed.client_proxy()->blocks_prefetched(), 0u);
+    }
   }
   EXPECT_LT(times[1] * 1.5, times[0]);
 }
@@ -140,7 +144,7 @@ TEST(Prefetch, RandomAccessDoesNotTrigger) {
     SplitMix64 rng(9);
     for (int i = 0; i < 40; ++i) {
       u64 block = rng.next_below(256);
-      bed.image_session().read(p, "/rand", block * 32_KiB, 32_KiB);
+      ASSERT_OK(bed.image_session().read(p, "/rand", block * 32_KiB, 32_KiB));
     }
   });
   EXPECT_EQ(bed.kernel().failed_processes(), 0) << bed.kernel().failed_names_joined();

@@ -4,6 +4,8 @@
 // and parallel-clone scaling — the qualitative claims of §4 at test scale.
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include <map>
 
 #include "gvfs/experiment.h"
@@ -77,11 +79,11 @@ TEST(Testbed, WarmProxyCacheBeatsColdWan) {
     ASSERT_TRUE(bed.mount(p).is_ok());
     auto& session = bed.image_session();
     SimTime t0 = p.now();
-    session.read_all(p, "/big");
+    ASSERT_OK(session.read_all(p, "/big"));
     cold_s = to_seconds(p.now() - t0);
     bed.nfs_client()->drop_caches();  // new session, proxy cache stays warm
     t0 = p.now();
-    session.read_all(p, "/big");
+    ASSERT_OK(session.read_all(p, "/big"));
     warm_s = to_seconds(p.now() - t0);
   });
   EXPECT_EQ(bed.kernel().failed_processes(), 0) << bed.kernel().failed_names_joined();
@@ -100,7 +102,7 @@ TEST(Testbed, WanCachedOutperformsWanOnRereadWorkload) {
       ASSERT_TRUE(bed.mount(p).is_ok());
       SimTime t0 = p.now();
       for (int iter = 0; iter < 4; ++iter) {
-        bed.image_session().read_all(p, "/app");
+        ASSERT_OK(bed.image_session().read_all(p, "/app"));
         // Interactive session boundary: kernel cache dropped (new process
         // images), proxy disk cache persists.
         bed.nfs_client()->drop_caches();

@@ -1,0 +1,288 @@
+// Fixture snippets for the repo linter: every rule fires exactly once on its
+// known-bad snippet, stays quiet on clean code, and honors suppressions.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace gvfs::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+int count_rule(const std::vector<Finding>& fs_, const std::string& rule) {
+  int n = 0;
+  for (const auto& f : fs_) {
+    if (f.rule == rule) ++n;
+  }
+  return n;
+}
+
+std::string dump(const std::vector<Finding>& fs_) {
+  std::string out;
+  for (const auto& f : fs_) out += to_string(f) + "\n";
+  return out;
+}
+
+TEST(LintRng, RandomDeviceFires) {
+  auto f = lint_content("src/cache/x.cc",
+                        "#include <random>\n"
+                        "int seed() { std::random_device rd; return rd(); }\n");
+  EXPECT_EQ(count_rule(f, "determinism-rng"), 1) << dump(f);
+  EXPECT_EQ(f.size(), 1u) << dump(f);
+  EXPECT_EQ(f[0].line, 2);
+}
+
+TEST(LintRng, CRandFires) {
+  auto f = lint_content("bench/x.cc", "int r() { return rand(); }\n");
+  EXPECT_EQ(count_rule(f, "determinism-rng"), 1) << dump(f);
+}
+
+TEST(LintRng, SplitMixIsClean) {
+  auto f = lint_content("src/cache/x.cc",
+                        "#include \"common/rng.h\"\n"
+                        "gvfs::u64 r(gvfs::SplitMix64& g) { return g.next(); }\n"
+                        "gvfs::u64 s() { return gvfs::stateless_rand(1, 2); }\n");
+  EXPECT_TRUE(f.empty()) << dump(f);
+}
+
+TEST(LintClock, SystemClockFiresOutsideSim) {
+  auto f = lint_content(
+      "src/vfs/x.cc",
+      "#include <chrono>\n"
+      "auto t() { return std::chrono::system_clock::now(); }\n");
+  EXPECT_EQ(count_rule(f, "determinism-clock"), 1) << dump(f);
+  EXPECT_EQ(f[0].line, 2);
+}
+
+TEST(LintClock, SteadyClockAllowedInSim) {
+  auto f = lint_content(
+      "src/sim/x.cc",
+      "#include <chrono>\n"
+      "auto t() { return std::chrono::steady_clock::now(); }\n");
+  EXPECT_TRUE(f.empty()) << dump(f);
+}
+
+TEST(LintClock, TimeNullFires) {
+  auto f = lint_content("src/nfs/x.cc",
+                        "#include <ctime>\n"
+                        "long now() { return time(nullptr); }\n");
+  EXPECT_EQ(count_rule(f, "determinism-clock"), 1) << dump(f);
+}
+
+TEST(LintClock, GettimeofdayFires) {
+  auto f = lint_content("src/proxy/x.cc",
+                        "void f(struct timeval* tv) { gettimeofday(tv, 0); }\n");
+  EXPECT_EQ(count_rule(f, "determinism-clock"), 1) << dump(f);
+}
+
+TEST(LintClock, NotifyTimeIdentifierIsClean) {
+  // Identifiers merely containing "time"/"clock" must not trip the rule.
+  auto f = lint_content("src/vfs/x.cc",
+                        "long notify_time() { return 0; }\n"
+                        "long wall_clock_ns = 0;\n");
+  EXPECT_TRUE(f.empty()) << dump(f);
+}
+
+TEST(LintUnordered, RangeForOverMemberFires) {
+  auto f = lint_content(
+      "src/cache/x.cc",
+      "#include <unordered_map>\n"
+      "struct C {\n"
+      "  std::unordered_map<int, int> frames_;\n"
+      "  int sum() {\n"
+      "    int t = 0;\n"
+      "    for (const auto& [k, v] : frames_) t += v;\n"
+      "    return t;\n"
+      "  }\n"
+      "};\n");
+  EXPECT_EQ(count_rule(f, "unordered-iteration"), 1) << dump(f);
+  EXPECT_EQ(f[0].line, 6);
+}
+
+TEST(LintUnordered, ExplicitBeginFires) {
+  auto f = lint_content("src/proxy/x.cc",
+                        "#include <unordered_set>\n"
+                        "std::unordered_set<int> live;\n"
+                        "int first() { return *live.begin(); }\n");
+  EXPECT_EQ(count_rule(f, "unordered-iteration"), 1) << dump(f);
+}
+
+TEST(LintUnordered, DeclarationInSiblingHeaderIsSeen) {
+  auto f = lint_content("src/cache/x.cc",
+                        "#include \"cache/x.h\"\n"
+                        "int C::sum() {\n"
+                        "  int t = 0;\n"
+                        "  for (const auto& [k, v] : frames_) t += v;\n"
+                        "  return t;\n"
+                        "}\n",
+                        /*sibling_header=*/
+                        "#pragma once\n"
+                        "#include <unordered_map>\n"
+                        "struct C { std::unordered_map<int, int> frames_; int sum(); };\n");
+  EXPECT_EQ(count_rule(f, "unordered-iteration"), 1) << dump(f);
+}
+
+TEST(LintUnordered, OrderedMapIsClean) {
+  auto f = lint_content("src/cache/x.cc",
+                        "#include <map>\n"
+                        "std::map<int, int> m;\n"
+                        "int s() { int t = 0; for (auto& [k, v] : m) t += v; return t; }\n");
+  EXPECT_TRUE(f.empty()) << dump(f);
+}
+
+TEST(LintUnordered, TestsAreOutOfScope) {
+  auto f = lint_content(
+      "tests/x.cc",
+      "#include <unordered_map>\n"
+      "std::unordered_map<int, int> m;\n"
+      "int s() { int t = 0; for (auto& [k, v] : m) t += v; return t; }\n");
+  EXPECT_TRUE(f.empty()) << dump(f);
+}
+
+TEST(LintPrint, CoutInLibraryFires) {
+  auto f = lint_content("src/nfs/x.cc",
+                        "#include <iostream>\n"
+                        "void log() { std::cout << 1; }\n");
+  EXPECT_EQ(count_rule(f, "stdout-print"), 1) << dump(f);
+}
+
+TEST(LintPrint, PrintfInLibraryFires) {
+  auto f = lint_content("src/vm/x.cc",
+                        "#include <cstdio>\n"
+                        "void log() { std::printf(\"x\"); }\n");
+  EXPECT_EQ(count_rule(f, "stdout-print"), 1) << dump(f);
+}
+
+TEST(LintPrint, BenchAndToolsAreSanctioned) {
+  const char* snippet = "#include <cstdio>\nvoid out() { std::printf(\"x\"); }\n";
+  EXPECT_TRUE(lint_content("bench/x.cc", snippet).empty());
+  EXPECT_TRUE(lint_content("tools/x.cc", snippet).empty());
+}
+
+TEST(LintPrint, FprintfStderrIsClean) {
+  auto f = lint_content("src/nfs/x.cc",
+                        "#include <cstdio>\n"
+                        "void log() { std::fprintf(stderr, \"x\"); }\n");
+  EXPECT_TRUE(f.empty()) << dump(f);
+}
+
+TEST(LintHeaderGuard, MissingPragmaOnceFires) {
+  auto f = lint_content("src/common/x.h", "int f();\n");
+  EXPECT_EQ(count_rule(f, "header-guard"), 1) << dump(f);
+}
+
+TEST(LintHeaderGuard, PragmaOnceIsClean) {
+  auto f = lint_content("src/common/x.h", "#pragma once\nint f();\n");
+  EXPECT_TRUE(f.empty()) << dump(f);
+}
+
+TEST(LintSuppression, SameLineAllowSilencesRule) {
+  auto f = lint_content(
+      "src/vfs/x.cc",
+      "long t() { return time(nullptr); }  // gvfs-lint: allow(determinism-clock) reason\n");
+  EXPECT_TRUE(f.empty()) << dump(f);
+}
+
+TEST(LintSuppression, PrecedingLineAllowShieldsNextLine) {
+  auto f = lint_content(
+      "src/vfs/x.cc",
+      "// gvfs-lint: allow(determinism-clock) reason\n"
+      "long t() { return time(nullptr); }\n");
+  EXPECT_TRUE(f.empty()) << dump(f);
+}
+
+TEST(LintSuppression, FileAllowSilencesWholeFile) {
+  auto f = lint_content("src/vfs/x.cc",
+                        "// gvfs-lint: file-allow(determinism-clock)\n"
+                        "long a() { return time(nullptr); }\n"
+                        "long b() { return time(nullptr); }\n");
+  EXPECT_TRUE(f.empty()) << dump(f);
+}
+
+TEST(LintSuppression, AllowForOtherRuleDoesNotSilence) {
+  auto f = lint_content(
+      "src/vfs/x.cc",
+      "long t() { return time(nullptr); }  // gvfs-lint: allow(stdout-print)\n");
+  EXPECT_EQ(count_rule(f, "determinism-clock"), 1) << dump(f);
+}
+
+TEST(LintStripping, CommentsAndStringsNeverFire) {
+  auto f = lint_content(
+      "src/vfs/x.cc",
+      "// talks about rand() and std::chrono::system_clock in prose\n"
+      "/* also gettimeofday( in a block comment */\n"
+      "const char* kMsg = \"rand() time(nullptr) std::cout\";\n");
+  EXPECT_TRUE(f.empty()) << dump(f);
+}
+
+TEST(LintTree, WalksFilesAndChecksCmakeRegistration) {
+  fs::path root = fs::temp_directory_path() / "gvfs_lint_tree_test";
+  fs::remove_all(root);
+  fs::create_directories(root / "src" / "a");
+  fs::create_directories(root / "src" / "lint_fixtures");
+  auto write = [](const fs::path& p, const std::string& content) {
+    std::ofstream out(p);
+    out << content;
+  };
+  // registered.cc is named in CMakeLists; orphan.cc is not; guardless.h has
+  // no pragma once; the lint_fixtures dir must be skipped entirely.
+  write(root / "src" / "a" / "CMakeLists.txt", "add_library(a registered.cc)\n");
+  write(root / "src" / "a" / "registered.cc", "int f() { return 1; }\n");
+  write(root / "src" / "a" / "orphan.cc", "int g() { return 2; }\n");
+  write(root / "src" / "a" / "guardless.h", "int h();\n");
+  write(root / "src" / "lint_fixtures" / "bad.cc", "int r() { return rand(); }\n");
+
+  auto f = lint_tree(root.string());
+  EXPECT_EQ(count_rule(f, "cmake-registration"), 1) << dump(f);
+  EXPECT_EQ(count_rule(f, "header-guard"), 1) << dump(f);
+  EXPECT_EQ(count_rule(f, "determinism-rng"), 0) << dump(f);  // fixtures skipped
+  ASSERT_EQ(f.size(), 2u) << dump(f);
+  EXPECT_EQ(f[0].file, "src/a/guardless.h");
+  EXPECT_EQ(f[1].file, "src/a/orphan.cc");
+  fs::remove_all(root);
+}
+
+TEST(LintTree, RepoTreeIsClean) {
+  // The in-tree gate (ctest runs gvfs_lint --root) must agree with the
+  // library: lint the actual repository if we can find it.
+  fs::path root = fs::current_path();
+  while (!fs::exists(root / "src" / "sim" / "kernel.h") &&
+         root.has_parent_path() && root != root.parent_path()) {
+    root = root.parent_path();
+  }
+  if (!fs::exists(root / "src" / "sim" / "kernel.h")) {
+    GTEST_SKIP() << "repo root not found from " << fs::current_path();
+  }
+  auto f = lint_tree(root.string());
+  EXPECT_TRUE(f.empty()) << dump(f);
+}
+
+TEST(LintRules, EveryRuleHasAFixtureThatFires) {
+  // all_rules() is the contract; each id must be triggerable.
+  std::vector<std::string> fired;
+  auto collect = [&](const std::vector<Finding>& fs_) {
+    for (const auto& f : fs_) fired.push_back(f.rule);
+  };
+  collect(lint_content("src/x.cc", "int r() { return rand(); }\n"));
+  collect(lint_content("src/x.cc", "long t() { return time(nullptr); }\n"));
+  collect(lint_content("src/x.cc",
+                       "#include <unordered_map>\n"
+                       "std::unordered_map<int, int> m;\n"
+                       "int s() { int t = 0; for (auto& [k, v] : m) t += v; return t; }\n"));
+  collect(lint_content("src/x.cc", "void f() { std::cout << 1; }\n"));
+  collect(lint_content("src/x.h", "int f();\n"));
+  for (const std::string& rule : all_rules()) {
+    if (rule == "cmake-registration") continue;  // covered by LintTree
+    EXPECT_NE(std::find(fired.begin(), fired.end(), rule), fired.end())
+        << "no fixture fires rule " << rule;
+  }
+}
+
+}  // namespace
+}  // namespace gvfs::lint

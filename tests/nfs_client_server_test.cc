@@ -4,6 +4,8 @@
 // metadata procedures.
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include "blob/blob.h"
 #include "nfs/nfs_client.h"
 #include "nfs/nfs_server.h"
@@ -106,8 +108,8 @@ TEST(NfsClientServer, CloseFlushesOneFile) {
   f.run([&](sim::Process& p, NfsClient& c) {
     ASSERT_TRUE(c.create(p, "/a").is_ok());
     ASSERT_TRUE(c.create(p, "/b").is_ok());
-    c.write(p, "/a", 0, blob::make_bytes(std::vector<u8>{1}));
-    c.write(p, "/b", 0, blob::make_bytes(std::vector<u8>{2}));
+    ASSERT_OK(c.write(p, "/a", 0, blob::make_bytes(std::vector<u8>{1})));
+    ASSERT_OK(c.write(p, "/b", 0, blob::make_bytes(std::vector<u8>{2})));
     ASSERT_TRUE(c.close(p, "/a").is_ok());
     EXPECT_EQ((*f.fs.get_file("/exports/a"))->size(), 1u);
     EXPECT_EQ((*f.fs.get_file("/exports/b"))->size(), 0u);  // still staged
@@ -118,9 +120,9 @@ TEST(NfsClientServer, PageCacheAvoidsSecondFetch) {
   Fixture f;
   ASSERT_TRUE(f.fs.put_file("/exports/r", blob::make_synthetic(3, 64_KiB, 0, 2.0)).is_ok());
   f.run([&](sim::Process& p, NfsClient& c) {
-    c.read(p, "/r", 0, 64_KiB);
+    ASSERT_OK(c.read(p, "/r", 0, 64_KiB));
     u64 reads_after_first = c.rpcs_sent(Proc::kRead);
-    c.read(p, "/r", 0, 64_KiB);
+    ASSERT_OK(c.read(p, "/r", 0, 64_KiB));
     EXPECT_EQ(c.rpcs_sent(Proc::kRead), reads_after_first);  // all cached
   });
 }
@@ -129,10 +131,10 @@ TEST(NfsClientServer, DropCachesForcesRefetch) {
   Fixture f;
   ASSERT_TRUE(f.fs.put_file("/exports/r", blob::make_synthetic(4, 32_KiB, 0, 2.0)).is_ok());
   f.run([&](sim::Process& p, NfsClient& c) {
-    c.read(p, "/r", 0, 32_KiB);
+    ASSERT_OK(c.read(p, "/r", 0, 32_KiB));
     u64 first = c.rpcs_sent(Proc::kRead);
     c.drop_caches();
-    c.read(p, "/r", 0, 32_KiB);
+    ASSERT_OK(c.read(p, "/r", 0, 32_KiB));
     EXPECT_EQ(c.rpcs_sent(Proc::kRead), 2 * first);
   });
 }
@@ -142,12 +144,12 @@ TEST(NfsClientServer, AttrCacheRespectsTtl) {
   ASSERT_TRUE(f.fs.put_file("/exports/r", blob::make_zero(10)).is_ok());
   f.ccfg.attr_cache_ttl = 10 * kSecond;
   f.run([&](sim::Process& p, NfsClient& c) {
-    c.stat(p, "/r");
+    ASSERT_OK(c.stat(p, "/r"));
     u64 getattrs = c.rpcs_sent(Proc::kGetattr);
-    c.stat(p, "/r");  // within TTL: cached
+    ASSERT_OK(c.stat(p, "/r"));  // within TTL: cached
     EXPECT_EQ(c.rpcs_sent(Proc::kGetattr), getattrs);
     p.delay(11 * kSecond);
-    c.stat(p, "/r");  // expired: refetch
+    ASSERT_OK(c.stat(p, "/r"));  // expired: refetch
     EXPECT_EQ(c.rpcs_sent(Proc::kGetattr), getattrs + 1);
   });
 }
@@ -157,10 +159,10 @@ TEST(NfsClientServer, DentryCacheAvoidsRepeatedLookups) {
   ASSERT_TRUE(f.fs.mkdirs("/exports/a/b").is_ok());
   ASSERT_TRUE(f.fs.put_file("/exports/a/b/f", blob::make_zero(1)).is_ok());
   f.run([&](sim::Process& p, NfsClient& c) {
-    c.stat(p, "/a/b/f");
+    ASSERT_OK(c.stat(p, "/a/b/f"));
     u64 lookups = c.rpcs_sent(Proc::kLookup);
     EXPECT_EQ(lookups, 3u);
-    c.stat(p, "/a/b/f");
+    ASSERT_OK(c.stat(p, "/a/b/f"));
     EXPECT_EQ(c.rpcs_sent(Proc::kLookup), lookups);
   });
 }
@@ -190,7 +192,7 @@ TEST(NfsClientServer, TruncateDiscardsStagedData) {
   Fixture f;
   f.run([&](sim::Process& p, NfsClient& c) {
     ASSERT_TRUE(c.create(p, "/t").is_ok());
-    c.write(p, "/t", 0, blob::make_bytes(std::vector<u8>(100, 7)));
+    ASSERT_OK(c.write(p, "/t", 0, blob::make_bytes(std::vector<u8>(100, 7))));
     ASSERT_TRUE(c.truncate(p, "/t", 0).is_ok());
     ASSERT_TRUE(c.flush(p).is_ok());
     EXPECT_EQ((*f.fs.get_file("/exports/t"))->size(), 0u);
@@ -297,7 +299,7 @@ TEST(NfsClientServer, ServerCountsProcedures) {
   ASSERT_TRUE(f.fs.put_file("/exports/r", blob::make_zero(64_KiB)).is_ok());
   f.server.reset_stats();
   f.run([&](sim::Process& p, NfsClient& c) {
-    c.read(p, "/r", 0, 64_KiB);
+    ASSERT_OK(c.read(p, "/r", 0, 64_KiB));
   });
   EXPECT_GT(f.server.calls(Proc::kRead), 0u);
   EXPECT_GT(f.server.calls(Proc::kLookup), 0u);
@@ -324,7 +326,7 @@ TEST(NfsClientServer, WanLatencyDominatesColdReads) {
   kernel.run_process("t", [&](sim::Process& p) {
     ASSERT_TRUE(client.mount(p, "/exports").is_ok());
     SimTime t0 = p.now();
-    client.read_all(p, "/mem");
+    ASSERT_OK(client.read_all(p, "/mem"));
     elapsed = p.now() - t0;
   });
   // 512 sequential reads * ~41 ms => ~21 s; allow generous bounds.

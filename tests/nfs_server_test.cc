@@ -3,6 +3,8 @@
 // error paths — behaviours the client-focused tests don't pin down.
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include "blob/blob.h"
 #include "nfs/nfs_server.h"
 #include "rpc/rpc.h"
@@ -265,7 +267,7 @@ TEST(NfsServer, ServerPageCacheAbsorbsRereads) {
 
 TEST(NfsServer, FsstatReportsInodes) {
   ServerFixture f;
-  f.fs.put_file("/exports/a", blob::make_zero(1));
+  ASSERT_OK(f.fs.put_file("/exports/a", blob::make_zero(1)));
   f.kernel.run_process("t", [&](sim::Process& p) {
     auto res = f.invoke<FsstatRes>(p, Proc::kFsstat, nullptr);
     EXPECT_EQ(res->status, NfsStat::kOk);

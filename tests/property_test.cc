@@ -3,6 +3,8 @@
 // seeds, write policies and transfer sizes (TEST_P sweeps).
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include <map>
 
 #include "blob/blob.h"
@@ -159,10 +161,10 @@ TEST_P(CacheSizeMonotonic, RereadTimeDecreasesWithCache) {
   double reread_s = 0;
   bed.kernel().run_process("t", [&](sim::Process& p) {
     ASSERT_TRUE(bed.mount(p).is_ok());
-    bed.image_session().read_all(p, "/data");
+    ASSERT_OK(bed.image_session().read_all(p, "/data"));
     bed.nfs_client()->drop_caches();
     SimTime t0 = p.now();
-    bed.image_session().read_all(p, "/data");
+    ASSERT_OK(bed.image_session().read_all(p, "/data"));
     reread_s = to_seconds(p.now() - t0);
   });
   ASSERT_EQ(bed.kernel().failed_processes(), 0) << bed.kernel().failed_names_joined();

@@ -5,6 +5,8 @@
 // multi-level proxy cascades.
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include "cache/block_cache.h"
 #include "cache/file_cache.h"
 #include "meta/file_channel.h"
@@ -105,7 +107,7 @@ TEST(Proxy, SecondColdClientReadHitsProxyCache) {
   ASSERT_TRUE(
       f.server_fs.put_file("/exports/data", blob::make_synthetic(2, 512_KiB, 0, 2.0)).is_ok());
   f.run([&](sim::Process& p) {
-    f.client.read_all(p, "/data");
+    ASSERT_OK(f.client.read_all(p, "/data"));
     u64 upstream_after_first = f.tunnel.messages();
     // Client page cache dropped (fresh session) but proxy cache kept: the
     // re-read must be served from the proxy disk cache, not the WAN.
@@ -156,8 +158,8 @@ TEST(Proxy, ReadYourOwnWriteBeforeWriteBack) {
   ASSERT_TRUE(f.server_fs.put_file("/exports/f", blob::make_zero(64_KiB)).is_ok());
   auto content = blob::make_synthetic(5, 64_KiB, 0, 2.0);
   f.run([&](sim::Process& p) {
-    f.client.write(p, "/f", 0, content);
-    f.client.flush(p);
+    ASSERT_OK(f.client.write(p, "/f", 0, content));
+    ASSERT_OK(f.client.flush(p));
     f.client.drop_caches();  // force re-read through the proxy
     auto back = f.client.read_all(p, "/f");
     ASSERT_TRUE(back.is_ok());
@@ -202,7 +204,7 @@ TEST(Proxy, CommitAbsorbedInWriteBackMode) {
   ProxyFixture f;
   ASSERT_TRUE(f.server_fs.put_file("/exports/f", blob::make_zero(32_KiB)).is_ok());
   f.run([&](sim::Process& p) {
-    f.client.write(p, "/f", 0, blob::make_synthetic(7, 32_KiB, 0, 2.0));
+    ASSERT_OK(f.client.write(p, "/f", 0, blob::make_synthetic(7, 32_KiB, 0, 2.0)));
     u64 upstream_before = f.tunnel.messages();
     ASSERT_TRUE(f.client.flush(p).is_ok());  // WRITE + COMMIT toward proxy
     // Neither the WRITE nor the COMMIT crossed the WAN.
@@ -274,9 +276,9 @@ TEST(Proxy, MetaProbeNegativeCached) {
   ProxyFixture f;
   ASSERT_TRUE(f.server_fs.put_file("/exports/plain", blob::make_zero(64_KiB)).is_ok());
   f.run([&](sim::Process& p) {
-    f.client.read(p, "/plain", 0, 1_KiB);
+    ASSERT_OK(f.client.read(p, "/plain", 0, 1_KiB));
     u64 lookups_after_first = f.server.calls(nfs::Proc::kLookup);
-    f.client.read(p, "/plain", 40_KiB, 1_KiB);
+    ASSERT_OK(f.client.read(p, "/plain", 40_KiB, 1_KiB));
     // No repeated meta-probe LOOKUPs upstream.
     EXPECT_EQ(f.server.calls(nfs::Proc::kLookup), lookups_after_first);
   });
@@ -288,7 +290,7 @@ TEST(Proxy, TruncateInvalidatesCachedBlocks) {
   auto content = blob::make_synthetic(10, 128_KiB, 0, 2.0);
   ASSERT_TRUE(f.server_fs.put_file("/exports/f", content).is_ok());
   f.run([&](sim::Process& p) {
-    f.client.read_all(p, "/f");  // warm the proxy cache
+    ASSERT_OK(f.client.read_all(p, "/f"));  // warm the proxy cache
     EXPECT_GT(f.block_cache.resident_blocks(), 0u);
     ASSERT_TRUE(f.client.truncate(p, "/f", 0).is_ok());
     f.client.drop_caches();
@@ -373,7 +375,7 @@ TEST(Proxy, StatsCountersConsistent) {
   ProxyFixture f;
   ASSERT_TRUE(f.server_fs.put_file("/exports/f", blob::make_zero(64_KiB)).is_ok());
   f.run([&](sim::Process& p) {
-    f.client.read_all(p, "/f");
+    ASSERT_OK(f.client.read_all(p, "/f"));
     EXPECT_GT(f.client_proxy.calls_received(), 0u);
     EXPECT_GT(f.client_proxy.calls_forwarded(), 0u);
     f.client_proxy.reset_stats();

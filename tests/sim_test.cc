@@ -241,6 +241,112 @@ TEST(Signal, BlockedForeverIsKilledAtEnd) {
   EXPECT_EQ(k.failed_processes(), 0) << k.failed_names_joined();  // kill is not a failure
 }
 
+TEST(Lockdep, CrossedSemaphoresReportHoldAndWaitCycle) {
+  // The classic AB/BA deadlock: each process holds one permit and waits
+  // forever for the other. Lockdep must name both processes in a cycle.
+  SimKernel k;
+  Semaphore a(k, 1, "lock-a");
+  Semaphore b(k, 1, "lock-b");
+  k.spawn("p1", [&](Process& p) {
+    a.acquire(p);
+    p.delay(10);
+    b.acquire(p);  // p2 holds b: blocks forever
+  });
+  k.spawn("p2", [&](Process& p) {
+    b.acquire(p);
+    p.delay(10);
+    a.acquire(p);  // p1 holds a: blocks forever
+  });
+  k.run();
+  const QuiescenceReport& report = k.quiescence_report();
+  ASSERT_TRUE(report.deadlock()) << report.to_string();
+  EXPECT_TRUE(report.names_process("p1")) << report.to_string();
+  EXPECT_TRUE(report.names_process("p2")) << report.to_string();
+  ASSERT_EQ(report.cycles.size(), 1u) << report.to_string();
+  EXPECT_EQ(report.cycles[0].size(), 2u) << report.to_string();
+  EXPECT_EQ(k.failed_processes(), 0) << k.failed_names_joined();
+}
+
+TEST(Lockdep, CrossedSignalWaitersAreNamedWithSignals) {
+  // Two processes each parked on a signal only the other would have
+  // notified. No hold annotations, so no provable cycle — but the report
+  // still names both stuck processes and what they wait on.
+  SimKernel k;
+  Signal sa(k, "sig-a");
+  Signal sb(k, "sig-b");
+  k.spawn("w1", [&](Process& p) { p.wait(sa); sb.notify_one(); });
+  k.spawn("w2", [&](Process& p) { p.wait(sb); sa.notify_one(); });
+  k.run();
+  const QuiescenceReport& report = k.quiescence_report();
+  ASSERT_EQ(report.blocked.size(), 2u) << report.to_string();
+  EXPECT_TRUE(report.names_process("w1"));
+  EXPECT_TRUE(report.names_process("w2"));
+  EXPECT_EQ(report.blocked[0].signal, "sig-a");
+  EXPECT_EQ(report.blocked[1].signal, "sig-b");
+  EXPECT_FALSE(report.deadlock());
+}
+
+TEST(Lockdep, NeverNotifiedSignalNamesEveryWaiter) {
+  SimKernel k;
+  Signal sig(k, "never-notified");
+  k.spawn("waiter-1", [&](Process& p) { p.wait(sig); });
+  k.spawn("waiter-2", [&](Process& p) { p.delay(5); p.wait(sig); });
+  k.run();
+  const QuiescenceReport& report = k.quiescence_report();
+  ASSERT_EQ(report.blocked.size(), 2u) << report.to_string();
+  EXPECT_TRUE(report.names_process("waiter-1"));
+  EXPECT_TRUE(report.names_process("waiter-2"));
+  EXPECT_EQ(report.blocked[0].signal, "never-notified");
+  EXPECT_FALSE(report.blocked[0].possible_lost_wakeup);
+  EXPECT_FALSE(report.deadlock());
+}
+
+TEST(Lockdep, LostWakeupIsFlagged) {
+  // The notify fires at t=0 while nobody waits; the waiter arrives at t=10
+  // and sleeps forever — the textbook lost wakeup, and the report says so.
+  SimKernel k;
+  Signal sig(k, "racy");
+  k.spawn("notifier", [&](Process& p) { (void)p; sig.notify_one(); });
+  k.spawn("sleeper", [&](Process& p) {
+    p.delay(10);
+    p.wait(sig);
+  });
+  k.run();
+  const QuiescenceReport& report = k.quiescence_report();
+  ASSERT_EQ(report.blocked.size(), 1u) << report.to_string();
+  EXPECT_EQ(report.blocked[0].process, "sleeper");
+  EXPECT_TRUE(report.blocked[0].possible_lost_wakeup);
+}
+
+TEST(Lockdep, CleanRunLeavesEmptyReport) {
+  SimKernel k;
+  Signal sig(k, "ok");
+  k.spawn("w", [&](Process& p) { p.wait(sig); });
+  k.spawn("n", [&](Process& p) {
+    p.delay(1);
+    sig.notify_all();
+  });
+  k.run();
+  EXPECT_TRUE(k.quiescence_report().blocked.empty());
+  EXPECT_FALSE(k.quiescence_report().deadlock());
+}
+
+TEST(Lockdep, ThreeWayCycleIsReported) {
+  SimKernel k;
+  Semaphore a(k, 1, "a"), b(k, 1, "b"), c(k, 1, "c");
+  k.spawn("p1", [&](Process& p) { a.acquire(p); p.delay(10); b.acquire(p); });
+  k.spawn("p2", [&](Process& p) { b.acquire(p); p.delay(10); c.acquire(p); });
+  k.spawn("p3", [&](Process& p) { c.acquire(p); p.delay(10); a.acquire(p); });
+  k.run();
+  const QuiescenceReport& report = k.quiescence_report();
+  ASSERT_TRUE(report.deadlock()) << report.to_string();
+  ASSERT_EQ(report.cycles.size(), 1u);
+  EXPECT_EQ(report.cycles[0].size(), 3u);
+  for (const char* name : {"p1", "p2", "p3"}) {
+    EXPECT_TRUE(report.names_process(name)) << name;
+  }
+}
+
 TEST(Semaphore, LimitsConcurrency) {
   SimKernel k;
   Semaphore sem(k, 2);

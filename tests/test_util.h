@@ -1,0 +1,10 @@
+// Shared assertion helpers for the test suite. Status and Result<T> are
+// [[nodiscard]]; tests either assert success or discard with (void) and a
+// reason, never silently.
+#pragma once
+
+#include <gtest/gtest.h>
+
+// Works for both Status and Result<T> (anything with is_ok()).
+#define ASSERT_OK(expr) ASSERT_TRUE((expr).is_ok())
+#define EXPECT_OK(expr) EXPECT_TRUE((expr).is_ok())

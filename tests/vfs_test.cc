@@ -2,6 +2,8 @@
 // cache (LRU, dirty staging, writeback), and the local-disk session.
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include "blob/blob.h"
 #include "sim/kernel.h"
 #include "sim/resources.h"
@@ -67,7 +69,7 @@ TEST(MemFs, StaleHandle) {
 TEST(MemFs, ReadPastEofShort) {
   MemFs fs;
   auto id = fs.create(fs.root(), "f", 0644, 0, 0);
-  fs.write(*id, 0, std::vector<u8>(10, 1));
+  ASSERT_OK(fs.write(*id, 0, std::vector<u8>(10, 1)));
   std::vector<u8> buf(20);
   auto n = fs.read(*id, 5, buf);
   EXPECT_EQ(*n, 5u);
@@ -78,7 +80,7 @@ TEST(MemFs, ReadPastEofShort) {
 TEST(MemFs, SetattrTruncateAndMode) {
   MemFs fs;
   auto id = fs.create(fs.root(), "f", 0644, 0, 0);
-  fs.write(*id, 0, std::vector<u8>(100, 1));
+  ASSERT_OK(fs.write(*id, 0, std::vector<u8>(100, 1)));
   SetAttr sa;
   sa.set_size = true;
   sa.size = 10;
@@ -103,24 +105,24 @@ TEST(MemFs, MkdirNesting) {
 TEST(MemFs, RmdirOnlyWhenEmpty) {
   MemFs fs;
   auto d = fs.mkdir(fs.root(), "d", 0755, 0, 0);
-  fs.create(*d, "f", 0644, 0, 0);
+  ASSERT_OK(fs.create(*d, "f", 0644, 0, 0));
   EXPECT_EQ(fs.rmdir(fs.root(), "d").code(), ErrCode::kNotEmpty);
-  fs.remove(*d, "f");
+  ASSERT_OK(fs.remove(*d, "f"));
   EXPECT_TRUE(fs.rmdir(fs.root(), "d").is_ok());
 }
 
 TEST(MemFs, RemoveDirectoryWithRemoveFails) {
   MemFs fs;
-  fs.mkdir(fs.root(), "d", 0755, 0, 0);
+  ASSERT_OK(fs.mkdir(fs.root(), "d", 0755, 0, 0));
   EXPECT_EQ(fs.remove(fs.root(), "d").code(), ErrCode::kIsDir);
 }
 
 TEST(MemFs, RenameMovesAndOverwrites) {
   MemFs fs;
   auto a = fs.create(fs.root(), "a", 0644, 0, 0);
-  fs.write(*a, 0, std::vector<u8>{1});
+  ASSERT_OK(fs.write(*a, 0, std::vector<u8>{1}));
   auto b = fs.create(fs.root(), "b", 0644, 0, 0);
-  fs.write(*b, 0, std::vector<u8>{2, 2});
+  ASSERT_OK(fs.write(*b, 0, std::vector<u8>{2, 2}));
   ASSERT_TRUE(fs.rename(fs.root(), "a", fs.root(), "b").is_ok());
   EXPECT_EQ(fs.lookup(fs.root(), "a").code(), ErrCode::kNoEnt);
   auto moved = fs.lookup(fs.root(), "b");
@@ -143,7 +145,7 @@ TEST(MemFs, ResolveFollowsSymlink) {
   ASSERT_TRUE(fs.mkdirs("/data").is_ok());
   ASSERT_TRUE(fs.put_file("/data/real.txt", bytes({5})).is_ok());
   auto dir = fs.resolve("/data");
-  fs.symlink(*dir, "alias.txt", "/data/real.txt");
+  ASSERT_OK(fs.symlink(*dir, "alias.txt", "/data/real.txt"));
   auto via = fs.resolve("/data/alias.txt");
   ASSERT_TRUE(via.is_ok());
   EXPECT_EQ(*via, *fs.resolve("/data/real.txt"));
@@ -151,9 +153,9 @@ TEST(MemFs, ResolveFollowsSymlink) {
 
 TEST(MemFs, ReaddirSorted) {
   MemFs fs;
-  fs.create(fs.root(), "b", 0644, 0, 0);
-  fs.create(fs.root(), "a", 0644, 0, 0);
-  fs.mkdir(fs.root(), "c", 0755, 0, 0);
+  ASSERT_OK(fs.create(fs.root(), "b", 0644, 0, 0));
+  ASSERT_OK(fs.create(fs.root(), "a", 0644, 0, 0));
+  ASSERT_OK(fs.mkdir(fs.root(), "c", 0755, 0, 0));
   auto entries = fs.readdir(fs.root());
   ASSERT_TRUE(entries.is_ok());
   ASSERT_EQ(entries->size(), 3u);
@@ -181,15 +183,15 @@ TEST(MemFs, ClockStampsTimes) {
   auto id = fs.create(fs.root(), "f", 0644, 0, 0);
   EXPECT_EQ(fs.getattr(*id)->mtime, now);
   now += kSecond;
-  fs.write(*id, 0, std::vector<u8>{1});
+  ASSERT_OK(fs.write(*id, 0, std::vector<u8>{1}));
   EXPECT_EQ(fs.getattr(*id)->mtime, now);
 }
 
 TEST(MemFs, MaterializedBytesTracksRealData) {
   MemFs fs;
-  fs.put_file("/big", blob::make_synthetic(1, 100_MiB, 0.5, 2.0));
+  ASSERT_OK(fs.put_file("/big", blob::make_synthetic(1, 100_MiB, 0.5, 2.0)));
   EXPECT_EQ(fs.materialized_bytes(), 0u);
-  fs.put_file("/small", bytes({1, 2, 3}));
+  ASSERT_OK(fs.put_file("/small", bytes({1, 2, 3})));
   EXPECT_EQ(fs.materialized_bytes(), 3u);
 }
 
@@ -316,16 +318,16 @@ TEST(LocalSession, CreateWriteReadBack) {
 TEST(LocalSession, CachedRereadIsFaster) {
   LocalFixture f;
   f.kernel.run_process("p", [&](sim::Process& p) {
-    f.session.mkdirs(p, "/d");
-    f.session.create(p, "/d/f");
-    f.session.write(p, "/d/f", 0, blob::make_synthetic(2, 1_MiB, 0.2, 2.0));
-    f.session.flush(p);
+    ASSERT_OK(f.session.mkdirs(p, "/d"));
+    ASSERT_OK(f.session.create(p, "/d/f"));
+    ASSERT_OK(f.session.write(p, "/d/f", 0, blob::make_synthetic(2, 1_MiB, 0.2, 2.0)));
+    ASSERT_OK(f.session.flush(p));
     f.session.drop_caches();
     SimTime t0 = p.now();
-    f.session.read(p, "/d/f", 0, 1_MiB);
+    ASSERT_OK(f.session.read(p, "/d/f", 0, 1_MiB));
     SimTime cold = p.now() - t0;
     t0 = p.now();
-    f.session.read(p, "/d/f", 0, 1_MiB);
+    ASSERT_OK(f.session.read(p, "/d/f", 0, 1_MiB));
     SimTime warm = p.now() - t0;
     EXPECT_LT(warm * 10, cold);  // page-cache hit is >10x faster
   });
@@ -334,12 +336,12 @@ TEST(LocalSession, CachedRereadIsFaster) {
 TEST(LocalSession, WritesStageThenFlushCharges) {
   LocalFixture f;
   f.kernel.run_process("p", [&](sim::Process& p) {
-    f.session.create(p, "/f");
+    ASSERT_OK(f.session.create(p, "/f"));
     SimTime t0 = p.now();
-    f.session.write(p, "/f", 0, blob::make_synthetic(3, 4_MiB, 0.0, 1.5));
+    ASSERT_OK(f.session.write(p, "/f", 0, blob::make_synthetic(3, 4_MiB, 0.0, 1.5)));
     SimTime staged = p.now() - t0;
     t0 = p.now();
-    f.session.flush(p);
+    ASSERT_OK(f.session.flush(p));
     SimTime flushed = p.now() - t0;
     EXPECT_LT(staged, flushed);  // cost lands at flush (write-behind)
     EXPECT_GT(flushed, from_millis(50));
@@ -349,10 +351,10 @@ TEST(LocalSession, WritesStageThenFlushCharges) {
 TEST(LocalSession, StatTruncateRemove) {
   LocalFixture f;
   f.kernel.run_process("p", [&](sim::Process& p) {
-    f.session.create(p, "/f");
-    f.session.write(p, "/f", 0, blob::make_zero(100));
+    ASSERT_OK(f.session.create(p, "/f"));
+    ASSERT_OK(f.session.write(p, "/f", 0, blob::make_zero(100)));
     EXPECT_EQ(f.session.stat(p, "/f")->size, 100u);
-    f.session.truncate(p, "/f", 10);
+    ASSERT_OK(f.session.truncate(p, "/f", 10));
     EXPECT_EQ(f.session.stat(p, "/f")->size, 10u);
     ASSERT_TRUE(f.session.remove(p, "/f").is_ok());
     EXPECT_EQ(f.session.stat(p, "/f").code(), ErrCode::kNoEnt);
@@ -362,9 +364,9 @@ TEST(LocalSession, StatTruncateRemove) {
 TEST(LocalSession, SymlinkAndList) {
   LocalFixture f;
   f.kernel.run_process("p", [&](sim::Process& p) {
-    f.session.mkdirs(p, "/d");
-    f.session.create(p, "/d/a");
-    f.session.symlink(p, "/d/l", "/d/a");
+    ASSERT_OK(f.session.mkdirs(p, "/d"));
+    ASSERT_OK(f.session.create(p, "/d/a"));
+    ASSERT_OK(f.session.symlink(p, "/d/l", "/d/a"));
     auto entries = f.session.list(p, "/d");
     ASSERT_TRUE(entries.is_ok());
     EXPECT_EQ(entries->size(), 2u);

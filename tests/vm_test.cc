@@ -3,6 +3,8 @@
 // filesystem layout model, and the full cloning workflow on local state.
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include "meta/meta_file.h"
 #include "sim/kernel.h"
 #include "vfs/local_session.h"
@@ -126,9 +128,9 @@ TEST(VmMonitor, GuestCacheAbsorbsRereads) {
   f.run([&](sim::Process& p) {
     VmMonitor vm;
     vm.attach(f.session, paths->cfg(), paths->vmss(), f.session, paths->flat_vmdk());
-    vm.disk_read(p, 0, 1_MiB);
+    ASSERT_OK(vm.disk_read(p, 0, 1_MiB));
     u64 host_reads = vm.host_reads();
-    vm.disk_read(p, 0, 1_MiB);
+    ASSERT_OK(vm.disk_read(p, 0, 1_MiB));
     EXPECT_EQ(vm.host_reads(), host_reads);  // all from guest cache
   });
 }
@@ -163,7 +165,7 @@ TEST(VmMonitor, SyncPushesDirtyToHost) {
   f.run([&](sim::Process& p) {
     VmMonitor vm;
     vm.attach(f.session, paths->cfg(), paths->vmss(), f.session, paths->flat_vmdk());
-    vm.disk_write(p, 0, blob::make_synthetic(5, 64_KiB, 0, 2.0));
+    ASSERT_OK(vm.disk_write(p, 0, blob::make_synthetic(5, 64_KiB, 0, 2.0)));
     EXPECT_EQ(vm.host_write_bytes(), 0u);
     ASSERT_TRUE(vm.sync(p).is_ok());
     EXPECT_EQ(vm.host_write_bytes(), 64_KiB);
@@ -211,9 +213,9 @@ TEST(RedoLog, OverwriteReusesGrain) {
   VmFixture f;
   f.run([&](sim::Process& p) {
     RedoLog log(f.session, "/redo.log");
-    log.create(p);
-    log.append(p, 0, blob::make_bytes(std::vector<u8>(4096, 1)));
-    log.append(p, 0, blob::make_bytes(std::vector<u8>(4096, 2)));
+    ASSERT_OK(log.create(p));
+    ASSERT_OK(log.append(p, 0, blob::make_bytes(std::vector<u8>(4096, 1))));
+    ASSERT_OK(log.append(p, 0, blob::make_bytes(std::vector<u8>(4096, 2))));
     EXPECT_EQ(log.grains(), 1u);
     EXPECT_EQ(log.log_bytes(), 4096u);
     auto back = log.read(p, 0, 16);
@@ -227,7 +229,7 @@ TEST(RedoLog, UnalignedAppendRejected) {
   VmFixture f;
   f.run([&](sim::Process& p) {
     RedoLog log(f.session, "/redo.log");
-    log.create(p);
+    ASSERT_OK(log.create(p));
     EXPECT_EQ(log.append(p, 100, blob::make_zero(4096)).code(), ErrCode::kInval);
   });
 }
@@ -266,7 +268,7 @@ TEST(VmMonitor, RedoReadStraddlesBaseAndLog) {
     VmMonitor vm;
     vm.attach(f.session, paths->cfg(), paths->vmss(), f.session, paths->flat_vmdk());
     auto redo = std::make_unique<RedoLog>(f.session, "/clone.redo");
-    redo->create(p);
+    ASSERT_OK(redo->create(p));
     vm.enable_redo_log(std::move(redo));
     // Overwrite one 4 KiB grain in the middle of a 16 KiB region.
     ASSERT_TRUE(vm.disk_write(p, 1_MiB + 4_KiB, blob::make_bytes(std::vector<u8>(4_KiB, 0xcd))).is_ok());

@@ -2,6 +2,8 @@
 // of the three application models, and the synthetic mix generator.
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include "sim/kernel.h"
 #include "vfs/local_session.h"
 #include "vfs/memfs.h"
@@ -76,9 +78,9 @@ TEST(Population, OpenTouchesInodeRegionOnce) {
   FilePopulation pop(*f.gfs, spec);
   ASSERT_TRUE(pop.install().is_ok());
   f.run([&](sim::Process& p) {
-    pop.open(p, 0);
+    ASSERT_OK(pop.open(p, 0));
     u64 reads = f.vm->host_reads();
-    pop.open(p, 0);  // inode block now guest-cached
+    ASSERT_OK(pop.open(p, 0));  // inode block now guest-cached
     EXPECT_EQ(f.vm->host_reads(), reads);
   });
 }

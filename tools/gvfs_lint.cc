@@ -1,0 +1,40 @@
+// CLI driver for the repo linter (tools/lint/lint.h). Run by ctest (label
+// "lint") and CI over the whole tree; exits non-zero on any finding.
+//
+// Usage:
+//   gvfs_lint --root <repo-root>      lint src/ bench/ tests/ tools/ examples/
+//   gvfs_lint --list-rules            print the rule ids and exit
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "lint/lint.h"
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--list-rules") == 0) {
+      for (const std::string& r : gvfs::lint::all_rules()) {
+        std::printf("%s\n", r.c_str());
+      }
+      return 0;
+    }
+    if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
+      root = argv[++i];
+      continue;
+    }
+    std::fprintf(stderr, "usage: %s [--root DIR] [--list-rules]\n", argv[0]);
+    return 2;
+  }
+
+  auto findings = gvfs::lint::lint_tree(root);
+  for (const auto& f : findings) {
+    std::printf("%s\n", gvfs::lint::to_string(f).c_str());
+  }
+  if (!findings.empty()) {
+    std::fprintf(stderr, "gvfs_lint: %zu finding(s)\n", findings.size());
+    return 1;
+  }
+  std::fprintf(stderr, "gvfs_lint: clean\n");
+  return 0;
+}

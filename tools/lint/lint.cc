@@ -1,0 +1,464 @@
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace gvfs::lint {
+namespace fs = std::filesystem;
+
+namespace {
+
+// ------------------------------------------------------------ text prep --
+
+// Remove comments and string/char literals while preserving the line
+// structure, so token rules never fire on prose or format strings.
+std::vector<std::string> strip_code(const std::string& content) {
+  std::vector<std::string> lines;
+  std::string cur;
+  enum class S { kCode, kLineComment, kBlockComment, kString, kChar };
+  S st = S::kCode;
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    char c = content[i];
+    char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+      if (st == S::kLineComment) st = S::kCode;
+      continue;
+    }
+    switch (st) {
+      case S::kCode:
+        if (c == '/' && next == '/') {
+          st = S::kLineComment;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          st = S::kBlockComment;
+          ++i;
+        } else if (c == '"') {
+          st = S::kString;
+          cur += '"';
+        } else if (c == '\'') {
+          st = S::kChar;
+          cur += '\'';
+        } else {
+          cur += c;
+        }
+        break;
+      case S::kLineComment:
+        break;
+      case S::kBlockComment:
+        if (c == '*' && next == '/') {
+          st = S::kCode;
+          ++i;
+        }
+        break;
+      case S::kString:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          st = S::kCode;
+          cur += '"';
+        }
+        break;
+      case S::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          st = S::kCode;
+          cur += '\'';
+        }
+        break;
+    }
+  }
+  lines.push_back(cur);
+  return lines;
+}
+
+std::vector<std::string> split_lines(const std::string& content) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : content) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  lines.push_back(cur);
+  return lines;
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::string item;
+  std::stringstream ss(s);
+  while (std::getline(ss, item, ',')) {
+    std::size_t b = item.find_first_not_of(" \t");
+    std::size_t e = item.find_last_not_of(" \t");
+    if (b != std::string::npos) out.push_back(item.substr(b, e - b + 1));
+  }
+  return out;
+}
+
+// --------------------------------------------------------- suppressions --
+
+struct Suppressions {
+  std::set<std::string> file_allowed;
+  // line number (1-based) -> rules allowed on that line
+  std::map<int, std::set<std::string>> line_allowed;
+
+  [[nodiscard]] bool allowed(const std::string& rule, int line) const {
+    if (file_allowed.count(rule) != 0 || file_allowed.count("*") != 0) {
+      return true;
+    }
+    auto it = line_allowed.find(line);
+    if (it == line_allowed.end()) return false;
+    return it->second.count(rule) != 0 || it->second.count("*") != 0;
+  }
+};
+
+Suppressions parse_suppressions(const std::vector<std::string>& raw_lines) {
+  Suppressions sup;
+  static const std::regex kAllow(R"(gvfs-lint:\s*allow\(([^)]*)\))");
+  static const std::regex kFileAllow(R"(gvfs-lint:\s*file-allow\(([^)]*)\))");
+  for (std::size_t i = 0; i < raw_lines.size(); ++i) {
+    const std::string& text = raw_lines[i];
+    std::smatch m;
+    if (std::regex_search(text, m, kFileAllow)) {
+      for (const std::string& r : split_csv(m[1].str())) {
+        sup.file_allowed.insert(r);
+      }
+    } else if (std::regex_search(text, m, kAllow)) {
+      int line = static_cast<int>(i) + 1;
+      // A comment alone on its line shields the next line instead.
+      std::size_t first = text.find_first_not_of(" \t");
+      if (first != std::string::npos && text[first] == '/') ++line;
+      for (const std::string& r : split_csv(m[1].str())) {
+        sup.line_allowed[line].insert(r);
+      }
+    }
+  }
+  return sup;
+}
+
+// ------------------------------------------------------ path scoping ----
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool is_header(const std::string& path) {
+  return path.size() > 2 && path.rfind(".h") == path.size() - 2;
+}
+
+// Host clocks are the sim kernel's business alone.
+bool clock_exempt(const std::string& path) { return starts_with(path, "src/sim/"); }
+
+// Bench figure output, example demos and CLI tools legitimately print to
+// stdout; libraries and tests never do.
+bool print_sanctioned(const std::string& path) {
+  return starts_with(path, "bench/") || starts_with(path, "tools/") ||
+         starts_with(path, "examples/");
+}
+
+// Unordered iteration can feed BenchReport / simulated stdout from any
+// library, bench, or CLI code path; tests only feed gtest.
+bool unordered_scoped(const std::string& path) {
+  return starts_with(path, "src/") || starts_with(path, "bench/") ||
+         starts_with(path, "tools/");
+}
+
+// ------------------------------------------------------ token rules -----
+
+struct TokenRule {
+  const char* rule;
+  std::regex pattern;
+  const char* message;
+};
+
+const std::vector<TokenRule>& rng_rules() {
+  static const std::vector<TokenRule> kRules = [] {
+    std::vector<TokenRule> v;
+    v.push_back({"determinism-rng", std::regex(R"(\brandom_device\b)"),
+                 "host entropy source; use a seeded SplitMix64 (common/rng.h)"});
+    v.push_back({"determinism-rng", std::regex(R"((^|[^:\w.])s?rand\s*\()"),
+                 "C PRNG breaks bit-identical replays; use SplitMix64"});
+    v.push_back({"determinism-rng", std::regex(R"(\b[dlm]rand48\s*\()"),
+                 "C PRNG breaks bit-identical replays; use SplitMix64"});
+    v.push_back({"determinism-rng", std::regex(R"((^|[^:\w.])random\s*\(\s*\))"),
+                 "C PRNG breaks bit-identical replays; use SplitMix64"});
+    return v;
+  }();
+  return kRules;
+}
+
+const std::vector<TokenRule>& clock_rules() {
+  static const std::vector<TokenRule> kRules = [] {
+    std::vector<TokenRule> v;
+    v.push_back({"determinism-clock",
+                 std::regex(R"(\b(system_clock|steady_clock|high_resolution_clock)\b)"),
+                 "host clock outside src/sim/; simulated code observes virtual time only"});
+    v.push_back({"determinism-clock",
+                 std::regex(R"(\b(gettimeofday|clock_gettime|timespec_get)\s*\()"),
+                 "host clock outside src/sim/; simulated code observes virtual time only"});
+    v.push_back({"determinism-clock",
+                 std::regex(R"((^|[^:\w.>])(time|clock)\s*\(\s*(NULL|nullptr|0)?\s*\))"),
+                 "host clock outside src/sim/; simulated code observes virtual time only"});
+    return v;
+  }();
+  return kRules;
+}
+
+const std::vector<TokenRule>& print_rules() {
+  static const std::vector<TokenRule> kRules = [] {
+    std::vector<TokenRule> v;
+    v.push_back({"stdout-print", std::regex(R"(std::cout\b)"),
+                 "direct stdout outside the sanctioned bench/CLI print sites; "
+                 "log via GVFS_* (stderr) instead"});
+    v.push_back({"stdout-print", std::regex(R"((^|[^\w.>])(printf|puts|putchar)\s*\()"),
+                 "direct stdout outside the sanctioned bench/CLI print sites; "
+                 "log via GVFS_* (stderr) instead"});
+    return v;
+  }();
+  return kRules;
+}
+
+void apply_token_rules(const std::vector<TokenRule>& rules,
+                       const std::vector<std::string>& code_lines,
+                       const Suppressions& sup, const std::string& path,
+                       std::vector<Finding>* out) {
+  for (std::size_t i = 0; i < code_lines.size(); ++i) {
+    int line = static_cast<int>(i) + 1;
+    for (const TokenRule& r : rules) {
+      if (sup.allowed(r.rule, line)) continue;
+      if (std::regex_search(code_lines[i], r.pattern)) {
+        out->push_back({path, line, r.rule, r.message});
+      }
+    }
+  }
+}
+
+// ------------------------------------------- unordered-iteration rule ---
+
+// Names of variables/members declared as unordered containers. Balances
+// template angle brackets so nested parameters don't confuse the capture.
+std::set<std::string> unordered_decl_names(const std::vector<std::string>& code_lines) {
+  std::set<std::string> names;
+  static const std::regex kDecl(R"(\bunordered_(map|set|multimap|multiset)\s*<)");
+  for (const std::string& text : code_lines) {
+    for (auto it = std::sregex_iterator(text.begin(), text.end(), kDecl);
+         it != std::sregex_iterator(); ++it) {
+      std::size_t pos = static_cast<std::size_t>(it->position()) + it->length();
+      int depth = 1;
+      while (pos < text.size() && depth > 0) {
+        if (text[pos] == '<') ++depth;
+        if (text[pos] == '>') --depth;
+        ++pos;
+      }
+      // Skip refs/pointers/whitespace, then capture the declared name.
+      while (pos < text.size() &&
+             (std::isspace(static_cast<unsigned char>(text[pos])) != 0 ||
+              text[pos] == '&' || text[pos] == '*')) {
+        ++pos;
+      }
+      std::string name;
+      while (pos < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[pos])) != 0 ||
+              text[pos] == '_')) {
+        name += text[pos++];
+      }
+      if (!name.empty()) names.insert(name);
+    }
+  }
+  return names;
+}
+
+void apply_unordered_rule(const std::vector<std::string>& code_lines,
+                          const std::set<std::string>& decls,
+                          const Suppressions& sup, const std::string& path,
+                          std::vector<Finding>* out) {
+  if (decls.empty()) return;
+  // Range-for over a declared unordered container (last path component of
+  // the range expression), or an explicit .begin()/.cbegin() walk.
+  static const std::regex kRangeFor(R"(\bfor\s*\([^;)]*:\s*([A-Za-z_][\w.\->]*)\s*\))");
+  static const std::regex kBegin(R"(\b([A-Za-z_]\w*)\s*\.\s*c?begin\s*\()");
+  auto last_component = [](std::string expr) {
+    std::size_t dot = expr.find_last_of('.');
+    std::size_t arrow = expr.rfind("->");
+    std::size_t cut = std::string::npos;
+    if (dot != std::string::npos) cut = dot + 1;
+    if (arrow != std::string::npos && (cut == std::string::npos || arrow + 2 > cut)) {
+      cut = arrow + 2;
+    }
+    return cut == std::string::npos ? expr : expr.substr(cut);
+  };
+  for (std::size_t i = 0; i < code_lines.size(); ++i) {
+    int line = static_cast<int>(i) + 1;
+    if (sup.allowed("unordered-iteration", line)) continue;
+    const std::string& text = code_lines[i];
+    std::smatch m;
+    bool hit = false;
+    if (std::regex_search(text, m, kRangeFor) &&
+        decls.count(last_component(m[1].str())) != 0) {
+      hit = true;
+    }
+    if (!hit && std::regex_search(text, m, kBegin) &&
+        decls.count(m[1].str()) != 0) {
+      hit = true;
+    }
+    if (hit) {
+      out->push_back({path, line, "unordered-iteration",
+                      "iteration order of an unordered container is "
+                      "hash-seed dependent; sort first, use an ordered "
+                      "container, or annotate why order cannot escape"});
+    }
+  }
+}
+
+// ------------------------------------------------------- tree walking ---
+
+bool lintable_source(const fs::path& p) {
+  std::string ext = p.extension().string();
+  return ext == ".cc" || ext == ".h" || ext == ".cpp" || ext == ".hpp";
+}
+
+bool skip_dir(const fs::path& p) {
+  std::string name = p.filename().string();
+  return name == "lint_fixtures" || starts_with(name, "build") ||
+         name == ".git";
+}
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+const std::vector<std::string>& all_rules() {
+  static const std::vector<std::string> kRules = {
+      "determinism-rng",  "determinism-clock",  "unordered-iteration",
+      "stdout-print",     "header-guard",       "cmake-registration"};
+  return kRules;
+}
+
+std::string to_string(const Finding& f) {
+  return f.file + ":" + std::to_string(f.line) + ": [" + f.rule + "] " +
+         f.message;
+}
+
+std::vector<Finding> lint_content(const std::string& path,
+                                  const std::string& content,
+                                  const std::string& sibling_header) {
+  std::vector<Finding> out;
+  std::vector<std::string> raw = split_lines(content);
+  std::vector<std::string> code = strip_code(content);
+  Suppressions sup = parse_suppressions(raw);
+
+  apply_token_rules(rng_rules(), code, sup, path, &out);
+  if (!clock_exempt(path)) {
+    apply_token_rules(clock_rules(), code, sup, path, &out);
+  }
+  if (!print_sanctioned(path)) {
+    apply_token_rules(print_rules(), code, sup, path, &out);
+  }
+  if (unordered_scoped(path)) {
+    std::set<std::string> decls = unordered_decl_names(code);
+    if (!sibling_header.empty()) {
+      std::set<std::string> extra = unordered_decl_names(strip_code(sibling_header));
+      decls.insert(extra.begin(), extra.end());
+    }
+    apply_unordered_rule(code, decls, sup, path, &out);
+  }
+  if (is_header(path) && !sup.allowed("header-guard", 1) &&
+      content.find("#pragma once") == std::string::npos) {
+    out.push_back({path, 1, "header-guard", "header is missing #pragma once"});
+  }
+  return out;
+}
+
+std::vector<Finding> lint_tree(const std::string& root) {
+  std::vector<Finding> out;
+  const fs::path base(root);
+  std::vector<fs::path> files;
+  std::vector<fs::path> cmake_files;
+  for (const char* top : {"src", "bench", "tests", "tools", "examples"}) {
+    fs::path dir = base / top;
+    if (!fs::exists(dir)) continue;
+    for (auto it = fs::recursive_directory_iterator(dir);
+         it != fs::recursive_directory_iterator(); ++it) {
+      if (it->is_directory()) {
+        if (skip_dir(it->path())) it.disable_recursion_pending();
+        continue;
+      }
+      if (lintable_source(it->path())) files.push_back(it->path());
+      if (it->path().filename() == "CMakeLists.txt") {
+        cmake_files.push_back(it->path());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+  std::sort(cmake_files.begin(), cmake_files.end());
+
+  std::map<std::string, std::string> cmake_content;
+  for (const fs::path& p : cmake_files) {
+    cmake_content[fs::relative(p.parent_path(), base).generic_string()] =
+        read_file(p);
+  }
+
+  for (const fs::path& p : files) {
+    std::string rel = fs::relative(p, base).generic_string();
+    std::string content = read_file(p);
+    std::string sibling;
+    if (p.extension() == ".cc" || p.extension() == ".cpp") {
+      fs::path header = p;
+      header.replace_extension(".h");
+      if (fs::exists(header)) sibling = read_file(header);
+    }
+    std::vector<Finding> found = lint_content(rel, content, sibling);
+    out.insert(out.end(), found.begin(), found.end());
+
+    // cmake-registration: compilation units must be named in their own or
+    // an ancestor directory's CMakeLists.txt to be part of the build.
+    if (p.extension() == ".cc" || p.extension() == ".cpp") {
+      // Registered = the filename or its stem appears in an ancestor
+      // CMakeLists.txt (tests/bench register by stem via helper functions).
+      std::string name = p.filename().string();
+      std::string stem = p.stem().string();
+      bool registered = false;
+      fs::path dir = fs::relative(p.parent_path(), base);
+      for (fs::path d = dir;; d = d.parent_path()) {
+        auto it = cmake_content.find(d.generic_string());
+        if (it != cmake_content.end() &&
+            (it->second.find(name) != std::string::npos ||
+             it->second.find(stem) != std::string::npos)) {
+          registered = true;
+          break;
+        }
+        if (d.empty() || d == d.parent_path()) break;
+      }
+      if (!registered) {
+        out.push_back({rel, 1, "cmake-registration",
+                       "source file is not referenced by any CMakeLists.txt "
+                       "on its directory path"});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  return out;
+}
+
+}  // namespace gvfs::lint

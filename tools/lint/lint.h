@@ -1,0 +1,59 @@
+// gvfs_lint: repo-specific static analysis guarding the invariants the
+// simulator's value proposition rests on — bit-identical replays and
+// byte-identical bench stdout. Machine-checked here, not reviewer-checked:
+//
+//   determinism-rng      host randomness (std::random_device, rand(), ...)
+//                        anywhere; all randomness must come from seeded
+//                        SplitMix64 streams (common/rng.h).
+//   determinism-clock    host clocks (system_clock, steady_clock, time(),
+//                        gettimeofday, ...) outside src/sim/ — virtual time
+//                        is the only clock the simulation may observe.
+//   unordered-iteration  iterating an unordered container in src/, bench/ or
+//                        tools/ — iteration order is hash-seed dependent and
+//                        must never feed BenchReport or simulated stdout.
+//   stdout-print         std::cout/printf/puts in src/ or tests/ — simulated
+//                        results are printed only by the sanctioned bench /
+//                        CLI sites; libraries log via GVFS_* (stderr).
+//   header-guard         header missing #pragma once.
+//   cmake-registration   a .cc/.cpp not named in its directory's (or an
+//                        ancestor's) CMakeLists.txt — unregistered sources
+//                        silently drop out of the build and the gates.
+//
+// Suppressions, in a comment on the flagged line or alone on the line above:
+//   // gvfs-lint: allow(rule-a, rule-b) <reason>
+// or for a whole file:
+//   // gvfs-lint: file-allow(rule) <reason>
+// Comments and string/char literals are stripped before token matching, so
+// prose and format strings never trip the rules.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gvfs::lint {
+
+struct Finding {
+  std::string file;  // repo-relative, forward slashes
+  int line = 0;      // 1-based
+  std::string rule;
+  std::string message;
+};
+
+[[nodiscard]] std::string to_string(const Finding& f);
+
+// Every rule id the linter knows, in report order.
+[[nodiscard]] const std::vector<std::string>& all_rules();
+
+// Lint one in-memory file. `path` decides which path-scoped rules apply.
+// `sibling_header` optionally supplies the paired .h content so container
+// declarations in the header are visible when linting the .cc.
+[[nodiscard]] std::vector<Finding> lint_content(
+    const std::string& path, const std::string& content,
+    const std::string& sibling_header = {});
+
+// Walk src/, bench/, tests/, tools/ and examples/ under `root`, lint every
+// source file, and check CMake registration. Skips lint_fixtures/ and
+// build trees. Findings are sorted by (file, line, rule).
+[[nodiscard]] std::vector<Finding> lint_tree(const std::string& root);
+
+}  // namespace gvfs::lint

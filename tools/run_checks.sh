@@ -1,31 +1,68 @@
 #!/usr/bin/env bash
-# Sanitizer gate: build the whole tree with AddressSanitizer +
-# UndefinedBehaviorSanitizer and run the test suite (including the
-# fault-injection tests, label "faults") under them. Any sanitizer report
-# aborts the run (halt_on_error / abort-on-UB), so a red exit here means a
-# real memory or UB bug, not a flaky test.
+# Correctness gate: every static and dynamic check this repo supports, in
+# cheapest-first order. Any failure aborts the run.
 #
-# Usage: tools/run_checks.sh [build-dir]
+#   1. gvfs_lint         repo-specific determinism/style linter over the tree
+#   2. ASan/UBSan        full test suite (incl. ctest -L faults) under
+#                        AddressSanitizer + UndefinedBehaviorSanitizer
+#   3. TSan              full test suite under ThreadSanitizer; the sim is
+#                        thread-per-process, so the locking in sim/kernel.cc
+#                        gets real concurrency coverage here
+#   4. clang-tidy        bugprone-*/performance-*/concurrency-* profile from
+#                        .clang-tidy — runs only when clang-tidy is on PATH
+#                        (the baked-in container toolchain is gcc-only)
+#
+# Usage: tools/run_checks.sh [build-dir-prefix]
+#   builds land in <prefix>-asan and <prefix>-tsan (default: build-check).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="${1:-$repo_root/build-asan}"
+prefix="${1:-$repo_root/build-check}"
+jobs="$(nproc)"
 
-cmake -B "$build_dir" -S "$repo_root" \
+run_suite() {
+  local build_dir="$1" sanitizers="$2" label="$3"
+  cmake -B "$build_dir" -S "$repo_root" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DGVFS_SANITIZE="$sanitizers"
+  cmake --build "$build_dir" -j "$jobs"
+  echo "== full test suite under $label =="
+  (cd "$build_dir" && ctest --output-on-failure -j "$jobs")
+  echo "== fault-injection tests under $label (ctest -L faults) =="
+  (cd "$build_dir" && ctest --output-on-failure -L faults -j "$jobs")
+}
+
+echo "== gvfs_lint (repo determinism/style linter) =="
+lint_build="$prefix-asan"
+cmake -B "$lint_build" -S "$repo_root" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DGVFS_SANITIZE=address,undefined
-cmake --build "$build_dir" -j "$(nproc)"
+cmake --build "$lint_build" -j "$jobs" --target gvfs_lint
+"$lint_build/tools/gvfs_lint" --root "$repo_root"
 
 # Turn every sanitizer finding into a hard failure: ASan exits non-zero on
 # its first report, UBSan aborts instead of printing-and-continuing.
 export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1:abort_on_error=0"
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+run_suite "$lint_build" "address,undefined" "ASan/UBSan"
 
-cd "$build_dir"
-echo "== full test suite under ASan/UBSan =="
-ctest --output-on-failure -j "$(nproc)"
+# TSan is incompatible with ASan, so it gets its own build tree. Suppress
+# nothing: the sim kernel's one-runnable-thread handoff must be data-race
+# free as seen by TSan, not just by construction.
+export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+run_suite "$prefix-tsan" "thread" "TSan"
 
-echo "== fault-injection tests (ctest -L faults) =="
-ctest --output-on-failure -L faults -j "$(nproc)"
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "== clang-tidy (.clang-tidy profile) =="
+  tidy_build="$prefix-tidy"
+  cmake -B "$tidy_build" -S "$repo_root" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+  # Sources only; headers are covered via HeaderFilterRegex.
+  find "$repo_root/src" "$repo_root/tools" -name '*.cc' -not -path '*lint_fixtures*' \
+    | xargs clang-tidy -p "$tidy_build" --quiet
+else
+  echo "== clang-tidy not found on PATH; skipping (gcc-only container) =="
+fi
 
-echo "All checks passed (ASan/UBSan clean)."
+echo "All checks passed (lint + ASan/UBSan + TSan clean)."
