@@ -16,7 +16,7 @@ struct Config {
   u64 capacity;
 };
 
-Result<std::pair<double, double>> run_one(const Config& c) {
+Result<std::pair<double, double>> run_one(const Config& c, bench::MetricsLog& mlog) {
   core::TestbedOptions opt;
   opt.scenario = core::Scenario::kWanCached;
   opt.block_cache.associativity = c.assoc;
@@ -66,6 +66,9 @@ Result<std::pair<double, double>> run_one(const Config& c) {
   });
   if (!st.is_ok()) return st;
   bench::require_no_failed_processes(bed.kernel(), "ablate_cache");
+  mlog.capture("assoc" + std::to_string(c.assoc) + "_block" + fmt_bytes(c.block) +
+                   "_cap" + fmt_bytes(c.capacity),
+               bed);
   const auto* cache = bed.block_cache();
   double miss_rate = static_cast<double>(cache->misses()) /
                      static_cast<double>(cache->hits() + cache->misses());
@@ -76,6 +79,7 @@ Result<std::pair<double, double>> run_one(const Config& c) {
 
 int main() {
   bench::BenchReport rep("ablate_cache");
+  bench::MetricsLog mlog;
   bench::banner(
       "Ablation: proxy cache geometry (2nd-session random 85/15 mix over WAN)");
   bench::Table table({"assoc", "block", "capacity", "2nd-run time (s)", "proxy miss rate"});
@@ -88,7 +92,7 @@ int main() {
            {16, 32_KiB, 16_MiB},  // capacity far below working set
            {16, 32_KiB, 8_GiB},   // paper configuration
        }) {
-    auto r = run_one(c);
+    auto r = run_one(c, mlog);
     if (!r.is_ok()) {
       std::fprintf(stderr, "config failed: %s\n", r.status().to_string().c_str());
       return 1;
@@ -97,6 +101,7 @@ int main() {
                    fmt_double(r->first, 1), fmt_double(100.0 * r->second, 1) + "%"});
   }
   rep.add_table("cache_geometry", table);
+  mlog.attach(rep);
   rep.write();
   table.print();
   std::printf("\nExpectation: capacity dominates; associativity removes conflict\n"

@@ -10,7 +10,7 @@ using namespace gvfs;
 
 namespace {
 
-Result<std::vector<double>> run(bool lan_level, int nodes) {
+Result<std::vector<double>> run(bool lan_level, int nodes, bench::MetricsLog& mlog) {
   core::TestbedOptions opt;
   opt.scenario = core::Scenario::kWanCached;
   opt.second_level_lan_cache = lan_level;
@@ -42,6 +42,7 @@ Result<std::vector<double>> run(bool lan_level, int nodes) {
   });
   if (!st.is_ok()) return st;
   bench::require_no_failed_processes(bed.kernel(), "ablate_cascade");
+  mlog.capture(lan_level ? "2level" : "1level", bed);
   return times;
 }
 
@@ -49,10 +50,11 @@ Result<std::vector<double>> run(bool lan_level, int nodes) {
 
 int main() {
   bench::BenchReport rep("ablate_cascade");
+  bench::MetricsLog mlog;
   constexpr int kNodes = 4;
   bench::banner("Ablation: second-level LAN cache proxy across cluster nodes");
-  auto flat = run(false, kNodes);
-  auto cascaded = run(true, kNodes);
+  auto flat = run(false, kNodes, mlog);
+  auto cascaded = run(true, kNodes, mlog);
   if (!flat.is_ok() || !cascaded.is_ok()) {
     std::fprintf(stderr, "run failed\n");
     return 1;
@@ -63,6 +65,7 @@ int main() {
                    fmt_double((*cascaded)[static_cast<size_t>(i)], 1)});
   }
   rep.add_table("cascade", table);
+  mlog.attach(rep);
   rep.write();
   table.print();
   std::printf("\nExpectation: with the cascade, node 1 pays the WAN once and nodes\n"

@@ -33,7 +33,7 @@ Result<double> clone_once(core::Testbed& bed, const vm::VmImagePaths& image) {
 }
 
 Result<double> run_mode(const std::string& mode, double zero_fraction,
-                        double compress_ratio) {
+                        double compress_ratio, bench::MetricsLog& mlog) {
   core::TestbedOptions opt;
   opt.scenario = core::Scenario::kWanCached;
   opt.enable_meta = true;           // proxies honour whatever meta exists
@@ -52,17 +52,22 @@ Result<double> run_mode(const std::string& mode, double zero_fraction,
     GVFS_RETURN_IF_ERROR(
         vm::generate_vmss_metadata(bed.image_fs(), server_paths, 8_KiB, true));
   }
-  return clone_once(bed, *image);
+  Result<double> t = clone_once(bed, *image);
+  if (t.is_ok()) {
+    mlog.capture(mode + "_zf" + fmt_double(zero_fraction, 2), bed);
+  }
+  return t;
 }
 
 }  // namespace
 
 int main() {
   bench::BenchReport rep("ablate_meta");
+  bench::MetricsLog mlog;
   bench::banner("Ablation: meta-data handling modes for VM cloning");
   bench::Table table({"meta-data", "mem zero frac", "nonzero ratio", "clone time (s)"});
   for (const char* mode : {"none", "zero-map", "file-channel"}) {
-    auto t = run_mode(mode, 0.92, 3.0);
+    auto t = run_mode(mode, 0.92, 3.0, mlog);
     if (!t.is_ok()) {
       std::fprintf(stderr, "%s failed: %s\n", mode, t.status().to_string().c_str());
       return 1;
@@ -75,11 +80,12 @@ int main() {
   bench::Table sweep({"mem zero frac", "nonzero ratio", "clone time (s)"});
   for (auto [zf, cr] : std::initializer_list<std::pair<double, double>>{
            {0.98, 4.0}, {0.92, 3.0}, {0.75, 2.5}, {0.50, 2.0}, {0.20, 1.5}, {0.0, 1.05}}) {
-    auto t = run_mode("file-channel", zf, cr);
+    auto t = run_mode("file-channel", zf, cr, mlog);
     if (!t.is_ok()) return 1;
     sweep.add_row({fmt_double(zf, 2), fmt_double(cr, 2), fmt_double(*t, 1)});
   }
   rep.add_table("meta_modes", table);
+  mlog.attach(rep);
   rep.add_table("file_channel_sweep", sweep);
   rep.write();
   sweep.print();

@@ -11,7 +11,7 @@ using namespace gvfs;
 
 namespace {
 
-Result<std::pair<double, u64>> run_scan(u32 depth) {
+Result<std::pair<double, u64>> run_scan(u32 depth, bench::MetricsLog& mlog) {
   core::TestbedOptions opt;
   opt.scenario = core::Scenario::kWanCached;
   opt.prefetch_depth = depth;
@@ -26,10 +26,11 @@ Result<std::pair<double, u64>> run_scan(u32 depth) {
   workload::SyntheticWorkload wl(wcfg);
   auto report = bench::run_app_benchmark(bed, wl);
   if (!report.is_ok()) return report.status();
+  mlog.capture("depth" + std::to_string(depth), bed);
   return std::make_pair(report->total_s(), bed.client_proxy()->blocks_prefetched());
 }
 
-Result<double> run_streams(u32 streams) {
+Result<double> run_streams(u32 streams, bench::MetricsLog& mlog) {
   core::TestbedOptions opt;
   opt.scenario = core::Scenario::kWanCached;
   opt.file_channel_streams = streams;
@@ -57,6 +58,7 @@ Result<double> run_streams(u32 streams) {
   });
   if (!st.is_ok()) return st;
   bench::require_no_failed_processes(bed.kernel(), "ablate_prefetch");
+  mlog.capture("streams" + std::to_string(streams), bed);
   return t;
 }
 
@@ -64,10 +66,11 @@ Result<double> run_streams(u32 streams) {
 
 int main() {
   bench::BenchReport rep("ablate_prefetch");
+  bench::MetricsLog mlog;
   bench::banner("Ablation: proxy read-ahead depth (cold 64 MB sequential scan, WAN)");
   bench::Table table({"prefetch depth", "scan time (s)", "blocks prefetched"});
   for (u32 depth : {0u, 2u, 4u, 8u, 16u}) {
-    auto r = run_scan(depth);
+    auto r = run_scan(depth, mlog);
     if (!r.is_ok()) {
       std::fprintf(stderr, "depth %u failed: %s\n", depth,
                    r.status().to_string().c_str());
@@ -81,7 +84,7 @@ int main() {
   bench::banner("Ablation: parallel-stream file channel (incompressible 320 MB state)");
   bench::Table st({"streams", "cold clone time (s)"});
   for (u32 streams : {1u, 2u, 4u, 8u}) {
-    auto t = run_streams(streams);
+    auto t = run_streams(streams, mlog);
     if (!t.is_ok()) {
       std::fprintf(stderr, "streams %u failed\n", streams);
       return 1;
@@ -89,6 +92,7 @@ int main() {
     st.add_row({std::to_string(streams), fmt_double(*t, 1)});
   }
   rep.add_table("prefetch_depth", table);
+  mlog.attach(rep);
   rep.add_table("parallel_streams", st);
   rep.write();
   st.print();

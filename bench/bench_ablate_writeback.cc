@@ -15,7 +15,7 @@ struct Row {
   double flush_s = 0;
 };
 
-Result<Row> run_policy(cache::WritePolicy policy) {
+Result<Row> run_policy(cache::WritePolicy policy, bench::MetricsLog& mlog) {
   core::TestbedOptions opt;
   opt.scenario = core::Scenario::kWanCached;
   opt.write_policy = policy;
@@ -37,6 +37,8 @@ Result<Row> run_policy(cache::WritePolicy policy) {
     row.flush_s = to_seconds(p.now() - t0);
   });
   bench::require_no_failed_processes(bed.kernel(), "ablate_writeback");
+  mlog.capture(policy == cache::WritePolicy::kWriteBack ? "write_back" : "write_through",
+               bed);
   return row;
 }
 
@@ -44,9 +46,10 @@ Result<Row> run_policy(cache::WritePolicy policy) {
 
 int main() {
   bench::BenchReport rep("ablate_writeback");
+  bench::MetricsLog mlog;
   bench::banner("Ablation: proxy write policy (write-dominated workload over WAN)");
-  auto wt = run_policy(cache::WritePolicy::kWriteThrough);
-  auto wb = run_policy(cache::WritePolicy::kWriteBack);
+  auto wt = run_policy(cache::WritePolicy::kWriteThrough, mlog);
+  auto wb = run_policy(cache::WritePolicy::kWriteBack, mlog);
   if (!wt.is_ok() || !wb.is_ok()) {
     std::fprintf(stderr, "run failed\n");
     return 1;
@@ -58,6 +61,7 @@ int main() {
   table.add_row({"write-back", fmt_double(wb->run_s, 1), fmt_double(wb->flush_s, 1),
                  fmt_double(wb->run_s, 1) + " s (+ offline flush)"});
   rep.add_table("write_policy", table);
+  mlog.attach(rep);
   rep.add_scalar("writeback_speedup_x", wt->run_s / wb->run_s);
   rep.write();
   table.print();

@@ -45,7 +45,7 @@ struct ReadRun {
 
 // Experiment A unit: mount, read the full .vmss through the proxy path,
 // verify against the golden bytes.
-Result<ReadRun> run_resume_read(double drop_rate) {
+Result<ReadRun> run_resume_read(double drop_rate, bench::MetricsLog* mlog) {
   core::TestbedOptions opt;
   opt.scenario = core::Scenario::kWanCached;
   opt.generate_image_meta = false;  // block-RPC path, not the SCP file channel
@@ -82,6 +82,11 @@ Result<ReadRun> run_resume_read(double drop_rate) {
     out.requests_dropped = inj->requests_dropped();
     out.replies_dropped = inj->replies_dropped();
   }
+  if (mlog != nullptr) {
+    char key[32];
+    std::snprintf(key, sizeof(key), "resume_drop%.0fpct", drop_rate * 100.0);
+    mlog->capture(key, bed);
+  }
   return out;
 }
 
@@ -94,7 +99,7 @@ struct CloneRun {
 
 // Experiment B unit: clone the image once; optionally a server crash window
 // sits in the middle of the transfer.
-Result<CloneRun> run_clone(bool with_crash) {
+Result<CloneRun> run_clone(bool with_crash, bench::MetricsLog& mlog) {
   core::TestbedOptions opt;
   opt.scenario = core::Scenario::kWanCached;
   opt.generate_image_meta = false;  // keep the transfer on the RPC path
@@ -127,6 +132,7 @@ Result<CloneRun> run_clone(bool with_crash) {
   if (const auto* retry = bed.retry_channel()) out.retransmits = retry->retransmits();
   if (const auto* inj = bed.fault_injector()) out.restarts = inj->restarts_fired();
   if (const auto* srv = bed.server()) out.drc_inserts = srv->drc_inserts();
+  mlog.capture(with_crash ? "clone_crash" : "clone_nofault", bed);
   return out;
 }
 
@@ -142,7 +148,7 @@ struct DegradedRun {
 
 // Experiment C: partition [100 s, 160 s); proxy in degraded mode with a
 // soft-mount retry budget so upstream timeouts surface quickly.
-Result<DegradedRun> run_degraded_partition() {
+Result<DegradedRun> run_degraded_partition(bench::MetricsLog& mlog) {
   core::TestbedOptions opt;
   opt.scenario = core::Scenario::kWanCached;
   opt.generate_image_meta = false;  // exercise the block cache, not file cache
@@ -219,6 +225,7 @@ Result<DegradedRun> run_degraded_partition() {
   if (proxy->pending_writebacks() != 0 || proxy->upstream_down()) {
     return err(ErrCode::kInternal, "degraded-mode queue did not drain");
   }
+  mlog.capture("degraded_partition", bed);
   return out;
 }
 
@@ -226,6 +233,7 @@ Result<DegradedRun> run_degraded_partition() {
 
 int main() {
   bench::BenchReport rep("fault_recovery");
+  bench::MetricsLog mlog;
 
   // ---- A: resume read under loss -------------------------------------------
   bench::banner("Fault injection: 16 MB memory-state read under WAN loss");
@@ -234,7 +242,7 @@ int main() {
   const double rates[] = {0.0, 0.01, 0.05};
   double read_s[3] = {0, 0, 0};
   for (int i = 0; i < 3; ++i) {
-    auto r = run_resume_read(rates[i]);
+    auto r = run_resume_read(rates[i], &mlog);
     if (!r.is_ok()) {
       std::fprintf(stderr, "resume read failed: %s\n", r.status().to_string().c_str());
       return 1;
@@ -252,7 +260,7 @@ int main() {
   // Same seed, same schedule: a second 5% run must land on the same virtual
   // timeline to the nanosecond.
   {
-    auto again = run_resume_read(0.05);
+    auto again = run_resume_read(0.05, nullptr);
     if (!again.is_ok()) return 1;
     std::printf("\nsame-seed 5%% rerun      : %s (%.6f s vs %.6f s)\n",
                 again->elapsed_s == read_s[2] ? "identical timeline" : "DIVERGED",
@@ -262,8 +270,8 @@ int main() {
 
   // ---- B: clone across a server crash/restart -------------------------------
   bench::banner("Server crash/restart during VM cloning");
-  auto base = run_clone(/*with_crash=*/false);
-  auto crash = run_clone(/*with_crash=*/true);
+  auto base = run_clone(/*with_crash=*/false, mlog);
+  auto crash = run_clone(/*with_crash=*/true, mlog);
   if (!base.is_ok() || !crash.is_ok()) {
     std::fprintf(stderr, "clone run failed\n");
     return 1;
@@ -276,7 +284,7 @@ int main() {
 
   // ---- C: degraded-mode partition ------------------------------------------
   bench::banner("Degraded proxy across a 60 s partition");
-  auto deg = run_degraded_partition();
+  auto deg = run_degraded_partition(mlog);
   if (!deg.is_ok()) {
     std::fprintf(stderr, "degraded run failed: %s\n", deg.status().to_string().c_str());
     return 1;
@@ -303,6 +311,7 @@ int main() {
   rep.add_scalar("queued_writebacks", deg->queued);
   rep.add_scalar("replayed_writebacks", deg->replayed);
   rep.add_scalar("recovery_s", deg->recovery_s);
+  mlog.attach(rep);
   rep.write();
   return 0;
 }

@@ -41,6 +41,7 @@ int main() {
     }
     if (s == core::Scenario::kLocal) local_p4 = report->phase_s("phase4");
     worst_p4 = std::max(worst_p4, report->phase_s("phase4"));
+    rep.add_metrics(core::scenario_name(s), bed.metrics_json());
   }
   table.print();
 

@@ -68,6 +68,7 @@ int main() {
       flush_s_out = flush_s;
       upload_s_out = upload_s;
     }
+    rep.add_metrics(core::scenario_name(s), bed.metrics_json());
   }
   std::printf("\n");
   table.print();

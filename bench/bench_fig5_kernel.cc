@@ -66,6 +66,7 @@ int main() {
       if (s == core::Scenario::kWan && run == 1) wan_run2 = total;
       if (s == core::Scenario::kWanCached) wanc_run[run] = total;
     }
+    rep.add_metrics(core::scenario_name(s), bed.metrics_json());
   }
   table.print();
 

@@ -96,6 +96,7 @@ int main() {
     auto r = run_sequence(bed, images);
     if (!r.is_ok()) return 1;
     columns.push_back(r->times);
+    rep.add_metrics("local", bed.metrics_json());
   }
   // WAN-S1: one image, eight clonings.
   {
@@ -106,6 +107,7 @@ int main() {
     auto r = run_sequence(bed, images);
     if (!r.is_ok()) return 1;
     columns.push_back(r->times);
+    rep.add_metrics("wan_s1", bed.metrics_json());
   }
   // WAN-S2: eight distinct images.
   {
@@ -116,6 +118,7 @@ int main() {
     auto r = run_sequence(bed, images);
     if (!r.is_ok()) return 1;
     columns.push_back(r->times);
+    rep.add_metrics("wan_s2", bed.metrics_json());
   }
   // WAN-S3: eight distinct images, pre-cached on the LAN second level.
   {
@@ -127,6 +130,7 @@ int main() {
     auto r = run_sequence(bed, images, /*prewarm_lan=*/true);
     if (!r.is_ok()) return 1;
     columns.push_back(r->times);
+    rep.add_metrics("wan_s3", bed.metrics_json());
   }
 
   for (int i = 0; i < kClones; ++i) {
@@ -183,6 +187,7 @@ int main() {
     bench::require_no_failed_processes(bed.kernel(), "fig6 plain NFS baseline");
     std::printf("plain-NFS-mount memory copy    : %.0f s (paper: 2060 s)\n", t);
     rep.add_scalar("plain_nfs_memory_copy_s", t);
+    rep.add_metrics("plain_nfs_baseline", bed.metrics_json());
   }
   std::printf("GVFS first clone (cold)        : %.0f s (paper: <160 s)\n",
               columns[2].front());

@@ -25,7 +25,7 @@ std::vector<vm::VmImagePaths> install_images(core::Testbed& bed) {
 
 // Sequential: one node clones all eight images back to back; the "warm" pass
 // repeats the sequence with every cache loaded.
-Result<std::pair<double, double>> run_sequential() {
+Result<std::pair<double, double>> run_sequential(bench::MetricsLog& mlog) {
   core::TestbedOptions opt;
   opt.scenario = core::Scenario::kWanCached;
   core::Testbed bed(opt);
@@ -56,11 +56,12 @@ Result<std::pair<double, double>> run_sequential() {
   });
   if (!st.is_ok()) return st;
   bench::require_no_failed_processes(bed.kernel(), "table1");
+  mlog.capture("wan_s1_sequential", bed);
   return std::make_pair(cold, warm);
 }
 
 // Parallel: eight nodes share the image server, its proxy and the WAN pipe.
-Result<std::pair<double, double>> run_parallel() {
+Result<std::pair<double, double>> run_parallel(bench::MetricsLog& mlog) {
   core::TestbedOptions opt;
   opt.scenario = core::Scenario::kWanCached;
   opt.compute_nodes = kClones;
@@ -92,6 +93,7 @@ Result<std::pair<double, double>> run_parallel() {
     (pass == 0 ? cold : warm) = to_seconds(end - start);
     for (int i = 0; i < kClones; ++i) bed.nfs_client(i)->drop_caches();
   }
+  mlog.capture("wan_p_parallel", bed);
   return std::make_pair(cold, warm);
 }
 
@@ -99,13 +101,14 @@ Result<std::pair<double, double>> run_parallel() {
 
 int main() {
   bench::BenchReport rep("table1_parallel");
+  bench::MetricsLog mlog;
   bench::banner("Table 1: total time of cloning eight VM images (seconds)");
-  auto seq = run_sequential();
+  auto seq = run_sequential(mlog);
   if (!seq.is_ok()) {
     std::fprintf(stderr, "sequential failed: %s\n", seq.status().to_string().c_str());
     return 1;
   }
-  auto par = run_parallel();
+  auto par = run_parallel(mlog);
   if (!par.is_ok()) {
     std::fprintf(stderr, "parallel failed: %s\n", par.status().to_string().c_str());
     return 1;
@@ -126,6 +129,7 @@ int main() {
   rep.add_table("table1", table);
   rep.add_scalar("parallel_speedup_cold_pct", 100.0 * seq->first / par->first);
   rep.add_scalar("parallel_speedup_warm_pct", 100.0 * seq->second / par->second);
+  mlog.attach(rep);
   rep.write();
   return 0;
 }

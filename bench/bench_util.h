@@ -99,6 +99,14 @@ class BenchReport {
     sim_.emplace_back(key, std::move(j));
   }
 
+  // Attach a testbed metrics snapshot (a rendered JSON object, typically
+  // Testbed::metrics_json()) under `key` — one entry per scenario/run. They
+  // land in the report's "metrics" section, outside "simulated", so metric
+  // additions never disturb the byte-identical regression baseline.
+  void add_metrics(const std::string& key, std::string metrics_json) {
+    metrics_.emplace_back(key, std::move(metrics_json));
+  }
+
   // Write BENCH_<name>.json into the current directory. Reports progress on
   // stderr so bench stdout stays byte-comparable across runs.
   void write() const {
@@ -125,6 +133,11 @@ class BenchReport {
     for (std::size_t i = 0; i < sim_.size(); ++i) {
       std::fprintf(f, "%s\n    %s: %s", i > 0 ? "," : "",
                    quote_(sim_[i].first).c_str(), sim_[i].second.c_str());
+    }
+    std::fprintf(f, "\n  },\n  \"metrics\": {");
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      std::fprintf(f, "%s\n    %s: %s", i > 0 ? "," : "",
+                   quote_(metrics_[i].first).c_str(), metrics_[i].second.c_str());
     }
     std::fprintf(f, "\n  }\n}\n");
     std::fclose(f);
@@ -160,6 +173,23 @@ class BenchReport {
   std::chrono::steady_clock::time_point start_;  // gvfs-lint: allow(determinism-clock) host wall-clock anchor
   AllocCounters start_alloc_;
   std::vector<std::pair<std::string, std::string>> sim_;
+  std::vector<std::pair<std::string, std::string>> metrics_;
+};
+
+// Collects Testbed metrics snapshots from run helpers that own their
+// testbeds (the bed is usually destroyed before the report is written), then
+// attaches them to the report in capture order.
+class MetricsLog {
+ public:
+  void capture(const std::string& key, core::Testbed& bed) {
+    entries_.emplace_back(key, bed.metrics_json());
+  }
+  void attach(BenchReport& rep) const {
+    for (const auto& e : entries_) rep.add_metrics(e.first, e.second);
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
 };
 
 // Abort the bench if any simulated process exited with an error, naming the

@@ -72,6 +72,7 @@ int main() {
   rep.add_scalar("client_reads", client_reads);
   rep.add_scalar("reads_filtered", filtered);
   rep.add_scalar("read_elapsed_s", elapsed);
+  rep.add_metrics("zerofilter", bed.metrics_json());
   rep.write();
   return 0;
 }

@@ -78,7 +78,7 @@ void ProxyDiskCache::unlink_file_(u32 idx) {
 }
 
 void ProxyDiskCache::clear_frame_(Frame& f) {
-  if (f.data) resident_bytes_ -= f.data->size();
+  if (f.data) resident_bytes_.sub(f.data->size());
   f.valid = false;
   f.dirty = false;
   f.data.reset();
@@ -88,7 +88,7 @@ void ProxyDiskCache::touch_bank_(sim::Process& p, u32 set) {
   u32 bank = std::min<u32>(set / sets_per_bank_, cfg_.num_banks - 1);
   if (!bank_exists_[bank]) {
     bank_exists_[bank] = true;
-    ++banks_created_;
+    banks_created_.inc();
     if (cfg_.charge_bank_creation) {
       // Creating the bank file: one metadata journal write.
       disk_.access(p, 4_KiB, sim::Locality::kSequential);
@@ -99,10 +99,10 @@ void ProxyDiskCache::touch_bank_(sim::Process& p, u32 set) {
 std::optional<blob::BlobRef> ProxyDiskCache::lookup(sim::Process& p, const BlockId& id) {
   Frame* f = find_(id);
   if (f == nullptr) {
-    ++misses_;
+    misses_.inc();
     return std::nullopt;
   }
-  ++hits_;
+  hits_.inc();
   f->last_used = ++tick_;
   // A hit reads the frame from the cache disk. Consecutive blocks of a file
   // live in consecutive sets of a bank, so sequential access streams.
@@ -117,10 +117,10 @@ std::optional<blob::BlobRef> ProxyDiskCache::lookup(sim::Process& p, const Block
 
 Status ProxyDiskCache::evict_(sim::Process& p, Frame& victim) {
   if (!victim.valid) return Status::ok();
-  ++evictions_;
+  evictions_.inc();
   if (victim.dirty) {
-    ++writebacks_;
-    --dirty_;
+    writebacks_.inc();
+    dirty_.sub(1);
     if (writeback_) {
       // Read the frame back from the cache disk, then push upstream.
       disk_.access(p, victim.data ? victim.data->size() : cfg_.block_size,
@@ -130,7 +130,7 @@ Status ProxyDiskCache::evict_(sim::Process& p, Frame& victim) {
   }
   unlink_file_(static_cast<u32>(&victim - frames_.data()));
   clear_frame_(victim);
-  --resident_;
+  resident_.sub(1);
   return Status::ok();
 }
 
@@ -139,7 +139,7 @@ Status ProxyDiskCache::insert(sim::Process& p, const BlockId& id, blob::BlobRef 
   assert(data && data->size() <= cfg_.block_size);
   if (cfg_.policy == WritePolicy::kWriteThrough && dirty) {
     if (writeback_) {
-      ++writebacks_;
+      writebacks_.inc();
       GVFS_RETURN_IF_ERROR(writeback_(p, id, data));
     }
     dirty = false;
@@ -171,14 +171,14 @@ Status ProxyDiskCache::insert(sim::Process& p, const BlockId& id, blob::BlobRef 
       }
       GVFS_RETURN_IF_ERROR(evict_(p, *slot));
     }
-    ++resident_;
+    resident_.add(1);
     new_residency = true;
   } else if (slot->dirty && !dirty) {
     // Overwriting a dirty frame with clean data must not lose staged bytes —
     // the caller (proxy) merges before inserting, so a clean overwrite means
     // the block was just written back. A dirty overwrite keeps the frame
     // dirty and its single dirty count.
-    --dirty_;
+    dirty_.sub(1);
     slot->dirty = false;
   }
 
@@ -188,8 +188,8 @@ Status ProxyDiskCache::insert(sim::Process& p, const BlockId& id, blob::BlobRef 
   last_access_ = id;
   disk_.access(p, data->size(), sim::Locality::kSequential);
 
-  if (slot->data) resident_bytes_ -= slot->data->size();
-  resident_bytes_ += data->size();
+  if (slot->data) resident_bytes_.sub(slot->data->size());
+  resident_bytes_.add(data->size());
   slot->valid = true;
   slot->id = id;
   slot->data = std::move(data);
@@ -197,7 +197,7 @@ Status ProxyDiskCache::insert(sim::Process& p, const BlockId& id, blob::BlobRef 
   if (new_residency) link_file_(static_cast<u32>(slot - frames_.data()));
   if (dirty && !slot->dirty) {
     slot->dirty = true;
-    ++dirty_;
+    dirty_.add(1);
   }
   return Status::ok();
 }
@@ -213,13 +213,13 @@ Result<blob::BlobRef> ProxyDiskCache::merge(sim::Process& p, const BlockId& id,
     compose.write_blob(offset_in_block, data, 0, data->size());
   }
   blob::BlobRef merged = compose.snapshot();
-  if (f->data) resident_bytes_ -= f->data->size();
-  resident_bytes_ += merged->size();
+  if (f->data) resident_bytes_.sub(f->data->size());
+  resident_bytes_.add(merged->size());
   f->data = merged;
   f->last_used = ++tick_;
   if (!f->dirty) {
     f->dirty = true;
-    ++dirty_;
+    dirty_.add(1);
   }
   disk_.access(p, data ? data->size() : 4_KiB, sim::Locality::kRandom);
   return merged;
@@ -228,14 +228,14 @@ Result<blob::BlobRef> ProxyDiskCache::merge(sim::Process& p, const BlockId& id,
 Status ProxyDiskCache::write_back_all(sim::Process& p) {
   for (Frame& f : frames_) {
     if (f.valid && f.dirty) {
-      ++writebacks_;
+      writebacks_.inc();
       if (writeback_) {
         disk_.access(p, f.data ? f.data->size() : cfg_.block_size,
                      sim::Locality::kSequential);
         GVFS_RETURN_IF_ERROR(writeback_(p, f.id, f.data));
       }
       f.dirty = false;
-      --dirty_;
+      dirty_.sub(1);
     }
   }
   return Status::ok();
@@ -249,7 +249,7 @@ Status ProxyDiskCache::flush_and_invalidate(sim::Process& p) {
 
 void ProxyDiskCache::invalidate_all() {
   for (Frame& f : frames_) {
-    if (f.valid && f.dirty) --dirty_;
+    if (f.valid && f.dirty) dirty_.sub(1);
     f.valid = false;
     f.dirty = false;
     f.data.reset();
@@ -257,8 +257,8 @@ void ProxyDiskCache::invalidate_all() {
     f.file_next = kNil;
   }
   file_head_.clear();
-  resident_ = 0;
-  resident_bytes_ = 0;
+  resident_.set(0);
+  resident_bytes_.set(0);
 }
 
 void ProxyDiskCache::invalidate_file(u64 file_key) {
@@ -269,11 +269,11 @@ void ProxyDiskCache::invalidate_file(u64 file_key) {
   while (idx != kNil) {
     Frame& f = frames_[idx];
     u32 next = f.file_next;
-    if (f.dirty) --dirty_;
+    if (f.dirty) dirty_.sub(1);
     clear_frame_(f);
     f.file_prev = kNil;
     f.file_next = kNil;
-    --resident_;
+    resident_.sub(1);
     idx = next;
   }
 }

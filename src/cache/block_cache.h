@@ -16,6 +16,7 @@
 
 #include "blob/blob.h"
 #include "common/hash.h"
+#include "common/metrics.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "sim/resources.h"
@@ -80,19 +81,35 @@ class ProxyDiskCache {
   void invalidate_file(u64 file_key);
 
   // ---- Observability -------------------------------------------------------
-  [[nodiscard]] u64 hits() const { return hits_; }
-  [[nodiscard]] u64 misses() const { return misses_; }
-  [[nodiscard]] u64 evictions() const { return evictions_; }
-  [[nodiscard]] u64 writebacks() const { return writebacks_; }
-  [[nodiscard]] u64 dirty_blocks() const { return dirty_; }
-  [[nodiscard]] u64 resident_blocks() const { return resident_; }
-  [[nodiscard]] u64 resident_bytes() const { return resident_bytes_; }
+  [[nodiscard]] u64 hits() const { return hits_.value(); }
+  [[nodiscard]] u64 misses() const { return misses_.value(); }
+  [[nodiscard]] u64 evictions() const { return evictions_.value(); }
+  [[nodiscard]] u64 writebacks() const { return writebacks_.value(); }
+  [[nodiscard]] u64 dirty_blocks() const { return dirty_.value(); }
+  [[nodiscard]] u64 resident_blocks() const { return resident_.value(); }
+  [[nodiscard]] u64 resident_bytes() const { return resident_bytes_.value(); }
   // Number of resident blocks belonging to one file (O(1) map lookup +
   // O(file-resident) walk; used by tests and observability).
   [[nodiscard]] u64 file_resident_blocks(u64 file_key) const;
-  [[nodiscard]] u64 banks_created() const { return banks_created_; }
+  [[nodiscard]] u64 banks_created() const { return banks_created_.value(); }
   [[nodiscard]] u32 sets() const { return num_sets_; }
-  void reset_stats() { hits_ = misses_ = evictions_ = writebacks_ = 0; }
+  void reset_stats() {
+    hits_.reset();
+    misses_.reset();
+    evictions_.reset();
+    writebacks_.reset();
+  }
+
+  void register_metrics(metrics::Registry& r, const std::string& prefix) const {
+    r.register_counter(prefix + "hits", &hits_);
+    r.register_counter(prefix + "misses", &misses_);
+    r.register_counter(prefix + "evictions", &evictions_);
+    r.register_counter(prefix + "writebacks", &writebacks_);
+    r.register_counter(prefix + "banks_created", &banks_created_);
+    r.register_gauge(prefix + "dirty_blocks", &dirty_);
+    r.register_gauge(prefix + "resident_blocks", &resident_);
+    r.register_gauge(prefix + "resident_bytes", &resident_bytes_);
+  }
 
  private:
   static constexpr u32 kNil = 0xffffffffu;
@@ -129,14 +146,14 @@ class ProxyDiskCache {
   std::unordered_map<u64, u32> file_head_;
   WritebackFn writeback_;
   u64 tick_ = 0;
-  u64 hits_ = 0;
-  u64 misses_ = 0;
-  u64 evictions_ = 0;
-  u64 writebacks_ = 0;
-  u64 dirty_ = 0;
-  u64 resident_ = 0;
-  u64 resident_bytes_ = 0;
-  u64 banks_created_ = 0;
+  metrics::Counter hits_;
+  metrics::Counter misses_;
+  metrics::Counter evictions_;
+  metrics::Counter writebacks_;
+  metrics::Gauge dirty_;
+  metrics::Gauge resident_;
+  metrics::Gauge resident_bytes_;
+  metrics::Counter banks_created_;
   BlockId last_access_{};  // sequentiality heuristic for cache-disk locality
 };
 

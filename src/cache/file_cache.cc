@@ -12,8 +12,8 @@ Status FileCache::evict_lru_(sim::Process& p) {
   if (victim.dirty && upload_) {
     GVFS_RETURN_IF_ERROR(upload_(p, victim.key, victim.content));
   }
-  ++evictions_;
-  resident_bytes_ -= victim.content ? victim.content->size() : 0;
+  evictions_.inc();
+  resident_bytes_.sub(victim.content ? victim.content->size() : 0);
   map_.erase(victim.key);
   lru_.pop_back();
   return Status::ok();
@@ -24,18 +24,18 @@ Status FileCache::put(sim::Process& p, u64 file_key, blob::BlobRef content,
   u64 size = content ? content->size() : 0;
   auto it = map_.find(file_key);
   if (it != map_.end()) {
-    resident_bytes_ -= it->second->content ? it->second->content->size() : 0;
+    resident_bytes_.sub(it->second->content ? it->second->content->size() : 0);
     lru_.erase(it->second);
     map_.erase(it);
   }
-  while (resident_bytes_ + size > cfg_.capacity_bytes && !lru_.empty()) {
+  while (resident_bytes_.value() + size > cfg_.capacity_bytes && !lru_.empty()) {
     GVFS_RETURN_IF_ERROR(evict_lru_(p));
   }
   // Lay the file down on the cache disk sequentially.
   disk_.access(p, std::max<u64>(size, 4_KiB), sim::Locality::kSequential);
   lru_.push_front(Entry{file_key, std::move(content), dirty, 0});
   map_[file_key] = lru_.begin();
-  resident_bytes_ += size;
+  resident_bytes_.add(size);
   return Status::ok();
 }
 
@@ -43,10 +43,10 @@ std::optional<blob::BlobRef> FileCache::read(sim::Process& p, u64 file_key,
                                              u64 offset, u64 len) {
   auto it = map_.find(file_key);
   if (it == map_.end()) {
-    ++misses_;
+    misses_.inc();
     return std::nullopt;
   }
-  ++hits_;
+  hits_.inc();
   lru_.splice(lru_.begin(), lru_, it->second);
   Entry& e = *it->second;
   u64 size = e.content ? e.content->size() : 0;
@@ -71,7 +71,7 @@ Status FileCache::write(sim::Process& p, u64 file_key, u64 offset,
   u64 old_size = e.content ? e.content->size() : 0;
   e.content = compose.snapshot();
   e.dirty = true;
-  resident_bytes_ += e.content->size() - old_size;
+  resident_bytes_.add(e.content->size() - old_size);
   disk_.access(p, std::max<u64>(n, 4_KiB), sim::Locality::kSequential);
   lru_.splice(lru_.begin(), lru_, it->second);
   return Status::ok();
@@ -101,7 +101,7 @@ Status FileCache::write_back_all(sim::Process& p) {
 void FileCache::invalidate(u64 file_key) {
   auto it = map_.find(file_key);
   if (it == map_.end()) return;
-  resident_bytes_ -= it->second->content ? it->second->content->size() : 0;
+  resident_bytes_.sub(it->second->content ? it->second->content->size() : 0);
   lru_.erase(it->second);
   map_.erase(it);
 }
@@ -109,7 +109,7 @@ void FileCache::invalidate(u64 file_key) {
 void FileCache::invalidate_all() {
   lru_.clear();
   map_.clear();
-  resident_bytes_ = 0;
+  resident_bytes_.set(0);
 }
 
 }  // namespace gvfs::cache

@@ -11,6 +11,7 @@
 #include <unordered_map>
 
 #include "blob/blob.h"
+#include "common/metrics.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "sim/resources.h"
@@ -54,12 +55,23 @@ class FileCache {
   void invalidate(u64 file_key);
   void invalidate_all();
 
-  [[nodiscard]] u64 hits() const { return hits_; }
-  [[nodiscard]] u64 misses() const { return misses_; }
-  [[nodiscard]] u64 evictions() const { return evictions_; }
-  [[nodiscard]] u64 resident_bytes() const { return resident_bytes_; }
+  [[nodiscard]] u64 hits() const { return hits_.value(); }
+  [[nodiscard]] u64 misses() const { return misses_.value(); }
+  [[nodiscard]] u64 evictions() const { return evictions_.value(); }
+  [[nodiscard]] u64 resident_bytes() const { return resident_bytes_.value(); }
   [[nodiscard]] u64 files_cached() const { return map_.size(); }
-  void reset_stats() { hits_ = misses_ = evictions_ = 0; }
+  void reset_stats() {
+    hits_.reset();
+    misses_.reset();
+    evictions_.reset();
+  }
+
+  void register_metrics(metrics::Registry& r, const std::string& prefix) const {
+    r.register_counter(prefix + "hits", &hits_);
+    r.register_counter(prefix + "misses", &misses_);
+    r.register_counter(prefix + "evictions", &evictions_);
+    r.register_gauge(prefix + "resident_bytes", &resident_bytes_);
+  }
 
  private:
   struct Entry {
@@ -77,10 +89,10 @@ class FileCache {
   Lru lru_;  // front = most recent
   std::unordered_map<u64, Lru::iterator> map_;
   UploadFn upload_;
-  u64 resident_bytes_ = 0;
-  u64 hits_ = 0;
-  u64 misses_ = 0;
-  u64 evictions_ = 0;
+  metrics::Gauge resident_bytes_;
+  metrics::Counter hits_;
+  metrics::Counter misses_;
+  metrics::Counter evictions_;
 };
 
 }  // namespace gvfs::cache

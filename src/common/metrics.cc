@@ -1,0 +1,88 @@
+#include "common/metrics.h"
+
+#include <cstdio>
+
+namespace gvfs::metrics {
+
+namespace {
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string histogram_json(const RunningStat& s) {
+  std::string out = "{\"count\": " + std::to_string(s.count());
+  out += ", \"sum\": " + format_double(s.sum());
+  out += ", \"mean\": " + format_double(s.mean());
+  out += ", \"stddev\": " + format_double(s.stddev());
+  out += ", \"min\": " + format_double(s.min());
+  out += ", \"max\": " + format_double(s.max());
+  out += "}";
+  return out;
+}
+
+void Registry::register_counter(std::string id, const Counter* c) {
+  counters_[std::move(id)] = c;
+}
+
+void Registry::register_gauge(std::string id, const Gauge* g) {
+  gauges_[std::move(id)] = g;
+}
+
+void Registry::register_histogram(std::string id, const Histogram* h) {
+  histograms_[std::move(id)] = h;
+}
+
+Registry::Snapshot Registry::snapshot() const {
+  // The three maps are each sorted; a three-way merge keeps the combined
+  // snapshot sorted by id without re-sorting.
+  Snapshot out;
+  out.reserve(size());
+  auto c = counters_.begin();
+  auto g = gauges_.begin();
+  auto h = histograms_.begin();
+  while (c != counters_.end() || g != gauges_.end() || h != histograms_.end()) {
+    const std::string* best = nullptr;
+    int which = -1;
+    if (c != counters_.end()) {
+      best = &c->first;
+      which = 0;
+    }
+    if (g != gauges_.end() && (best == nullptr || g->first < *best)) {
+      best = &g->first;
+      which = 1;
+    }
+    if (h != histograms_.end() && (best == nullptr || h->first < *best)) {
+      which = 2;
+    }
+    if (which == 0) {
+      out.emplace_back(c->first, std::to_string(c->second->value()));
+      ++c;
+    } else if (which == 1) {
+      out.emplace_back(g->first, std::to_string(g->second->value()));
+      ++g;
+    } else {
+      out.emplace_back(h->first, histogram_json(h->second->stat()));
+      ++h;
+    }
+  }
+  return out;
+}
+
+std::string Registry::render_json(const Snapshot& snap) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [id, value] : snap) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + id + "\": " + value;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace gvfs::metrics

@@ -1,0 +1,97 @@
+// Unified observability registry (the paper's §4 evaluation is entirely
+// per-layer telemetry: proxy hit rates, cascade traffic, retransmissions,
+// outage time — this is where those numbers live).
+//
+// Components own their instruments by value (a Counter is exactly a u64, a
+// Gauge a u64, a Histogram a RunningStat), so converting a legacy
+// `u64 hits_ = 0;` member costs nothing on the hot path and existing
+// accessors keep their signatures by returning `hits_.value()`. A Registry
+// is a *view*: components register `const` pointers to their instruments
+// under hierarchical dot-separated ids ("node0.block_cache.hits"), and a
+// snapshot reads them all at once. Ids are kept in sorted order so the JSON
+// rendering is deterministic (and safe to iterate under the repo's
+// unordered-iteration lint rule).
+//
+// Nothing here prints to stdout: snapshots render to JSON strings that the
+// bench harness writes into BENCH_*.json and Testbed dumps to files.
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace gvfs::metrics {
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(u64 d = 1) { v_ += d; }
+  [[nodiscard]] u64 value() const { return v_; }
+  void reset() { v_ = 0; }
+
+ private:
+  u64 v_ = 0;
+};
+
+// Instantaneous level (resident bytes, dirty blocks, queue depth).
+class Gauge {
+ public:
+  void set(u64 v) { v_ = v; }
+  void add(u64 d) { v_ += d; }
+  void sub(u64 d) { v_ -= d; }
+  [[nodiscard]] u64 value() const { return v_; }
+  void reset() { v_ = 0; }
+
+ private:
+  u64 v_ = 0;
+};
+
+// Sample distribution backed by the streaming RunningStat accumulator
+// (count/sum/mean/stddev/min/max without storing samples).
+class Histogram {
+ public:
+  void observe(double x) { stat_.add(x); }
+  [[nodiscard]] const RunningStat& stat() const { return stat_; }
+  void reset() { stat_.reset(); }
+
+ private:
+  RunningStat stat_;
+};
+
+// A named view over instruments owned elsewhere. Registration stores raw
+// pointers: the owning component must outlive the registry reads (in the
+// Testbed the registry member is declared before every component it views).
+class Registry {
+ public:
+  // id -> rendered JSON value ("42" or a {"count":...} object literal).
+  using Snapshot = std::vector<std::pair<std::string, std::string>>;
+
+  void register_counter(std::string id, const Counter* c);
+  void register_gauge(std::string id, const Gauge* g);
+  void register_histogram(std::string id, const Histogram* h);
+
+  // Read every registered instrument, sorted by id.
+  [[nodiscard]] Snapshot snapshot() const;
+
+  // Render a snapshot as one JSON object: {"a.b": 1, "c.d": {...}}.
+  [[nodiscard]] static std::string render_json(const Snapshot& snap);
+  [[nodiscard]] std::string to_json() const { return render_json(snapshot()); }
+
+  [[nodiscard]] std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+ private:
+  std::map<std::string, const Counter*> counters_;
+  std::map<std::string, const Gauge*> gauges_;
+  std::map<std::string, const Histogram*> histograms_;
+};
+
+// Render a histogram's stats as a JSON object literal.
+[[nodiscard]] std::string histogram_json(const RunningStat& s);
+
+}  // namespace gvfs::metrics

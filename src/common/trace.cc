@@ -1,0 +1,91 @@
+#include "common/trace.h"
+
+namespace gvfs::trace {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') out += '\\';
+    out += ch;
+  }
+}
+
+}  // namespace
+
+void RpcTracer::begin(const void* ctx, u32 xid, u32 proc, std::string op,
+                      SimTime now) {
+  TraceSpan span;
+  span.xid = xid;
+  span.proc = proc;
+  span.op = std::move(op);
+  span.start = now;
+  open_[ctx].push_back(std::move(span));
+}
+
+void RpcTracer::annotate(const void* ctx, std::string layer, std::string tag,
+                         SimTime now) {
+  auto it = open_.find(ctx);
+  if (it == open_.end() || it->second.empty()) return;
+  it->second.back().events.push_back(SpanEvent{now, std::move(layer), std::move(tag)});
+}
+
+void RpcTracer::end(const void* ctx, SimTime now, bool ok) {
+  auto it = open_.find(ctx);
+  if (it == open_.end() || it->second.empty()) return;
+  TraceSpan span = std::move(it->second.back());
+  it->second.pop_back();
+  if (it->second.empty()) open_.erase(it);
+  span.end = now;
+  span.ok = ok;
+  if (ring_.size() >= capacity_) {
+    ring_.pop_front();
+    dropped_.inc();
+  }
+  ring_.push_back(std::move(span));
+}
+
+std::string RpcTracer::to_json() const {
+  std::string out = "[";
+  bool first_span = true;
+  for (const TraceSpan& s : ring_) {
+    if (!first_span) out += ",";
+    first_span = false;
+    out += "\n  {\"xid\": " + std::to_string(s.xid);
+    out += ", \"proc\": " + std::to_string(s.proc);
+    out += ", \"op\": \"";
+    append_escaped(out, s.op);
+    out += "\", \"start_ns\": " + std::to_string(s.start);
+    out += ", \"end_ns\": " + std::to_string(s.end);
+    out += ", \"ok\": ";
+    out += s.ok ? "true" : "false";
+    out += ", \"events\": [";
+    bool first_ev = true;
+    for (const SpanEvent& e : s.events) {
+      if (!first_ev) out += ", ";
+      first_ev = false;
+      out += "{\"at_ns\": " + std::to_string(e.at);
+      out += ", \"layer\": \"";
+      append_escaped(out, e.layer);
+      out += "\", \"tag\": \"";
+      append_escaped(out, e.tag);
+      out += "\"}";
+    }
+    out += "]}";
+  }
+  out += "\n]";
+  return out;
+}
+
+void RpcTracer::clear() {
+  open_.clear();
+  ring_.clear();
+  dropped_.reset();
+}
+
+void RpcTracer::register_metrics(metrics::Registry& r,
+                                 const std::string& prefix) const {
+  r.register_counter(prefix + "spans_dropped", &dropped_);
+}
+
+}  // namespace gvfs::trace

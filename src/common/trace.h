@@ -1,0 +1,76 @@
+// Per-RPC trace spans across the proxy cascade.
+//
+// The whole synchronous RPC chain — kernel client → loopback → client proxy
+// → retry → fault → SSH tunnel → (LAN L2 proxy →) server proxy → nfsd —
+// executes inside the *caller's* simulation process, so a span opened by the
+// client is unambiguously "the current RPC" for every layer below it, even
+// though the proxies remap xids on their upstream hops. RpcTracer therefore
+// keys open spans on the sim::Process address (a stack per process: nested
+// client calls, e.g. a writeback triggered mid-read, nest correctly), and
+// every layer annotates the innermost open span of its process with
+// (virtual-time, layer, tag) events: retry retransmits, injected faults,
+// cache hit/miss at each proxy level, DRC outcome at the server.
+//
+// Closed spans land in a bounded FIFO ring; overflow evicts the oldest and
+// counts it. Spans render to JSON only (Testbed::dump_trace_json) — nothing
+// reaches stdout, keeping the simulated benches byte-identical.
+#pragma once
+
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/types.h"
+
+namespace gvfs::trace {
+
+struct SpanEvent {
+  SimTime at = 0;
+  std::string layer;  // "retry", "fault", "node0-proxy", "server", ...
+  std::string tag;    // "retransmit#1", "block_cache_miss", "drc_hit", ...
+};
+
+struct TraceSpan {
+  u32 xid = 0;
+  u32 proc = 0;
+  std::string op;  // client-side operation name ("READ", "MOUNT", ...)
+  SimTime start = 0;
+  SimTime end = 0;
+  bool ok = false;
+  std::vector<SpanEvent> events;
+};
+
+class RpcTracer {
+ public:
+  explicit RpcTracer(std::size_t capacity = 256) : capacity_(capacity) {}
+
+  // Open a span for the RPC the process `ctx` is about to issue.
+  void begin(const void* ctx, u32 xid, u32 proc, std::string op, SimTime now);
+  // Attach an event to the innermost open span of `ctx` (no-op when that
+  // process has no span open — e.g. untraced harness traffic).
+  void annotate(const void* ctx, std::string layer, std::string tag, SimTime now);
+  // Close the innermost open span and move it to the ring.
+  void end(const void* ctx, SimTime now, bool ok);
+
+  [[nodiscard]] const std::deque<TraceSpan>& spans() const { return ring_; }
+  [[nodiscard]] u64 spans_dropped() const { return dropped_.value(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  // Render the ring as a JSON array of span objects.
+  [[nodiscard]] std::string to_json() const;
+
+  void clear();
+
+  void register_metrics(metrics::Registry& r, const std::string& prefix) const;
+
+ private:
+  std::size_t capacity_;
+  // sim::Process address -> stack of open spans (innermost last).
+  std::unordered_map<const void*, std::vector<TraceSpan>> open_;
+  std::deque<TraceSpan> ring_;
+  metrics::Counter dropped_;
+};
+
+}  // namespace gvfs::trace

@@ -18,6 +18,8 @@
 
 #include "cache/block_cache.h"
 #include "cache/file_cache.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "gvfs/profile.h"
 #include "meta/file_channel.h"
 #include "nfs/nfs_client.h"
@@ -73,6 +75,13 @@ struct TestbedOptions {
   rpc::RetryConfig retry;        // client retransmission policy (hard mount)
   bool degraded_proxy = false;   // client proxies serve caches during outages
   u64 fault_seed = 0x5eed;       // seeds the kernel RNG (faults + retry jitter)
+
+  // ---- observability -------------------------------------------------------
+  // Per-RPC trace spans (client -> retry -> fault -> proxy cascade -> server)
+  // collected in a bounded in-memory ring; dumped via trace_json(). Off by
+  // default: zero per-call overhead and no behaviour change.
+  bool enable_rpc_trace = false;
+  u32 trace_capacity = 256;
 };
 
 class Testbed {
@@ -127,6 +136,20 @@ class Testbed {
   [[nodiscard]] sim::FaultInjector* fault_injector() { return faults_.get(); }
   [[nodiscard]] rpc::RetryChannel* retry_channel(int node = 0);
 
+  // ---- metrics & tracing ---------------------------------------------------
+  // Every component registers its instruments here under hierarchical ids
+  // ("server.drc_hits", "node0.block_cache.misses", ...).
+  [[nodiscard]] metrics::Registry& metrics() { return registry_; }
+  // Registry snapshot plus derived figures (cache hit rates, total
+  // retransmits, outage stats) rendered as one JSON object — this is the
+  // "metrics" block the benches embed in BENCH_*.json.
+  [[nodiscard]] std::string metrics_json() const;
+  // Null unless enable_rpc_trace was set.
+  [[nodiscard]] trace::RpcTracer* tracer() { return tracer_.get(); }
+  [[nodiscard]] std::string trace_json() const;
+  // Write trace_json() to a file (traces never go to stdout).
+  Status dump_trace_json(const std::string& path) const;
+
  private:
   struct Node;
 
@@ -136,6 +159,11 @@ class Testbed {
 
   TestbedOptions opt_;
   sim::SimKernel kernel_;
+
+  // Registry/tracer come before every component they observe (instruments
+  // are owned by the components; the registry only holds const views).
+  metrics::Registry registry_;
+  std::unique_ptr<trace::RpcTracer> tracer_;
 
   // ---- image server --------------------------------------------------------
   std::unique_ptr<vfs::MemFs> image_fs_;

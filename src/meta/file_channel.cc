@@ -7,7 +7,7 @@ Result<CompressedImage> ServerFileChannel::fetch_compressed(sim::Process& p,
   GVFS_ASSIGN_OR_RETURN(vfs::Attr a, fs_.getattr(fileid));
   if (a.type != vfs::FileType::kRegular) return err(ErrCode::kIsDir);
   GVFS_ASSIGN_OR_RETURN(blob::BlobRef content, fs_.read_ref(fileid, 0, a.size));
-  ++compress_jobs_;
+  compress_jobs_.inc();
   // Stream the file off the server disk and through gzip.
   disk_.access(p, a.size, sim::Locality::kSequential);
   gzip_.compress(p, cpu_, a.size);
@@ -35,10 +35,10 @@ Status ServerFileChannel::store_compressed(sim::Process& p, vfs::FileId fileid,
 
 Status FileChannelClient::fetch_into_cache(sim::Process& p, vfs::FileId remote_fileid,
                                            u64 cache_key) {
-  ++fetches_;
+  fetches_.inc();
   GVFS_ASSIGN_OR_RETURN(CompressedImage img,
                         endpoint_.fetch_compressed(p, remote_fileid));
-  wire_bytes_ += img.compressed_size;
+  wire_bytes_.inc(img.compressed_size);
   scp_.transfer(p, img.compressed_size);
   u64 size = img.content ? img.content->size() : 0;
   gzip_.inflate(p, cpu_, size);
@@ -48,11 +48,11 @@ Status FileChannelClient::fetch_into_cache(sim::Process& p, vfs::FileId remote_f
 Status FileChannelClient::upload_from_cache(sim::Process& p, u64 /*cache_key*/,
                                             vfs::FileId remote_fileid,
                                             const blob::BlobRef& content) {
-  ++uploads_;
+  uploads_.inc();
   u64 size = content ? content->size() : 0;
   u64 compressed = content ? content->compressed_size() : 16;
   gzip_.compress(p, cpu_, size);
-  wire_bytes_ += compressed;
+  wire_bytes_.inc(compressed);
   scp_.transfer(p, compressed);
   return endpoint_.store_compressed(p, remote_fileid, content, compressed);
 }

@@ -7,6 +7,7 @@
 
 #include "blob/blob.h"
 #include "cache/file_cache.h"
+#include "common/metrics.h"
 #include "common/status.h"
 #include "sim/resources.h"
 #include "ssh/ssh.h"
@@ -48,14 +49,18 @@ class ServerFileChannel final : public RemoteFileEndpoint {
   Status store_compressed(sim::Process& p, vfs::FileId fileid, blob::BlobRef content,
                           u64 compressed_size) override;
 
-  [[nodiscard]] u64 compress_jobs() const { return compress_jobs_; }
+  [[nodiscard]] u64 compress_jobs() const { return compress_jobs_.value(); }
+
+  void register_metrics(metrics::Registry& r, const std::string& prefix) const {
+    r.register_counter(prefix + "compress_jobs", &compress_jobs_);
+  }
 
  private:
   vfs::MemFs& fs_;
   sim::DiskModel& disk_;
   sim::CpuPool* cpu_;
   ssh::GzipModel gzip_;
-  u64 compress_jobs_ = 0;
+  metrics::Counter compress_jobs_;
 };
 
 // Client-side half: drives the end-to-end action list against an endpoint
@@ -75,9 +80,15 @@ class FileChannelClient {
   Status upload_from_cache(sim::Process& p, u64 cache_key, vfs::FileId remote_fileid,
                            const blob::BlobRef& content);
 
-  [[nodiscard]] u64 fetches() const { return fetches_; }
-  [[nodiscard]] u64 uploads() const { return uploads_; }
-  [[nodiscard]] u64 wire_bytes() const { return wire_bytes_; }
+  [[nodiscard]] u64 fetches() const { return fetches_.value(); }
+  [[nodiscard]] u64 uploads() const { return uploads_.value(); }
+  [[nodiscard]] u64 wire_bytes() const { return wire_bytes_.value(); }
+
+  void register_metrics(metrics::Registry& r, const std::string& prefix) const {
+    r.register_counter(prefix + "fetches", &fetches_);
+    r.register_counter(prefix + "uploads", &uploads_);
+    r.register_counter(prefix + "wire_bytes", &wire_bytes_);
+  }
 
  private:
   RemoteFileEndpoint& endpoint_;
@@ -85,9 +96,9 @@ class FileChannelClient {
   cache::FileCache& file_cache_;
   sim::CpuPool* cpu_;
   ssh::GzipModel gzip_;
-  u64 fetches_ = 0;
-  u64 uploads_ = 0;
-  u64 wire_bytes_ = 0;
+  metrics::Counter fetches_;
+  metrics::Counter uploads_;
+  metrics::Counter wire_bytes_;
 };
 
 }  // namespace gvfs::meta

@@ -26,7 +26,7 @@ NfsClient::NfsClient(rpc::RpcChannel& channel, rpc::Credential cred,
     args->count = static_cast<u32>(data->size());
     args->stable = StableHow::kUnstable;
     args->data = data;
-    bytes_written_wire_ += args->count;
+    bytes_written_wire_.inc(args->count);
     (void)call_(p, Proc::kWrite, args);
   });
 }
@@ -47,18 +47,24 @@ rpc::RpcCall NfsClient::make_call_(Proc proc, rpc::MessagePtr args) {
 Result<rpc::MessagePtr> NfsClient::call_(sim::Process& p, Proc proc,
                                          rpc::MessagePtr args) {
   rpc::RpcCall c = make_call_(proc, std::move(args));
-  ++rpcs_sent_;
+  rpcs_sent_.inc();
   ++proc_counts_[c.proc];
+  if (tracer_) tracer_->begin(&p, c.xid, c.proc, proc_name(proc), p.now());
   rpc::RpcReply reply = channel_.call(p, c);
-  if (!reply.status.is_ok()) return reply.status;
+  if (!reply.status.is_ok()) {
+    if (tracer_) tracer_->end(&p, p.now(), false);
+    return reply.status;
+  }
   if (reply.xid != c.xid) {
     // A reply that doesn't match the issued call must never be accepted —
     // it belongs to some other transaction (stale retransmit, crossed
     // wires). Real clients drop the datagram; our synchronous model surfaces
     // the rejection.
-    ++xid_mismatches_;
+    xid_mismatches_.inc();
+    if (tracer_) tracer_->end(&p, p.now(), false);
     return err(ErrCode::kBadXdr, "reply xid mismatch");
   }
+  if (tracer_) tracer_->end(&p, p.now(), true);
   return reply.result;
 }
 
@@ -77,9 +83,10 @@ u64 NfsClient::rpcs_sent(Proc proc) const {
 }
 
 void NfsClient::reset_stats() {
-  rpcs_sent_ = 0;
+  rpcs_sent_.reset();
   proc_counts_.clear();
-  bytes_read_wire_ = bytes_written_wire_ = 0;
+  bytes_read_wire_.reset();
+  bytes_written_wire_.reset();
   pages_.reset_stats();
 }
 
@@ -103,11 +110,13 @@ Status NfsClient::mount(sim::Process& p, const std::string& export_path) {
   c.proc = static_cast<u32>(MountProc::kMnt);
   c.cred = cred_;
   c.args = margs;
-  ++rpcs_sent_;
+  rpcs_sent_.inc();
+  if (tracer_) tracer_->begin(&p, c.xid, c.proc, "MOUNT", p.now());
   rpc::RpcReply reply = channel_.call(p, c);
+  if (tracer_) tracer_->end(&p, p.now(), reply.status.is_ok());
   if (!reply.status.is_ok()) return reply.status;
   if (reply.xid != c.xid) {
-    ++xid_mismatches_;
+    xid_mismatches_.inc();
     return err(ErrCode::kBadXdr, "mount reply xid mismatch");
   }
   auto res = rpc::message_cast<MountRes>(reply.result);
@@ -233,21 +242,32 @@ Status NfsClient::fill_block_(sim::Process& p, const Fh& fh, u64 file_size, u64 
         std::min<u64>(cfg_.rsize, file_size > start ? file_size - start : 1));
     calls.push_back(make_call_(Proc::kRead, args));
   }
-  rpcs_sent_ += calls.size();
+  rpcs_sent_.inc(calls.size());
   proc_counts_[static_cast<u32>(Proc::kRead)] += calls.size();
+  // One span covers the whole (possibly pipelined) READ burst, keyed on the
+  // first xid; deeper layers annotate it per block fetched.
+  if (tracer_) {
+    tracer_->begin(&p, calls[0].xid, calls[0].proc,
+                   calls.size() == 1 ? "READ" : "READ_BATCH", p.now());
+  }
   std::vector<rpc::RpcReply> replies =
       calls.size() == 1 ? std::vector<rpc::RpcReply>{channel_.call(p, calls[0])}
                         : channel_.call_pipelined(p, calls);
+  if (tracer_) {
+    bool all_ok = true;
+    for (const rpc::RpcReply& r : replies) all_ok = all_ok && r.status.is_ok();
+    tracer_->end(&p, p.now(), all_ok);
+  }
   for (std::size_t i = 0; i < replies.size(); ++i) {
     if (!replies[i].status.is_ok()) return replies[i].status;
     if (replies[i].xid != calls[i].xid) {
-      ++xid_mismatches_;
+      xid_mismatches_.inc();
       return err(ErrCode::kBadXdr, "read reply xid mismatch");
     }
     auto res = rpc::message_cast<ReadRes>(replies[i].result);
     if (!res) return err(ErrCode::kBadXdr, "read result");
     if (res->status != NfsStat::kOk) return err(res->status, "read");
-    bytes_read_wire_ += res->count;
+    bytes_read_wire_.inc(res->count);
     u64 start = (block + i) * cfg_.rsize;
     if (res->attr.attr) cache_attr_(fh, *res->attr.attr, p);
     // Split the block into cache pages.
@@ -403,7 +423,7 @@ Status NfsClient::flush_file_(sim::Process& p, const Fh& fh) {
     args->count = static_cast<u32>(run_len);
     args->stable = StableHow::kUnstable;
     args->data = run.snapshot();
-    bytes_written_wire_ += run_len;
+    bytes_written_wire_.inc(run_len);
     GVFS_ASSIGN_OR_RETURN(auto res, call_as_<WriteRes>(p, Proc::kWrite, args));
     if (res->status != NfsStat::kOk) return err(res->status, "write");
     if (res->attr.attr) cache_attr_(fh, *res->attr.attr, p);

@@ -8,6 +8,8 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "nfs/nfs_types.h"
 #include "rpc/rpc.h"
 #include "vfs/buffer_cache.h"
@@ -63,14 +65,24 @@ class NfsClient final : public vfs::FsSession {
   void drop_caches();
 
   // ---- Observability ------------------------------------------------------
-  [[nodiscard]] u64 rpcs_sent() const { return rpcs_sent_; }
+  [[nodiscard]] u64 rpcs_sent() const { return rpcs_sent_.value(); }
   [[nodiscard]] u64 rpcs_sent(Proc proc) const;
-  [[nodiscard]] u64 bytes_read_wire() const { return bytes_read_wire_; }
-  [[nodiscard]] u64 bytes_written_wire() const { return bytes_written_wire_; }
+  [[nodiscard]] u64 bytes_read_wire() const { return bytes_read_wire_.value(); }
+  [[nodiscard]] u64 bytes_written_wire() const { return bytes_written_wire_.value(); }
   // Replies rejected because their xid did not match the issued call.
-  [[nodiscard]] u64 xid_mismatches() const { return xid_mismatches_; }
+  [[nodiscard]] u64 xid_mismatches() const { return xid_mismatches_.value(); }
   [[nodiscard]] vfs::BufferCache& page_cache() { return pages_; }
   void reset_stats();
+
+  void register_metrics(metrics::Registry& r, const std::string& prefix) const {
+    r.register_counter(prefix + "rpcs_sent", &rpcs_sent_);
+    r.register_counter(prefix + "bytes_read_wire", &bytes_read_wire_);
+    r.register_counter(prefix + "bytes_written_wire", &bytes_written_wire_);
+    r.register_counter(prefix + "xid_mismatches", &xid_mismatches_);
+  }
+
+  // Open an xid-keyed trace span around every RPC this client issues.
+  void set_tracer(trace::RpcTracer* t) { tracer_ = t; }
 
  private:
   struct CachedAttr {
@@ -109,11 +121,12 @@ class NfsClient final : public vfs::FsSession {
   std::unordered_map<u64, u64> last_block_;  // fh.key -> last block (sequential detect)
   std::unordered_map<u64, Fh> key_to_fh_;
   u32 next_xid_ = 1;
-  u64 rpcs_sent_ = 0;
+  metrics::Counter rpcs_sent_;
   std::unordered_map<u32, u64> proc_counts_;
-  u64 bytes_read_wire_ = 0;
-  u64 bytes_written_wire_ = 0;
-  u64 xid_mismatches_ = 0;
+  metrics::Counter bytes_read_wire_;
+  metrics::Counter bytes_written_wire_;
+  metrics::Counter xid_mismatches_;
+  trace::RpcTracer* tracer_ = nullptr;
 };
 
 }  // namespace gvfs::nfs

@@ -56,7 +56,8 @@ u64 NfsServer::calls(Proc proc) const {
 
 void NfsServer::reset_stats() {
   proc_calls_.clear();
-  total_calls_ = 0;
+  total_calls_.reset();
+  service_ms_.reset();
   page_cache_.reset_stats();
 }
 
@@ -120,14 +121,24 @@ bool NfsServer::is_nonidempotent_(Proc proc) {
   }
 }
 
-u64 NfsServer::drc_key_(const rpc::RpcCall& call) {
+u64 NfsServer::drc_key_(const rpc::RpcCall& call) const {
   // Real DRCs key on (xid, client address, prog, proc); our client identity
   // is the credential's (machine, uid). Distinct transactions always carry
-  // distinct xids per client; a retransmission reuses its xid.
+  // distinct xids per client; a retransmission reuses its xid. The hash is
+  // only a bucket locator — entries carry the full tuple and every hit is
+  // verified with drc_matches_(), so a collision degrades to a miss rather
+  // than replaying another transaction's reply.
   u64 h = fnv1a64(call.cred.machine);
   h = hash_combine(h, call.cred.uid);
   h = hash_combine(h, (static_cast<u64>(call.prog) << 32) | call.proc);
-  return hash_combine(h, call.xid);
+  h = hash_combine(h, call.xid);
+  if (cfg_.drc_key_bits < 64) h &= (u64{1} << cfg_.drc_key_bits) - 1;
+  return h;
+}
+
+bool NfsServer::drc_matches_(const DrcEntry& e, const rpc::RpcCall& call) {
+  return e.xid == call.xid && e.proc == call.proc && e.prog == call.prog &&
+         e.uid == call.cred.uid && e.machine == call.cred.machine;
 }
 
 void NfsServer::flush_dirty_(sim::Process& p, vfs::FileId id) {
@@ -139,47 +150,79 @@ void NfsServer::flush_dirty_(sim::Process& p, vfs::FileId id) {
 
 rpc::RpcReply NfsServer::handle(sim::Process& p, const rpc::RpcCall& call) {
   sim::ScopedPermit permit(p, nfsd_);
-  ++total_calls_;
+  SimTime t0 = p.now();
+  total_calls_.inc();
   ++proc_calls_[call.proc];
   if (cfg_.per_op_cpu > 0) p.delay(cfg_.per_op_cpu);
 
+  rpc::RpcReply reply;
   if (cfg_.require_auth_unix && call.prog == rpc::kNfsProgram &&
       call.cred.flavor != rpc::AuthFlavor::kUnix) {
-    return rpc::make_error_reply(call, err(ErrCode::kAuthError, "AUTH_UNIX required"));
+    reply = rpc::make_error_reply(call, err(ErrCode::kAuthError, "AUTH_UNIX required"));
+  } else if (authorizer_ && !authorizer_(call.cred)) {
+    reply = rpc::make_error_reply(call, err(ErrCode::kAuthError, "rejected by policy"));
+  } else if (call.prog == rpc::kMountProgram) {
+    reply = dispatch_mount_(p, call);
+  } else if (call.prog == rpc::kNfsProgram) {
+    reply = handle_nfs_(p, call);
+  } else {
+    reply = rpc::make_error_reply(call, err(ErrCode::kRpcMismatch, "unknown program"));
   }
-  if (authorizer_ && !authorizer_(call.cred)) {
-    return rpc::make_error_reply(call, err(ErrCode::kAuthError, "rejected by policy"));
-  }
+  service_ms_.observe(static_cast<double>(p.now() - t0) /
+                      static_cast<double>(kMillisecond));
+  return reply;
+}
 
-  if (call.prog == rpc::kMountProgram) return dispatch_mount_(p, call);
-  if (call.prog == rpc::kNfsProgram) {
-    // Duplicate request cache: a retransmission of a recent non-idempotent
-    // transaction must not execute twice (the first execution's effects are
-    // already in the filesystem) — replay the cached reply.
-    bool cacheable = cfg_.drc_entries > 0 &&
-                     is_nonidempotent_(static_cast<Proc>(call.proc));
-    u64 key = 0;
-    if (cacheable) {
-      key = drc_key_(call);
-      auto hit = drc_.find(key);
-      if (hit != drc_.end()) {
-        ++drc_hits_;
-        return rpc::make_reply(call, hit->second);
+rpc::RpcReply NfsServer::handle_nfs_(sim::Process& p, const rpc::RpcCall& call) {
+  // Duplicate request cache: a retransmission of a recent non-idempotent
+  // transaction must not execute twice (the first execution's effects are
+  // already in the filesystem) — replay the cached reply. Error replies are
+  // cached and replayed as well (RFC 1813 §4): re-executing e.g. a REMOVE
+  // whose first reply was lost would otherwise return a spurious NOENT.
+  bool cacheable = cfg_.drc_entries > 0 &&
+                   is_nonidempotent_(static_cast<Proc>(call.proc));
+  u64 key = 0;
+  bool collided = false;
+  if (cacheable) {
+    key = drc_key_(call);
+    auto hit = drc_.find(key);
+    if (hit != drc_.end()) {
+      if (drc_matches_(hit->second, call)) {
+        drc_hits_.inc();
+        if (tracer_) tracer_->annotate(&p, "server", "drc_hit", p.now());
+        rpc::RpcReply replay;
+        replay.xid = call.xid;
+        replay.status = hit->second.status;
+        replay.result = hit->second.result;
+        return replay;
       }
+      // Hash collision with a different live transaction: execute normally
+      // but do not evict the resident entry (its owner may still retransmit).
+      drc_collisions_.inc();
+      collided = true;
+      if (tracer_) tracer_->annotate(&p, "server", "drc_collision", p.now());
     }
-    rpc::RpcReply reply = dispatch_nfs_(p, call);
-    if (cacheable && reply.status.is_ok() && reply.result) {
-      if (drc_order_.size() >= cfg_.drc_entries) {
-        drc_.erase(drc_order_.front());
-        drc_order_.pop_front();
-      }
-      drc_.emplace(key, reply.result);
-      drc_order_.push_back(key);
-      ++drc_inserts_;
-    }
-    return reply;
   }
-  return rpc::make_error_reply(call, err(ErrCode::kRpcMismatch, "unknown program"));
+  rpc::RpcReply reply = dispatch_nfs_(p, call);
+  if (cacheable && !collided) {
+    if (drc_order_.size() >= cfg_.drc_entries) {
+      drc_.erase(drc_order_.front());
+      drc_order_.pop_front();
+    }
+    DrcEntry e;
+    e.machine = call.cred.machine;
+    e.uid = call.cred.uid;
+    e.prog = call.prog;
+    e.proc = call.proc;
+    e.xid = call.xid;
+    e.status = reply.status;
+    e.result = reply.result;
+    drc_.emplace(key, std::move(e));
+    drc_order_.push_back(key);
+    drc_inserts_.inc();
+    if (tracer_) tracer_->annotate(&p, "server", "drc_insert", p.now());
+  }
+  return reply;
 }
 
 rpc::RpcReply NfsServer::dispatch_mount_(sim::Process&, const rpc::RpcCall& call) {

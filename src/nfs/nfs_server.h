@@ -10,6 +10,8 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "nfs/nfs_types.h"
 #include "rpc/rpc.h"
 #include "sim/resources.h"
@@ -32,6 +34,11 @@ struct NfsServerConfig {
   // (RFC 1813 §4; Juszczak '89). 0 disables. Lost with server volatile
   // state on a crash (clear_drc()).
   u32 drc_entries = 256;
+  // Width of the DRC hash key in bits (64 = full hash). Entries store the
+  // complete (machine, uid, prog, proc, xid) tuple and verify it on every
+  // hit, so a narrower key only raises the collision rate — tests shrink it
+  // to force collisions deterministically.
+  u32 drc_key_bits = 64;
 };
 
 class NfsServer final : public rpc::RpcHandler {
@@ -57,27 +64,59 @@ class NfsServer final : public rpc::RpcHandler {
 
   // Per-procedure call counters (experiment observability).
   [[nodiscard]] u64 calls(Proc proc) const;
-  [[nodiscard]] u64 total_calls() const { return total_calls_; }
+  [[nodiscard]] u64 total_calls() const { return total_calls_.value(); }
   void reset_stats();
 
   // Drop the server page cache (cold experiment start).
   void drop_caches() { page_cache_.drop_all(); }
 
   // Duplicate-request-cache observability / crash simulation.
-  [[nodiscard]] u64 drc_hits() const { return drc_hits_; }
-  [[nodiscard]] u64 drc_inserts() const { return drc_inserts_; }
+  [[nodiscard]] u64 drc_hits() const { return drc_hits_.value(); }
+  [[nodiscard]] u64 drc_inserts() const { return drc_inserts_.value(); }
+  // Hash-key collisions between distinct live transactions (detected by the
+  // full-tuple verification; the colliding call executes normally).
+  [[nodiscard]] u64 drc_collisions() const { return drc_collisions_.value(); }
   void clear_drc() {
     drc_.clear();
     drc_order_.clear();
   }
 
+  void register_metrics(metrics::Registry& r, const std::string& prefix) const {
+    r.register_counter(prefix + "total_calls", &total_calls_);
+    r.register_counter(prefix + "drc_hits", &drc_hits_);
+    r.register_counter(prefix + "drc_inserts", &drc_inserts_);
+    r.register_counter(prefix + "drc_collisions", &drc_collisions_);
+    r.register_histogram(prefix + "service_ms", &service_ms_);
+  }
+
+  // Annotate DRC outcomes onto the caller's open trace span.
+  void set_tracer(trace::RpcTracer* t) { tracer_ = t; }
+
  private:
+  // One cached reply of the duplicate request cache. The map key is a hash;
+  // the full request identity is kept so a hash collision can never replay
+  // the wrong client's reply (it is detected and treated as a miss instead).
+  // Both the transport status and the (possibly null) result are cached:
+  // RFC 1813 §4 requires error replies to non-idempotent procedures to be
+  // replayed too, not re-executed against changed state.
+  struct DrcEntry {
+    std::string machine;
+    u32 uid = 0;
+    u32 prog = 0;
+    u32 proc = 0;
+    u32 xid = 0;
+    Status status;
+    rpc::MessagePtr result;
+  };
+
+  rpc::RpcReply handle_nfs_(sim::Process& p, const rpc::RpcCall& call);
   rpc::RpcReply dispatch_nfs_(sim::Process& p, const rpc::RpcCall& call);
   rpc::RpcReply dispatch_mount_(sim::Process& p, const rpc::RpcCall& call);
 
   // Duplicate request cache internals.
   static bool is_nonidempotent_(Proc proc);
-  static u64 drc_key_(const rpc::RpcCall& call);
+  [[nodiscard]] u64 drc_key_(const rpc::RpcCall& call) const;
+  static bool drc_matches_(const DrcEntry& e, const rpc::RpcCall& call);
 
   rpc::MessagePtr do_getattr_(const GetattrArgs& a);
   rpc::MessagePtr do_setattr_(sim::Process& p, const SetattrArgs& a);
@@ -119,12 +158,16 @@ class NfsServer final : public rpc::RpcHandler {
   std::unordered_map<vfs::FileId, u64> last_read_page_;
   std::unordered_map<u32, u64> proc_calls_;
   // Duplicate request cache: bounded FIFO of cached replies for recent
-  // non-idempotent transactions, keyed on (xid, client identity, proc).
-  std::unordered_map<u64, rpc::MessagePtr> drc_;
+  // non-idempotent transactions, keyed on a hash of (client identity, prog,
+  // proc, xid) and verified against the stored full tuple on every hit.
+  std::unordered_map<u64, DrcEntry> drc_;
   std::deque<u64> drc_order_;
-  u64 drc_hits_ = 0;
-  u64 drc_inserts_ = 0;
-  u64 total_calls_ = 0;
+  metrics::Counter drc_hits_;
+  metrics::Counter drc_inserts_;
+  metrics::Counter drc_collisions_;
+  metrics::Counter total_calls_;
+  metrics::Histogram service_ms_;  // virtual-time per-RPC service latency
+  trace::RpcTracer* tracer_ = nullptr;
   u64 write_verifier_;
 };
 

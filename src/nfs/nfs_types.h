@@ -46,6 +46,34 @@ enum class Proc : u32 {
 // NFSv3 status codes ride the same numeric space as ErrCode (by design).
 using NfsStat = ErrCode;
 
+// Wire-procedure name (trace spans, diagnostics).
+constexpr const char* proc_name(Proc p) {
+  switch (p) {
+    case Proc::kNull: return "NULL";
+    case Proc::kGetattr: return "GETATTR";
+    case Proc::kSetattr: return "SETATTR";
+    case Proc::kLookup: return "LOOKUP";
+    case Proc::kAccess: return "ACCESS";
+    case Proc::kReadlink: return "READLINK";
+    case Proc::kRead: return "READ";
+    case Proc::kWrite: return "WRITE";
+    case Proc::kCreate: return "CREATE";
+    case Proc::kMkdir: return "MKDIR";
+    case Proc::kSymlink: return "SYMLINK";
+    case Proc::kRemove: return "REMOVE";
+    case Proc::kRmdir: return "RMDIR";
+    case Proc::kRename: return "RENAME";
+    case Proc::kLink: return "LINK";
+    case Proc::kReaddir: return "READDIR";
+    case Proc::kReaddirplus: return "READDIRPLUS";
+    case Proc::kFsstat: return "FSSTAT";
+    case Proc::kFsinfo: return "FSINFO";
+    case Proc::kPathconf: return "PATHCONF";
+    case Proc::kCommit: return "COMMIT";
+  }
+  return "?";
+}
+
 // Protocol hard limit on READ/WRITE transfer size (§3.2.1: "up to the NFS
 // protocol limit of 32KB").
 constexpr u32 kMaxBlockSize = 32768;

@@ -8,7 +8,7 @@ Status CachingFileEndpoint::pull_(sim::Process& p, vfs::FileId fileid) {
   // Compressed image crosses the WAN once, then lands on the LAN disk.
   scp_up_.transfer(p, img.compressed_size);
   disk_.access(p, img.compressed_size, sim::Locality::kSequential);
-  while (resident_ + img.compressed_size > capacity_ && !images_.empty()) {
+  while (resident_.value() + img.compressed_size > capacity_ && !images_.empty()) {
     // Evict the smallest file id: unordered_map::begin() would pick a
     // hash-order (implementation-defined) victim, making eviction — and
     // every simulated timing downstream of it — non-reproducible.
@@ -17,10 +17,10 @@ Status CachingFileEndpoint::pull_(sim::Process& p, vfs::FileId fileid) {
     for (auto it = images_.begin(); it != images_.end(); ++it) {
       if (it->first < victim->first) victim = it;
     }
-    resident_ -= victim->second.compressed_size;
+    resident_.sub(victim->second.compressed_size);
     images_.erase(victim);
   }
-  resident_ += img.compressed_size;
+  resident_.add(img.compressed_size);
   images_[fileid] = std::move(img);
   return Status::ok();
 }
@@ -29,11 +29,11 @@ Result<meta::CompressedImage> CachingFileEndpoint::fetch_compressed(
     sim::Process& p, vfs::FileId fileid) {
   auto it = images_.find(fileid);
   if (it == images_.end()) {
-    ++misses_;
+    misses_.inc();
     GVFS_RETURN_IF_ERROR(pull_(p, fileid));
     it = images_.find(fileid);
   } else {
-    ++hits_;
+    hits_.inc();
   }
   // Stream the cached compressed image off the LAN disk; no recompression.
   disk_.access(p, it->second.compressed_size, sim::Locality::kSequential);
@@ -51,9 +51,9 @@ Status CachingFileEndpoint::store_compressed(sim::Process& p, vfs::FileId fileid
   img.compressed_size = compressed_size;
   auto it = images_.find(fileid);
   if (it != images_.end()) {
-    resident_ -= it->second.compressed_size;
+    resident_.sub(it->second.compressed_size);
   }
-  resident_ += compressed_size;
+  resident_.add(compressed_size);
   images_[fileid] = img;
   return upstream_.store_compressed(p, fileid, std::move(content), compressed_size);
 }

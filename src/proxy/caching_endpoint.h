@@ -7,6 +7,7 @@
 
 #include <unordered_map>
 
+#include "common/metrics.h"
 #include "meta/file_channel.h"
 #include "sim/resources.h"
 #include "ssh/ssh.h"
@@ -26,15 +27,21 @@ class CachingFileEndpoint final : public meta::RemoteFileEndpoint {
   Status store_compressed(sim::Process& p, vfs::FileId fileid, blob::BlobRef content,
                           u64 compressed_size) override;
 
-  [[nodiscard]] u64 cache_hits() const { return hits_; }
-  [[nodiscard]] u64 cache_misses() const { return misses_; }
-  [[nodiscard]] u64 resident_bytes() const { return resident_; }
+  [[nodiscard]] u64 cache_hits() const { return hits_.value(); }
+  [[nodiscard]] u64 cache_misses() const { return misses_.value(); }
+  [[nodiscard]] u64 resident_bytes() const { return resident_.value(); }
+
+  void register_metrics(metrics::Registry& r, const std::string& prefix) const {
+    r.register_counter(prefix + "cache_hits", &hits_);
+    r.register_counter(prefix + "cache_misses", &misses_);
+    r.register_gauge(prefix + "resident_bytes", &resident_);
+  }
   [[nodiscard]] bool contains(vfs::FileId fileid) const {
     return images_.count(fileid) != 0;
   }
   void invalidate_all() {
     images_.clear();
-    resident_ = 0;
+    resident_.set(0);
   }
 
   // Pre-warm the cache (WAN-S3 models images pulled by earlier clonings for
@@ -51,9 +58,9 @@ class CachingFileEndpoint final : public meta::RemoteFileEndpoint {
   sim::DiskModel& disk_;
   u64 capacity_;
   std::unordered_map<vfs::FileId, meta::CompressedImage> images_;
-  u64 resident_ = 0;  // compressed bytes on the cache disk
-  u64 hits_ = 0;
-  u64 misses_ = 0;
+  metrics::Gauge resident_;  // compressed bytes on the cache disk
+  metrics::Counter hits_;
+  metrics::Counter misses_;
 };
 
 }  // namespace gvfs::proxy

@@ -34,10 +34,16 @@ void GvfsProxy::attach_file_channel(meta::FileChannelClient& channel,
 }
 
 void GvfsProxy::reset_stats() {
-  calls_received_ = calls_forwarded_ = 0;
-  block_hits_ = file_hits_ = zero_filtered_ = writes_absorbed_ = 0;
-  blocks_prefetched_ = 0;
-  degraded_reads_ = queued_writebacks_ = replayed_writebacks_ = 0;
+  calls_received_.reset();
+  calls_forwarded_.reset();
+  block_hits_.reset();
+  file_hits_.reset();
+  zero_filtered_.reset();
+  writes_absorbed_.reset();
+  blocks_prefetched_.reset();
+  degraded_reads_.reset();
+  queued_writebacks_.reset();
+  replayed_writebacks_.reset();
   outage_total_ = last_recovery_time_ = 0;
 }
 
@@ -53,7 +59,7 @@ Result<rpc::MessagePtr> GvfsProxy::upstream_call_(sim::Process& p, Proc proc,
   c.proc = static_cast<u32>(proc);
   c.cred = cred;
   c.args = std::move(args);
-  ++calls_forwarded_;
+  calls_forwarded_.inc();
   rpc::RpcReply reply = upstream_.call(p, c);
   if (!reply.status.is_ok()) {
     if (reply.status.code() == ErrCode::kTimeout) note_upstream_timeout_(p.now());
@@ -77,7 +83,8 @@ rpc::RpcReply GvfsProxy::forward_(sim::Process& p, const rpc::RpcCall& call) {
   rpc::RpcCall fwd = call;
   fwd.xid = next_xid_++;
   if (cred_mapper_) fwd.cred = cred_mapper_(call.cred);
-  ++calls_forwarded_;
+  calls_forwarded_.inc();
+  if (tracer_) tracer_->annotate(&p, cfg_.name, "forward", p.now());
   rpc::RpcReply reply = upstream_.call(p, fwd);
   if (reply.status.code() == ErrCode::kTimeout) {
     note_upstream_timeout_(p.now());
@@ -173,18 +180,21 @@ Result<blob::BlobRef> GvfsProxy::get_block_(sim::Process& p, const Fh& fh, u64 b
                                             const rpc::Credential& cred) {
   cache::BlockId id{fh.key(), block};
   if (auto hit = block_cache_->lookup(p, id)) {
-    ++block_hits_;
-    if (upstream_down_) ++degraded_reads_;
+    block_hits_.inc();
+    if (upstream_down_) degraded_reads_.inc();
+    if (tracer_) tracer_->annotate(&p, cfg_.name, "block_cache_hit", p.now());
     return *hit;
   }
   if (upstream_down_) {
     // A dirty block may have been evicted into the write queue; its data
     // must stay readable while the upstream is unreachable.
     if (auto queued = queued_block_(fh.key(), block)) {
-      ++degraded_reads_;
+      degraded_reads_.inc();
+      if (tracer_) tracer_->annotate(&p, cfg_.name, "degraded_read", p.now());
       return *queued;
     }
   }
+  if (tracer_) tracer_->annotate(&p, cfg_.name, "block_cache_miss", p.now());
   auto rargs = std::make_shared<nfs::ReadArgs>();
   rargs->fh = fh;
   rargs->offset = block * cfg_.fetch_block;
@@ -243,7 +253,7 @@ void GvfsProxy::maybe_prefetch_(sim::Process& p, const nfs::Fh& fh, u64 block,
     blocks.push_back(b);
   }
   if (calls.empty()) return;
-  calls_forwarded_ += calls.size();
+  calls_forwarded_.inc(calls.size());
   std::vector<rpc::RpcReply> replies = upstream_.call_pipelined(p, calls);
   for (std::size_t i = 0; i < replies.size(); ++i) {
     if (!replies[i].status.is_ok()) continue;
@@ -252,7 +262,7 @@ void GvfsProxy::maybe_prefetch_(sim::Process& p, const nfs::Fh& fh, u64 block,
     if (res->attr.attr) remember_attr_(fh, *res->attr.attr, p.now());
     (void)block_cache_->insert(p, cache::BlockId{fh.key(), blocks[i]}, res->data,
                                /*dirty=*/false);
-    ++blocks_prefetched_;
+    blocks_prefetched_.inc();
   }
 }
 
@@ -273,7 +283,7 @@ Status GvfsProxy::cache_writeback_(sim::Process& p, const cache::BlockId& id,
       // it in the replay queue instead of losing it (or the eviction).
       write_queue_.push_back(
           PendingWrite{it->second, id.block * cfg_.fetch_block, data});
-      ++queued_writebacks_;
+      queued_writebacks_.inc();
       return Status::ok();
     }
     return res.status();
@@ -323,7 +333,7 @@ Status GvfsProxy::replay_write_queue_(sim::Process& p) {
       st = err((*res)->status, "replay write");
       break;
     }
-    ++replayed_writebacks_;
+    replayed_writebacks_.inc();
   }
   write_queue_.erase(write_queue_.begin(),
                      write_queue_.begin() + static_cast<std::ptrdiff_t>(done));
@@ -383,7 +393,7 @@ std::shared_ptr<nfs::LookupRes> GvfsProxy::degraded_lookup_(
 // ---------------------------------------------------------------- handlers --
 
 rpc::RpcReply GvfsProxy::handle(sim::Process& p, const rpc::RpcCall& call) {
-  ++calls_received_;
+  calls_received_.inc();
   if (cfg_.per_call_cpu > 0) p.delay(cfg_.per_call_cpu);
   if (authorizer_ && !authorizer_(call.cred)) {
     return rpc::make_error_reply(call, err(ErrCode::kAuthError, "proxy policy"));
@@ -480,7 +490,8 @@ rpc::RpcReply GvfsProxy::handle_read_(sim::Process& p, const rpc::RpcCall& call,
       auto res = std::make_shared<nfs::ReadRes>();
       u64 n = a.offset >= size ? 0 : std::min<u64>(a.count, size - a.offset);
       auto data = file_cache_->read(p, key, a.offset, n);
-      ++file_hits_;
+      file_hits_.inc();
+      if (tracer_) tracer_->annotate(&p, cfg_.name, "file_cache_hit", p.now());
       res->count = static_cast<u32>(n);
       res->eof = a.offset + n >= size;
       res->data = data && *data ? *data : blob::zero_ref(0);
@@ -495,7 +506,8 @@ rpc::RpcReply GvfsProxy::handle_read_(sim::Process& p, const rpc::RpcCall& call,
   // ---- zero-block filtering ------------------------------------------------
   if (meta != nullptr && meta->has_zero_map() &&
       meta->range_is_zero(a.offset, a.count)) {
-    ++zero_filtered_;
+    zero_filtered_.inc();
+    if (tracer_) tracer_->annotate(&p, cfg_.name, "zero_filtered", p.now());
     u64 size = meta->file_size();
     auto res = std::make_shared<nfs::ReadRes>();
     u64 n = a.offset >= size ? 0 : std::min<u64>(a.count, size - a.offset);
@@ -601,7 +613,8 @@ rpc::RpcReply GvfsProxy::handle_write_(sim::Process& p, const rpc::RpcCall& call
   if (file_cache_ != nullptr && file_cache_->contains(key)) {
     Status st = file_cache_->write(p, key, a.offset, a.data);
     if (!st.is_ok()) return rpc::make_error_reply(call, st);
-    ++writes_absorbed_;
+    writes_absorbed_.inc();
+    if (tracer_) tracer_->annotate(&p, cfg_.name, "write_absorbed", p.now());
     size_override_[key] = std::max(effective_size_(a.fh, cached_attr_(a.fh, p.now())),
                                    a.offset + a.count);
     auto res = std::make_shared<nfs::WriteRes>();
@@ -631,7 +644,7 @@ rpc::RpcReply GvfsProxy::handle_write_(sim::Process& p, const rpc::RpcCall& call
     } else if (cfg_.degraded_mode && reply.status.code() == ErrCode::kTimeout) {
       // Degraded write-through: acknowledge locally, queue for replay.
       write_queue_.push_back(PendingWrite{a.fh, a.offset, a.data});
-      ++queued_writebacks_;
+      queued_writebacks_.inc();
       block_cache_->invalidate_file(key);
       size_override_[key] =
           std::max(effective_size_(a.fh, cached_attr_(a.fh, p.now())),
@@ -681,7 +694,8 @@ rpc::RpcReply GvfsProxy::handle_write_(sim::Process& p, const rpc::RpcCall& call
   }
   size_override_[key] = std::max(known, end);
   commit_pending_.insert(key);
-  ++writes_absorbed_;
+  writes_absorbed_.inc();
+  if (tracer_) tracer_->annotate(&p, cfg_.name, "write_absorbed", p.now());
 
   auto res = std::make_shared<nfs::WriteRes>();
   res->count = a.count;

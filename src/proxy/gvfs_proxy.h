@@ -18,6 +18,8 @@
 
 #include "cache/block_cache.h"
 #include "cache/file_cache.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "meta/file_channel.h"
 #include "meta/meta_file.h"
 #include "nfs/nfs_types.h"
@@ -89,26 +91,44 @@ class GvfsProxy final : public rpc::RpcHandler {
   void drop_soft_state();
 
   // ---- observability -------------------------------------------------------
-  [[nodiscard]] u64 calls_received() const { return calls_received_; }
-  [[nodiscard]] u64 calls_forwarded() const { return calls_forwarded_; }
-  [[nodiscard]] u64 reads_served_from_block_cache() const { return block_hits_; }
-  [[nodiscard]] u64 reads_served_from_file_cache() const { return file_hits_; }
-  [[nodiscard]] u64 zero_filtered_reads() const { return zero_filtered_; }
-  [[nodiscard]] u64 writes_absorbed() const { return writes_absorbed_; }
+  [[nodiscard]] u64 calls_received() const { return calls_received_.value(); }
+  [[nodiscard]] u64 calls_forwarded() const { return calls_forwarded_.value(); }
+  [[nodiscard]] u64 reads_served_from_block_cache() const { return block_hits_.value(); }
+  [[nodiscard]] u64 reads_served_from_file_cache() const { return file_hits_.value(); }
+  [[nodiscard]] u64 zero_filtered_reads() const { return zero_filtered_.value(); }
+  [[nodiscard]] u64 writes_absorbed() const { return writes_absorbed_.value(); }
   [[nodiscard]] u64 meta_files_loaded() const { return metas_.size(); }
-  [[nodiscard]] u64 blocks_prefetched() const { return blocks_prefetched_; }
+  [[nodiscard]] u64 blocks_prefetched() const { return blocks_prefetched_.value(); }
 
   // ---- degraded-mode / recovery metrics ------------------------------------
   [[nodiscard]] bool upstream_down() const { return upstream_down_; }
-  [[nodiscard]] u64 degraded_reads() const { return degraded_reads_; }
-  [[nodiscard]] u64 queued_writebacks() const { return queued_writebacks_; }
-  [[nodiscard]] u64 replayed_writebacks() const { return replayed_writebacks_; }
+  [[nodiscard]] u64 degraded_reads() const { return degraded_reads_.value(); }
+  [[nodiscard]] u64 queued_writebacks() const { return queued_writebacks_.value(); }
+  [[nodiscard]] u64 replayed_writebacks() const { return replayed_writebacks_.value(); }
   [[nodiscard]] u64 pending_writebacks() const { return write_queue_.size(); }
   // Virtual time spent with the upstream marked unreachable (closed outages).
   [[nodiscard]] SimDuration outage_time() const { return outage_total_; }
   // Duration of the last outage, first timeout -> queue fully replayed.
   [[nodiscard]] SimDuration last_recovery_time() const { return last_recovery_time_; }
   void reset_stats();
+
+  void register_metrics(metrics::Registry& r, const std::string& prefix) const {
+    r.register_counter(prefix + "calls_received", &calls_received_);
+    r.register_counter(prefix + "calls_forwarded", &calls_forwarded_);
+    r.register_counter(prefix + "block_cache_read_hits", &block_hits_);
+    r.register_counter(prefix + "file_cache_read_hits", &file_hits_);
+    r.register_counter(prefix + "zero_filtered_reads", &zero_filtered_);
+    r.register_counter(prefix + "writes_absorbed", &writes_absorbed_);
+    r.register_counter(prefix + "blocks_prefetched", &blocks_prefetched_);
+    r.register_counter(prefix + "degraded_reads", &degraded_reads_);
+    r.register_counter(prefix + "queued_writebacks", &queued_writebacks_);
+    r.register_counter(prefix + "replayed_writebacks", &replayed_writebacks_);
+  }
+
+  // Annotate cache-hit / forward / degraded outcomes onto the caller's open
+  // trace span; the layer label is this proxy's configured name so cascade
+  // levels stay distinguishable.
+  void set_tracer(trace::RpcTracer* t) { tracer_ = t; }
 
  private:
   struct ParentLink {
@@ -221,18 +241,19 @@ class GvfsProxy final : public rpc::RpcHandler {
   SimTime outage_started_ = 0;
   SimDuration outage_total_ = 0;
   SimDuration last_recovery_time_ = 0;
-  u64 degraded_reads_ = 0;
-  u64 queued_writebacks_ = 0;
-  u64 replayed_writebacks_ = 0;
+  metrics::Counter degraded_reads_;
+  metrics::Counter queued_writebacks_;
+  metrics::Counter replayed_writebacks_;
 
   u32 next_xid_ = 0x70000000;
-  u64 calls_received_ = 0;
-  u64 blocks_prefetched_ = 0;
-  u64 calls_forwarded_ = 0;
-  u64 block_hits_ = 0;
-  u64 file_hits_ = 0;
-  u64 zero_filtered_ = 0;
-  u64 writes_absorbed_ = 0;
+  metrics::Counter calls_received_;
+  metrics::Counter blocks_prefetched_;
+  metrics::Counter calls_forwarded_;
+  metrics::Counter block_hits_;
+  metrics::Counter file_hits_;
+  metrics::Counter zero_filtered_;
+  metrics::Counter writes_absorbed_;
+  trace::RpcTracer* tracer_ = nullptr;
 };
 
 }  // namespace gvfs::proxy

@@ -5,10 +5,12 @@ namespace gvfs::rpc {
 RpcReply FaultyChannel::call(sim::Process& p, const RpcCall& call) {
   faults_.fire_restarts_due(p.now());
   if (faults_.drop_request(p.now())) {
+    if (tracer_) tracer_->annotate(&p, "fault", "request_dropped", p.now());
     return make_error_reply(call, err(ErrCode::kTimeout, "request lost"));
   }
   RpcReply reply = inner_.call(p, call);
   if (faults_.drop_reply(p.now())) {
+    if (tracer_) tracer_->annotate(&p, "fault", "reply_dropped", p.now());
     return make_error_reply(call, err(ErrCode::kTimeout, "reply lost"));
   }
   return reply;
@@ -24,6 +26,7 @@ std::vector<RpcReply> FaultyChannel::call_pipelined(
   std::vector<RpcCall> forwarded;
   for (std::size_t i = 0; i < calls.size(); ++i) {
     if (faults_.drop_request(p.now())) {
+      if (tracer_) tracer_->annotate(&p, "fault", "request_dropped", p.now());
       replies[i] = make_error_reply(calls[i], err(ErrCode::kTimeout, "request lost"));
     } else {
       live.push_back(i);
@@ -34,6 +37,7 @@ std::vector<RpcReply> FaultyChannel::call_pipelined(
     std::vector<RpcReply> inner = inner_.call_pipelined(p, forwarded);
     for (std::size_t j = 0; j < inner.size(); ++j) {
       if (faults_.drop_reply(p.now())) {
+        if (tracer_) tracer_->annotate(&p, "fault", "reply_dropped", p.now());
         replies[live[j]] =
             make_error_reply(calls[live[j]], err(ErrCode::kTimeout, "reply lost"));
       } else {

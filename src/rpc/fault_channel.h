@@ -15,6 +15,7 @@
 //     state cleared by whoever registered it).
 #pragma once
 
+#include "common/trace.h"
 #include "rpc/rpc.h"
 #include "sim/faults.h"
 
@@ -31,9 +32,13 @@ class FaultyChannel final : public RpcChannel {
 
   [[nodiscard]] sim::FaultInjector& injector() { return faults_; }
 
+  // Annotate injected losses onto the caller's open trace span.
+  void set_tracer(trace::RpcTracer* t) { tracer_ = t; }
+
  private:
   RpcChannel& inner_;
   sim::FaultInjector& faults_;
+  trace::RpcTracer* tracer_ = nullptr;
 };
 
 }  // namespace gvfs::rpc

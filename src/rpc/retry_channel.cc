@@ -5,25 +5,46 @@
 namespace gvfs::rpc {
 
 RpcReply RetryChannel::call(sim::Process& p, const RpcCall& call) {
+  SimTime sent_at = p.now();
+  RpcReply reply = inner_.call(p, call);
+  return finish_(p, call, sent_at, std::move(reply));
+}
+
+std::vector<RpcReply> RetryChannel::call_pipelined(sim::Process& p,
+                                                   const std::vector<RpcCall>& calls) {
+  // The whole batch goes out at once; every entry shares the batch send time
+  // as the start of its first RTO. Timed-out entries are then retried
+  // serially through the same loop as single calls — the pipelined fast path
+  // is the common (fault-free) case.
+  SimTime batch_sent = p.now();
+  std::vector<RpcReply> replies = inner_.call_pipelined(p, calls);
+  for (std::size_t i = 0; i < replies.size(); ++i) {
+    replies[i] = finish_(p, calls[i], batch_sent, std::move(replies[i]));
+  }
+  return replies;
+}
+
+RpcReply RetryChannel::finish_(sim::Process& p, const RpcCall& call,
+                               SimTime sent_at, RpcReply reply) {
   SimDuration rto = cfg_.timeout;
   u32 attempts = 0;
   for (;;) {
-    SimTime sent_at = p.now();
-    RpcReply reply = inner_.call(p, call);
     if (reply.status.code() != ErrCode::kTimeout) {
       if (reply.status.is_ok() && reply.xid != call.xid) {
-        ++xid_mismatches_;
+        xid_mismatches_.inc();
+        if (tracer_) tracer_->annotate(&p, "retry", "xid_mismatch", p.now());
         return make_error_reply(call, err(ErrCode::kBadXdr, "reply xid mismatch"));
       }
       return reply;
     }
-    ++timeouts_;
+    timeouts_.inc();
     if (cfg_.max_retransmits > 0 && attempts >= cfg_.max_retransmits) {
-      ++exhausted_;
+      exhausted_.inc();
+      if (tracer_) tracer_->annotate(&p, "retry", "exhausted", p.now());
       return reply;
     }
     ++attempts;
-    ++retransmits_;
+    retransmits_.inc();
     // The client sat on the RTO before concluding loss; a dropped reply may
     // already have consumed part of it (the inner call blocked for the full
     // round trip before the loss was injected).
@@ -33,35 +54,19 @@ RpcReply RetryChannel::call(sim::Process& p, const RpcCall& call) {
       wait += static_cast<SimDuration>(kernel_.rng().next_double() * cfg_.jitter *
                                        static_cast<double>(rto));
     }
+    rto_wait_ms_.observe(static_cast<double>(wait) /
+                         static_cast<double>(kMillisecond));
     if (wait > 0) p.delay(wait);
     rto = std::min<SimDuration>(cfg_.max_timeout,
                                 static_cast<SimDuration>(static_cast<double>(rto) *
                                                          cfg_.backoff));
-  }
-}
-
-std::vector<RpcReply> RetryChannel::call_pipelined(sim::Process& p,
-                                                   const std::vector<RpcCall>& calls) {
-  std::vector<RpcReply> replies = inner_.call_pipelined(p, calls);
-  // Timed-out batch entries are retried serially; the pipelined fast path is
-  // the common (fault-free) case.
-  for (std::size_t i = 0; i < replies.size(); ++i) {
-    if (replies[i].status.code() == ErrCode::kTimeout) {
-      ++timeouts_;
-      SimDuration rto = cfg_.timeout;
-      if (cfg_.jitter > 0.0) {
-        rto += static_cast<SimDuration>(kernel_.rng().next_double() * cfg_.jitter *
-                                        static_cast<double>(rto));
-      }
-      p.delay(rto);
-      ++retransmits_;
-      replies[i] = call(p, calls[i]);
-    } else if (replies[i].status.is_ok() && replies[i].xid != calls[i].xid) {
-      ++xid_mismatches_;
-      replies[i] = make_error_reply(calls[i], err(ErrCode::kBadXdr, "reply xid mismatch"));
+    if (tracer_) {
+      tracer_->annotate(&p, "retry", "retransmit#" + std::to_string(attempts),
+                        p.now());
     }
+    sent_at = p.now();
+    reply = inner_.call(p, call);
   }
-  return replies;
 }
 
 }  // namespace gvfs::rpc

@@ -11,8 +11,14 @@
 // behaviour (kTimeout surfaces, e.g. into the proxy's degraded mode).
 //
 // Reply xids are verified against the issued call before acceptance.
+//
+// Both call() and call_pipelined() funnel into one retry loop (finish_), so
+// RTO budget, backoff, and the timeout/retransmit counters are maintained in
+// exactly one place regardless of how the first transmission went out.
 #pragma once
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "rpc/rpc.h"
 #include "sim/kernel.h"
 
@@ -37,21 +43,46 @@ class RetryChannel final : public RpcChannel {
 
   [[nodiscard]] const RetryConfig& config() const { return cfg_; }
 
+  // Annotate retransmissions onto the caller's open trace span.
+  void set_tracer(trace::RpcTracer* t) { tracer_ = t; }
+
   // ---- retry-budget counters ----------------------------------------------
-  [[nodiscard]] u64 timeouts() const { return timeouts_; }          // RTO expiries seen
-  [[nodiscard]] u64 retransmits() const { return retransmits_; }    // calls reissued
-  [[nodiscard]] u64 exhausted() const { return exhausted_; }        // budget ran out
-  [[nodiscard]] u64 xid_mismatches() const { return xid_mismatches_; }
-  void reset_stats() { timeouts_ = retransmits_ = exhausted_ = xid_mismatches_ = 0; }
+  [[nodiscard]] u64 timeouts() const { return timeouts_.value(); }        // RTO expiries seen
+  [[nodiscard]] u64 retransmits() const { return retransmits_.value(); }  // calls reissued
+  [[nodiscard]] u64 exhausted() const { return exhausted_.value(); }      // budget ran out
+  [[nodiscard]] u64 xid_mismatches() const { return xid_mismatches_.value(); }
+  void reset_stats() {
+    timeouts_.reset();
+    retransmits_.reset();
+    exhausted_.reset();
+    xid_mismatches_.reset();
+    rto_wait_ms_.reset();
+  }
+
+  void register_metrics(metrics::Registry& r, const std::string& prefix) const {
+    r.register_counter(prefix + "timeouts", &timeouts_);
+    r.register_counter(prefix + "retransmits", &retransmits_);
+    r.register_counter(prefix + "exhausted", &exhausted_);
+    r.register_counter(prefix + "xid_mismatches", &xid_mismatches_);
+    r.register_histogram(prefix + "rto_wait_ms", &rto_wait_ms_);
+  }
 
  private:
+  // Shared retry loop: takes the first transmission's send time and reply
+  // (already obtained by call()/call_pipelined()) and owns every subsequent
+  // timeout wait, reissue, and counter from there.
+  RpcReply finish_(sim::Process& p, const RpcCall& call, SimTime sent_at,
+                   RpcReply reply);
+
   RpcChannel& inner_;
   sim::SimKernel& kernel_;
   RetryConfig cfg_;
-  u64 timeouts_ = 0;
-  u64 retransmits_ = 0;
-  u64 exhausted_ = 0;
-  u64 xid_mismatches_ = 0;
+  trace::RpcTracer* tracer_ = nullptr;
+  metrics::Counter timeouts_;
+  metrics::Counter retransmits_;
+  metrics::Counter exhausted_;
+  metrics::Counter xid_mismatches_;
+  metrics::Histogram rto_wait_ms_;  // per-retransmit wait before reissue
 };
 
 }  // namespace gvfs::rpc

@@ -87,7 +87,7 @@ u64 RpcReply::wire_size() const {
 // ------------------------------------------------------------- LinkChannel --
 
 RpcReply LinkChannel::call(sim::Process& p, const RpcCall& call) {
-  ++calls_;
+  calls_.inc();
   if (per_call_cpu_ > 0) p.delay(per_call_cpu_);
   if (to_server_ != nullptr) to_server_->transmit(p, call.wire_size());
   RpcReply reply = handler_.handle(p, call);
@@ -100,7 +100,7 @@ std::vector<RpcReply> LinkChannel::call_pipelined(sim::Process& p,
   std::vector<RpcReply> replies;
   replies.reserve(calls.size());
   for (std::size_t i = 0; i < calls.size(); ++i) {
-    ++calls_;
+    calls_.inc();
     if (per_call_cpu_ > 0) p.delay(per_call_cpu_);
     // Requests stream back-to-back; only the first pays propagation (the
     // rest are in flight behind it).

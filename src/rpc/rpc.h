@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "sim/kernel.h"
@@ -134,14 +135,14 @@ class LinkChannel final : public RpcChannel {
   std::vector<RpcReply> call_pipelined(sim::Process& p,
                                        const std::vector<RpcCall>& calls) override;
 
-  [[nodiscard]] u64 calls() const { return calls_; }
+  [[nodiscard]] u64 calls() const { return calls_.value(); }
 
  private:
   RpcHandler& handler_;
   sim::Link* to_server_;
   sim::Link* to_client_;
   SimDuration per_call_cpu_;
-  u64 calls_ = 0;
+  metrics::Counter calls_;
 };
 
 // Dispatches calls to programs registered by (prog, vers); the RPC-level

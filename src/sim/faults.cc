@@ -18,11 +18,11 @@ bool FaultInjector::server_down(SimTime t) const {
 
 bool FaultInjector::drop_request(SimTime t) {
   if (server_down(t) || partitioned(t)) {
-    ++requests_dropped_;
+    requests_dropped_.inc();
     return true;
   }
   if (cfg_.drop_rate > 0.0 && kernel_.rng().next_double() < cfg_.drop_rate) {
-    ++requests_dropped_;
+    requests_dropped_.inc();
     return true;
   }
   return false;
@@ -30,11 +30,11 @@ bool FaultInjector::drop_request(SimTime t) {
 
 bool FaultInjector::drop_reply(SimTime t) {
   if (partitioned(t)) {
-    ++replies_dropped_;
+    replies_dropped_.inc();
     return true;
   }
   if (cfg_.drop_rate > 0.0 && kernel_.rng().next_double() < cfg_.drop_rate) {
-    ++replies_dropped_;
+    replies_dropped_.inc();
     return true;
   }
   return false;
@@ -43,7 +43,7 @@ bool FaultInjector::drop_reply(SimTime t) {
 SimDuration FaultInjector::sample_spike(SimTime) {
   if (cfg_.spike_rate <= 0.0 || cfg_.spike <= 0) return 0;
   if (kernel_.rng().next_double() >= cfg_.spike_rate) return 0;
-  ++spikes_injected_;
+  spikes_injected_.inc();
   return cfg_.spike;
 }
 
@@ -54,7 +54,7 @@ void FaultInjector::fire_restarts_due(SimTime t) {
   while (restarts_fired_upto_ < cfg_.crashes.size() &&
          cfg_.crashes[restarts_fired_upto_].end <= t) {
     ++restarts_fired_upto_;
-    ++restarts_fired_;
+    restarts_fired_.inc();
     on_restart_();
   }
 }

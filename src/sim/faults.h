@@ -15,8 +15,10 @@
 #pragma once
 
 #include <functional>
+#include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/types.h"
 #include "sim/kernel.h"
 
@@ -79,20 +81,27 @@ class FaultInjector {
   [[nodiscard]] bool server_down(SimTime t) const;
 
   // ---- counters ------------------------------------------------------------
-  [[nodiscard]] u64 requests_dropped() const { return requests_dropped_; }
-  [[nodiscard]] u64 replies_dropped() const { return replies_dropped_; }
-  [[nodiscard]] u64 spikes_injected() const { return spikes_injected_; }
-  [[nodiscard]] u64 restarts_fired() const { return restarts_fired_; }
+  [[nodiscard]] u64 requests_dropped() const { return requests_dropped_.value(); }
+  [[nodiscard]] u64 replies_dropped() const { return replies_dropped_.value(); }
+  [[nodiscard]] u64 spikes_injected() const { return spikes_injected_.value(); }
+  [[nodiscard]] u64 restarts_fired() const { return restarts_fired_.value(); }
+
+  void register_metrics(metrics::Registry& r, const std::string& prefix) const {
+    r.register_counter(prefix + "requests_dropped", &requests_dropped_);
+    r.register_counter(prefix + "replies_dropped", &replies_dropped_);
+    r.register_counter(prefix + "spikes_injected", &spikes_injected_);
+    r.register_counter(prefix + "restarts_fired", &restarts_fired_);
+  }
 
  private:
   SimKernel& kernel_;
   FaultConfig cfg_;
   std::function<void()> on_restart_;
   std::size_t restarts_fired_upto_ = 0;  // crash windows whose reboot ran
-  u64 requests_dropped_ = 0;
-  u64 replies_dropped_ = 0;
-  u64 spikes_injected_ = 0;
-  u64 restarts_fired_ = 0;
+  metrics::Counter requests_dropped_;
+  metrics::Counter replies_dropped_;
+  metrics::Counter spikes_injected_;
+  metrics::Counter restarts_fired_;
 };
 
 }  // namespace gvfs::sim

@@ -7,8 +7,8 @@
 namespace gvfs::sim {
 
 void Link::transmit_ex(Process& p, u64 bytes, bool propagate) {
-  ++messages_;
-  bytes_sent_ += bytes;
+  messages_.inc();
+  bytes_sent_.inc(bytes);
   if (faults_ != nullptr) {
     SimDuration spike = faults_->sample_spike(p.now());
     if (spike > 0) p.delay(spike);
@@ -28,8 +28,8 @@ void Link::transmit_ex(Process& p, u64 bytes, bool propagate) {
 }
 
 void DiskModel::access(Process& p, u64 bytes, Locality locality) {
-  ++ops_;
-  bytes_moved_ += bytes;
+  ops_.inc();
+  bytes_moved_.inc(bytes);
   SimDuration position =
       locality == Locality::kSequential ? cfg_.seq_overhead : cfg_.seek;
   SimDuration busy = position + transfer_time(bytes, cfg_.bytes_per_sec);

@@ -7,6 +7,7 @@
 
 #include <string>
 
+#include "common/metrics.h"
 #include "common/stats.h"
 #include "common/types.h"
 #include "sim/kernel.h"
@@ -47,12 +48,17 @@ class Link {
   void set_fault_injector(FaultInjector* f) { faults_ = f; }
 
   [[nodiscard]] const LinkConfig& config() const { return cfg_; }
-  [[nodiscard]] u64 bytes_sent() const { return bytes_sent_; }
-  [[nodiscard]] u64 messages() const { return messages_; }
+  [[nodiscard]] u64 bytes_sent() const { return bytes_sent_.value(); }
+  [[nodiscard]] u64 messages() const { return messages_.value(); }
   [[nodiscard]] const std::string& name() const { return name_; }
   void reset_stats() {
-    bytes_sent_ = 0;
-    messages_ = 0;
+    bytes_sent_.reset();
+    messages_.reset();
+  }
+
+  void register_metrics(metrics::Registry& r, const std::string& prefix) const {
+    r.register_counter(prefix + "bytes_sent", &bytes_sent_);
+    r.register_counter(prefix + "messages", &messages_);
   }
 
  private:
@@ -61,8 +67,8 @@ class Link {
   LinkConfig cfg_;
   FaultInjector* faults_ = nullptr;
   SimTime pipe_free_ = 0;  // next time the serialization pipe is idle
-  u64 bytes_sent_ = 0;
-  u64 messages_ = 0;
+  metrics::Counter bytes_sent_;
+  metrics::Counter messages_;
 };
 
 // Disk access locality hint: sequential transfers amortize positioning.
@@ -84,12 +90,17 @@ class DiskModel {
   // is symmetric).
   void access(Process& p, u64 bytes, Locality locality);
 
-  [[nodiscard]] u64 ops() const { return ops_; }
-  [[nodiscard]] u64 bytes_moved() const { return bytes_moved_; }
+  [[nodiscard]] u64 ops() const { return ops_.value(); }
+  [[nodiscard]] u64 bytes_moved() const { return bytes_moved_.value(); }
   [[nodiscard]] const DiskConfig& config() const { return cfg_; }
   void reset_stats() {
-    ops_ = 0;
-    bytes_moved_ = 0;
+    ops_.reset();
+    bytes_moved_.reset();
+  }
+
+  void register_metrics(metrics::Registry& r, const std::string& prefix) const {
+    r.register_counter(prefix + "ops", &ops_);
+    r.register_counter(prefix + "bytes_moved", &bytes_moved_);
   }
 
  private:
@@ -97,8 +108,8 @@ class DiskModel {
   std::string name_;
   DiskConfig cfg_;
   SimTime free_ = 0;
-  u64 ops_ = 0;
-  u64 bytes_moved_ = 0;
+  metrics::Counter ops_;
+  metrics::Counter bytes_moved_;
 };
 
 // Counting semaphore (e.g. bounds concurrent nfsd service threads). Permit

@@ -16,7 +16,7 @@ void SshTunnel::establish(sim::Process& p) {
 
 void SshTunnel::send_(sim::Process& p, sim::Link* link, u64 bytes, bool propagate) {
   u64 framed = bytes + spec_.frame_overhead;
-  bytes_ += framed;
+  bytes_.inc(framed);
   // Flow pacing (cipher + TCP window ceiling) applied as extra serial time,
   // interleaved chunk-wise with the shared-link occupancy.
   if (link == nullptr) {
@@ -35,7 +35,7 @@ void SshTunnel::send_(sim::Process& p, sim::Link* link, u64 bytes, bool propagat
 
 rpc::RpcReply SshTunnel::call(sim::Process& p, const rpc::RpcCall& call) {
   establish(p);
-  ++messages_;
+  messages_.inc();
   send_(p, to_server_, call.wire_size(), true);
   rpc::RpcReply reply = upstream_.handle(p, call);
   send_(p, to_client_, reply.wire_size(), true);
@@ -48,7 +48,7 @@ std::vector<rpc::RpcReply> SshTunnel::call_pipelined(
   std::vector<rpc::RpcReply> replies;
   replies.reserve(calls.size());
   for (std::size_t i = 0; i < calls.size(); ++i) {
-    ++messages_;
+    messages_.inc();
     send_(p, to_server_, calls[i].wire_size(), i == 0);
     rpc::RpcReply reply = upstream_.handle(p, calls[i]);
     send_(p, to_client_, reply.wire_size(), i + 1 == calls.size());
@@ -58,8 +58,8 @@ std::vector<rpc::RpcReply> SshTunnel::call_pipelined(
 }
 
 void Scp::transfer(sim::Process& p, u64 bytes, bool include_setup) {
-  ++transfers_;
-  bytes_moved_ += bytes;
+  transfers_.inc();
+  bytes_moved_.inc(bytes);
   // Parallel streams handshake concurrently: one setup latency.
   if (include_setup) p.delay(spec_.setup_time);
   // N flows pace in parallel (N x the per-flow ceiling); the shared link

@@ -11,6 +11,7 @@
 #include <algorithm>
 
 #include "blob/blob.h"
+#include "common/metrics.h"
 #include "rpc/rpc.h"
 #include "sim/resources.h"
 
@@ -43,8 +44,13 @@ class SshTunnel final : public rpc::RpcChannel {
   // Pre-establish (middleware starts tunnels at session setup).
   void establish(sim::Process& p);
   [[nodiscard]] bool established() const { return established_; }
-  [[nodiscard]] u64 messages() const { return messages_; }
-  [[nodiscard]] u64 bytes_tunneled() const { return bytes_; }
+  [[nodiscard]] u64 messages() const { return messages_.value(); }
+  [[nodiscard]] u64 bytes_tunneled() const { return bytes_.value(); }
+
+  void register_metrics(metrics::Registry& r, const std::string& prefix) const {
+    r.register_counter(prefix + "messages", &messages_);
+    r.register_counter(prefix + "bytes_tunneled", &bytes_);
+  }
 
  private:
   void send_(sim::Process& p, sim::Link* link, u64 bytes, bool propagate);
@@ -54,8 +60,8 @@ class SshTunnel final : public rpc::RpcChannel {
   sim::Link* to_client_;
   CipherSpec spec_;
   bool established_ = false;
-  u64 messages_ = 0;
-  u64 bytes_ = 0;
+  metrics::Counter messages_;
+  metrics::Counter bytes_;
 };
 
 // One-shot SCP-style bulk file transfer over its own SSH connection(s):
@@ -74,16 +80,21 @@ class Scp {
   // parallel streams handshake concurrently).
   void transfer(sim::Process& p, u64 bytes, bool include_setup = true);
 
-  [[nodiscard]] u64 transfers() const { return transfers_; }
-  [[nodiscard]] u64 bytes_moved() const { return bytes_moved_; }
+  [[nodiscard]] u64 transfers() const { return transfers_.value(); }
+  [[nodiscard]] u64 bytes_moved() const { return bytes_moved_.value(); }
   [[nodiscard]] u32 streams() const { return streams_; }
+
+  void register_metrics(metrics::Registry& r, const std::string& prefix) const {
+    r.register_counter(prefix + "transfers", &transfers_);
+    r.register_counter(prefix + "bytes_moved", &bytes_moved_);
+  }
 
  private:
   sim::Link& link_;
   CipherSpec spec_;
   u32 streams_;
-  u64 transfers_ = 0;
-  u64 bytes_moved_ = 0;
+  metrics::Counter transfers_;
+  metrics::Counter bytes_moved_;
 };
 
 // GZIP cost/ratio model. Output sizes come from blob content

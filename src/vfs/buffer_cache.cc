@@ -13,10 +13,10 @@ BufferCache::BufferCache(u64 capacity_bytes, u32 page_size)
 std::optional<blob::BlobRef> BufferCache::lookup(u64 file, u64 page_index) {
   auto it = map_.find(Key{file, page_index});
   if (it == map_.end()) {
-    ++misses_;
+    misses_.inc();
     return std::nullopt;
   }
-  ++hits_;
+  hits_.inc();
   lru_.splice(lru_.begin(), lru_, it->second);
   return it->second->data;
 }
@@ -32,7 +32,7 @@ void BufferCache::insert(sim::Process& p, u64 file, u64 page_index,
       lru_.splice(lru_.begin(), lru_, it->second);
       return;
     }
-    if (dirty && !it->second->dirty) ++dirty_count_;
+    if (dirty && !it->second->dirty) dirty_count_.add(1);
     it->second->data = std::move(data);
     it->second->dirty = dirty;
     lru_.splice(lru_.begin(), lru_, it->second);
@@ -41,7 +41,7 @@ void BufferCache::insert(sim::Process& p, u64 file, u64 page_index,
   while (map_.size() >= capacity_pages_) evict_one_(p);
   lru_.push_front(Entry{key, std::move(data), dirty});
   map_.emplace(key, lru_.begin());
-  if (dirty) ++dirty_count_;
+  if (dirty) dirty_count_.add(1);
 }
 
 void BufferCache::evict_one_(sim::Process& p) {
@@ -49,9 +49,9 @@ void BufferCache::evict_one_(sim::Process& p) {
   Entry& victim = lru_.back();
   if (victim.dirty) {
     if (writeback_) writeback_(p, victim.key.file, victim.key.page, victim.data);
-    --dirty_count_;
+    dirty_count_.sub(1);
   }
-  ++evictions_;
+  evictions_.inc();
   map_.erase(victim.key);
   lru_.pop_back();
 }
@@ -60,7 +60,7 @@ void BufferCache::mark_clean(u64 file, u64 page_index) {
   auto it = map_.find(Key{file, page_index});
   if (it != map_.end() && it->second->dirty) {
     it->second->dirty = false;
-    --dirty_count_;
+    dirty_count_.sub(1);
   }
 }
 
@@ -108,7 +108,7 @@ void BufferCache::invalidate_file(sim::Process& p, u64 file) {
 void BufferCache::discard_file(u64 file) {
   for (auto it = lru_.begin(); it != lru_.end();) {
     if (it->key.file == file) {
-      if (it->dirty) --dirty_count_;
+      if (it->dirty) dirty_count_.sub(1);
       map_.erase(it->key);
       it = lru_.erase(it);
     } else {
@@ -131,7 +131,7 @@ std::vector<u64> BufferCache::dirty_files() const {
 void BufferCache::drop_all() {
   lru_.clear();
   map_.clear();
-  dirty_count_ = 0;
+  dirty_count_.set(0);
 }
 
 }  // namespace gvfs::vfs

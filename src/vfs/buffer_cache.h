@@ -18,6 +18,7 @@
 
 #include "blob/blob.h"
 #include "common/hash.h"
+#include "common/metrics.h"
 #include "common/types.h"
 #include "sim/kernel.h"
 
@@ -75,12 +76,23 @@ class BufferCache {
     return map_.count(Key{file, page_index}) != 0;
   }
 
-  [[nodiscard]] u64 hits() const { return hits_; }
-  [[nodiscard]] u64 misses() const { return misses_; }
-  [[nodiscard]] u64 evictions() const { return evictions_; }
-  [[nodiscard]] u64 dirty_pages() const { return dirty_count_; }
+  [[nodiscard]] u64 hits() const { return hits_.value(); }
+  [[nodiscard]] u64 misses() const { return misses_.value(); }
+  [[nodiscard]] u64 evictions() const { return evictions_.value(); }
+  [[nodiscard]] u64 dirty_pages() const { return dirty_count_.value(); }
   [[nodiscard]] u64 resident_pages() const { return map_.size(); }
-  void reset_stats() { hits_ = misses_ = evictions_ = 0; }
+  void reset_stats() {
+    hits_.reset();
+    misses_.reset();
+    evictions_.reset();
+  }
+
+  void register_metrics(metrics::Registry& r, const std::string& prefix) const {
+    r.register_counter(prefix + "hits", &hits_);
+    r.register_counter(prefix + "misses", &misses_);
+    r.register_counter(prefix + "evictions", &evictions_);
+    r.register_gauge(prefix + "dirty_pages", &dirty_count_);
+  }
 
  private:
   struct Key {
@@ -107,10 +119,10 @@ class BufferCache {
   LruList lru_;  // front = most recent
   std::unordered_map<Key, LruList::iterator, KeyHash> map_;
   WritebackFn writeback_;
-  u64 hits_ = 0;
-  u64 misses_ = 0;
-  u64 evictions_ = 0;
-  u64 dirty_count_ = 0;
+  metrics::Counter hits_;
+  metrics::Counter misses_;
+  metrics::Counter evictions_;
+  metrics::Gauge dirty_count_;
 };
 
 }  // namespace gvfs::vfs

@@ -36,7 +36,7 @@ Status VmMonitor::resume(sim::Process& p) {
     u64 n = std::min<u64>(cfg_.io_chunk, vmss.size - off);
     GVFS_ASSIGN_OR_RETURN(blob::BlobRef chunk, state_fs_->read(p, vmss_path_, off, n));
     if (chunk->size() == 0) break;
-    vmss_bytes_read_ += chunk->size();
+    vmss_bytes_read_.inc(chunk->size());
     p.delay(transfer_time(chunk->size(), cfg_.mem_load_bps));
     off += chunk->size();
   }
@@ -67,7 +67,7 @@ Status VmMonitor::suspend(sim::Process& p, blob::BlobRef new_memory_state) {
 void VmMonitor::writeback_page_(sim::Process& p, u64 page, const blob::BlobRef& data) {
   if (!data || data->size() == 0) return;
   u64 offset = page * cfg_.guest_page;
-  host_write_bytes_ += data->size();
+  host_write_bytes_.inc(data->size());
   if (redo_) {
     (void)redo_->append(p, offset, data);
   } else {
@@ -112,8 +112,8 @@ Result<blob::BlobRef> VmMonitor::disk_read(sim::Process& p, u64 offset, u64 len)
     } else {
       GVFS_ASSIGN_OR_RETURN(data, disk_fs_->read(p, disk_path_, run_start_off, run_len));
     }
-    ++host_reads_;
-    host_read_bytes_ += data->size();
+    host_reads_.inc();
+    host_read_bytes_.inc(data->size());
     for (u64 q = pg; q < run_end; ++q) {
       u64 rel = (q - pg) * cfg_.guest_page;
       if (rel >= data->size()) break;

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "blob/blob.h"
+#include "common/metrics.h"
 #include "sim/kernel.h"
 #include "vfs/buffer_cache.h"
 #include "vfs/fs_session.h"
@@ -60,10 +61,17 @@ class VmMonitor {
 
   // ---- observability -------------------------------------------------------
   [[nodiscard]] vfs::BufferCache& guest_cache() { return *guest_cache_; }
-  [[nodiscard]] u64 host_reads() const { return host_reads_; }
-  [[nodiscard]] u64 host_read_bytes() const { return host_read_bytes_; }
-  [[nodiscard]] u64 host_write_bytes() const { return host_write_bytes_; }
-  [[nodiscard]] u64 vmss_bytes_read() const { return vmss_bytes_read_; }
+  [[nodiscard]] u64 host_reads() const { return host_reads_.value(); }
+  [[nodiscard]] u64 host_read_bytes() const { return host_read_bytes_.value(); }
+  [[nodiscard]] u64 host_write_bytes() const { return host_write_bytes_.value(); }
+  [[nodiscard]] u64 vmss_bytes_read() const { return vmss_bytes_read_.value(); }
+
+  void register_metrics(metrics::Registry& r, const std::string& prefix) const {
+    r.register_counter(prefix + "host_reads", &host_reads_);
+    r.register_counter(prefix + "host_read_bytes", &host_read_bytes_);
+    r.register_counter(prefix + "host_write_bytes", &host_write_bytes_);
+    r.register_counter(prefix + "vmss_bytes_read", &vmss_bytes_read_);
+  }
 
  private:
   // Guest-cache writeback: dirty page goes to redo log or the virtual disk.
@@ -78,10 +86,10 @@ class VmMonitor {
   std::unique_ptr<vfs::BufferCache> guest_cache_;
   std::unique_ptr<RedoLog> redo_;
   bool resumed_ = false;
-  u64 host_reads_ = 0;
-  u64 host_read_bytes_ = 0;
-  u64 host_write_bytes_ = 0;
-  u64 vmss_bytes_read_ = 0;
+  metrics::Counter host_reads_;
+  metrics::Counter host_read_bytes_;
+  metrics::Counter host_write_bytes_;
+  metrics::Counter vmss_bytes_read_;
 
   static constexpr u64 kDiskKey = 1;  // single virtual disk per VM
 };

@@ -24,11 +24,11 @@ Result<WorkloadReport> SyntheticWorkload::run(sim::Process& p, vm::GuestFs& fs) 
     if (is_read) {
       GVFS_ASSIGN_OR_RETURN(blob::BlobRef data,
                             fs.read(p, "synth.dat", off, cfg_.io_size));
-      bytes_read_ += data->size();
+      bytes_read_.inc(data->size());
     } else {
       GVFS_RETURN_IF_ERROR(
           fs.write(p, "synth.dat", off, payload(cfg_.seed + i, cfg_.io_size)));
-      bytes_written_ += cfg_.io_size;
+      bytes_written_.inc(cfg_.io_size);
     }
     if (cfg_.compute_per_op_s > 0) p.delay(from_seconds(cfg_.compute_per_op_s));
   }

@@ -5,6 +5,7 @@
 #pragma once
 
 #include "common/rng.h"
+#include "common/metrics.h"
 #include "common/status.h"
 #include "sim/kernel.h"
 #include "vm/guest_fs.h"
@@ -29,13 +30,18 @@ class SyntheticWorkload {
   Status install(vm::GuestFs& fs);
   Result<WorkloadReport> run(sim::Process& p, vm::GuestFs& fs);
 
-  [[nodiscard]] u64 bytes_read() const { return bytes_read_; }
-  [[nodiscard]] u64 bytes_written() const { return bytes_written_; }
+  [[nodiscard]] u64 bytes_read() const { return bytes_read_.value(); }
+  [[nodiscard]] u64 bytes_written() const { return bytes_written_.value(); }
+
+  void register_metrics(metrics::Registry& r, const std::string& prefix) const {
+    r.register_counter(prefix + "bytes_read", &bytes_read_);
+    r.register_counter(prefix + "bytes_written", &bytes_written_);
+  }
 
  private:
   SyntheticConfig cfg_;
-  u64 bytes_read_ = 0;
-  u64 bytes_written_ = 0;
+  metrics::Counter bytes_read_;
+  metrics::Counter bytes_written_;
 };
 
 }  // namespace gvfs::workload

@@ -105,13 +105,13 @@ Result<WorkloadReport> TraceWorkload::run(sim::Process& p, vm::GuestFs& fs) {
       case TraceOp::Kind::kRead: {
         GVFS_ASSIGN_OR_RETURN(blob::BlobRef data,
                               fs.read(p, op.file, op.offset, op.length));
-        bytes_read_ += data->size();
+        bytes_read_.inc(data->size());
         break;
       }
       case TraceOp::Kind::kWrite:
         GVFS_RETURN_IF_ERROR(
             fs.write(p, op.file, op.offset, payload(seed_ + idx, op.length)));
-        bytes_written_ += op.length;
+        bytes_written_.inc(op.length);
         break;
       case TraceOp::Kind::kCompute:
         p.delay(from_seconds(op.seconds));

@@ -50,6 +50,33 @@ struct FlakyChannel final : rpc::RpcChannel {
   }
 };
 
+// Pipelined stub: times out every entry of the first `fail_batches` whole
+// batches; single-call reissues (the retry path) always succeed. Records
+// every xid transmitted either way.
+struct BatchFlakyChannel final : rpc::RpcChannel {
+  explicit BatchFlakyChannel(int n) : fail_batches(n) {}
+  int fail_batches;
+  u64 single_calls = 0;
+  std::vector<u32> xids_seen;
+  rpc::RpcReply call(sim::Process&, const rpc::RpcCall& c) override {
+    ++single_calls;
+    xids_seen.push_back(c.xid);
+    return rpc::make_reply(c, c.args);
+  }
+  std::vector<rpc::RpcReply> call_pipelined(
+      sim::Process&, const std::vector<rpc::RpcCall>& calls) override {
+    std::vector<rpc::RpcReply> out;
+    for (const auto& c : calls) {
+      xids_seen.push_back(c.xid);
+      out.push_back(fail_batches > 0
+                        ? rpc::make_error_reply(c, err(ErrCode::kTimeout, "loss"))
+                        : rpc::make_reply(c, c.args));
+    }
+    if (fail_batches > 0) --fail_batches;
+    return out;
+  }
+};
+
 // Passes calls through but corrupts the xid of successful replies while
 // `corrupt` is set (a misbehaving server / crossed wires).
 struct WrongXidChannel final : rpc::RpcChannel {
@@ -185,6 +212,42 @@ TEST(RetryChannel, RetransmitsSameXidWithExponentialBackoff) {
   EXPECT_EQ(flaky.xids_seen, (std::vector<u32>{77, 77, 77, 77}));
 }
 
+TEST(RetryChannel, PipelinedRetryCountsAndWaitsOnce) {
+  // Regression: call_pipelined used to sleep a full jittered RTO and then
+  // delegate the reissue to call(), which waited out its own RTO as well —
+  // ~2x RTO before the first retransmission, with timeouts_/retransmits_
+  // double-counted. Both paths now share one retry loop that credits time
+  // already elapsed since the (batch) send.
+  sim::SimKernel k;
+  BatchFlakyChannel flaky(1);  // the whole first batch is lost
+  rpc::RetryConfig cfg;
+  cfg.timeout = 100 * kMillisecond;
+  cfg.backoff = 2.0;
+  cfg.jitter = 0.0;
+  rpc::RetryChannel retry(flaky, k, cfg);
+  std::vector<rpc::RpcCall> calls{make_call(11), make_call(12)};
+  k.run_process("t", [&](sim::Process& p) {
+    auto replies = retry.call_pipelined(p, calls);
+    ASSERT_EQ(replies.size(), 2u);
+    EXPECT_TRUE(replies[0].status.is_ok());
+    EXPECT_TRUE(replies[1].status.is_ok());
+    EXPECT_EQ(replies[0].xid, 11u);
+    EXPECT_EQ(replies[1].xid, 12u);
+    // Entry 0 waits out the single 100 ms RTO from the batch send; entry 1's
+    // RTO had fully elapsed by then and its reissue goes out immediately.
+    // The old double-wait would have ended at >= 300 ms.
+    EXPECT_EQ(p.now(), 100 * kMillisecond);
+  });
+  EXPECT_EQ(k.failed_processes(), 0) << k.failed_names_joined();
+  // Exactly one timeout and one retransmission per lost entry.
+  EXPECT_EQ(retry.timeouts(), 2u);
+  EXPECT_EQ(retry.retransmits(), 2u);
+  EXPECT_EQ(retry.exhausted(), 0u);
+  EXPECT_EQ(flaky.single_calls, 2u);
+  // Batch transmission of both xids, then one same-xid reissue each.
+  EXPECT_EQ(flaky.xids_seen, (std::vector<u32>{11, 12, 11, 12}));
+}
+
 TEST(RetryChannel, FiniteBudgetSurfacesTimeout) {
   sim::SimKernel k;
   FlakyChannel flaky(1000);  // never recovers
@@ -287,9 +350,11 @@ struct DrcFixture {
   sim::SimKernel kernel;
   vfs::MemFs fs;
   sim::DiskModel disk{kernel, "d", sim::DiskConfig{}};
-  nfs::NfsServer server{kernel, fs, disk, nfs::NfsServerConfig{}};
+  nfs::NfsServer server;
 
-  DrcFixture() { EXPECT_TRUE(server.add_export("/exports").is_ok()); }
+  explicit DrcFixture(nfs::NfsServerConfig cfg = {}) : server{kernel, fs, disk, cfg} {
+    EXPECT_TRUE(server.add_export("/exports").is_ok());
+  }
 
   rpc::RpcCall remove_call(u32 xid, const std::string& name) {
     auto args = std::make_shared<nfs::RemoveArgs>();
@@ -379,6 +444,89 @@ TEST(NfsServerDrc, IdempotentOpsBypassCache) {
   });
   EXPECT_EQ(f.server.drc_hits(), 0u);
   EXPECT_EQ(f.server.drc_inserts(), 0u);
+}
+
+TEST(NfsServerDrc, HashCollisionNeverReplaysWrongReply) {
+  // Regression: the DRC used to trust the 64-bit hash key alone, so a
+  // collision between two live transactions silently replayed the wrong
+  // client's reply. Entries now carry the full (machine, uid, prog, proc,
+  // xid) tuple; shrinking the key to 0 bits forces every transaction into
+  // one bucket, the worst case.
+  nfs::NfsServerConfig cfg;
+  cfg.drc_key_bits = 0;
+  DrcFixture f(cfg);
+  ASSERT_TRUE(f.fs.put_file("/exports/victim1", blob::make_zero(4_KiB)).is_ok());
+  ASSERT_TRUE(f.fs.put_file("/exports/victim2", blob::make_zero(4_KiB)).is_ok());
+  f.kernel.run_process("t", [&](sim::Process& p) {
+    auto first = f.server.handle(p, f.remove_call(100, "victim1"));
+    ASSERT_TRUE(first.status.is_ok());
+    EXPECT_EQ(rpc::message_cast<nfs::RemoveRes>(first.result)->status, nfs::NfsStat::kOk);
+    EXPECT_EQ(f.server.drc_inserts(), 1u);
+
+    // A different transaction landing in the same bucket must execute its
+    // own REMOVE, not receive victim1's cached reply.
+    auto other = f.server.handle(p, f.remove_call(200, "victim2"));
+    ASSERT_TRUE(other.status.is_ok());
+    EXPECT_EQ(rpc::message_cast<nfs::RemoveRes>(other.result)->status, nfs::NfsStat::kOk);
+    EXPECT_FALSE(f.fs.resolve("/exports/victim2").is_ok());  // really executed
+    EXPECT_EQ(f.server.drc_collisions(), 1u);
+    EXPECT_EQ(f.server.drc_hits(), 0u);
+
+    // The resident entry was not evicted by the collision: its owner's
+    // retransmission still replays from the cache.
+    auto dup = f.server.handle(p, f.remove_call(100, "victim1"));
+    ASSERT_TRUE(dup.status.is_ok());
+    EXPECT_EQ(rpc::message_cast<nfs::RemoveRes>(dup.result)->status, nfs::NfsStat::kOk);
+    EXPECT_EQ(f.server.drc_hits(), 1u);
+  });
+  EXPECT_EQ(f.kernel.failed_processes(), 0) << f.kernel.failed_names_joined();
+}
+
+TEST(NfsServerDrc, RetransmittedRemoveReplaysAfterStateChange) {
+  // RFC 1813 §4: error replies to non-idempotent procedures are cached and
+  // replayed too. A REMOVE that found nothing answers kNoEnt; if the name is
+  // created before the retransmission arrives, the duplicate must replay the
+  // original kNoEnt — re-executing would remove the new file.
+  DrcFixture f;
+  f.kernel.run_process("t", [&](sim::Process& p) {
+    auto first = f.server.handle(p, f.remove_call(500, "ghost"));
+    ASSERT_TRUE(first.status.is_ok());
+    EXPECT_EQ(rpc::message_cast<nfs::RemoveRes>(first.result)->status,
+              nfs::NfsStat::kNoEnt);
+    EXPECT_EQ(f.server.drc_inserts(), 1u);
+
+    // Server-side state changes between transmission and retransmission.
+    ASSERT_TRUE(f.fs.put_file("/exports/ghost", blob::make_zero(4_KiB)).is_ok());
+
+    auto dup = f.server.handle(p, f.remove_call(500, "ghost"));
+    ASSERT_TRUE(dup.status.is_ok());
+    EXPECT_EQ(rpc::message_cast<nfs::RemoveRes>(dup.result)->status,
+              nfs::NfsStat::kNoEnt);
+    EXPECT_EQ(f.server.drc_hits(), 1u);
+    EXPECT_TRUE(f.fs.resolve("/exports/ghost").is_ok());  // not re-executed
+  });
+  EXPECT_EQ(f.kernel.failed_processes(), 0) << f.kernel.failed_names_joined();
+}
+
+TEST(NfsServerDrc, TransportErrorReplyIsCachedAndReplayed) {
+  // A non-idempotent call that fails at the RPC layer (here: undecodable
+  // args -> kBadXdr, a reply with no result body) is still a completed
+  // transaction; its retransmission replays the cached error instead of
+  // dispatching again.
+  DrcFixture f;
+  f.kernel.run_process("t", [&](sim::Process& p) {
+    rpc::RpcCall bad = make_call(600);
+    bad.proc = static_cast<u32>(nfs::Proc::kRemove);
+    bad.args = std::make_shared<nfs::GetattrArgs>();  // wrong type for REMOVE
+    auto first = f.server.handle(p, bad);
+    EXPECT_FALSE(first.status.is_ok());
+    EXPECT_EQ(f.server.drc_inserts(), 1u);
+
+    auto dup = f.server.handle(p, bad);
+    EXPECT_EQ(dup.status.code(), first.status.code());
+    EXPECT_EQ(f.server.drc_hits(), 1u);
+  });
+  EXPECT_EQ(f.kernel.failed_processes(), 0) << f.kernel.failed_names_joined();
 }
 
 TEST(NfsServerDrc, CrashClearsCacheSoDuplicateReExecutes) {

@@ -172,6 +172,38 @@ TEST(LintPrint, FprintfStderrIsClean) {
   EXPECT_TRUE(f.empty()) << dump(f);
 }
 
+TEST(LintCounter, RawCounterMemberFires) {
+  auto f = lint_content("src/cache/x.h",
+                        "#pragma once\n"
+                        "#include \"common/types.h\"\n"
+                        "class C {\n"
+                        "  gvfs::u64 hits_ = 0;\n"
+                        "};\n");
+  EXPECT_EQ(count_rule(f, "raw-counter"), 1) << dump(f);
+  EXPECT_EQ(f[0].line, 4);
+}
+
+TEST(LintCounter, RegistryInstrumentIsClean) {
+  auto f = lint_content("src/cache/x.h",
+                        "#pragma once\n"
+                        "#include \"common/metrics.h\"\n"
+                        "class C {\n"
+                        "  gvfs::metrics::Counter hits_;\n"
+                        "  gvfs::metrics::Gauge resident_bytes_;\n"
+                        "};\n");
+  EXPECT_TRUE(f.empty()) << dump(f);
+}
+
+TEST(LintCounter, MetricsHeaderAndNonSrcAreExempt) {
+  const char* snippet = "#pragma once\nstruct S { u64 hits_ = 0; };\n";
+  // The registry's own storage and code outside src/ may keep raw tallies.
+  EXPECT_TRUE(lint_content("src/common/metrics.h", snippet).empty());
+  EXPECT_TRUE(lint_content("bench/x.h", snippet).empty());
+  EXPECT_TRUE(lint_content("tests/x.h", snippet).empty());
+  auto f = lint_content("src/rpc/x.h", "#pragma once\nstruct S { gvfs::u64 timeouts_; };\n");
+  EXPECT_EQ(count_rule(f, "raw-counter"), 1) << dump(f);
+}
+
 TEST(LintHeaderGuard, MissingPragmaOnceFires) {
   auto f = lint_content("src/common/x.h", "int f();\n");
   EXPECT_EQ(count_rule(f, "header-guard"), 1) << dump(f);
@@ -277,6 +309,7 @@ TEST(LintRules, EveryRuleHasAFixtureThatFires) {
                        "int s() { int t = 0; for (auto& [k, v] : m) t += v; return t; }\n"));
   collect(lint_content("src/x.cc", "void f() { std::cout << 1; }\n"));
   collect(lint_content("src/x.h", "int f();\n"));
+  collect(lint_content("src/x.h", "#pragma once\nstruct S { u64 hits_ = 0; };\n"));
   for (const std::string& rule : all_rules()) {
     if (rule == "cmake-registration") continue;  // covered by LintTree
     EXPECT_NE(std::find(fired.begin(), fired.end(), rule), fired.end())

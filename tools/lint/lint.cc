@@ -175,6 +175,12 @@ bool unordered_scoped(const std::string& path) {
          starts_with(path, "tools/");
 }
 
+// Counter members belong to library components; benches/tests/tools keep
+// local tallies freely. The registry's own instrument storage is exempt.
+bool counter_scoped(const std::string& path) {
+  return starts_with(path, "src/") && path != "src/common/metrics.h";
+}
+
 // ------------------------------------------------------ token rules -----
 
 struct TokenRule {
@@ -211,6 +217,28 @@ const std::vector<TokenRule>& clock_rules() {
     v.push_back({"determinism-clock",
                  std::regex(R"((^|[^:\w.>])(time|clock)\s*\(\s*(NULL|nullptr|0)?\s*\))"),
                  "host clock outside src/sim/; simulated code observes virtual time only"});
+    return v;
+  }();
+  return kRules;
+}
+
+// Raw integer members with counter-style names (`u64 hits_`) bypass the
+// metrics registry: they cannot be snapshotted into BENCH_*.json and drift
+// back into the scattered ad-hoc stats the registry replaced. Components
+// declare metrics::Counter/Gauge/Histogram and register them instead. The
+// registry's own storage (src/common/metrics.h) is exempt by path.
+const std::vector<TokenRule>& counter_rules() {
+  static const std::vector<TokenRule> kRules = [] {
+    std::vector<TokenRule> v;
+    v.push_back(
+        {"raw-counter",
+         std::regex(
+             R"(\b(u32|u64|i32|i64|std::size_t|size_t|unsigned)\s+\w*)"
+             R"((hits|misses|evictions|retransmits|timeouts|collisions)"
+             R"(|inserts|writebacks|transfers|fetches|uploads|absorbed)"
+             R"(|prefetched|filtered|replayed)_\s*[={;])"),
+         "raw member counter outside the metrics registry; declare a "
+         "metrics::Counter/Gauge/Histogram and register_metrics() it"});
     return v;
   }();
   return kRules;
@@ -347,7 +375,8 @@ std::string read_file(const fs::path& p) {
 const std::vector<std::string>& all_rules() {
   static const std::vector<std::string> kRules = {
       "determinism-rng",  "determinism-clock",  "unordered-iteration",
-      "stdout-print",     "header-guard",       "cmake-registration"};
+      "stdout-print",     "raw-counter",        "header-guard",
+      "cmake-registration"};
   return kRules;
 }
 
@@ -370,6 +399,9 @@ std::vector<Finding> lint_content(const std::string& path,
   }
   if (!print_sanctioned(path)) {
     apply_token_rules(print_rules(), code, sup, path, &out);
+  }
+  if (counter_scoped(path)) {
+    apply_token_rules(counter_rules(), code, sup, path, &out);
   }
   if (unordered_scoped(path)) {
     std::set<std::string> decls = unordered_decl_names(code);

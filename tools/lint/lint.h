@@ -14,6 +14,11 @@
 //   stdout-print         std::cout/printf/puts in src/ or tests/ — simulated
 //                        results are printed only by the sanctioned bench /
 //                        CLI sites; libraries log via GVFS_* (stderr).
+//   raw-counter          a raw integer member with a counter-style name
+//                        (`u64 hits_`) in src/ — stats live in
+//                        metrics::Counter/Gauge/Histogram instruments
+//                        registered with the metrics registry, so every
+//                        component's counters land in BENCH_*.json snapshots.
 //   header-guard         header missing #pragma once.
 //   cmake-registration   a .cc/.cpp not named in its directory's (or an
 //                        ancestor's) CMakeLists.txt — unregistered sources

@@ -3,12 +3,15 @@
 # cheapest-first order. Any failure aborts the run.
 #
 #   1. gvfs_lint         repo-specific determinism/style linter over the tree
-#   2. ASan/UBSan        full test suite (incl. ctest -L faults) under
+#   2. stdout invariance 12 simulated benches run twice each; stdout must be
+#                        byte-identical run-to-run and match the committed
+#                        tools/golden_stdout.sha256
+#   3. ASan/UBSan        full test suite (incl. ctest -L faults) under
 #                        AddressSanitizer + UndefinedBehaviorSanitizer
-#   3. TSan              full test suite under ThreadSanitizer; the sim is
+#   4. TSan              full test suite under ThreadSanitizer; the sim is
 #                        thread-per-process, so the locking in sim/kernel.cc
 #                        gets real concurrency coverage here
-#   4. clang-tidy        bugprone-*/performance-*/concurrency-* profile from
+#   5. clang-tidy        bugprone-*/performance-*/concurrency-* profile from
 #                        .clang-tidy — runs only when clang-tidy is on PATH
 #                        (the baked-in container toolchain is gcc-only)
 #
@@ -40,6 +43,11 @@ cmake -B "$lint_build" -S "$repo_root" \
 cmake --build "$lint_build" -j "$jobs" --target gvfs_lint
 "$lint_build/tools/gvfs_lint" --root "$repo_root"
 
+# The invariance gate needs an unsanitized build (sanitizers perturb nothing
+# simulated, but keep the golden-hash environment identical to CI's).
+echo "== stdout invariance (simulated benches, vs golden hashes) =="
+"$repo_root/tools/check_stdout_invariance.sh" "$prefix-bench"
+
 # Turn every sanitizer finding into a hard failure: ASan exits non-zero on
 # its first report, UBSan aborts instead of printing-and-continuing.
 export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1:abort_on_error=0"
@@ -65,4 +73,4 @@ else
   echo "== clang-tidy not found on PATH; skipping (gcc-only container) =="
 fi
 
-echo "All checks passed (lint + ASan/UBSan + TSan clean)."
+echo "All checks passed (lint + stdout invariance + ASan/UBSan + TSan clean)."
