@@ -1,0 +1,186 @@
+// Async batched write-back + shared L2 single-flight bench.
+//
+// Part A — flush pipeline: the same write-dominated workload (the
+// ablate_writeback shape) is run twice in write-back mode; the deferred
+// middleware flush is timed with the synchronous per-block FILE_SYNC path
+// vs the asynchronous flusher (pipelined UNSTABLE bursts + one COMMIT per
+// file). Acceptance: batched flush >= 2x faster.
+//
+// Part B — miss coalescing: eight compute nodes cold-read the same image
+// through a cluster-shared L2 block-cache proxy with single-flight miss
+// coalescing. Acceptance: origin-server READs stay within an epsilon of ONE
+// client's cold miss count — concurrent same-block misses share one fetch.
+#include "bench_util.h"
+#include "workload/synthetic.h"
+
+using namespace gvfs;
+
+namespace {
+
+struct FlushRow {
+  double run_s = 0;
+  double flush_s = 0;
+  u64 unstable_writes = 0;
+  u64 commits = 0;
+};
+
+Result<FlushRow> run_flush(bool async_writeback, bench::MetricsLog& mlog) {
+  core::TestbedOptions opt;
+  opt.scenario = core::Scenario::kWanCached;
+  opt.write_policy = cache::WritePolicy::kWriteBack;
+  opt.enable_async_writeback = async_writeback;
+  core::Testbed bed(opt);
+  workload::SyntheticConfig wcfg;
+  wcfg.file_bytes = 48_MiB;
+  wcfg.io_size = 64_KiB;
+  wcfg.ops = 768;
+  wcfg.read_fraction = 0.1;  // write-dominated (trace-file generation)
+  wcfg.sequential = true;
+  workload::SyntheticWorkload wl(wcfg);
+  FlushRow row;
+  auto report = bench::run_app_benchmark(bed, wl);
+  if (!report.is_ok()) return report.status();
+  row.run_s = report->total_s();
+  bed.kernel().run_process("signal", [&](sim::Process& p) {
+    SimTime t0 = p.now();
+    (void)bed.signal_write_back(p);
+    row.flush_s = to_seconds(p.now() - t0);
+  });
+  bench::require_no_failed_processes(bed.kernel(), "shared_writeback_flush");
+  row.unstable_writes = bed.client_proxy()->flush_unstable_writes();
+  row.commits = bed.client_proxy()->flush_commits();
+  mlog.capture(async_writeback ? "flush_async" : "flush_sync", bed);
+  return row;
+}
+
+constexpr int kNodes = 8;
+constexpr u64 kImageBytes = 16_MiB;
+
+struct ShareRow {
+  double wall_s = 0;
+  u64 origin_reads = 0;
+  u64 one_client_cold_misses = 0;
+  u64 single_flight_leads = 0;
+  u64 single_flight_waits = 0;
+};
+
+Result<ShareRow> run_shared_reads(bench::MetricsLog& mlog) {
+  core::TestbedOptions opt;
+  opt.scenario = core::Scenario::kWanCached;
+  opt.compute_nodes = kNodes;
+  opt.shared_l2_cache = true;
+  opt.enable_meta = false;  // pure block path: every byte rides READ RPCs
+  opt.generate_image_meta = false;
+  core::Testbed bed(opt);
+  blob::BlobRef image = blob::make_synthetic(71, kImageBytes, 0.2, 2.0);
+  if (auto put = bed.image_fs().put_file(bed.image_dir() + "/img", image);
+      !put.is_ok()) {
+    return put.status();
+  }
+  Status st = Status::ok();
+  SimTime end = 0;
+  u64 want = blob::content_hash(*image);
+  for (int i = 0; i < kNodes; ++i) {
+    bed.kernel().spawn("reader" + std::to_string(i), [&, i](sim::Process& p) {
+      if (Status m = bed.mount(p, i); !m.is_ok()) {
+        st = m;
+        return;
+      }
+      auto data = bed.image_session(i).read_all(p, "/img");
+      if (!data.is_ok()) {
+        st = data.status();
+        return;
+      }
+      if (blob::content_hash(**data) != want) {
+        st = err(ErrCode::kIo, "shared read corrupted");
+      }
+      end = std::max(end, p.now());
+    });
+  }
+  bed.kernel().run();
+  if (!st.is_ok()) return st;
+  bench::require_no_failed_processes(bed.kernel(), "shared_writeback_reads");
+  ShareRow row;
+  row.wall_s = to_seconds(end);
+  row.origin_reads = bed.server()->calls(nfs::Proc::kRead);
+  row.one_client_cold_misses = bed.block_cache(0)->misses();
+  row.single_flight_leads = bed.lan_proxy()->single_flight_leads();
+  row.single_flight_waits = bed.lan_proxy()->single_flight_waits();
+  mlog.capture("shared_l2", bed);
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  bench::BenchReport rep("shared_writeback");
+  bench::MetricsLog mlog;
+  bench::banner("Async batched write-back + shared L2 single-flight");
+
+  auto sync = run_flush(false, mlog);
+  auto async = run_flush(true, mlog);
+  if (!sync.is_ok() || !async.is_ok()) {
+    std::fprintf(stderr, "flush run failed\n");
+    return 1;
+  }
+  double speedup = sync->flush_s / async->flush_s;
+  bench::Table flush_table({"flush mode", "deferred write-back (s)",
+                            "UNSTABLE writes", "COMMITs"});
+  flush_table.add_row({"per-block FILE_SYNC", fmt_double(sync->flush_s, 1),
+                       std::to_string(sync->unstable_writes),
+                       std::to_string(sync->commits)});
+  flush_table.add_row({"pipelined UNSTABLE + COMMIT", fmt_double(async->flush_s, 1),
+                       std::to_string(async->unstable_writes),
+                       std::to_string(async->commits)});
+  rep.add_table("flush_pipeline", flush_table);
+  rep.add_scalar("flush_sync_s", sync->flush_s);
+  rep.add_scalar("flush_async_s", async->flush_s);
+  rep.add_scalar("flush_speedup_x", speedup);
+
+  auto shared = run_shared_reads(mlog);
+  if (!shared.is_ok()) {
+    std::fprintf(stderr, "shared read run failed: %s\n",
+                 shared.status().to_string().c_str());
+    return 1;
+  }
+  u64 epsilon = shared->one_client_cold_misses / 10 + 8;
+  bench::Table share_table({"metric", "value"});
+  share_table.add_row({"nodes reading the image", std::to_string(kNodes)});
+  share_table.add_row({"origin-server READs", std::to_string(shared->origin_reads)});
+  share_table.add_row(
+      {"one client's cold misses", std::to_string(shared->one_client_cold_misses)});
+  share_table.add_row(
+      {"single-flight leads (L2)", std::to_string(shared->single_flight_leads)});
+  share_table.add_row(
+      {"single-flight waits (L2)", std::to_string(shared->single_flight_waits)});
+  rep.add_table("shared_l2", share_table);
+  rep.add_scalar("origin_reads", shared->origin_reads);
+  rep.add_scalar("one_client_cold_misses", shared->one_client_cold_misses);
+  rep.add_scalar("single_flight_waits", shared->single_flight_waits);
+  mlog.attach(rep);
+  rep.write();
+
+  flush_table.print();
+  std::printf("\nbatched flush speedup: %.1fx (acceptance: >= 2x)\n", speedup);
+  share_table.print();
+  std::printf("\n%d nodes cost the origin %s READs vs %s for one cold client\n",
+              kNodes, std::to_string(shared->origin_reads).c_str(),
+              std::to_string(shared->one_client_cold_misses).c_str());
+
+  if (speedup < 2.0) {
+    std::fprintf(stderr, "FAIL: flush speedup %.2fx < 2x\n", speedup);
+    return 1;
+  }
+  if (shared->origin_reads > shared->one_client_cold_misses + epsilon) {
+    std::fprintf(stderr, "FAIL: origin reads %llu exceed one client's misses %llu + %llu\n",
+                 static_cast<unsigned long long>(shared->origin_reads),
+                 static_cast<unsigned long long>(shared->one_client_cold_misses),
+                 static_cast<unsigned long long>(epsilon));
+    return 1;
+  }
+  if (shared->single_flight_waits == 0) {
+    std::fprintf(stderr, "FAIL: no single-flight coalescing observed\n");
+    return 1;
+  }
+  return 0;
+}

@@ -241,6 +241,31 @@ Status ProxyDiskCache::write_back_all(sim::Process& p) {
   return Status::ok();
 }
 
+Status ProxyDiskCache::write_back_file(sim::Process& p, u64 file_key) {
+  auto it = file_head_.find(file_key);
+  if (it == file_head_.end()) return Status::ok();
+  // Capture next before the callback: a write-back that recurses into the
+  // cache (e.g. an async flush enqueue evicting) must not invalidate the
+  // walk mid-list.
+  u32 idx = it->second;
+  while (idx != kNil) {
+    Frame& f = frames_[idx];
+    u32 next = f.file_next;
+    if (f.valid && f.dirty) {
+      writebacks_.inc();
+      if (writeback_) {
+        disk_.access(p, f.data ? f.data->size() : cfg_.block_size,
+                     sim::Locality::kSequential);
+        GVFS_RETURN_IF_ERROR(writeback_(p, f.id, f.data));
+      }
+      f.dirty = false;
+      dirty_.sub(1);
+    }
+    idx = next;
+  }
+  return Status::ok();
+}
+
 Status ProxyDiskCache::flush_and_invalidate(sim::Process& p) {
   GVFS_RETURN_IF_ERROR(write_back_all(p));
   invalidate_all();

@@ -76,6 +76,9 @@ class ProxyDiskCache {
   // Middleware consistency signals (§3.2.1): write back all dirty blocks
   // (keeping them cached clean), or drop everything.
   Status write_back_all(sim::Process& p);
+  // Write back only one file's dirty blocks (honest COMMIT: O(file-resident)
+  // walk of the per-file frame list, blocks stay cached clean).
+  Status write_back_file(sim::Process& p, u64 file_key);
   Status flush_and_invalidate(sim::Process& p);
   void invalidate_all();  // drop without writeback (read-only session end)
   void invalidate_file(u64 file_key);

@@ -65,14 +65,16 @@ Testbed::Testbed(TestbedOptions opt) : opt_(std::move(opt)) {
 
   if (opt_.scenario != Scenario::kLocal) {
     build_server_side_();
-    if (opt_.second_level_lan_cache) build_lan_cache_node_();
+    if (opt_.second_level_lan_cache || opt_.shared_l2_cache) build_lan_cache_node_();
   }
   if (faults_ && server_) {
-    // A crash loses the server's volatile state: page cache and the
-    // duplicate request cache (the FS itself models stable storage).
+    // A crash loses the server's volatile state: page cache, the duplicate
+    // request cache, and any uncommitted UNSTABLE writes — the rolled write
+    // verifier is how clients find out (RFC 1813 §3.3.7).
     faults_->set_on_restart([this] {
       server_->drop_caches();
       server_->clear_drc();
+      server_->roll_write_verifier();
     });
   }
   for (int i = 0; i < opt_.compute_nodes; ++i) {
@@ -137,6 +139,9 @@ void Testbed::build_lan_cache_node_() {
   proxy::ProxyConfig lpcfg;
   lpcfg.name = "lan-l2-proxy";
   lpcfg.enable_meta = false;
+  // Shared read-only cache: concurrent same-block misses from the cloning
+  // nodes collapse into one upstream READ.
+  lpcfg.single_flight = opt_.shared_l2_cache;
   lan_proxy_ = std::make_unique<proxy::GvfsProxy>(lpcfg, *lan_to_origin_);
   lan_proxy_->attach_block_cache(*lan_block_cache_);
 
@@ -211,7 +216,7 @@ std::unique_ptr<Testbed::Node> Testbed::build_node_(int index) {
   sim::Link* tun_up = up;
   sim::Link* tun_down = down;
   ssh::CipherSpec tun_cipher = cipher;
-  if (cached && opt_.second_level_lan_cache) {
+  if (cached && (opt_.second_level_lan_cache || opt_.shared_l2_cache)) {
     upstream_handler = lan_proxy_.get();
     tun_up = lan_up_.get();
     tun_down = lan_down_.get();
@@ -243,6 +248,7 @@ std::unique_ptr<Testbed::Node> Testbed::build_node_(int index) {
   pcfg.enable_meta = cached && opt_.enable_meta;
   if (cached) pcfg.prefetch_depth = opt_.prefetch_depth;
   pcfg.degraded_mode = opt_.degraded_proxy;
+  pcfg.async_writeback = opt_.enable_async_writeback;
   node->client_proxy = std::make_unique<proxy::GvfsProxy>(pcfg, *upstream_chan);
 
   node->client_proxy->register_metrics(registry_, tag + ".proxy.");
@@ -257,12 +263,12 @@ std::unique_ptr<Testbed::Node> Testbed::build_node_(int index) {
 
     node->file_cache = std::make_unique<cache::FileCache>(
         *node->disk, cache::FileCacheConfig{opt_.file_cache_bytes});
+    bool via_lan = opt_.second_level_lan_cache || opt_.shared_l2_cache;
     meta::RemoteFileEndpoint* endpoint =
-        opt_.second_level_lan_cache ? static_cast<meta::RemoteFileEndpoint*>(lan_endpoint_.get())
-                                    : server_endpoint_.get();
-    node->scp = std::make_unique<ssh::Scp>(
-        opt_.second_level_lan_cache ? *lan_down_ : *wan_down_, tun_cipher,
-        opt_.file_channel_streams);
+        via_lan ? static_cast<meta::RemoteFileEndpoint*>(lan_endpoint_.get())
+                : server_endpoint_.get();
+    node->scp = std::make_unique<ssh::Scp>(via_lan ? *lan_down_ : *wan_down_,
+                                           tun_cipher, opt_.file_channel_streams);
     node->file_channel = std::make_unique<meta::FileChannelClient>(
         *endpoint, *node->scp, *node->file_cache, nullptr, opt_.net.gzip);
     node->client_proxy->attach_file_channel(*node->file_channel, *node->file_cache);

@@ -54,6 +54,14 @@ struct TestbedOptions {
   bool enable_meta = true;          // client proxies honour meta-data files
   bool generate_image_meta = true;  // install_image() drops .vmss meta-data
   bool second_level_lan_cache = false;  // WAN-S3: LAN server caches for the cluster
+  // Shared read-only L2 block cache for cloning clusters: same topology as
+  // second_level_lan_cache, but the L2 proxy coalesces concurrent same-block
+  // misses (single-flight) so N cloning nodes fetch each block once.
+  bool shared_l2_cache = false;
+  // Client proxies batch dirty-block write-back: pipelined UNSTABLE WRITE
+  // bursts + one COMMIT per file via a background flusher, instead of one
+  // synchronous FILE_SYNC WRITE per block.
+  bool enable_async_writeback = false;
   cache::BlockCacheConfig block_cache;  // client proxy cache geometry (§4.1)
   u64 file_cache_bytes = 8_GiB;
   // §6 extensions: proxy read-ahead depth (0 = off) and GridFTP-style
@@ -130,6 +138,9 @@ class Testbed {
   [[nodiscard]] cache::ProxyDiskCache* block_cache(int node = 0);
   [[nodiscard]] cache::FileCache* file_cache(int node = 0);
   [[nodiscard]] nfs::NfsServer* server() { return server_.get(); }
+  // The cluster-shared L2 block-cache proxy (null unless the topology has
+  // one: second_level_lan_cache or shared_l2_cache).
+  [[nodiscard]] proxy::GvfsProxy* lan_proxy() { return lan_proxy_.get(); }
   [[nodiscard]] sim::Link* wan_up() { return wan_up_.get(); }
   [[nodiscard]] sim::Link* wan_down() { return wan_down_.get(); }
   // Fault-injection plumbing (null when enable_fault_injection is false).

@@ -81,6 +81,14 @@ class NfsServer final : public rpc::RpcHandler {
     drc_order_.clear();
   }
 
+  // RFC 1813 §3.3.7: the write verifier must change on every server reboot
+  // so clients detect that uncommitted UNSTABLE writes were lost and re-send
+  // them. Called from the crash-restart callback alongside clear_drc().
+  void roll_write_verifier() {
+    write_verifier_ = write_verifier_ * 0x9e3779b97f4a7c15ULL + 1;
+  }
+  [[nodiscard]] u64 write_verifier() const { return write_verifier_; }
+
   void register_metrics(metrics::Registry& r, const std::string& prefix) const {
     r.register_counter(prefix + "total_calls", &total_calls_);
     r.register_counter(prefix + "drc_hits", &drc_hits_);

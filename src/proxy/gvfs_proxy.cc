@@ -44,6 +44,14 @@ void GvfsProxy::reset_stats() {
   degraded_reads_.reset();
   queued_writebacks_.reset();
   replayed_writebacks_.reset();
+  coalesced_writebacks_.reset();
+  flush_enqueued_.reset();
+  flush_unstable_writes_.reset();
+  flush_commits_.reset();
+  flush_verifier_resends_.reset();
+  flush_queue_reads_.reset();
+  single_flight_leads_.reset();
+  single_flight_waits_.reset();
   outage_total_ = last_recovery_time_ = 0;
 }
 
@@ -185,6 +193,17 @@ Result<blob::BlobRef> GvfsProxy::get_block_(sim::Process& p, const Fh& fh, u64 b
     if (tracer_) tracer_->annotate(&p, cfg_.name, "block_cache_hit", p.now());
     return *hit;
   }
+  if (cfg_.async_writeback) {
+    // A dirty block evicted into the flush queue holds newer data than the
+    // server until the flusher lands it; fetching upstream would read stale
+    // bytes. Serve the queued data directly.
+    if (auto pending = flush_pending_block_(fh.key(), block)) {
+      flush_queue_reads_.inc();
+      if (upstream_down_) degraded_reads_.inc();
+      if (tracer_) tracer_->annotate(&p, cfg_.name, "flush_queue_read", p.now());
+      return *pending;
+    }
+  }
   if (upstream_down_) {
     // A dirty block may have been evicted into the write queue; its data
     // must stay readable while the upstream is unreachable.
@@ -195,6 +214,44 @@ Result<blob::BlobRef> GvfsProxy::get_block_(sim::Process& p, const Fh& fh, u64 b
     }
   }
   if (tracer_) tracer_->annotate(&p, cfg_.name, "block_cache_miss", p.now());
+
+  if (!cfg_.single_flight) return fetch_block_upstream_(p, fh, block, cred);
+
+  std::pair<u64, u64> key{fh.key(), block};
+  if (auto it = inflight_.find(key); it != inflight_.end()) {
+    // Another downstream reader is already fetching this block: join its
+    // fetch instead of issuing a duplicate upstream READ.
+    std::shared_ptr<InflightFetch> entry = it->second;
+    single_flight_waits_.inc();
+    if (tracer_) tracer_->annotate(&p, cfg_.name, "single_flight_join", p.now());
+    while (!entry->complete) p.wait(*entry->done);
+    if (!entry->status.is_ok()) return entry->status;
+    if (auto hit = block_cache_->lookup(p, id)) {
+      block_hits_.inc();
+      return *hit;
+    }
+    return entry->data;  // already evicted again: serve the fetched bytes
+  }
+  auto entry = std::make_shared<InflightFetch>();
+  entry->done = std::make_unique<sim::Signal>(p.kernel(), cfg_.name + "-single-flight");
+  inflight_.emplace(key, entry);
+  single_flight_leads_.inc();
+  Result<blob::BlobRef> r = fetch_block_upstream_(p, fh, block, cred);
+  entry->complete = true;
+  if (r.is_ok()) {
+    entry->data = *r;
+  } else {
+    entry->status = r.status();
+  }
+  inflight_.erase(key);
+  entry->done->notify_all();  // waiters hold the entry; the Signal outlives them
+  return r;
+}
+
+Result<blob::BlobRef> GvfsProxy::fetch_block_upstream_(sim::Process& p, const Fh& fh,
+                                                       u64 block,
+                                                       const rpc::Credential& cred) {
+  cache::BlockId id{fh.key(), block};
   auto rargs = std::make_shared<nfs::ReadArgs>();
   rargs->fh = fh;
   rargs->offset = block * cfg_.fetch_block;
@@ -270,6 +327,18 @@ Status GvfsProxy::cache_writeback_(sim::Process& p, const cache::BlockId& id,
                                    const blob::BlobRef& data) {
   auto it = key_to_fh_.find(id.file_key);
   if (it == key_to_fh_.end()) return err(ErrCode::kStale, "writeback: unknown fh");
+  // This block's bytes are newer than any copy parked for replay at the same
+  // offset; drop the stale entry so a reconnect replay (possibly triggered
+  // by this very write-back landing) cannot overwrite what we send now.
+  supersede_parked_write_(id.file_key, id.block * cfg_.fetch_block,
+                          data ? data->size() : 0);
+  if (cfg_.async_writeback) {
+    // Asynchronous write-back: park the block in the per-file flush queue;
+    // the background flusher drains it as pipelined UNSTABLE bursts + one
+    // COMMIT. The evicting reader pays no WAN round trip here.
+    enqueue_flush_(p, it->second, id.block, data);
+    return Status::ok();
+  }
   auto wargs = std::make_shared<nfs::WriteArgs>();
   wargs->fh = it->second;
   wargs->offset = id.block * cfg_.fetch_block;
@@ -278,12 +347,13 @@ Status GvfsProxy::cache_writeback_(sim::Process& p, const cache::BlockId& id,
   wargs->data = data;
   auto res = upstream_as_<nfs::WriteRes>(p, Proc::kWrite, wargs, session_cred_);
   if (!res.is_ok()) {
-    if (cfg_.degraded_mode && res.code() == ErrCode::kTimeout) {
-      // Upstream unreachable: the dirty block is leaving the cache, so park
-      // it in the replay queue instead of losing it (or the eviction).
-      write_queue_.push_back(
-          PendingWrite{it->second, id.block * cfg_.fetch_block, data});
-      queued_writebacks_.inc();
+    // Any transport-level failure while the upstream is unreachable (not
+    // just the first timeout — retries during an outage can surface other
+    // transport errors) parks the block: it is leaving the cache, so the
+    // replay queue is the only place its data survives.
+    if (cfg_.degraded_mode &&
+        (res.code() == ErrCode::kTimeout || upstream_down_)) {
+      queue_degraded_write_(it->second, id.block * cfg_.fetch_block, data);
       return Status::ok();
     }
     return res.status();
@@ -291,6 +361,199 @@ Status GvfsProxy::cache_writeback_(sim::Process& p, const cache::BlockId& id,
   if ((*res)->status != NfsStat::kOk) return err((*res)->status, "writeback write");
   if ((*res)->attr.attr) remember_attr_(it->second, *(*res)->attr.attr, p.now());
   return Status::ok();
+}
+
+// ------------------------------------------------- async write-back flusher --
+
+void GvfsProxy::enqueue_flush_(sim::Process& p, const nfs::Fh& fh, u64 block,
+                               const blob::BlobRef& data) {
+  u64 key = fh.key();
+  auto [it, inserted] = flush_queues_.try_emplace(key);
+  FlushQueue& q = it->second;
+  q.fh = fh;
+  if (q.blocks.insert_or_assign(block, data).second) q.order.push_back(block);
+  if (inserted) flush_file_order_.push_back(key);
+  flush_enqueued_.inc();
+  maybe_spawn_flusher_(p);
+}
+
+void GvfsProxy::maybe_spawn_flusher_(sim::Process& p) {
+  if (flusher_active_ || sync_drain_ || flush_queues_.empty()) return;
+  flusher_active_ = true;
+  p.kernel().spawn(cfg_.name + "-flusher", [this](sim::Process& fp) {
+    Status st = drain_flush_queues_(fp);
+    flusher_active_ = false;
+    if (!st.is_ok()) {
+      // Blocks were either parked in the degraded replay queue or put back
+      // in the flush queue; the next enqueue or signal retries them.
+      GVFS_WARN("proxy") << cfg_.name << ": flusher stalled ("
+                         << st.to_string() << ")";
+    }
+  });
+}
+
+Status GvfsProxy::drain_flush_queues_(sim::Process& p) {
+  while (!flush_file_order_.empty()) {
+    u64 key = flush_file_order_.front();
+    flush_file_order_.erase(flush_file_order_.begin());
+    auto it = flush_queues_.find(key);
+    if (it == flush_queues_.end()) continue;
+    // Extract the whole per-file queue before blocking: enqueues that land
+    // while this file's RPCs are in flight start a fresh queue, picked up
+    // by a later loop round (or the next drain).
+    FlushQueue q = std::move(it->second);
+    flush_queues_.erase(it);
+    Status st = flush_file_(p, q);
+    if (!st.is_ok()) return st;
+  }
+  return Status::ok();
+}
+
+Status GvfsProxy::flush_file_(sim::Process& p, const FlushQueue& q) {
+  // Keep the extracted (in-flight) data visible to concurrent degraded
+  // reads until it lands upstream or is re-queued.
+  draining_.emplace_back(q.fh.key(), &q);
+  struct DrainScope {
+    std::vector<std::pair<u64, const FlushQueue*>>& v;
+    ~DrainScope() { v.pop_back(); }
+  } scope{draining_};
+
+  // Park every block of the file in the degraded replay queue (replay uses
+  // FILE_SYNC, so durability is restored on reconnect).
+  auto park_all = [&] {
+    for (u64 b : q.order) {
+      queue_degraded_write_(q.fh, b * cfg_.fetch_block, q.blocks.at(b));
+    }
+  };
+
+  // Put the file back in the flush queue after a transport failure outside
+  // degraded mode; blocks already re-dirtied by newer enqueues win.
+  auto requeue_all = [&] {
+    auto [it, inserted] = flush_queues_.try_emplace(q.fh.key());
+    FlushQueue& nq = it->second;
+    nq.fh = q.fh;
+    for (u64 b : q.order) {
+      if (nq.blocks.emplace(b, q.blocks.at(b)).second) nq.order.push_back(b);
+    }
+    if (inserted) flush_file_order_.push_back(q.fh.key());
+  };
+
+  for (u32 attempt = 0; attempt < cfg_.flush_max_attempts; ++attempt) {
+    bool verf_mismatch = false;
+    u64 commit_verf = 0;
+    std::vector<u64> write_verfs;
+    write_verfs.reserve(q.order.size());
+
+    // Pipelined UNSTABLE WRITE bursts (same overlap machinery as prefetch).
+    for (std::size_t base = 0; base < q.order.size(); base += cfg_.flush_burst) {
+      std::size_t burst_end =
+          std::min(q.order.size(), base + static_cast<std::size_t>(cfg_.flush_burst));
+      std::vector<rpc::RpcCall> calls;
+      calls.reserve(burst_end - base);
+      for (std::size_t i = base; i < burst_end; ++i) {
+        u64 b = q.order[i];
+        auto wargs = std::make_shared<nfs::WriteArgs>();
+        wargs->fh = q.fh;
+        wargs->offset = b * cfg_.fetch_block;
+        const blob::BlobRef& data = q.blocks.at(b);
+        wargs->count = data ? static_cast<u32>(data->size()) : 0;
+        wargs->stable = nfs::StableHow::kUnstable;
+        wargs->data = data;
+        rpc::RpcCall c;
+        c.xid = next_xid_++;
+        c.prog = rpc::kNfsProgram;
+        c.vers = rpc::kNfsVersion3;
+        c.proc = static_cast<u32>(Proc::kWrite);
+        c.cred = session_cred_;
+        c.args = std::move(wargs);
+        calls.push_back(std::move(c));
+      }
+      calls_forwarded_.inc(calls.size());
+      std::vector<rpc::RpcReply> replies = upstream_.call_pipelined(p, calls);
+      for (std::size_t ri = 0; ri < replies.size(); ++ri) {
+        const rpc::RpcReply& reply = replies[ri];
+        if (!reply.status.is_ok()) {
+          if (reply.status.code() == ErrCode::kTimeout) note_upstream_timeout_(p.now());
+          if (cfg_.degraded_mode &&
+              (reply.status.code() == ErrCode::kTimeout || upstream_down_)) {
+            park_all();
+            return Status::ok();
+          }
+          requeue_all();
+          return reply.status;
+        }
+        auto res = rpc::message_cast<nfs::WriteRes>(reply.result);
+        if (!res) return err(ErrCode::kBadXdr, "unexpected flush write result");
+        if (res->status != NfsStat::kOk) return err(res->status, "flush write");
+        flush_unstable_writes_.inc();
+        write_verfs.push_back(res->verifier);
+        // A copy of this block parked by an earlier failed drain is now
+        // stale; drop it before note_upstream_ok_ can replay it over the
+        // bytes that just landed.
+        u64 sent_block = q.order[base + ri];
+        const blob::BlobRef& sent = q.blocks.at(sent_block);
+        supersede_parked_write_(q.fh.key(), sent_block * cfg_.fetch_block,
+                                sent ? sent->size() : 0);
+        if (res->attr.attr) remember_attr_(q.fh, *res->attr.attr, p.now());
+      }
+      note_upstream_ok_(p);
+    }
+
+    // One COMMIT covers the whole file's unstable writes.
+    auto cargs = std::make_shared<nfs::CommitArgs>();
+    cargs->fh = q.fh;
+    cargs->offset = 0;
+    cargs->count = 0;  // RFC 1813: 0 = commit everything
+    auto cres = upstream_as_<nfs::CommitRes>(p, Proc::kCommit, cargs, session_cred_);
+    if (!cres.is_ok()) {
+      if (cfg_.degraded_mode &&
+          (cres.code() == ErrCode::kTimeout || upstream_down_)) {
+        // Uncommitted UNSTABLE data on an unreachable server must be
+        // treated as lost: re-park everything for FILE_SYNC replay.
+        park_all();
+        return Status::ok();
+      }
+      requeue_all();
+      return cres.status();
+    }
+    if ((*cres)->status != NfsStat::kOk) return err((*cres)->status, "flush commit");
+    flush_commits_.inc();
+    commit_verf = (*cres)->verifier;
+    for (u64 v : write_verfs) {
+      if (v != commit_verf) {
+        verf_mismatch = true;
+        break;
+      }
+    }
+    if (!verf_mismatch) {
+      if ((*cres)->attr.attr) remember_attr_(q.fh, *(*cres)->attr.attr, p.now());
+      return Status::ok();
+    }
+    // The server rebooted between the WRITEs and the COMMIT: every
+    // unstable write may have been lost with its volatile state. Re-send
+    // the whole file (RFC 1813 §3.3.7 writeverf protocol).
+    flush_verifier_resends_.inc();
+    if (tracer_) tracer_->annotate(&p, cfg_.name, "flush_verf_resend", p.now());
+  }
+  requeue_all();
+  return err(ErrCode::kIo, "flush: verifier kept changing (server reboot loop)");
+}
+
+std::optional<blob::BlobRef> GvfsProxy::flush_pending_block_(u64 file_key,
+                                                             u64 block) const {
+  if (auto it = flush_queues_.find(file_key); it != flush_queues_.end()) {
+    if (auto b = it->second.blocks.find(block); b != it->second.blocks.end()) {
+      return b->second;
+    }
+  }
+  // Newest extraction last: scan in-flight drains in reverse.
+  for (auto it = draining_.rbegin(); it != draining_.rend(); ++it) {
+    if (it->first != file_key) continue;
+    if (auto b = it->second->blocks.find(block); b != it->second->blocks.end()) {
+      return b->second;
+    }
+  }
+  return std::nullopt;
 }
 
 // ---------------------------------------------------------- degraded mode --
@@ -337,6 +600,7 @@ Status GvfsProxy::replay_write_queue_(sim::Process& p) {
   }
   write_queue_.erase(write_queue_.begin(),
                      write_queue_.begin() + static_cast<std::ptrdiff_t>(done));
+  rebuild_write_queue_index_();
   replaying_ = false;
   if (st.is_ok() && write_queue_.empty() && upstream_down_) {
     upstream_down_ = false;
@@ -346,14 +610,88 @@ Status GvfsProxy::replay_write_queue_(sim::Process& p) {
   return st;
 }
 
+void GvfsProxy::queue_degraded_write_(const nfs::Fh& fh, u64 offset,
+                                      const blob::BlobRef& data) {
+  std::pair<u64, u64> key{fh.key(), offset};
+  if (auto it = write_queue_index_.find(key); it != write_queue_index_.end()) {
+    // Coalesce: a newer write to the same (fh, offset) supersedes the queued
+    // one — replaying both would waste a WAN round trip on dead data.
+    PendingWrite& w = write_queue_[it->second];
+    u64 old_n = w.data ? w.data->size() : 0;
+    u64 new_n = data ? data->size() : 0;
+    if (new_n >= old_n) {
+      w.data = data;
+    } else {
+      // Shorter overwrite: keep the old tail beyond the new data so the
+      // coalesced entry still covers every byte the queue promised.
+      blob::ExtentStore merged;
+      merged.truncate(old_n);
+      merged.write_blob(0, w.data, 0, old_n);
+      merged.write_blob(0, data, 0, new_n);
+      w.data = merged.snapshot();
+    }
+    coalesced_writebacks_.inc();
+    return;
+  }
+  write_queue_index_.emplace(key, write_queue_.size());
+  write_queue_.push_back(PendingWrite{fh, offset, data});
+  queued_writebacks_.inc();
+}
+
+void GvfsProxy::supersede_parked_write_(u64 file_key, u64 offset, u64 n) {
+  auto it = write_queue_index_.find({file_key, offset});
+  if (it == write_queue_index_.end()) return;
+  const PendingWrite& w = write_queue_[it->second];
+  u64 parked_n = w.data ? w.data->size() : 0;
+  if (parked_n > n) return;  // parked entry covers bytes the new data lacks
+  write_queue_.erase(write_queue_.begin() +
+                     static_cast<std::ptrdiff_t>(it->second));
+  rebuild_write_queue_index_();
+  coalesced_writebacks_.inc();
+}
+
+void GvfsProxy::rebuild_write_queue_index_() {
+  write_queue_index_.clear();
+  for (std::size_t i = 0; i < write_queue_.size(); ++i) {
+    // Later entries win, matching the index's coalescing invariant.
+    write_queue_index_[{write_queue_[i].fh.key(), write_queue_[i].offset}] = i;
+  }
+}
+
 std::optional<blob::BlobRef> GvfsProxy::queued_block_(u64 file_key,
                                                       u64 block) const {
-  // Newest queued write wins (later entries overwrite earlier ones).
-  u64 offset = block * cfg_.fetch_block;
-  for (auto it = write_queue_.rbegin(); it != write_queue_.rend(); ++it) {
-    if (it->fh.key() == file_key && it->offset == offset) return it->data;
+  // Assemble the block from every queued write overlapping its byte range —
+  // degraded writes are queued at their raw downstream offset, which need
+  // not be block-aligned. Newest write wins on overlap, so apply in queue
+  // (arrival) order.
+  u64 block_lo = block * cfg_.fetch_block;
+  u64 block_hi = block_lo + cfg_.fetch_block;
+  std::vector<std::size_t> indices;
+  for (auto it = write_queue_index_.lower_bound({file_key, 0});
+       it != write_queue_index_.end() && it->first.first == file_key; ++it) {
+    indices.push_back(it->second);
   }
-  return std::nullopt;
+  std::sort(indices.begin(), indices.end());
+  blob::ExtentStore assembled;
+  assembled.truncate(cfg_.fetch_block);
+  u64 covered_hi = 0;
+  bool any = false;
+  for (std::size_t i : indices) {
+    const PendingWrite& w = write_queue_[i];
+    u64 n = w.data ? w.data->size() : 0;
+    u64 lo = std::max(block_lo, w.offset);
+    u64 hi = std::min(block_hi, w.offset + n);
+    if (lo >= hi) continue;
+    assembled.write_blob(lo - block_lo, w.data, lo - w.offset, hi - lo);
+    covered_hi = std::max(covered_hi, hi - block_lo);
+    any = true;
+  }
+  if (!any) return std::nullopt;
+  // Bytes inside the block but not covered by any queued write read as
+  // zeros: the cache was invalidated when the write was queued, so this is
+  // the best available degraded answer (documented best-effort).
+  assembled.truncate(covered_hi);
+  return assembled.snapshot();
 }
 
 std::optional<vfs::Attr> GvfsProxy::stale_attr_(const nfs::Fh& fh) const {
@@ -643,8 +981,7 @@ rpc::RpcReply GvfsProxy::handle_write_(sim::Process& p, const rpc::RpcCall& call
       }
     } else if (cfg_.degraded_mode && reply.status.code() == ErrCode::kTimeout) {
       // Degraded write-through: acknowledge locally, queue for replay.
-      write_queue_.push_back(PendingWrite{a.fh, a.offset, a.data});
-      queued_writebacks_.inc();
+      queue_degraded_write_(a.fh, a.offset, a.data);
       block_cache_->invalidate_file(key);
       size_override_[key] =
           std::max(effective_size_(a.fh, cached_attr_(a.fh, p.now())),
@@ -758,6 +1095,15 @@ rpc::RpcReply GvfsProxy::handle_commit_(sim::Process& p, const rpc::RpcCall& cal
     res->verifier = 0x67766673ULL;
     return rpc::make_reply(call, res);
   }
+  if (write_back_mode && !cfg_.absorb_commit) {
+    // Honest COMMIT: the client asked for durability, so dirty blocks staged
+    // in the cache (and, under async write-back, in the flush queue) must
+    // reach the server before the COMMIT is forwarded.
+    Status st = block_cache_->write_back_file(p, a.fh.key());
+    if (st.is_ok() && cfg_.async_writeback) st = drain_flush_queues_(p);
+    if (!st.is_ok()) return rpc::make_error_reply(call, st);
+    commit_pending_.erase(a.fh.key());
+  }
   rpc::RpcReply reply = forward_(p, call);
   if (cfg_.degraded_mode && reply.status.code() == ErrCode::kTimeout) {
     // The data this COMMIT covers sits in the replay queue; acknowledging it
@@ -775,11 +1121,13 @@ rpc::RpcReply GvfsProxy::handle_setattr_(sim::Process& p, const rpc::RpcCall& ca
                                          const nfs::SetattrArgs& a) {
   u64 key = a.fh.key();
   if (a.sattr.sa.set_size) {
-    // Truncation: staged data past the new EOF must not survive.
+    // Truncation: staged data past the new EOF must not survive, and the
+    // file's read-ahead window no longer describes cached blocks.
     if (block_cache_ != nullptr) block_cache_->invalidate_file(key);
     if (file_cache_ != nullptr) file_cache_->invalidate(key);
     size_override_.erase(key);
     attr_cache_.erase(key);
+    profiles_.erase(key);
   }
   rpc::RpcReply reply = forward_(p, call);
   if (reply.status.is_ok()) {
@@ -795,7 +1143,14 @@ rpc::RpcReply GvfsProxy::handle_setattr_(sim::Process& p, const rpc::RpcCall& ca
 
 Status GvfsProxy::signal_write_back(sim::Process& p) {
   if (block_cache_ != nullptr) {
-    GVFS_RETURN_IF_ERROR(block_cache_->write_back_all(p));
+    // The middleware wants durability now: drain inline instead of racing a
+    // background flusher (sync_drain_ suppresses spawns from the evictions
+    // write_back_all triggers).
+    sync_drain_ = true;
+    Status st = block_cache_->write_back_all(p);
+    if (st.is_ok() && cfg_.async_writeback) st = drain_flush_queues_(p);
+    sync_drain_ = false;
+    GVFS_RETURN_IF_ERROR(st);
   }
   if (file_cache_ != nullptr) {
     GVFS_RETURN_IF_ERROR(file_cache_->write_back_all(p));
@@ -810,6 +1165,9 @@ void GvfsProxy::drop_soft_state() {
   metas_.clear();
   meta_negative_.clear();
   commit_pending_.clear();
+  // Stale ahead_until/run would make the refill guard suppress read-ahead
+  // on the next cold pass over the same file.
+  profiles_.clear();
 }
 
 Status GvfsProxy::signal_flush(sim::Process& p) {
@@ -820,6 +1178,10 @@ Status GvfsProxy::signal_flush(sim::Process& p) {
   size_override_.clear();
   metas_.clear();
   meta_negative_.clear();
+  // Everything cached was just invalidated: a profile's read-ahead window
+  // refers to blocks that no longer exist, so reset it or the refill guard
+  // degrades the next session to synchronous single-block misses.
+  profiles_.clear();
   return Status::ok();
 }
 

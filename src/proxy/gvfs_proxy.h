@@ -12,9 +12,12 @@
 #pragma once
 
 #include <functional>
+#include <map>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "cache/block_cache.h"
 #include "cache/file_cache.h"
@@ -51,6 +54,26 @@ struct ProxyConfig {
   // permits it), queue failed write-backs, replay the queue on reconnect.
   // Off by default — without it upstream timeouts surface as errors.
   bool degraded_mode = false;
+
+  // Asynchronous batched write-back: instead of one blocking FILE_SYNC
+  // WRITE per dirty block, evicted / signalled dirty blocks enter a
+  // per-file flush queue drained by a background flusher process as
+  // pipelined UNSTABLE WRITE bursts followed by one COMMIT per file (the
+  // NFSv3 safe-asynchronous-write protocol). The COMMIT verifier is checked
+  // against every WRITE's verifier; a mismatch means the server rebooted
+  // mid-flush and the whole file is re-sent. Off by default — the write
+  // path stays byte-identical to the synchronous proxy.
+  bool async_writeback = false;
+  // Max WRITE calls per pipelined burst while draining a file's queue.
+  u32 flush_burst = 32;
+  // Verifier-mismatch re-send attempts per file before giving up.
+  u32 flush_max_attempts = 3;
+
+  // Single-flight miss coalescing: concurrent downstream readers of the
+  // same uncached block share one upstream fetch instead of issuing
+  // duplicate READs. Only matters when several downstream clients mount
+  // through one shared cache proxy; off by default.
+  bool single_flight = false;
 };
 
 class GvfsProxy final : public rpc::RpcHandler {
@@ -105,7 +128,25 @@ class GvfsProxy final : public rpc::RpcHandler {
   [[nodiscard]] u64 degraded_reads() const { return degraded_reads_.value(); }
   [[nodiscard]] u64 queued_writebacks() const { return queued_writebacks_.value(); }
   [[nodiscard]] u64 replayed_writebacks() const { return replayed_writebacks_.value(); }
+  [[nodiscard]] u64 coalesced_writebacks() const { return coalesced_writebacks_.value(); }
   [[nodiscard]] u64 pending_writebacks() const { return write_queue_.size(); }
+
+  // ---- async flusher / single-flight metrics -------------------------------
+  [[nodiscard]] u64 flush_enqueued_blocks() const { return flush_enqueued_.value(); }
+  [[nodiscard]] u64 flush_unstable_writes() const { return flush_unstable_writes_.value(); }
+  [[nodiscard]] u64 flush_commits() const { return flush_commits_.value(); }
+  [[nodiscard]] u64 flush_verifier_resends() const { return flush_verifier_resends_.value(); }
+  [[nodiscard]] u64 flush_queue_reads() const { return flush_queue_reads_.value(); }
+  [[nodiscard]] u64 pending_flush_blocks() const {
+    u64 n = 0;
+    // gvfs-lint: allow(unordered-iteration) commutative sum; order cannot escape
+    for (const auto& [key, q] : flush_queues_) n += q.order.size();
+    return n;
+  }
+  // Upstream fetches this proxy led on behalf of concurrent readers / the
+  // number of reader fetches coalesced onto another reader's in-flight one.
+  [[nodiscard]] u64 single_flight_leads() const { return single_flight_leads_.value(); }
+  [[nodiscard]] u64 single_flight_waits() const { return single_flight_waits_.value(); }
   // Virtual time spent with the upstream marked unreachable (closed outages).
   [[nodiscard]] SimDuration outage_time() const { return outage_total_; }
   // Duration of the last outage, first timeout -> queue fully replayed.
@@ -123,6 +164,14 @@ class GvfsProxy final : public rpc::RpcHandler {
     r.register_counter(prefix + "degraded_reads", &degraded_reads_);
     r.register_counter(prefix + "queued_writebacks", &queued_writebacks_);
     r.register_counter(prefix + "replayed_writebacks", &replayed_writebacks_);
+    r.register_counter(prefix + "coalesced_writebacks", &coalesced_writebacks_);
+    r.register_counter(prefix + "flush_enqueued_blocks", &flush_enqueued_);
+    r.register_counter(prefix + "flush_unstable_writes", &flush_unstable_writes_);
+    r.register_counter(prefix + "flush_commits", &flush_commits_);
+    r.register_counter(prefix + "flush_verifier_resends", &flush_verifier_resends_);
+    r.register_counter(prefix + "flush_queue_reads", &flush_queue_reads_);
+    r.register_counter(prefix + "single_flight_leads", &single_flight_leads_);
+    r.register_counter(prefix + "single_flight_waits", &single_flight_waits_);
   }
 
   // Annotate cache-hit / forward / degraded outcomes onto the caller's open
@@ -168,6 +217,9 @@ class GvfsProxy final : public rpc::RpcHandler {
   // cache; returns its data (may be short at EOF).
   Result<blob::BlobRef> get_block_(sim::Process& p, const nfs::Fh& fh, u64 block,
                                    const rpc::Credential& cred);
+  // The cache-miss upstream READ (single-flight wraps this).
+  Result<blob::BlobRef> fetch_block_upstream_(sim::Process& p, const nfs::Fh& fh,
+                                              u64 block, const rpc::Credential& cred);
   // Access-profile bookkeeping + pipelined read-ahead when a sequential run
   // is detected.
   void maybe_prefetch_(sim::Process& p, const nfs::Fh& fh, u64 block, u64 file_size,
@@ -175,7 +227,35 @@ class GvfsProxy final : public rpc::RpcHandler {
   Status cache_writeback_(sim::Process& p, const cache::BlockId& id,
                           const blob::BlobRef& data);
 
+  // -- async write-back flusher ----------------------------------------------
+  // One file's pending dirty blocks awaiting the flusher, newest data wins.
+  struct FlushQueue {
+    nfs::Fh fh;
+    std::vector<u64> order;                         // block indices, FIFO
+    std::unordered_map<u64, blob::BlobRef> blocks;  // block -> newest data
+  };
+  void enqueue_flush_(sim::Process& p, const nfs::Fh& fh, u64 block,
+                      const blob::BlobRef& data);
+  void maybe_spawn_flusher_(sim::Process& p);
+  // Drain every queued file (FIFO by first enqueue). Re-entrant: a file is
+  // extracted before its RPCs are issued, so the background flusher and a
+  // synchronous signal_write_back can drain concurrently.
+  Status drain_flush_queues_(sim::Process& p);
+  // Pipelined UNSTABLE bursts + one COMMIT; verifier-checked re-send.
+  Status flush_file_(sim::Process& p, const FlushQueue& q);
+  // Pending (or in-flight) flush data for a block, newest wins.
+  [[nodiscard]] std::optional<blob::BlobRef> flush_pending_block_(u64 file_key,
+                                                                 u64 block) const;
+
   // -- degraded mode ---------------------------------------------------------
+  // Enqueue (coalescing, newest wins) a write for replay after the outage.
+  void queue_degraded_write_(const nfs::Fh& fh, u64 offset,
+                             const blob::BlobRef& data);
+  // Drop a parked write fully covered by newer data that is about to head
+  // upstream — otherwise the replay triggered by that very write's success
+  // would put the stale parked bytes back over it.
+  void supersede_parked_write_(u64 file_key, u64 offset, u64 n);
+  void rebuild_write_queue_index_();
   // Record an upstream timeout (opens an outage) / a success (closes it once
   // the queue drains).
   void note_upstream_timeout_(SimTime now);
@@ -236,6 +316,10 @@ class GvfsProxy final : public rpc::RpcHandler {
     blob::BlobRef data;
   };
   std::vector<PendingWrite> write_queue_;
+  // (file_key, offset) -> index into write_queue_; repeated writes to the
+  // same offset coalesce in place (newest wins) and degraded reads walk one
+  // file's entries in offset order instead of scanning the whole queue.
+  std::map<std::pair<u64, u64>, std::size_t> write_queue_index_;
   bool upstream_down_ = false;
   bool replaying_ = false;
   SimTime outage_started_ = 0;
@@ -244,6 +328,32 @@ class GvfsProxy final : public rpc::RpcHandler {
   metrics::Counter degraded_reads_;
   metrics::Counter queued_writebacks_;
   metrics::Counter replayed_writebacks_;
+  metrics::Counter coalesced_writebacks_;
+
+  // ---- async write-back flusher state --------------------------------------
+  std::unordered_map<u64, FlushQueue> flush_queues_;  // file_key
+  std::vector<u64> flush_file_order_;                 // first-enqueue FIFO
+  // Files whose extracted queue is mid-flush (RPCs in flight); their data
+  // must stay readable until the flush lands or the blocks are re-queued.
+  std::vector<std::pair<u64, const FlushQueue*>> draining_;
+  bool flusher_active_ = false;
+  bool sync_drain_ = false;  // signal_write_back drains inline; don't spawn
+  metrics::Counter flush_enqueued_;
+  metrics::Counter flush_unstable_writes_;
+  metrics::Counter flush_commits_;
+  metrics::Counter flush_verifier_resends_;
+  metrics::Counter flush_queue_reads_;
+
+  // ---- single-flight miss coalescing ---------------------------------------
+  struct InflightFetch {
+    std::unique_ptr<sim::Signal> done;
+    bool complete = false;
+    Status status = Status::ok();
+    blob::BlobRef data;
+  };
+  std::map<std::pair<u64, u64>, std::shared_ptr<InflightFetch>> inflight_;
+  metrics::Counter single_flight_leads_;
+  metrics::Counter single_flight_waits_;
 
   u32 next_xid_ = 0x70000000;
   metrics::Counter calls_received_;

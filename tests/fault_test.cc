@@ -648,6 +648,241 @@ TEST(FaultE2E, DegradedProxyServesCacheAndReplaysWrites) {
   EXPECT_GT(proxy->last_recovery_time(), 0);
 }
 
+TEST(FaultE2E, NonAlignedDegradedWriteStaysReadable) {
+  // A degraded write queues its raw downstream offset; 12 KiB is page-aligned
+  // for the kernel client but NOT 32 KiB-block-aligned for the proxy, so an
+  // exact-offset match would make the queued data invisible to reads.
+  TestbedOptions opt;
+  opt.scenario = Scenario::kWanCached;
+  opt.generate_image_meta = false;
+  opt.write_policy = cache::WritePolicy::kWriteThrough;
+  opt.enable_fault_injection = true;
+  opt.degraded_proxy = true;
+  opt.fault.partitions.push_back(sim::FaultWindow{30 * kSecond, 90 * kSecond});
+  opt.retry.timeout = 250 * kMillisecond;
+  opt.retry.max_retransmits = 2;
+  Testbed bed(opt);
+  blob::BlobRef content = blob::make_synthetic(31, 1_MiB, 0.2, 2.0);
+  ASSERT_TRUE(bed.image_fs().put_file(bed.image_dir() + "/img", content).is_ok());
+  blob::BlobRef patch = blob::make_synthetic(32, 8_KiB, 0.0, 1.0);
+
+  bed.kernel().run_process("session", [&](sim::Process& p) {
+    ASSERT_TRUE(bed.mount(p).is_ok());
+    auto warm = bed.image_session().read_all(p, "/img");
+    ASSERT_TRUE(warm.is_ok());
+    ASSERT_LT(p.now(), 30 * kSecond);
+
+    p.delay_until(40 * kSecond);
+    ASSERT_TRUE(bed.image_session().write(p, "/img", 12_KiB, patch).is_ok());
+    ASSERT_TRUE(bed.nfs_client()->flush(p).is_ok());
+    EXPECT_TRUE(bed.client_proxy()->upstream_down());
+    EXPECT_GT(bed.client_proxy()->queued_writebacks(), 0u);
+
+    // Read-your-writes through the degraded proxy: the queued 12 KiB-offset
+    // write must be served by byte-range overlap with block 0.
+    bed.nfs_client()->drop_caches();
+    auto back = bed.image_session().read(p, "/img", 12_KiB, 8_KiB);
+    ASSERT_TRUE(back.is_ok()) << back.status().to_string();
+    EXPECT_EQ(blob::content_hash(**back), blob::content_hash(*patch));
+
+    // Heal and verify the patch reached the server at its raw offset.
+    p.delay_until(100 * kSecond);
+    ASSERT_TRUE(bed.client_proxy()->signal_reconnect(p).is_ok());
+    bed.nfs_client()->drop_caches();
+    bed.block_cache()->invalidate_all();
+    auto healed = bed.image_session().read(p, "/img", 12_KiB, 8_KiB);
+    ASSERT_TRUE(healed.is_ok());
+    EXPECT_EQ(blob::content_hash(**healed), blob::content_hash(*patch));
+  });
+  EXPECT_EQ(bed.kernel().failed_processes(), 0) << bed.kernel().failed_names_joined();
+  EXPECT_EQ(bed.client_proxy()->pending_writebacks(), 0u);
+}
+
+TEST(FaultE2E, RepeatedDegradedWritesCoalesceInQueue) {
+  TestbedOptions opt;
+  opt.scenario = Scenario::kWanCached;
+  opt.generate_image_meta = false;
+  opt.write_policy = cache::WritePolicy::kWriteThrough;
+  opt.enable_fault_injection = true;
+  opt.degraded_proxy = true;
+  opt.fault.partitions.push_back(sim::FaultWindow{30 * kSecond, 120 * kSecond});
+  opt.retry.timeout = 250 * kMillisecond;
+  opt.retry.max_retransmits = 2;
+  Testbed bed(opt);
+  blob::BlobRef content = blob::make_synthetic(33, 256_KiB, 0.2, 2.0);
+  ASSERT_TRUE(bed.image_fs().put_file(bed.image_dir() + "/img", content).is_ok());
+  blob::BlobRef last_patch;
+
+  bed.kernel().run_process("session", [&](sim::Process& p) {
+    ASSERT_TRUE(bed.mount(p).is_ok());
+    ASSERT_TRUE(bed.image_session().read_all(p, "/img").is_ok());
+    ASSERT_LT(p.now(), 30 * kSecond);
+
+    // Three writes to the same (fh, offset) during the outage: one queue
+    // entry, coalesced in place, newest data winning.
+    p.delay_until(40 * kSecond);
+    for (u64 i = 0; i < 3; ++i) {
+      last_patch = blob::make_synthetic(40 + i, 32_KiB, 0.0, 1.0);
+      ASSERT_TRUE(bed.image_session().write(p, "/img", 0, last_patch).is_ok());
+      ASSERT_TRUE(bed.nfs_client()->flush(p).is_ok());
+    }
+    EXPECT_EQ(bed.client_proxy()->queued_writebacks(), 1u);
+    EXPECT_EQ(bed.client_proxy()->coalesced_writebacks(), 2u);
+    EXPECT_EQ(bed.client_proxy()->pending_writebacks(), 1u);
+
+    // Replay sends exactly one (coalesced) write, carrying the newest data.
+    p.delay_until(130 * kSecond);
+    ASSERT_TRUE(bed.client_proxy()->signal_reconnect(p).is_ok());
+    bed.nfs_client()->drop_caches();
+    bed.block_cache()->invalidate_all();
+    auto back = bed.image_session().read(p, "/img", 0, 32_KiB);
+    ASSERT_TRUE(back.is_ok());
+    EXPECT_EQ(blob::content_hash(**back), blob::content_hash(*last_patch));
+  });
+  EXPECT_EQ(bed.kernel().failed_processes(), 0) << bed.kernel().failed_names_joined();
+  EXPECT_EQ(bed.client_proxy()->replayed_writebacks(), 1u);
+  EXPECT_EQ(bed.client_proxy()->pending_writebacks(), 0u);
+}
+
+// ---- write-back parking & verifier protocol (stub-channel stacks) -----------
+
+// Fails WRITE calls while armed: the first failure is a kTimeout (opens the
+// outage), later ones surface a different transport error (kClosed) — the
+// shape retries produce mid-outage.
+struct WriteFailChannel final : rpc::RpcChannel {
+  explicit WriteFailChannel(rpc::RpcChannel& in) : inner(in) {}
+  rpc::RpcChannel& inner;
+  int fails_left = 0;
+  bool first = true;
+  rpc::RpcReply call(sim::Process& p, const rpc::RpcCall& c) override {
+    if (fails_left > 0 && c.proc == static_cast<u32>(nfs::Proc::kWrite)) {
+      --fails_left;
+      ErrCode code = first ? ErrCode::kTimeout : ErrCode::kClosed;
+      first = false;
+      return rpc::make_error_reply(c, err(code, "synthetic outage"));
+    }
+    return inner.call(p, c);
+  }
+};
+
+// Simulates a server reboot between a flush's UNSTABLE WRITEs and its COMMIT
+// by rolling the write verifier just before the first COMMIT lands.
+struct RebootBeforeCommitChannel final : rpc::RpcChannel {
+  RebootBeforeCommitChannel(rpc::RpcChannel& in, nfs::NfsServer& srv)
+      : inner(in), server(srv) {}
+  rpc::RpcChannel& inner;
+  nfs::NfsServer& server;
+  bool armed = true;
+  rpc::RpcReply call(sim::Process& p, const rpc::RpcCall& c) override {
+    if (armed && c.proc == static_cast<u32>(nfs::Proc::kCommit)) {
+      armed = false;
+      server.roll_write_verifier();
+    }
+    return inner.call(p, c);
+  }
+};
+
+struct MiniProxyStack {
+  sim::SimKernel kernel;
+  vfs::MemFs fs;
+  sim::DiskModel server_disk{kernel, "sd", sim::DiskConfig{}};
+  nfs::NfsServer server{kernel, fs, server_disk, nfs::NfsServerConfig{}};
+  rpc::LinkChannel link{server, nullptr, nullptr, 10 * kMicrosecond};
+  sim::DiskModel client_disk{kernel, "cd", sim::DiskConfig{}};
+
+  static cache::BlockCacheConfig cache_cfg() {
+    cache::BlockCacheConfig cfg;
+    cfg.capacity_bytes = 8_MiB;
+    cfg.block_size = 32_KiB;
+    cfg.num_banks = 4;
+    cfg.associativity = 8;
+    return cfg;
+  }
+  static rpc::Credential cred() {
+    rpc::Credential c;
+    c.uid = 1234;
+    c.gid = 1234;
+    return c;
+  }
+  static nfs::NfsClientConfig client_cfg() {
+    nfs::NfsClientConfig cfg;
+    cfg.rsize = cfg.wsize = 32_KiB;
+    return cfg;
+  }
+
+  MiniProxyStack() { EXPECT_TRUE(server.add_export("/exports").is_ok()); }
+};
+
+TEST(WritebackParking, EvictionParksOnAnyTransportErrorWhileDegraded) {
+  MiniProxyStack f;
+  WriteFailChannel flaky(f.link);
+  cache::ProxyDiskCache cache(f.client_disk, MiniProxyStack::cache_cfg());
+  proxy::ProxyConfig pcfg;
+  pcfg.name = "degraded-proxy";
+  pcfg.enable_meta = false;
+  pcfg.degraded_mode = true;
+  proxy::GvfsProxy proxy(pcfg, flaky);
+  proxy.attach_block_cache(cache);
+  rpc::LinkChannel loop(proxy, nullptr, nullptr, 15 * kMicrosecond);
+  nfs::NfsClient client(loop, MiniProxyStack::cred(), MiniProxyStack::client_cfg());
+
+  auto content = blob::make_synthetic(50, 64_KiB, 0, 2.0);
+  ASSERT_TRUE(f.fs.put_file("/exports/f", blob::make_zero(64_KiB)).is_ok());
+  f.kernel.run_process("t", [&](sim::Process& p) {
+    ASSERT_TRUE(client.mount(p, "/exports").is_ok());
+    ASSERT_TRUE(client.write(p, "/f", 0, content).is_ok());
+    ASSERT_TRUE(client.flush(p).is_ok());
+    EXPECT_EQ(cache.dirty_blocks(), 2u);
+    // Both write-backs fail: kTimeout opens the outage, kClosed follows.
+    // Both blocks must end up parked in the replay queue, not lost.
+    flaky.fails_left = 2;
+    ASSERT_TRUE(proxy.signal_write_back(p).is_ok());
+    EXPECT_TRUE(proxy.upstream_down());
+    EXPECT_EQ(proxy.queued_writebacks(), 2u);
+    EXPECT_EQ(proxy.pending_writebacks(), 2u);
+    // Heal: replay drains the queue with FILE_SYNC writes.
+    ASSERT_TRUE(proxy.signal_reconnect(p).is_ok());
+    EXPECT_EQ(proxy.replayed_writebacks(), 2u);
+    EXPECT_EQ(proxy.pending_writebacks(), 0u);
+    EXPECT_FALSE(proxy.upstream_down());
+  });
+  EXPECT_EQ(f.kernel.failed_processes(), 0) << f.kernel.failed_names_joined();
+  EXPECT_EQ(blob::content_hash(**f.fs.get_file("/exports/f")),
+            blob::content_hash(*content));
+}
+
+TEST(WritebackVerifier, RebootBetweenWritesAndCommitTriggersResend) {
+  MiniProxyStack f;
+  RebootBeforeCommitChannel reboot(f.link, f.server);
+  cache::ProxyDiskCache cache(f.client_disk, MiniProxyStack::cache_cfg());
+  proxy::ProxyConfig pcfg;
+  pcfg.name = "async-proxy";
+  pcfg.enable_meta = false;
+  pcfg.async_writeback = true;
+  proxy::GvfsProxy proxy(pcfg, reboot);
+  proxy.attach_block_cache(cache);
+  rpc::LinkChannel loop(proxy, nullptr, nullptr, 15 * kMicrosecond);
+  nfs::NfsClient client(loop, MiniProxyStack::cred(), MiniProxyStack::client_cfg());
+
+  auto content = blob::make_synthetic(51, 256_KiB, 0, 2.0);
+  ASSERT_TRUE(f.fs.put_file("/exports/f", blob::make_zero(256_KiB)).is_ok());
+  f.kernel.run_process("t", [&](sim::Process& p) {
+    ASSERT_TRUE(client.mount(p, "/exports").is_ok());
+    ASSERT_TRUE(client.write(p, "/f", 0, content).is_ok());
+    ASSERT_TRUE(client.flush(p).is_ok());
+    ASSERT_TRUE(proxy.signal_write_back(p).is_ok());
+  });
+  EXPECT_EQ(f.kernel.failed_processes(), 0) << f.kernel.failed_names_joined();
+  // The COMMIT's verifier mismatched the 8 UNSTABLE WRITEs' verifier, so the
+  // whole file was re-sent and committed a second time.
+  EXPECT_EQ(proxy.flush_verifier_resends(), 1u);
+  EXPECT_EQ(proxy.flush_unstable_writes(), 16u);
+  EXPECT_EQ(proxy.flush_commits(), 2u);
+  EXPECT_EQ(proxy.pending_flush_blocks(), 0u);
+  EXPECT_EQ(blob::content_hash(**f.fs.get_file("/exports/f")),
+            blob::content_hash(*content));
+}
+
 TEST(FaultE2E, CloneWorkloadSurvivesServerCrash) {
   TestbedOptions opt;
   opt.scenario = Scenario::kWanCached;

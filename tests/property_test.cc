@@ -145,6 +145,140 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(info.param.cache_bytes / 1_MiB) + "m";
     });
 
+// Fault-equivalence property: an async batched write-back stack riding out a
+// seeded outage timeline (partition + server crash, degraded parking, replay,
+// verifier re-sends) must converge to exactly the server bytes a faultless
+// write-through stack produces from the identical op stream.
+struct FaultOp {
+  SimDuration gap = 0;  // virtual-time delay before the op
+  int file = 0;
+  u64 offset = 0;  // block-aligned: full-block writes never fetch upstream
+  u64 len = 0;
+  u64 fill_seed = 0;
+  bool flush = false;  // flush the client instead of writing
+};
+
+class FaultEquivalence : public ::testing::TestWithParam<u64> {};
+
+TEST_P(FaultEquivalence, AsyncWritebackUnderFaultsMatchesWriteThrough) {
+  const u64 seed = GetParam();
+  SplitMix64 rng(seed);
+
+  // Pre-generate initial images and the op stream so both stacks consume
+  // byte-identical inputs regardless of how their timelines diverge.
+  std::vector<std::vector<u8>> init(3);
+  for (auto& f : init) {
+    f.resize(64_KiB + rng.next_below(160_KiB));
+    for (auto& b : f) b = static_cast<u8>(rng.next());
+  }
+  std::vector<FaultOp> ops;
+  for (int i = 0; i < 48; ++i) {
+    FaultOp op;
+    op.gap = (500 + rng.next_below(2000)) * kMillisecond;
+    op.file = static_cast<int>(rng.next_below(init.size()));
+    op.flush = rng.next_below(6) == 0;
+    u64 blocks = (init[op.file].size() + 32_KiB - 1) / 32_KiB;
+    op.offset = rng.next_below(blocks + 1) * 32_KiB;  // may extend the file
+    op.len = (1 + rng.next_below(3)) * 32_KiB;
+    op.fill_seed = rng.next();
+    ops.push_back(op);
+  }
+  // Ops span roughly [0, 72] s: one partition mid-run; odd seeds also crash
+  // the server (rebooting rolls the write verifier, so a flush caught
+  // between its UNSTABLE writes and COMMIT re-sends the file).
+  u64 part_start = 10 + rng.next_below(15);
+  u64 part_len = 15 + rng.next_below(20);
+
+  auto run_stack = [&](bool async_faulty) {
+    TestbedOptions opt;
+    opt.scenario = Scenario::kWanCached;
+    opt.generate_image_meta = false;
+    opt.block_cache.capacity_bytes = 1_MiB;  // tiny: evictions feed the flusher
+    opt.block_cache.num_banks = 4;
+    opt.block_cache.associativity = 4;
+    if (async_faulty) {
+      opt.write_policy = cache::WritePolicy::kWriteBack;
+      opt.enable_async_writeback = true;
+      opt.enable_fault_injection = true;
+      opt.degraded_proxy = true;
+      opt.fault_seed = seed;
+      opt.fault.partitions.push_back(
+          sim::FaultWindow{part_start * kSecond, (part_start + part_len) * kSecond});
+      if (seed % 2 == 1) {
+        opt.fault.crashes.push_back(
+            sim::FaultWindow{(part_start + part_len + 10) * kSecond,
+                             (part_start + part_len + 18) * kSecond});
+      }
+      opt.retry.timeout = 250 * kMillisecond;
+      opt.retry.max_retransmits = 2;  // soft mount: kTimeout reaches the proxy
+    } else {
+      opt.write_policy = cache::WritePolicy::kWriteThrough;
+    }
+    Testbed bed(opt);
+    for (std::size_t i = 0; i < init.size(); ++i) {
+      EXPECT_TRUE(bed.image_fs()
+                      .put_file(bed.image_dir() + "/f" + std::to_string(i),
+                                blob::make_bytes(init[i]))
+                      .is_ok());
+    }
+    bed.kernel().run_process("ops", [&](sim::Process& p) {
+      ASSERT_TRUE(bed.mount(p).is_ok());
+      auto& session = bed.image_session();
+      // Learn every name and attribute before the first fault window opens:
+      // a proxy can only serve degraded LOOKUP/GETATTR for files it has seen.
+      for (std::size_t i = 0; i < init.size(); ++i) {
+        ASSERT_TRUE(session.stat(p, "/f" + std::to_string(i)).is_ok());
+      }
+      for (const FaultOp& op : ops) {
+        p.delay(op.gap);
+        std::string path = "/f" + std::to_string(op.file);
+        if (op.flush) {
+          ASSERT_TRUE(session.flush(p).is_ok());
+          continue;
+        }
+        std::vector<u8> data(op.len);
+        SplitMix64 fill(op.fill_seed);
+        for (auto& b : data) b = static_cast<u8>(fill.next());
+        Status wst = session.write(p, path, op.offset, blob::make_bytes(data));
+        ASSERT_TRUE(wst.is_ok()) << path << " @" << op.offset << ": " << wst.to_string();
+      }
+      // Quiesce past every fault window, reconnect, and drain everything.
+      p.delay_until(150 * kSecond);
+      if (async_faulty) {
+        ASSERT_TRUE(bed.client_proxy()->signal_reconnect(p).is_ok());
+      }
+      ASSERT_TRUE(session.flush(p).is_ok());
+      ASSERT_TRUE(bed.signal_write_back(p).is_ok());
+    });
+    EXPECT_EQ(bed.kernel().failed_processes(), 0) << bed.kernel().failed_names_joined();
+    if (async_faulty) {
+      EXPECT_EQ(bed.client_proxy()->pending_writebacks(), 0u);
+      EXPECT_EQ(bed.client_proxy()->pending_flush_blocks(), 0u);
+    }
+    std::vector<std::vector<u8>> out(init.size());
+    for (std::size_t i = 0; i < init.size(); ++i) {
+      auto f = bed.image_fs().get_file(bed.image_dir() + "/f" + std::to_string(i));
+      EXPECT_TRUE(f.is_ok());
+      out[i].resize((*f)->size());
+      (*f)->read(0, out[i]);
+    }
+    return out;
+  };
+
+  std::vector<std::vector<u8>> faulty = run_stack(true);
+  std::vector<std::vector<u8>> clean = run_stack(false);
+  for (std::size_t i = 0; i < init.size(); ++i) {
+    ASSERT_EQ(faulty[i].size(), clean[i].size()) << "/f" << i;
+    ASSERT_EQ(faulty[i], clean[i]) << "/f" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultEquivalence,
+                         ::testing::Values(11, 12, 13, 14, 15, 16),
+                         [](const ::testing::TestParamInfo<u64>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
 // Monotonicity property: enlarging the proxy cache never makes a re-read
 // workload slower (same seed, same ops).
 class CacheSizeMonotonic : public ::testing::TestWithParam<u64> {};

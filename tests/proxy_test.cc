@@ -371,6 +371,161 @@ TEST(Proxy, CascadedProxiesServeFromEitherLevel) {
   EXPECT_EQ(f.kernel.failed_processes(), 0) << f.kernel.failed_names_joined();
 }
 
+TEST(AsyncWriteback, SignalDrainsAsUnstableBurstsPlusOneCommit) {
+  ProxyFixture f;
+  // Separate client stack with the async flusher enabled.
+  cache::ProxyDiskCache cache(f.client_disk, ProxyFixture::small_cache_cfg());
+  ProxyConfig pcfg = ProxyFixture::make_client_proxy_cfg();
+  pcfg.async_writeback = true;
+  GvfsProxy proxy(pcfg, f.tunnel);
+  proxy.attach_block_cache(cache);
+  rpc::LinkChannel loop(proxy, nullptr, nullptr, 15 * kMicrosecond);
+  nfs::NfsClient client(loop, ProxyFixture::make_cred(), ProxyFixture::make_client_cfg());
+
+  auto content = blob::make_synthetic(21, 256_KiB, 0, 2.0);
+  ASSERT_TRUE(f.server_fs.put_file("/exports/f", blob::make_zero(256_KiB)).is_ok());
+  f.kernel.run_process("t", [&](sim::Process& p) {
+    ASSERT_OK(client.mount(p, "/exports"));
+    ASSERT_OK(client.write(p, "/f", 0, content));
+    ASSERT_OK(client.flush(p));
+    u64 commits_before = f.server.calls(nfs::Proc::kCommit);
+    ASSERT_OK(proxy.signal_write_back(p));
+    EXPECT_EQ(cache.dirty_blocks(), 0u);
+    // 8 dirty 32 KiB blocks went up as UNSTABLE writes + exactly one COMMIT.
+    EXPECT_EQ(proxy.flush_unstable_writes(), 8u);
+    EXPECT_EQ(proxy.flush_commits(), 1u);
+    EXPECT_EQ(f.server.calls(nfs::Proc::kCommit), commits_before + 1);
+    EXPECT_EQ(proxy.pending_flush_blocks(), 0u);
+  });
+  EXPECT_EQ(f.kernel.failed_processes(), 0) << f.kernel.failed_names_joined();
+  EXPECT_EQ(blob::content_hash(**f.server_fs.get_file("/exports/f")),
+            blob::content_hash(*content));
+}
+
+TEST(AsyncWriteback, EvictionEnqueuesInsteadOfBlockingAndFlusherDrains) {
+  ProxyFixture f;
+  // Tiny cache: sequential writes overflow it, forcing dirty evictions.
+  cache::BlockCacheConfig ccfg = ProxyFixture::small_cache_cfg();
+  ccfg.capacity_bytes = 256_KiB;  // 8 frames of 32 KiB
+  ccfg.num_banks = 1;
+  ccfg.associativity = 4;
+  cache::ProxyDiskCache cache(f.client_disk, ccfg);
+  ProxyConfig pcfg = ProxyFixture::make_client_proxy_cfg();
+  pcfg.async_writeback = true;
+  GvfsProxy proxy(pcfg, f.tunnel);
+  proxy.attach_block_cache(cache);
+  rpc::LinkChannel loop(proxy, nullptr, nullptr, 15 * kMicrosecond);
+  nfs::NfsClient client(loop, ProxyFixture::make_cred(), ProxyFixture::make_client_cfg());
+
+  auto content = blob::make_synthetic(22, 1_MiB, 0, 2.0);
+  ASSERT_TRUE(f.server_fs.put_file("/exports/f", blob::make_zero(1_MiB)).is_ok());
+  f.kernel.run_process("t", [&](sim::Process& p) {
+    ASSERT_OK(client.mount(p, "/exports"));
+    ASSERT_OK(client.write(p, "/f", 0, content));
+    ASSERT_OK(client.flush(p));
+    EXPECT_GT(proxy.flush_enqueued_blocks(), 0u);  // evictions queued, not sent
+    ASSERT_OK(proxy.signal_write_back(p));
+  });
+  // The background flusher (spawned by the evictions) and the final signal
+  // drain everything before quiescence.
+  EXPECT_EQ(f.kernel.failed_processes(), 0) << f.kernel.failed_names_joined();
+  EXPECT_EQ(proxy.pending_flush_blocks(), 0u);
+  EXPECT_EQ(blob::content_hash(**f.server_fs.get_file("/exports/f")),
+            blob::content_hash(*content));
+}
+
+TEST(AsyncWriteback, HonestCommitFlushesStagedBlocksWhenAbsorptionOff) {
+  ProxyFixture f;
+  cache::ProxyDiskCache cache(f.client_disk, ProxyFixture::small_cache_cfg());
+  ProxyConfig pcfg = ProxyFixture::make_client_proxy_cfg();
+  pcfg.absorb_commit = false;
+  GvfsProxy proxy(pcfg, f.tunnel);
+  proxy.attach_block_cache(cache);
+  rpc::LinkChannel loop(proxy, nullptr, nullptr, 15 * kMicrosecond);
+  nfs::NfsClient client(loop, ProxyFixture::make_cred(), ProxyFixture::make_client_cfg());
+
+  auto content = blob::make_synthetic(23, 64_KiB, 0, 2.0);
+  ASSERT_TRUE(f.server_fs.put_file("/exports/f", blob::make_zero(64_KiB)).is_ok());
+  f.kernel.run_process("t", [&](sim::Process& p) {
+    ASSERT_OK(client.mount(p, "/exports"));
+    ASSERT_OK(client.write(p, "/f", 0, content));
+    // flush() sends WRITE (absorbed dirty) + COMMIT; with absorption off the
+    // COMMIT must push the staged dirty blocks upstream before forwarding.
+    ASSERT_OK(client.flush(p));
+    EXPECT_EQ(cache.dirty_blocks(), 0u);
+  });
+  EXPECT_EQ(f.kernel.failed_processes(), 0) << f.kernel.failed_names_joined();
+  EXPECT_EQ(blob::content_hash(**f.server_fs.get_file("/exports/f")),
+            blob::content_hash(*content));
+}
+
+TEST(SingleFlight, ConcurrentSameBlockMissesShareOneUpstreamFetch) {
+  ProxyFixture f;
+  // Shared cache proxy with single-flight on; two downstream clients mount
+  // through it and read the same file concurrently.
+  cache::ProxyDiskCache cache(f.client_disk, ProxyFixture::small_cache_cfg());
+  ProxyConfig pcfg = ProxyFixture::make_client_proxy_cfg();
+  pcfg.enable_meta = false;
+  pcfg.single_flight = true;
+  GvfsProxy proxy(pcfg, f.tunnel);
+  proxy.attach_block_cache(cache);
+  rpc::LinkChannel loop_a(proxy, nullptr, nullptr, 15 * kMicrosecond);
+  rpc::LinkChannel loop_b(proxy, nullptr, nullptr, 15 * kMicrosecond);
+  nfs::NfsClient client_a(loop_a, ProxyFixture::make_cred(), ProxyFixture::make_client_cfg());
+  nfs::NfsClient client_b(loop_b, ProxyFixture::make_cred(), ProxyFixture::make_client_cfg());
+
+  auto content = blob::make_synthetic(24, 512_KiB, 0, 2.0);
+  ASSERT_TRUE(f.server_fs.put_file("/exports/f", content).is_ok());
+  auto reader = [&](nfs::NfsClient& client) {
+    return [&](sim::Process& p) {
+      ASSERT_OK(client.mount(p, "/exports"));
+      auto back = client.read_all(p, "/f");
+      ASSERT_TRUE(back.is_ok());
+      EXPECT_EQ(blob::content_hash(**back), blob::content_hash(*content));
+    };
+  };
+  f.kernel.spawn("reader-a", reader(client_a));
+  f.kernel.spawn("reader-b", reader(client_b));
+  f.kernel.run();
+  EXPECT_EQ(f.kernel.failed_processes(), 0) << f.kernel.failed_names_joined();
+  // 16 blocks of 32 KiB: the server must have served each block once, not
+  // once per reader.
+  EXPECT_EQ(f.server.calls(nfs::Proc::kRead), 16u);
+  // Every upstream fetch had exactly one lead; the other reader's request
+  // either joined the in-flight fetch (wait, then served the installed
+  // block as a cache hit) or arrived after it landed (plain hit).
+  EXPECT_EQ(proxy.single_flight_leads(), 16u);
+  EXPECT_GT(proxy.single_flight_waits(), 0u);
+  EXPECT_EQ(proxy.single_flight_leads() + proxy.reads_served_from_block_cache(), 32u);
+}
+
+TEST(Prefetch, ProfilesResetOnInvalidationSoSecondColdSessionPrefetches) {
+  ProxyFixture f;
+  cache::ProxyDiskCache cache(f.client_disk, ProxyFixture::small_cache_cfg());
+  ProxyConfig pcfg = ProxyFixture::make_client_proxy_cfg();
+  pcfg.prefetch_depth = 8;
+  GvfsProxy proxy(pcfg, f.tunnel);
+  proxy.attach_block_cache(cache);
+  rpc::LinkChannel loop(proxy, nullptr, nullptr, 15 * kMicrosecond);
+  nfs::NfsClient client(loop, ProxyFixture::make_cred(), ProxyFixture::make_client_cfg());
+
+  auto content = blob::make_synthetic(25, 1_MiB, 0, 2.0);
+  ASSERT_TRUE(f.server_fs.put_file("/exports/f", content).is_ok());
+  f.kernel.run_process("t", [&](sim::Process& p) {
+    ASSERT_OK(client.mount(p, "/exports"));
+    ASSERT_OK(client.read_all(p, "/f"));
+    u64 first_session = proxy.blocks_prefetched();
+    EXPECT_GT(first_session, 0u);
+    // Cold second session: everything invalidated. A stale read-ahead window
+    // would make the refill guard suppress prefetching entirely.
+    ASSERT_OK(proxy.signal_flush(p));
+    client.drop_caches();
+    ASSERT_OK(client.read_all(p, "/f"));
+    EXPECT_GT(proxy.blocks_prefetched(), first_session);
+  });
+  EXPECT_EQ(f.kernel.failed_processes(), 0) << f.kernel.failed_names_joined();
+}
+
 TEST(Proxy, StatsCountersConsistent) {
   ProxyFixture f;
   ASSERT_TRUE(f.server_fs.put_file("/exports/f", blob::make_zero(64_KiB)).is_ok());

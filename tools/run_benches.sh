@@ -26,6 +26,7 @@ benches=(
   bench_ablate_prefetch
   bench_ablate_writeback
   bench_fault_recovery
+  bench_shared_writeback
   bench_micro
 )
 
