@@ -260,6 +260,20 @@ Result<blob::BlobRef> GvfsProxy::fetch_block_upstream_(sim::Process& p, const Fh
   if (rres->status != NfsStat::kOk) return err(rres->status, "upstream read");
   if (rres->attr.attr) remember_attr_(fh, *rres->attr.attr, p.now());
   blob::BlobRef data = rres->count > 0 ? rres->data : blob::zero_ref(0);
+  // The RPC wait is a scheduling point: a concurrent write + eviction can
+  // have parked newer bytes for this block while the READ was in flight.
+  // Serve those (and keep the server's stale copy out of the cache, where it
+  // would shadow them on the next read).
+  if (cfg_.async_writeback) {
+    if (auto pending = flush_pending_block_(id.file_key, block)) {
+      flush_queue_reads_.inc();
+      return *pending;
+    }
+  }
+  if (block_has_queued_write_(id.file_key, block)) {
+    if (auto queued = queued_block_(id.file_key, block)) return *queued;
+    return data;
+  }
   if (rres->count > 0) {
     GVFS_RETURN_IF_ERROR(block_cache_->insert(p, id, data, /*dirty=*/false));
   }
@@ -295,6 +309,11 @@ void GvfsProxy::maybe_prefetch_(sim::Process& p, const nfs::Fh& fh, u64 block,
     u64 start = b * cfg_.fetch_block;
     if (start >= file_size) break;
     if (block_cache_->contains(cache::BlockId{fh.key(), b})) continue;
+    // A dirty copy parked in the flush queue (or the degraded replay queue)
+    // is newer than the server's bytes; inserting a prefetched copy as clean
+    // would shadow it — get_block_ consults the cache first.
+    if (cfg_.async_writeback && flush_pending_block_(fh.key(), b)) continue;
+    if (block_has_queued_write_(fh.key(), b)) continue;
     auto args = std::make_shared<nfs::ReadArgs>();
     args->fh = fh;
     args->offset = start;
@@ -317,6 +336,10 @@ void GvfsProxy::maybe_prefetch_(sim::Process& p, const nfs::Fh& fh, u64 block,
     auto res = rpc::message_cast<nfs::ReadRes>(replies[i].result);
     if (!res || res->status != NfsStat::kOk || res->count == 0) continue;
     if (res->attr.attr) remember_attr_(fh, *res->attr.attr, p.now());
+    // Re-check after the RPC wait: an eviction during the burst may have
+    // parked newer bytes for this block.
+    if (cfg_.async_writeback && flush_pending_block_(fh.key(), blocks[i])) continue;
+    if (block_has_queued_write_(fh.key(), blocks[i])) continue;
     (void)block_cache_->insert(p, cache::BlockId{fh.key(), blocks[i]}, res->data,
                                /*dirty=*/false);
     blocks_prefetched_.inc();
@@ -327,16 +350,17 @@ Status GvfsProxy::cache_writeback_(sim::Process& p, const cache::BlockId& id,
                                    const blob::BlobRef& data) {
   auto it = key_to_fh_.find(id.file_key);
   if (it == key_to_fh_.end()) return err(ErrCode::kStale, "writeback: unknown fh");
-  // This block's bytes are newer than any copy parked for replay at the same
-  // offset; drop the stale entry so a reconnect replay (possibly triggered
-  // by this very write-back landing) cannot overwrite what we send now.
-  supersede_parked_write_(id.file_key, id.block * cfg_.fetch_block,
-                          data ? data->size() : 0);
+  // This block's bytes are newer than any copy parked for replay over the
+  // same byte range; neutralize the stale entries so a reconnect replay
+  // (possibly triggered by this very write-back landing) cannot overwrite
+  // what we send now.
+  u64 seq = next_write_seq_++;
+  supersede_parked_write_(id.file_key, id.block * cfg_.fetch_block, data, seq);
   if (cfg_.async_writeback) {
     // Asynchronous write-back: park the block in the per-file flush queue;
     // the background flusher drains it as pipelined UNSTABLE bursts + one
     // COMMIT. The evicting reader pays no WAN round trip here.
-    enqueue_flush_(p, it->second, id.block, data);
+    enqueue_flush_(p, it->second, id.block, data, seq);
     return Status::ok();
   }
   auto wargs = std::make_shared<nfs::WriteArgs>();
@@ -353,7 +377,7 @@ Status GvfsProxy::cache_writeback_(sim::Process& p, const cache::BlockId& id,
     // replay queue is the only place its data survives.
     if (cfg_.degraded_mode &&
         (res.code() == ErrCode::kTimeout || upstream_down_)) {
-      queue_degraded_write_(it->second, id.block * cfg_.fetch_block, data);
+      queue_degraded_write_(it->second, id.block * cfg_.fetch_block, data, seq);
       return Status::ok();
     }
     return res.status();
@@ -366,12 +390,14 @@ Status GvfsProxy::cache_writeback_(sim::Process& p, const cache::BlockId& id,
 // ------------------------------------------------- async write-back flusher --
 
 void GvfsProxy::enqueue_flush_(sim::Process& p, const nfs::Fh& fh, u64 block,
-                               const blob::BlobRef& data) {
+                               const blob::BlobRef& data, u64 seq) {
   u64 key = fh.key();
   auto [it, inserted] = flush_queues_.try_emplace(key);
   FlushQueue& q = it->second;
   q.fh = fh;
-  if (q.blocks.insert_or_assign(block, data).second) q.order.push_back(block);
+  if (q.blocks.insert_or_assign(block, FlushBlock{data, seq}).second) {
+    q.order.push_back(block);
+  }
   if (inserted) flush_file_order_.push_back(key);
   flush_enqueued_.inc();
   maybe_spawn_flusher_(p);
@@ -415,14 +441,27 @@ Status GvfsProxy::flush_file_(sim::Process& p, const FlushQueue& q) {
   draining_.emplace_back(q.fh.key(), &q);
   struct DrainScope {
     std::vector<std::pair<u64, const FlushQueue*>>& v;
-    ~DrainScope() { v.pop_back(); }
-  } scope{draining_};
+    const FlushQueue* q;
+    // Concurrent drains (background flusher + inline handle_commit_ /
+    // signal_write_back drains) block at RPC wait points and can finish in
+    // any order, so remove this scope's own entry by identity — popping the
+    // back could hide another drain's in-flight data and leave a dangling
+    // pointer to this (stack-allocated) queue behind.
+    ~DrainScope() {
+      auto it = std::find_if(v.begin(), v.end(),
+                             [this](const auto& e) { return e.second == q; });
+      if (it != v.end()) v.erase(it);
+    }
+  } scope{draining_, &q};
 
   // Park every block of the file in the degraded replay queue (replay uses
-  // FILE_SYNC, so durability is restored on reconnect).
+  // FILE_SYNC, so durability is restored on reconnect). Blocks keep their
+  // enqueue-time recency stamp: data parked by a newer overlapping drain
+  // must not be clobbered by this one.
   auto park_all = [&] {
     for (u64 b : q.order) {
-      queue_degraded_write_(q.fh, b * cfg_.fetch_block, q.blocks.at(b));
+      const FlushBlock& fb = q.blocks.at(b);
+      queue_degraded_write_(q.fh, b * cfg_.fetch_block, fb.data, fb.seq);
     }
   };
 
@@ -455,7 +494,7 @@ Status GvfsProxy::flush_file_(sim::Process& p, const FlushQueue& q) {
         auto wargs = std::make_shared<nfs::WriteArgs>();
         wargs->fh = q.fh;
         wargs->offset = b * cfg_.fetch_block;
-        const blob::BlobRef& data = q.blocks.at(b);
+        const blob::BlobRef& data = q.blocks.at(b).data;
         wargs->count = data ? static_cast<u32>(data->size()) : 0;
         wargs->stable = nfs::StableHow::kUnstable;
         wargs->data = data;
@@ -489,11 +528,12 @@ Status GvfsProxy::flush_file_(sim::Process& p, const FlushQueue& q) {
         write_verfs.push_back(res->verifier);
         // A copy of this block parked by an earlier failed drain is now
         // stale; drop it before note_upstream_ok_ can replay it over the
-        // bytes that just landed.
+        // bytes that just landed. The seq guard keeps data parked by a
+        // newer concurrent drain of the same file intact.
         u64 sent_block = q.order[base + ri];
-        const blob::BlobRef& sent = q.blocks.at(sent_block);
+        const FlushBlock& sent = q.blocks.at(sent_block);
         supersede_parked_write_(q.fh.key(), sent_block * cfg_.fetch_block,
-                                sent ? sent->size() : 0);
+                                sent.data, sent.seq);
         if (res->attr.attr) remember_attr_(q.fh, *res->attr.attr, p.now());
       }
       note_upstream_ok_(p);
@@ -541,19 +581,23 @@ Status GvfsProxy::flush_file_(sim::Process& p, const FlushQueue& q) {
 
 std::optional<blob::BlobRef> GvfsProxy::flush_pending_block_(u64 file_key,
                                                              u64 block) const {
+  // The block may sit in the pending queue and in several in-flight drains
+  // at once (concurrent drains complete in any order); the enqueue-time
+  // sequence stamp, not container position, says which copy is newest.
+  const FlushBlock* best = nullptr;
   if (auto it = flush_queues_.find(file_key); it != flush_queues_.end()) {
     if (auto b = it->second.blocks.find(block); b != it->second.blocks.end()) {
-      return b->second;
+      best = &b->second;
     }
   }
-  // Newest extraction last: scan in-flight drains in reverse.
-  for (auto it = draining_.rbegin(); it != draining_.rend(); ++it) {
-    if (it->first != file_key) continue;
-    if (auto b = it->second->blocks.find(block); b != it->second->blocks.end()) {
-      return b->second;
+  for (const auto& [key, q] : draining_) {
+    if (key != file_key) continue;
+    if (auto b = q->blocks.find(block); b != q->blocks.end()) {
+      if (best == nullptr || b->second.seq > best->seq) best = &b->second;
     }
   }
-  return std::nullopt;
+  if (best == nullptr) return std::nullopt;
+  return best->data;
 }
 
 // ---------------------------------------------------------- degraded mode --
@@ -577,10 +621,20 @@ Status GvfsProxy::replay_write_queue_(sim::Process& p) {
   if (!upstream_down_ && write_queue_.empty()) return Status::ok();
   if (replaying_) return Status::ok();
   replaying_ = true;
-  std::size_t done = 0;
   Status st = Status::ok();
-  for (; done < write_queue_.size(); ++done) {
-    const PendingWrite& w = write_queue_[done];
+  // Every WRITE below is an RPC wait point, and concurrent frames
+  // (cache_writeback_, flush_file_) erase and coalesce queue entries while
+  // it blocks — vector indices are not stable across an iteration. Track
+  // progress by the entries' recency stamps instead: replay oldest-first
+  // (so a newer overlapping write lands last on the server) and afterwards
+  // erase the entry only if its stamp is unchanged — a concurrent coalesce
+  // bumped it, and the newer bytes deserve their own replay.
+  while (!write_queue_.empty()) {
+    std::size_t pick = 0;
+    for (std::size_t i = 1; i < write_queue_.size(); ++i) {
+      if (write_queue_[i].seq < write_queue_[pick].seq) pick = i;
+    }
+    const PendingWrite w = write_queue_[pick];
     auto wargs = std::make_shared<nfs::WriteArgs>();
     wargs->fh = w.fh;
     wargs->offset = w.offset;
@@ -597,10 +651,13 @@ Status GvfsProxy::replay_write_queue_(sim::Process& p) {
       break;
     }
     replayed_writebacks_.inc();
+    for (std::size_t i = 0; i < write_queue_.size(); ++i) {
+      if (write_queue_[i].seq != w.seq) continue;
+      write_queue_.erase(write_queue_.begin() + static_cast<std::ptrdiff_t>(i));
+      rebuild_write_queue_index_();
+      break;
+    }
   }
-  write_queue_.erase(write_queue_.begin(),
-                     write_queue_.begin() + static_cast<std::ptrdiff_t>(done));
-  rebuild_write_queue_index_();
   replaying_ = false;
   if (st.is_ok() && write_queue_.empty() && upstream_down_) {
     upstream_down_ = false;
@@ -611,43 +668,94 @@ Status GvfsProxy::replay_write_queue_(sim::Process& p) {
 }
 
 void GvfsProxy::queue_degraded_write_(const nfs::Fh& fh, u64 offset,
-                                      const blob::BlobRef& data) {
+                                      const blob::BlobRef& data, u64 seq) {
   std::pair<u64, u64> key{fh.key(), offset};
   if (auto it = write_queue_index_.find(key); it != write_queue_index_.end()) {
-    // Coalesce: a newer write to the same (fh, offset) supersedes the queued
-    // one — replaying both would waste a WAN round trip on dead data.
+    // Coalesce: the newer of the two writes to the same (fh, offset) wins —
+    // replaying both would waste a WAN round trip on dead data. Recency is
+    // decided by the sequence stamp: a failed drain re-parking an extracted
+    // block can arrive here *after* a newer write was queued.
     PendingWrite& w = write_queue_[it->second];
     u64 old_n = w.data ? w.data->size() : 0;
     u64 new_n = data ? data->size() : 0;
-    if (new_n >= old_n) {
-      w.data = data;
+    const bool incoming_newer = seq > w.seq;
+    const blob::BlobRef& win = incoming_newer ? data : w.data;
+    const blob::BlobRef& lose = incoming_newer ? w.data : data;
+    u64 win_n = incoming_newer ? new_n : old_n;
+    u64 lose_n = incoming_newer ? old_n : new_n;
+    if (win_n >= lose_n) {
+      w.data = win;
     } else {
-      // Shorter overwrite: keep the old tail beyond the new data so the
+      // The winner is shorter: keep the loser's tail beyond it so the
       // coalesced entry still covers every byte the queue promised.
       blob::ExtentStore merged;
-      merged.truncate(old_n);
-      merged.write_blob(0, w.data, 0, old_n);
-      merged.write_blob(0, data, 0, new_n);
+      merged.truncate(lose_n);
+      merged.write_blob(0, lose, 0, lose_n);
+      merged.write_blob(0, win, 0, win_n);
       w.data = merged.snapshot();
     }
+    w.seq = std::max(w.seq, seq);
     coalesced_writebacks_.inc();
     return;
   }
   write_queue_index_.emplace(key, write_queue_.size());
-  write_queue_.push_back(PendingWrite{fh, offset, data});
+  write_queue_.push_back(PendingWrite{fh, offset, data, seq});
   queued_writebacks_.inc();
 }
 
-void GvfsProxy::supersede_parked_write_(u64 file_key, u64 offset, u64 n) {
-  auto it = write_queue_index_.find({file_key, offset});
-  if (it == write_queue_index_.end()) return;
-  const PendingWrite& w = write_queue_[it->second];
-  u64 parked_n = w.data ? w.data->size() : 0;
-  if (parked_n > n) return;  // parked entry covers bytes the new data lacks
-  write_queue_.erase(write_queue_.begin() +
-                     static_cast<std::ptrdiff_t>(it->second));
-  rebuild_write_queue_index_();
-  coalesced_writebacks_.inc();
+void GvfsProxy::supersede_parked_write_(u64 file_key, u64 offset,
+                                        const blob::BlobRef& data, u64 seq) {
+  u64 n = data ? data->size() : 0;
+  if (n == 0 || write_queue_.empty()) return;
+  u64 lo = offset;
+  u64 hi = offset + n;
+  bool erased = false;
+  for (std::size_t i = 0; i < write_queue_.size();) {
+    PendingWrite& w = write_queue_[i];
+    u64 wn = w.data ? w.data->size() : 0;
+    u64 olo = std::max(lo, w.offset);
+    u64 ohi = std::min(hi, w.offset + wn);
+    // Skip entries of other files, non-overlapping ranges, and — crucially —
+    // entries stamped newer than the data heading upstream (e.g. parked by a
+    // concurrent drain that extracted fresher bytes).
+    if (w.fh.key() != file_key || olo >= ohi || w.seq > seq) {
+      ++i;
+      continue;
+    }
+    if (lo <= w.offset && w.offset + wn <= hi) {
+      // Fully covered by the bytes about to land upstream: drop it.
+      write_queue_.erase(write_queue_.begin() + static_cast<std::ptrdiff_t>(i));
+      erased = true;
+      coalesced_writebacks_.inc();
+      continue;
+    }
+    // Partial overlap (degraded writes park raw, non-block-aligned offsets):
+    // patch the overlapping bytes with the newer data so a later replay
+    // cannot put stale bytes over what is about to land upstream. The
+    // entry keeps its original stamp — its un-patched remainder is no newer
+    // than it ever was.
+    blob::ExtentStore patched;
+    patched.truncate(wn);
+    patched.write_blob(0, w.data, 0, wn);
+    patched.write_blob(olo - w.offset, data, olo - lo, ohi - olo);
+    w.data = patched.snapshot();
+    coalesced_writebacks_.inc();
+    ++i;
+  }
+  if (erased) rebuild_write_queue_index_();
+}
+
+bool GvfsProxy::block_has_queued_write_(u64 file_key, u64 block) const {
+  if (write_queue_.empty()) return false;
+  u64 lo = block * cfg_.fetch_block;
+  u64 hi = lo + cfg_.fetch_block;
+  for (auto it = write_queue_index_.lower_bound({file_key, 0});
+       it != write_queue_index_.end() && it->first.first == file_key; ++it) {
+    const PendingWrite& w = write_queue_[it->second];
+    u64 n = w.data ? w.data->size() : 0;
+    if (w.offset < hi && w.offset + n > lo) return true;
+  }
+  return false;
 }
 
 void GvfsProxy::rebuild_write_queue_index_() {
@@ -662,8 +770,9 @@ std::optional<blob::BlobRef> GvfsProxy::queued_block_(u64 file_key,
                                                       u64 block) const {
   // Assemble the block from every queued write overlapping its byte range —
   // degraded writes are queued at their raw downstream offset, which need
-  // not be block-aligned. Newest write wins on overlap, so apply in queue
-  // (arrival) order.
+  // not be block-aligned. Newest write wins on overlap: apply in sequence-
+  // stamp order, NOT vector order — coalescing refreshes an entry's bytes
+  // in place at its original slot, so position says nothing about recency.
   u64 block_lo = block * cfg_.fetch_block;
   u64 block_hi = block_lo + cfg_.fetch_block;
   std::vector<std::size_t> indices;
@@ -671,7 +780,9 @@ std::optional<blob::BlobRef> GvfsProxy::queued_block_(u64 file_key,
        it != write_queue_index_.end() && it->first.first == file_key; ++it) {
     indices.push_back(it->second);
   }
-  std::sort(indices.begin(), indices.end());
+  std::sort(indices.begin(), indices.end(), [this](std::size_t a, std::size_t b) {
+    return write_queue_[a].seq < write_queue_[b].seq;
+  });
   blob::ExtentStore assembled;
   assembled.truncate(cfg_.fetch_block);
   u64 covered_hi = 0;
@@ -981,7 +1092,7 @@ rpc::RpcReply GvfsProxy::handle_write_(sim::Process& p, const rpc::RpcCall& call
       }
     } else if (cfg_.degraded_mode && reply.status.code() == ErrCode::kTimeout) {
       // Degraded write-through: acknowledge locally, queue for replay.
-      queue_degraded_write_(a.fh, a.offset, a.data);
+      queue_degraded_write_(a.fh, a.offset, a.data, next_write_seq_++);
       block_cache_->invalidate_file(key);
       size_override_[key] =
           std::max(effective_size_(a.fh, cached_attr_(a.fh, p.now())),

@@ -229,13 +229,19 @@ class GvfsProxy final : public rpc::RpcHandler {
 
   // -- async write-back flusher ----------------------------------------------
   // One file's pending dirty blocks awaiting the flusher, newest data wins.
+  // Each block carries the global write sequence stamp it was enqueued with
+  // so recency survives extraction, re-queueing, and parking for replay.
+  struct FlushBlock {
+    blob::BlobRef data;
+    u64 seq = 0;
+  };
   struct FlushQueue {
     nfs::Fh fh;
-    std::vector<u64> order;                         // block indices, FIFO
-    std::unordered_map<u64, blob::BlobRef> blocks;  // block -> newest data
+    std::vector<u64> order;                        // block indices, FIFO
+    std::unordered_map<u64, FlushBlock> blocks;    // block -> newest data
   };
   void enqueue_flush_(sim::Process& p, const nfs::Fh& fh, u64 block,
-                      const blob::BlobRef& data);
+                      const blob::BlobRef& data, u64 seq);
   void maybe_spawn_flusher_(sim::Process& p);
   // Drain every queued file (FIFO by first enqueue). Re-entrant: a file is
   // extracted before its RPCs are issued, so the background flusher and a
@@ -248,14 +254,20 @@ class GvfsProxy final : public rpc::RpcHandler {
                                                                  u64 block) const;
 
   // -- degraded mode ---------------------------------------------------------
-  // Enqueue (coalescing, newest wins) a write for replay after the outage.
+  // Enqueue (coalescing, recency decided by `seq`) a write for replay after
+  // the outage.
   void queue_degraded_write_(const nfs::Fh& fh, u64 offset,
-                             const blob::BlobRef& data);
-  // Drop a parked write fully covered by newer data that is about to head
-  // upstream — otherwise the replay triggered by that very write's success
-  // would put the stale parked bytes back over it.
-  void supersede_parked_write_(u64 file_key, u64 offset, u64 n);
+                             const blob::BlobRef& data, u64 seq);
+  // Neutralize parked writes overlapping data that is about to head upstream
+  // — otherwise the replay triggered by that very write's success would put
+  // the stale parked bytes back over it. Fully covered entries are dropped;
+  // partially overlapping (non-block-aligned) ones are patched with the new
+  // bytes. Parked entries stamped newer than `seq` are left alone.
+  void supersede_parked_write_(u64 file_key, u64 offset,
+                               const blob::BlobRef& data, u64 seq);
   void rebuild_write_queue_index_();
+  // True if any queued degraded write overlaps the block's byte range.
+  [[nodiscard]] bool block_has_queued_write_(u64 file_key, u64 block) const;
   // Record an upstream timeout (opens an outage) / a success (closes it once
   // the queue drains).
   void note_upstream_timeout_(SimTime now);
@@ -309,17 +321,26 @@ class GvfsProxy final : public rpc::RpcHandler {
   };
   std::unordered_map<u64, AccessProfile> profiles_;
 
-  // Write-backs queued while the upstream was unreachable, replay order.
+  // Write-backs queued while the upstream was unreachable. Each entry is
+  // stamped with the global write sequence number of its newest bytes;
+  // recency (degraded-read assembly, replay ordering, supersede decisions)
+  // is decided by `seq`, never by position in the vector — coalescing keeps
+  // an entry at its original slot while bumping its stamp.
   struct PendingWrite {
     nfs::Fh fh;
     u64 offset = 0;
     blob::BlobRef data;
+    u64 seq = 0;
   };
   std::vector<PendingWrite> write_queue_;
   // (file_key, offset) -> index into write_queue_; repeated writes to the
   // same offset coalesce in place (newest wins) and degraded reads walk one
   // file's entries in offset order instead of scanning the whole queue.
   std::map<std::pair<u64, u64>, std::size_t> write_queue_index_;
+  // Global recency stamp shared by flush-queue blocks and parked degraded
+  // writes (a per-write Lamport clock; the sim is cooperative so a plain
+  // counter is exact).
+  u64 next_write_seq_ = 1;
   bool upstream_down_ = false;
   bool replaying_ = false;
   SimTime outage_started_ = 0;

@@ -744,6 +744,67 @@ TEST(FaultE2E, RepeatedDegradedWritesCoalesceInQueue) {
   EXPECT_EQ(bed.client_proxy()->pending_writebacks(), 0u);
 }
 
+TEST(FaultE2E, OverlappingDegradedWritesKeepNewestBytes) {
+  // Three overlapping unaligned writes during an outage: A covers block 0,
+  // B overlaps A's middle at a different offset (separate queue entry), then
+  // A2 rewrites A's offset (coalesced in place at A's ORIGINAL index, but
+  // stamped newer than B). Both the degraded read assembly and the replay
+  // order must honour write recency — not queue position, which would put
+  // B's stale bytes over A2.
+  TestbedOptions opt;
+  opt.scenario = Scenario::kWanCached;
+  opt.generate_image_meta = false;
+  opt.write_policy = cache::WritePolicy::kWriteThrough;
+  opt.enable_fault_injection = true;
+  opt.degraded_proxy = true;
+  opt.fault.partitions.push_back(sim::FaultWindow{30 * kSecond, 120 * kSecond});
+  opt.retry.timeout = 250 * kMillisecond;
+  opt.retry.max_retransmits = 2;
+  Testbed bed(opt);
+  blob::BlobRef content = blob::make_synthetic(60, 256_KiB, 0.2, 2.0);
+  ASSERT_TRUE(bed.image_fs().put_file(bed.image_dir() + "/img", content).is_ok());
+  blob::BlobRef a = blob::make_synthetic(61, 32_KiB, 0.0, 1.0);
+  blob::BlobRef b = blob::make_synthetic(62, 8_KiB, 0.0, 1.0);
+  blob::BlobRef a2 = blob::make_synthetic(63, 32_KiB, 0.0, 1.0);
+
+  bed.kernel().run_process("session", [&](sim::Process& p) {
+    ASSERT_TRUE(bed.mount(p).is_ok());
+    ASSERT_TRUE(bed.image_session().read_all(p, "/img").is_ok());
+    ASSERT_LT(p.now(), 30 * kSecond);
+
+    p.delay_until(40 * kSecond);
+    ASSERT_TRUE(bed.image_session().write(p, "/img", 0, a).is_ok());
+    ASSERT_TRUE(bed.nfs_client()->flush(p).is_ok());
+    ASSERT_TRUE(bed.image_session().write(p, "/img", 12_KiB, b).is_ok());
+    ASSERT_TRUE(bed.nfs_client()->flush(p).is_ok());
+    ASSERT_TRUE(bed.image_session().write(p, "/img", 0, a2).is_ok());
+    ASSERT_TRUE(bed.nfs_client()->flush(p).is_ok());
+    EXPECT_EQ(bed.client_proxy()->queued_writebacks(), 2u);
+    EXPECT_EQ(bed.client_proxy()->coalesced_writebacks(), 1u);
+
+    // Degraded read of B's range: A2 is newer than B everywhere they
+    // overlap, so the assembly must return A2's bytes.
+    bed.nfs_client()->drop_caches();
+    auto back = bed.image_session().read(p, "/img", 12_KiB, 8_KiB);
+    ASSERT_TRUE(back.is_ok()) << back.status().to_string();
+    blob::SliceBlob want(a2, 12_KiB, 8_KiB);
+    EXPECT_EQ(blob::content_hash(**back), blob::content_hash(want));
+
+    // Replay must land B before A2 (oldest first) so the server converges
+    // on A2 across the whole block.
+    p.delay_until(130 * kSecond);
+    ASSERT_TRUE(bed.client_proxy()->signal_reconnect(p).is_ok());
+    bed.nfs_client()->drop_caches();
+    bed.block_cache()->invalidate_all();
+    auto healed = bed.image_session().read(p, "/img", 0, 32_KiB);
+    ASSERT_TRUE(healed.is_ok());
+    EXPECT_EQ(blob::content_hash(**healed), blob::content_hash(*a2));
+  });
+  EXPECT_EQ(bed.kernel().failed_processes(), 0) << bed.kernel().failed_names_joined();
+  EXPECT_EQ(bed.client_proxy()->replayed_writebacks(), 2u);
+  EXPECT_EQ(bed.client_proxy()->pending_writebacks(), 0u);
+}
+
 // ---- write-back parking & verifier protocol (stub-channel stacks) -----------
 
 // Fails WRITE calls while armed: the first failure is a kTimeout (opens the
@@ -881,6 +942,234 @@ TEST(WritebackVerifier, RebootBetweenWritesAndCommitTriggersResend) {
   EXPECT_EQ(proxy.pending_flush_blocks(), 0u);
   EXPECT_EQ(blob::content_hash(**f.fs.get_file("/exports/f")),
             blob::content_hash(*content));
+}
+
+// Delays UNSTABLE WRITEs so a background flush stays in flight while the
+// reader keeps going — the window in which a prefetch burst could re-fetch a
+// flush-queued dirty block from the server and insert the stale bytes as
+// clean (reads consult the cache before the flush queue).
+struct SlowUnstableWriteChannel final : rpc::RpcChannel {
+  explicit SlowUnstableWriteChannel(rpc::RpcChannel& in) : inner(in) {}
+  rpc::RpcChannel& inner;
+  SimDuration stall = 0;
+  rpc::RpcReply call(sim::Process& p, const rpc::RpcCall& c) override {
+    if (stall > 0 && c.proc == static_cast<u32>(nfs::Proc::kWrite)) {
+      auto a = rpc::message_cast<nfs::WriteArgs>(c.args);
+      if (a && a->stable == nfs::StableHow::kUnstable) p.delay(stall);
+    }
+    return inner.call(p, c);
+  }
+};
+
+TEST(WritebackDrain, PrefetchDoesNotResurrectFlushQueuedBlock) {
+  MiniProxyStack f;
+  SlowUnstableWriteChannel slow(f.link);
+  cache::BlockCacheConfig ccfg = MiniProxyStack::cache_cfg();
+  ccfg.capacity_bytes = 128_KiB;  // 4 frames: reads evict the dirty block
+  ccfg.num_banks = 1;
+  ccfg.associativity = 4;
+  cache::ProxyDiskCache cache(f.client_disk, ccfg);
+  proxy::ProxyConfig pcfg;
+  pcfg.name = "async-proxy";
+  pcfg.enable_meta = false;
+  pcfg.async_writeback = true;
+  pcfg.prefetch_depth = 4;
+  pcfg.prefetch_trigger = 2;
+  proxy::GvfsProxy proxy(pcfg, slow);
+  proxy.attach_block_cache(cache);
+  rpc::LinkChannel loop(proxy, nullptr, nullptr, 15 * kMicrosecond);
+  nfs::NfsClient client(loop, MiniProxyStack::cred(), MiniProxyStack::client_cfg());
+
+  blob::BlobRef base = blob::make_synthetic(70, 416_KiB, 0, 2.0);  // 13 blocks
+  blob::BlobRef patch = blob::make_synthetic(71, 32_KiB, 0, 1.0);
+  ASSERT_TRUE(f.fs.put_file("/exports/f", base).is_ok());
+  f.kernel.run_process("t", [&](sim::Process& p) {
+    ASSERT_TRUE(client.mount(p, "/exports").is_ok());
+    // Dirty block 5 in the proxy cache.
+    ASSERT_TRUE(client.write(p, "/f", 5 * 32_KiB, patch).is_ok());
+    ASSERT_TRUE(client.flush(p).is_ok());
+    EXPECT_EQ(cache.dirty_blocks(), 1u);
+    // Evict it with non-sequential read pressure (no prefetch triggers):
+    // block 5 lands in the flush queue, and the slow channel pins the
+    // flusher's UNSTABLE burst in flight for a long sim while.
+    slow.stall = 500 * kMillisecond;
+    for (u64 b : {8u, 0u, 9u, 1u}) {
+      ASSERT_TRUE(client.read(p, "/f", b * 32_KiB, 32_KiB).is_ok());
+    }
+    client.drop_caches();
+    // Sequential reads trigger a read-ahead burst spanning block 5 while its
+    // newest bytes sit in the in-flight flush. The burst must skip it: the
+    // server's copy is stale until the flush lands.
+    for (u64 b : {2u, 3u, 4u}) {
+      ASSERT_TRUE(client.read(p, "/f", b * 32_KiB, 32_KiB).is_ok());
+    }
+    auto got = client.read(p, "/f", 5 * 32_KiB, 32_KiB);
+    ASSERT_TRUE(got.is_ok());
+    EXPECT_EQ(blob::content_hash(**got), blob::content_hash(*patch));
+    EXPECT_GT(proxy.blocks_prefetched(), 0u);
+    EXPECT_GE(proxy.flush_queue_reads(), 1u);
+  });
+  EXPECT_EQ(f.kernel.failed_processes(), 0) << f.kernel.failed_names_joined();
+  EXPECT_EQ(proxy.pending_flush_blocks(), 0u);
+  // The flush landed after the reads: the patch reached the server.
+  blob::SliceBlob srv(*f.fs.get_file("/exports/f"), 5 * 32_KiB, 32_KiB);
+  EXPECT_EQ(blob::content_hash(srv), blob::content_hash(*patch));
+}
+
+// Fails WRITEs while armed (kTimeout first, then kClosed), and can slow down
+// the next WRITE that passes through — pinning a replay RPC in flight while
+// other frames mutate the proxy's parked-write queue.
+struct OutageThenSlowWriteChannel final : rpc::RpcChannel {
+  explicit OutageThenSlowWriteChannel(rpc::RpcChannel& in) : inner(in) {}
+  rpc::RpcChannel& inner;
+  int fails_left = 0;
+  bool first = true;
+  SimDuration slow_next_write = 0;
+  rpc::RpcReply call(sim::Process& p, const rpc::RpcCall& c) override {
+    if (c.proc == static_cast<u32>(nfs::Proc::kWrite)) {
+      if (fails_left > 0) {
+        --fails_left;
+        ErrCode code = first ? ErrCode::kTimeout : ErrCode::kClosed;
+        first = false;
+        return rpc::make_error_reply(c, err(code, "synthetic outage"));
+      }
+      if (slow_next_write > 0) {
+        SimDuration d = slow_next_write;
+        slow_next_write = 0;
+        p.delay(d);
+      }
+    }
+    return inner.call(p, c);
+  }
+};
+
+TEST(WritebackParking, ReplaySurvivesConcurrentSupersede) {
+  MiniProxyStack f;
+  OutageThenSlowWriteChannel ch(f.link);
+  cache::ProxyDiskCache cache(f.client_disk, MiniProxyStack::cache_cfg());
+  proxy::ProxyConfig pcfg;
+  pcfg.name = "degraded-proxy";
+  pcfg.enable_meta = false;
+  pcfg.degraded_mode = true;
+  proxy::GvfsProxy proxy(pcfg, ch);
+  proxy.attach_block_cache(cache);
+  rpc::LinkChannel loop(proxy, nullptr, nullptr, 15 * kMicrosecond);
+  nfs::NfsClient client(loop, MiniProxyStack::cred(), MiniProxyStack::client_cfg());
+  nfs::NfsClient client2(loop, MiniProxyStack::cred(), MiniProxyStack::client_cfg());
+
+  blob::BlobRef content = blob::make_synthetic(55, 64_KiB, 0, 2.0);
+  blob::BlobRef fresh = blob::make_synthetic(56, 64_KiB, 0, 1.0);
+  ASSERT_TRUE(f.fs.put_file("/exports/f", blob::make_zero(64_KiB)).is_ok());
+  f.kernel.run_process("t", [&](sim::Process& p) {
+    ASSERT_TRUE(client.mount(p, "/exports").is_ok());
+    ASSERT_TRUE(client.write(p, "/f", 0, content).is_ok());
+    ASSERT_TRUE(client.flush(p).is_ok());
+    ch.fails_left = 2;
+    ASSERT_TRUE(proxy.signal_write_back(p).is_ok());
+    EXPECT_TRUE(proxy.upstream_down());
+    EXPECT_EQ(proxy.pending_writebacks(), 2u);
+
+    // While the replay's first FILE_SYNC WRITE is pinned in flight, a second
+    // session rewrites the whole file and forces it upstream: the write-back
+    // supersedes BOTH parked entries mid-replay. The replay's progress
+    // tracking must survive the queue shrinking under it — index-based
+    // progress would erase past the end of the emptied queue.
+    ch.slow_next_write = 5 * kMillisecond;
+    (void)p.kernel().spawn("writer2", [&](sim::Process& q) {
+      ASSERT_TRUE(client2.mount(q, "/exports").is_ok());
+      ASSERT_TRUE(client2.write(q, "/f", 0, fresh).is_ok());
+      ASSERT_TRUE(client2.flush(q).is_ok());
+      ASSERT_TRUE(proxy.signal_write_back(q).is_ok());
+    }, kMillisecond);
+    ASSERT_TRUE(proxy.signal_reconnect(p).is_ok());
+    EXPECT_FALSE(proxy.upstream_down());
+    EXPECT_EQ(proxy.pending_writebacks(), 0u);
+    // Only the pinned in-flight write replayed; the superseded entries were
+    // dropped (their bytes went upstream fresher via the second session).
+    EXPECT_EQ(proxy.replayed_writebacks(), 1u);
+  });
+  EXPECT_EQ(f.kernel.failed_processes(), 0) << f.kernel.failed_names_joined();
+  EXPECT_EQ(proxy.coalesced_writebacks(), 2u);
+}
+
+// Stalls upstream COMMITs, with separate stalls for the background flusher
+// and for inline (foreground) drains, so two flush_file_ frames for
+// different files can be pinned in flight simultaneously and complete in
+// non-LIFO order.
+struct StallCommitChannel final : rpc::RpcChannel {
+  explicit StallCommitChannel(rpc::RpcChannel& in) : inner(in) {}
+  rpc::RpcChannel& inner;
+  SimDuration flusher_stall = 0;
+  SimDuration inline_stall = 0;
+  rpc::RpcReply call(sim::Process& p, const rpc::RpcCall& c) override {
+    if (c.proc == static_cast<u32>(nfs::Proc::kCommit)) {
+      bool from_flusher = p.name().find("flusher") != std::string::npos;
+      SimDuration d = from_flusher ? flusher_stall : inline_stall;
+      if (d > 0) p.delay(d);
+    }
+    return inner.call(p, c);
+  }
+};
+
+TEST(WritebackDrain, ConcurrentDrainCompletionKeepsInFlightDataVisible) {
+  MiniProxyStack f;
+  StallCommitChannel ch(f.link);
+  cache::BlockCacheConfig ccfg = MiniProxyStack::cache_cfg();
+  ccfg.capacity_bytes = 32_KiB;  // one frame: every insert evicts the last
+  ccfg.num_banks = 1;
+  ccfg.associativity = 1;
+  cache::ProxyDiskCache cache(f.client_disk, ccfg);
+  proxy::ProxyConfig pcfg;
+  pcfg.name = "async-proxy";
+  pcfg.enable_meta = false;
+  pcfg.async_writeback = true;
+  proxy::GvfsProxy proxy(pcfg, ch);
+  proxy.attach_block_cache(cache);
+  rpc::LinkChannel loop(proxy, nullptr, nullptr, 15 * kMicrosecond);
+  nfs::NfsClient client(loop, MiniProxyStack::cred(), MiniProxyStack::client_cfg());
+  nfs::NfsClient reader(loop, MiniProxyStack::cred(), MiniProxyStack::client_cfg());
+
+  blob::BlobRef a_data = blob::make_synthetic(80, 32_KiB, 0, 1.0);
+  blob::BlobRef b_data = blob::make_synthetic(81, 32_KiB, 0, 1.0);
+  ASSERT_TRUE(f.fs.put_file("/exports/a", blob::make_zero(32_KiB)).is_ok());
+  ASSERT_TRUE(f.fs.put_file("/exports/b", blob::make_zero(32_KiB)).is_ok());
+  ASSERT_TRUE(f.fs.put_file("/exports/c", blob::make_zero(32_KiB)).is_ok());
+
+  // Mid-stall probe: /b's bytes sit in an extracted in-flight drain whose
+  // COMMIT is pinned for tens of sim-milliseconds. Once /c's read evicts
+  // /b's clean cache copy, a read of /b must be served from that in-flight
+  // drain — if the earlier-finishing /a drain removed the wrong draining_
+  // entry, /b's data would be invisible and the read would fetch the
+  // not-yet-committed server copy without touching flush_queue_reads.
+  (void)f.kernel.spawn("probe", [&](sim::Process& q) {
+    ASSERT_TRUE(reader.mount(q, "/exports").is_ok());
+    ASSERT_TRUE(reader.read(q, "/c", 0, 32_KiB).is_ok());
+    auto got = reader.read(q, "/b", 0, 32_KiB);
+    ASSERT_TRUE(got.is_ok());
+    EXPECT_EQ(blob::content_hash(**got), blob::content_hash(*b_data));
+  }, 20 * kMillisecond);
+
+  f.kernel.run_process("t", [&](sim::Process& p) {
+    ASSERT_TRUE(client.mount(p, "/exports").is_ok());
+    ch.flusher_stall = 5 * kMillisecond;
+    ch.inline_stall = 50 * kMillisecond;
+    // Dirty /a's block, then evict it with /b's write: /a enters the flush
+    // queue and the background flusher starts draining it.
+    ASSERT_TRUE(client.write(p, "/a", 0, a_data).is_ok());
+    ASSERT_TRUE(client.flush(p).is_ok());
+    ASSERT_TRUE(client.write(p, "/b", 0, b_data).is_ok());
+    ASSERT_TRUE(client.flush(p).is_ok());
+    p.delay(kMillisecond);  // flusher extracts /a and hits its COMMIT stall
+    // Inline drain of /b overlaps the flusher's pinned /a drain and outlives
+    // it by ~45 ms: when /a's frame finishes first (non-LIFO), it must
+    // remove its own draining_ entry, not /b's.
+    ASSERT_TRUE(proxy.signal_write_back(p).is_ok());
+  });
+  EXPECT_EQ(f.kernel.failed_processes(), 0) << f.kernel.failed_names_joined();
+  EXPECT_GT(proxy.flush_queue_reads(), 0u);
+  EXPECT_EQ(proxy.pending_flush_blocks(), 0u);
+  EXPECT_EQ(blob::content_hash(**f.fs.get_file("/exports/b")),
+            blob::content_hash(*b_data));
 }
 
 TEST(FaultE2E, CloneWorkloadSurvivesServerCrash) {
