@@ -1,28 +1,29 @@
-// Counting operator new/delete, linked only into bench binaries. Relaxed
-// atomics: sim processes are real OS threads (cooperatively scheduled, one
-// running at a time), so counters must be shared across threads but never
-// see real contention — one uncontended lock-prefixed add per allocation.
+// Counting operator new/delete, linked only into bench binaries. Plain
+// (non-atomic) counters: since the fiber migration every sim process runs
+// on the one OS thread that called SimKernel::run, so allocation counting
+// is single-threaded by construction and the hook stays off the profile —
+// no lock-prefixed adds, no TLS aggregation. If a bench ever spawns real
+// threads that allocate, run it under TSan: the data race on these
+// counters is the desired alarm, not something to paper over.
 #include "alloc_hook.h"
 
-#include <atomic>
 #include <cstdlib>
 #include <new>
 
 namespace {
-std::atomic<std::uint64_t> g_alloc_count{0};
-std::atomic<std::uint64_t> g_alloc_bytes{0};
+std::uint64_t g_alloc_count = 0;
+std::uint64_t g_alloc_bytes = 0;
 
 void* counted_alloc(std::size_t n) noexcept {
-  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
-  g_alloc_bytes.fetch_add(n, std::memory_order_relaxed);
+  g_alloc_count += 1;
+  g_alloc_bytes += n;
   return std::malloc(n ? n : 1);
 }
 }  // namespace
 
 namespace gvfs::bench {
 AllocCounters alloc_snapshot() {
-  return AllocCounters{g_alloc_count.load(std::memory_order_relaxed),
-                       g_alloc_bytes.load(std::memory_order_relaxed)};
+  return AllocCounters{g_alloc_count, g_alloc_bytes};
 }
 }  // namespace gvfs::bench
 

@@ -1,7 +1,9 @@
 // Global allocation counters for the benches. Linking alloc_hook.cc into a
-// binary overrides operator new/delete to bump these relaxed atomics; the
-// BenchReport harness samples them around the measured region so every
-// BENCH_*.json can report allocation churn alongside wall-clock time.
+// binary overrides operator new/delete to bump plain single-threaded
+// counters (the fiber-based kernel runs every sim process on one OS
+// thread); the BenchReport harness samples them around the measured region
+// so every BENCH_*.json can report allocation churn alongside wall-clock
+// time.
 #pragma once
 
 #include <cstddef>

@@ -1,6 +1,12 @@
 // Micro-benchmarks (google-benchmark) for the hot paths of the GVFS
 // implementation itself: XDR codecs, proxy cache indexing, extent store
 // operations, synthetic content generation and hashing.
+//
+// Every benchmark pins its iteration count (->Iterations): adaptive timing
+// would re-derive the count from each machine's speed, making the
+// alloc_count in BENCH_micro.json nondeterministic — and that number is a
+// CI gate (tools/check_alloc_budget.sh) precisely because fixed iterations
+// make it exactly reproducible.
 #include <benchmark/benchmark.h>
 
 #include "alloc_hook.h"
@@ -41,7 +47,7 @@ void BM_XdrEncodeReadArgs(benchmark::State& state) {
     benchmark::DoNotOptimize(enc.size());
   }
 }
-BENCHMARK(BM_XdrEncodeReadArgs);
+BENCHMARK(BM_XdrEncodeReadArgs)->Iterations(1000000);
 
 void BM_XdrDecodeReadArgs(benchmark::State& state) {
   nfs::ReadArgs args;
@@ -57,7 +63,7 @@ void BM_XdrDecodeReadArgs(benchmark::State& state) {
     benchmark::DoNotOptimize(back.is_ok());
   }
 }
-BENCHMARK(BM_XdrDecodeReadArgs);
+BENCHMARK(BM_XdrDecodeReadArgs)->Iterations(2000000);
 
 // The 32 KiB READ decode path: payload must cross the codec without being
 // copied — the decoder hands out a ViewBlob sharing the receive buffer.
@@ -82,7 +88,7 @@ void BM_XdrDecodeReadRes32K(benchmark::State& state) {
   probe.finish(state);
   state.SetBytesProcessed(static_cast<i64>(state.iterations()) * 32_KiB);
 }
-BENCHMARK(BM_XdrDecodeReadRes32K);
+BENCHMARK(BM_XdrDecodeReadRes32K)->Iterations(500000);
 
 // Scatter-gather encode of a 32 KiB WRITE: the payload blob is borrowed by
 // reference; no flatten happens unless someone asks for the wire image.
@@ -102,7 +108,7 @@ void BM_XdrEncodeWriteArgs32K(benchmark::State& state) {
   probe.finish(state);
   state.SetBytesProcessed(static_cast<i64>(state.iterations()) * 32_KiB);
 }
-BENCHMARK(BM_XdrEncodeWriteArgs32K);
+BENCHMARK(BM_XdrEncodeWriteArgs32K)->Iterations(200000);
 
 void BM_XdrEncodeFattr(benchmark::State& state) {
   nfs::Fattr f;
@@ -113,7 +119,7 @@ void BM_XdrEncodeFattr(benchmark::State& state) {
     benchmark::DoNotOptimize(enc.size());
   }
 }
-BENCHMARK(BM_XdrEncodeFattr);
+BENCHMARK(BM_XdrEncodeFattr)->Iterations(500000);
 
 void BM_CacheLookupHit(benchmark::State& state) {
   sim::SimKernel kernel;
@@ -137,7 +143,7 @@ void BM_CacheLookupHit(benchmark::State& state) {
   });
   bench::require_no_failed_processes(kernel, "BM_CacheLookupHit");
 }
-BENCHMARK(BM_CacheLookupHit);
+BENCHMARK(BM_CacheLookupHit)->Iterations(500000);
 
 void BM_CacheSetIndexing(benchmark::State& state) {
   sim::SimKernel kernel;
@@ -158,7 +164,7 @@ void BM_CacheSetIndexing(benchmark::State& state) {
   });
   bench::require_no_failed_processes(kernel, "BM_CacheSetIndexing");
 }
-BENCHMARK(BM_CacheSetIndexing);
+BENCHMARK(BM_CacheSetIndexing)->Iterations(200000);
 
 // invalidate_file at the paper's 8 GiB / 262,144-frame geometry: cost must
 // scale with the number of file-resident blocks (the Arg), not capacity.
@@ -186,7 +192,11 @@ void BM_CacheInvalidateFile(benchmark::State& state) {
   bench::require_no_failed_processes(kernel, "BM_CacheInvalidateFile");
   state.counters["resident"] = static_cast<double>(resident);
 }
-BENCHMARK(BM_CacheInvalidateFile)->Arg(16)->Arg(256)->Arg(4096);
+BENCHMARK(BM_CacheInvalidateFile)
+    ->Arg(16)
+    ->Arg(256)
+    ->Arg(4096)
+    ->Iterations(2000);
 
 void BM_ExtentStoreWrite(benchmark::State& state) {
   blob::ExtentStore es;
@@ -197,7 +207,7 @@ void BM_ExtentStoreWrite(benchmark::State& state) {
   }
   benchmark::DoNotOptimize(es.extent_count());
 }
-BENCHMARK(BM_ExtentStoreWrite);
+BENCHMARK(BM_ExtentStoreWrite)->Iterations(200000);
 
 void BM_ExtentStoreReadSlice(benchmark::State& state) {
   blob::ExtentStore es;
@@ -212,7 +222,7 @@ void BM_ExtentStoreReadSlice(benchmark::State& state) {
     benchmark::DoNotOptimize(slice->size());
   }
 }
-BENCHMARK(BM_ExtentStoreReadSlice);
+BENCHMARK(BM_ExtentStoreReadSlice)->Iterations(500000);
 
 void BM_SyntheticRead32K(benchmark::State& state) {
   auto blob = blob::make_synthetic(5, 1_GiB, 0.92, 3.0);
@@ -224,7 +234,7 @@ void BM_SyntheticRead32K(benchmark::State& state) {
   }
   state.SetBytesProcessed(static_cast<i64>(state.iterations()) * 32_KiB);
 }
-BENCHMARK(BM_SyntheticRead32K);
+BENCHMARK(BM_SyntheticRead32K)->Iterations(100000);
 
 void BM_ZeroRangeCheck(benchmark::State& state) {
   auto blob = blob::make_synthetic(7, 512_MiB, 0.92, 3.0);
@@ -234,7 +244,7 @@ void BM_ZeroRangeCheck(benchmark::State& state) {
         blob->is_zero_range(rng.next_below(512_MiB - 8_KiB) & ~u64{8191}, 8_KiB));
   }
 }
-BENCHMARK(BM_ZeroRangeCheck);
+BENCHMARK(BM_ZeroRangeCheck)->Iterations(2000000);
 
 void BM_RangeHash1M(benchmark::State& state) {
   auto blob = blob::make_synthetic(9, 64_MiB, 0.5, 2.0);
@@ -243,7 +253,7 @@ void BM_RangeHash1M(benchmark::State& state) {
   }
   state.SetBytesProcessed(static_cast<i64>(state.iterations()) * 1_MiB);
 }
-BENCHMARK(BM_RangeHash1M);
+BENCHMARK(BM_RangeHash1M)->Iterations(200);
 
 void BM_SimProcessSwitch(benchmark::State& state) {
   // Cost of one virtual-time block/resume pair — the simulator's unit cost.
@@ -255,7 +265,7 @@ void BM_SimProcessSwitch(benchmark::State& state) {
   });
   bench::require_no_failed_processes(kernel, "BM_SimProcessSwitch");
 }
-BENCHMARK(BM_SimProcessSwitch);
+BENCHMARK(BM_SimProcessSwitch)->Iterations(1000000);
 
 }  // namespace
 }  // namespace gvfs

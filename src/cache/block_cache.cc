@@ -14,8 +14,32 @@ ProxyDiskCache::ProxyDiskCache(sim::DiskModel& disk, BlockCacheConfig cfg)
                                    cfg_.capacity_bytes / cfg_.block_size);
   num_sets_ = static_cast<u32>(std::max<u64>(1, total_frames / cfg_.associativity));
   sets_per_bank_ = std::max<u32>(1, num_sets_ / std::max<u32>(1, cfg_.num_banks));
-  frames_.resize(static_cast<std::size_t>(num_sets_) * cfg_.associativity);
+  total_frames_ = static_cast<u64>(num_sets_) * cfg_.associativity;
+  frames_per_chunk_ =
+      std::max<u32>(1, kTargetFramesPerChunk / cfg_.associativity) *
+      cfg_.associativity;
+  chunks_.resize(static_cast<std::size_t>(
+      (total_frames_ + frames_per_chunk_ - 1) / frames_per_chunk_));
   bank_exists_.resize(cfg_.num_banks + 1, false);
+}
+
+const ProxyDiskCache::Frame* ProxyDiskCache::set_base_(u32 set) const {
+  std::size_t idx = static_cast<std::size_t>(set) * cfg_.associativity;
+  const auto& chunk = chunks_[idx / frames_per_chunk_];
+  return chunk ? &chunk[idx % frames_per_chunk_] : nullptr;
+}
+
+ProxyDiskCache::Frame* ProxyDiskCache::set_base_(u32 set) {
+  std::size_t idx = static_cast<std::size_t>(set) * cfg_.associativity;
+  auto& chunk = chunks_[idx / frames_per_chunk_];
+  return chunk ? &chunk[idx % frames_per_chunk_] : nullptr;
+}
+
+ProxyDiskCache::Frame* ProxyDiskCache::set_base_create_(u32 set) {
+  std::size_t idx = static_cast<std::size_t>(set) * cfg_.associativity;
+  auto& chunk = chunks_[idx / frames_per_chunk_];
+  if (!chunk) chunk = std::make_unique<Frame[]>(frames_per_chunk_);
+  return &chunk[idx % frames_per_chunk_];
 }
 
 u32 ProxyDiskCache::set_index_(const BlockId& id) const {
@@ -25,8 +49,8 @@ u32 ProxyDiskCache::set_index_(const BlockId& id) const {
 }
 
 const ProxyDiskCache::Frame* ProxyDiskCache::find_(const BlockId& id) const {
-  u32 set = set_index_(id);
-  const Frame* base = &frames_[static_cast<std::size_t>(set) * cfg_.associativity];
+  const Frame* base = set_base_(set_index_(id));
+  if (base == nullptr) return nullptr;
   for (u32 w = 0; w < cfg_.associativity; ++w) {
     if (base[w].valid && base[w].id == id) return &base[w];
   }
@@ -34,8 +58,8 @@ const ProxyDiskCache::Frame* ProxyDiskCache::find_(const BlockId& id) const {
 }
 
 ProxyDiskCache::Frame* ProxyDiskCache::find_(const BlockId& id) {
-  u32 set = set_index_(id);
-  Frame* base = &frames_[static_cast<std::size_t>(set) * cfg_.associativity];
+  Frame* base = set_base_(set_index_(id));
+  if (base == nullptr) return nullptr;
   for (u32 w = 0; w < cfg_.associativity; ++w) {
     if (base[w].valid && base[w].id == id) return &base[w];
   }
@@ -47,23 +71,23 @@ bool ProxyDiskCache::contains(const BlockId& id) const {
 }
 
 void ProxyDiskCache::link_file_(u32 idx) {
-  Frame& f = frames_[idx];
+  Frame& f = frame_at_(idx);
   f.file_prev = kNil;
   auto [it, fresh] = file_head_.try_emplace(f.id.file_key, idx);
   if (fresh) {
     f.file_next = kNil;
   } else {
     f.file_next = it->second;
-    frames_[it->second].file_prev = idx;
+    frame_at_(it->second).file_prev = idx;
     it->second = idx;
   }
 }
 
 void ProxyDiskCache::unlink_file_(u32 idx) {
-  Frame& f = frames_[idx];
-  if (f.file_next != kNil) frames_[f.file_next].file_prev = f.file_prev;
+  Frame& f = frame_at_(idx);
+  if (f.file_next != kNil) frame_at_(f.file_next).file_prev = f.file_prev;
   if (f.file_prev != kNil) {
-    frames_[f.file_prev].file_next = f.file_next;
+    frame_at_(f.file_prev).file_next = f.file_next;
   } else {
     // Head of its file's list.
     auto it = file_head_.find(f.id.file_key);
@@ -115,7 +139,7 @@ std::optional<blob::BlobRef> ProxyDiskCache::lookup(sim::Process& p, const Block
   return f->data;
 }
 
-Status ProxyDiskCache::evict_(sim::Process& p, Frame& victim) {
+Status ProxyDiskCache::evict_(sim::Process& p, Frame& victim, u32 idx) {
   if (!victim.valid) return Status::ok();
   evictions_.inc();
   if (victim.dirty) {
@@ -128,7 +152,7 @@ Status ProxyDiskCache::evict_(sim::Process& p, Frame& victim) {
       GVFS_RETURN_IF_ERROR(writeback_(p, victim.id, victim.data));
     }
   }
-  unlink_file_(static_cast<u32>(&victim - frames_.data()));
+  unlink_file_(idx);
   clear_frame_(victim);
   resident_.sub(1);
   return Status::ok();
@@ -147,7 +171,8 @@ Status ProxyDiskCache::insert(sim::Process& p, const BlockId& id, blob::BlobRef 
 
   u32 set = set_index_(id);
   touch_bank_(p, set);
-  Frame* base = &frames_[static_cast<std::size_t>(set) * cfg_.associativity];
+  Frame* base = set_base_create_(set);
+  const u32 set_first = set * cfg_.associativity;
   Frame* slot = nullptr;
   for (u32 w = 0; w < cfg_.associativity; ++w) {
     if (base[w].valid && base[w].id == id) {
@@ -169,7 +194,8 @@ Status ProxyDiskCache::insert(sim::Process& p, const BlockId& id, blob::BlobRef 
       for (u32 w = 1; w < cfg_.associativity; ++w) {
         if (base[w].last_used < slot->last_used) slot = &base[w];
       }
-      GVFS_RETURN_IF_ERROR(evict_(p, *slot));
+      GVFS_RETURN_IF_ERROR(
+          evict_(p, *slot, set_first + static_cast<u32>(slot - base)));
     }
     resident_.add(1);
     new_residency = true;
@@ -194,7 +220,7 @@ Status ProxyDiskCache::insert(sim::Process& p, const BlockId& id, blob::BlobRef 
   slot->id = id;
   slot->data = std::move(data);
   slot->last_used = ++tick_;
-  if (new_residency) link_file_(static_cast<u32>(slot - frames_.data()));
+  if (new_residency) link_file_(set_first + static_cast<u32>(slot - base));
   if (dirty && !slot->dirty) {
     slot->dirty = true;
     dirty_.add(1);
@@ -226,16 +252,22 @@ Result<blob::BlobRef> ProxyDiskCache::merge(sim::Process& p, const BlockId& id,
 }
 
 Status ProxyDiskCache::write_back_all(sim::Process& p) {
-  for (Frame& f : frames_) {
-    if (f.valid && f.dirty) {
-      writebacks_.inc();
-      if (writeback_) {
-        disk_.access(p, f.data ? f.data->size() : cfg_.block_size,
-                     sim::Locality::kSequential);
-        GVFS_RETURN_IF_ERROR(writeback_(p, f.id, f.data));
+  for (std::size_t c = 0; c < chunks_.size(); ++c) {
+    if (!chunks_[c]) continue;
+    const std::size_t n = std::min<std::size_t>(
+        frames_per_chunk_, total_frames_ - c * frames_per_chunk_);
+    for (std::size_t i = 0; i < n; ++i) {
+      Frame& f = chunks_[c][i];
+      if (f.valid && f.dirty) {
+        writebacks_.inc();
+        if (writeback_) {
+          disk_.access(p, f.data ? f.data->size() : cfg_.block_size,
+                       sim::Locality::kSequential);
+          GVFS_RETURN_IF_ERROR(writeback_(p, f.id, f.data));
+        }
+        f.dirty = false;
+        dirty_.sub(1);
       }
-      f.dirty = false;
-      dirty_.sub(1);
     }
   }
   return Status::ok();
@@ -249,7 +281,7 @@ Status ProxyDiskCache::write_back_file(sim::Process& p, u64 file_key) {
   // walk mid-list.
   u32 idx = it->second;
   while (idx != kNil) {
-    Frame& f = frames_[idx];
+    Frame& f = frame_at_(idx);
     u32 next = f.file_next;
     if (f.valid && f.dirty) {
       writebacks_.inc();
@@ -273,15 +305,11 @@ Status ProxyDiskCache::flush_and_invalidate(sim::Process& p) {
 }
 
 void ProxyDiskCache::invalidate_all() {
-  for (Frame& f : frames_) {
-    if (f.valid && f.dirty) dirty_.sub(1);
-    f.valid = false;
-    f.dirty = false;
-    f.data.reset();
-    f.file_prev = kNil;
-    f.file_next = kNil;
-  }
+  // Drop whole chunks: releasing the storage also returns the testbed to
+  // its pre-warm footprint after a read-only session ends.
+  for (auto& chunk : chunks_) chunk.reset();
   file_head_.clear();
+  dirty_.set(0);
   resident_.set(0);
   resident_bytes_.set(0);
 }
@@ -292,7 +320,7 @@ void ProxyDiskCache::invalidate_file(u64 file_key) {
   u32 idx = it->second;
   file_head_.erase(it);
   while (idx != kNil) {
-    Frame& f = frames_[idx];
+    Frame& f = frame_at_(idx);
     u32 next = f.file_next;
     if (f.dirty) dirty_.sub(1);
     clear_frame_(f);
@@ -307,7 +335,7 @@ u64 ProxyDiskCache::file_resident_blocks(u64 file_key) const {
   auto it = file_head_.find(file_key);
   if (it == file_head_.end()) return 0;
   u64 n = 0;
-  for (u32 idx = it->second; idx != kNil; idx = frames_[idx].file_next) ++n;
+  for (u32 idx = it->second; idx != kNil; idx = frame_at_(idx).file_next) ++n;
   return n;
 }
 

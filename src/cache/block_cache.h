@@ -10,6 +10,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -130,10 +131,31 @@ class ProxyDiskCache {
     u32 file_next = kNil;
   };
 
+  // Frame storage is chunked and lazily materialized: at the paper's 8 GiB
+  // geometry the full set-major array is 262,144 frames (~20 MB), which a
+  // 1,000-node testbed cannot afford eagerly. Chunks are sized to a whole
+  // number of sets so one set never straddles two chunks; a set whose chunk
+  // was never touched holds no valid frames by definition, so lookups in it
+  // are misses without allocating anything.
+  static constexpr u32 kTargetFramesPerChunk = 4096;
+
   [[nodiscard]] u32 set_index_(const BlockId& id) const;
+  // Ways of `set`, or nullptr if its chunk was never materialized.
+  [[nodiscard]] const Frame* set_base_(u32 set) const;
+  Frame* set_base_(u32 set);
+  // Ways of `set`, materializing the chunk on first touch.
+  Frame* set_base_create_(u32 set);
+  // Frame by global index; the chunk must already exist (the index came
+  // from a live per-file list or an occupied set).
+  [[nodiscard]] const Frame& frame_at_(u32 idx) const {
+    return chunks_[idx / frames_per_chunk_][idx % frames_per_chunk_];
+  }
+  Frame& frame_at_(u32 idx) {
+    return chunks_[idx / frames_per_chunk_][idx % frames_per_chunk_];
+  }
   [[nodiscard]] const Frame* find_(const BlockId& id) const;
   Frame* find_(const BlockId& id);
-  Status evict_(sim::Process& p, Frame& victim);
+  Status evict_(sim::Process& p, Frame& victim, u32 idx);
   void touch_bank_(sim::Process& p, u32 set);
   void link_file_(u32 idx);
   void unlink_file_(u32 idx);
@@ -143,7 +165,9 @@ class ProxyDiskCache {
   BlockCacheConfig cfg_;
   u32 num_sets_;        // total sets across all banks
   u32 sets_per_bank_;
-  std::vector<Frame> frames_;  // num_sets_ * associativity, set-major
+  u32 frames_per_chunk_;  // multiple of associativity
+  u64 total_frames_;
+  std::vector<std::unique_ptr<Frame[]>> chunks_;  // set-major, lazy
   std::vector<bool> bank_exists_;
   // file_key -> index of the first resident frame of that file.
   std::unordered_map<u64, u32> file_head_;

@@ -77,6 +77,8 @@ Testbed::Testbed(TestbedOptions opt) : opt_(std::move(opt)) {
       server_->roll_write_verifier();
     });
   }
+  resolve_shared_node_config_();
+  nodes_.reserve(static_cast<std::size_t>(opt_.compute_nodes));
   for (int i = 0; i < opt_.compute_nodes; ++i) {
     nodes_.push_back(build_node_(i));
   }
@@ -130,6 +132,9 @@ void Testbed::build_lan_cache_node_() {
   lan_scp_up_ = std::make_unique<ssh::Scp>(*wan_down_, opt_.net.wan_cipher);
   lan_endpoint_ = std::make_unique<proxy::CachingFileEndpoint>(
       *server_endpoint_, *lan_scp_up_, *lan_disk_, opt_.file_cache_bytes);
+  // Same sharing semantics as the block path below: a storm of clones
+  // missing one golden image crosses the WAN once.
+  lan_endpoint_->set_single_flight(opt_.shared_l2_cache);
 
   // Second-level block-cache proxy on the LAN server.
   lan_to_origin_ = std::make_unique<ssh::SshTunnel>(*server_proxy_, wan_up_.get(),
@@ -154,17 +159,63 @@ void Testbed::build_lan_cache_node_() {
   if (tracer_) lan_proxy_->set_tracer(tracer_.get());
 }
 
+void Testbed::resolve_shared_node_config_() {
+  node_cfg_.local.buffer_cache_bytes = opt_.local_page_cache_bytes;
+  if (opt_.scenario == Scenario::kLocal) return;
+
+  node_cfg_.client.buffer_cache_bytes = opt_.client_page_cache_bytes;
+  if (opt_.scenario == Scenario::kPlainNfsWan) {
+    node_cfg_.client.rsize = node_cfg_.client.wsize = opt_.net.plain_rsize;
+    return;
+  }
+  node_cfg_.client.rsize = node_cfg_.client.wsize = opt_.net.gvfs_rsize;
+
+  node_cfg_.cached = opt_.scenario == Scenario::kWanCached;
+  bool wan = opt_.scenario != Scenario::kLan;
+
+  // Client proxy's upstream: either straight to the server-side proxy, or
+  // through the LAN second-level cache proxy (then to the origin).
+  node_cfg_.upstream = server_proxy_.get();
+  node_cfg_.tun_up = wan ? wan_up_.get() : lan_up_.get();
+  node_cfg_.tun_down = wan ? wan_down_.get() : lan_down_.get();
+  node_cfg_.tun_cipher = wan ? opt_.net.wan_cipher : opt_.net.lan_cipher;
+  node_cfg_.via_lan =
+      node_cfg_.cached && (opt_.second_level_lan_cache || opt_.shared_l2_cache);
+  if (node_cfg_.via_lan) {
+    node_cfg_.upstream = lan_proxy_.get();
+    node_cfg_.tun_up = lan_up_.get();
+    node_cfg_.tun_down = lan_down_.get();
+    node_cfg_.tun_cipher = opt_.net.lan_cipher;
+  }
+
+  node_cfg_.proxy.fetch_block = static_cast<u32>(opt_.block_cache.block_size);
+  node_cfg_.proxy.enable_meta = node_cfg_.cached && opt_.enable_meta;
+  if (node_cfg_.cached) node_cfg_.proxy.prefetch_depth = opt_.prefetch_depth;
+  node_cfg_.proxy.degraded_mode = opt_.degraded_proxy;
+  node_cfg_.proxy.async_writeback = opt_.enable_async_writeback;
+
+  if (node_cfg_.cached) {
+    node_cfg_.block_cache = opt_.block_cache;
+    node_cfg_.block_cache.policy = opt_.write_policy;
+    node_cfg_.endpoint =
+        node_cfg_.via_lan
+            ? static_cast<meta::RemoteFileEndpoint*>(lan_endpoint_.get())
+            : server_endpoint_.get();
+    node_cfg_.scp_link = node_cfg_.via_lan ? lan_down_.get() : wan_down_.get();
+  }
+}
+
 std::unique_ptr<Testbed::Node> Testbed::build_node_(int index) {
   auto node = std::make_unique<Node>();
+  const bool metrics_on = opt_.per_node_metrics;
   std::string tag = "node" + std::to_string(index);
   node->fs = std::make_unique<vfs::MemFs>();
   node->fs->set_clock([this] { return kernel_.now(); });
   node->disk = std::make_unique<sim::DiskModel>(kernel_, tag + "-disk", opt_.net.disk);
-  vfs::LocalSessionConfig lcfg;
-  lcfg.buffer_cache_bytes = opt_.local_page_cache_bytes;
-  node->local = std::make_unique<vfs::LocalFsSession>(*node->fs, *node->disk, lcfg);
+  node->local =
+      std::make_unique<vfs::LocalFsSession>(*node->fs, *node->disk, node_cfg_.local);
 
-  node->disk->register_metrics(registry_, tag + ".disk.");
+  if (metrics_on) node->disk->register_metrics(registry_, tag + ".disk.");
 
   if (opt_.scenario == Scenario::kLocal) {
     node->image_view =
@@ -177,10 +228,7 @@ std::unique_ptr<Testbed::Node> Testbed::build_node_(int index) {
   cred.gid = 1000;
   cred.machine = tag;
 
-  nfs::NfsClientConfig ccfg;
-  ccfg.buffer_cache_bytes = opt_.client_page_cache_bytes;
   if (opt_.scenario == Scenario::kPlainNfsWan) {
-    ccfg.rsize = ccfg.wsize = opt_.net.plain_rsize;
     node->direct = std::make_unique<rpc::LinkChannel>(*server_, wan_up_.get(),
                                                       wan_down_.get(),
                                                       30 * kMicrosecond);
@@ -190,97 +238,71 @@ std::unique_ptr<Testbed::Node> Testbed::build_node_(int index) {
       node->retry =
           std::make_unique<rpc::RetryChannel>(*node->faulty, kernel_, opt_.retry);
       chan = node->retry.get();
-      node->retry->register_metrics(registry_, tag + ".retry.");
+      if (metrics_on) node->retry->register_metrics(registry_, tag + ".retry.");
       if (tracer_) {
         node->faulty->set_tracer(tracer_.get());
         node->retry->set_tracer(tracer_.get());
       }
     }
-    node->client = std::make_unique<nfs::NfsClient>(*chan, cred, ccfg);
-    node->client->register_metrics(registry_, tag + ".client.");
+    node->client = std::make_unique<nfs::NfsClient>(*chan, cred, node_cfg_.client);
+    if (metrics_on) node->client->register_metrics(registry_, tag + ".client.");
     if (tracer_) node->client->set_tracer(tracer_.get());
     return node;
   }
 
-  ccfg.rsize = ccfg.wsize = opt_.net.gvfs_rsize;
-
-  bool cached = opt_.scenario == Scenario::kWanCached;
-  bool wan = opt_.scenario != Scenario::kLan;
-  sim::Link* up = wan ? wan_up_.get() : lan_up_.get();
-  sim::Link* down = wan ? wan_down_.get() : lan_down_.get();
-  const ssh::CipherSpec& cipher = wan ? opt_.net.wan_cipher : opt_.net.lan_cipher;
-
-  // Client proxy's upstream: either straight to the server-side proxy, or
-  // through the LAN second-level cache proxy (then to the origin).
-  rpc::RpcHandler* upstream_handler = server_proxy_.get();
-  sim::Link* tun_up = up;
-  sim::Link* tun_down = down;
-  ssh::CipherSpec tun_cipher = cipher;
-  if (cached && (opt_.second_level_lan_cache || opt_.shared_l2_cache)) {
-    upstream_handler = lan_proxy_.get();
-    tun_up = lan_up_.get();
-    tun_down = lan_down_.get();
-    tun_cipher = opt_.net.lan_cipher;
-  }
-  node->tunnel = std::make_unique<ssh::SshTunnel>(*upstream_handler, tun_up, tun_down,
-                                                  tun_cipher);
+  node->tunnel = std::make_unique<ssh::SshTunnel>(
+      *node_cfg_.upstream, node_cfg_.tun_up, node_cfg_.tun_down,
+      node_cfg_.tun_cipher);
 
   // The proxy's upstream channel: with fault injection enabled the tunnel is
   // wrapped in the injector (drops/partitions/crashes) and the proxy talks
   // through the retransmission layer, NFS-client-style.
   rpc::RpcChannel* upstream_chan = node->tunnel.get();
-  node->tunnel->register_metrics(registry_, tag + ".tunnel.");
+  if (metrics_on) node->tunnel->register_metrics(registry_, tag + ".tunnel.");
   if (faults_) {
     node->faulty = std::make_unique<rpc::FaultyChannel>(*node->tunnel, *faults_);
     node->retry =
         std::make_unique<rpc::RetryChannel>(*node->faulty, kernel_, opt_.retry);
     upstream_chan = node->retry.get();
-    node->retry->register_metrics(registry_, tag + ".retry.");
+    if (metrics_on) node->retry->register_metrics(registry_, tag + ".retry.");
     if (tracer_) {
       node->faulty->set_tracer(tracer_.get());
       node->retry->set_tracer(tracer_.get());
     }
   }
 
-  proxy::ProxyConfig pcfg;
+  proxy::ProxyConfig pcfg = node_cfg_.proxy;
   pcfg.name = tag + "-proxy";
-  pcfg.fetch_block = static_cast<u32>(opt_.block_cache.block_size);
-  pcfg.enable_meta = cached && opt_.enable_meta;
-  if (cached) pcfg.prefetch_depth = opt_.prefetch_depth;
-  pcfg.degraded_mode = opt_.degraded_proxy;
-  pcfg.async_writeback = opt_.enable_async_writeback;
   node->client_proxy = std::make_unique<proxy::GvfsProxy>(pcfg, *upstream_chan);
 
-  node->client_proxy->register_metrics(registry_, tag + ".proxy.");
+  if (metrics_on) node->client_proxy->register_metrics(registry_, tag + ".proxy.");
   if (tracer_) node->client_proxy->set_tracer(tracer_.get());
 
-  if (cached) {
-    cache::BlockCacheConfig bcfg = opt_.block_cache;
-    bcfg.policy = opt_.write_policy;
-    node->block_cache = std::make_unique<cache::ProxyDiskCache>(*node->disk, bcfg);
+  if (node_cfg_.cached) {
+    node->block_cache =
+        std::make_unique<cache::ProxyDiskCache>(*node->disk, node_cfg_.block_cache);
     node->client_proxy->attach_block_cache(*node->block_cache);
-    node->block_cache->register_metrics(registry_, tag + ".block_cache.");
 
     node->file_cache = std::make_unique<cache::FileCache>(
         *node->disk, cache::FileCacheConfig{opt_.file_cache_bytes});
-    bool via_lan = opt_.second_level_lan_cache || opt_.shared_l2_cache;
-    meta::RemoteFileEndpoint* endpoint =
-        via_lan ? static_cast<meta::RemoteFileEndpoint*>(lan_endpoint_.get())
-                : server_endpoint_.get();
-    node->scp = std::make_unique<ssh::Scp>(via_lan ? *lan_down_ : *wan_down_,
-                                           tun_cipher, opt_.file_channel_streams);
+    node->scp = std::make_unique<ssh::Scp>(*node_cfg_.scp_link, node_cfg_.tun_cipher,
+                                           opt_.file_channel_streams);
     node->file_channel = std::make_unique<meta::FileChannelClient>(
-        *endpoint, *node->scp, *node->file_cache, nullptr, opt_.net.gzip);
+        *node_cfg_.endpoint, *node->scp, *node->file_cache, nullptr, opt_.net.gzip);
     node->client_proxy->attach_file_channel(*node->file_channel, *node->file_cache);
-    node->file_cache->register_metrics(registry_, tag + ".file_cache.");
-    node->scp->register_metrics(registry_, tag + ".scp.");
-    node->file_channel->register_metrics(registry_, tag + ".file_channel.");
+    if (metrics_on) {
+      node->block_cache->register_metrics(registry_, tag + ".block_cache.");
+      node->file_cache->register_metrics(registry_, tag + ".file_cache.");
+      node->scp->register_metrics(registry_, tag + ".scp.");
+      node->file_channel->register_metrics(registry_, tag + ".file_channel.");
+    }
   }
 
   node->loopback = std::make_unique<rpc::LinkChannel>(*node->client_proxy, nullptr,
                                                       nullptr, 15 * kMicrosecond);
-  node->client = std::make_unique<nfs::NfsClient>(*node->loopback, cred, ccfg);
-  node->client->register_metrics(registry_, tag + ".client.");
+  node->client = std::make_unique<nfs::NfsClient>(*node->loopback, cred,
+                                                  node_cfg_.client);
+  if (metrics_on) node->client->register_metrics(registry_, tag + ".client.");
   if (tracer_) node->client->set_tracer(tracer_.get());
   return node;
 }
@@ -409,6 +431,11 @@ std::string Testbed::metrics_json() const {
   u64 timeouts = 0;
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     const Node& n = *nodes_[i];
+    if (n.retry) {
+      retransmits += n.retry->retransmits();
+      timeouts += n.retry->timeouts();
+    }
+    if (!opt_.per_node_metrics) continue;
     std::string tag = "node" + std::to_string(i);
     if (n.block_cache) {
       snap.emplace_back(tag + ".block_cache.hit_rate",
@@ -417,10 +444,6 @@ std::string Testbed::metrics_json() const {
     if (n.file_cache) {
       snap.emplace_back(tag + ".file_cache.hit_rate",
                         fmt_double(rate(n.file_cache->hits(), n.file_cache->misses())));
-    }
-    if (n.retry) {
-      retransmits += n.retry->retransmits();
-      timeouts += n.retry->timeouts();
     }
     if (n.client_proxy) {
       snap.emplace_back(tag + ".proxy.outage_seconds",

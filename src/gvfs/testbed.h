@@ -90,6 +90,12 @@ struct TestbedOptions {
   // default: zero per-call overhead and no behaviour change.
   bool enable_rpc_trace = false;
   u32 trace_capacity = 256;
+  // Register each node's instruments under "node<i>." ids. Default on (the
+  // per-figure benches read them); boot-storm topologies with 1,000 nodes
+  // turn it off — registration cost and registry size are
+  // O(nodes x instruments), and the storm reads only server/link aggregates
+  // plus its own per-node resume timings.
+  bool per_node_metrics = true;
 };
 
 class Testbed {
@@ -164,8 +170,28 @@ class Testbed {
  private:
   struct Node;
 
+  // Wiring shared by every compute node, resolved once before the node loop:
+  // node construction then only copies small config structs and allocates
+  // the node's own components — O(1)-ish per node instead of re-deriving
+  // scenario topology N times.
+  struct SharedNodeConfig {
+    bool cached = false;
+    bool via_lan = false;
+    nfs::NfsClientConfig client;
+    cache::BlockCacheConfig block_cache;
+    proxy::ProxyConfig proxy;  // per-node name filled in at build time
+    vfs::LocalSessionConfig local;
+    sim::Link* tun_up = nullptr;
+    sim::Link* tun_down = nullptr;
+    ssh::CipherSpec tun_cipher;
+    rpc::RpcHandler* upstream = nullptr;
+    meta::RemoteFileEndpoint* endpoint = nullptr;
+    sim::Link* scp_link = nullptr;
+  };
+
   void build_server_side_();
   void build_lan_cache_node_();
+  void resolve_shared_node_config_();
   std::unique_ptr<Node> build_node_(int index);
 
   TestbedOptions opt_;
@@ -200,6 +226,7 @@ class Testbed {
   std::unique_ptr<ssh::SshTunnel> lan_to_origin_;      // L2 proxy -> server proxy
   std::unique_ptr<proxy::GvfsProxy> lan_proxy_;        // L2 block-cache proxy
 
+  SharedNodeConfig node_cfg_;
   std::vector<std::unique_ptr<Node>> nodes_;
 };
 

@@ -5,6 +5,7 @@
 // pay only a LAN-disk read plus the LAN hop — no per-clone recompression.
 #pragma once
 
+#include <memory>
 #include <unordered_map>
 
 #include "common/metrics.h"
@@ -27,13 +28,21 @@ class CachingFileEndpoint final : public meta::RemoteFileEndpoint {
   Status store_compressed(sim::Process& p, vfs::FileId fileid, blob::BlobRef content,
                           u64 compressed_size) override;
 
+  // Single-flight pull coalescing: concurrent downstream fetches of one
+  // fileid join the first puller's WAN transfer instead of issuing duplicate
+  // pulls — a boot storm of N clones missing the same golden image costs one
+  // origin crossing, not N.
+  void set_single_flight(bool on) { single_flight_ = on; }
+
   [[nodiscard]] u64 cache_hits() const { return hits_.value(); }
   [[nodiscard]] u64 cache_misses() const { return misses_.value(); }
+  [[nodiscard]] u64 coalesced_fetches() const { return coalesced_.value(); }
   [[nodiscard]] u64 resident_bytes() const { return resident_.value(); }
 
   void register_metrics(metrics::Registry& r, const std::string& prefix) const {
     r.register_counter(prefix + "cache_hits", &hits_);
     r.register_counter(prefix + "cache_misses", &misses_);
+    r.register_counter(prefix + "coalesced_fetches", &coalesced_);
     r.register_gauge(prefix + "resident_bytes", &resident_);
   }
   [[nodiscard]] bool contains(vfs::FileId fileid) const {
@@ -51,6 +60,14 @@ class CachingFileEndpoint final : public meta::RemoteFileEndpoint {
   }
 
  private:
+  // One in-flight pull; waiters hold the shared entry so the Signal outlives
+  // the leader erasing the map slot.
+  struct InflightPull {
+    std::unique_ptr<sim::Signal> done;
+    bool complete = false;
+    Status status = Status::ok();
+  };
+
   Status pull_(sim::Process& p, vfs::FileId fileid);
 
   meta::RemoteFileEndpoint& upstream_;
@@ -58,9 +75,12 @@ class CachingFileEndpoint final : public meta::RemoteFileEndpoint {
   sim::DiskModel& disk_;
   u64 capacity_;
   std::unordered_map<vfs::FileId, meta::CompressedImage> images_;
+  bool single_flight_ = false;
+  std::unordered_map<vfs::FileId, std::shared_ptr<InflightPull>> inflight_;
   metrics::Gauge resident_;  // compressed bytes on the cache disk
   metrics::Counter hits_;
   metrics::Counter misses_;
+  metrics::Counter coalesced_;
 };
 
 }  // namespace gvfs::proxy

@@ -1,0 +1,170 @@
+#include "sim/fiber.h"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cassert>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#if GVFS_FIBER_ASAN
+#include <sanitizer/asan_interface.h>
+#include <sanitizer/common_interface_defs.h>
+#endif
+#if GVFS_FIBER_TSAN
+#include <sanitizer/tsan_interface.h>
+#endif
+
+namespace gvfs::sim::fiber {
+
+namespace {
+
+std::size_t page_size() {
+  static const std::size_t pg = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  return pg;
+}
+
+[[noreturn]] void die(const char* what) {
+  std::fprintf(stderr, "sim::fiber: %s\n", what);
+  std::abort();
+}
+
+}  // namespace
+
+// -------------------------------------------------------------- StackPool --
+
+StackPool::StackPool(std::size_t stack_bytes) : stack_bytes_(stack_bytes) {
+  std::size_t pg = page_size();
+  stack_bytes_ = (stack_bytes_ + pg - 1) / pg * pg;
+}
+
+StackPool::~StackPool() {
+  for (const Stack& s : free_) munmap(s.map_base, s.map_size);
+}
+
+Stack StackPool::acquire() {
+  if (!free_.empty()) {
+    Stack s = free_.back();
+    free_.pop_back();
+    return s;
+  }
+  std::size_t pg = page_size();
+  Stack s;
+  s.map_size = stack_bytes_ + pg;  // + low guard page
+  s.map_base = mmap(nullptr, s.map_size, PROT_NONE,
+                    MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (s.map_base == MAP_FAILED) die("stack mmap failed");
+  s.limit = static_cast<unsigned char*>(s.map_base) + pg;
+  s.usable = stack_bytes_;
+  if (mprotect(s.limit, s.usable, PROT_READ | PROT_WRITE) != 0) {
+    die("stack mprotect failed");
+  }
+  ++created_;
+  return s;
+}
+
+void StackPool::release(const Stack& s) {
+#if GVFS_FIBER_ASAN
+  // A finished fiber leaves poisoned redzones behind; the next tenant must
+  // see a clean stack.
+  __asan_unpoison_memory_region(s.limit, s.usable);
+#endif
+  free_.push_back(s);
+}
+
+// ------------------------------------------------------------------ Fiber --
+
+Fiber::Fiber(StackPool& pool, MainContext& main, Entry entry, void* arg)
+    : pool_(pool), main_(main), entry_(entry), arg_(arg), stack_(pool.acquire()) {
+  if (getcontext(&ctx_) != 0) die("getcontext failed");
+  ctx_.uc_stack.ss_sp = stack_.limit;
+  ctx_.uc_stack.ss_size = stack_.usable;
+  ctx_.uc_link = nullptr;
+  // makecontext only passes ints; smuggle the 64-bit this-pointer as two.
+  auto p = reinterpret_cast<std::uintptr_t>(this);
+  makecontext(&ctx_, reinterpret_cast<void (*)()>(&Fiber::trampoline_), 2,
+              static_cast<unsigned>(p >> 32),
+              static_cast<unsigned>(p & 0xffffffffu));
+#if GVFS_FIBER_TSAN
+  tsan_fiber_ = __tsan_create_fiber(0);
+#endif
+}
+
+Fiber::~Fiber() {
+  // The kernel kills (and thereby finishes) every process before dropping
+  // its fiber; a live fiber here would leak its half-run stack.
+  assert(finished_ && "destroying an unfinished fiber");
+#if GVFS_FIBER_TSAN
+  if (tsan_fiber_ != nullptr) __tsan_destroy_fiber(tsan_fiber_);
+#endif
+  if (!stack_released_) pool_.release(stack_);
+}
+
+void Fiber::resume() {
+  assert(!finished_ && "resuming a finished fiber");
+#if GVFS_FIBER_TSAN
+  if (main_.tsan_fiber_ == nullptr) {
+    main_.tsan_fiber_ = __tsan_get_current_fiber();
+  }
+  __tsan_switch_to_fiber(tsan_fiber_, 0);
+#endif
+#if GVFS_FIBER_ASAN
+  __sanitizer_start_switch_fiber(&main_.fake_stack_, stack_.limit, stack_.usable);
+#endif
+  if (swapcontext(&main_.ctx_, &ctx_) != 0) die("swapcontext to fiber failed");
+#if GVFS_FIBER_ASAN
+  const void* from_bottom = nullptr;
+  std::size_t from_size = 0;
+  __sanitizer_finish_switch_fiber(main_.fake_stack_, &from_bottom, &from_size);
+#endif
+  if (finished_) {
+#if GVFS_FIBER_TSAN
+    __tsan_destroy_fiber(tsan_fiber_);
+    tsan_fiber_ = nullptr;
+#endif
+    // Recycle eagerly: the next spawn reuses this stack even while the
+    // Process object (and its name) lives on for end-of-run reporting.
+    pool_.release(stack_);
+    stack_released_ = true;
+  }
+}
+
+void Fiber::yield() {
+#if GVFS_FIBER_TSAN
+  __tsan_switch_to_fiber(main_.tsan_fiber_, 0);
+#endif
+#if GVFS_FIBER_ASAN
+  __sanitizer_start_switch_fiber(&fake_stack_, main_.stack_bottom_,
+                                 main_.stack_size_);
+#endif
+  if (swapcontext(&ctx_, &main_.ctx_) != 0) die("swapcontext to scheduler failed");
+#if GVFS_FIBER_ASAN
+  __sanitizer_finish_switch_fiber(fake_stack_, &main_.stack_bottom_,
+                                  &main_.stack_size_);
+#endif
+}
+
+void Fiber::trampoline_(unsigned hi, unsigned lo) {
+  auto* self = reinterpret_cast<Fiber*>(
+      (static_cast<std::uintptr_t>(hi) << 32) | static_cast<std::uintptr_t>(lo));
+#if GVFS_FIBER_ASAN
+  __sanitizer_finish_switch_fiber(nullptr, &self->main_.stack_bottom_,
+                                  &self->main_.stack_size_);
+#endif
+  self->entry_(self->arg_);  // must not throw (kernel trampoline catches)
+  self->finished_ = true;
+#if GVFS_FIBER_TSAN
+  __tsan_switch_to_fiber(self->main_.tsan_fiber_, 0);
+#endif
+#if GVFS_FIBER_ASAN
+  // nullptr fake-stack save: this fiber never runs again, release its fake
+  // frames instead of saving them.
+  __sanitizer_start_switch_fiber(nullptr, self->main_.stack_bottom_,
+                                 self->main_.stack_size_);
+#endif
+  swapcontext(&self->ctx_, &self->main_.ctx_);
+  die("finished fiber resumed");
+}
+
+}  // namespace gvfs::sim::fiber

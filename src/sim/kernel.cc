@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
 
 #include "common/log.h"
 
@@ -9,158 +10,198 @@ namespace gvfs::sim {
 
 // ---------------------------------------------------------------- Process --
 
-void Process::block_(std::unique_lock<std::mutex>& lk) {
+void Process::block_() {
   state_ = State::kBlocked;
-  kernel_.kernel_cv_.notify_one();
-  cv_.wait(lk, [this] { return state_ == State::kRunning || killed_; });
+  fiber_->yield();
+  // The scheduler set state_ back to kRunning (or killed_) before resuming.
   if (killed_) throw ProcessKilled{};
 }
 
 void Process::delay(SimDuration d) {
   assert(d >= 0 && "negative delay");
-  std::unique_lock<std::mutex> lk(kernel_.mu_);
-  kernel_.schedule_locked(kernel_.now_ + d, this);
-  block_(lk);
+  kernel_.schedule_(kernel_.now_ + d, this);
+  block_();
 }
 
 void Process::delay_until(SimTime t) {
-  std::unique_lock<std::mutex> lk(kernel_.mu_);
-  kernel_.schedule_locked(std::max(t, kernel_.now_), this);
-  block_(lk);
+  kernel_.schedule_(std::max(t, kernel_.now_), this);
+  block_();
 }
 
 SimTime Process::now() const { return kernel_.now_; }
+
+void Process::fiber_main_(void* arg) {
+  auto* p = static_cast<Process*>(arg);
+  try {
+    p->body_(*p);
+  } catch (const ProcessKilled&) {
+    // normal shutdown path
+  } catch (...) {
+    p->failed_ = true;
+    GVFS_ERROR("sim") << "process '" << p->name() << "' threw";
+  }
+  p->body_ = nullptr;  // release the closure's captures eagerly
+  if (p->failed_) {
+    ++p->kernel_.failed_;
+    p->kernel_.failed_names_.push_back(p->name_);
+  }
+  p->state_ = State::kDone;
+}
 
 // ----------------------------------------------------------------- Signal --
 
 Signal::Signal(SimKernel& kernel, std::string name)
     : kernel_(kernel), name_(std::move(name)) {
-  std::unique_lock<std::mutex> lk(kernel_.mu_);
-  kernel_.register_signal_locked(this);
+  kernel_.register_signal_(this);
 }
 
-Signal::~Signal() {
-  std::unique_lock<std::mutex> lk(kernel_.mu_);
-  kernel_.unregister_signal_locked(this);
+Signal::~Signal() { kernel_.unregister_signal_(this); }
+
+void Signal::compact_() {
+  if (wait_head_ == waiters_.size()) {
+    waiters_.clear();
+    wait_head_ = 0;
+  } else if (wait_head_ > 64 && wait_head_ * 2 > waiters_.size()) {
+    waiters_.erase(waiters_.begin(),
+                   waiters_.begin() + static_cast<std::ptrdiff_t>(wait_head_));
+    wait_head_ = 0;
+  }
 }
 
 void Signal::notify_all() {
-  std::unique_lock<std::mutex> lk(kernel_.mu_);
-  if (waiters_.empty()) ++missed_notifies_;
-  for (Process* w : waiters_) kernel_.schedule_locked(kernel_.now_, w);
+  if (no_waiters_()) ++missed_notifies_;
+  for (std::size_t i = wait_head_; i < waiters_.size(); ++i) {
+    kernel_.schedule_(kernel_.now_, waiters_[i]);
+  }
   waiters_.clear();
+  wait_head_ = 0;
 }
 
 bool Signal::notify_one() {
-  std::unique_lock<std::mutex> lk(kernel_.mu_);
-  if (waiters_.empty()) {
+  if (no_waiters_()) {
     ++missed_notifies_;
     return false;
   }
-  Process* w = waiters_.front();
-  waiters_.erase(waiters_.begin());
-  kernel_.schedule_locked(kernel_.now_, w);
+  Process* w = waiters_[wait_head_++];
+  compact_();
+  kernel_.schedule_(kernel_.now_, w);
   return true;
 }
 
 void Signal::add_holder() {
-  std::unique_lock<std::mutex> lk(kernel_.mu_);
   if (kernel_.current_ != nullptr) holders_.push_back(kernel_.current_);
 }
 
 void Signal::remove_holder() {
-  std::unique_lock<std::mutex> lk(kernel_.mu_);
   if (kernel_.current_ == nullptr) return;
   auto it = std::find(holders_.begin(), holders_.end(), kernel_.current_);
   if (it != holders_.end()) holders_.erase(it);
 }
 
 void Process::wait(Signal& s) {
-  std::unique_lock<std::mutex> lk(kernel_.mu_);
+  s.compact_();
   s.waiters_.push_back(this);
-  block_(lk);
+  block_();
 }
 
 // -------------------------------------------------------------- SimKernel --
 
+SimKernel::SimKernel() {
+  // Arena-style wakeup storage: pre-reserve the heap's backing vector so
+  // steady-state scheduling never touches the allocator (priority_queue
+  // keeps the reserved capacity it is move-constructed from).
+  std::vector<Wakeup> storage;
+  storage.reserve(1024);
+  queue_ = decltype(queue_)(std::greater<>{}, std::move(storage));
+}
+
 SimKernel::~SimKernel() {
-  std::unique_lock<std::mutex> lk(mu_);
-  // Kill anything still alive so its thread unwinds and can be joined.
+  // Kill anything still alive so its fiber unwinds (RAII cleanup) and its
+  // stack returns to the pool. Matches the old engine's destructor: no
+  // current_ attribution, so holder annotations released during this
+  // teardown are no-ops.
   for (auto& p : procs_) {
     if (p->state_ != Process::State::kDone) {
-      p->killed_ = true;
-      p->cv_.notify_one();
+      kill_process_(p.get(), /*as_current=*/false);
     }
   }
-  for (auto& p : procs_) {
-    kernel_cv_.wait(lk, [&] { return p->state_ == Process::State::kDone; });
-  }
-  reap_locked(lk);
 }
 
 Process& SimKernel::spawn(std::string name, ProcessBody body, SimDuration start_after) {
-  std::unique_lock<std::mutex> lk(mu_);
   auto proc = std::unique_ptr<Process>(new Process(*this, std::move(name)));
   Process* p = proc.get();
-  p->thread_ = std::thread([this, p, body = std::move(body)]() mutable {
-    {
-      std::unique_lock<std::mutex> tlk(mu_);
-      p->cv_.wait(tlk, [p] { return p->state_ == Process::State::kRunning || p->killed_; });
-      if (p->killed_) {
-        p->state_ = Process::State::kDone;
-        done_unjoined_.push_back(p);
-        kernel_cv_.notify_one();
-        return;
-      }
-    }
-    try {
-      body(*p);
-    } catch (const ProcessKilled&) {
-      // normal shutdown path
-    } catch (...) {
-      p->failed_ = true;
-      GVFS_ERROR("sim") << "process '" << p->name() << "' threw";
-    }
-    std::unique_lock<std::mutex> tlk(mu_);
-    if (p->failed_) {
-      ++failed_;
-      failed_names_.push_back(p->name());
-    }
-    p->state_ = Process::State::kDone;
-    done_unjoined_.push_back(p);
-    kernel_cv_.notify_one();
-  });
-  schedule_locked(now_ + start_after, p);
+  p->body_ = std::move(body);
+  schedule_(now_ + start_after, p);
   procs_.push_back(std::move(proc));
   return *p;
 }
 
-void SimKernel::schedule_locked(SimTime t, Process* p) {
+void SimKernel::schedule_(SimTime t, Process* p) {
   queue_.push(Wakeup{t, seq_++, p});
 }
 
-void SimKernel::resume_and_wait_locked(std::unique_lock<std::mutex>& lk, Process* p) {
+void SimKernel::resume_process_(Process* p) {
   p->state_ = Process::State::kRunning;
+  Process* prev = current_;
   current_ = p;
-  p->cv_.notify_one();
-  kernel_cv_.wait(lk, [p] { return p->state_ != Process::State::kRunning; });
-  current_ = nullptr;
+  if (!p->fiber_.has_value()) {
+    p->fiber_.emplace(stacks_, main_ctx_, &Process::fiber_main_, p);
+  }
+  p->fiber_->resume();
+  current_ = prev;
 }
 
-void SimKernel::register_signal_locked(Signal* s) { signals_.push_back(s); }
-
-void SimKernel::unregister_signal_locked(Signal* s) {
-  auto it = std::find(signals_.begin(), signals_.end(), s);
-  if (it != signals_.end()) signals_.erase(it);
+void SimKernel::kill_process_(Process* p, bool as_current) {
+  p->killed_ = true;
+  if (p->state_ == Process::State::kCreated || !p->fiber_.has_value()) {
+    // Never dispatched: the body never ran, nothing to unwind.
+    p->body_ = nullptr;
+    p->state_ = Process::State::kDone;
+    return;
+  }
+  // Blocked: resume the fiber; block_() sees killed_ and throws
+  // ProcessKilled, unwinding the body's RAII cleanup.
+  if (as_current) {
+    resume_process_(p);
+  } else {
+    p->state_ = Process::State::kRunning;
+    p->fiber_->resume();
+  }
+  assert(p->state_ == Process::State::kDone && "killed process did not finish");
 }
 
-QuiescenceReport SimKernel::analyze_quiescence_locked() const {
+void SimKernel::register_signal_(Signal* s) {
+  s->reg_prev_ = signals_tail_;
+  s->reg_next_ = nullptr;
+  if (signals_tail_ != nullptr) {
+    signals_tail_->reg_next_ = s;
+  } else {
+    signals_head_ = s;
+  }
+  signals_tail_ = s;
+}
+
+void SimKernel::unregister_signal_(Signal* s) {
+  if (s->reg_prev_ != nullptr) {
+    s->reg_prev_->reg_next_ = s->reg_next_;
+  } else {
+    signals_head_ = s->reg_next_;
+  }
+  if (s->reg_next_ != nullptr) {
+    s->reg_next_->reg_prev_ = s->reg_prev_;
+  } else {
+    signals_tail_ = s->reg_prev_;
+  }
+  s->reg_prev_ = s->reg_next_ = nullptr;
+}
+
+QuiescenceReport SimKernel::analyze_quiescence_() const {
   QuiescenceReport report;
   // Wait-for edges: a blocked waiter on signal S waits for every process
   // currently annotated as holding S (hold-and-wait). Registration order of
   // signals and FIFO order of wait lists keep the report deterministic.
   std::vector<Process*> nodes;
-  std::vector<std::vector<Process*>> out;
+  std::vector<std::vector<std::size_t>> out;
   auto node_index = [&](Process* p) {
     for (std::size_t i = 0; i < nodes.size(); ++i) {
       if (nodes[i] == p) return i;
@@ -169,34 +210,36 @@ QuiescenceReport SimKernel::analyze_quiescence_locked() const {
     out.emplace_back();
     return nodes.size() - 1;
   };
-  for (const Signal* s : signals_) {
-    for (Process* w : s->waiters_) {
+  // Resolve every edge target to a node index up front: node_index can grow
+  // `out`, and growing it mid-DFS would invalidate the adjacency list the
+  // DFS is iterating. After this pass the graph is frozen.
+  for (const Signal* s = signals_head_; s != nullptr; s = s->reg_next_) {
+    for (std::size_t i = s->wait_head_; i < s->waiters_.size(); ++i) {
+      Process* w = s->waiters_[i];
       if (w->state_ != Process::State::kBlocked) continue;
-      report.blocked.push_back(
-          {w->name_, s->name_, s->missed_notifies_ > 0});
+      report.blocked.push_back({w->name_, s->name_, s->missed_notifies_ > 0});
       std::size_t wi = node_index(w);
       for (Process* h : s->holders_) {
         if (h != w && h->state_ == Process::State::kBlocked) {
-          out[wi].push_back(h);
+          std::size_t hi = node_index(h);
+          out[wi].push_back(hi);
         }
       }
     }
   }
-  // Cycle detection: iterative colored DFS over the wait-for graph. Every
-  // node has at most a handful of edges, so the quadratic node lookup above
-  // is fine at quiescence scale.
+  // Cycle detection: colored DFS over the now-immutable wait-for graph.
+  // Every node has at most a handful of edges, so the quadratic node lookup
+  // above is fine at quiescence scale.
   enum class Color { kWhite, kGrey, kBlack };
   std::vector<Color> color(nodes.size(), Color::kWhite);
   std::vector<Process*> stack;
   std::function<void(std::size_t)> dfs = [&](std::size_t v) {
     color[v] = Color::kGrey;
     stack.push_back(nodes[v]);
-    for (Process* t : out[v]) {
-      std::size_t ti = node_index(t);
-      if (ti >= color.size()) color.resize(nodes.size(), Color::kWhite);
+    for (std::size_t ti : out[v]) {
       if (color[ti] == Color::kGrey) {
-        // Found a back edge: the cycle is the stack suffix starting at t.
-        auto it = std::find(stack.begin(), stack.end(), t);
+        // Found a back edge: the cycle is the stack suffix starting at ti.
+        auto it = std::find(stack.begin(), stack.end(), nodes[ti]);
         std::vector<std::string> cycle;
         for (; it != stack.end(); ++it) cycle.push_back((*it)->name_);
         report.cycles.push_back(std::move(cycle));
@@ -213,15 +256,7 @@ QuiescenceReport SimKernel::analyze_quiescence_locked() const {
   return report;
 }
 
-void SimKernel::reap_locked(std::unique_lock<std::mutex>&) {
-  for (Process* p : done_unjoined_) {
-    if (p->thread_.joinable()) p->thread_.join();
-  }
-  done_unjoined_.clear();
-}
-
 SimTime SimKernel::run() {
-  std::unique_lock<std::mutex> lk(mu_);
   assert(!running_ && "SimKernel::run is not reentrant");
   running_ = true;
   while (!queue_.empty()) {
@@ -230,14 +265,14 @@ SimTime SimKernel::run() {
     if (w.proc->state_ == Process::State::kDone) continue;
     assert(w.time >= now_ && "time went backwards");
     now_ = w.time;
-    resume_and_wait_locked(lk, w.proc);
-    reap_locked(lk);
+    if (tracer_) tracer_(w.time, w.seq, *w.proc);
+    resume_process_(w.proc);
   }
   // Event queue drained ("quiescence"): any process still blocked waits on
   // a signal that will never fire. Run the lockdep pass over the wait-for
   // graph first — a hold-and-wait cycle here is a real deadlock, not an
-  // idle server — then kill the stragglers so their threads unwind.
-  quiescence_ = analyze_quiescence_locked();
+  // idle server — then kill the stragglers so their fibers unwind.
+  quiescence_ = analyze_quiescence_();
   for (const auto& cycle : quiescence_.cycles) {
     std::string names;
     for (const std::string& n : cycle) {
@@ -256,17 +291,17 @@ SimTime SimKernel::run() {
     }
   }
 #endif
-  for (auto& p : procs_) {
+  // Index loop: RAII cleanup in an unwinding process may spawn (growing
+  // procs_), which would invalidate iterators.
+  for (std::size_t i = 0; i < procs_.size(); ++i) {
+    Process* p = procs_[i].get();
     if (p->state_ == Process::State::kBlocked || p->state_ == Process::State::kCreated) {
       GVFS_WARN("sim") << "killing process '" << p->name() << "' blocked at end of run";
-      p->killed_ = true;
-      current_ = p.get();  // unwinding RAII cleanup runs on behalf of `p`
-      p->cv_.notify_one();
-      kernel_cv_.wait(lk, [&] { return p->state_ == Process::State::kDone; });
-      current_ = nullptr;
+      // as_current: unwinding RAII cleanup runs on behalf of `p`, so lockdep
+      // holder annotations it releases attribute correctly.
+      kill_process_(p, /*as_current=*/true);
     }
   }
-  reap_locked(lk);
   running_ = false;
   return now_;
 }

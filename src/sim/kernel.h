@@ -1,29 +1,31 @@
 // Process-oriented discrete-event simulation kernel.
 //
 // Every actor in an experiment (a VM monitor, a background cache flusher, a
-// parallel cloning client) is a Process: a cooperatively-scheduled OS thread
-// that blocks on virtual time. Exactly one thread — either the kernel's
-// driver or a single process — runs at any moment, so simulation state needs
-// no further synchronization. Determinism: the ready queue orders wakeups by
-// (time, sequence number), and sequence numbers are handed out in program
-// order, so identical inputs give identical schedules.
+// parallel cloning client) is a Process: a cooperatively-scheduled stackful
+// fiber (sim/fiber.h) that blocks on virtual time. Exactly one context —
+// the scheduler or a single process fiber — runs at any moment, all on one
+// OS thread, so simulation state needs no synchronization and a wakeup
+// costs one user-space context swap each way. Determinism: the ready queue
+// orders wakeups by (time, sequence number), and sequence numbers are
+// handed out in program order, so identical inputs give identical
+// schedules — the fiber engine produces the exact (time, seq) schedule the
+// original thread-per-process engine did.
 //
 // The protocol stack (NFS client, proxies, caches, servers) is written as
 // ordinary synchronous code; latency and bandwidth costs are charged by
 // blocking the calling process on Link / DiskModel resources (resources.h).
 #pragma once
 
-#include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
+#include <optional>
 #include <queue>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/types.h"
+#include "sim/fiber.h"
 
 namespace gvfs::sim {
 
@@ -31,7 +33,7 @@ class SimKernel;
 class Process;
 
 // Thrown inside a process when the kernel shuts down while it is blocked;
-// unwinds the process body so its thread can be joined.
+// unwinds the process body so RAII cleanup (permits, caches) runs.
 struct ProcessKilled {};
 
 // Deadlock checking (sim lockdep). The kernel always keeps the cheap
@@ -51,6 +53,9 @@ struct ProcessKilled {};
 //
 // Signals register with their kernel so end-of-run deadlock analysis can
 // walk every wait list; the optional `name` shows up in those reports.
+// Registration is an intrusive list: O(1) to join and leave (RPC-scoped
+// signals are created per call) while preserving registration order for
+// deterministic reports.
 class Signal {
  public:
   explicit Signal(SimKernel& kernel, std::string name = "signal");
@@ -79,11 +84,24 @@ class Signal {
  private:
   friend class Process;
   friend class SimKernel;
+
+  [[nodiscard]] bool no_waiters_() const { return wait_head_ == waiters_.size(); }
+  // Reclaim the consumed prefix once it dominates the vector, so a signal
+  // that always has a waiter doesn't accrete its full wake history.
+  void compact_();
+
   SimKernel& kernel_;
   std::string name_;
+  // FIFO wait list as vector + head index: notify_one is O(1) amortized
+  // (the old erase(begin()) was O(waiters) per wake). Live waiters are
+  // waiters_[wait_head_ ..]; the prefix is already-woken history.
   std::vector<Process*> waiters_;
+  std::size_t wait_head_ = 0;
   std::vector<Process*> holders_;
   u64 missed_notifies_ = 0;
+  // Kernel signal registry (intrusive, registration order).
+  Signal* reg_prev_ = nullptr;
+  Signal* reg_next_ = nullptr;
 };
 
 // Handle passed to a process body; all blocking primitives live here.
@@ -108,14 +126,21 @@ class Process {
 
   Process(SimKernel& kernel, std::string name) : kernel_(kernel), name_(std::move(name)) {}
 
-  // Blocks the calling thread until the kernel hands control back.
-  // Precondition: `lk` holds the kernel mutex and this process is current.
-  void block_(std::unique_lock<std::mutex>& lk);
+  // Yields the fiber back to the scheduler until the kernel hands control
+  // back; throws ProcessKilled if the kernel shut the process down.
+  // Precondition: called on this process's fiber while it is current.
+  void block_();
+
+  // Fiber entry point: runs body_, records failure, marks kDone.
+  static void fiber_main_(void* arg);
 
   SimKernel& kernel_;
   std::string name_;
-  std::thread thread_;
-  std::condition_variable cv_;
+  std::function<void(Process&)> body_;  // released once the body finishes
+  // Embedded (not heap-allocated) and constructed lazily on first dispatch:
+  // spawning costs no fiber work, and a process killed before it ever ran
+  // never builds one.
+  std::optional<fiber::Fiber> fiber_;
   State state_ = State::kCreated;
   bool killed_ = false;
   bool failed_ = false;  // body exited via exception other than ProcessKilled
@@ -148,7 +173,7 @@ struct QuiescenceReport {
 
 class SimKernel {
  public:
-  SimKernel() = default;
+  SimKernel();
   ~SimKernel();
   SimKernel(const SimKernel&) = delete;
   SimKernel& operator=(const SimKernel&) = delete;
@@ -158,8 +183,8 @@ class SimKernel {
   Process& spawn(std::string name, ProcessBody body, SimDuration start_after = 0);
 
   // Drive the simulation until no scheduled wakeups remain. Processes still
-  // blocked on signals at that point are killed (they unwind and join).
-  // Returns the final virtual time.
+  // blocked on signals at that point are killed (they unwind via
+  // ProcessKilled). Returns the final virtual time.
   SimTime run();
 
   // Convenience: spawn a single process and run the kernel to completion.
@@ -189,6 +214,18 @@ class SimKernel {
     return quiescence_;
   }
 
+  // Observes every dispatch the run loop makes, in order: the wakeup's
+  // virtual time, its sequence number, and the process resumed. The
+  // (time, seq, name) stream IS the schedule — the determinism property
+  // tests record it and demand byte-identical replays. Null (default)
+  // costs nothing.
+  using ScheduleTracer = std::function<void(SimTime time, u64 seq, const Process& p)>;
+  void set_schedule_tracer(ScheduleTracer fn) { tracer_ = std::move(fn); }
+
+  // Fiber stacks ever mapped == high-water mark of concurrently-live
+  // processes (stacks are pooled and recycled across spawns).
+  [[nodiscard]] u64 fiber_stacks_created() const { return stacks_.stacks_created(); }
+
  private:
   friend class Process;
   friend class Signal;
@@ -202,21 +239,22 @@ class SimKernel {
     }
   };
 
-  // Precondition for *_locked: mu_ held.
-  void schedule_locked(SimTime t, Process* p);
-  void resume_and_wait_locked(std::unique_lock<std::mutex>& lk, Process* p);
-  void reap_locked(std::unique_lock<std::mutex>& lk);
-  void register_signal_locked(Signal* s);
-  void unregister_signal_locked(Signal* s);
+  void schedule_(SimTime t, Process* p);
+  // Hand control to `p`'s fiber (creating it on first dispatch); returns
+  // when the fiber blocks or finishes.
+  void resume_process_(Process* p);
+  // Unwind a blocked process via ProcessKilled (or retire a never-started
+  // one). `as_current`: run the unwind with current_ == p so lockdep holder
+  // annotations released by RAII cleanup attribute correctly.
+  void kill_process_(Process* p, bool as_current);
+  void register_signal_(Signal* s);
+  void unregister_signal_(Signal* s);
   // Build the wait-for graph over still-blocked waiters and detect
   // hold-and-wait cycles and lost-wakeup shapes.
-  QuiescenceReport analyze_quiescence_locked() const;
+  QuiescenceReport analyze_quiescence_() const;
 
-  std::mutex mu_;
-  std::condition_variable kernel_cv_;
   std::priority_queue<Wakeup, std::vector<Wakeup>, std::greater<>> queue_;
   std::vector<std::unique_ptr<Process>> procs_;
-  std::vector<Process*> done_unjoined_;
   SimTime now_ = 0;
   u64 seq_ = 0;
   SplitMix64 rng_;
@@ -224,8 +262,12 @@ class SimKernel {
   std::vector<std::string> failed_names_;
   bool running_ = false;
   Process* current_ = nullptr;  // the one process allowed to run right now
-  std::vector<Signal*> signals_;  // live signals, registration order
+  fiber::MainContext main_ctx_;
+  fiber::StackPool stacks_;
+  Signal* signals_head_ = nullptr;  // live signals, registration order
+  Signal* signals_tail_ = nullptr;
   QuiescenceReport quiescence_;
+  ScheduleTracer tracer_;
 };
 
 }  // namespace gvfs::sim

@@ -3,6 +3,8 @@
 // queueing and CPU pools.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "sim/kernel.h"
@@ -481,6 +483,223 @@ TEST(Disk, FifoQueueing) {
   EXPECT_LT(end_a, from_millis(11));
   EXPECT_GE(end_b, end_a + from_millis(10));
   EXPECT_LT(end_b, from_millis(21));
+}
+
+// ------------------------------------------------------------ determinism --
+
+// Seeded mix of delays, signal ping-pong, and notify_all drains across five
+// processes; returns the full dispatch trace as "time seq name" lines.
+std::string run_traced_scenario() {
+  SimKernel k;
+  k.seed_rng(1234);
+  std::string trace;
+  k.set_schedule_tracer([&](SimTime t, u64 seq, const Process& p) {
+    trace += std::to_string(t) + " " + std::to_string(seq) + " " + p.name() + "\n";
+  });
+  Signal ping(k, "ping");
+  Signal pong(k, "pong");
+  for (int i = 0; i < 4; ++i) {
+    k.spawn("worker-" + std::to_string(i), [&, i](Process& p) {
+      for (int r = 0; r < 2; ++r) {
+        p.delay(static_cast<SimDuration>(k.rng().next_below(97)) + i);
+        if ((r + i) % 2 == 0) {
+          ping.notify_one();
+          p.wait(pong);
+        } else {
+          pong.notify_one();
+          p.wait(ping);
+        }
+      }
+    });
+  }
+  k.spawn("drain", [&](Process& p) {
+    for (int r = 0; r < 6; ++r) {
+      p.delay(50);
+      ping.notify_all();
+      pong.notify_all();
+    }
+  });
+  k.run();
+  EXPECT_EQ(k.failed_processes(), 0) << k.failed_names_joined();
+  return trace;
+}
+
+// The exact dispatch schedule of run_traced_scenario(). Any engine change
+// that reorders wakeups — even preserving correctness — breaks replayability
+// of every experiment in the repo and must show up here, not in a flaky
+// bench. (The thread->fiber migration was validated against this trace.)
+constexpr const char* kGoldenScheduleTrace =
+    "0 0 worker-0\n"
+    "0 1 worker-1\n"
+    "0 2 worker-2\n"
+    "0 3 worker-3\n"
+    "0 4 drain\n"
+    "21 7 worker-2\n"
+    "32 8 worker-3\n"
+    "32 10 worker-2\n"
+    "50 9 drain\n"
+    "50 12 worker-3\n"
+    "58 6 worker-1\n"
+    "70 5 worker-0\n"
+    "70 15 worker-1\n"
+    "100 13 drain\n"
+    "100 17 worker-0\n"
+    "104 11 worker-2\n"
+    "119 14 worker-3\n"
+    "119 16 worker-1\n"
+    "119 20 worker-2\n"
+    "122 19 worker-0\n"
+    "122 21 worker-3\n"
+    "150 18 drain\n"
+    "150 22 worker-0\n"
+    "150 23 worker-1\n"
+    "200 24 drain\n"
+    "250 25 drain\n"
+    "300 26 drain\n";
+
+TEST(SimKernel, ScheduleTraceIsDeterministicAcrossRuns) {
+  std::string first = run_traced_scenario();
+  std::string second = run_traced_scenario();
+  EXPECT_EQ(first, second) << "same seed, same spawn order => same schedule";
+  EXPECT_FALSE(first.empty());
+}
+
+TEST(SimKernel, ScheduleTraceMatchesCommittedGolden) {
+  EXPECT_EQ(run_traced_scenario(), kGoldenScheduleTrace);
+}
+
+TEST(SimKernel, FiberStacksAreRecycledAcrossSequentialProcesses) {
+  // 64 processes that never overlap in virtual time must share one pooled
+  // stack; the pool's high-water mark is the real concurrency, not the
+  // spawn count.
+  SimKernel k;
+  int ran = 0;
+  for (int i = 0; i < 64; ++i) {
+    k.spawn("seq-" + std::to_string(i), [&](Process& p) {
+      p.delay(1);
+      ++ran;
+    }, /*start_after=*/i * 10);
+  }
+  k.run();
+  EXPECT_EQ(ran, 64);
+  EXPECT_EQ(k.fiber_stacks_created(), 1u);
+}
+
+namespace {
+// noinline + volatile scratch so the frames are real and not tail-folded.
+__attribute__((noinline)) u64 deep_recurse(u64 depth) {
+  volatile char scratch[256];
+  scratch[0] = static_cast<char>(depth);
+  if (depth == 0) return static_cast<u64>(scratch[0]);
+  return deep_recurse(depth - 1) + 1;
+}
+}  // namespace
+
+TEST(SimKernel, FiberStackHasThreadSizedHeadroom) {
+  // Regression: blob extent chains recurse one frame per layer
+  // (ExtentStore::compressed_size), and a long interactive write session
+  // builds chains deep enough to need multiple MiB of stack. The old
+  // thread-per-process engine got 8 MiB from glibc; the fiber stacks must
+  // match. 8192 frames x ~300 B ≈ 2.5 MiB — overflows a 1 MiB stack,
+  // comfortable in 8 MiB even with sanitizer redzones inflating frames.
+  SimKernel k;
+  u64 got = 0;
+  k.spawn("deep", [&](Process& p) {
+    p.delay(1);
+    got = deep_recurse(8192);
+  });
+  k.run();
+  EXPECT_EQ(got, 8192u);
+}
+
+TEST(Lockdep, LargeWaitForGraphSurvivesReallocationAndFindsCycle) {
+  // Regression for the quiescence-analysis iterator invalidation: the DFS
+  // used to walk out[v] while resolving edge targets could still grow (and
+  // reallocate) the adjacency structure. Build a graph with enough nodes to
+  // force several reallocations — 32 holder/waiter pairs around a buried
+  // 3-way cycle — plus a holder ("ghost") whose awaited signal is destroyed
+  // before quiescence, so it enters the graph only as an edge target.
+  SimKernel k;
+  Semaphore a(k, 1, "a");
+  Semaphore b(k, 1, "b");
+  Semaphore c(k, 1, "c");
+  Signal never(k, "never");
+  std::vector<std::unique_ptr<Semaphore>> extra;
+  for (int i = 0; i < 32; ++i) {
+    extra.push_back(std::make_unique<Semaphore>(k, 1, "x" + std::to_string(i)));
+  }
+  for (int i = 0; i < 32; ++i) {
+    k.spawn("holder-" + std::to_string(i), [&, i](Process& p) {
+      extra[static_cast<std::size_t>(i)]->acquire(p);
+      p.wait(never);
+    });
+    k.spawn("waiter-" + std::to_string(i), [&, i](Process& p) {
+      p.delay(1);
+      extra[static_cast<std::size_t>(i)]->acquire(p);
+    });
+  }
+  k.spawn("p1", [&](Process& p) { a.acquire(p); p.delay(10); b.acquire(p); });
+  k.spawn("p2", [&](Process& p) { b.acquire(p); p.delay(10); c.acquire(p); });
+  k.spawn("p3", [&](Process& p) { c.acquire(p); p.delay(10); a.acquire(p); });
+  Semaphore g(k, 1, "g");
+  auto* doomed = new Signal(k, "doomed");
+  k.spawn("ghost", [&](Process& p) {
+    g.acquire(p);
+    p.wait(*doomed);
+  });
+  k.spawn("destroyer", [&](Process& p) {
+    p.delay(5);
+    delete doomed;  // ghost stays blocked on an unregistered signal
+    doomed = nullptr;
+  });
+  k.spawn("gwaiter", [&](Process& p) {
+    p.delay(6);
+    g.acquire(p);  // waits for ghost, which no registered signal lists
+  });
+  k.run();
+  const QuiescenceReport& report = k.quiescence_report();
+  ASSERT_TRUE(report.deadlock()) << report.to_string();
+  ASSERT_EQ(report.cycles.size(), 1u) << report.to_string();
+  EXPECT_EQ(report.cycles[0].size(), 3u) << report.to_string();
+  for (const char* name : {"p1", "p2", "p3"}) {
+    EXPECT_TRUE(report.names_process(name)) << name;
+  }
+  // 32 on "never" + 32 semaphore waiters + 3 cycle members + gwaiter; the
+  // ghost waits on a dead signal, so it is an edge target but not a
+  // blocked-waiter record.
+  EXPECT_EQ(report.blocked.size(), 68u) << report.to_string();
+  EXPECT_TRUE(report.names_process("gwaiter"));
+  EXPECT_FALSE(report.names_process("ghost"));
+  EXPECT_EQ(k.failed_processes(), 0) << k.failed_names_joined();
+}
+
+TEST(Signal, NotifyOneStaysFifoUnderChurn) {
+  // Hammer the head-index FIFO: one long-lived waiter plus a churn of
+  // transient waiters, with wake order recorded. Order must match the old
+  // erase-from-front semantics exactly, and the compacted wait list must
+  // not wake anyone twice.
+  SimKernel k;
+  Signal s(k, "churn");
+  std::vector<int> order;
+  for (int i = 0; i < 200; ++i) {
+    k.spawn("w" + std::to_string(i), [&, i](Process& p) {
+      p.delay(i);  // enqueue in a known order
+      p.wait(s);
+      order.push_back(i);
+    });
+  }
+  k.spawn("n", [&](Process& p) {
+    p.delay(1000);
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_TRUE(s.notify_one());
+      p.delay(1);
+    }
+    EXPECT_FALSE(s.notify_one());
+  });
+  k.run();
+  ASSERT_EQ(order.size(), 200u);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  EXPECT_EQ(k.failed_processes(), 0) << k.failed_names_joined();
 }
 
 }  // namespace

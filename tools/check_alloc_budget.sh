@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Allocation-budget gate for the simulation engine.
+#
+# bench_micro pins every benchmark to a fixed iteration count, so the
+# alloc_count it reports is deterministic: the same binary performs the same
+# number of operator-new calls on every run, on every machine. That makes
+# allocation churn CI-gateable the way the stdout hashes make the virtual
+# timeline gateable: this script runs bench_micro and fails if alloc_count
+# exceeds the budget committed in tools/alloc_budget.txt.
+#
+# The budget carries ~5 % headroom over the measured count so a toolchain
+# bump doesn't trip it; a real regression (per-op allocation on a hot sim
+# path) blows through it immediately. When a PR legitimately changes
+# allocation behaviour, re-measure and update tools/alloc_budget.txt in the
+# same commit, explaining the move.
+#
+# Usage: tools/check_alloc_budget.sh [build-dir]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+# Absolute: the bench runs from a scratch directory below.
+build_dir="$(cd "$build_dir" 2>/dev/null && pwd || echo "$build_dir")"
+budget_file="$repo_root/tools/alloc_budget.txt"
+
+cmake -B "$build_dir" -S "$repo_root" >/dev/null
+cmake --build "$build_dir" -j "$(nproc)" --target bench_micro >/dev/null
+
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+
+(cd "$work" && "$build_dir/bench/bench_micro" >/dev/null 2>&1)
+
+count="$(sed -n 's/.*"alloc_count": \([0-9]*\).*/\1/p' "$work/BENCH_micro.json")"
+budget="$(grep -v '^#' "$budget_file" | head -1 | tr -d '[:space:]')"
+
+if [[ -z "$count" ]]; then
+  echo "FAIL: could not read alloc_count from BENCH_micro.json" >&2
+  exit 1
+fi
+if [[ "$count" -gt "$budget" ]]; then
+  echo "FAIL: bench_micro alloc_count $count exceeds budget $budget" >&2
+  echo "(allocation regression on a hot simulation path, or an intentional" >&2
+  echo "change that must update tools/alloc_budget.txt)" >&2
+  exit 1
+fi
+echo "alloc budget check passed: alloc_count $count <= budget $budget"

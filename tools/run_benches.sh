@@ -27,6 +27,7 @@ benches=(
   bench_ablate_writeback
   bench_fault_recovery
   bench_shared_writeback
+  bench_boot_storm
   bench_micro
 )
 
