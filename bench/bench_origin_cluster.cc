@@ -1,0 +1,404 @@
+// Origin image cluster: N sharded, R-replicated origin NfsServers behind the
+// per-node ShardRouter (DESIGN.md §5.7).
+//
+// Two experiments:
+//   A. Read load spread — K compute nodes cold-read a shared catalog of small
+//      files through clusters of N = 1, 2, 4 shards (R = 1). The
+//      file-handle-hash shard map must spread per-origin READ load to within
+//      ~1/N of the total (gated at 1.45x the ideal share), while the total
+//      READ count stays within 2% of the single-origin run.
+//   B. Crash failover — a 4-shard / 2-replica cluster takes a replica crash
+//      mid-write-session (async write-back, degraded proxies, soft-mount
+//      retry budget). The router detects the dead replica via retransmission
+//      exhaustion, acks writes from the survivor, journals everything the
+//      dead origin missed, and replays the journal on reintegration: after
+//      quiesce, every acked byte must be present on EVERY replica of its
+//      shard — zero lost acked writes — with the measured outage bounded.
+//      Swept over two crash victims so both shard neighbourhoods fail over.
+#include "bench_util.h"
+#include "blob/blob.h"
+#include "common/rng.h"
+
+using namespace gvfs;
+
+namespace {
+
+// ---- A: read load spread ----------------------------------------------------
+
+constexpr int kReaders = 4;
+constexpr int kCatalogFiles = 64;
+constexpr u64 kCatalogFileBytes = 128_KiB;
+constexpr double kSpreadSlack = 1.45;  // max per-origin share vs ideal 1/N
+
+struct SpreadRun {
+  std::vector<u64> per_origin;  // READ calls served by each origin
+  u64 total_reads = 0;
+  double max_over_ideal = 0;  // max per-origin / (total / N)
+  double elapsed_s = 0;
+};
+
+Result<SpreadRun> run_spread(u32 shards, bench::MetricsLog& mlog) {
+  core::TestbedOptions opt;
+  opt.scenario = core::Scenario::kWanCached;
+  opt.generate_image_meta = false;  // block-RPC path only
+  opt.compute_nodes = kReaders;
+  opt.origin_cluster = true;
+  opt.origin_shards = shards;
+  opt.origin_replicas = 1;
+  core::Testbed bed(opt);
+
+  for (int f = 0; f < kCatalogFiles; ++f) {
+    GVFS_RETURN_IF_ERROR(bed.put_image_file(
+        "/cat" + std::to_string(f),
+        blob::make_synthetic(100 + static_cast<u64>(f), kCatalogFileBytes, 0.0, 1.0)));
+  }
+
+  Status st = Status::ok();
+  SimTime start = bed.kernel().now();
+  SimTime end = start;
+  for (int c = 0; c < kReaders; ++c) {
+    bed.kernel().spawn("reader" + std::to_string(c), [&, c](sim::Process& p) {
+      if (Status m = bed.mount(p, c); !m.is_ok()) {
+        st = m;
+        return;
+      }
+      for (int f = 0; f < kCatalogFiles; ++f) {
+        auto data = bed.image_session(c).read_all(p, "/cat" + std::to_string(f));
+        if (!data.is_ok()) {
+          st = data.status();
+          return;
+        }
+      }
+      end = std::max(end, p.now());
+    });
+  }
+  bed.kernel().run();
+  if (!st.is_ok()) return st;
+  bench::require_no_failed_processes(bed.kernel(), "origin_cluster spread");
+
+  SpreadRun out;
+  out.elapsed_s = to_seconds(end - start);
+  u64 max_reads = 0;
+  for (u32 j = 0; j < bed.origin_count(); ++j) {
+    u64 reads = bed.origin_server(static_cast<int>(j))->calls(nfs::Proc::kRead);
+    out.per_origin.push_back(reads);
+    out.total_reads += reads;
+    max_reads = std::max(max_reads, reads);
+  }
+  double ideal = static_cast<double>(out.total_reads) / shards;
+  out.max_over_ideal = ideal > 0 ? static_cast<double>(max_reads) / ideal : 0;
+  mlog.capture("spread_n" + std::to_string(shards), bed);
+  return out;
+}
+
+// ---- B: crash failover ------------------------------------------------------
+
+constexpr u32 kClusterShards = 4;
+constexpr u32 kClusterReplicas = 2;
+constexpr int kWriters = 2;
+constexpr int kMinFilesPerWriter = 3;
+constexpr int kMaxClusterFiles = 16;
+constexpr u64 kWriteFileBytes = 256_KiB;
+constexpr u64 kWriteBlock = 32_KiB;  // block-aligned: no fetch-on-partial-write
+constexpr int kOpsPerWriter = 36;
+constexpr int kFlushEvery = 6;  // deterministic cadence: ~2 flushes land
+                                // inside the 12 s crash window
+constexpr double kMaxOutageMs = 45000.0;  // crash window is 12 s; lazy probes
+                                          // must reintegrate well before quiesce
+
+struct WriteOp {
+  SimDuration gap = 0;
+  int file = 0;
+  u64 offset = 0;
+  u64 fill_seed = 0;
+  bool flush = false;
+};
+
+struct FailoverRun {
+  u64 acked_writes = 0;
+  u64 lost_writes = 0;  // acked writes missing from any replica — must be 0
+  u64 failovers = 0;
+  u64 resyncs = 0;
+  u64 journaled = 0;
+  u64 replayed = 0;
+  double outage_ms = 0;
+  double elapsed_s = 0;
+};
+
+Result<FailoverRun> run_failover(int victim, bench::MetricsLog& mlog) {
+  core::TestbedOptions opt;
+  opt.scenario = core::Scenario::kWanCached;
+  opt.generate_image_meta = false;
+  opt.compute_nodes = kWriters;
+  opt.origin_cluster = true;
+  opt.origin_shards = kClusterShards;
+  opt.origin_replicas = kClusterReplicas;
+  opt.write_policy = cache::WritePolicy::kWriteBack;
+  opt.enable_async_writeback = true;
+  opt.degraded_proxy = true;
+  opt.enable_fault_injection = true;
+  opt.fault.crashes.push_back(
+      sim::FaultWindow{20 * kSecond, 32 * kSecond, victim});
+  opt.retry.timeout = 250 * kMillisecond;
+  opt.retry.max_retransmits = 2;  // soft mount: kTimeout reaches the router
+  core::Testbed bed(opt);
+
+  // Initial images plus the locally-maintained expected bytes per file.
+  // Files are dealt round-robin to the writers and creation continues until
+  // every shard holds at least one file — with R = 2 chained declustering
+  // that guarantees every origin (any crash victim) sees WRITE traffic.
+  std::vector<std::vector<std::string>> paths(kWriters);   // session-relative
+  std::vector<std::vector<std::vector<u8>>> expect(kWriters);
+  {
+    std::vector<bool> shard_covered(kClusterShards, false);
+    u32 covered = 0;
+    for (int f = 0; f < kMaxClusterFiles; ++f) {
+      int c = f % kWriters;
+      std::string rel = "/wf" + std::to_string(f);
+      blob::BlobRef init = blob::make_synthetic(900 + static_cast<u64>(f),
+                                                kWriteFileBytes, 0.0, 1.0);
+      GVFS_RETURN_IF_ERROR(bed.put_image_file(rel, init));
+      paths[static_cast<std::size_t>(c)].push_back(rel);
+      auto& bytes = expect[static_cast<std::size_t>(c)].emplace_back();
+      bytes.resize(kWriteFileBytes);
+      init->read(0, bytes);
+      auto id = bed.origin_fs(0).resolve(bed.image_dir() + rel);
+      if (!id.is_ok()) return id.status();
+      u32 shard = bed.shard_router(0)->shard_of(bed.origin_server(0)->fh_of(*id));
+      if (!shard_covered[shard]) {
+        shard_covered[shard] = true;
+        ++covered;
+      }
+      if (covered == kClusterShards &&
+          paths[kWriters - 1].size() >= kMinFilesPerWriter) {
+        break;
+      }
+    }
+    if (covered != kClusterShards) {
+      return err(ErrCode::kInternal, "file set does not cover every shard");
+    }
+  }
+
+  // Pre-generate the op streams — identical for every crash victim. Writes
+  // cycle round-robin over the writer's files with a fixed flush cadence, so
+  // every shard takes quorum WRITEs inside the 20-32 s crash window; ops span
+  // roughly [0, 43] s.
+  std::vector<std::vector<WriteOp>> ops(kWriters);
+  SplitMix64 rng(0xc1a5);
+  for (int c = 0; c < kWriters; ++c) {
+    const auto n_files = paths[static_cast<std::size_t>(c)].size();
+    for (int i = 0; i < kOpsPerWriter; ++i) {
+      WriteOp op;
+      op.gap = (800 + rng.next_below(800)) * kMillisecond;
+      op.file = static_cast<int>(static_cast<std::size_t>(i) % n_files);
+      op.offset = rng.next_below(kWriteFileBytes / kWriteBlock) * kWriteBlock;
+      op.fill_seed = rng.next();
+      op.flush = i % kFlushEvery == kFlushEvery - 1;
+      ops[static_cast<std::size_t>(c)].push_back(op);
+    }
+  }
+
+  Status st = Status::ok();
+  FailoverRun out;
+  SimTime start = bed.kernel().now();
+  SimTime end = start;
+  for (int c = 0; c < kWriters; ++c) {
+    bed.kernel().spawn("writer" + std::to_string(c), [&, c](sim::Process& p) {
+      if (Status m = bed.mount(p, c); !m.is_ok()) {
+        st = m;
+        return;
+      }
+      auto& session = bed.image_session(c);
+      // Learn names/attrs before the crash window so degraded mode can serve.
+      for (const std::string& path : paths[static_cast<std::size_t>(c)]) {
+        if (auto a = session.stat(p, path); !a.is_ok()) {
+          st = a.status();
+          return;
+        }
+      }
+      for (const WriteOp& op : ops[static_cast<std::size_t>(c)]) {
+        p.delay(op.gap);
+        if (op.flush) {
+          if (Status fl = session.flush(p); !fl.is_ok()) {
+            st = fl;
+            return;
+          }
+          if (Status wb = bed.signal_write_back(p, c); !wb.is_ok()) {
+            st = wb;
+            return;
+          }
+          continue;
+        }
+        const std::string& path =
+            paths[static_cast<std::size_t>(c)][static_cast<std::size_t>(op.file)];
+        std::vector<u8> data(kWriteBlock);
+        SplitMix64 fill(op.fill_seed);
+        for (auto& b : data) b = static_cast<u8>(fill.next());
+        if (Status w = session.write(p, path, op.offset, blob::make_bytes(data));
+            !w.is_ok()) {
+          st = w;
+          return;
+        }
+        auto& bytes =
+            expect[static_cast<std::size_t>(c)][static_cast<std::size_t>(op.file)];
+        std::copy(data.begin(), data.end(),
+                  bytes.begin() + static_cast<long>(op.offset));
+        ++out.acked_writes;
+      }
+      // Quiesce: past the crash window, replay degraded queues, drain the
+      // flusher, and force the router to reintegrate + replay journals.
+      p.delay_until(60 * kSecond);
+      if (Status r = bed.client_proxy(c)->signal_reconnect(p); !r.is_ok()) {
+        st = r;
+        return;
+      }
+      if (Status fl = session.flush(p); !fl.is_ok()) {
+        st = fl;
+        return;
+      }
+      if (Status wb = bed.signal_write_back(p, c); !wb.is_ok()) {
+        st = wb;
+        return;
+      }
+      bed.shard_router(c)->resync(p);
+      end = std::max(end, p.now());
+    });
+  }
+  bed.kernel().run();
+  if (!st.is_ok()) return st;
+  bench::require_no_failed_processes(bed.kernel(), "origin_cluster failover");
+  out.elapsed_s = to_seconds(end - start);
+
+  for (int c = 0; c < kWriters; ++c) {
+    if (bed.client_proxy(c)->pending_writebacks() != 0 ||
+        bed.client_proxy(c)->pending_flush_blocks() != 0) {
+      return err(ErrCode::kInternal, "write-back queue did not drain");
+    }
+    const proxy::ShardRouter* router = bed.shard_router(c);
+    out.failovers += router->failovers();
+    out.resyncs += router->resyncs();
+    out.journaled += router->journaled_ops();
+    out.replayed += router->replayed_ops();
+    out.outage_ms = std::max(out.outage_ms, router->last_outage_ms());
+    for (u32 j = 0; j < bed.origin_count(); ++j) {
+      if (!router->origin_live(j) || router->journal_size(j) != 0) {
+        return err(ErrCode::kInternal, "origin not reintegrated after resync");
+      }
+    }
+  }
+
+  // Zero-lost-acked-writes check: every file's bytes must match the expected
+  // content on EVERY replica of its shard.
+  const proxy::ShardRouter* router = bed.shard_router(0);
+  for (int c = 0; c < kWriters; ++c) {
+    for (std::size_t f = 0; f < paths[static_cast<std::size_t>(c)].size(); ++f) {
+      std::string abs = bed.image_dir() + paths[static_cast<std::size_t>(c)][f];
+      auto id = bed.origin_fs(0).resolve(abs);
+      if (!id.is_ok()) return id.status();
+      u32 shard = router->shard_of(bed.origin_server(0)->fh_of(*id));
+      const auto& want = expect[static_cast<std::size_t>(c)][f];
+      for (u32 j : router->replicas_of(shard)) {
+        auto got = bed.origin_fs(static_cast<int>(j)).get_file(abs);
+        if (!got.is_ok()) return got.status();
+        std::vector<u8> bytes((*got)->size());
+        (*got)->read(0, bytes);
+        if (bytes != want) ++out.lost_writes;
+      }
+    }
+  }
+  mlog.capture("failover_victim" + std::to_string(victim), bed);
+  return out;
+}
+
+std::string joined_counts(const std::vector<u64>& v) {
+  std::string out;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) out += " / ";
+    out += std::to_string(v[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::BenchReport rep("origin_cluster");
+  bench::MetricsLog mlog;
+
+  // ---- A: read load spread --------------------------------------------------
+  bench::banner("Origin cluster: per-origin READ load, 4 nodes x 64-file catalog");
+  bench::Table spread({"origins (N)", "per-origin READs", "total", "max/ideal",
+                       "elapsed (s)", "spread"});
+  const u32 shard_counts[] = {1, 2, 4};
+  u64 baseline_reads = 0;
+  bool spread_ok = true;
+  for (u32 n : shard_counts) {
+    auto r = run_spread(n, mlog);
+    if (!r.is_ok()) {
+      std::fprintf(stderr, "spread run failed: %s\n", r.status().to_string().c_str());
+      return 1;
+    }
+    if (n == 1) baseline_reads = r->total_reads;
+    bool balanced = r->max_over_ideal <= kSpreadSlack;
+    double vs_single = baseline_reads > 0
+                           ? static_cast<double>(r->total_reads) /
+                                 static_cast<double>(baseline_reads)
+                           : 0;
+    bool total_ok = vs_single >= 0.98 && vs_single <= 1.02;
+    spread_ok = spread_ok && balanced && total_ok;
+    spread.add_row({std::to_string(n), joined_counts(r->per_origin),
+                    std::to_string(r->total_reads), fmt_double(r->max_over_ideal, 2),
+                    fmt_double(r->elapsed_s, 1),
+                    balanced && total_ok ? "ok" : "IMBALANCED"});
+    rep.add_scalar("spread_n" + std::to_string(n) + "_max_over_ideal",
+                   r->max_over_ideal);
+    rep.add_scalar("spread_n" + std::to_string(n) + "_total_reads", r->total_reads);
+  }
+  spread.print();
+  if (!spread_ok) {
+    std::fprintf(stderr, "read load spread gate failed\n");
+    return 1;
+  }
+
+  // ---- B: crash failover ----------------------------------------------------
+  bench::banner("Replica crash at 20-32 s: failover, journal resync, verify");
+  bench::Table fo({"crash victim", "acked writes", "lost", "failovers", "resyncs",
+                   "journaled", "replayed", "outage (s)", "elapsed (s)"});
+  bool failover_ok = true;
+  for (int victim : {1, 2}) {
+    auto r = run_failover(victim, mlog);
+    if (!r.is_ok()) {
+      std::fprintf(stderr, "failover run failed: %s\n",
+                   r.status().to_string().c_str());
+      return 1;
+    }
+    bool gates = r->lost_writes == 0 && r->failovers >= 1 && r->resyncs >= 1 &&
+                 r->outage_ms > 0 && r->outage_ms <= kMaxOutageMs;
+    failover_ok = failover_ok && gates;
+    fo.add_row({"origin " + std::to_string(victim), std::to_string(r->acked_writes),
+                std::to_string(r->lost_writes), std::to_string(r->failovers),
+                std::to_string(r->resyncs), std::to_string(r->journaled),
+                std::to_string(r->replayed), fmt_double(r->outage_ms / 1000.0, 3),
+                fmt_double(r->elapsed_s, 1)});
+    rep.add_scalar("failover_v" + std::to_string(victim) + "_acked",
+                   r->acked_writes);
+    rep.add_scalar("failover_v" + std::to_string(victim) + "_lost", r->lost_writes);
+    rep.add_scalar("failover_v" + std::to_string(victim) + "_outage_ms",
+                   r->outage_ms);
+    rep.add_scalar("failover_v" + std::to_string(victim) + "_replayed",
+                   r->replayed);
+  }
+  fo.print();
+  std::printf("\nzero lost acked writes   : %s\n",
+              failover_ok ? "verified on every replica" : "FAILED");
+  if (!failover_ok) {
+    std::fprintf(stderr, "failover gate failed\n");
+    return 1;
+  }
+
+  rep.add_table("read_load_spread", spread);
+  rep.add_table("crash_failover", fo);
+  mlog.attach(rep);
+  rep.write();
+  return 0;
+}

@@ -176,7 +176,31 @@ u64 ViewBlob::compressed_size(u64 offset, u64 len) const {
 SliceBlob::SliceBlob(BlobRef base, u64 offset, u64 len)
     : base_(std::move(base)), off_(offset), len_(len) {}
 
+SliceBlob::~SliceBlob() {
+  if (base_) {
+    std::vector<BlobRef> refs;
+    refs.push_back(std::move(base_));
+    release_child_refs(std::move(refs));
+  }
+}
+
+void SliceBlob::detach_child_refs(std::vector<BlobRef>& out) {
+  if (base_) out.push_back(std::move(base_));
+}
+
 // ---------------------------------------------------------------- helpers --
+
+void release_child_refs(std::vector<BlobRef> refs) {
+  while (!refs.empty()) {
+    BlobRef ref = std::move(refs.back());
+    refs.pop_back();
+    if (ref && ref.use_count() == 1) {
+      // Sole owner: steal the children before the destructor runs so the
+      // chain unwinds on this worklist, not on the call stack.
+      const_cast<Blob*>(ref.get())->detach_child_refs(refs);
+    }
+  }
+}
 
 u64 range_hash(const Blob& b, u64 offset, u64 len) {
   std::array<u8, 64_KiB> buf;

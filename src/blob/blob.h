@@ -40,9 +40,21 @@ class Blob {
   }
 
   [[nodiscard]] u64 compressed_size() const { return compressed_size(0, size()); }
+
+  // Teardown hook: a composite blob moves its owned child refs into `out`.
+  // release_child_refs() calls it only on a sole-owner blob that is about to
+  // be destroyed, so long slice/snapshot chains (one link per buffered write)
+  // unwind iteratively instead of one stack frame per link.
+  virtual void detach_child_refs(
+      std::vector<std::shared_ptr<const Blob>>& /*out*/) {}
 };
 
 using BlobRef = std::shared_ptr<const Blob>;
+
+// Drop every ref in `refs`; any ref that is the sole owner of a composite
+// blob has its children stolen onto the worklist before it dies, keeping the
+// destruction depth O(1) no matter how long the chain is.
+void release_child_refs(std::vector<BlobRef> refs);
 
 // Real bytes held in memory; the workhorse for tests and small files.
 class BytesBlob final : public Blob {
@@ -133,6 +145,8 @@ class SliceBlob final : public Blob {
  public:
   using Blob::compressed_size;
   SliceBlob(BlobRef base, u64 offset, u64 len);
+  ~SliceBlob() override;
+  void detach_child_refs(std::vector<BlobRef>& out) override;
   [[nodiscard]] u64 size() const override { return len_; }
   void read(u64 offset, std::span<u8> out) const override {
     base_->read(off_ + offset, out);

@@ -14,6 +14,18 @@ class ExtentSnapshotBlob final : public Blob {
   ExtentSnapshotBlob(std::map<u64, std::pair<BlobRef, std::pair<u64, u64>>> exts, u64 size)
       : exts_(std::move(exts)), size_(size) {}
 
+  ~ExtentSnapshotBlob() override {
+    std::vector<BlobRef> refs;
+    detach_child_refs(refs);
+    release_child_refs(std::move(refs));
+  }
+
+  void detach_child_refs(std::vector<BlobRef>& out) override {
+    for (auto& [start, ext] : exts_) {
+      if (ext.first) out.push_back(std::move(ext.first));
+    }
+  }
+
   [[nodiscard]] u64 size() const override { return size_; }
 
   void read(u64 offset, std::span<u8> out) const override {
@@ -221,6 +233,18 @@ class RangeSliceBlob final : public Blob {
 
   RangeSliceBlob(std::vector<Piece> pieces, u64 size)
       : pieces_(std::move(pieces)), size_(size) {}
+
+  ~RangeSliceBlob() override {
+    std::vector<BlobRef> refs;
+    detach_child_refs(refs);
+    release_child_refs(std::move(refs));
+  }
+
+  void detach_child_refs(std::vector<BlobRef>& out) override {
+    for (Piece& pc : pieces_) {
+      if (pc.src) out.push_back(std::move(pc.src));
+    }
+  }
 
   [[nodiscard]] u64 size() const override { return size_; }
 

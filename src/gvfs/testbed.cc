@@ -32,11 +32,45 @@ struct Testbed::Node {
   std::unique_ptr<ssh::SshTunnel> tunnel;
   std::unique_ptr<rpc::FaultyChannel> faulty;  // wraps tunnel/direct when faults on
   std::unique_ptr<rpc::RetryChannel> retry;    // retransmission layer above faults
+  // Origin-cluster wiring: one full channel stack per origin, federated by
+  // the node's ShardRouter (which then serves as the proxy's upstream).
+  // Declared before client_proxy so the proxy's upstream outlives it.
+  std::vector<std::unique_ptr<ssh::SshTunnel>> origin_tunnels;
+  std::vector<std::unique_ptr<rpc::FaultyChannel>> origin_faulty;
+  std::vector<std::unique_ptr<rpc::RetryChannel>> origin_retry;
+  std::unique_ptr<proxy::ShardRouter> router;
   std::unique_ptr<proxy::GvfsProxy> client_proxy;
   std::unique_ptr<rpc::LinkChannel> loopback;
   std::unique_ptr<rpc::LinkChannel> direct;
   std::unique_ptr<nfs::NfsClient> client;
 };
+
+// One origin of the sharded, replicated image cluster: a full server-side
+// stack (fs + disk + cpu + NfsServer + loopback + id-mapping proxy), the
+// same shape build_server_side_() wires for the single-origin topologies.
+struct Testbed::Origin {
+  std::unique_ptr<vfs::MemFs> fs;
+  std::unique_ptr<sim::DiskModel> disk;
+  std::unique_ptr<sim::CpuPool> cpu;
+  std::unique_ptr<nfs::NfsServer> server;
+  std::unique_ptr<rpc::LinkChannel> loop;
+  std::unique_ptr<proxy::GvfsProxy> proxy;
+};
+
+namespace {
+
+// Logical user accounts: remap the grid identity onto a short-lived local
+// shadow account allocated for this session (§3.1). Shared by the single
+// origin and every cluster origin.
+rpc::Credential map_shadow_cred(const rpc::Credential& in) {
+  rpc::Credential out = in;
+  out.uid = 500 + in.uid % 100;
+  out.gid = 500;
+  out.machine = "shadow";
+  return out;
+}
+
+}  // namespace
 
 Testbed::Testbed(TestbedOptions opt) : opt_(std::move(opt)) {
   if (opt_.enable_rpc_trace) {
@@ -64,8 +98,17 @@ Testbed::Testbed(TestbedOptions opt) : opt_(std::move(opt)) {
   }
 
   if (opt_.scenario != Scenario::kLocal) {
-    build_server_side_();
-    if (opt_.second_level_lan_cache || opt_.shared_l2_cache) build_lan_cache_node_();
+    if (opt_.origin_cluster) {
+      build_origin_cluster_();
+    } else {
+      build_server_side_();
+    }
+    // The LAN L2 cache topologies assume the single origin; origin_cluster
+    // replaces that tier with the replicated origins themselves.
+    if (!opt_.origin_cluster &&
+        (opt_.second_level_lan_cache || opt_.shared_l2_cache)) {
+      build_lan_cache_node_();
+    }
   }
   if (faults_ && server_) {
     // A crash loses the server's volatile state: page cache, the duplicate
@@ -77,6 +120,17 @@ Testbed::Testbed(TestbedOptions opt) : opt_(std::move(opt)) {
       server_->roll_write_verifier();
     });
   }
+  if (faults_ && !origins_.empty()) {
+    // Same volatility contract per origin, keyed by server id so a crash
+    // window scoped to one replica reboots only that replica.
+    for (std::size_t j = 0; j < origins_.size(); ++j) {
+      faults_->set_on_restart(static_cast<int>(j), [srv = origin_server(static_cast<int>(j))] {
+        srv->drop_caches();
+        srv->clear_drc();
+        srv->roll_write_verifier();
+      });
+    }
+  }
   resolve_shared_node_config_();
   nodes_.reserve(static_cast<std::size_t>(opt_.compute_nodes));
   for (int i = 0; i < opt_.compute_nodes; ++i) {
@@ -86,15 +140,22 @@ Testbed::Testbed(TestbedOptions opt) : opt_(std::move(opt)) {
 
 Testbed::~Testbed() = default;
 
+std::unique_ptr<nfs::NfsServer> Testbed::make_origin_server_(vfs::MemFs& fs,
+                                                             sim::DiskModel& disk) {
+  nfs::NfsServerConfig scfg;
+  scfg.max_io = nfs::kMaxBlockSize;
+  scfg.drc_survives = opt_.drc_survives;
+  // gvfs-lint: allow(cluster-factory) the sanctioned origin construction site
+  return std::make_unique<nfs::NfsServer>(kernel_, fs, disk, scfg);
+}
+
 void Testbed::build_server_side_() {
   image_fs_ = std::make_unique<vfs::MemFs>();
   image_fs_->set_clock([this] { return kernel_.now(); });
   image_disk_ = std::make_unique<sim::DiskModel>(kernel_, "image-disk", opt_.net.disk);
   image_cpu_ = std::make_unique<sim::CpuPool>(kernel_, opt_.net.image_server_cpus);
 
-  nfs::NfsServerConfig scfg;
-  scfg.max_io = nfs::kMaxBlockSize;
-  server_ = std::make_unique<nfs::NfsServer>(kernel_, *image_fs_, *image_disk_, scfg);
+  server_ = make_origin_server_(*image_fs_, *image_disk_);
   Status st = server_->add_export(opt_.export_path);
   if (!st.is_ok()) GVFS_ERROR("testbed") << "export failed: " << st.to_string();
 
@@ -104,15 +165,7 @@ void Testbed::build_server_side_() {
   spcfg.name = "server-proxy";
   spcfg.enable_meta = false;  // server side only authenticates and maps ids
   server_proxy_ = std::make_unique<proxy::GvfsProxy>(spcfg, *server_loop_);
-  // Logical user accounts: remap the grid identity onto a short-lived local
-  // shadow account allocated for this session (§3.1).
-  server_proxy_->set_cred_mapper([](const rpc::Credential& in) {
-    rpc::Credential out = in;
-    out.uid = 500 + in.uid % 100;
-    out.gid = 500;
-    out.machine = "shadow";
-    return out;
-  });
+  server_proxy_->set_cred_mapper(map_shadow_cred);
 
   server_endpoint_ = std::make_unique<meta::ServerFileChannel>(
       *image_fs_, *image_disk_, image_cpu_.get(), opt_.net.gzip);
@@ -125,6 +178,44 @@ void Testbed::build_server_side_() {
     server_->set_tracer(tracer_.get());
     server_proxy_->set_tracer(tracer_.get());
   }
+}
+
+void Testbed::build_origin_cluster_() {
+  u32 n = std::max<u32>(1, opt_.origin_shards);
+  origins_.reserve(n);
+  for (u32 j = 0; j < n; ++j) {
+    auto o = std::make_unique<Origin>();
+    std::string tag = "origin" + std::to_string(j);
+    o->fs = std::make_unique<vfs::MemFs>();
+    o->fs->set_clock([this] { return kernel_.now(); });
+    o->disk = std::make_unique<sim::DiskModel>(kernel_, tag + "-disk", opt_.net.disk);
+    o->cpu = std::make_unique<sim::CpuPool>(kernel_, opt_.net.image_server_cpus);
+    o->server = make_origin_server_(*o->fs, *o->disk);
+    Status st = o->server->add_export(opt_.export_path);
+    if (!st.is_ok()) GVFS_ERROR("testbed") << "export failed: " << st.to_string();
+    o->loop = std::make_unique<rpc::LinkChannel>(*o->server, nullptr, nullptr,
+                                                 10 * kMicrosecond);
+    proxy::ProxyConfig spcfg;
+    spcfg.name = tag + "-proxy";
+    spcfg.enable_meta = false;
+    o->proxy = std::make_unique<proxy::GvfsProxy>(spcfg, *o->loop);
+    o->proxy->set_cred_mapper(map_shadow_cred);
+
+    o->server->register_metrics(registry_, tag + ".server.");
+    o->disk->register_metrics(registry_, tag + ".disk.");
+    o->proxy->register_metrics(registry_, tag + ".proxy.");
+    if (tracer_) {
+      o->server->set_tracer(tracer_.get());
+      o->proxy->set_tracer(tracer_.get());
+    }
+    origins_.push_back(std::move(o));
+  }
+  // The meta/file channel reads from origin 0: .vmss meta-data is installed
+  // identically everywhere and the channel is read-only, so one origin
+  // serving it keeps the path simple.
+  server_endpoint_ = std::make_unique<meta::ServerFileChannel>(
+      *origins_[0]->fs, *origins_[0]->disk, origins_[0]->cpu.get(), opt_.net.gzip);
+  server_endpoint_->register_metrics(registry_, "server_endpoint.");
 }
 
 void Testbed::build_lan_cache_node_() {
@@ -179,8 +270,8 @@ void Testbed::resolve_shared_node_config_() {
   node_cfg_.tun_up = wan ? wan_up_.get() : lan_up_.get();
   node_cfg_.tun_down = wan ? wan_down_.get() : lan_down_.get();
   node_cfg_.tun_cipher = wan ? opt_.net.wan_cipher : opt_.net.lan_cipher;
-  node_cfg_.via_lan =
-      node_cfg_.cached && (opt_.second_level_lan_cache || opt_.shared_l2_cache);
+  node_cfg_.via_lan = node_cfg_.cached && !opt_.origin_cluster &&
+                      (opt_.second_level_lan_cache || opt_.shared_l2_cache);
   if (node_cfg_.via_lan) {
     node_cfg_.upstream = lan_proxy_.get();
     node_cfg_.tun_up = lan_up_.get();
@@ -229,7 +320,7 @@ std::unique_ptr<Testbed::Node> Testbed::build_node_(int index) {
   cred.machine = tag;
 
   if (opt_.scenario == Scenario::kPlainNfsWan) {
-    node->direct = std::make_unique<rpc::LinkChannel>(*server_, wan_up_.get(),
+    node->direct = std::make_unique<rpc::LinkChannel>(*server(), wan_up_.get(),
                                                       wan_down_.get(),
                                                       30 * kMicrosecond);
     rpc::RpcChannel* chan = node->direct.get();
@@ -250,24 +341,64 @@ std::unique_ptr<Testbed::Node> Testbed::build_node_(int index) {
     return node;
   }
 
-  node->tunnel = std::make_unique<ssh::SshTunnel>(
-      *node_cfg_.upstream, node_cfg_.tun_up, node_cfg_.tun_down,
-      node_cfg_.tun_cipher);
+  rpc::RpcChannel* upstream_chan = nullptr;
+  if (opt_.origin_cluster) {
+    // One full channel stack per origin (tunnel -> faults -> retry), all
+    // sharing the same WAN/LAN pipes, federated by the node's ShardRouter.
+    // The FaultyChannel carries the origin id so crash windows scoped to one
+    // replica (sim::FaultWindow::server) hit only its stack.
+    std::vector<rpc::RpcChannel*> chans;
+    chans.reserve(origins_.size());
+    for (std::size_t j = 0; j < origins_.size(); ++j) {
+      std::string otag = tag + ".origin" + std::to_string(j);
+      auto tun = std::make_unique<ssh::SshTunnel>(*origins_[j]->proxy,
+                                                  node_cfg_.tun_up,
+                                                  node_cfg_.tun_down,
+                                                  node_cfg_.tun_cipher);
+      rpc::RpcChannel* chan = tun.get();
+      if (metrics_on) tun->register_metrics(registry_, otag + ".tunnel.");
+      node->origin_tunnels.push_back(std::move(tun));
+      if (faults_) {
+        auto fy = std::make_unique<rpc::FaultyChannel>(
+            *chan, *faults_, static_cast<int>(j));
+        auto rt = std::make_unique<rpc::RetryChannel>(*fy, kernel_, opt_.retry);
+        chan = rt.get();
+        if (metrics_on) rt->register_metrics(registry_, otag + ".retry.");
+        if (tracer_) {
+          fy->set_tracer(tracer_.get());
+          rt->set_tracer(tracer_.get());
+        }
+        node->origin_faulty.push_back(std::move(fy));
+        node->origin_retry.push_back(std::move(rt));
+      }
+      chans.push_back(chan);
+    }
+    proxy::ShardRouterConfig rcfg = opt_.shard_router;
+    rcfg.name = tag + "-router";
+    rcfg.replicas = opt_.origin_replicas;
+    node->router = std::make_unique<proxy::ShardRouter>(std::move(chans), rcfg);
+    if (metrics_on) node->router->register_metrics(registry_, tag + ".router.");
+    upstream_chan = node->router.get();
+  } else {
+    node->tunnel = std::make_unique<ssh::SshTunnel>(
+        *node_cfg_.upstream, node_cfg_.tun_up, node_cfg_.tun_down,
+        node_cfg_.tun_cipher);
 
-  // The proxy's upstream channel: with fault injection enabled the tunnel is
-  // wrapped in the injector (drops/partitions/crashes) and the proxy talks
-  // through the retransmission layer, NFS-client-style.
-  rpc::RpcChannel* upstream_chan = node->tunnel.get();
-  if (metrics_on) node->tunnel->register_metrics(registry_, tag + ".tunnel.");
-  if (faults_) {
-    node->faulty = std::make_unique<rpc::FaultyChannel>(*node->tunnel, *faults_);
-    node->retry =
-        std::make_unique<rpc::RetryChannel>(*node->faulty, kernel_, opt_.retry);
-    upstream_chan = node->retry.get();
-    if (metrics_on) node->retry->register_metrics(registry_, tag + ".retry.");
-    if (tracer_) {
-      node->faulty->set_tracer(tracer_.get());
-      node->retry->set_tracer(tracer_.get());
+    // The proxy's upstream channel: with fault injection enabled the tunnel
+    // is wrapped in the injector (drops/partitions/crashes) and the proxy
+    // talks through the retransmission layer, NFS-client-style.
+    upstream_chan = node->tunnel.get();
+    if (metrics_on) node->tunnel->register_metrics(registry_, tag + ".tunnel.");
+    if (faults_) {
+      node->faulty = std::make_unique<rpc::FaultyChannel>(*node->tunnel, *faults_);
+      node->retry =
+          std::make_unique<rpc::RetryChannel>(*node->faulty, kernel_, opt_.retry);
+      upstream_chan = node->retry.get();
+      if (metrics_on) node->retry->register_metrics(registry_, tag + ".retry.");
+      if (tracer_) {
+        node->faulty->set_tracer(tracer_.get());
+        node->retry->set_tracer(tracer_.get());
+      }
     }
   }
 
@@ -308,12 +439,48 @@ std::unique_ptr<Testbed::Node> Testbed::build_node_(int index) {
 }
 
 vfs::MemFs& Testbed::image_fs() {
-  return opt_.scenario == Scenario::kLocal ? *nodes_.at(0)->fs : *image_fs_;
+  if (opt_.scenario == Scenario::kLocal) return *nodes_.at(0)->fs;
+  return opt_.origin_cluster ? *origins_.at(0)->fs : *image_fs_;
+}
+
+nfs::NfsServer* Testbed::server() {
+  return opt_.origin_cluster ? origins_.at(0)->server.get() : server_.get();
+}
+
+u32 Testbed::origin_count() const {
+  if (opt_.origin_cluster) return static_cast<u32>(origins_.size());
+  return server_ ? 1 : 0;
+}
+
+nfs::NfsServer* Testbed::origin_server(int j) {
+  if (!opt_.origin_cluster) return server_.get();
+  return origins_.at(static_cast<std::size_t>(j))->server.get();
+}
+
+vfs::MemFs& Testbed::origin_fs(int j) {
+  if (!opt_.origin_cluster) return *image_fs_;
+  return *origins_.at(static_cast<std::size_t>(j))->fs;
+}
+
+proxy::ShardRouter* Testbed::shard_router(int node) {
+  return nodes_.at(static_cast<std::size_t>(node))->router.get();
 }
 
 std::string Testbed::image_dir() const { return opt_.export_path; }
 
 Result<vm::VmImagePaths> Testbed::install_image(const vm::VmImageSpec& spec) {
+  if (opt_.origin_cluster && opt_.scenario != Scenario::kLocal) {
+    // Every origin gets the identical install, in identical order, so the
+    // FileId spaces stay aligned across replicas.
+    for (auto& o : origins_) {
+      GVFS_ASSIGN_OR_RETURN(vm::VmImagePaths sp,
+                            vm::install_image(*o->fs, image_dir(), spec));
+      if (opt_.generate_image_meta) {
+        GVFS_RETURN_IF_ERROR(vm::generate_vmss_metadata(*o->fs, sp));
+      }
+    }
+    return vm::VmImagePaths{"", spec.name};
+  }
   // Install at the server-side export path...
   GVFS_ASSIGN_OR_RETURN(vm::VmImagePaths server_paths,
                         vm::install_image(image_fs(), image_dir(), spec));
@@ -323,6 +490,18 @@ Result<vm::VmImagePaths> Testbed::install_image(const vm::VmImageSpec& spec) {
   // ...but hand back mount-relative paths: every image_session() (NFS client
   // or the kLocal prefix view) is rooted at the export directory.
   return vm::VmImagePaths{"", spec.name};
+}
+
+Status Testbed::put_image_file(const std::string& rel_path,
+                               const blob::BlobRef& data) {
+  if (opt_.origin_cluster && opt_.scenario != Scenario::kLocal) {
+    for (auto& o : origins_) {
+      GVFS_RETURN_IF_ERROR(
+          o->fs->put_file(opt_.export_path + rel_path, data).status());
+    }
+    return Status::ok();
+  }
+  return image_fs().put_file(opt_.export_path + rel_path, data).status();
 }
 
 Status Testbed::mount(sim::Process& p, int node) {
@@ -366,6 +545,10 @@ void Testbed::drop_all_caches() {
   }
   if (server_) server_->drop_caches();
   if (server_proxy_) server_proxy_->drop_soft_state();
+  for (auto& o : origins_) {
+    o->server->drop_caches();
+    o->proxy->drop_soft_state();
+  }
   if (lan_proxy_) lan_proxy_->drop_soft_state();
   if (lan_block_cache_) lan_block_cache_->invalidate_all();
   if (lan_endpoint_) lan_endpoint_->invalidate_all();
@@ -384,7 +567,16 @@ Status Testbed::refresh_image_metadata(sim::Process& p, const vm::VmImagePaths& 
   vm::VmImagePaths server_paths{opt_.export_path, image.name};
   // The scan streams the state file off the server disk (zero-map pass).
   GVFS_ASSIGN_OR_RETURN(blob::BlobRef vmss, image_fs().get_file(server_paths.vmss()));
-  image_disk_->access(p, vmss->size(), sim::Locality::kSequential);
+  sim::DiskModel& disk =
+      opt_.origin_cluster ? *origins_.at(0)->disk : *image_disk_;
+  disk.access(p, vmss->size(), sim::Locality::kSequential);
+  if (opt_.origin_cluster) {
+    // Regenerate on every origin so the meta stays replica-identical.
+    for (auto& o : origins_) {
+      GVFS_RETURN_IF_ERROR(vm::generate_vmss_metadata(*o->fs, server_paths));
+    }
+    return Status::ok();
+  }
   return vm::generate_vmss_metadata(image_fs(), server_paths);
 }
 
@@ -434,6 +626,10 @@ std::string Testbed::metrics_json() const {
     if (n.retry) {
       retransmits += n.retry->retransmits();
       timeouts += n.retry->timeouts();
+    }
+    for (const auto& rt : n.origin_retry) {
+      retransmits += rt->retransmits();
+      timeouts += rt->timeouts();
     }
     if (!opt_.per_node_metrics) continue;
     std::string tag = "node" + std::to_string(i);

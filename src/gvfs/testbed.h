@@ -26,6 +26,7 @@
 #include "nfs/nfs_server.h"
 #include "proxy/caching_endpoint.h"
 #include "proxy/gvfs_proxy.h"
+#include "proxy/shard_router.h"
 #include "rpc/fault_channel.h"
 #include "rpc/retry_channel.h"
 #include "sim/faults.h"
@@ -75,6 +76,24 @@ struct TestbedOptions {
   u64 local_page_cache_bytes = 640_MiB;
   std::string export_path = "/exports/images";
 
+  // ---- sharded, replicated origin cluster (default off) --------------------
+  // Replace the single origin NfsServer with N origin instances behind a
+  // per-node ShardRouter (DESIGN.md §5.7): file-handle-hash sharding, R-way
+  // replication with read fan-out to the lowest-latency live replica,
+  // R-quorum UNSTABLE WRITE + COMMIT with a combined write verifier, and
+  // crash-failover + journal resync. Off by default — topology and bench
+  // stdout are byte-identical to the single-origin build. Not combinable
+  // with the LAN L2 cache topologies. Install files with install_image() /
+  // put_image_file(); writing one origin's fs directly would desync its
+  // replicas.
+  bool origin_cluster = false;
+  u32 origin_shards = 2;    // N origin servers (also the shard count)
+  u32 origin_replicas = 1;  // R-way replication, chained declustering
+  proxy::ShardRouterConfig shard_router;  // name/replicas overridden per node
+  // Forwarded to every origin's NfsServerConfig::drc_survives (the DRC
+  // crash-volatility test seam).
+  bool drc_survives = false;
+
   // ---- deterministic WAN fault injection -----------------------------------
   // Off by default: no injector, no retry layer, no RNG draws — behaviour
   // (and bench output) is byte-identical to a faultless build.
@@ -112,8 +131,14 @@ class Testbed {
   [[nodiscard]] std::string image_dir() const;
 
   // Install a VM image on the image store and (if meta is enabled) generate
-  // its .vmss meta-data.
+  // its .vmss meta-data. With origin_cluster on, the image is installed on
+  // every origin (identical install order keeps FileIds aligned).
   Result<vm::VmImagePaths> install_image(const vm::VmImageSpec& spec);
+
+  // Write a raw file into the image store at a mount-relative path — on
+  // every origin in cluster mode. Use this instead of image_fs().put_file()
+  // whenever the topology might be a cluster.
+  Status put_image_file(const std::string& rel_path, const blob::BlobRef& data);
 
   // Mount the export on a compute node (no-op for kLocal). Must run inside a
   // simulation process.
@@ -143,7 +168,14 @@ class Testbed {
   [[nodiscard]] proxy::GvfsProxy* client_proxy(int node = 0);
   [[nodiscard]] cache::ProxyDiskCache* block_cache(int node = 0);
   [[nodiscard]] cache::FileCache* file_cache(int node = 0);
-  [[nodiscard]] nfs::NfsServer* server() { return server_.get(); }
+  // The (first) origin server; with origin_cluster on this is origin 0.
+  [[nodiscard]] nfs::NfsServer* server();
+  // ---- origin-cluster observability (origin_cluster topologies) ------------
+  [[nodiscard]] u32 origin_count() const;
+  [[nodiscard]] nfs::NfsServer* origin_server(int j);
+  [[nodiscard]] vfs::MemFs& origin_fs(int j);
+  // The node's ShardRouter (null unless origin_cluster).
+  [[nodiscard]] proxy::ShardRouter* shard_router(int node = 0);
   // The cluster-shared L2 block-cache proxy (null unless the topology has
   // one: second_level_lan_cache or shared_l2_cache).
   [[nodiscard]] proxy::GvfsProxy* lan_proxy() { return lan_proxy_.get(); }
@@ -190,9 +222,16 @@ class Testbed {
   };
 
   void build_server_side_();
+  void build_origin_cluster_();
   void build_lan_cache_node_();
   void resolve_shared_node_config_();
   std::unique_ptr<Node> build_node_(int index);
+  // The cluster factory: the single sanctioned NfsServer construction site
+  // in topology code (enforced by the gvfs-lint cluster-factory rule), so
+  // every topology — single origin or cluster — gets identical server
+  // config and restart wiring.
+  std::unique_ptr<nfs::NfsServer> make_origin_server_(vfs::MemFs& fs,
+                                                      sim::DiskModel& disk);
 
   TestbedOptions opt_;
   sim::SimKernel kernel_;
@@ -210,6 +249,10 @@ class Testbed {
   std::unique_ptr<rpc::LinkChannel> server_loop_;      // server proxy -> nfsd
   std::unique_ptr<proxy::GvfsProxy> server_proxy_;
   std::unique_ptr<meta::ServerFileChannel> server_endpoint_;
+
+  // ---- origin cluster (origin_cluster topologies; replaces server_ &c.) ----
+  struct Origin;  // MemFs + disk + cpu + NfsServer + loopback + server proxy
+  std::vector<std::unique_ptr<Origin>> origins_;
 
   // ---- shared network ------------------------------------------------------
   std::unique_ptr<sim::Link> wan_up_, wan_down_;

@@ -39,6 +39,13 @@ struct NfsServerConfig {
   // hit, so a narrower key only raises the collision rate — tests shrink it
   // to force collisions deterministically.
   u32 drc_key_bits = 64;
+  // Test seam: when true, clear_drc() preserves the cache across a simulated
+  // reboot, modeling a server that journals its DRC to stable storage
+  // (Juszczak '89 §4 discusses exactly this option). Default false — the DRC
+  // is volatile state and a crash empties it (DESIGN.md §5.7 documents the
+  // contract). Cluster tests flip it to isolate which retransmit replays are
+  // due to DRC survival vs. plain idempotency.
+  bool drc_survives = false;
 };
 
 class NfsServer final : public rpc::RpcHandler {
@@ -76,7 +83,16 @@ class NfsServer final : public rpc::RpcHandler {
   // Hash-key collisions between distinct live transactions (detected by the
   // full-tuple verification; the colliding call executes normally).
   [[nodiscard]] u64 drc_collisions() const { return drc_collisions_.value(); }
+  // Reboot-time wipes actually performed / skipped via the drc_survives seam.
+  [[nodiscard]] u64 drc_clears() const { return drc_clears_.value(); }
+  [[nodiscard]] u64 drc_retained() const { return drc_retained_.value(); }
+  [[nodiscard]] std::size_t drc_size() const { return drc_.size(); }
   void clear_drc() {
+    if (cfg_.drc_survives) {
+      drc_retained_.inc();
+      return;
+    }
+    drc_clears_.inc();
     drc_.clear();
     drc_order_.clear();
   }
@@ -94,6 +110,8 @@ class NfsServer final : public rpc::RpcHandler {
     r.register_counter(prefix + "drc_hits", &drc_hits_);
     r.register_counter(prefix + "drc_inserts", &drc_inserts_);
     r.register_counter(prefix + "drc_collisions", &drc_collisions_);
+    r.register_counter(prefix + "drc_clears", &drc_clears_);
+    r.register_counter(prefix + "drc_retained", &drc_retained_);
     r.register_histogram(prefix + "service_ms", &service_ms_);
   }
 
@@ -173,6 +191,8 @@ class NfsServer final : public rpc::RpcHandler {
   metrics::Counter drc_hits_;
   metrics::Counter drc_inserts_;
   metrics::Counter drc_collisions_;
+  metrics::Counter drc_clears_;
+  metrics::Counter drc_retained_;
   metrics::Counter total_calls_;
   metrics::Histogram service_ms_;  // virtual-time per-RPC service latency
   trace::RpcTracer* tracer_ = nullptr;

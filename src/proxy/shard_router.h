@@ -1,0 +1,191 @@
+// ShardRouter: a client-side rpc::RpcChannel that federates N replicated
+// origin NfsServers into one logical NFS endpoint (the "image cluster",
+// DESIGN.md §5.7). It slots between a GvfsProxy and its per-origin channel
+// stacks, so the proxy's caching / write-back / degraded machinery runs
+// unchanged above it.
+//
+// Routing policy (deterministic, derived only from the request):
+//   * shard(fh) = fh.key() % N — the file-handle hash assigns every object a
+//     home shard; shard s is stored on replicas {s, s+1, .., s+R-1 mod N}
+//     (chained declustering, so a crash spreads its load over R-1 peers);
+//   * reads (GETATTR/LOOKUP/ACCESS/READLINK/READ/READDIR*/PATHCONF) go to
+//     the live replica with the lowest EWMA latency (ties break on the lower
+//     origin index) — contention raises a replica's EWMA and traffic drains
+//     to its peers, which is the load-balancing mechanism;
+//   * WRITE/COMMIT fan out to every live replica of the shard and ack only
+//     after all of them answered (R-quorum); the reply carries a *combined*
+//     write verifier hashed over the per-replica verifiers in fixed replica
+//     order, with a dead-epoch marker substituted for dead replicas. Any
+//     single replica rebooting — or the live set changing between WRITE and
+//     COMMIT — perturbs the combined verifier, so the proxy's existing RFC
+//     1813 §3.3.7 mismatch path re-sends the unacked data: per-replica
+//     verifier recovery falls out of PR 5's machinery without proxy changes;
+//   * namespace mutations (SETATTR/CREATE/MKDIR/SYMLINK/REMOVE/RMDIR/
+//     RENAME/LINK) broadcast to all N origins so every origin holds the full
+//     namespace and FileIds stay aligned (identical mutation order on every
+//     origin — concurrent cross-node namespace mutation is out of scope,
+//     see ROADMAP item 4);
+//   * NULL/FSSTAT/FSINFO/MOUNT go to the lowest-indexed live origin.
+//
+// Failover: a kTimeout reply from a replica's channel stack (RetryChannel
+// retransmission budget exhausted) marks it dead. Reads re-route to the next
+// best replica; writes ack from the survivors and every op a dead origin
+// missed is appended to its per-origin resync journal. Dead origins are
+// probed lazily (NULL RPC, rate-limited) on subsequent traffic; a probe that
+// answers triggers reintegration: the journal replays in order with fresh
+// xids (WRITEs upgraded to FILE_SYNC so no unstable state is left behind),
+// then the origin rejoins the live set. All of it is driven by the calling
+// fibers — no background process — so runs are deterministic and
+// stdout-invariance-gateable.
+#pragma once
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "nfs/nfs_types.h"
+#include "rpc/rpc.h"
+
+namespace gvfs::proxy {
+
+struct ShardRouterConfig {
+  std::string name = "shard-router";
+  // R-way replication degree (clamped to the origin count).
+  u32 replicas = 1;
+  // EWMA smoothing for per-origin read latency (higher = more reactive).
+  double latency_alpha = 0.25;
+  // Minimum spacing between reintegration probes of one dead origin.
+  SimDuration probe_interval = 2 * kSecond;
+};
+
+class ShardRouter final : public rpc::RpcChannel {
+ public:
+  // `origins[j]` is the fully-decorated channel stack (tunnel / faults /
+  // retry) leading to origin j. The router holds the pointers, not the
+  // stacks; all must outlive it.
+  ShardRouter(std::vector<rpc::RpcChannel*> origins, ShardRouterConfig cfg = {});
+
+  rpc::RpcReply call(sim::Process& p, const rpc::RpcCall& call) override;
+  std::vector<rpc::RpcReply> call_pipelined(
+      sim::Process& p, const std::vector<rpc::RpcCall>& calls) override;
+
+  // Probe every dead origin immediately (ignoring the probe back-off) and
+  // replay its journal. Harnesses call this to force reintegration at a
+  // known quiesce point; steady-state traffic reintegrates lazily.
+  void resync(sim::Process& p);
+
+  [[nodiscard]] u32 origin_count() const { return static_cast<u32>(chans_.size()); }
+  [[nodiscard]] u32 shard_of(const nfs::Fh& fh) const {
+    return static_cast<u32>(fh.key() % chans_.size());
+  }
+  // Origin indices storing `shard`, in quorum/verifier order.
+  [[nodiscard]] std::vector<u32> replicas_of(u32 shard) const;
+  [[nodiscard]] bool origin_live(u32 j) const { return origins_[j].live; }
+  [[nodiscard]] u64 journal_size(u32 j) const { return origins_[j].journal.size(); }
+  [[nodiscard]] u64 reads_routed(u32 j) const { return origins_[j].reads_routed.value(); }
+  [[nodiscard]] u64 writes_routed(u32 j) const { return origins_[j].writes_routed.value(); }
+
+  [[nodiscard]] u64 failovers() const { return failovers_.value(); }
+  [[nodiscard]] u64 resyncs() const { return resyncs_.value(); }
+  [[nodiscard]] u64 probes() const { return probes_.value(); }
+  [[nodiscard]] u64 journaled_ops() const { return journaled_ops_.value(); }
+  [[nodiscard]] u64 replayed_ops() const { return replayed_ops_.value(); }
+  [[nodiscard]] u64 replay_conflicts() const { return replay_conflicts_.value(); }
+  [[nodiscard]] u64 read_reroutes() const { return read_reroutes_.value(); }
+  [[nodiscard]] u64 lookup_patches() const { return lookup_patches_.value(); }
+  // Virtual milliseconds the most recent reintegrated origin spent dead
+  // (crash detection to journal fully replayed); 0 before any resync.
+  [[nodiscard]] double last_outage_ms() const { return last_outage_ms_; }
+
+  void register_metrics(metrics::Registry& r, const std::string& prefix) const;
+
+ private:
+  // Per-origin routing state. Lives in a deque: metrics::Registry keeps raw
+  // Counter pointers, so instruments need stable addresses.
+  struct Origin {
+    bool live = true;
+    bool reintegrating = false;
+    // Bumped each time the origin is declared dead; folded into combined
+    // write verifiers in place of the replica's verifier so the live-set
+    // change itself forces the proxy's mismatch re-send path.
+    u64 dead_epoch = 0;
+    SimTime died_at = 0;
+    SimTime next_probe = 0;
+    double ewma_ms = 0.0;  // read-path latency estimate
+    bool ewma_valid = false;
+    // Ops this origin missed while dead, replayed in order on reintegration.
+    struct JournalEntry {
+      u32 prog = 0;
+      u32 vers = 0;
+      u32 proc = 0;
+      rpc::Credential cred;
+      rpc::MessagePtr args;
+    };
+    std::deque<JournalEntry> journal;
+    metrics::Counter reads_routed;
+    metrics::Counter writes_routed;
+  };
+
+  enum class Route { kReadOne, kQuorumWrite, kBroadcast, kAnyOrigin };
+  static Route classify_(const rpc::RpcCall& call);
+  // Routing handle for the call (the object/dir fh), invalid if none.
+  static nfs::Fh route_fh_(const rpc::RpcCall& call);
+
+  [[nodiscard]] int best_read_replica_(const std::vector<u32>& set) const;
+  void note_read_latency_(u32 j, double sample_ms);
+  void mark_dead_(sim::Process& p, u32 j);
+  void journal_op_(u32 j, const rpc::RpcCall& call);
+  // Rate-limited probe + journal replay for any dead origin that is due.
+  void maybe_probe_(sim::Process& p);
+  // Returns true if origin j answered the probe and fully replayed.
+  bool try_reintegrate_(sim::Process& p, u32 j);
+  [[nodiscard]] u32 fresh_xid_() { return router_xid_++; }
+
+  rpc::RpcReply read_one_(sim::Process& p, const rpc::RpcCall& call,
+                          const nfs::Fh& fh);
+  rpc::RpcReply quorum_write_(sim::Process& p, const rpc::RpcCall& call,
+                              const nfs::Fh& fh);
+  rpc::RpcReply broadcast_(sim::Process& p, const rpc::RpcCall& call);
+  rpc::RpcReply any_origin_(sim::Process& p, const rpc::RpcCall& call);
+  // Replace a LOOKUP result's object attributes with fresh ones from the
+  // object's own shard when the serving origin is not one of its replicas
+  // (its data-bearing attrs — size/mtime — would otherwise be stale).
+  rpc::RpcReply patch_lookup_attrs_(sim::Process& p, const rpc::RpcCall& call,
+                                    rpc::RpcReply reply, u32 served);
+  // Pipelined fast paths for uniform single-shard bursts (proxy prefetch
+  // READ batches and flush WRITE batches).
+  std::vector<rpc::RpcReply> pipelined_read_(sim::Process& p,
+                                             const std::vector<rpc::RpcCall>& calls,
+                                             u32 shard);
+  std::vector<rpc::RpcReply> pipelined_write_(sim::Process& p,
+                                              const std::vector<rpc::RpcCall>& calls,
+                                              u32 shard);
+  // Combined write verifier over the replica set in fixed order; ok[k] says
+  // whether set[k] answered and verf[k] is its per-replica verifier.
+  [[nodiscard]] u64 combined_verf_(const std::vector<u32>& set,
+                                   const std::vector<char>& ok,
+                                   const std::vector<u64>& verf) const;
+
+  ShardRouterConfig cfg_;
+  std::vector<rpc::RpcChannel*> chans_;
+  std::deque<Origin> origins_;
+  u32 router_xid_ = 0x5A000000;  // router-originated RPCs (probes, replays)
+
+  metrics::Counter failovers_;
+  metrics::Counter resyncs_;
+  metrics::Counter probes_;
+  metrics::Counter probe_failures_;
+  metrics::Counter journaled_ops_;
+  metrics::Counter replayed_ops_;
+  metrics::Counter replay_conflicts_;
+  metrics::Counter quorum_writes_;
+  metrics::Counter quorum_commits_;
+  metrics::Counter broadcasts_;
+  metrics::Counter read_reroutes_;
+  metrics::Counter lookup_patches_;
+  metrics::Histogram outage_ms_;
+  double last_outage_ms_ = 0.0;
+};
+
+}  // namespace gvfs::proxy

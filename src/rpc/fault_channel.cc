@@ -3,8 +3,8 @@
 namespace gvfs::rpc {
 
 RpcReply FaultyChannel::call(sim::Process& p, const RpcCall& call) {
-  faults_.fire_restarts_due(p.now());
-  if (faults_.drop_request(p.now())) {
+  faults_.fire_restarts_due(p.now(), server_id_);
+  if (faults_.drop_request(p.now(), server_id_)) {
     if (tracer_) tracer_->annotate(&p, "fault", "request_dropped", p.now());
     return make_error_reply(call, err(ErrCode::kTimeout, "request lost"));
   }
@@ -18,14 +18,14 @@ RpcReply FaultyChannel::call(sim::Process& p, const RpcCall& call) {
 
 std::vector<RpcReply> FaultyChannel::call_pipelined(
     sim::Process& p, const std::vector<RpcCall>& calls) {
-  faults_.fire_restarts_due(p.now());
+  faults_.fire_restarts_due(p.now(), server_id_);
   // Decide request losses up front; only the surviving calls reach the inner
   // channel's pipelined path (the lost ones never occupied the server).
   std::vector<RpcReply> replies(calls.size());
   std::vector<std::size_t> live;
   std::vector<RpcCall> forwarded;
   for (std::size_t i = 0; i < calls.size(); ++i) {
-    if (faults_.drop_request(p.now())) {
+    if (faults_.drop_request(p.now(), server_id_)) {
       if (tracer_) tracer_->annotate(&p, "fault", "request_dropped", p.now());
       replies[i] = make_error_reply(calls[i], err(ErrCode::kTimeout, "request lost"));
     } else {

@@ -23,8 +23,11 @@ namespace gvfs::rpc {
 
 class FaultyChannel final : public RpcChannel {
  public:
-  FaultyChannel(RpcChannel& inner, sim::FaultInjector& faults)
-      : inner_(inner), faults_(faults) {}
+  // `server_id` names the origin this channel leads to; crash windows scoped
+  // to another server (sim::FaultWindow::server) leave this path untouched.
+  // Single-origin topologies keep the default id 0.
+  FaultyChannel(RpcChannel& inner, sim::FaultInjector& faults, int server_id = 0)
+      : inner_(inner), faults_(faults), server_id_(server_id) {}
 
   RpcReply call(sim::Process& p, const RpcCall& call) override;
   std::vector<RpcReply> call_pipelined(sim::Process& p,
@@ -38,6 +41,7 @@ class FaultyChannel final : public RpcChannel {
  private:
   RpcChannel& inner_;
   sim::FaultInjector& faults_;
+  int server_id_;
   trace::RpcTracer* tracer_ = nullptr;
 };
 

@@ -9,15 +9,15 @@ bool FaultInjector::partitioned(SimTime t) const {
   return false;
 }
 
-bool FaultInjector::server_down(SimTime t) const {
+bool FaultInjector::server_down(SimTime t, int server_id) const {
   for (const FaultWindow& w : cfg_.crashes) {
-    if (w.contains(t)) return true;
+    if (w.contains(t) && w.applies_to(server_id)) return true;
   }
   return false;
 }
 
-bool FaultInjector::drop_request(SimTime t) {
-  if (server_down(t) || partitioned(t)) {
+bool FaultInjector::drop_request(SimTime t, int server_id) {
+  if (server_down(t, server_id) || partitioned(t)) {
     requests_dropped_.inc();
     return true;
   }
@@ -47,15 +47,18 @@ SimDuration FaultInjector::sample_spike(SimTime) {
   return cfg_.spike;
 }
 
-void FaultInjector::fire_restarts_due(SimTime t) {
-  if (!on_restart_) return;
+void FaultInjector::fire_restarts_due(SimTime t, int server_id) {
+  auto cb = on_restart_.find(server_id);
+  if (cb == on_restart_.end() || !cb->second) return;
   // Crash windows are expected in chronological order (schedules are built
-  // that way); each window reboots the server exactly once.
-  while (restarts_fired_upto_ < cfg_.crashes.size() &&
-         cfg_.crashes[restarts_fired_upto_].end <= t) {
-    ++restarts_fired_upto_;
+  // that way); each window reboots each server it applies to exactly once.
+  std::size_t& upto = restarts_fired_upto_[server_id];
+  while (upto < cfg_.crashes.size() && cfg_.crashes[upto].end <= t) {
+    const FaultWindow& w = cfg_.crashes[upto];
+    ++upto;
+    if (!w.applies_to(server_id)) continue;
     restarts_fired_.inc();
-    on_restart_();
+    cb->second();
   }
 }
 

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -24,11 +25,21 @@
 
 namespace gvfs::sim {
 
-// Half-open virtual-time interval [start, end).
+// FaultWindow::server value meaning "every server on this path" — the
+// single-origin topologies never care which server a window hits.
+constexpr int kAllServers = -1;
+
+// Half-open virtual-time interval [start, end). Crash windows additionally
+// carry the id of the server they take down (default: all of them), so a
+// replicated origin tier can lose one replica while its peers stay up.
 struct FaultWindow {
   SimTime start = 0;
   SimTime end = 0;
+  int server = kAllServers;
   [[nodiscard]] bool contains(SimTime t) const { return t >= start && t < end; }
+  [[nodiscard]] bool applies_to(int server_id) const {
+    return server == kAllServers || server == server_id;
+  }
 };
 
 struct FaultConfig {
@@ -44,7 +55,8 @@ struct FaultConfig {
   // Server crash windows: requests are lost and the server executes nothing;
   // at the end of each window the server "reboots" (on_restart fires on the
   // first traffic afterwards — volatile state like page caches and the
-  // duplicate-request cache is the callback's to clear).
+  // duplicate-request cache is the callback's to clear). A window's `server`
+  // field scopes the crash to one origin id (kAllServers hits every one).
   std::vector<FaultWindow> crashes;
 };
 
@@ -60,12 +72,19 @@ class FaultInjector {
   [[nodiscard]] const FaultConfig& config() const { return cfg_; }
 
   // Fired on the first traffic after a crash window closes (server reboot).
-  void set_on_restart(std::function<void()> fn) { on_restart_ = std::move(fn); }
+  // The single-argument overload is the legacy single-origin hook: it binds
+  // to server id 0, which every unscoped (kAllServers) window applies to.
+  void set_on_restart(std::function<void()> fn) {
+    set_on_restart(0, std::move(fn));
+  }
+  void set_on_restart(int server_id, std::function<void()> fn) {
+    on_restart_[server_id] = std::move(fn);
+  }
 
   // ---- decision points (called by FaultyChannel / Link) --------------------
-  // Should the request at virtual time `t` be lost before reaching the
-  // server? True during crashes and partitions, or on a loss coin flip.
-  bool drop_request(SimTime t);
+  // Should the request at virtual time `t` be lost before reaching server
+  // `server_id`? True during crashes and partitions, or on a loss coin flip.
+  bool drop_request(SimTime t, int server_id = 0);
   // Should the reply arriving at `t` be lost on the way back? (The server
   // did execute the request — this is what the duplicate-request cache is
   // for.)
@@ -73,12 +92,14 @@ class FaultInjector {
   // Extra one-way latency for a message sent at `t` (0 when not spiked).
   SimDuration sample_spike(SimTime t);
 
-  // Fire pending restart callbacks for crash windows that ended at or
-  // before `t`. FaultyChannel calls this before letting traffic through.
-  void fire_restarts_due(SimTime t);
+  // Fire pending restart callbacks for crash windows scoped to `server_id`
+  // (or to all servers) that ended at or before `t`. FaultyChannel calls
+  // this before letting traffic through. Each (window, server) pair fires at
+  // most once; windows fire in schedule order.
+  void fire_restarts_due(SimTime t, int server_id = 0);
 
   [[nodiscard]] bool partitioned(SimTime t) const;
-  [[nodiscard]] bool server_down(SimTime t) const;
+  [[nodiscard]] bool server_down(SimTime t, int server_id = 0) const;
 
   // ---- counters ------------------------------------------------------------
   [[nodiscard]] u64 requests_dropped() const { return requests_dropped_.value(); }
@@ -96,8 +117,11 @@ class FaultInjector {
  private:
   SimKernel& kernel_;
   FaultConfig cfg_;
-  std::function<void()> on_restart_;
-  std::size_t restarts_fired_upto_ = 0;  // crash windows whose reboot ran
+  // Per-server restart hooks and, per server, the count of crash windows
+  // whose reboot already ran for it (windows are consumed in vector order —
+  // std::map keeps iteration deterministic).
+  std::map<int, std::function<void()>> on_restart_;
+  std::map<int, std::size_t> restarts_fired_upto_;
   metrics::Counter requests_dropped_;
   metrics::Counter replies_dropped_;
   metrics::Counter spikes_injected_;

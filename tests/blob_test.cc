@@ -243,5 +243,20 @@ TEST(ExtentStoreProperty, RandomOpsMatchReference) {
   }
 }
 
+TEST(BlobTeardown, DeepSliceChainDestructsIteratively) {
+  // Regression: a long write/suspend session builds a SliceBlob-over-snapshot
+  // chain one link per buffered write; dropping the head used to recurse one
+  // destructor frame per link and blow the 8 MiB stack (interactive_session).
+  BlobRef chain = make_zero(kPage);
+  ExtentStore store;
+  for (int i = 0; i < 200000; ++i) {
+    store.reset(chain);
+    chain = std::make_shared<SliceBlob>(store.snapshot(), 0, kPage);
+  }
+  EXPECT_EQ(chain->size(), kPage);
+  store.reset(nullptr);
+  chain.reset();  // must unwind on a worklist, not the call stack
+}
+
 }  // namespace
 }  // namespace gvfs::blob

@@ -1,0 +1,322 @@
+// Origin image cluster: ShardRouter routing policy, quorum writes with
+// crash-failover + journal resync, and the per-origin DRC volatility seam
+// (DESIGN.md §5.7), all through the full Testbed topology.
+#include <gtest/gtest.h>
+
+#include "blob/blob.h"
+#include "common/rng.h"
+#include "gvfs/testbed.h"
+
+namespace gvfs::core {
+namespace {
+
+std::vector<u8> fill_bytes(u64 seed, u64 size) {
+  std::vector<u8> out(size);
+  SplitMix64 rng(seed);
+  for (auto& b : out) b = static_cast<u8>(rng.next());
+  return out;
+}
+
+std::vector<u8> file_bytes(vfs::MemFs& fs, const std::string& abs) {
+  auto f = fs.get_file(abs);
+  EXPECT_TRUE(f.is_ok()) << abs;
+  if (!f.is_ok()) return {};
+  std::vector<u8> out((*f)->size());
+  (*f)->read(0, out);
+  return out;
+}
+
+u32 shard_of_path(Testbed& bed, const std::string& abs) {
+  auto id = bed.origin_fs(0).resolve(abs);
+  EXPECT_TRUE(id.is_ok()) << abs;
+  return bed.shard_router(0)->shard_of(bed.origin_server(0)->fh_of(*id));
+}
+
+// ---- topology ---------------------------------------------------------------
+
+TEST(ClusterTopology, DefaultOffKeepsSingleOrigin) {
+  TestbedOptions opt;
+  opt.scenario = Scenario::kWanCached;
+  Testbed bed(opt);
+  EXPECT_EQ(bed.origin_count(), 1u);
+  EXPECT_EQ(bed.shard_router(), nullptr);
+  EXPECT_NE(bed.server(), nullptr);
+}
+
+TEST(ClusterTopology, ExposesOriginsAndClampsReplicas) {
+  TestbedOptions opt;
+  opt.scenario = Scenario::kWanCached;
+  opt.origin_cluster = true;
+  opt.origin_shards = 3;
+  opt.origin_replicas = 5;  // more than the cluster has: clamped to 3
+  Testbed bed(opt);
+  ASSERT_NE(bed.shard_router(), nullptr);
+  EXPECT_EQ(bed.origin_count(), 3u);
+  EXPECT_EQ(bed.shard_router()->origin_count(), 3u);
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_NE(bed.origin_server(j), nullptr);
+    EXPECT_TRUE(bed.shard_router()->origin_live(static_cast<u32>(j)));
+  }
+  // Chained declustering: shard s lives on {s, s+1, ...} mod N.
+  EXPECT_EQ(bed.shard_router()->replicas_of(1), (std::vector<u32>{1, 2, 0}));
+  // server() falls back to origin 0 in cluster mode.
+  EXPECT_EQ(bed.server(), bed.origin_server(0));
+}
+
+// ---- routing ----------------------------------------------------------------
+
+TEST(ClusterRouting, WritesLandOnlyOnHomeShardReplicas) {
+  TestbedOptions opt;
+  opt.scenario = Scenario::kWanCached;
+  opt.generate_image_meta = false;
+  opt.write_policy = cache::WritePolicy::kWriteThrough;
+  opt.origin_cluster = true;
+  opt.origin_shards = 2;
+  opt.origin_replicas = 1;
+  Testbed bed(opt);
+
+  const int kFiles = 4;
+  std::vector<std::vector<u8>> init(kFiles);
+  for (int f = 0; f < kFiles; ++f) {
+    init[static_cast<std::size_t>(f)] = fill_bytes(10 + static_cast<u64>(f), 8_KiB);
+    ASSERT_TRUE(bed.put_image_file("/r" + std::to_string(f),
+                                   blob::make_bytes(init[static_cast<std::size_t>(f)]))
+                    .is_ok());
+  }
+
+  std::vector<std::vector<u8>> fresh(kFiles);
+  bed.kernel().run_process("t", [&](sim::Process& p) {
+    ASSERT_TRUE(bed.mount(p).is_ok());
+    for (int f = 0; f < kFiles; ++f) {
+      fresh[static_cast<std::size_t>(f)] = fill_bytes(99 + static_cast<u64>(f), 8_KiB);
+      ASSERT_TRUE(bed.image_session()
+                      .write(p, "/r" + std::to_string(f), 0,
+                             blob::make_bytes(fresh[static_cast<std::size_t>(f)]))
+                      .is_ok());
+    }
+    ASSERT_TRUE(bed.image_session().flush(p).is_ok());
+    ASSERT_TRUE(bed.signal_write_back(p).is_ok());
+  });
+  ASSERT_EQ(bed.kernel().failed_processes(), 0) << bed.kernel().failed_names_joined();
+
+  // With R = 1 a write reaches exactly its home origin: the home copy holds
+  // the new bytes, every other origin still holds the install-time bytes.
+  for (int f = 0; f < kFiles; ++f) {
+    std::string abs = bed.image_dir() + "/r" + std::to_string(f);
+    u32 home = shard_of_path(bed, abs);
+    for (u32 j = 0; j < bed.origin_count(); ++j) {
+      const auto& want =
+          j == home ? fresh[static_cast<std::size_t>(f)] : init[static_cast<std::size_t>(f)];
+      EXPECT_EQ(file_bytes(bed.origin_fs(static_cast<int>(j)), abs), want)
+          << "file " << f << " origin " << j;
+    }
+  }
+  EXPECT_GT(bed.shard_router()->writes_routed(0), 0u);
+  EXPECT_GT(bed.shard_router()->writes_routed(1), 0u);
+}
+
+TEST(ClusterRouting, NamespaceMutationsBroadcastToAllOrigins) {
+  TestbedOptions opt;
+  opt.scenario = Scenario::kWanCached;
+  opt.generate_image_meta = false;
+  opt.write_policy = cache::WritePolicy::kWriteThrough;
+  opt.origin_cluster = true;
+  opt.origin_shards = 3;
+  opt.origin_replicas = 1;
+  Testbed bed(opt);
+
+  bed.kernel().run_process("t", [&](sim::Process& p) {
+    ASSERT_TRUE(bed.mount(p).is_ok());
+    ASSERT_TRUE(bed.image_session().create(p, "/fresh").is_ok());
+    ASSERT_TRUE(bed.image_session().create(p, "/doomed").is_ok());
+    ASSERT_TRUE(bed.image_session().remove(p, "/doomed").is_ok());
+  });
+  ASSERT_EQ(bed.kernel().failed_processes(), 0) << bed.kernel().failed_names_joined();
+
+  // CREATE broadcast: the file exists on every origin under the SAME FileId
+  // (identical mutation order keeps the shard map aligned cluster-wide).
+  auto id0 = bed.origin_fs(0).resolve(bed.image_dir() + "/fresh");
+  ASSERT_TRUE(id0.is_ok());
+  for (u32 j = 0; j < bed.origin_count(); ++j) {
+    auto idj = bed.origin_fs(static_cast<int>(j)).resolve(bed.image_dir() + "/fresh");
+    ASSERT_TRUE(idj.is_ok()) << "origin " << j;
+    EXPECT_EQ(*idj, *id0) << "origin " << j;
+    // REMOVE broadcast: the deleted name is gone everywhere.
+    EXPECT_FALSE(
+        bed.origin_fs(static_cast<int>(j)).exists(bed.image_dir() + "/doomed"))
+        << "origin " << j;
+  }
+}
+
+TEST(ClusterRouting, StatSizeReflectsHomeShardAfterExtend) {
+  TestbedOptions opt;
+  opt.scenario = Scenario::kWanCached;
+  opt.generate_image_meta = false;
+  opt.write_policy = cache::WritePolicy::kWriteThrough;
+  opt.origin_cluster = true;
+  opt.origin_shards = 4;
+  opt.origin_replicas = 1;
+  Testbed bed(opt);
+
+  const int kFiles = 8;
+  for (int f = 0; f < kFiles; ++f) {
+    ASSERT_TRUE(bed.put_image_file("/s" + std::to_string(f),
+                                   blob::make_bytes(fill_bytes(7, 8_KiB)))
+                    .is_ok());
+  }
+
+  bed.kernel().run_process("t", [&](sim::Process& p) {
+    ASSERT_TRUE(bed.mount(p).is_ok());
+    auto& session = bed.image_session();
+    std::vector<u8> ext = fill_bytes(55, 16_KiB);
+    for (int f = 0; f < kFiles; ++f) {
+      ASSERT_TRUE(
+          session.write(p, "/s" + std::to_string(f), 0, blob::make_bytes(ext))
+              .is_ok());
+    }
+    ASSERT_TRUE(session.flush(p).is_ok());
+    // Only the home shard saw the extending write; a LOOKUP served by any
+    // other origin must still report the authoritative (patched) size.
+    bed.nfs_client()->drop_caches();
+    for (int f = 0; f < kFiles; ++f) {
+      auto a = session.stat(p, "/s" + std::to_string(f));
+      ASSERT_TRUE(a.is_ok());
+      EXPECT_EQ(a->size, 16_KiB) << "file " << f;
+    }
+  });
+  ASSERT_EQ(bed.kernel().failed_processes(), 0) << bed.kernel().failed_names_joined();
+  // 8 files over 4 shards: some LOOKUPs are necessarily served off-shard
+  // (the directory's home differs from the file's), so the patch path ran.
+  EXPECT_GT(bed.shard_router()->lookup_patches(), 0u);
+}
+
+// ---- crash failover + DRC seam ----------------------------------------------
+
+struct CrashRunStats {
+  u64 failovers = 0;
+  u64 resyncs = 0;
+  u64 journaled = 0;
+  u64 replayed = 0;
+  u64 drc_clears0 = 0;
+  u64 drc_clears1 = 0;
+  u64 drc_retained1 = 0;
+  double outage_ms = 0;
+  bool victim_live = false;
+  u64 victim_journal = 0;
+  bool converged = false;
+};
+
+// One origin of a 2-shard / 2-replica cluster crashes at [5 s, 15 s) while a
+// write-through client keeps writing. Every shard lives on both origins, so
+// the survivor acks alone, the victim's journal accrues, and reintegration
+// replays it; afterwards both origins must hold identical (expected) bytes.
+CrashRunStats run_crash_cluster(bool drc_survives) {
+  TestbedOptions opt;
+  opt.scenario = Scenario::kWanCached;
+  opt.generate_image_meta = false;
+  opt.write_policy = cache::WritePolicy::kWriteThrough;
+  opt.origin_cluster = true;
+  opt.origin_shards = 2;
+  opt.origin_replicas = 2;
+  opt.drc_survives = drc_survives;
+  opt.enable_fault_injection = true;
+  opt.fault.crashes.push_back(sim::FaultWindow{5 * kSecond, 15 * kSecond, 1});
+  opt.retry.timeout = 250 * kMillisecond;
+  opt.retry.max_retransmits = 2;  // soft mount: kTimeout reaches the router
+  Testbed bed(opt);
+
+  const int kFiles = 2;
+  std::vector<std::vector<u8>> expect(kFiles);
+  for (int f = 0; f < kFiles; ++f) {
+    expect[static_cast<std::size_t>(f)] = fill_bytes(40 + static_cast<u64>(f), 64_KiB);
+    EXPECT_TRUE(bed.put_image_file(
+                       "/c" + std::to_string(f),
+                       blob::make_bytes(expect[static_cast<std::size_t>(f)]))
+                    .is_ok());
+  }
+
+  bed.kernel().run_process("writer", [&](sim::Process& p) {
+    ASSERT_TRUE(bed.mount(p).is_ok());
+    auto& session = bed.image_session();
+    auto write_round = [&](u64 seed) {
+      for (int f = 0; f < kFiles; ++f) {
+        std::vector<u8> data = fill_bytes(seed + static_cast<u64>(f), 32_KiB);
+        ASSERT_TRUE(session
+                        .write(p, "/c" + std::to_string(f), 0,
+                               blob::make_bytes(data))
+                        .is_ok());
+        auto& bytes = expect[static_cast<std::size_t>(f)];
+        std::copy(data.begin(), data.end(), bytes.begin());
+      }
+      // Push the staged writes upstream NOW, inside the crash window —
+      // otherwise they sit in the client until the final flush and the
+      // router never sees the dead replica.
+      ASSERT_TRUE(session.flush(p).is_ok());
+    };
+    write_round(100);  // both origins live
+    p.delay_until(8 * kSecond);
+    write_round(200);  // origin 1 dead: survivor acks, victim journals
+    p.delay_until(11 * kSecond);
+    write_round(300);  // still dead: more journal
+    p.delay_until(20 * kSecond);
+    ASSERT_TRUE(session.flush(p).is_ok());
+    bed.shard_router()->resync(p);  // force reintegration + replay
+  });
+  EXPECT_EQ(bed.kernel().failed_processes(), 0) << bed.kernel().failed_names_joined();
+
+  const proxy::ShardRouter* router = bed.shard_router();
+  CrashRunStats out;
+  out.failovers = router->failovers();
+  out.resyncs = router->resyncs();
+  out.journaled = router->journaled_ops();
+  out.replayed = router->replayed_ops();
+  out.outage_ms = router->last_outage_ms();
+  out.victim_live = router->origin_live(1);
+  out.victim_journal = router->journal_size(1);
+  out.drc_clears0 = bed.origin_server(0)->drc_clears();
+  out.drc_clears1 = bed.origin_server(1)->drc_clears();
+  out.drc_retained1 = bed.origin_server(1)->drc_retained();
+  out.converged = true;
+  for (int f = 0; f < kFiles; ++f) {
+    std::string abs = bed.image_dir() + "/c" + std::to_string(f);
+    for (u32 j = 0; j < bed.origin_count(); ++j) {
+      if (file_bytes(bed.origin_fs(static_cast<int>(j)), abs) !=
+          expect[static_cast<std::size_t>(f)]) {
+        out.converged = false;
+      }
+    }
+  }
+  return out;
+}
+
+TEST(ClusterFailover, CrashJournalReplayConvergesWithZeroLostWrites) {
+  CrashRunStats s = run_crash_cluster(/*drc_survives=*/false);
+  EXPECT_GE(s.failovers, 1u);
+  EXPECT_GE(s.resyncs, 1u);
+  EXPECT_GT(s.journaled, 0u);
+  EXPECT_EQ(s.replayed, s.journaled);  // every journaled op replayed
+  EXPECT_TRUE(s.victim_live);
+  EXPECT_EQ(s.victim_journal, 0u);
+  EXPECT_GT(s.outage_ms, 0.0);
+  EXPECT_LT(s.outage_ms, 30000.0);
+  EXPECT_TRUE(s.converged);
+  // The restart callback is keyed by server id: only the crashed origin's
+  // DRC was cleared (RFC 1813 §4 volatility — the cache does not survive a
+  // reboot unless journaled).
+  EXPECT_GE(s.drc_clears1, 1u);
+  EXPECT_EQ(s.drc_clears0, 0u);
+  EXPECT_EQ(s.drc_retained1, 0u);
+}
+
+TEST(ClusterFailover, DrcSurvivesSeamRetainsCacheAcrossReboot) {
+  CrashRunStats s = run_crash_cluster(/*drc_survives=*/true);
+  // Same crash, same convergence — but the Juszczak-style journaling seam
+  // keeps the victim's DRC across the reboot instead of clearing it.
+  EXPECT_TRUE(s.converged);
+  EXPECT_GE(s.drc_retained1, 1u);
+  EXPECT_EQ(s.drc_clears1, 0u);
+  EXPECT_EQ(s.drc_clears0, 0u);
+}
+
+}  // namespace
+}  // namespace gvfs::core

@@ -159,6 +159,49 @@ TEST(FaultInjector, RestartFiresOncePerCrashWindow) {
   EXPECT_EQ(inj.restarts_fired(), 2u);
 }
 
+TEST(FaultInjector, PerServerWindowsAndRestartCallbacks) {
+  sim::SimKernel k;
+  sim::FaultConfig cfg;
+  cfg.crashes.push_back(sim::FaultWindow{10, 20, 1});                 // origin 1 only
+  cfg.crashes.push_back(sim::FaultWindow{30, 40, sim::kAllServers});  // everyone
+  sim::FaultInjector inj(k, cfg);
+
+  // The scoped crash downs only server 1; the kAllServers one downs both.
+  EXPECT_TRUE(inj.server_down(15, 1));
+  EXPECT_FALSE(inj.server_down(15, 0));
+  EXPECT_TRUE(inj.drop_request(15, 1));
+  EXPECT_FALSE(inj.drop_request(15, 0));
+  EXPECT_TRUE(inj.server_down(35, 0));
+  EXPECT_TRUE(inj.server_down(35, 1));
+
+  int reboots0 = 0;
+  int reboots1 = 0;
+  inj.set_on_restart(0, [&] { ++reboots0; });
+  inj.set_on_restart(1, [&] { ++reboots1; });
+  inj.fire_restarts_due(25, 0);  // only server 1's window has closed
+  inj.fire_restarts_due(25, 1);
+  EXPECT_EQ(reboots0, 0);
+  EXPECT_EQ(reboots1, 1);
+  inj.fire_restarts_due(50, 0);  // the all-servers window reboots both
+  inj.fire_restarts_due(50, 1);
+  EXPECT_EQ(reboots0, 1);
+  EXPECT_EQ(reboots1, 2);
+  EXPECT_EQ(inj.restarts_fired(), 3u);
+}
+
+TEST(FaultInjector, LegacySingleArgRestartTargetsServerZero) {
+  sim::SimKernel k;
+  sim::FaultConfig cfg;
+  cfg.crashes.push_back(sim::FaultWindow{10, 20});  // applies to all servers
+  sim::FaultInjector inj(k, cfg);
+  int reboots = 0;
+  inj.set_on_restart([&] { ++reboots; });  // legacy overload: server 0
+  inj.fire_restarts_due(25);               // default server id 0
+  EXPECT_EQ(reboots, 1);
+  inj.fire_restarts_due(25, 1);  // no callback registered for server 1
+  EXPECT_EQ(reboots, 1);
+}
+
 // ---- FaultyChannel ----------------------------------------------------------
 
 TEST(FaultyChannel, DropAccountingMatchesServerExecution) {

@@ -204,6 +204,29 @@ TEST(LintCounter, MetricsHeaderAndNonSrcAreExempt) {
   EXPECT_EQ(count_rule(f, "raw-counter"), 1) << dump(f);
 }
 
+TEST(LintClusterFactory, DirectNfsServerConstructionInTopologyFires) {
+  auto f = lint_content("src/gvfs/x.cc",
+                        "#include \"nfs/nfs_server.h\"\n"
+                        "auto s = std::make_unique<nfs::NfsServer>(k, fs, d, cfg);\n"
+                        "auto* t = new nfs::NfsServer(k, fs, d, cfg);\n");
+  EXPECT_EQ(count_rule(f, "cluster-factory"), 2) << dump(f);
+}
+
+TEST(LintClusterFactory, SanctionedFactorySiteIsSuppressed) {
+  auto f = lint_content(
+      "src/gvfs/testbed.cc",
+      "// gvfs-lint: allow(cluster-factory) the sanctioned construction site\n"
+      "auto s = std::make_unique<nfs::NfsServer>(k, fs, d, cfg);\n");
+  EXPECT_TRUE(f.empty()) << dump(f);
+}
+
+TEST(LintClusterFactory, OutsideTopologyCodeIsOutOfScope) {
+  const char* snippet = "auto s = std::make_unique<nfs::NfsServer>(k, fs, d, cfg);\n";
+  EXPECT_TRUE(lint_content("src/nfs/x.cc", snippet).empty());
+  EXPECT_TRUE(lint_content("tests/x.cc", snippet).empty());
+  EXPECT_TRUE(lint_content("bench/x.cc", snippet).empty());
+}
+
 TEST(LintHeaderGuard, MissingPragmaOnceFires) {
   auto f = lint_content("src/common/x.h", "int f();\n");
   EXPECT_EQ(count_rule(f, "header-guard"), 1) << dump(f);
@@ -310,6 +333,8 @@ TEST(LintRules, EveryRuleHasAFixtureThatFires) {
   collect(lint_content("src/x.cc", "void f() { std::cout << 1; }\n"));
   collect(lint_content("src/x.h", "int f();\n"));
   collect(lint_content("src/x.h", "#pragma once\nstruct S { u64 hits_ = 0; };\n"));
+  collect(lint_content("src/gvfs/x.cc",
+                       "auto s = std::make_unique<nfs::NfsServer>(cfg);\n"));
   for (const std::string& rule : all_rules()) {
     if (rule == "cmake-registration") continue;  // covered by LintTree
     EXPECT_NE(std::find(fired.begin(), fired.end(), rule), fired.end())

@@ -279,6 +279,160 @@ INSTANTIATE_TEST_SUITE_P(Seeds, FaultEquivalence,
                            return "seed" + std::to_string(info.param);
                          });
 
+// Sharded-equivalence property: a 3-shard / 2-replica origin cluster riding
+// out seeded per-server crash windows (async write-back, degraded proxy,
+// quorum writes with failover + journal resync) must converge — on EVERY
+// replica of each file's shard — to exactly the bytes a single faultless
+// write-through origin produces from the identical op stream.
+class ShardedEquivalence : public ::testing::TestWithParam<u64> {};
+
+TEST_P(ShardedEquivalence, ClusterUnderCrashesMatchesSingleFaultlessOrigin) {
+  const u64 seed = GetParam();
+  SplitMix64 rng(seed);
+
+  std::vector<std::vector<u8>> init(3);
+  for (auto& f : init) {
+    f.resize(64_KiB + rng.next_below(128_KiB));
+    for (auto& b : f) b = static_cast<u8>(rng.next());
+  }
+  std::vector<FaultOp> ops;
+  for (int i = 0; i < 48; ++i) {
+    FaultOp op;
+    op.gap = (500 + rng.next_below(2000)) * kMillisecond;
+    op.file = static_cast<int>(rng.next_below(init.size()));
+    op.flush = rng.next_below(6) == 0;
+    u64 blocks = (init[static_cast<std::size_t>(op.file)].size() + 32_KiB - 1) / 32_KiB;
+    op.offset = rng.next_below(blocks + 1) * 32_KiB;  // may extend the file
+    op.len = (1 + rng.next_below(3)) * 32_KiB;
+    op.fill_seed = rng.next();
+    ops.push_back(op);
+  }
+  // Two per-server crash windows inside the op span: distinct victims so two
+  // different shard neighbourhoods fail over within one run.
+  int victim_a = static_cast<int>(rng.next_below(3));
+  int victim_b = (victim_a + 1 + static_cast<int>(rng.next_below(2))) % 3;
+  u64 crash_a = 8 + rng.next_below(10);
+  u64 crash_b = 40 + rng.next_below(12);
+
+  auto run_stack = [&](bool cluster_faulty) {
+    TestbedOptions opt;
+    opt.scenario = Scenario::kWanCached;
+    opt.generate_image_meta = false;
+    opt.block_cache.capacity_bytes = 1_MiB;  // tiny: evictions feed the flusher
+    opt.block_cache.num_banks = 4;
+    opt.block_cache.associativity = 4;
+    if (cluster_faulty) {
+      opt.origin_cluster = true;
+      opt.origin_shards = 3;
+      opt.origin_replicas = 2;
+      opt.write_policy = cache::WritePolicy::kWriteBack;
+      opt.enable_async_writeback = true;
+      opt.enable_fault_injection = true;
+      opt.degraded_proxy = true;
+      opt.fault_seed = seed;
+      opt.fault.crashes.push_back(
+          sim::FaultWindow{static_cast<SimTime>(crash_a) * kSecond,
+                           static_cast<SimTime>(crash_a + 8) * kSecond, victim_a});
+      opt.fault.crashes.push_back(
+          sim::FaultWindow{static_cast<SimTime>(crash_b) * kSecond,
+                           static_cast<SimTime>(crash_b + 8) * kSecond, victim_b});
+      opt.retry.timeout = 250 * kMillisecond;
+      opt.retry.max_retransmits = 2;  // soft mount: kTimeout reaches the router
+    } else {
+      opt.write_policy = cache::WritePolicy::kWriteThrough;
+    }
+    Testbed bed(opt);
+    for (std::size_t i = 0; i < init.size(); ++i) {
+      EXPECT_TRUE(
+          bed.put_image_file("/f" + std::to_string(i), blob::make_bytes(init[i]))
+              .is_ok());
+    }
+    bed.kernel().run_process("ops", [&](sim::Process& p) {
+      ASSERT_TRUE(bed.mount(p).is_ok());
+      auto& session = bed.image_session();
+      for (std::size_t i = 0; i < init.size(); ++i) {
+        ASSERT_TRUE(session.stat(p, "/f" + std::to_string(i)).is_ok());
+      }
+      for (const FaultOp& op : ops) {
+        p.delay(op.gap);
+        std::string path = "/f" + std::to_string(op.file);
+        if (op.flush) {
+          ASSERT_TRUE(session.flush(p).is_ok());
+          continue;
+        }
+        std::vector<u8> data(op.len);
+        SplitMix64 fill(op.fill_seed);
+        for (auto& b : data) b = static_cast<u8>(fill.next());
+        Status wst = session.write(p, path, op.offset, blob::make_bytes(data));
+        ASSERT_TRUE(wst.is_ok()) << path << " @" << op.offset << ": " << wst.to_string();
+      }
+      // Quiesce past every crash window, reconnect, drain, and force the
+      // router to reintegrate dead origins + replay their journals.
+      p.delay_until(150 * kSecond);
+      if (cluster_faulty) {
+        ASSERT_TRUE(bed.client_proxy()->signal_reconnect(p).is_ok());
+      }
+      ASSERT_TRUE(session.flush(p).is_ok());
+      ASSERT_TRUE(bed.signal_write_back(p).is_ok());
+      if (cluster_faulty) bed.shard_router()->resync(p);
+    });
+    EXPECT_EQ(bed.kernel().failed_processes(), 0) << bed.kernel().failed_names_joined();
+    if (cluster_faulty) {
+      EXPECT_EQ(bed.client_proxy()->pending_writebacks(), 0u);
+      EXPECT_EQ(bed.client_proxy()->pending_flush_blocks(), 0u);
+      for (u32 j = 0; j < bed.origin_count(); ++j) {
+        EXPECT_TRUE(bed.shard_router()->origin_live(j)) << "origin " << j;
+        EXPECT_EQ(bed.shard_router()->journal_size(j), 0u) << "origin " << j;
+      }
+    }
+    // Collect each file's bytes — from every replica of its home shard in
+    // cluster mode (they must agree with each other), else from the single
+    // origin.
+    std::vector<std::vector<u8>> out(init.size());
+    for (std::size_t i = 0; i < init.size(); ++i) {
+      std::string abs = bed.image_dir() + "/f" + std::to_string(i);
+      if (!cluster_faulty) {
+        auto f = bed.image_fs().get_file(abs);
+        EXPECT_TRUE(f.is_ok());
+        out[i].resize((*f)->size());
+        (*f)->read(0, out[i]);
+        continue;
+      }
+      auto id = bed.origin_fs(0).resolve(abs);
+      EXPECT_TRUE(id.is_ok()) << abs;
+      if (!id.is_ok()) continue;
+      u32 shard = bed.shard_router()->shard_of(bed.origin_server(0)->fh_of(*id));
+      bool first = true;
+      for (u32 j : bed.shard_router()->replicas_of(shard)) {
+        auto f = bed.origin_fs(static_cast<int>(j)).get_file(abs);
+        EXPECT_TRUE(f.is_ok()) << abs << " origin " << j;
+        std::vector<u8> got((*f)->size());
+        (*f)->read(0, got);
+        if (first) {
+          out[i] = std::move(got);
+          first = false;
+        } else {
+          EXPECT_EQ(got, out[i]) << abs << ": replica " << j << " diverged";
+        }
+      }
+    }
+    return out;
+  };
+
+  std::vector<std::vector<u8>> cluster = run_stack(true);
+  std::vector<std::vector<u8>> clean = run_stack(false);
+  for (std::size_t i = 0; i < init.size(); ++i) {
+    ASSERT_EQ(cluster[i].size(), clean[i].size()) << "/f" << i;
+    ASSERT_EQ(cluster[i], clean[i]) << "/f" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardedEquivalence,
+                         ::testing::Values(21, 22, 23, 24),
+                         [](const ::testing::TestParamInfo<u64>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
 // Monotonicity property: enlarging the proxy cache never makes a re-read
 // workload slower (same seed, same ops).
 class CacheSizeMonotonic : public ::testing::TestWithParam<u64> {};

@@ -29,8 +29,8 @@ golden="$repo_root/tools/golden_stdout.sha256"
 
 benches=(ablate_cache ablate_cascade ablate_meta ablate_prefetch
          ablate_writeback boot_storm fault_recovery fig3_specseis
-         fig4_latex fig5_kernel fig6_cloning shared_writeback
-         table1_parallel zerofilter)
+         fig4_latex fig5_kernel fig6_cloning origin_cluster
+         shared_writeback table1_parallel zerofilter)
 
 cmake -B "$build_dir" -S "$repo_root" >/dev/null
 cmake --build "$build_dir" -j "$(nproc)" \

@@ -244,6 +244,29 @@ const std::vector<TokenRule>& counter_rules() {
   return kRules;
 }
 
+// Topology code must build origin NfsServers through the Testbed cluster
+// factory (Testbed::make_origin_server_): it is the single site that applies
+// the shared server config and per-origin crash/restart wiring. A direct
+// construction in src/gvfs/ silently skips both. The factory itself carries
+// a `// gvfs-lint: allow(cluster-factory)` annotation.
+const std::vector<TokenRule>& cluster_factory_rules() {
+  static const std::vector<TokenRule> kRules = [] {
+    std::vector<TokenRule> v;
+    v.push_back(
+        {"cluster-factory",
+         std::regex(R"(\b(make_unique\s*<\s*(nfs::)?NfsServer\b|new\s+(nfs::)?NfsServer\b))"),
+         "direct NfsServer construction in topology code; route through the "
+         "Testbed cluster factory (make_origin_server_) so server config and "
+         "restart wiring stay uniform"});
+    return v;
+  }();
+  return kRules;
+}
+
+bool cluster_factory_scoped(const std::string& path) {
+  return starts_with(path, "src/gvfs/");
+}
+
 const std::vector<TokenRule>& print_rules() {
   static const std::vector<TokenRule> kRules = [] {
     std::vector<TokenRule> v;
@@ -376,7 +399,7 @@ const std::vector<std::string>& all_rules() {
   static const std::vector<std::string> kRules = {
       "determinism-rng",  "determinism-clock",  "unordered-iteration",
       "stdout-print",     "raw-counter",        "header-guard",
-      "cmake-registration"};
+      "cmake-registration", "cluster-factory"};
   return kRules;
 }
 
@@ -402,6 +425,9 @@ std::vector<Finding> lint_content(const std::string& path,
   }
   if (counter_scoped(path)) {
     apply_token_rules(counter_rules(), code, sup, path, &out);
+  }
+  if (cluster_factory_scoped(path)) {
+    apply_token_rules(cluster_factory_rules(), code, sup, path, &out);
   }
   if (unordered_scoped(path)) {
     std::set<std::string> decls = unordered_decl_names(code);

@@ -28,6 +28,7 @@ benches=(
   bench_fault_recovery
   bench_shared_writeback
   bench_boot_storm
+  bench_origin_cluster
   bench_micro
 )
 
