@@ -128,6 +128,10 @@ std::optional<blob::BlobRef> ProxyDiskCache::lookup(sim::Process& p, const Block
   }
   hits_.inc();
   f->last_used = ++tick_;
+  // Copy the payload handle out before the cache-disk yield: a concurrent
+  // insert can evict this frame — or invalidate_all() free its chunk —
+  // while this fiber is blocked on the disk.
+  blob::BlobRef data = f->data;
   // A hit reads the frame from the cache disk. Consecutive blocks of a file
   // live in consecutive sets of a bank, so sequential access streams.
   sim::Locality loc = (id.file_key == last_access_.file_key &&
@@ -135,23 +139,41 @@ std::optional<blob::BlobRef> ProxyDiskCache::lookup(sim::Process& p, const Block
                           ? sim::Locality::kSequential
                           : sim::Locality::kRandom;
   last_access_ = id;
-  disk_.access(p, f->data ? f->data->size() : cfg_.block_size, loc);
-  return f->data;
+  disk_.access(p, data ? data->size() : cfg_.block_size, loc);
+  return data;
 }
 
 Status ProxyDiskCache::evict_(sim::Process& p, Frame& victim, u32 idx) {
   if (!victim.valid) return Status::ok();
   evictions_.inc();
+  u64 epoch = structure_epoch_;
   if (victim.dirty) {
     writebacks_.inc();
     dirty_.sub(1);
+    // Clear the dirty bit before yielding so a concurrent write_back walk
+    // does not flush (and double-decrement) the same frame.
+    victim.dirty = false;
     if (writeback_) {
+      // Copy the tag and payload handle: the write-back yields, and only the
+      // caller's busy claim — not these fields — survives a concurrent
+      // invalidate of the frame.
+      BlockId id = victim.id;
+      blob::BlobRef data = victim.data;
       // Read the frame back from the cache disk, then push upstream.
-      disk_.access(p, victim.data ? victim.data->size() : cfg_.block_size,
+      disk_.access(p, data ? data->size() : cfg_.block_size,
                    sim::Locality::kRandom);
-      GVFS_RETURN_IF_ERROR(writeback_(p, victim.id, victim.data));
+      Status st = writeback_(p, id, data);
+      if (structure_epoch_ != epoch) return st;  // chunks freed under us
+      if (!st.is_ok()) {
+        if (victim.valid) {
+          victim.dirty = true;
+          dirty_.add(1);
+        }
+        return st;
+      }
     }
   }
+  if (!victim.valid) return Status::ok();  // invalidated during the yield
   unlink_file_(idx);
   clear_frame_(victim);
   resident_.sub(1);
@@ -171,61 +193,121 @@ Status ProxyDiskCache::insert(sim::Process& p, const BlockId& id, blob::BlobRef 
 
   u32 set = set_index_(id);
   touch_bank_(p, set);
-  Frame* base = set_base_create_(set);
   const u32 set_first = set * cfg_.associativity;
-  Frame* slot = nullptr;
-  for (u32 w = 0; w < cfg_.associativity; ++w) {
-    if (base[w].valid && base[w].id == id) {
-      slot = &base[w];
-      break;
+
+  // If the block cannot be cached right now (every way claimed by concurrent
+  // inserts, or the cache was invalidated mid-insert), dirty bytes go
+  // straight upstream so nothing is lost; clean bytes are simply not cached.
+  auto skip_cache = [&]() -> Status {
+    if (dirty && writeback_) {
+      writebacks_.inc();
+      return writeback_(p, id, data);
     }
-  }
-  bool new_residency = false;
-  if (slot == nullptr) {
-    // Free way, else LRU victim.
+    return Status::ok();
+  };
+
+  // Claim one frame (busy) before the eviction / frame-write yields below: a
+  // concurrent insert into the same set must not pick the same LRU victim,
+  // and invalidate_all() freeing the chunks mid-yield is detected by the
+  // structure epoch and restarts the claim.
+  for (;;) {
+    u64 epoch = structure_epoch_;
+    Frame* base = set_base_create_(set);
+    Frame* slot = nullptr;
+    u32 way = 0;
     for (u32 w = 0; w < cfg_.associativity; ++w) {
-      if (!base[w].valid) {
+      if (base[w].valid && base[w].id == id) {
         slot = &base[w];
+        way = w;
         break;
       }
     }
-    if (slot == nullptr) {
-      slot = base;
-      for (u32 w = 1; w < cfg_.associativity; ++w) {
-        if (base[w].last_used < slot->last_used) slot = &base[w];
-      }
-      GVFS_RETURN_IF_ERROR(
-          evict_(p, *slot, set_first + static_cast<u32>(slot - base)));
+    bool new_residency = false;
+    if (slot != nullptr && slot->busy) {
+      // This very block's frame is mid-eviction in another fiber.
+      return skip_cache();
     }
-    resident_.add(1);
-    new_residency = true;
-  } else if (slot->dirty && !dirty) {
-    // Overwriting a dirty frame with clean data must not lose staged bytes —
-    // the caller (proxy) merges before inserting, so a clean overwrite means
-    // the block was just written back. A dirty overwrite keeps the frame
-    // dirty and its single dirty count.
-    dirty_.sub(1);
-    slot->dirty = false;
-  }
+    if (slot == nullptr) {
+      // Free way, else LRU victim; never a frame another insert claimed.
+      for (u32 w = 0; w < cfg_.associativity; ++w) {
+        if (!base[w].valid && !base[w].busy) {
+          slot = &base[w];
+          way = w;
+          break;
+        }
+      }
+      if (slot == nullptr) {
+        for (u32 w = 0; w < cfg_.associativity; ++w) {
+          if (base[w].busy) continue;
+          if (slot == nullptr || base[w].last_used < slot->last_used) {
+            slot = &base[w];
+            way = w;
+          }
+        }
+      }
+      if (slot == nullptr) return skip_cache();
+      slot->busy = true;
+      if (slot->valid) {
+        Status st = evict_(p, *slot, set_first + way);
+        if (structure_epoch_ != epoch) {
+          // invalidate_all() dropped the chunks while the eviction write-back
+          // was in flight; release the claim through re-derived storage.
+          if (Frame* nb = set_base_(set)) nb[way].busy = false;
+          GVFS_RETURN_IF_ERROR(st);
+          continue;  // re-derive and re-claim
+        }
+        if (!st.is_ok()) {
+          slot->busy = false;
+          return st;
+        }
+      }
+      resident_.add(1);
+      new_residency = true;
+    } else {
+      slot->busy = true;
+      if (slot->dirty && !dirty) {
+        // Overwriting a dirty frame with clean data must not lose staged
+        // bytes — the caller (proxy) merges before inserting, so a clean
+        // overwrite means the block was just written back. A dirty overwrite
+        // keeps the frame dirty and its single dirty count.
+        dirty_.sub(1);
+        slot->dirty = false;
+      }
+    }
 
-  // Frame write to the cache disk. Bank-file writes go through the host
-  // buffer cache and are flushed in elevator order, so they cost
-  // near-sequential time regardless of arrival order.
-  last_access_ = id;
-  disk_.access(p, data->size(), sim::Locality::kSequential);
+    // Frame write to the cache disk. Bank-file writes go through the host
+    // buffer cache and are flushed in elevator order, so they cost
+    // near-sequential time regardless of arrival order.
+    last_access_ = id;
+    disk_.access(p, data->size(), sim::Locality::kSequential);
+    if (structure_epoch_ != epoch) {
+      // The cache was dropped while the frame write was in flight. The
+      // invalidate already reset the gauges; just release the claim and
+      // treat the block as uncacheable.
+      if (Frame* nb = set_base_(set)) nb[way].busy = false;
+      return skip_cache();
+    }
+    if (!new_residency && !slot->valid) {
+      // invalidate_file() cleared the matched frame during the yield;
+      // filling it now would leave an unlinked resident frame.
+      slot->busy = false;
+      return skip_cache();
+    }
 
-  if (slot->data) resident_bytes_.sub(slot->data->size());
-  resident_bytes_.add(data->size());
-  slot->valid = true;
-  slot->id = id;
-  slot->data = std::move(data);
-  slot->last_used = ++tick_;
-  if (new_residency) link_file_(set_first + static_cast<u32>(slot - base));
-  if (dirty && !slot->dirty) {
-    slot->dirty = true;
-    dirty_.add(1);
+    if (slot->data) resident_bytes_.sub(slot->data->size());
+    resident_bytes_.add(data->size());
+    slot->valid = true;
+    slot->id = id;
+    slot->data = std::move(data);
+    slot->last_used = ++tick_;
+    slot->busy = false;
+    if (new_residency) link_file_(set_first + way);
+    if (dirty && !slot->dirty) {
+      slot->dirty = true;
+      dirty_.add(1);
+    }
+    return Status::ok();
   }
-  return Status::ok();
 }
 
 Result<blob::BlobRef> ProxyDiskCache::merge(sim::Process& p, const BlockId& id,
@@ -252,21 +334,43 @@ Result<blob::BlobRef> ProxyDiskCache::merge(sim::Process& p, const BlockId& id,
 }
 
 Status ProxyDiskCache::write_back_all(sim::Process& p) {
-  for (std::size_t c = 0; c < chunks_.size(); ++c) {
-    if (!chunks_[c]) continue;
-    const std::size_t n = std::min<std::size_t>(
-        frames_per_chunk_, total_frames_ - c * frames_per_chunk_);
-    for (std::size_t i = 0; i < n; ++i) {
-      Frame& f = chunks_[c][i];
-      if (f.valid && f.dirty) {
+  // Restart the scan whenever invalidate_all() freed the chunk storage while
+  // a write-back was in flight: frames flushed before the restart are no
+  // longer dirty, so the rescan converges.
+  for (bool restart = true; restart;) {
+    restart = false;
+    u64 epoch = structure_epoch_;
+    // gvfs-lint: allow(yield-index-loop) chunks_ is never resized; the epoch check below restarts the walk if invalidate_all() frees chunks mid-yield
+    for (std::size_t c = 0; c < chunks_.size() && !restart; ++c) {
+      if (!chunks_[c]) continue;
+      const std::size_t n = std::min<std::size_t>(
+          frames_per_chunk_, total_frames_ - c * frames_per_chunk_);
+      for (std::size_t i = 0; i < n; ++i) {
+        Frame& f = chunks_[c][i];
+        if (!f.valid || !f.dirty) continue;
         writebacks_.inc();
-        if (writeback_) {
-          disk_.access(p, f.data ? f.data->size() : cfg_.block_size,
-                       sim::Locality::kSequential);
-          GVFS_RETURN_IF_ERROR(writeback_(p, f.id, f.data));
+        if (!writeback_) {
+          f.dirty = false;
+          dirty_.sub(1);
+          continue;
         }
-        f.dirty = false;
-        dirty_.sub(1);
+        // Copy the tag and payload handle before yielding: a concurrent
+        // insert/invalidate can evict or clear this frame mid-flush.
+        BlockId id = f.id;
+        blob::BlobRef data = f.data;
+        disk_.access(p, data ? data->size() : cfg_.block_size,
+                     sim::Locality::kSequential);
+        GVFS_RETURN_IF_ERROR(writeback_(p, id, data));
+        if (structure_epoch_ != epoch) {
+          restart = true;
+          break;
+        }
+        // Only clear the dirty bit if the frame still holds this block.
+        Frame& g = chunks_[c][i];
+        if (g.valid && g.dirty && g.id == id) {
+          g.dirty = false;
+          dirty_.sub(1);
+        }
       }
     }
   }
@@ -280,18 +384,32 @@ Status ProxyDiskCache::write_back_file(sim::Process& p, u64 file_key) {
   // cache (e.g. an async flush enqueue evicting) must not invalidate the
   // walk mid-list.
   u32 idx = it->second;
+  u64 epoch = structure_epoch_;
   while (idx != kNil) {
     Frame& f = frame_at_(idx);
     u32 next = f.file_next;
-    if (f.valid && f.dirty) {
+    if (f.valid && f.dirty && !writeback_) {
       writebacks_.inc();
-      if (writeback_) {
-        disk_.access(p, f.data ? f.data->size() : cfg_.block_size,
-                     sim::Locality::kSequential);
-        GVFS_RETURN_IF_ERROR(writeback_(p, f.id, f.data));
-      }
       f.dirty = false;
       dirty_.sub(1);
+    } else if (f.valid && f.dirty) {
+      writebacks_.inc();
+      // Copy the tag and payload handle before yielding: a concurrent
+      // insert/invalidate can evict or clear this frame mid-flush.
+      BlockId id = f.id;
+      blob::BlobRef data = f.data;
+      disk_.access(p, data ? data->size() : cfg_.block_size,
+                   sim::Locality::kSequential);
+      GVFS_RETURN_IF_ERROR(writeback_(p, id, data));
+      // invalidate_all() freed the chunks mid-flush: every remaining frame
+      // of this file is gone with them.
+      if (structure_epoch_ != epoch) return Status::ok();
+      // Only clear the dirty bit if the frame still holds this block.
+      Frame& g = frame_at_(idx);
+      if (g.valid && g.dirty && g.id == id) {
+        g.dirty = false;
+        dirty_.sub(1);
+      }
     }
     idx = next;
   }
@@ -306,7 +424,9 @@ Status ProxyDiskCache::flush_and_invalidate(sim::Process& p) {
 
 void ProxyDiskCache::invalidate_all() {
   // Drop whole chunks: releasing the storage also returns the testbed to
-  // its pre-warm footprint after a read-only session ends.
+  // its pre-warm footprint after a read-only session ends. Fibers blocked in
+  // a yield with frame pointers in hand see the epoch bump and restart.
+  ++structure_epoch_;
   for (auto& chunk : chunks_) chunk.reset();
   file_head_.clear();
   dirty_.set(0);

@@ -121,6 +121,9 @@ class ProxyDiskCache {
   struct Frame {
     bool valid = false;
     bool dirty = false;
+    // Claimed by an in-flight insert whose eviction / frame write is blocked
+    // on the cache disk: victim scans and concurrent inserts skip it.
+    bool busy = false;
     BlockId id;
     blob::BlobRef data;
     u64 last_used = 0;
@@ -173,6 +176,10 @@ class ProxyDiskCache {
   std::unordered_map<u64, u32> file_head_;
   WritebackFn writeback_;
   u64 tick_ = 0;
+  // Bumped by invalidate_all(), which frees the chunk storage. Fibers that
+  // captured frame pointers before a disk / write-back yield compare epochs
+  // afterwards and restart (or abort) instead of touching freed frames.
+  u64 structure_epoch_ = 0;
   metrics::Counter hits_;
   metrics::Counter misses_;
   metrics::Counter evictions_;

@@ -52,11 +52,15 @@ std::optional<blob::BlobRef> FileCache::read(sim::Process& p, u64 file_key,
   u64 size = e.content ? e.content->size() : 0;
   if (offset >= size || len == 0) return blob::BlobRef(blob::make_zero(0));
   len = std::min<u64>(len, size - offset);
+  // Copy the content handle before the disk yield: a concurrent invalidate
+  // erases the entry and would leave `e` dangling.
+  blob::BlobRef content = e.content;
+  bool sequential = offset == e.last_read_end;
   disk_.access(p, len,
-               offset == e.last_read_end ? sim::Locality::kSequential
-                                         : sim::Locality::kRandom);
-  e.last_read_end = offset + len;
-  return blob::BlobRef(std::make_shared<blob::SliceBlob>(e.content, offset, len));
+               sequential ? sim::Locality::kSequential : sim::Locality::kRandom);
+  it = map_.find(file_key);
+  if (it != map_.end()) it->second->last_read_end = offset + len;
+  return blob::BlobRef(std::make_shared<blob::SliceBlob>(content, offset, len));
 }
 
 Status FileCache::write(sim::Process& p, u64 file_key, u64 offset,
@@ -73,7 +77,10 @@ Status FileCache::write(sim::Process& p, u64 file_key, u64 offset,
   e.dirty = true;
   resident_bytes_.add(e.content->size() - old_size);
   disk_.access(p, std::max<u64>(n, 4_KiB), sim::Locality::kSequential);
-  lru_.splice(lru_.begin(), lru_, it->second);
+  // The disk write yielded: a concurrent invalidate may have dropped the
+  // entry, so re-find before the LRU touch.
+  it = map_.find(file_key);
+  if (it != map_.end()) lru_.splice(lru_.begin(), lru_, it->second);
   return Status::ok();
 }
 
@@ -84,16 +91,26 @@ std::optional<u64> FileCache::cached_size(u64 file_key) const {
 }
 
 Status FileCache::write_back_all(sim::Process& p) {
-  for (Entry& e : lru_) {
-    if (e.dirty) {
-      if (upload_) {
-        // Re-read the file from the cache disk for upload.
-        disk_.access(p, e.content ? e.content->size() : 4_KiB,
-                     sim::Locality::kSequential);
-        GVFS_RETURN_IF_ERROR(upload_(p, e.key, e.content));
-      }
-      e.dirty = false;
+  // Snapshot the dirty keys first: the upload below yields, and a concurrent
+  // invalidate would unlink the very list node the range-for is parked on.
+  std::vector<u64> dirty_keys;
+  for (const Entry& e : lru_) {
+    if (e.dirty) dirty_keys.push_back(e.key);
+  }
+  for (u64 key : dirty_keys) {
+    auto it = map_.find(key);
+    if (it == map_.end() || !it->second->dirty) continue;
+    if (upload_) {
+      // Copy the content handle before the yields (re-read from the cache
+      // disk, then upload); the entry may be invalidated meanwhile.
+      blob::BlobRef content = it->second->content;
+      disk_.access(p, content ? content->size() : 4_KiB,
+                   sim::Locality::kSequential);
+      GVFS_RETURN_IF_ERROR(upload_(p, key, content));
+      it = map_.find(key);
+      if (it == map_.end()) continue;
     }
+    it->second->dirty = false;
   }
   return Status::ok();
 }

@@ -1,0 +1,82 @@
+// MutationEpoch / YieldGuard: the dynamic half of the yield-point analysis
+// (tools/lint/analyzer.h, DESIGN.md §5.8).
+//
+// The static analyzer proves scopes yield-free: between two statements with
+// no may-yield call, no other fiber can run, so member containers cannot
+// change underneath. MutationEpoch makes that proof checkable at runtime: a
+// container's owner bumps the epoch on every structural mutation (insert,
+// erase, clear, splice), and a YieldGuard placed across an analyzer-proven
+// yield-free scope asserts the epoch did not move. If a new yield point
+// sneaks into such a scope (and past the committed yield-model golden), the
+// guard fires deterministically in debug runs instead of the bug surfacing
+// as a heisenbug iterator invalidation.
+//
+// Both types compile to nothing in release builds. Like GVFS_DEADLOCK_CHECK,
+// the checking is always on in debug builds and can be forced for any build
+// type with -DGVFS_YIELD_CHECK=1.
+#pragma once
+
+#include <cassert>
+
+#include "common/types.h"
+
+#if !defined(GVFS_YIELD_CHECK) && !defined(NDEBUG)
+#define GVFS_YIELD_CHECK 1
+#endif
+
+namespace gvfs {
+
+// Structural-mutation counter for one container (or one family of containers
+// that the same invariant covers). Zero-cost in release builds.
+class MutationEpoch {
+ public:
+  void bump() {
+#ifdef GVFS_YIELD_CHECK
+    ++n_;
+#endif
+  }
+  [[nodiscard]] u64 value() const {
+#ifdef GVFS_YIELD_CHECK
+    return n_;
+#else
+    return 0;
+#endif
+  }
+
+ private:
+#ifdef GVFS_YIELD_CHECK
+  u64 n_ = 0;
+#endif
+};
+
+// RAII assertion that a scope the static analyzer proved yield-free really
+// observed no structural mutation of the guarded container. Place it where a
+// raw reference/iterator into the container stays live and correctness
+// depends on no other fiber running.
+class YieldGuard {
+ public:
+  explicit YieldGuard(const MutationEpoch& e) {
+#ifdef GVFS_YIELD_CHECK
+    e_ = &e;
+    at_ = e.value();
+#else
+    (void)e;
+#endif
+  }
+  ~YieldGuard() {
+#ifdef GVFS_YIELD_CHECK
+    assert(e_->value() == at_ &&
+           "container mutated inside an analyzer-proven yield-free scope");
+#endif
+  }
+  YieldGuard(const YieldGuard&) = delete;
+  YieldGuard& operator=(const YieldGuard&) = delete;
+
+ private:
+#ifdef GVFS_YIELD_CHECK
+  const MutationEpoch* e_ = nullptr;
+  u64 at_ = 0;
+#endif
+};
+
+}  // namespace gvfs

@@ -144,11 +144,16 @@ bool NfsServer::drc_matches_(const DrcEntry& e, const rpc::RpcCall& call) {
 void NfsServer::flush_dirty_(sim::Process& p, vfs::FileId id) {
   auto it = dirty_bytes_.find(id);
   if (it == dirty_bytes_.end() || it->second == 0) return;
-  disk_.access(p, it->second, sim::Locality::kSequential);
-  it->second = 0;
+  u64 n = it->second;
+  disk_.access(p, n, sim::Locality::kSequential);
+  // The disk write yielded: another nfsd fiber may have rehashed or cleared
+  // the dirty map meanwhile, so re-find before clearing the entry.
+  it = dirty_bytes_.find(id);
+  if (it != dirty_bytes_.end()) it->second = 0;
 }
 
 rpc::RpcReply NfsServer::handle(sim::Process& p, const rpc::RpcCall& call) {
+  // gvfs-yield: allow-held the nfsd permit models the server's fixed worker pool and spans the whole request by design
   sim::ScopedPermit permit(p, nfsd_);
   SimTime t0 = p.now();
   total_calls_.inc();

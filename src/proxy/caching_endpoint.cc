@@ -61,8 +61,12 @@ Result<meta::CompressedImage> CachingFileEndpoint::fetch_compressed(
     it = images_.find(fileid);
   }
   // Stream the cached compressed image off the LAN disk; no recompression.
-  disk_.access(p, it->second.compressed_size, sim::Locality::kSequential);
-  return it->second;
+  // Copy the image out first: the disk access yields, and a concurrent
+  // pull_() under capacity pressure can evict this very entry mid-stream,
+  // leaving `it` dangling.
+  meta::CompressedImage img = it->second;
+  disk_.access(p, img.compressed_size, sim::Locality::kSequential);
+  return img;
 }
 
 Status CachingFileEndpoint::store_compressed(sim::Process& p, vfs::FileId fileid,

@@ -350,6 +350,9 @@ Status GvfsProxy::cache_writeback_(sim::Process& p, const cache::BlockId& id,
                                    const blob::BlobRef& data) {
   auto it = key_to_fh_.find(id.file_key);
   if (it == key_to_fh_.end()) return err(ErrCode::kStale, "writeback: unknown fh");
+  // Copy the handle out of the map: the upstream WRITE below yields, and a
+  // concurrent insert (rehash) or drop_soft_state() invalidates `it`.
+  nfs::Fh fh = it->second;
   // This block's bytes are newer than any copy parked for replay over the
   // same byte range; neutralize the stale entries so a reconnect replay
   // (possibly triggered by this very write-back landing) cannot overwrite
@@ -360,11 +363,11 @@ Status GvfsProxy::cache_writeback_(sim::Process& p, const cache::BlockId& id,
     // Asynchronous write-back: park the block in the per-file flush queue;
     // the background flusher drains it as pipelined UNSTABLE bursts + one
     // COMMIT. The evicting reader pays no WAN round trip here.
-    enqueue_flush_(p, it->second, id.block, data, seq);
+    enqueue_flush_(p, fh, id.block, data, seq);
     return Status::ok();
   }
   auto wargs = std::make_shared<nfs::WriteArgs>();
-  wargs->fh = it->second;
+  wargs->fh = fh;
   wargs->offset = id.block * cfg_.fetch_block;
   wargs->count = data ? static_cast<u32>(data->size()) : 0;
   wargs->stable = nfs::StableHow::kFileSync;
@@ -377,13 +380,13 @@ Status GvfsProxy::cache_writeback_(sim::Process& p, const cache::BlockId& id,
     // replay queue is the only place its data survives.
     if (cfg_.degraded_mode &&
         (res.code() == ErrCode::kTimeout || upstream_down_)) {
-      queue_degraded_write_(it->second, id.block * cfg_.fetch_block, data, seq);
+      queue_degraded_write_(fh, id.block * cfg_.fetch_block, data, seq);
       return Status::ok();
     }
     return res.status();
   }
   if ((*res)->status != NfsStat::kOk) return err((*res)->status, "writeback write");
-  if ((*res)->attr.attr) remember_attr_(it->second, *(*res)->attr.attr, p.now());
+  if ((*res)->attr.attr) remember_attr_(fh, *(*res)->attr.attr, p.now());
   return Status::ok();
 }
 
@@ -399,6 +402,7 @@ void GvfsProxy::enqueue_flush_(sim::Process& p, const nfs::Fh& fh, u64 block,
     q.order.push_back(block);
   }
   if (inserted) flush_file_order_.push_back(key);
+  flush_epoch_.bump();
   flush_enqueued_.inc();
   maybe_spawn_flusher_(p);
 }
@@ -422,6 +426,7 @@ Status GvfsProxy::drain_flush_queues_(sim::Process& p) {
   while (!flush_file_order_.empty()) {
     u64 key = flush_file_order_.front();
     flush_file_order_.erase(flush_file_order_.begin());
+    flush_epoch_.bump();
     auto it = flush_queues_.find(key);
     if (it == flush_queues_.end()) continue;
     // Extract the whole per-file queue before blocking: enqueues that land
@@ -429,6 +434,7 @@ Status GvfsProxy::drain_flush_queues_(sim::Process& p) {
     // by a later loop round (or the next drain).
     FlushQueue q = std::move(it->second);
     flush_queues_.erase(it);
+    flush_epoch_.bump();
     Status st = flush_file_(p, q);
     if (!st.is_ok()) return st;
   }
@@ -439,9 +445,11 @@ Status GvfsProxy::flush_file_(sim::Process& p, const FlushQueue& q) {
   // Keep the extracted (in-flight) data visible to concurrent degraded
   // reads until it lands upstream or is re-queued.
   draining_.emplace_back(q.fh.key(), &q);
+  flush_epoch_.bump();
   struct DrainScope {
     std::vector<std::pair<u64, const FlushQueue*>>& v;
     const FlushQueue* q;
+    MutationEpoch& ep;
     // Concurrent drains (background flusher + inline handle_commit_ /
     // signal_write_back drains) block at RPC wait points and can finish in
     // any order, so remove this scope's own entry by identity — popping the
@@ -450,9 +458,12 @@ Status GvfsProxy::flush_file_(sim::Process& p, const FlushQueue& q) {
     ~DrainScope() {
       auto it = std::find_if(v.begin(), v.end(),
                              [this](const auto& e) { return e.second == q; });
-      if (it != v.end()) v.erase(it);
+      if (it != v.end()) {
+        v.erase(it);
+        ep.bump();
+      }
     }
-  } scope{draining_, &q};
+  } scope{draining_, &q, flush_epoch_};
 
   // Park every block of the file in the degraded replay queue (replay uses
   // FILE_SYNC, so durability is restored on reconnect). Blocks keep their
@@ -475,6 +486,7 @@ Status GvfsProxy::flush_file_(sim::Process& p, const FlushQueue& q) {
       if (nq.blocks.emplace(b, q.blocks.at(b)).second) nq.order.push_back(b);
     }
     if (inserted) flush_file_order_.push_back(q.fh.key());
+    flush_epoch_.bump();
   };
 
   for (u32 attempt = 0; attempt < cfg_.flush_max_attempts; ++attempt) {
@@ -584,6 +596,9 @@ std::optional<blob::BlobRef> GvfsProxy::flush_pending_block_(u64 file_key,
   // The block may sit in the pending queue and in several in-flight drains
   // at once (concurrent drains complete in any order); the enqueue-time
   // sequence stamp, not container position, says which copy is newest.
+  // `best` aims into those containers, so this scope must stay yield-free
+  // (the analyzer proves it; the guard asserts it in debug runs).
+  YieldGuard yield_free(flush_epoch_);
   const FlushBlock* best = nullptr;
   if (auto it = flush_queues_.find(file_key); it != flush_queues_.end()) {
     if (auto b = it->second.blocks.find(block); b != it->second.blocks.end()) {
@@ -700,6 +715,7 @@ void GvfsProxy::queue_degraded_write_(const nfs::Fh& fh, u64 offset,
   }
   write_queue_index_.emplace(key, write_queue_.size());
   write_queue_.push_back(PendingWrite{fh, offset, data, seq});
+  write_queue_epoch_.bump();
   queued_writebacks_.inc();
 }
 
@@ -746,6 +762,9 @@ void GvfsProxy::supersede_parked_write_(u64 file_key, u64 offset,
 }
 
 bool GvfsProxy::block_has_queued_write_(u64 file_key, u64 block) const {
+  // Index entries are raw positions into write_queue_; both stay consistent
+  // only while no other fiber runs.
+  YieldGuard yield_free(write_queue_epoch_);
   if (write_queue_.empty()) return false;
   u64 lo = block * cfg_.fetch_block;
   u64 hi = lo + cfg_.fetch_block;
@@ -759,6 +778,9 @@ bool GvfsProxy::block_has_queued_write_(u64 file_key, u64 block) const {
 }
 
 void GvfsProxy::rebuild_write_queue_index_() {
+  // Every erase from write_queue_ funnels through a rebuild, so one bump
+  // here covers the replay-erase and supersede-erase batches.
+  write_queue_epoch_.bump();
   write_queue_index_.clear();
   for (std::size_t i = 0; i < write_queue_.size(); ++i) {
     // Later entries win, matching the index's coalescing invariant.
@@ -773,6 +795,10 @@ std::optional<blob::BlobRef> GvfsProxy::queued_block_(u64 file_key,
   // not be block-aligned. Newest write wins on overlap: apply in sequence-
   // stamp order, NOT vector order — coalescing refreshes an entry's bytes
   // in place at its original slot, so position says nothing about recency.
+  // The collected indices are only meaningful while write_queue_ holds
+  // still; a yield sneaking into this assembly would let a replay erase
+  // reshuffle them mid-sort.
+  YieldGuard yield_free(write_queue_epoch_);
   u64 block_lo = block * cfg_.fetch_block;
   u64 block_hi = block_lo + cfg_.fetch_block;
   std::vector<std::size_t> indices;
@@ -919,6 +945,7 @@ rpc::RpcReply GvfsProxy::handle(sim::Process& p, const rpc::RpcCall& call) {
 
 rpc::RpcReply GvfsProxy::handle_read_(sim::Process& p, const rpc::RpcCall& call,
                                       const nfs::ReadArgs& a) {
+  // gvfs-lint: allow(yield-stale-ref) session_cred_ is a plain member, not a container element; its address is stable for the proxy's lifetime
   const rpc::Credential& cred = session_cred_;
   key_to_fh_[a.fh.key()] = a.fh;
   const meta::MetaFile* meta = meta_for_(p, a.fh, cred);
@@ -950,6 +977,10 @@ rpc::RpcReply GvfsProxy::handle_read_(sim::Process& p, const rpc::RpcCall& call,
       }
       return rpc::make_reply(call, res);
     }
+    // fetch_into_cache() yielded on the file channel: a concurrent
+    // drop_soft_state() frees the MetaFile this pointer aimed at. Re-acquire
+    // — a no-op (cache hit, no yield) unless the table really was dropped.
+    meta = meta_for_(p, a.fh, cred);
   }
 
   // ---- zero-block filtering ------------------------------------------------
@@ -1053,6 +1084,7 @@ rpc::RpcReply GvfsProxy::handle_read_(sim::Process& p, const rpc::RpcCall& call,
 
 rpc::RpcReply GvfsProxy::handle_write_(sim::Process& p, const rpc::RpcCall& call,
                                        const nfs::WriteArgs& a) {
+  // gvfs-lint: allow(yield-stale-ref) session_cred_ is a plain member, not a container element; its address is stable for the proxy's lifetime
   const rpc::Credential& cred = session_cred_;
   key_to_fh_[a.fh.key()] = a.fh;
   u64 key = a.fh.key();

@@ -22,6 +22,7 @@
 #include "cache/block_cache.h"
 #include "cache/file_cache.h"
 #include "common/metrics.h"
+#include "common/mutation_epoch.h"
 #include "common/trace.h"
 #include "meta/file_channel.h"
 #include "meta/meta_file.h"
@@ -337,6 +338,12 @@ class GvfsProxy final : public rpc::RpcHandler {
   // same offset coalesce in place (newest wins) and degraded reads walk one
   // file's entries in offset order instead of scanning the whole queue.
   std::map<std::pair<u64, u64>, std::size_t> write_queue_index_;
+  // Dynamic half of the yield-point analysis (DESIGN.md §5.8): bumped on
+  // every structural mutation of write_queue_ / write_queue_index_ (park,
+  // supersede-erase, replay-erase, index rebuild). YieldGuards in the
+  // yield-free readers (block_has_queued_write_, queued_block_) assert it
+  // holds still while their raw references into the queue are live.
+  MutationEpoch write_queue_epoch_;
   // Global recency stamp shared by flush-queue blocks and parked degraded
   // writes (a per-write Lamport clock; the sim is cooperative so a plain
   // counter is exact).
@@ -357,6 +364,11 @@ class GvfsProxy final : public rpc::RpcHandler {
   // Files whose extracted queue is mid-flush (RPCs in flight); their data
   // must stay readable until the flush lands or the blocks are re-queued.
   std::vector<std::pair<u64, const FlushQueue*>> draining_;
+  // Bumped on every structural mutation of the flusher containers
+  // (flush_queues_ / flush_file_order_ / draining_); the YieldGuard in
+  // flush_pending_block_ asserts the family holds still while it chases
+  // pointers into extracted queues.
+  MutationEpoch flush_epoch_;
   bool flusher_active_ = false;
   bool sync_drain_ = false;  // signal_write_back drains inline; don't spawn
   metrics::Counter flush_enqueued_;

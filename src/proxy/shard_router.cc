@@ -133,6 +133,9 @@ nfs::Fh ShardRouter::route_fh_(const rpc::RpcCall& call) {
 }
 
 int ShardRouter::best_read_replica_(const std::vector<u32>& set) const {
+  // The returned index is only as good as the live set it was scanned from;
+  // the caller dereferences it immediately, so the scan must not yield.
+  YieldGuard yield_free(live_set_epoch_);
   int best = -1;
   double best_ms = 0.0;
   for (u32 j : set) {
@@ -164,6 +167,7 @@ void ShardRouter::mark_dead_(sim::Process& p, u32 j) {
   if (!o.live) return;
   o.live = false;
   ++o.dead_epoch;
+  live_set_epoch_.bump();
   o.died_at = p.now();
   o.next_probe = p.now() + cfg_.probe_interval;
   failovers_.inc();
@@ -178,10 +182,12 @@ void ShardRouter::journal_op_(u32 j, const rpc::RpcCall& call) {
   }
   origins_[j].journal.push_back(
       Origin::JournalEntry{call.prog, call.vers, call.proc, call.cred, call.args});
+  journal_epoch_.bump();
   journaled_ops_.inc();
 }
 
 void ShardRouter::maybe_probe_(sim::Process& p) {
+  // gvfs-lint: allow(yield-index-loop) origins_ is a deque sized once at construction; indices and element addresses are stable for the router's lifetime
   for (u32 j = 0; j < origin_count(); ++j) {
     const Origin& o = origins_[j];
     if (o.live || o.reintegrating || p.now() < o.next_probe) continue;
@@ -190,6 +196,7 @@ void ShardRouter::maybe_probe_(sim::Process& p) {
 }
 
 void ShardRouter::resync(sim::Process& p) {
+  // gvfs-lint: allow(yield-index-loop) origins_ is a deque sized once at construction; indices and element addresses are stable for the router's lifetime
   for (u32 j = 0; j < origin_count(); ++j) {
     if (origins_[j].live) continue;
     origins_[j].next_probe = p.now();
@@ -198,6 +205,7 @@ void ShardRouter::resync(sim::Process& p) {
 }
 
 bool ShardRouter::try_reintegrate_(sim::Process& p, u32 j) {
+  // gvfs-lint: allow(yield-stale-ref) origins_ is a deque sized once at construction: the reference cannot dangle, and the reintegrating flag makes this fiber the only resyncer of origin j
   Origin& o = origins_[j];
   if (o.live) return true;
   if (o.reintegrating) return false;
@@ -222,9 +230,22 @@ bool ShardRouter::try_reintegrate_(sim::Process& p, u32 j) {
   // that run while we're blocked inside a replay RPC still see the origin as
   // dead and append to the journal; the loop drains those too, and nothing
   // yields between the final emptiness check and going live.
-  while (!o.journal.empty()) {
+  for (;;) {
+    {
+      // The emptiness check and the go-live flip below must run back-to-back:
+      // a yield sneaking in between would let a writer journal an op that
+      // this reintegration then silently skips. The analyzer proves this
+      // stretch yield-free; the guard turns the proof into a debug assertion.
+      YieldGuard yield_free(journal_epoch_);
+      if (o.journal.empty()) {
+        o.live = true;
+        live_set_epoch_.bump();
+        break;
+      }
+    }
     Origin::JournalEntry e = std::move(o.journal.front());
     o.journal.pop_front();
+    journal_epoch_.bump();
     rpc::RpcCall c;
     c.xid = fresh_xid_();
     c.prog = e.prog;
@@ -246,6 +267,7 @@ bool ShardRouter::try_reintegrate_(sim::Process& p, u32 j) {
     if (timed_out(r)) {
       // Died again mid-replay: put the op back and stay dead.
       o.journal.push_front(std::move(e));
+      journal_epoch_.bump();
       probe_failures_.inc();
       o.next_probe = p.now() + cfg_.probe_interval;
       o.reintegrating = false;
@@ -260,7 +282,6 @@ bool ShardRouter::try_reintegrate_(sim::Process& p, u32 j) {
     }
   }
 
-  o.live = true;
   o.reintegrating = false;
   o.ewma_valid = false;
   o.ewma_ms = 0.0;
@@ -274,6 +295,9 @@ bool ShardRouter::try_reintegrate_(sim::Process& p, u32 j) {
 u64 ShardRouter::combined_verf_(const std::vector<u32>& set,
                                 const std::vector<char>& ok,
                                 const std::vector<u64>& verf) const {
+  // The combined verifier must reflect one consistent live-set snapshot:
+  // a yield mid-fold could mix dead-epochs from before and after a failover.
+  YieldGuard yield_free(live_set_epoch_);
   u64 combined = kCombinedVerfSeed;
   for (std::size_t k = 0; k < set.size(); ++k) {
     u32 j = set[k];
@@ -372,12 +396,28 @@ rpc::RpcReply ShardRouter::patch_lookup_attrs_(sim::Process& p,
   return rpc::make_reply(call, patched);
 }
 
+sim::Semaphore& ShardRouter::shard_write_lock_(sim::Process& p, u32 shard) {
+  if (shard_write_locks_.empty()) shard_write_locks_.resize(chans_.size());
+  auto& slot = shard_write_locks_[shard];
+  if (!slot) {
+    slot = std::make_unique<sim::Semaphore>(
+        p.kernel(), 1, cfg_.name + "-shard" + std::to_string(shard) + "-write");
+  }
+  return *slot;
+}
+
 rpc::RpcReply ShardRouter::quorum_write_(sim::Process& p,
                                          const rpc::RpcCall& call,
                                          const nfs::Fh& fh) {
   const bool is_commit =
       static_cast<nfs::Proc>(call.proc) == nfs::Proc::kCommit;
   (is_commit ? quorum_commits_ : quorum_writes_).inc();
+  // Serializing the fan-out is the point of this permit: a second writer
+  // slipping in while this one is blocked on a replica RPC could execute in
+  // one order on the live replicas but journal in the opposite order for a
+  // dead one, and the replay would diverge the replicas.
+  // gvfs-yield: allow-held per-shard writer serialization must span the whole replica fan-out
+  sim::ScopedPermit writer(p, shard_write_lock_(p, shard_of(fh)));
   std::vector<u32> set = replicas_of(shard_of(fh));
   std::vector<char> ok(set.size(), 0);
   std::vector<u64> verf(set.size(), 0);
@@ -444,6 +484,7 @@ rpc::RpcReply ShardRouter::broadcast_(sim::Process& p, const rpc::RpcCall& call)
   bool have = false;
   rpc::RpcReply first_err;
   bool have_err = false;
+  // gvfs-lint: allow(yield-index-loop) origins_ is a deque sized once at construction; liveness is re-read from origins_[j] on each round
   for (u32 j = 0; j < origin_count(); ++j) {
     if (!origins_[j].live) {
       journal_op_(j, call);
@@ -473,6 +514,7 @@ rpc::RpcReply ShardRouter::broadcast_(sim::Process& p, const rpc::RpcCall& call)
 }
 
 rpc::RpcReply ShardRouter::any_origin_(sim::Process& p, const rpc::RpcCall& call) {
+  // gvfs-lint: allow(yield-index-loop) origins_ is a deque sized once at construction; liveness is re-read from origins_[j] on each round
   for (u32 j = 0; j < origin_count(); ++j) {
     if (!origins_[j].live) continue;
     rpc::RpcReply r = chans_[j]->call(p, call);
@@ -560,6 +602,10 @@ std::vector<rpc::RpcReply> ShardRouter::pipelined_read_(
 
 std::vector<rpc::RpcReply> ShardRouter::pipelined_write_(
     sim::Process& p, const std::vector<rpc::RpcCall>& calls, u32 shard) {
+  // Same writer serialization as quorum_write_: the whole burst must land in
+  // the same relative order on every replica's execution path and journal.
+  // gvfs-yield: allow-held per-shard writer serialization must span the whole replica fan-out
+  sim::ScopedPermit writer(p, shard_write_lock_(p, shard));
   std::vector<u32> set = replicas_of(shard);
   // ok[i][k] / verf[i][k]: call i's outcome on replica set[k].
   std::vector<std::vector<char>> ok(calls.size(),

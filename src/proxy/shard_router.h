@@ -40,12 +40,15 @@
 #pragma once
 
 #include <deque>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/mutation_epoch.h"
 #include "nfs/nfs_types.h"
 #include "rpc/rpc.h"
+#include "sim/resources.h"
 
 namespace gvfs::proxy {
 
@@ -167,9 +170,24 @@ class ShardRouter final : public rpc::RpcChannel {
                                    const std::vector<char>& ok,
                                    const std::vector<u64>& verf) const;
 
+  // One writer at a time per shard. The quorum fan-out yields once per
+  // replica, so two interleaved writers can land in one order on a live
+  // replica but journal in the opposite order for a dead one — the replay
+  // would then diverge the replicas. Lazily created: the Semaphore needs the
+  // kernel, first seen via the calling fiber.
+  sim::Semaphore& shard_write_lock_(sim::Process& p, u32 shard);
+
   ShardRouterConfig cfg_;
   std::vector<rpc::RpcChannel*> chans_;
   std::deque<Origin> origins_;
+  std::vector<std::unique_ptr<sim::Semaphore>> shard_write_locks_;
+  // Dynamic half of the yield-point analysis (DESIGN.md §5.8). journal_epoch_
+  // moves on every journal push/pop across all origins; live_set_epoch_ on
+  // every live flip / dead-epoch bump. YieldGuards in the yield-free readers
+  // (best_read_replica_, combined_verf_, the reintegration go-live tail)
+  // assert the respective state holds still where correctness depends on it.
+  MutationEpoch journal_epoch_;
+  MutationEpoch live_set_epoch_;
   u32 router_xid_ = 0x5A000000;  // router-originated RPCs (probes, replays)
 
   metrics::Counter failovers_;

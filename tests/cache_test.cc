@@ -370,6 +370,64 @@ TEST(FileCache, WriteMarksDirtyAndWriteBackUploads) {
   EXPECT_EQ(uploads, 1);
 }
 
+// Regression for the cross-yield defects the yield-point analyzer surfaced in
+// FileCache::read: the Entry reference acquired before disk_.access() used to
+// be dereferenced after it, but the disk access yields — and a concurrent
+// invalidate() erases the entry. The fix copies the content handle before the
+// yield and re-finds for the LRU bookkeeping.
+TEST(FileCache, InvalidateDuringReadStillServesCopiedContent) {
+  CacheFixture f;
+  FileCache fc(f.disk);
+  auto content = blob::make_synthetic(6, 1_MiB, 0.0, 2.0);
+  bool read_started = false;
+  f.kernel.spawn("reader", [&](sim::Process& p) {
+    ASSERT_OK(fc.put(p, 1, content));
+    read_started = true;
+    auto range = fc.read(p, 1, 0, 1_MiB);  // parks on the cache disk
+    ASSERT_TRUE(range.has_value());
+    std::vector<u8> got(1_MiB), expect(1_MiB);
+    (*range)->read(0, got);
+    content->read(0, expect);
+    EXPECT_EQ(got, expect);  // the copied handle outlived the invalidate
+  });
+  f.kernel.spawn("invalidator", [&](sim::Process& p) {
+    while (!read_started) p.delay(kMillisecond);
+    p.delay(kMillisecond);  // land inside the reader's disk access
+    ASSERT_TRUE(fc.contains(1));
+    fc.invalidate(1);
+  });
+  f.kernel.run();
+  EXPECT_EQ(f.kernel.failed_processes(), 0) << f.kernel.failed_names_joined();
+  EXPECT_FALSE(fc.contains(1));
+}
+
+// Same family, in write_back_all: the range-for over lru_ used to stay parked
+// on a list node across the upload yield, and a concurrent invalidate could
+// unlink that very node. The fix snapshots the dirty keys and re-finds after
+// each upload; an entry invalidated mid-drain is skipped, not chased.
+TEST(FileCache, InvalidateDuringWriteBackUploadIsSafe) {
+  CacheFixture f;
+  FileCache fc(f.disk);
+  std::vector<u64> uploaded;
+  fc.set_upload([&](sim::Process&, u64 key, const blob::BlobRef&) {
+    uploaded.push_back(key);
+    // Concurrent drop of the entry being uploaded AND of the next dirty one.
+    fc.invalidate(1);
+    fc.invalidate(2);
+    return Status::ok();
+  });
+  f.run([&](sim::Process& p) {
+    ASSERT_OK(fc.put(p, 1, blob::make_zero(64_KiB), /*dirty=*/true));
+    ASSERT_OK(fc.put(p, 2, blob::make_zero(64_KiB), /*dirty=*/true));
+    ASSERT_OK(fc.write_back_all(p));
+  });
+  // The drain walks MRU-first, so key 2 uploads; key 1 was invalidated before
+  // its turn came: one upload, no dangling list node.
+  EXPECT_EQ(uploaded, (std::vector<u64>{2}));
+  EXPECT_FALSE(fc.contains(1));
+  EXPECT_FALSE(fc.contains(2));
+}
+
 TEST(FileCache, WriteToAbsentFileFails) {
   CacheFixture f;
   FileCache fc(f.disk);

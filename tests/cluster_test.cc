@@ -6,6 +6,9 @@
 #include "blob/blob.h"
 #include "common/rng.h"
 #include "gvfs/testbed.h"
+#include "proxy/shard_router.h"
+#include "rpc/rpc.h"
+#include "sim/kernel.h"
 
 namespace gvfs::core {
 namespace {
@@ -316,6 +319,106 @@ TEST(ClusterFailover, DrcSurvivesSeamRetainsCacheAcrossReboot) {
   EXPECT_GE(s.drc_retained1, 1u);
   EXPECT_EQ(s.drc_clears1, 0u);
   EXPECT_EQ(s.drc_clears0, 0u);
+}
+
+// ---- quorum-write ordering under concurrency --------------------------------
+
+// Scripted origin channel for driving a ShardRouter directly. A WRITE takes
+// effect at request *arrival* (the order a real server's nfsd would observe),
+// then the reply is delayed by a data-size-proportional service time — the
+// window in which a second writer's RPC can land. While `alive` is false every
+// call answers kTimeout, which is what the router's failure detector keys on.
+class ApplyOrderOrigin final : public rpc::RpcChannel {
+ public:
+  bool alive = true;
+  std::vector<u64> applied;  // WRITE offsets in request-arrival order
+
+  rpc::RpcReply call(sim::Process& p, const rpc::RpcCall& call) override {
+    if (!alive) return rpc::make_error_reply(call, err(ErrCode::kTimeout, "origin down"));
+    if (call.prog == rpc::kNfsProgram &&
+        static_cast<nfs::Proc>(call.proc) == nfs::Proc::kWrite) {
+      auto wa = rpc::message_cast<nfs::WriteArgs>(call.args);
+      applied.push_back(wa->offset);
+      p.delay(static_cast<SimDuration>(wa->count) * kMillisecond);
+      auto res = std::make_shared<nfs::WriteRes>();
+      res->count = wa->count;
+      res->committed = nfs::StableHow::kFileSync;
+      res->verifier = 42;
+      return rpc::make_reply(call, res);
+    }
+    return rpc::make_reply(call, nullptr);  // NULL probes etc.
+  }
+};
+
+// Regression for the journal-order inversion the yield-point analyzer
+// surfaced (yield-held-lock in quorum_write_): the replica fan-out yields once
+// per RPC, so two interleaved writers used to land in one order on the live
+// replica but journal in the *completion* order for the dead one — and the
+// replay then diverged the replicas. The per-shard write lock serializes the
+// fan-outs; this test drives the exact overtaking interleaving and asserts
+// the journal replay reproduces the live replica's apply order.
+TEST(ClusterFailover, ConcurrentQuorumWritesReplayInApplyOrder) {
+  sim::SimKernel kernel;
+  ApplyOrderOrigin o0;
+  ApplyOrderOrigin o1;
+  proxy::ShardRouterConfig cfg;
+  cfg.replicas = 2;
+  proxy::ShardRouter router({&o0, &o1}, cfg);
+
+  // Pick a file handle homed on shard 0 so the fan-out hits origin 0 first.
+  nfs::Fh fh;
+  fh.fsid = 7;
+  fh.fileid = 1;
+  while (router.shard_of(fh) != 0) ++fh.fileid;
+
+  u32 next_xid = 1;
+  auto write = [&](sim::Process& p, u64 offset, u32 count) {
+    auto wa = std::make_shared<nfs::WriteArgs>();
+    wa->fh = fh;
+    wa->offset = offset;
+    wa->count = count;
+    wa->stable = nfs::StableHow::kUnstable;
+    wa->data = blob::zero_ref(count);
+    rpc::RpcCall c;
+    c.xid = next_xid++;
+    c.prog = rpc::kNfsProgram;
+    c.vers = rpc::kNfsVersion3;
+    c.proc = static_cast<u32>(nfs::Proc::kWrite);
+    c.args = wa;
+    rpc::RpcReply r = router.call(p, c);
+    EXPECT_TRUE(r.status.is_ok()) << r.status.to_string();
+  };
+
+  kernel.spawn("setup", [&](sim::Process& p) {
+    o1.alive = false;  // crash replica 1 before any traffic
+    write(p, 100, 1);  // detects the crash and starts the journal
+    EXPECT_FALSE(router.origin_live(1));
+  });
+  // Two writers race on the same shard. The slow one issues first and parks
+  // inside origin 0's service delay; the fast one would overtake it there.
+  kernel.spawn("writer-slow", [&](sim::Process& p) {
+    p.delay(10 * kMillisecond);
+    write(p, 1, 50);  // ~50 ms of service time at the origin
+  });
+  kernel.spawn("writer-fast", [&](sim::Process& p) {
+    p.delay(11 * kMillisecond);
+    write(p, 2, 1);
+  });
+  kernel.spawn("revive", [&](sim::Process& p) {
+    p.delay(500 * kMillisecond);
+    o1.alive = true;
+    router.resync(p);
+  });
+  kernel.run();
+  EXPECT_EQ(kernel.failed_processes(), 0) << kernel.failed_names_joined();
+
+  EXPECT_TRUE(router.origin_live(1));
+  EXPECT_EQ(router.journal_size(1), 0u);
+  ASSERT_FALSE(o0.applied.empty());
+  // The reintegrated replica must have applied the contended writes in the
+  // same order as the live one — the final value of the range depends on it.
+  EXPECT_EQ(o1.applied, o0.applied);
+  EXPECT_EQ(o0.applied.back(), 2u);
 }
 
 }  // namespace

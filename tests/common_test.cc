@@ -6,6 +6,7 @@
 
 #include "common/flags.h"
 #include "common/hash.h"
+#include "common/mutation_epoch.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/status.h"
@@ -248,6 +249,43 @@ TEST(Stats, RunningStat) {
   EXPECT_EQ(s.count(), 0u);
   EXPECT_DOUBLE_EQ(s.mean(), 0.0);
 }
+
+TEST(MutationEpoch, BumpAdvancesOnlyWhenCheckingIsCompiledIn) {
+  MutationEpoch e;
+  u64 before = e.value();
+  e.bump();
+#ifdef GVFS_YIELD_CHECK
+  EXPECT_EQ(e.value(), before + 1);
+#else
+  EXPECT_EQ(e.value(), before);  // zero-cost: compiles to nothing in release
+#endif
+}
+
+TEST(MutationEpoch, GuardPassesWhenEpochHoldsStill) {
+  MutationEpoch e;
+  e.bump();
+  {
+    YieldGuard guard(e);
+    // No mutation inside the guarded scope: the dtor assertion must not fire.
+  }
+  {
+    YieldGuard guard(e);
+  }
+  SUCCEED();
+}
+
+#ifdef GVFS_YIELD_CHECK
+TEST(MutationEpochDeathTest, GuardFiresOnMutationInsideGuardedScope) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        MutationEpoch e;
+        YieldGuard guard(e);
+        e.bump();  // simulated yield + structural mutation under the guard
+      },
+      "analyzer-proven yield-free scope");
+}
+#endif
 
 }  // namespace
 }  // namespace gvfs

@@ -8,12 +8,21 @@
 #include <string>
 #include <vector>
 
+#include "lint/analyzer.h"
 #include "lint/lint.h"
+#include "lint/yield_model.h"
 
 namespace gvfs::lint {
 namespace {
 
 namespace fs = std::filesystem;
+
+// Build a one-file call graph and run the three yield rules over it, the way
+// lint_tree does for real sources.
+std::vector<Finding> analyze(const std::string& path, const std::string& content) {
+  YieldModel model = YieldModel::build({{path, content}});
+  return analyze_content(path, content, model);
+}
 
 int count_rule(const std::vector<Finding>& fs_, const std::string& rule) {
   int n = 0;
@@ -318,6 +327,278 @@ TEST(LintTree, RepoTreeIsClean) {
   EXPECT_TRUE(f.empty()) << dump(f);
 }
 
+// ---- yield-point invalidation rules (tools/lint/analyzer.h) ----------------
+
+TEST(LintYield, StaleRefAcrossDirectYieldFires) {
+  auto f = analyze("src/proxy/x.cc",
+                   "struct C {\n"
+                   "  std::map<int, int> m_;\n"
+                   "  sim::Signal sig_;\n"
+                   "  int f(sim::Process& p) {\n"
+                   "    auto it = m_.find(1);\n"
+                   "    p.wait(sig_);\n"
+                   "    return it->second;\n"
+                   "  }\n"
+                   "};\n");
+  EXPECT_EQ(count_rule(f, "yield-stale-ref"), 1) << dump(f);
+  ASSERT_FALSE(f.empty());
+  EXPECT_EQ(f[0].line, 7);
+}
+
+TEST(LintYield, TwoHopTransitivePropagationFires) {
+  const char* src =
+      "struct C {\n"
+      "  std::map<int, int> m_;\n"
+      "  sim::Signal sig_;\n"
+      "  void leaf(sim::Process& p) { p.wait(sig_); }\n"
+      "  void mid(sim::Process& p) { leaf(p); }\n"
+      "  int top(sim::Process& p) {\n"
+      "    auto it = m_.find(1);\n"
+      "    mid(p);\n"
+      "    return it->second;\n"
+      "  }\n"
+      "};\n";
+  YieldModel model = YieldModel::build({{"src/proxy/x.cc", src}});
+  EXPECT_TRUE(model.name_may_yield("leaf"));
+  EXPECT_TRUE(model.name_may_yield("mid"));
+  EXPECT_TRUE(model.name_may_yield("top"));
+  auto f = analyze_content("src/proxy/x.cc", src, model);
+  EXPECT_EQ(count_rule(f, "yield-stale-ref"), 1) << dump(f);
+  ASSERT_FALSE(f.empty());
+  EXPECT_EQ(f[0].line, 9);
+}
+
+TEST(LintYield, AnnotationSeedsStoredHandleYielder) {
+  // kick() blocks through a stored process handle the model cannot see; the
+  // annotation supplies the missing seed and propagation does the rest.
+  auto f = analyze("src/proxy/x.cc",
+                   "struct C {\n"
+                   "  std::map<int, int> m_;\n"
+                   "  // gvfs-yield: yields blocks via the stored handle\n"
+                   "  void kick(sim::Process& p) { helper->poke(); }\n"
+                   "  int f(sim::Process& p) {\n"
+                   "    auto it = m_.find(1);\n"
+                   "    kick(p);\n"
+                   "    return it->second;\n"
+                   "  }\n"
+                   "};\n");
+  EXPECT_EQ(count_rule(f, "yield-stale-ref"), 1) << dump(f);
+}
+
+TEST(LintYield, IndexLoopOverMemberWithYieldFires) {
+  auto f = analyze("src/cache/x.cc",
+                   "struct C {\n"
+                   "  std::vector<int> q_;\n"
+                   "  sim::Signal sig_;\n"
+                   "  void f(sim::Process& p) {\n"
+                   "    for (std::size_t i = 0; i < q_.size(); ++i) {\n"
+                   "      p.wait(sig_);\n"
+                   "    }\n"
+                   "  }\n"
+                   "};\n");
+  EXPECT_EQ(count_rule(f, "yield-index-loop"), 1) << dump(f);
+  ASSERT_FALSE(f.empty());
+  EXPECT_EQ(f[0].line, 5);
+}
+
+TEST(LintYield, RangeForOverMemberWithYieldFires) {
+  auto f = analyze("src/nfs/x.cc",
+                   "struct C {\n"
+                   "  std::vector<int> q_;\n"
+                   "  sim::Signal sig_;\n"
+                   "  void f(sim::Process& p) {\n"
+                   "    for (int v : q_) {\n"
+                   "      p.wait(sig_);\n"
+                   "    }\n"
+                   "  }\n"
+                   "};\n");
+  EXPECT_EQ(count_rule(f, "yield-index-loop"), 1) << dump(f);
+}
+
+TEST(LintYield, WhileRecheckLoopIsClean) {
+  // The safe shape: a while that re-reads the container every pass instead
+  // of holding an index across the yield.
+  auto f = analyze("src/cache/x.cc",
+                   "struct C {\n"
+                   "  std::vector<int> q_;\n"
+                   "  sim::Signal sig_;\n"
+                   "  void f(sim::Process& p) {\n"
+                   "    while (!q_.empty()) {\n"
+                   "      p.wait(sig_);\n"
+                   "      q_.pop_back();\n"
+                   "    }\n"
+                   "  }\n"
+                   "};\n");
+  EXPECT_TRUE(f.empty()) << dump(f);
+}
+
+TEST(LintYield, HeldLockAcrossYieldFires) {
+  auto f = analyze("src/proxy/x.cc",
+                   "struct C {\n"
+                   "  sim::Semaphore sem_;\n"
+                   "  sim::Signal sig_;\n"
+                   "  void f(sim::Process& p) {\n"
+                   "    sim::ScopedPermit g(p, sem_);\n"
+                   "    p.wait(sig_);\n"
+                   "  }\n"
+                   "};\n");
+  EXPECT_EQ(count_rule(f, "yield-held-lock"), 1) << dump(f);
+}
+
+TEST(LintYield, AllowHeldSuppressesHeldLock) {
+  auto f = analyze("src/proxy/x.cc",
+                   "struct C {\n"
+                   "  sim::Semaphore sem_;\n"
+                   "  sim::Signal sig_;\n"
+                   "  void f(sim::Process& p) {\n"
+                   "    // gvfs-yield: allow-held models the fixed worker pool\n"
+                   "    sim::ScopedPermit g(p, sem_);\n"
+                   "    p.wait(sig_);\n"
+                   "  }\n"
+                   "};\n");
+  EXPECT_TRUE(f.empty()) << dump(f);
+}
+
+TEST(LintYield, DeclLineAllowSuppressesStaleRef) {
+  auto f = analyze(
+      "src/proxy/x.cc",
+      "struct C {\n"
+      "  std::map<int, int> m_;\n"
+      "  sim::Signal sig_;\n"
+      "  int f(sim::Process& p) {\n"
+      "    auto it = m_.find(1);  // gvfs-lint: allow(yield-stale-ref) stable\n"
+      "    p.wait(sig_);\n"
+      "    return it->second;\n"
+      "  }\n"
+      "};\n");
+  EXPECT_TRUE(f.empty()) << dump(f);
+}
+
+TEST(LintYield, PrecedingLineAllowSuppressesIndexLoop) {
+  auto f = analyze("src/cache/x.cc",
+                   "struct C {\n"
+                   "  std::vector<int> q_;\n"
+                   "  sim::Signal sig_;\n"
+                   "  void f(sim::Process& p) {\n"
+                   "    // gvfs-lint: allow(yield-index-loop) q_ never resizes\n"
+                   "    for (std::size_t i = 0; i < q_.size(); ++i) {\n"
+                   "      p.wait(sig_);\n"
+                   "    }\n"
+                   "  }\n"
+                   "};\n");
+  EXPECT_TRUE(f.empty()) << dump(f);
+}
+
+TEST(LintYield, LocalContainerIsClean) {
+  // Locals live on this fiber's stack; no other fiber can invalidate them.
+  auto f = analyze("src/proxy/x.cc",
+                   "struct C {\n"
+                   "  sim::Signal sig_;\n"
+                   "  int f(sim::Process& p) {\n"
+                   "    std::map<int, int> local;\n"
+                   "    auto it = local.find(1);\n"
+                   "    p.wait(sig_);\n"
+                   "    for (std::size_t i = 0; i < local.size(); ++i) p.wait(sig_);\n"
+                   "    return it->second;\n"
+                   "  }\n"
+                   "};\n");
+  EXPECT_TRUE(f.empty()) << dump(f);
+}
+
+TEST(LintYield, ByValueCopyIsClean) {
+  // Copying the element before the yield is the sanctioned fix; the copy
+  // must not be tracked as a handle into the container.
+  auto f = analyze("src/proxy/x.cc",
+                   "struct C {\n"
+                   "  std::map<int, int> m_;\n"
+                   "  sim::Signal sig_;\n"
+                   "  int f(sim::Process& p) {\n"
+                   "    int v = m_.at(1);\n"
+                   "    p.wait(sig_);\n"
+                   "    return v;\n"
+                   "  }\n"
+                   "};\n");
+  EXPECT_TRUE(f.empty()) << dump(f);
+}
+
+TEST(LintYield, ReacquireAfterYieldIsClean) {
+  auto f = analyze("src/proxy/x.cc",
+                   "struct C {\n"
+                   "  std::map<int, int> m_;\n"
+                   "  sim::Signal sig_;\n"
+                   "  int f(sim::Process& p) {\n"
+                   "    auto it = m_.find(1);\n"
+                   "    p.wait(sig_);\n"
+                   "    it = m_.find(1);\n"
+                   "    return it->second;\n"
+                   "  }\n"
+                   "};\n");
+  EXPECT_TRUE(f.empty()) << dump(f);
+}
+
+TEST(LintYield, AssignmentOnYieldLineStaysFresh) {
+  // `it = refetch(p)` yields inside the call, but the assignment lands after
+  // it returns — the re-acquire idiom must not flag its own refresh.
+  auto f = analyze("src/proxy/x.cc",
+                   "struct C {\n"
+                   "  std::map<int, int> m_;\n"
+                   "  sim::Signal sig_;\n"
+                   "  auto refetch(sim::Process& p) { p.wait(sig_); return m_.find(1); }\n"
+                   "  int f(sim::Process& p) {\n"
+                   "    auto it = m_.find(1);\n"
+                   "    it = refetch(p);\n"
+                   "    return it->second;\n"
+                   "  }\n"
+                   "};\n");
+  EXPECT_TRUE(f.empty()) << dump(f);
+}
+
+TEST(LintYield, SpawnLambdaBodyDoesNotMarkSpawner) {
+  // The lambda runs as its own fiber under its own Process&: its yields are
+  // not the spawner's, and spawn() itself does not take the spawner's handle.
+  const char* src =
+      "struct C {\n"
+      "  std::map<int, int> m_;\n"
+      "  sim::Signal sig_;\n"
+      "  int f(sim::Process& p, sim::SimKernel& k) {\n"
+      "    auto it = m_.find(1);\n"
+      "    k.spawn(\"w\", [this](sim::Process& fp) { fp.wait(sig_); });\n"
+      "    return it->second;\n"
+      "  }\n"
+      "};\n";
+  YieldModel model = YieldModel::build({{"src/proxy/x.cc", src}});
+  EXPECT_FALSE(model.name_may_yield("f"));
+  auto f = analyze_content("src/proxy/x.cc", src, model);
+  EXPECT_TRUE(f.empty()) << dump(f);
+}
+
+TEST(LintYield, ScopeCoversProxyCascadeOnly) {
+  EXPECT_TRUE(yield_rules_scoped("src/proxy/x.cc"));
+  EXPECT_TRUE(yield_rules_scoped("src/gvfs/x.cc"));
+  EXPECT_TRUE(yield_rules_scoped("src/nfs/x.cc"));
+  EXPECT_TRUE(yield_rules_scoped("src/cache/x.cc"));
+  EXPECT_FALSE(yield_rules_scoped("src/sim/x.cc"));
+  EXPECT_FALSE(yield_rules_scoped("src/vm/x.cc"));
+  EXPECT_FALSE(yield_rules_scoped("tests/x.cc"));
+}
+
+TEST(LintYield, GoldenLinesNameMayYieldFunctions) {
+  const char* src =
+      "struct C {\n"
+      "  sim::Signal sig_;\n"
+      "  void leaf(sim::Process& p) { p.wait(sig_); }\n"
+      "  void mid(sim::Process& p) { leaf(p); }\n"
+      "  void pure() { }\n"
+      "};\n";
+  YieldModel model = YieldModel::build({{"src/proxy/x.cc", src}});
+  std::string joined;
+  for (const std::string& l : model.golden_lines()) joined += l + "\n";
+  EXPECT_NE(joined.find("leaf"), std::string::npos) << joined;
+  EXPECT_NE(joined.find("mid"), std::string::npos) << joined;
+  EXPECT_EQ(joined.find("pure"), std::string::npos) << joined;
+  EXPECT_NE(joined.find("src/proxy/x.cc:"), std::string::npos) << joined;
+}
+
 TEST(LintRules, EveryRuleHasAFixtureThatFires) {
   // all_rules() is the contract; each id must be triggerable.
   std::vector<std::string> fired;
@@ -335,6 +616,24 @@ TEST(LintRules, EveryRuleHasAFixtureThatFires) {
   collect(lint_content("src/x.h", "#pragma once\nstruct S { u64 hits_ = 0; };\n"));
   collect(lint_content("src/gvfs/x.cc",
                        "auto s = std::make_unique<nfs::NfsServer>(cfg);\n"));
+  // The three yield rules need a call-graph model; one snippet fires all of
+  // them (stale handle, member index loop, and a held permit, each across
+  // the same yield).
+  const char* yield_src =
+      "struct C {\n"
+      "  std::map<int, int> m_;\n"
+      "  sim::Semaphore sem_;\n"
+      "  sim::Signal sig_;\n"
+      "  int f(sim::Process& p) {\n"
+      "    sim::ScopedPermit g(p, sem_);\n"
+      "    auto it = m_.find(1);\n"
+      "    for (std::size_t i = 0; i < m_.size(); ++i) {\n"
+      "      p.wait(sig_);\n"
+      "    }\n"
+      "    return it->second;\n"
+      "  }\n"
+      "};\n";
+  collect(analyze("src/proxy/x.cc", yield_src));
   for (const std::string& rule : all_rules()) {
     if (rule == "cmake-registration") continue;  // covered by LintTree
     EXPECT_NE(std::find(fired.begin(), fired.end(), rule), fired.end())

@@ -272,6 +272,72 @@ TEST(Proxy, FileChannelServesWholeFileNeed) {
   EXPECT_LT(f.channel.wire_bytes(), 1_MiB);
 }
 
+// File-channel endpoint that parks the fetching fiber long enough for another
+// fiber to interleave, then fails — forcing handle_read_ down the block-path
+// fallback with whatever MetaFile pointer it still holds.
+struct StallingEndpoint final : meta::RemoteFileEndpoint {
+  bool in_fetch = false;
+  Result<meta::CompressedImage> fetch_compressed(sim::Process& p,
+                                                 vfs::FileId) override {
+    in_fetch = true;
+    p.delay(2 * kSecond);
+    in_fetch = false;
+    return err(ErrCode::kIo, "channel endpoint down");
+  }
+  Status store_compressed(sim::Process&, vfs::FileId, blob::BlobRef,
+                          u64) override {
+    return err(ErrCode::kIo, "channel endpoint down");
+  }
+};
+
+// Regression for the cross-yield defect the yield-point analyzer surfaced in
+// handle_read_: the MetaFile* acquired before fetch_into_cache() used to be
+// dereferenced after it, but the fetch yields on the WAN — and a concurrent
+// drop_soft_state() (degraded-mode reset) frees the metas_ table entry the
+// pointer aimed at. The fix re-acquires the pointer after the yield; this
+// test drives exactly that interleaving and asserts the read completes off a
+// freshly re-probed meta file.
+TEST(Proxy, DropSoftStateDuringFileChannelFetchReprobesMeta) {
+  ProxyFixture f;
+  auto mem = blob::make_synthetic(31, 256_KiB, 0.9, 3.0);
+  ASSERT_TRUE(f.server_fs.put_file("/exports/vm.vmss", mem).is_ok());
+  // Zero map AND file-channel actions: the failed fetch must fall back to
+  // zero filtering, which dereferences the (re-acquired) meta pointer.
+  auto meta = meta::MetaFile::generate(*mem, 32_KiB, meta::file_channel_actions());
+  ASSERT_TRUE(
+      f.server_fs.put_file("/exports/.vm.vmss.gvfsmeta", meta.serialize()).is_ok());
+  StallingEndpoint stalled;
+  meta::FileChannelClient channel(stalled, f.scp, f.file_cache);
+  f.client_proxy.attach_file_channel(channel, f.file_cache);
+
+  bool dropped = false;
+  u64 lookups_before_drop = 0;
+  f.kernel.spawn("reader", [&](sim::Process& p) {
+    ASSERT_OK(f.client.mount(p, "/exports"));
+    auto back = f.client.read_all(p, "/vm.vmss");
+    ASSERT_TRUE(back.is_ok());
+    EXPECT_EQ(blob::content_hash(**back), blob::content_hash(*mem));
+  });
+  f.kernel.spawn("dropper", [&](sim::Process& p) {
+    p.delay(1 * kSecond);
+    // The reader must be parked inside the endpoint right now, holding its
+    // pre-yield MetaFile pointer — otherwise this test proves nothing.
+    ASSERT_TRUE(stalled.in_fetch);
+    lookups_before_drop = f.server.calls(nfs::Proc::kLookup);
+    f.client_proxy.drop_soft_state();
+    dropped = true;
+  });
+  f.kernel.run();
+  EXPECT_EQ(f.kernel.failed_processes(), 0) << f.kernel.failed_names_joined();
+  EXPECT_TRUE(dropped);
+  // The re-acquire after the yield found the table dropped and re-probed the
+  // server for the meta file instead of chasing the freed pointer.
+  EXPECT_GT(f.server.calls(nfs::Proc::kLookup), lookups_before_drop);
+  EXPECT_EQ(f.client_proxy.meta_files_loaded(), 1u);
+  // ...and the re-acquired meta actually served: zero blocks were filtered.
+  EXPECT_GT(f.client_proxy.zero_filtered_reads(), 0u);
+}
+
 TEST(Proxy, MetaProbeNegativeCached) {
   ProxyFixture f;
   ASSERT_TRUE(f.server_fs.put_file("/exports/plain", blob::make_zero(64_KiB)).is_ok());

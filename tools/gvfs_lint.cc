@@ -3,15 +3,40 @@
 //
 // Usage:
 //   gvfs_lint --root <repo-root>      lint src/ bench/ tests/ tools/ examples/
+//                                     (includes the yield-point analysis)
 //   gvfs_lint --list-rules            print the rule ids and exit
+//   gvfs_lint --yield-model           print the computed may-yield set
+//   gvfs_lint --yield-model-golden F  diff the may-yield set against the
+//                                     committed golden file F; exit 1 on drift
+#include <algorithm>
+#include <chrono>  // gvfs-lint: allow(determinism-clock) host tool wall-clock report
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "lint/lint.h"
 
+namespace {
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) out.push_back(line);
+  }
+  return out;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::string root = ".";
+  bool print_model = false;
+  std::string golden;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--list-rules") == 0) {
       for (const std::string& r : gvfs::lint::all_rules()) {
@@ -23,18 +48,71 @@ int main(int argc, char** argv) {
       root = argv[++i];
       continue;
     }
-    std::fprintf(stderr, "usage: %s [--root DIR] [--list-rules]\n", argv[0]);
+    if (std::strcmp(argv[i], "--yield-model") == 0) {
+      print_model = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--yield-model-golden") == 0 && i + 1 < argc) {
+      golden = argv[++i];
+      continue;
+    }
+    std::fprintf(stderr,
+                 "usage: %s [--root DIR] [--list-rules] [--yield-model] "
+                 "[--yield-model-golden FILE]\n",
+                 argv[0]);
     return 2;
   }
 
+  if (print_model) {
+    for (const std::string& l : gvfs::lint::tree_yield_model(root)) {
+      std::printf("%s\n", l.c_str());
+    }
+    return 0;
+  }
+
+  if (!golden.empty()) {
+    std::vector<std::string> want = read_lines(golden);
+    std::vector<std::string> got = gvfs::lint::tree_yield_model(root);
+    bool drift = false;
+    for (const std::string& l : got) {
+      if (std::find(want.begin(), want.end(), l) == want.end()) {
+        std::printf("+ %s\n", l.c_str());
+        drift = true;
+      }
+    }
+    for (const std::string& l : want) {
+      if (std::find(got.begin(), got.end(), l) == got.end()) {
+        std::printf("- %s\n", l.c_str());
+        drift = true;
+      }
+    }
+    if (drift) {
+      std::fprintf(stderr,
+                   "gvfs_lint: may-yield set drifted from %s\n"
+                   "  (+ = new yield point, - = removed). Review the diff, "
+                   "then regenerate with:\n"
+                   "  gvfs_lint --root . --yield-model > %s\n",
+                   golden.c_str(), golden.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "gvfs_lint: yield model matches golden (%zu functions)\n",
+                 want.size());
+    return 0;
+  }
+
+  // gvfs-lint: allow(determinism-clock) host tool wall-clock report
+  auto t0 = std::chrono::steady_clock::now();
   auto findings = gvfs::lint::lint_tree(root);
+  auto t1 = std::chrono::steady_clock::now();  // gvfs-lint: allow(determinism-clock) host tool wall-clock report
+  long ms = std::chrono::duration_cast<std::chrono::milliseconds>(t1 - t0).count();
   for (const auto& f : findings) {
     std::printf("%s\n", gvfs::lint::to_string(f).c_str());
   }
   if (!findings.empty()) {
-    std::fprintf(stderr, "gvfs_lint: %zu finding(s)\n", findings.size());
+    std::fprintf(stderr, "gvfs_lint: %zu finding(s) (lint+analysis in %ld ms)\n",
+                 findings.size(), ms);
     return 1;
   }
-  std::fprintf(stderr, "gvfs_lint: clean\n");
+  std::fprintf(stderr, "gvfs_lint: clean (lint+analysis in %ld ms)\n", ms);
   return 0;
 }

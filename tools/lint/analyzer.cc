@@ -1,0 +1,454 @@
+#include "lint/analyzer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <regex>
+#include <set>
+
+#include "lint/text.h"
+
+namespace gvfs::lint {
+namespace {
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Member state in this repo follows the trailing-underscore convention, for
+// both data members (`images_`) and private member functions returning
+// pointers into members (`meta_for_`). `this->` also qualifies.
+bool member_ish(const std::string& expr) {
+  static const std::regex kMember(R"((\b[A-Za-z_]\w*_(\.|\(|\[|->|\b))|(this\s*->))");
+  return std::regex_search(expr, kMember);
+}
+
+bool token_on_line(const std::string& line, const std::string& name) {
+  std::size_t pos = 0;
+  while ((pos = line.find(name, pos)) != std::string::npos) {
+    bool left_ok = pos == 0 || (!ident_char(line[pos - 1]) &&
+                                line[pos - 1] != '.' && line[pos - 1] != ':' &&
+                                !(pos >= 2 && line[pos - 1] == '>' &&
+                                  line[pos - 2] == '-'));
+    std::size_t end = pos + name.size();
+    bool right_ok = end >= line.size() || !ident_char(line[end]);
+    if (left_ok && right_ok) return true;
+    pos = end;
+  }
+  return false;
+}
+
+// `name = ...` (assignment, not comparison) somewhere on the line.
+bool assigned_on_line(const std::string& line, const std::string& name) {
+  std::size_t pos = 0;
+  while ((pos = line.find(name, pos)) != std::string::npos) {
+    bool left_ok = pos == 0 || (!ident_char(line[pos - 1]) &&
+                                line[pos - 1] != '.' &&
+                                !(pos >= 2 && line[pos - 1] == '>' &&
+                                  line[pos - 2] == '-'));
+    std::size_t end = pos + name.size();
+    if (left_ok && (end >= line.size() || !ident_char(line[end]))) {
+      std::size_t eq = end;
+      while (eq < line.size() &&
+             std::isspace(static_cast<unsigned char>(line[eq])) != 0) {
+        ++eq;
+      }
+      if (eq < line.size() && line[eq] == '=' &&
+          (eq + 1 >= line.size() || line[eq + 1] != '=')) {
+        return true;
+      }
+    }
+    pos = end;
+  }
+  return false;
+}
+
+// Line (1-based) of the '}' closing the block that contains `from_line`'s
+// trailing text. Depth starts at 0 on the character after the match offset.
+int block_end_line(const std::vector<std::string>& code, int from_line,
+                   std::size_t from_col) {
+  int depth = 0;
+  for (std::size_t i = static_cast<std::size_t>(from_line) - 1; i < code.size();
+       ++i) {
+    const std::string& l = code[i];
+    for (std::size_t c = (static_cast<int>(i) == from_line - 1 ? from_col : 0);
+         c < l.size(); ++c) {
+      if (l[c] == '{') ++depth;
+      if (l[c] == '}') {
+        --depth;
+        if (depth < 0) return static_cast<int>(i) + 1;
+      }
+    }
+  }
+  return static_cast<int>(code.size());
+}
+
+// Collect the full `for (...)` header possibly spanning lines. Returns the
+// header text and the line index (0-based) + column just past the ')'.
+bool for_header(const std::vector<std::string>& code, std::size_t start_line,
+                std::size_t open_col, std::string* header,
+                std::size_t* end_line, std::size_t* end_col) {
+  int depth = 0;
+  for (std::size_t i = start_line; i < code.size() && i < start_line + 12; ++i) {
+    const std::string& l = code[i];
+    for (std::size_t c = (i == start_line ? open_col : 0); c < l.size(); ++c) {
+      if (l[c] == '(') ++depth;
+      if (l[c] == ')') {
+        --depth;
+        if (depth == 0) {
+          *end_line = i;
+          *end_col = c + 1;
+          return true;
+        }
+      }
+      if (depth > 0) *header += l[c];
+    }
+    *header += ' ';
+  }
+  return false;
+}
+
+struct FnView {
+  const FunctionInfo* fn;
+  std::set<int> yields;                       // 1-based yield lines
+  std::vector<std::pair<int, int>> skip;      // nested fiber-lambda ranges
+  [[nodiscard]] bool skipped(int line) const {
+    for (const auto& r : skip) {
+      if (line >= r.first && line <= r.second) return true;
+    }
+    return false;
+  }
+  [[nodiscard]] bool yields_in(int after, int until) const {
+    auto it = yields.upper_bound(after);
+    return it != yields.end() && *it <= until;
+  }
+  [[nodiscard]] int first_yield_in(int after, int until) const {
+    auto it = yields.upper_bound(after);
+    return (it != yields.end() && *it <= until) ? *it : 0;
+  }
+};
+
+// --------------------------------------------------- rule: yield-stale-ref --
+
+void rule_stale_ref(const FnView& v, const std::vector<std::string>& code,
+                    const Suppressions& sup, const std::string& path,
+                    std::vector<Finding>* out) {
+  // Iterator-producing member calls bound to `auto`.
+  static const std::regex kIterDecl(
+      R"(\b(?:const\s+)?auto\s+(\w+)\s*=\s*([A-Za-z_][\w.\->]*)\s*\.\s*)"
+      R"((?:find|begin|cbegin|rbegin|lower_bound|upper_bound)\s*\()");
+  // Reference / pointer declarations initialized from member state.
+  static const std::regex kRefDecl(
+      R"(\b(?:const\s+)?(?:auto|[A-Za-z_][\w:]*(?:<[^;=()]*>)?)\s*)"
+      R"((?:const\s*)?[&*]\s*(\w+)\s*=\s*([^;]+);)");
+
+  struct Tracked {
+    int decl_line = 0;
+    int dirty_yield = 0;  // 0 = clean; else the yield line that dirtied it
+  };
+  std::map<std::string, Tracked> live;
+
+  for (int L = v.fn->body_begin; L <= v.fn->body_end &&
+                                 L <= static_cast<int>(code.size());
+       ++L) {
+    if (v.skipped(L)) continue;
+    const std::string& line = code[static_cast<std::size_t>(L) - 1];
+
+    // Re-assignment refreshes a stale handle (the post-yield re-find idiom).
+    for (auto& [name, t] : live) {
+      if (t.dirty_yield != 0 && assigned_on_line(line, name)) t.dirty_yield = 0;
+    }
+
+    // Uses of dirty handles (before new decls: `auto it = ..` re-declares).
+    for (auto it = live.begin(); it != live.end();) {
+      Tracked& t = it->second;
+      bool redecl = false;
+      std::smatch dm;
+      if (std::regex_search(line, dm, kIterDecl) && dm[1].str() == it->first) {
+        redecl = true;
+      }
+      if (t.dirty_yield != 0 && !redecl && !assigned_on_line(line, it->first) &&
+          token_on_line(line, it->first)) {
+        if (!sup.allowed("yield-stale-ref", L) &&
+            !sup.allowed("yield-stale-ref", t.decl_line)) {
+          out->push_back(
+              {path, L, "yield-stale-ref",
+               "`" + it->first + "` (declared line " +
+                   std::to_string(t.decl_line) +
+                   ") points into member state and is used after the "
+                   "may-yield call on line " +
+                   std::to_string(t.dirty_yield) +
+                   "; another fiber may have mutated the container — "
+                   "re-acquire after the wait or copy the value first"});
+        }
+        it = live.erase(it);
+        continue;
+      }
+      ++it;
+    }
+
+    // New declarations. Substring gates keep std::regex off the hot path.
+    std::smatch m;
+    if (line.find("auto") != std::string::npos) {
+      std::string rest = line;
+      while (std::regex_search(rest, m, kIterDecl)) {
+        if (member_ish(m[2].str())) live[m[1].str()] = {L, 0};
+        rest = m.suffix().str();
+      }
+    }
+    if (line.find('=') != std::string::npos &&
+        (line.find('&') != std::string::npos ||
+         line.find('*') != std::string::npos)) {
+      std::string rest = line;
+      while (std::regex_search(rest, m, kRefDecl)) {
+        if (member_ish(m[2].str())) live[m[1].str()] = {L, 0};
+        rest = m.suffix().str();
+      }
+    }
+
+    // Yield: everything declared before this line goes stale. Declarations
+    // and uses on the yield line itself are argument evaluations — pre-yield.
+    // A handle *assigned* on the yield line stays fresh: that is the
+    // re-acquire idiom (`it = map_.find(k)` after — or via — a blocking
+    // call), and the assignment lands after the call returns.
+    if (v.yields.count(L) != 0) {
+      for (auto& [name, t] : live) {
+        if (t.decl_line < L && t.dirty_yield == 0 &&
+            !assigned_on_line(line, name)) {
+          t.dirty_yield = L;
+        }
+      }
+    }
+  }
+}
+
+// -------------------------------------------------- rule: yield-index-loop --
+
+// The init + condition clauses of a classic for-header (everything up to the
+// second top-level ';'). The increment clause is dropped: it re-evaluates a
+// bound but never holds an iterator.
+std::string init_and_cond_(const std::string& header) {
+  int depth = 0;
+  int semis = 0;
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    char c = header[i];
+    if (c == '(' || c == '[' || c == '{') ++depth;
+    if (c == ')' || c == ']' || c == '}') --depth;
+    if (c == ';' && depth == 0 && ++semis == 2) return header.substr(0, i);
+  }
+  return header;
+}
+
+void rule_index_loop(const FnView& v, const std::vector<std::string>& code,
+                     const Suppressions& sup, const std::string& path,
+                     std::vector<Finding>* out) {
+  static const std::regex kFor(R"(\bfor\s*\()");
+  static const std::regex kLoopVar(R"(\b([A-Za-z_]\w*)\s*=)");
+
+  for (int L = v.fn->body_begin; L <= v.fn->body_end &&
+                                 L <= static_cast<int>(code.size());
+       ++L) {
+    if (v.skipped(L)) continue;
+    const std::string& line = code[static_cast<std::size_t>(L) - 1];
+    if (line.find("for") == std::string::npos) continue;
+    std::smatch m;
+    if (!std::regex_search(line, m, kFor)) continue;
+
+    std::size_t open_col = static_cast<std::size_t>(m.position()) +
+                           static_cast<std::size_t>(m.length()) - 1;
+    std::string header;
+    std::size_t hl = 0;
+    std::size_t hc = 0;
+    if (!for_header(code, static_cast<std::size_t>(L) - 1, open_col, &header,
+                    &hl, &hc)) {
+      continue;
+    }
+
+    // Body range: `{ .. }` or a single statement.
+    int body_first = static_cast<int>(hl) + 1;
+    int body_last = body_first;
+    std::size_t c = hc;
+    std::size_t bl = hl;
+    while (bl < code.size()) {
+      const std::string& t = code[bl];
+      while (c < t.size() &&
+             std::isspace(static_cast<unsigned char>(t[c])) != 0) {
+        ++c;
+      }
+      if (c < t.size()) break;
+      ++bl;
+      c = 0;
+    }
+    if (bl >= code.size()) continue;
+    if (code[bl][c] == '{') {
+      body_first = static_cast<int>(bl) + 1;
+      body_last = block_end_line(code, body_first, c + 1);
+    } else {
+      body_first = static_cast<int>(bl) + 1;
+      body_last = body_first;
+      for (std::size_t i = bl; i < code.size() && i < bl + 8; ++i) {
+        if (code[i].find(';') != std::string::npos) {
+          body_last = static_cast<int>(i) + 1;
+          break;
+        }
+      }
+    }
+
+    // Candidate: header walks a member container, or the body indexes one
+    // with the loop variable. A classic for-header only qualifies when its
+    // init/condition clauses *call into* member state (`i < q_.size()`,
+    // `it != map_.end()`) — a plain config-field read in the increment
+    // (`off += cfg_.page_size`) is a fixed bound, not an invalidation hazard.
+    static const std::regex kMemberCall(
+        R"((\b[A-Za-z_]\w*_|this\s*->\s*\w+)\s*(\.|->)\s*\w+\s*\()");
+    bool candidate = false;
+    std::size_t colon = header.find(':');
+    if (colon != std::string::npos && colon + 1 < header.size() &&
+        header[colon + 1] != ':' && (colon == 0 || header[colon - 1] != ':')) {
+      candidate = member_ish(header.substr(colon + 1));  // range-for
+    } else if (std::string ic = init_and_cond_(header);
+               std::regex_search(ic, m, kMemberCall)) {
+      candidate = true;  // e.g. `i < queue_.size()` / `it != map_.end()`
+    } else if (std::regex_search(header, m, kLoopVar)) {
+      std::string var = m[1].str();
+      std::regex idx(R"(\b[A-Za-z_]\w*_\s*(\[\s*)" + var + R"(\s*\]|\.at\s*\(\s*)" +
+                     var + R"(\s*\)))");
+      for (int B = body_first; B <= body_last && B <= static_cast<int>(code.size());
+           ++B) {
+        if (std::regex_search(code[static_cast<std::size_t>(B) - 1], idx)) {
+          candidate = true;
+          break;
+        }
+      }
+    }
+    if (!candidate) continue;
+
+    int yl = v.first_yield_in(L, body_last);
+    if (yl == 0) continue;
+    bool inner_skipped = v.skipped(yl);
+    if (inner_skipped) continue;
+    if (sup.allowed("yield-index-loop", L)) continue;
+    out->push_back(
+        {path, L, "yield-index-loop",
+         "loop over member container may yield inside its body (line " +
+             std::to_string(yl) +
+             "); indices/iterators can be invalidated by another fiber — "
+             "snapshot the work list or drain via a re-checking while-loop"});
+  }
+}
+
+// -------------------------------------------------- rule: yield-held-lock --
+
+void rule_held_lock(const FnView& v, const std::vector<std::string>& code,
+                    const std::vector<std::string>& raw,
+                    const Suppressions& sup, const std::string& path,
+                    std::vector<Finding>* out) {
+  static const std::regex kPermit(R"(\b(?:sim\s*::\s*)?ScopedPermit\s+(\w+)\s*[({])");
+  static const std::regex kAcquire(R"(\b([A-Za-z_][\w.\->]*)\s*\.\s*acquire\s*\()");
+  static const std::regex kAllowHeld(R"(gvfs-yield:\s*allow-held\b)");
+
+  auto allow_held_at = [&](int L) {
+    for (int cand : {L, L - 1}) {
+      if (cand >= 1 && cand <= static_cast<int>(raw.size()) &&
+          std::regex_search(raw[static_cast<std::size_t>(cand) - 1],
+                            kAllowHeld)) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  for (int L = v.fn->body_begin; L <= v.fn->body_end &&
+                                 L <= static_cast<int>(code.size());
+       ++L) {
+    if (v.skipped(L)) continue;
+    const std::string& line = code[static_cast<std::size_t>(L) - 1];
+    if (line.find("ScopedPermit") == std::string::npos &&
+        line.find("acquire") == std::string::npos) {
+      continue;
+    }
+    std::smatch m;
+    int held_until = 0;
+    std::string what;
+    if (std::regex_search(line, m, kPermit)) {
+      held_until = block_end_line(
+          code, L, static_cast<std::size_t>(m.position() + m.length()));
+      what = "ScopedPermit " + m[1].str();
+    } else if (std::regex_search(line, m, kAcquire)) {
+      std::string obj = m[1].str();
+      std::size_t dot = obj.find_last_of('.');
+      std::string leaf = dot == std::string::npos ? obj : obj.substr(dot + 1);
+      held_until = block_end_line(
+          code, L, static_cast<std::size_t>(m.position() + m.length()));
+      for (int R = L + 1;
+           R <= v.fn->body_end && R <= static_cast<int>(code.size()); ++R) {
+        if (code[static_cast<std::size_t>(R) - 1].find(leaf + ".release") !=
+                std::string::npos ||
+            code[static_cast<std::size_t>(R) - 1].find(obj + ".release") !=
+                std::string::npos) {
+          held_until = std::min(held_until, R);
+          break;
+        }
+      }
+      what = obj + ".acquire()";
+    } else {
+      continue;
+    }
+
+    // Yields strictly after the acquire line (the acquire itself may block;
+    // that is the acquisition, not a hold-across-yield).
+    int yl = v.first_yield_in(L, held_until);
+    if (yl == 0 || v.skipped(yl)) continue;
+    if (sup.allowed("yield-held-lock", L) || allow_held_at(L)) continue;
+    out->push_back(
+        {path, L, "yield-held-lock",
+         what + " is still held across the may-yield call on line " +
+             std::to_string(yl) +
+             "; release before waiting or annotate the acquire with "
+             "`// gvfs-yield: allow-held <reason>`"});
+  }
+}
+
+}  // namespace
+
+bool yield_rules_scoped(const std::string& path) {
+  return path_starts_with(path, "src/proxy/") ||
+         path_starts_with(path, "src/gvfs/") ||
+         path_starts_with(path, "src/nfs/") ||
+         path_starts_with(path, "src/cache/");
+}
+
+std::vector<Finding> analyze_content(const std::string& path,
+                                     const std::string& content,
+                                     const YieldModel& model) {
+  std::vector<Finding> out;
+  if (!yield_rules_scoped(path)) return out;
+  std::vector<std::string> code = strip_code(content);
+  std::vector<std::string> raw = split_lines(content);
+  Suppressions sup = parse_suppressions(raw);
+
+  std::vector<const FunctionInfo*> fns = model.functions_in(path);
+  for (const FunctionInfo* fn : fns) {
+    if (fn->process_param.empty()) continue;
+    FnView v;
+    v.fn = fn;
+    for (int yl : model.yield_lines(*fn)) v.yields.insert(yl);
+    if (v.yields.empty()) continue;
+    for (const FunctionInfo* inner : fns) {
+      if (inner == fn || inner->process_param.empty()) continue;
+      if (inner->body_begin > fn->body_begin && inner->body_end < fn->body_end) {
+        v.skip.push_back({inner->body_begin, inner->body_end});
+      }
+    }
+    rule_stale_ref(v, code, sup, path, &out);
+    rule_index_loop(v, code, sup, path, &out);
+    rule_held_lock(v, code, raw, sup, path, &out);
+  }
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  return out;
+}
+
+}  // namespace gvfs::lint

@@ -1,0 +1,40 @@
+// Yield-point invalidation rules over the may-yield model (yield_model.h).
+//
+// Scoped to the proxy cascade — src/proxy/, src/gvfs/, src/nfs/, src/cache/
+// — where many fibers share one component instance and any blocking call
+// lets another fiber mutate members:
+//
+//   yield-stale-ref    a reference/pointer/iterator into member state (a
+//                      member container element, a `.find()` / `front()` /
+//                      `back()` result, or a member function returning a
+//                      pointer) stays live across a may-yield call.
+//   yield-index-loop   an index-, iterator- or range-driven loop over a
+//                      member container whose body may yield; the safe shape
+//                      is a `while` that re-checks the container each pass.
+//   yield-held-lock    a sim::Semaphore acquired (directly or via
+//                      ScopedPermit) and still held across a yield, without
+//                      a `// gvfs-yield: allow-held <reason>` annotation.
+//
+// Suppressions use the standard linter grammar on the finding line or its
+// decl line: `// gvfs-lint: allow(yield-stale-ref) <reason>`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+#include "lint/yield_model.h"
+
+namespace gvfs::lint {
+
+// True for paths the yield rules apply to.
+[[nodiscard]] bool yield_rules_scoped(const std::string& path);
+
+// Run the three yield rules over one file with a prebuilt model. The model
+// must have been built over content that includes this (path, content) pair
+// so function line ranges match.
+[[nodiscard]] std::vector<Finding> analyze_content(const std::string& path,
+                                                   const std::string& content,
+                                                   const YieldModel& model);
+
+}  // namespace gvfs::lint

@@ -9,15 +9,16 @@
 #include <set>
 #include <sstream>
 
+#include "lint/analyzer.h"
+#include "lint/text.h"
+#include "lint/yield_model.h"
+
 namespace gvfs::lint {
 namespace fs = std::filesystem;
 
-namespace {
-
 // ------------------------------------------------------------ text prep --
+// Shared with the yield analyzer via lint/text.h.
 
-// Remove comments and string/char literals while preserving the line
-// structure, so token rules never fire on prose or format strings.
 std::vector<std::string> strip_code(const std::string& content) {
   std::vector<std::string> lines;
   std::string cur;
@@ -109,21 +110,6 @@ std::vector<std::string> split_csv(const std::string& s) {
 
 // --------------------------------------------------------- suppressions --
 
-struct Suppressions {
-  std::set<std::string> file_allowed;
-  // line number (1-based) -> rules allowed on that line
-  std::map<int, std::set<std::string>> line_allowed;
-
-  [[nodiscard]] bool allowed(const std::string& rule, int line) const {
-    if (file_allowed.count(rule) != 0 || file_allowed.count("*") != 0) {
-      return true;
-    }
-    auto it = line_allowed.find(line);
-    if (it == line_allowed.end()) return false;
-    return it->second.count(rule) != 0 || it->second.count("*") != 0;
-  }
-};
-
 Suppressions parse_suppressions(const std::vector<std::string>& raw_lines) {
   Suppressions sup;
   static const std::regex kAllow(R"(gvfs-lint:\s*allow\(([^)]*)\))");
@@ -148,10 +134,16 @@ Suppressions parse_suppressions(const std::vector<std::string>& raw_lines) {
   return sup;
 }
 
+bool path_starts_with(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+namespace {
+
 // ------------------------------------------------------ path scoping ----
 
 bool starts_with(const std::string& s, const std::string& prefix) {
-  return s.rfind(prefix, 0) == 0;
+  return path_starts_with(s, prefix);
 }
 
 bool is_header(const std::string& path) {
@@ -187,19 +179,35 @@ struct TokenRule {
   const char* rule;
   std::regex pattern;
   const char* message;
+  // Cheap substring gates: the regex only runs on lines containing one of
+  // these. std::regex costs microseconds per line; a find() costs nanoseconds
+  // — this is what keeps the whole-tree walk inside its wall-clock budget.
+  std::vector<const char*> any_of;
+
+  [[nodiscard]] bool gated_out(const std::string& line) const {
+    if (any_of.empty()) return false;
+    for (const char* s : any_of) {
+      if (line.find(s) != std::string::npos) return false;
+    }
+    return true;
+  }
 };
 
 const std::vector<TokenRule>& rng_rules() {
   static const std::vector<TokenRule> kRules = [] {
     std::vector<TokenRule> v;
     v.push_back({"determinism-rng", std::regex(R"(\brandom_device\b)"),
-                 "host entropy source; use a seeded SplitMix64 (common/rng.h)"});
+                 "host entropy source; use a seeded SplitMix64 (common/rng.h)",
+                 {"random_device"}});
     v.push_back({"determinism-rng", std::regex(R"((^|[^:\w.])s?rand\s*\()"),
-                 "C PRNG breaks bit-identical replays; use SplitMix64"});
+                 "C PRNG breaks bit-identical replays; use SplitMix64",
+                 {"rand"}});
     v.push_back({"determinism-rng", std::regex(R"(\b[dlm]rand48\s*\()"),
-                 "C PRNG breaks bit-identical replays; use SplitMix64"});
+                 "C PRNG breaks bit-identical replays; use SplitMix64",
+                 {"rand48"}});
     v.push_back({"determinism-rng", std::regex(R"((^|[^:\w.])random\s*\(\s*\))"),
-                 "C PRNG breaks bit-identical replays; use SplitMix64"});
+                 "C PRNG breaks bit-identical replays; use SplitMix64",
+                 {"random"}});
     return v;
   }();
   return kRules;
@@ -210,13 +218,16 @@ const std::vector<TokenRule>& clock_rules() {
     std::vector<TokenRule> v;
     v.push_back({"determinism-clock",
                  std::regex(R"(\b(system_clock|steady_clock|high_resolution_clock)\b)"),
-                 "host clock outside src/sim/; simulated code observes virtual time only"});
+                 "host clock outside src/sim/; simulated code observes virtual time only",
+                 {"_clock"}});
     v.push_back({"determinism-clock",
                  std::regex(R"(\b(gettimeofday|clock_gettime|timespec_get)\s*\()"),
-                 "host clock outside src/sim/; simulated code observes virtual time only"});
+                 "host clock outside src/sim/; simulated code observes virtual time only",
+                 {"gettimeofday", "clock_gettime", "timespec_get"}});
     v.push_back({"determinism-clock",
                  std::regex(R"((^|[^:\w.>])(time|clock)\s*\(\s*(NULL|nullptr|0)?\s*\))"),
-                 "host clock outside src/sim/; simulated code observes virtual time only"});
+                 "host clock outside src/sim/; simulated code observes virtual time only",
+                 {"time", "clock"}});
     return v;
   }();
   return kRules;
@@ -238,7 +249,10 @@ const std::vector<TokenRule>& counter_rules() {
              R"(|inserts|writebacks|transfers|fetches|uploads|absorbed)"
              R"(|prefetched|filtered|replayed)_\s*[={;])"),
          "raw member counter outside the metrics registry; declare a "
-         "metrics::Counter/Gauge/Histogram and register_metrics() it"});
+         "metrics::Counter/Gauge/Histogram and register_metrics() it",
+         {"hits_", "misses_", "evictions_", "retransmits_", "timeouts_",
+          "collisions_", "inserts_", "writebacks_", "transfers_", "fetches_",
+          "uploads_", "absorbed_", "prefetched_", "filtered_", "replayed_"}});
     return v;
   }();
   return kRules;
@@ -257,7 +271,8 @@ const std::vector<TokenRule>& cluster_factory_rules() {
          std::regex(R"(\b(make_unique\s*<\s*(nfs::)?NfsServer\b|new\s+(nfs::)?NfsServer\b))"),
          "direct NfsServer construction in topology code; route through the "
          "Testbed cluster factory (make_origin_server_) so server config and "
-         "restart wiring stay uniform"});
+         "restart wiring stay uniform",
+         {"NfsServer"}});
     return v;
   }();
   return kRules;
@@ -272,10 +287,12 @@ const std::vector<TokenRule>& print_rules() {
     std::vector<TokenRule> v;
     v.push_back({"stdout-print", std::regex(R"(std::cout\b)"),
                  "direct stdout outside the sanctioned bench/CLI print sites; "
-                 "log via GVFS_* (stderr) instead"});
+                 "log via GVFS_* (stderr) instead",
+                 {"cout"}});
     v.push_back({"stdout-print", std::regex(R"((^|[^\w.>])(printf|puts|putchar)\s*\()"),
                  "direct stdout outside the sanctioned bench/CLI print sites; "
-                 "log via GVFS_* (stderr) instead"});
+                 "log via GVFS_* (stderr) instead",
+                 {"printf", "puts", "putchar"}});
     return v;
   }();
   return kRules;
@@ -288,6 +305,7 @@ void apply_token_rules(const std::vector<TokenRule>& rules,
   for (std::size_t i = 0; i < code_lines.size(); ++i) {
     int line = static_cast<int>(i) + 1;
     for (const TokenRule& r : rules) {
+      if (r.gated_out(code_lines[i])) continue;
       if (sup.allowed(r.rule, line)) continue;
       if (std::regex_search(code_lines[i], r.pattern)) {
         out->push_back({path, line, r.rule, r.message});
@@ -304,6 +322,7 @@ std::set<std::string> unordered_decl_names(const std::vector<std::string>& code_
   std::set<std::string> names;
   static const std::regex kDecl(R"(\bunordered_(map|set|multimap|multiset)\s*<)");
   for (const std::string& text : code_lines) {
+    if (text.find("unordered_") == std::string::npos) continue;
     for (auto it = std::sregex_iterator(text.begin(), text.end(), kDecl);
          it != std::sregex_iterator(); ++it) {
       std::size_t pos = static_cast<std::size_t>(it->position()) + it->length();
@@ -356,12 +375,13 @@ void apply_unordered_rule(const std::vector<std::string>& code_lines,
     const std::string& text = code_lines[i];
     std::smatch m;
     bool hit = false;
-    if (std::regex_search(text, m, kRangeFor) &&
+    if (text.find("for") != std::string::npos &&
+        std::regex_search(text, m, kRangeFor) &&
         decls.count(last_component(m[1].str())) != 0) {
       hit = true;
     }
-    if (!hit && std::regex_search(text, m, kBegin) &&
-        decls.count(m[1].str()) != 0) {
+    if (!hit && text.find("begin") != std::string::npos &&
+        std::regex_search(text, m, kBegin) && decls.count(m[1].str()) != 0) {
       hit = true;
     }
     if (hit) {
@@ -399,7 +419,8 @@ const std::vector<std::string>& all_rules() {
   static const std::vector<std::string> kRules = {
       "determinism-rng",  "determinism-clock",  "unordered-iteration",
       "stdout-print",     "raw-counter",        "header-guard",
-      "cmake-registration", "cluster-factory"};
+      "cmake-registration", "cluster-factory",  "yield-stale-ref",
+      "yield-index-loop", "yield-held-lock"};
   return kRules;
 }
 
@@ -444,13 +465,24 @@ std::vector<Finding> lint_content(const std::string& path,
   return out;
 }
 
-std::vector<Finding> lint_tree(const std::string& root) {
-  std::vector<Finding> out;
-  const fs::path base(root);
-  std::vector<fs::path> files;
+namespace {
+
+// One walk, one read per file: source contents keyed by repo-relative path,
+// CMakeLists contents keyed by directory. Sibling-header lookups and the
+// yield model reuse the same cache instead of re-reading from disk.
+struct TreeFiles {
+  std::vector<fs::path> files;                     // sorted absolute paths
+  std::map<std::string, std::string> contents;     // rel path -> content
+  std::map<std::string, std::string> cmake_content;  // rel dir -> content
+  fs::path base;
+};
+
+TreeFiles collect_tree(const std::string& root) {
+  TreeFiles t;
+  t.base = fs::path(root);
   std::vector<fs::path> cmake_files;
   for (const char* top : {"src", "bench", "tests", "tools", "examples"}) {
-    fs::path dir = base / top;
+    fs::path dir = t.base / top;
     if (!fs::exists(dir)) continue;
     for (auto it = fs::recursive_directory_iterator(dir);
          it != fs::recursive_directory_iterator(); ++it) {
@@ -458,32 +490,60 @@ std::vector<Finding> lint_tree(const std::string& root) {
         if (skip_dir(it->path())) it.disable_recursion_pending();
         continue;
       }
-      if (lintable_source(it->path())) files.push_back(it->path());
+      if (lintable_source(it->path())) t.files.push_back(it->path());
       if (it->path().filename() == "CMakeLists.txt") {
         cmake_files.push_back(it->path());
       }
     }
   }
-  std::sort(files.begin(), files.end());
+  std::sort(t.files.begin(), t.files.end());
   std::sort(cmake_files.begin(), cmake_files.end());
-
-  std::map<std::string, std::string> cmake_content;
+  for (const fs::path& p : t.files) {
+    t.contents[fs::relative(p, t.base).generic_string()] = read_file(p);
+  }
   for (const fs::path& p : cmake_files) {
-    cmake_content[fs::relative(p.parent_path(), base).generic_string()] =
+    t.cmake_content[fs::relative(p.parent_path(), t.base).generic_string()] =
         read_file(p);
   }
+  return t;
+}
 
-  for (const fs::path& p : files) {
+// The call graph is built over src/ — the simulation libraries whose
+// functions the yield rules reason about.
+YieldModel build_src_model(const TreeFiles& t) {
+  std::vector<std::pair<std::string, std::string>> inputs;
+  for (const auto& [rel, content] : t.contents) {
+    if (path_starts_with(rel, "src/")) inputs.push_back({rel, content});
+  }
+  return YieldModel::build(inputs);
+}
+
+}  // namespace
+
+std::vector<Finding> lint_tree(const std::string& root) {
+  std::vector<Finding> out;
+  TreeFiles tree = collect_tree(root);
+  const fs::path& base = tree.base;
+  const std::map<std::string, std::string>& cmake_content = tree.cmake_content;
+  YieldModel model = build_src_model(tree);
+
+  for (const fs::path& p : tree.files) {
     std::string rel = fs::relative(p, base).generic_string();
-    std::string content = read_file(p);
+    const std::string& content = tree.contents.at(rel);
     std::string sibling;
     if (p.extension() == ".cc" || p.extension() == ".cpp") {
       fs::path header = p;
       header.replace_extension(".h");
-      if (fs::exists(header)) sibling = read_file(header);
+      auto sib = tree.contents.find(
+          fs::relative(header, base).generic_string());
+      if (sib != tree.contents.end()) sibling = sib->second;
     }
     std::vector<Finding> found = lint_content(rel, content, sibling);
     out.insert(out.end(), found.begin(), found.end());
+    if (yield_rules_scoped(rel)) {
+      std::vector<Finding> yf = analyze_content(rel, content, model);
+      out.insert(out.end(), yf.begin(), yf.end());
+    }
 
     // cmake-registration: compilation units must be named in their own or
     // an ancestor directory's CMakeLists.txt to be part of the build.
@@ -517,6 +577,10 @@ std::vector<Finding> lint_tree(const std::string& root) {
     return a.rule < b.rule;
   });
   return out;
+}
+
+std::vector<std::string> tree_yield_model(const std::string& root) {
+  return build_src_model(collect_tree(root)).golden_lines();
 }
 
 }  // namespace gvfs::lint

@@ -23,6 +23,14 @@
 //   cmake-registration   a .cc/.cpp not named in its directory's (or an
 //                        ancestor's) CMakeLists.txt — unregistered sources
 //                        silently drop out of the build and the gates.
+//   yield-stale-ref      a reference/pointer/iterator into member state that
+//   yield-index-loop     stays live across a may-yield call, a member-
+//   yield-held-lock      container loop whose body yields, and a semaphore
+//                        held across a yield — the cross-fiber invalidation
+//                        rules from tools/lint/analyzer.h, driven by the
+//                        interprocedural may-yield model (yield_model.h).
+//                        Tree runs only (lint_tree); lint_content has no
+//                        call graph to build the model from.
 //
 // Suppressions, in a comment on the flagged line or alone on the line above:
 //   // gvfs-lint: allow(rule-a, rule-b) <reason>
@@ -58,7 +66,14 @@ struct Finding {
 
 // Walk src/, bench/, tests/, tools/ and examples/ under `root`, lint every
 // source file, and check CMake registration. Skips lint_fixtures/ and
-// build trees. Findings are sorted by (file, line, rule).
+// build trees. File contents are read once per walk; the interprocedural
+// yield analysis (analyzer.h) runs over the same cache. Findings are sorted
+// by (file, line, rule).
 [[nodiscard]] std::vector<Finding> lint_tree(const std::string& root);
+
+// The computed may-yield function set for src/ under `root`, one sorted
+// "file:qual_name" line per function — the format committed under
+// tools/lint/yield_model_golden.txt and gated by ctest.
+[[nodiscard]] std::vector<std::string> tree_yield_model(const std::string& root);
 
 }  // namespace gvfs::lint

@@ -1,0 +1,43 @@
+// Shared text plumbing for the linter and the yield-point analyzer:
+// comment/string stripping, line splitting, and the `// gvfs-lint: allow(...)`
+// suppression grammar. Definitions live in lint.cc; analyzer.cc and
+// yield_model.cc reuse them so every pass sees the same token stream.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace gvfs::lint {
+
+// Remove comments and string/char literals while preserving the line
+// structure, so token matching never fires on prose or format strings.
+[[nodiscard]] std::vector<std::string> strip_code(const std::string& content);
+
+[[nodiscard]] std::vector<std::string> split_lines(const std::string& content);
+
+[[nodiscard]] std::vector<std::string> split_csv(const std::string& s);
+
+[[nodiscard]] bool path_starts_with(const std::string& s,
+                                    const std::string& prefix);
+
+struct Suppressions {
+  std::set<std::string> file_allowed;
+  // line number (1-based) -> rules allowed on that line
+  std::map<int, std::set<std::string>> line_allowed;
+
+  [[nodiscard]] bool allowed(const std::string& rule, int line) const {
+    if (file_allowed.count(rule) != 0 || file_allowed.count("*") != 0) {
+      return true;
+    }
+    auto it = line_allowed.find(line);
+    if (it == line_allowed.end()) return false;
+    return it->second.count(rule) != 0 || it->second.count("*") != 0;
+  }
+};
+
+[[nodiscard]] Suppressions parse_suppressions(
+    const std::vector<std::string>& raw_lines);
+
+}  // namespace gvfs::lint

@@ -2,7 +2,10 @@
 # Correctness gate: every static and dynamic check this repo supports, in
 # cheapest-first order. Any failure aborts the run.
 #
-#   1. gvfs_lint         repo-specific determinism/style linter over the tree
+#   1. gvfs_lint         repo-specific determinism/style linter over the tree,
+#                        including the interprocedural yield-point analysis
+#                        (yield-stale-ref / yield-index-loop / yield-held-lock)
+#                        and the committed may-yield-model golden diff
 #   2. stdout invariance 12 simulated benches run twice each; stdout must be
 #                        byte-identical run-to-run and match the committed
 #                        tools/golden_stdout.sha256
@@ -42,6 +45,9 @@ cmake -B "$lint_build" -S "$repo_root" \
   -DGVFS_SANITIZE=address,undefined
 cmake --build "$lint_build" -j "$jobs" --target gvfs_lint
 "$lint_build/tools/gvfs_lint" --root "$repo_root"
+echo "== yield-model golden (may-yield set vs committed snapshot) =="
+"$lint_build/tools/gvfs_lint" --root "$repo_root" \
+  --yield-model-golden "$repo_root/tools/lint/yield_model_golden.txt"
 
 # The invariance gate needs an unsanitized build (sanitizers perturb nothing
 # simulated, but keep the golden-hash environment identical to CI's).
