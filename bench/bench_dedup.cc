@@ -1,0 +1,168 @@
+// Content-addressed dedup sweep (DESIGN.md §5.9): N cloned VMs — identical
+// golden images installed under distinct names — are resumed through one
+// GVFS proxy over the WAN. Without dedup every clone re-fetches its own
+// copy of each nonzero block; with the per-block fingerprint table in the
+// .vmss meta-data the proxy aliases identical blocks onto frames already
+// resident, so the N-clone storm costs the origin roughly one clone's worth
+// of unique-block fetches. Sweeps clone count x zero fraction (the
+// complement of the duplicate-data fraction inside one image) and checks
+// the <= 1.1x origin-cost bound, then measures modeled wire compression on
+// the same workload.
+#include "bench_util.h"
+#include "vm/vm_image.h"
+
+using namespace gvfs;
+
+namespace {
+
+struct CellResult {
+  u64 origin_fetches = 0;  // block-cache misses that reached the origin
+  u64 dedup_filtered = 0;  // misses resolved by the fingerprint probe
+  u64 aliases = 0;         // cache frames shared via the dedup store
+  u64 bytes_saved = 0;     // resident bytes avoided by aliasing
+  u64 wan_down_bytes = 0;
+  double elapsed = 0;
+};
+
+vm::VmImageSpec clone_spec(int i, double zero_fraction) {
+  vm::VmImageSpec spec;
+  spec.name = "clone" + std::to_string(i);
+  spec.memory_bytes = 32_MiB;
+  spec.disk_bytes = 64_MiB;
+  spec.mem_zero_fraction = zero_fraction;
+  spec.seed = 42;  // same seed for every clone: content-identical images
+  return spec;
+}
+
+CellResult run_cell(int clones, double zero_fraction, bool dedup, bool compress,
+                    bench::MetricsLog& log, const std::string& key) {
+  core::TestbedOptions opt;
+  opt.scenario = core::Scenario::kWanCached;
+  opt.dedup_blocks = dedup;
+  opt.wire_compression = compress;
+  core::Testbed bed(opt);
+
+  std::vector<vm::VmImagePaths> images;
+  for (int i = 0; i < clones; ++i) {
+    vm::VmImageSpec spec = clone_spec(i, zero_fraction);
+    auto paths = bed.install_image(spec);
+    if (!paths.is_ok()) {
+      std::fprintf(stderr, "install failed: %s\n", paths.status().to_string().c_str());
+      std::exit(1);
+    }
+    // Zero-map + fingerprint meta-data without the file-channel action, so
+    // every clone resumes down the block path the dedup store serves.
+    vm::VmImagePaths server_paths{bed.image_dir(), spec.name};
+    u32 fp_bs = dedup ? static_cast<u32>(bed.options().block_cache.block_size) : 0;
+    if (!vm::generate_vmss_metadata(bed.image_fs(), server_paths, 8_KiB,
+                                    /*with_file_channel=*/false, fp_bs)
+             .is_ok()) {
+      std::fprintf(stderr, "meta generation failed\n");
+      std::exit(1);
+    }
+    images.push_back(*paths);
+  }
+
+  u64 expect_hash = blob::content_hash(*vm::memory_state_blob(clone_spec(0, zero_fraction)));
+  CellResult res;
+  Status st = Status::ok();
+  bed.kernel().run_process("resume-clones", [&](sim::Process& p) {
+    if (Status m = bed.mount(p); !m.is_ok()) {
+      st = m;
+      return;
+    }
+    SimTime t0 = p.now();
+    for (const auto& img : images) {
+      auto data = bed.image_session().read_all(p, img.vmss());
+      if (!data.is_ok()) {
+        st = data.status();
+        return;
+      }
+      // Aliased frames must reconstruct the exact bytes a private copy would.
+      if (blob::content_hash(**data) != expect_hash) {
+        st = err(ErrCode::kIo, "content mismatch after dedup aliasing");
+        return;
+      }
+    }
+    res.elapsed = to_seconds(p.now() - t0);
+  });
+  if (!st.is_ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", key.c_str(), st.to_string().c_str());
+    std::exit(1);
+  }
+  bench::require_no_failed_processes(bed.kernel(), "dedup");
+
+  res.dedup_filtered = bed.client_proxy()->dedup_filtered_reads();
+  res.origin_fetches = bed.block_cache()->misses() - res.dedup_filtered;
+  res.aliases = bed.block_cache()->dedup_aliases();
+  res.bytes_saved = bed.block_cache()->dedup_bytes_saved();
+  res.wan_down_bytes = bed.wan_down()->bytes_sent();
+  log.capture(key, bed);
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  bench::BenchReport rep("dedup");
+  bench::MetricsLog log;
+  bench::banner("Content-addressed block dedup: clone-count x zero-fraction sweep");
+
+  const std::vector<double> zero_fracs = {0.0, 0.45, 0.92};
+  const std::vector<int> clone_counts = {1, 4, 8};
+
+  bench::Table table({"zero_frac", "clones", "dedup", "origin_fetches",
+                      "fp_probe_hits", "aliases", "MiB_saved", "elapsed_s"});
+  bool gate_ok = true;
+  for (double zf : zero_fracs) {
+    u64 baseline = 0;  // one clone's unique-block fetches, dedup on
+    for (int n : clone_counts) {
+      for (int d = 0; d <= 1; ++d) {
+        bool dedup = d == 1;
+        std::string key = "zf" + fmt_double(zf, 2) + "_n" + std::to_string(n) +
+                          (dedup ? "_on" : "_off");
+        CellResult res = run_cell(n, zf, dedup, /*compress=*/false, log, key);
+        table.add_row({fmt_double(zf, 2), std::to_string(n), dedup ? "on" : "off",
+                       std::to_string(res.origin_fetches),
+                       std::to_string(res.dedup_filtered),
+                       std::to_string(res.aliases),
+                       fmt_double(static_cast<double>(res.bytes_saved) / (1_MiB), 1),
+                       fmt_double(res.elapsed, 2)});
+        rep.add_scalar(key + ".origin_fetches", res.origin_fetches);
+        rep.add_scalar(key + ".aliases", res.aliases);
+        if (dedup && n == 1) baseline = res.origin_fetches;
+        // Acceptance bound: the N-clone duplicate-heavy storm costs the
+        // origin at most 1.1x one clone's unique-block fetches.
+        if (dedup && static_cast<double>(res.origin_fetches) >
+                         1.1 * static_cast<double>(baseline)) {
+          gate_ok = false;
+          std::fprintf(stderr,
+                       "dedup gate failed: zf=%g clones=%d fetches=%llu baseline=%llu\n",
+                       zf, n, static_cast<unsigned long long>(res.origin_fetches),
+                       static_cast<unsigned long long>(baseline));
+        }
+      }
+    }
+  }
+  table.print();
+  rep.add_table("dedup_sweep", table);
+
+  bench::banner("Modeled wire compression (4 clones, zero_frac 0.45, dedup on)");
+  bench::Table ctable({"wire_compression", "wan_down_MiB", "elapsed_s"});
+  for (int c = 0; c <= 1; ++c) {
+    bool compress = c == 1;
+    std::string key = std::string("compress_") + (compress ? "on" : "off");
+    CellResult res = run_cell(4, 0.45, /*dedup=*/true, compress, log, key);
+    ctable.add_row({compress ? "on" : "off",
+                    fmt_double(static_cast<double>(res.wan_down_bytes) / (1_MiB), 1),
+                    fmt_double(res.elapsed, 2)});
+    rep.add_scalar(key + ".wan_down_bytes", res.wan_down_bytes);
+  }
+  ctable.print();
+  rep.add_table("wire_compression", ctable);
+
+  log.attach(rep);
+  rep.write();
+  if (!gate_ok) return 1;
+  return 0;
+}

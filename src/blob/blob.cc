@@ -26,6 +26,20 @@ bool Blob::is_zero_range(u64 offset, u64 len) const {
   return true;
 }
 
+u64 Blob::fingerprint(u64 seed, u64 offset, u64 len) const {
+  // Generic byte-exact fallback: absorb the range in bounded chunks.
+  std::array<u8, 64_KiB> buf;
+  u64 h = fingerprint_init(seed);
+  while (len > 0) {
+    u64 n = std::min<u64>(len, buf.size());
+    read(offset, std::span<u8>(buf.data(), n));
+    h = fnv1a64(std::span<const u8>(buf.data(), n), h);
+    offset += n;
+    len -= n;
+  }
+  return h;
+}
+
 // -------------------------------------------------------------- BytesBlob --
 
 void BytesBlob::read(u64 offset, std::span<u8> out) const {
@@ -68,7 +82,9 @@ u64 estimate_compressed(std::span<const u8> data, u64 offset, u64 len) {
     }
     offset += n;
   }
-  return total;
+  // A real compressor never expands: it frames the raw bytes instead. The
+  // clamp keeps the 16-byte header from dominating tiny ranges.
+  return std::min(total, len);
 }
 
 }  // namespace
@@ -150,7 +166,31 @@ u64 SyntheticBlob::compressed_size(u64 offset, u64 len) const {
       total += static_cast<u64>(static_cast<double>(n) / nonzero_ratio_);
     }
   }
-  return total;
+  // Same never-expands clamp as estimate_compressed.
+  return std::min(total, len);
+}
+
+u64 SyntheticBlob::fingerprint(u64 seed, u64 offset, u64 len) const {
+  if (len == 0) return fingerprint_init(seed);
+  if (is_zero_range(offset, len)) {
+    // Matches ZeroBlob exactly, so an all-zero synthetic block dedups
+    // against filtered zero blocks regardless of seed_.
+    return fnv1a64_zero_run(fingerprint_init(seed), len);
+  }
+  // Structural O(pages-in-range) digest: the bytes of [offset, offset+len)
+  // are fully determined by (seed_, absolute offset, per-page zero bits) —
+  // nonzero_ratio_ only shapes compressed_size — so hashing that structure
+  // is content-faithful without materializing gigabytes.
+  u64 h = hash_combine(fingerprint_init(seed), 0x53594e5442ULL);  // "SYNTB"
+  h = hash_combine(h, seed_);
+  h = hash_combine(h, offset);
+  h = hash_combine(h, len);
+  u64 first = offset / kPage;
+  u64 last = (offset + len - 1) / kPage;
+  for (u64 p = first; p <= last; ++p) {
+    h = hash_combine(h, page_is_zero(p) ? 1 : 0);
+  }
+  return h;
 }
 
 // --------------------------------------------------------------- ViewBlob --

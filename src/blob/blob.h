@@ -9,10 +9,12 @@
 // verify them.
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <span>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/types.h"
 
 namespace gvfs::blob {
@@ -20,6 +22,15 @@ namespace gvfs::blob {
 // Page granularity at which zero-ness and compressibility are tracked.
 // 4 KiB matches both x86 pages (memory state files) and common FS blocks.
 constexpr u64 kPage = 4_KiB;
+
+// Default seed for content fingerprints (dedup keys). A fingerprint is the
+// seeded FNV-1a state after absorbing the range's bytes, starting from
+// fingerprint_init(seed); equal bytes under equal seeds hash equal, and the
+// seed keeps fingerprints distinct from the unseeded range_hash values used
+// by the tests' integrity checks.
+constexpr u64 kDefaultFingerprintSeed = 0x6776667364647031ULL;  // "gvfsddp1"
+
+constexpr u64 fingerprint_init(u64 seed) { return mix64(seed ^ kFnvOffset); }
 
 class Blob {
  public:
@@ -35,11 +46,21 @@ class Blob {
   [[nodiscard]] virtual bool is_zero_range(u64 offset, u64 len) const;
 
   // Estimated size of [offset, offset+len) after gzip-class compression.
+  // Every override clamps its model to len: a simulated compressor never
+  // expands (it would ship the raw bytes instead, as real framing does).
   [[nodiscard]] virtual u64 compressed_size(u64 /*offset*/, u64 len) const {
     return len;
   }
 
   [[nodiscard]] u64 compressed_size() const { return compressed_size(0, size()); }
+
+  // Seeded 64-bit content fingerprint of [offset, offset+len): the FNV-1a
+  // state from fingerprint_init(seed) after the range's bytes. Equal bytes
+  // => equal fingerprint for a given seed; synthetic blobs override this so
+  // gigabyte images fingerprint in O(1) per block without materializing
+  // (structural digests may differ from the byte-exact default across blob
+  // representations, which only costs dedup hits, never correctness).
+  [[nodiscard]] virtual u64 fingerprint(u64 seed, u64 offset, u64 len) const;
 
   // Teardown hook: a composite blob moves its owned child refs into `out`.
   // release_child_refs() calls it only on a sole-owner blob that is about to
@@ -82,8 +103,14 @@ class ZeroBlob final : public Blob {
   void read(u64 offset, std::span<u8> out) const override;
   [[nodiscard]] bool is_zero_range(u64, u64) const override { return true; }
   [[nodiscard]] u64 compressed_size(u64, u64 len) const override {
-    // Long zero runs compress to roughly 1/1000 under gzip.
-    return len / 1000 + 16;
+    // Long zero runs compress to roughly 1/1000 under gzip; the clamp keeps
+    // tiny ranges from "compressing" larger than raw (the 16-byte header
+    // used to dominate for len < ~16 bytes).
+    return std::min(len, len / 1000 + 16);
+  }
+  [[nodiscard]] u64 fingerprint(u64 seed, u64 /*offset*/, u64 len) const override {
+    // O(log len): fast-forward the FNV state over the zero run.
+    return fnv1a64_zero_run(fingerprint_init(seed), len);
   }
 
  private:
@@ -107,6 +134,7 @@ class SyntheticBlob final : public Blob {
   void read(u64 offset, std::span<u8> out) const override;
   [[nodiscard]] bool is_zero_range(u64 offset, u64 len) const override;
   [[nodiscard]] u64 compressed_size(u64 offset, u64 len) const override;
+  [[nodiscard]] u64 fingerprint(u64 seed, u64 offset, u64 len) const override;
 
   [[nodiscard]] bool page_is_zero(u64 page_index) const;
   [[nodiscard]] u64 seed() const { return seed_; }
@@ -156,6 +184,9 @@ class SliceBlob final : public Blob {
   }
   [[nodiscard]] u64 compressed_size(u64 offset, u64 len) const override {
     return base_->compressed_size(off_ + offset, len);
+  }
+  [[nodiscard]] u64 fingerprint(u64 seed, u64 offset, u64 len) const override {
+    return base_->fingerprint(seed, off_ + offset, len);
   }
 
  private:

@@ -86,7 +86,7 @@ class ExtentSnapshotBlob final : public Blob {
       }
     }
     total += (len - covered) / 1000;  // holes compress like zeros
-    return total;
+    return std::min(total, len);     // never model expansion
   }
 
  private:
@@ -206,7 +206,7 @@ u64 ExtentStore::compressed_size(u64 offset, u64 len) const {
     }
   }
   total += (len - covered) / 1000;
-  return total;
+  return std::min(total, len);  // never model expansion
 }
 
 u64 ExtentStore::materialized_bytes() const {
@@ -283,7 +283,7 @@ class RangeSliceBlob final : public Blob {
       }
     }
     total += (len - covered) / 1000;
-    return total;
+    return std::min(total, len);  // never model expansion
   }
 
  private:

@@ -21,6 +21,10 @@ ProxyDiskCache::ProxyDiskCache(sim::DiskModel& disk, BlockCacheConfig cfg)
   chunks_.resize(static_cast<std::size_t>(
       (total_frames_ + frames_per_chunk_ - 1) / frames_per_chunk_));
   bank_exists_.resize(cfg_.num_banks + 1, false);
+  cfg_.dedup_key_bits = std::clamp<u32>(cfg_.dedup_key_bits, 1, 64);
+  dedup_mask_ = cfg_.dedup_key_bits >= 64
+                    ? ~0ULL
+                    : ((1ULL << cfg_.dedup_key_bits) - 1);
 }
 
 const ProxyDiskCache::Frame* ProxyDiskCache::set_base_(u32 set) const {
@@ -70,6 +74,21 @@ bool ProxyDiskCache::contains(const BlockId& id) const {
   return find_(id) != nullptr;
 }
 
+std::optional<blob::BlobRef> ProxyDiskCache::lookup_fingerprint(u64 fp, u64 size) {
+  if (!cfg_.dedup_blocks) return std::nullopt;
+  auto it = dedup_.find(fp & dedup_mask_);
+  if (it == dedup_.end()) return std::nullopt;
+  // The store key may be narrowed (dedup_key_bits test seam); the full
+  // fingerprint and the size gate every hit so a key collision can only
+  // cost a fetch, never serve wrong bytes.
+  if (it->second.fp != fp || it->second.data->size() != size) {
+    dedup_collisions_.inc();
+    return std::nullopt;
+  }
+  dedup_hits_.inc();
+  return it->second.data;
+}
+
 void ProxyDiskCache::link_file_(u32 idx) {
   Frame& f = frame_at_(idx);
   f.file_prev = kNil;
@@ -102,10 +121,108 @@ void ProxyDiskCache::unlink_file_(u32 idx) {
 }
 
 void ProxyDiskCache::clear_frame_(Frame& f) {
-  if (f.data) resident_bytes_.sub(f.data->size());
+  release_frame_data_(f);
   f.valid = false;
   f.dirty = false;
+}
+
+void ProxyDiskCache::release_frame_data_(Frame& f) {
+  if (f.data) {
+    if (f.shared) {
+      // Aliased payload: the store charged it once; only the last alias
+      // releases the bytes.
+      auto it = dedup_.find(f.fp & dedup_mask_);
+      assert(it != dedup_.end() && it->second.refs > 0);
+      if (it != dedup_.end() && --it->second.refs == 0) {
+        resident_bytes_.sub(it->second.data->size());
+        dedup_.erase(it);
+      }
+    } else {
+      resident_bytes_.sub(f.data->size());
+    }
+  }
+  // gvfs-lint: allow(frame-data-mutation) this is the sanctioned release helper
   f.data.reset();
+  f.shared = false;
+  f.fp = 0;
+}
+
+void ProxyDiskCache::set_frame_data_(Frame& f, blob::BlobRef data, bool try_dedup) {
+  assert(!f.data);  // callers release first (CoW split point)
+  if (cfg_.dedup_blocks && try_dedup && data) {
+    u64 fp = data->fingerprint(cfg_.dedup_seed, 0, data->size());
+    auto [it, fresh] = dedup_.try_emplace(fp & dedup_mask_);
+    DedupEntry& e = it->second;
+    if (fresh) {
+      e.fp = fp;
+      // gvfs-lint: allow(frame-data-mutation) store entry init inside the helper
+      e.data = data;
+      e.refs = 1;
+      resident_bytes_.add(data->size());
+    } else if (e.fp == fp && e.data->size() == data->size()) {
+      // Identical content already resident: alias the shared copy, charge
+      // nothing.
+      ++e.refs;
+      dedup_aliases_.inc();
+      dedup_bytes_saved_.inc(data->size());
+      data = e.data;
+    } else {
+      // Masked-key collision with different content: never alias; the frame
+      // stays private and the store entry keeps its original owner.
+      dedup_collisions_.inc();
+      resident_bytes_.add(data->size());
+      // gvfs-lint: allow(frame-data-mutation) sanctioned assign inside the helper
+      f.data = std::move(data);
+      f.shared = false;
+      f.fp = 0;
+      return;
+    }
+    // gvfs-lint: allow(frame-data-mutation) sanctioned assign inside the helper
+    f.data = std::move(data);
+    f.shared = true;
+    f.fp = fp;
+    return;
+  }
+  if (data) resident_bytes_.add(data->size());
+  // gvfs-lint: allow(frame-data-mutation) sanctioned assign inside the helper
+  f.data = std::move(data);
+  f.shared = false;
+  f.fp = 0;
+}
+
+void ProxyDiskCache::verify_dedup_accounting_() const {
+#ifdef GVFS_YIELD_CHECK
+  if (!cfg_.dedup_blocks) return;
+  // Recompute what the gauge and the store must hold from the frames alone:
+  // every dedup entry's payload counts once, every private frame's payload
+  // counts per frame, and an entry's refcount equals its aliasing frames.
+  u64 expect_bytes = 0;
+  std::unordered_map<u64, u32> refs;
+  for (std::size_t c = 0; c < chunks_.size(); ++c) {
+    if (!chunks_[c]) continue;
+    const std::size_t n = std::min<std::size_t>(
+        frames_per_chunk_, total_frames_ - c * frames_per_chunk_);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Frame& f = chunks_[c][i];
+      if (!f.valid || !f.data) continue;
+      if (f.shared) {
+        ++refs[f.fp & dedup_mask_];
+      } else {
+        expect_bytes += f.data->size();
+      }
+    }
+  }
+  assert(refs.size() == dedup_.size());
+  // gvfs-lint: allow(unordered-iteration) debug-only invariant; nothing escapes
+  for (const auto& [key, e] : dedup_) {
+    auto it = refs.find(key);
+    assert(it != refs.end() && it->second == e.refs);
+    (void)it;
+    expect_bytes += e.data->size();
+  }
+  assert(expect_bytes == resident_bytes_.value());
+  (void)expect_bytes;
+#endif
 }
 
 void ProxyDiskCache::touch_bank_(sim::Process& p, u32 set) {
@@ -294,11 +411,12 @@ Status ProxyDiskCache::insert(sim::Process& p, const BlockId& id, blob::BlobRef 
       return skip_cache();
     }
 
-    if (slot->data) resident_bytes_.sub(slot->data->size());
-    resident_bytes_.add(data->size());
+    release_frame_data_(*slot);
+    // Dirty data never enters the dedup store: written bytes diverge from
+    // the shared copy (copy-on-write split); clean fills may alias.
+    set_frame_data_(*slot, std::move(data), !dirty);
     slot->valid = true;
     slot->id = id;
-    slot->data = std::move(data);
     slot->last_used = ++tick_;
     slot->busy = false;
     if (new_residency) link_file_(set_first + way);
@@ -306,6 +424,7 @@ Status ProxyDiskCache::insert(sim::Process& p, const BlockId& id, blob::BlobRef 
       slot->dirty = true;
       dirty_.add(1);
     }
+    verify_dedup_accounting_();
     return Status::ok();
   }
 }
@@ -321,15 +440,17 @@ Result<blob::BlobRef> ProxyDiskCache::merge(sim::Process& p, const BlockId& id,
     compose.write_blob(offset_in_block, data, 0, data->size());
   }
   blob::BlobRef merged = compose.snapshot();
-  if (f->data) resident_bytes_.sub(f->data->size());
-  resident_bytes_.add(merged->size());
-  f->data = merged;
+  // Copy-on-write split: a shared frame being written releases its alias
+  // (last ref frees the store entry) and re-charges its private copy.
+  release_frame_data_(*f);
+  set_frame_data_(*f, merged, /*try_dedup=*/false);
   f->last_used = ++tick_;
   if (!f->dirty) {
     f->dirty = true;
     dirty_.add(1);
   }
   disk_.access(p, data ? data->size() : 4_KiB, sim::Locality::kRandom);
+  verify_dedup_accounting_();
   return merged;
 }
 
@@ -429,6 +550,7 @@ void ProxyDiskCache::invalidate_all() {
   ++structure_epoch_;
   for (auto& chunk : chunks_) chunk.reset();
   file_head_.clear();
+  dedup_.clear();
   dirty_.set(0);
   resident_.set(0);
   resident_bytes_.set(0);

@@ -34,6 +34,18 @@ struct BlockCacheConfig {
   WritePolicy policy = WritePolicy::kWriteBack;
   // Creating a bank file on first touch costs a metadata disk op.
   bool charge_bank_creation = true;
+  // Content-addressed dedup: clean blocks with identical bytes (by seeded
+  // 64-bit fingerprint) share one resident payload across frames/files;
+  // resident_bytes charges the shared copy once and a frame re-charges when
+  // a write splits it private (copy-on-write). Default off: the cache is
+  // byte-for-byte inert relative to the pre-dedup behavior.
+  bool dedup_blocks = false;
+  u64 dedup_seed = blob::kDefaultFingerprintSeed;
+  // Test seam (like NfsServerConfig::drc_key_bits): the store is keyed on
+  // the low `dedup_key_bits` of the fingerprint, but entries keep the full
+  // fingerprint and verify it on every hit, so narrowing the key forces
+  // collisions without ever aliasing different content.
+  u32 dedup_key_bits = 64;
 };
 
 // Identifies a cached block: the owning file (by handle key) and the block
@@ -63,6 +75,12 @@ class ProxyDiskCache {
 
   // Probe without timing or LRU side effects.
   [[nodiscard]] bool contains(const BlockId& id) const;
+
+  // Content-addressed probe: the shared payload whose fingerprint is `fp`
+  // (full 64 bits verified even under a narrowed dedup_key_bits) and whose
+  // size is `size`, if an identical block is resident under any BlockId.
+  // The caller aliases it via insert(); always empty when dedup is off.
+  std::optional<blob::BlobRef> lookup_fingerprint(u64 fp, u64 size);
 
   // Insert (fetch fill or write): charges a cache-disk write; may evict
   // (dirty victims are written back upstream first). Under write-through,
@@ -96,6 +114,11 @@ class ProxyDiskCache {
   // O(file-resident) walk; used by tests and observability).
   [[nodiscard]] u64 file_resident_blocks(u64 file_key) const;
   [[nodiscard]] u64 banks_created() const { return banks_created_.value(); }
+  [[nodiscard]] u64 dedup_hits() const { return dedup_hits_.value(); }
+  [[nodiscard]] u64 dedup_aliases() const { return dedup_aliases_.value(); }
+  [[nodiscard]] u64 dedup_bytes_saved() const { return dedup_bytes_saved_.value(); }
+  [[nodiscard]] u64 dedup_collisions() const { return dedup_collisions_.value(); }
+  [[nodiscard]] u64 dedup_entries() const { return dedup_.size(); }
   [[nodiscard]] u32 sets() const { return num_sets_; }
   void reset_stats() {
     hits_.reset();
@@ -113,6 +136,12 @@ class ProxyDiskCache {
     r.register_gauge(prefix + "dirty_blocks", &dirty_);
     r.register_gauge(prefix + "resident_blocks", &resident_);
     r.register_gauge(prefix + "resident_bytes", &resident_bytes_);
+    if (cfg_.dedup_blocks) {
+      r.register_counter(prefix + "dedup_hits", &dedup_hits_);
+      r.register_counter(prefix + "dedup_aliases", &dedup_aliases_);
+      r.register_counter(prefix + "dedup_bytes_saved", &dedup_bytes_saved_);
+      r.register_counter(prefix + "dedup_collisions", &dedup_collisions_);
+    }
   }
 
  private:
@@ -126,6 +155,13 @@ class ProxyDiskCache {
     bool busy = false;
     BlockId id;
     blob::BlobRef data;
+    // Dedup state: `shared` frames hold a payload owned by the dedup store
+    // (accounted once across all aliases); `fp` is its full fingerprint.
+    // Assign payloads only through set_frame_data_/release_frame_data_ —
+    // a direct `data =` desynchronizes the store's refcounts (enforced by
+    // the frame-data-mutation lint rule).
+    bool shared = false;
+    u64 fp = 0;
     u64 last_used = 0;
     // Intrusive doubly-linked list of all resident frames of one file,
     // threaded through file_head_. Makes invalidate_file O(file-resident)
@@ -163,6 +199,16 @@ class ProxyDiskCache {
   void link_file_(u32 idx);
   void unlink_file_(u32 idx);
   void clear_frame_(Frame& f);
+  // The only sanctioned frame-payload assignment sites: they keep the dedup
+  // store's refcounts and the resident_bytes gauge consistent (an aliased
+  // payload is charged once; a copy-on-write split re-charges the frame).
+  // `try_dedup` is false for dirty data — written bytes diverge from any
+  // shared copy, so the frame splits private.
+  void set_frame_data_(Frame& f, blob::BlobRef data, bool try_dedup);
+  void release_frame_data_(Frame& f);
+  // Debug invariant (GVFS_YIELD_CHECK builds): recompute resident_bytes and
+  // per-entry refcounts from the frames and compare with the gauge/store.
+  void verify_dedup_accounting_() const;
 
   sim::DiskModel& disk_;
   BlockCacheConfig cfg_;
@@ -174,6 +220,17 @@ class ProxyDiskCache {
   std::vector<bool> bank_exists_;
   // file_key -> index of the first resident frame of that file.
   std::unordered_map<u64, u32> file_head_;
+  // Content-addressed store: masked fingerprint -> one shared payload plus
+  // the number of frames aliasing it. Entries keep the full fingerprint and
+  // size, verified on every probe, so a masked-key collision is a counted
+  // miss rather than silent content aliasing.
+  struct DedupEntry {
+    u64 fp = 0;
+    blob::BlobRef data;
+    u32 refs = 0;
+  };
+  std::unordered_map<u64, DedupEntry> dedup_;
+  u64 dedup_mask_ = ~0ULL;
   WritebackFn writeback_;
   u64 tick_ = 0;
   // Bumped by invalidate_all(), which frees the chunk storage. Fibers that
@@ -188,6 +245,10 @@ class ProxyDiskCache {
   metrics::Gauge resident_;
   metrics::Gauge resident_bytes_;
   metrics::Counter banks_created_;
+  metrics::Counter dedup_hits_;
+  metrics::Counter dedup_aliases_;
+  metrics::Counter dedup_bytes_saved_;
+  metrics::Counter dedup_collisions_;
   BlockId last_access_{};  // sequentiality heuristic for cache-disk locality
 };
 

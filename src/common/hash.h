@@ -33,6 +33,20 @@ inline u64 fnv1a64(std::span<const u8> data, u64 seed = kFnvOffset) {
   return h;
 }
 
+// FNV-1a state after absorbing `len` zero bytes starting from `state`: a
+// zero byte leaves the xor untouched, so the whole run collapses to
+// state * kFnvPrime^len (mod 2^64), computed here by square-and-multiply.
+// Lets ZeroBlob fingerprint arbitrary ranges in O(log len).
+constexpr u64 fnv1a64_zero_run(u64 state, u64 len) {
+  u64 p = kFnvPrime;
+  while (len > 0) {
+    if (len & 1) state *= p;
+    p *= p;
+    len >>= 1;
+  }
+  return state;
+}
+
 // Stafford mix13 — a high-quality 64-bit finalizer (used by SplitMix64).
 constexpr u64 mix64(u64 x) {
   x ^= x >> 30;

@@ -32,12 +32,14 @@ struct Testbed::Node {
   std::unique_ptr<ssh::SshTunnel> tunnel;
   std::unique_ptr<rpc::FaultyChannel> faulty;  // wraps tunnel/direct when faults on
   std::unique_ptr<rpc::RetryChannel> retry;    // retransmission layer above faults
+  std::unique_ptr<rpc::CompressChannel> compress;  // client end of the WAN pair
   // Origin-cluster wiring: one full channel stack per origin, federated by
   // the node's ShardRouter (which then serves as the proxy's upstream).
   // Declared before client_proxy so the proxy's upstream outlives it.
   std::vector<std::unique_ptr<ssh::SshTunnel>> origin_tunnels;
   std::vector<std::unique_ptr<rpc::FaultyChannel>> origin_faulty;
   std::vector<std::unique_ptr<rpc::RetryChannel>> origin_retry;
+  std::vector<std::unique_ptr<rpc::CompressChannel>> origin_compress;
   std::unique_ptr<proxy::ShardRouter> router;
   std::unique_ptr<proxy::GvfsProxy> client_proxy;
   std::unique_ptr<rpc::LinkChannel> loopback;
@@ -55,6 +57,7 @@ struct Testbed::Origin {
   std::unique_ptr<nfs::NfsServer> server;
   std::unique_ptr<rpc::LinkChannel> loop;
   std::unique_ptr<proxy::GvfsProxy> proxy;
+  std::unique_ptr<rpc::CompressHandler> compress;  // wire_compression only
 };
 
 namespace {
@@ -68,6 +71,16 @@ rpc::Credential map_shadow_cred(const rpc::Credential& in) {
   out.gid = 500;
   out.machine = "shadow";
   return out;
+}
+
+// Wire-compression knobs derived from the profile's gzip model; `cpu` is the
+// pool the (de)compression work contends on at that end of the hop.
+rpc::CompressConfig wan_compress_cfg(const NetProfile& net, sim::CpuPool* cpu) {
+  rpc::CompressConfig c;
+  c.compress_bps = net.gzip.compress_bps;
+  c.inflate_bps = net.gzip.inflate_bps;
+  c.cpu = cpu;
+  return c;
 }
 
 }  // namespace
@@ -200,6 +213,11 @@ void Testbed::build_origin_cluster_() {
     spcfg.enable_meta = false;
     o->proxy = std::make_unique<proxy::GvfsProxy>(spcfg, *o->loop);
     o->proxy->set_cred_mapper(map_shadow_cred);
+    if (opt_.wire_compression) {
+      o->compress = std::make_unique<rpc::CompressHandler>(
+          *o->proxy, wan_compress_cfg(opt_.net, o->cpu.get()));
+      o->compress->register_metrics(registry_, tag + ".compress.");
+    }
 
     o->server->register_metrics(registry_, tag + ".server.");
     o->disk->register_metrics(registry_, tag + ".disk.");
@@ -226,11 +244,29 @@ void Testbed::build_lan_cache_node_() {
   // Same sharing semantics as the block path below: a storm of clones
   // missing one golden image crosses the WAN once.
   lan_endpoint_->set_single_flight(opt_.shared_l2_cache);
+  // Content-addressed image sharing: clones of one golden image hold a
+  // single compressed copy on the L2 disk.
+  lan_endpoint_->set_dedup(opt_.dedup_blocks, opt_.block_cache.dedup_seed);
 
-  // Second-level block-cache proxy on the LAN server.
-  lan_to_origin_ = std::make_unique<ssh::SshTunnel>(*server_proxy_, wan_up_.get(),
+  // Second-level block-cache proxy on the LAN server. With wire_compression
+  // the L2 -> origin tunnel is the WAN hop, so the compression pair
+  // straddles it here.
+  rpc::RpcHandler* origin_handler = server_proxy_.get();
+  if (opt_.wire_compression) {
+    lan_compress_handler_ = std::make_unique<rpc::CompressHandler>(
+        *server_proxy_, wan_compress_cfg(opt_.net, image_cpu_.get()));
+    origin_handler = lan_compress_handler_.get();
+  }
+  lan_to_origin_ = std::make_unique<ssh::SshTunnel>(*origin_handler, wan_up_.get(),
                                                     wan_down_.get(), opt_.net.wan_cipher);
+  rpc::RpcChannel* to_origin = lan_to_origin_.get();
+  if (opt_.wire_compression) {
+    lan_compress_channel_ = std::make_unique<rpc::CompressChannel>(
+        *lan_to_origin_, wan_compress_cfg(opt_.net, nullptr));
+    to_origin = lan_compress_channel_.get();
+  }
   cache::BlockCacheConfig l2cfg = opt_.block_cache;
+  l2cfg.dedup_blocks = opt_.dedup_blocks;
   lan_block_cache_ = std::make_unique<cache::ProxyDiskCache>(*lan_disk_, l2cfg);
   proxy::ProxyConfig lpcfg;
   lpcfg.name = "lan-l2-proxy";
@@ -238,11 +274,16 @@ void Testbed::build_lan_cache_node_() {
   // Shared read-only cache: concurrent same-block misses from the cloning
   // nodes collapse into one upstream READ.
   lpcfg.single_flight = opt_.shared_l2_cache;
-  lan_proxy_ = std::make_unique<proxy::GvfsProxy>(lpcfg, *lan_to_origin_);
+  lpcfg.dedup_blocks = opt_.dedup_blocks;
+  lan_proxy_ = std::make_unique<proxy::GvfsProxy>(lpcfg, *to_origin);
   lan_proxy_->attach_block_cache(*lan_block_cache_);
 
   lan_disk_->register_metrics(registry_, "lan_l2.disk.");
   lan_scp_up_->register_metrics(registry_, "lan_l2.scp_up.");
+  if (lan_compress_handler_) {
+    lan_compress_handler_->register_metrics(registry_, "server_compress.");
+    lan_compress_channel_->register_metrics(registry_, "lan_l2.compress.");
+  }
   lan_endpoint_->register_metrics(registry_, "lan_l2.endpoint.");
   lan_to_origin_->register_metrics(registry_, "lan_l2.tunnel.");
   lan_block_cache_->register_metrics(registry_, "lan_l2.block_cache.");
@@ -279,15 +320,28 @@ void Testbed::resolve_shared_node_config_() {
     node_cfg_.tun_cipher = opt_.net.lan_cipher;
   }
 
+  // Client end of the compressed WAN hop: the nodes' tunnels cross the WAN
+  // directly (no LAN tier), so the origin-side CompressHandler fronts the
+  // server proxy for every node tunnel built below.
+  if (opt_.wire_compression && !opt_.origin_cluster && !node_cfg_.via_lan) {
+    server_compress_ = std::make_unique<rpc::CompressHandler>(
+        *node_cfg_.upstream, wan_compress_cfg(opt_.net, image_cpu_.get()));
+    server_compress_->register_metrics(registry_, "server_compress.");
+    node_cfg_.upstream = server_compress_.get();
+  }
+
   node_cfg_.proxy.fetch_block = static_cast<u32>(opt_.block_cache.block_size);
   node_cfg_.proxy.enable_meta = node_cfg_.cached && opt_.enable_meta;
   if (node_cfg_.cached) node_cfg_.proxy.prefetch_depth = opt_.prefetch_depth;
   node_cfg_.proxy.degraded_mode = opt_.degraded_proxy;
   node_cfg_.proxy.async_writeback = opt_.enable_async_writeback;
+  node_cfg_.proxy.dedup_blocks = node_cfg_.cached && opt_.dedup_blocks;
+  node_cfg_.proxy.wire_compression = opt_.wire_compression;
 
   if (node_cfg_.cached) {
     node_cfg_.block_cache = opt_.block_cache;
     node_cfg_.block_cache.policy = opt_.write_policy;
+    node_cfg_.block_cache.dedup_blocks = opt_.dedup_blocks;
     node_cfg_.endpoint =
         node_cfg_.via_lan
             ? static_cast<meta::RemoteFileEndpoint*>(lan_endpoint_.get())
@@ -351,7 +405,11 @@ std::unique_ptr<Testbed::Node> Testbed::build_node_(int index) {
     chans.reserve(origins_.size());
     for (std::size_t j = 0; j < origins_.size(); ++j) {
       std::string otag = tag + ".origin" + std::to_string(j);
-      auto tun = std::make_unique<ssh::SshTunnel>(*origins_[j]->proxy,
+      rpc::RpcHandler& origin_handler =
+          origins_[j]->compress
+              ? static_cast<rpc::RpcHandler&>(*origins_[j]->compress)
+              : static_cast<rpc::RpcHandler&>(*origins_[j]->proxy);
+      auto tun = std::make_unique<ssh::SshTunnel>(origin_handler,
                                                   node_cfg_.tun_up,
                                                   node_cfg_.tun_down,
                                                   node_cfg_.tun_cipher);
@@ -370,6 +428,13 @@ std::unique_ptr<Testbed::Node> Testbed::build_node_(int index) {
         }
         node->origin_faulty.push_back(std::move(fy));
         node->origin_retry.push_back(std::move(rt));
+      }
+      if (opt_.wire_compression) {
+        auto cc = std::make_unique<rpc::CompressChannel>(
+            *chan, wan_compress_cfg(opt_.net, nullptr));
+        chan = cc.get();
+        if (metrics_on) cc->register_metrics(registry_, otag + ".compress.");
+        node->origin_compress.push_back(std::move(cc));
       }
       chans.push_back(chan);
     }
@@ -399,6 +464,16 @@ std::unique_ptr<Testbed::Node> Testbed::build_node_(int index) {
         node->faulty->set_tracer(tracer_.get());
         node->retry->set_tracer(tracer_.get());
       }
+    }
+    // Client end of the compressed WAN hop (outermost, so retransmitted
+    // calls resend the already-wrapped message without re-paying gzip CPU).
+    // With a LAN tier the nodes' tunnels stay uncompressed — the pair
+    // straddles the L2 -> origin tunnel instead.
+    if (opt_.wire_compression && !node_cfg_.via_lan) {
+      node->compress = std::make_unique<rpc::CompressChannel>(
+          *upstream_chan, wan_compress_cfg(opt_.net, nullptr));
+      upstream_chan = node->compress.get();
+      if (metrics_on) node->compress->register_metrics(registry_, tag + ".compress.");
     }
   }
 
@@ -468,6 +543,10 @@ proxy::ShardRouter* Testbed::shard_router(int node) {
 
 std::string Testbed::image_dir() const { return opt_.export_path; }
 
+u32 Testbed::meta_fp_block_size_() const {
+  return opt_.dedup_blocks ? static_cast<u32>(opt_.block_cache.block_size) : 0;
+}
+
 Result<vm::VmImagePaths> Testbed::install_image(const vm::VmImageSpec& spec) {
   if (opt_.origin_cluster && opt_.scenario != Scenario::kLocal) {
     // Every origin gets the identical install, in identical order, so the
@@ -476,7 +555,9 @@ Result<vm::VmImagePaths> Testbed::install_image(const vm::VmImageSpec& spec) {
       GVFS_ASSIGN_OR_RETURN(vm::VmImagePaths sp,
                             vm::install_image(*o->fs, image_dir(), spec));
       if (opt_.generate_image_meta) {
-        GVFS_RETURN_IF_ERROR(vm::generate_vmss_metadata(*o->fs, sp));
+        GVFS_RETURN_IF_ERROR(vm::generate_vmss_metadata(
+            *o->fs, sp, 8_KiB, true, meta_fp_block_size_(),
+            opt_.block_cache.dedup_seed));
       }
     }
     return vm::VmImagePaths{"", spec.name};
@@ -485,7 +566,9 @@ Result<vm::VmImagePaths> Testbed::install_image(const vm::VmImageSpec& spec) {
   GVFS_ASSIGN_OR_RETURN(vm::VmImagePaths server_paths,
                         vm::install_image(image_fs(), image_dir(), spec));
   if (opt_.scenario != Scenario::kLocal && opt_.generate_image_meta) {
-    GVFS_RETURN_IF_ERROR(vm::generate_vmss_metadata(image_fs(), server_paths));
+    GVFS_RETURN_IF_ERROR(vm::generate_vmss_metadata(
+        image_fs(), server_paths, 8_KiB, true, meta_fp_block_size_(),
+        opt_.block_cache.dedup_seed));
   }
   // ...but hand back mount-relative paths: every image_session() (NFS client
   // or the kLocal prefix view) is rooted at the export directory.
@@ -575,11 +658,15 @@ Status Testbed::refresh_image_metadata(sim::Process& p, const vm::VmImagePaths& 
   if (opt_.origin_cluster) {
     // Regenerate on every origin so the meta stays replica-identical.
     for (auto& o : origins_) {
-      GVFS_RETURN_IF_ERROR(vm::generate_vmss_metadata(*o->fs, server_paths));
+      GVFS_RETURN_IF_ERROR(vm::generate_vmss_metadata(
+          *o->fs, server_paths, 8_KiB, true, meta_fp_block_size_(),
+          opt_.block_cache.dedup_seed));
     }
     return Status::ok();
   }
-  return vm::generate_vmss_metadata(image_fs(), server_paths);
+  return vm::generate_vmss_metadata(image_fs(), server_paths, 8_KiB, true,
+                                    meta_fp_block_size_(),
+                                    opt_.block_cache.dedup_seed);
 }
 
 nfs::NfsClient* Testbed::nfs_client(int node) {

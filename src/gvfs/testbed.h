@@ -27,6 +27,7 @@
 #include "proxy/caching_endpoint.h"
 #include "proxy/gvfs_proxy.h"
 #include "proxy/shard_router.h"
+#include "rpc/compress_channel.h"
 #include "rpc/fault_channel.h"
 #include "rpc/retry_channel.h"
 #include "sim/faults.h"
@@ -63,6 +64,16 @@ struct TestbedOptions {
   // bursts + one COMMIT per file via a background flusher, instead of one
   // synchronous FILE_SYNC WRITE per block.
   bool enable_async_writeback = false;
+  // Content-addressed block dedup (DESIGN.md §5.9): .vmss meta-data carries a
+  // per-block fingerprint table, proxy block caches alias identical blocks
+  // onto one resident frame, and the shared-L2 image cache holds one copy of
+  // identical compressed images. Off by default — byte-identical behaviour.
+  bool dedup_blocks = false;
+  // Modeled gzip compression of bulk RPC payloads across the WAN tunnel
+  // (rpc::CompressChannel/CompressHandler straddling the wide-area hop).
+  // Savings come from Blob::compressed_size; CPU is charged at
+  // NetProfile::gzip throughputs. Off by default.
+  bool wire_compression = false;
   cache::BlockCacheConfig block_cache;  // client proxy cache geometry (§4.1)
   u64 file_cache_bytes = 8_GiB;
   // §6 extensions: proxy read-ahead depth (0 = off) and GridFTP-style
@@ -232,6 +243,10 @@ class Testbed {
   // config and restart wiring.
   std::unique_ptr<nfs::NfsServer> make_origin_server_(vfs::MemFs& fs,
                                                       sim::DiskModel& disk);
+  // Fingerprint-table geometry for generated .vmss meta-data: the proxy
+  // fetch block when dedup_blocks is on, else 0 (version-1 meta file,
+  // byte-identical to the pre-dedup encoding).
+  [[nodiscard]] u32 meta_fp_block_size_() const;
 
   TestbedOptions opt_;
   sim::SimKernel kernel_;
@@ -249,6 +264,9 @@ class Testbed {
   std::unique_ptr<rpc::LinkChannel> server_loop_;      // server proxy -> nfsd
   std::unique_ptr<proxy::GvfsProxy> server_proxy_;
   std::unique_ptr<meta::ServerFileChannel> server_endpoint_;
+  // wire_compression: origin end of the compressed WAN hop (the client end
+  // is a per-node CompressChannel). Null when the toggle is off.
+  std::unique_ptr<rpc::CompressHandler> server_compress_;
 
   // ---- origin cluster (origin_cluster topologies; replaces server_ &c.) ----
   struct Origin;  // MemFs + disk + cpu + NfsServer + loopback + server proxy
@@ -266,7 +284,12 @@ class Testbed {
   std::unique_ptr<ssh::Scp> lan_scp_up_;  // LAN node -> origin over WAN
   std::unique_ptr<proxy::CachingFileEndpoint> lan_endpoint_;
   std::unique_ptr<cache::ProxyDiskCache> lan_block_cache_;
+  // wire_compression with a LAN tier: the WAN hop is the L2 -> origin
+  // tunnel, so the compression pair straddles it here instead of the nodes'
+  // LAN tunnels (handler before the tunnel that targets it; channel after).
+  std::unique_ptr<rpc::CompressHandler> lan_compress_handler_;
   std::unique_ptr<ssh::SshTunnel> lan_to_origin_;      // L2 proxy -> server proxy
+  std::unique_ptr<rpc::CompressChannel> lan_compress_channel_;
   std::unique_ptr<proxy::GvfsProxy> lan_proxy_;        // L2 block-cache proxy
 
   SharedNodeConfig node_cfg_;

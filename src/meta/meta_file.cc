@@ -31,7 +31,8 @@ bool MetaFile::is_meta_name(const std::string& name) {
 }
 
 MetaFile MetaFile::generate(const blob::Blob& content, u32 zero_block_size,
-                            std::vector<Action> actions) {
+                            std::vector<Action> actions, u32 fp_block_size,
+                            u64 fp_seed) {
   MetaFile m;
   m.file_size_ = content.size();
   m.actions_ = std::move(actions);
@@ -47,6 +48,17 @@ MetaFile MetaFile::generate(const blob::Blob& content, u32 zero_block_size,
       }
     }
   }
+  if (fp_block_size > 0 && m.file_size_ > 0) {
+    m.fp_block_size_ = fp_block_size;
+    m.fp_seed_ = fp_seed;
+    u64 blocks = (m.file_size_ + fp_block_size - 1) / fp_block_size;
+    m.fingerprints_.reserve(blocks);
+    for (u64 b = 0; b < blocks; ++b) {
+      u64 off = b * fp_block_size;
+      u64 len = std::min<u64>(fp_block_size, m.file_size_ - off);
+      m.fingerprints_.push_back(content.fingerprint(fp_seed, off, len));
+    }
+  }
   return m;
 }
 
@@ -59,7 +71,11 @@ bool MetaFile::block_is_zero_(u64 block) const {
 bool MetaFile::range_is_zero(u64 offset, u64 len) const {
   if (!has_zero_map() || len == 0) return false;
   if (offset >= file_size_) return true;  // reads past EOF are zero anyway
-  u64 end = std::min(offset + len, file_size_);
+  // Clamp len before the add: a "rest of file" caller passes len near
+  // UINT64_MAX, and offset + len would wrap end back below offset,
+  // misreporting nonzero tail blocks as zero.
+  len = std::min(len, file_size_ - offset);
+  u64 end = offset + len;
   u64 first = offset / zero_block_size_;
   u64 last = (end - 1) / zero_block_size_;
   for (u64 b = first; b <= last; ++b) {
@@ -89,12 +105,20 @@ bool MetaFile::wants_file_channel() const {
 blob::BlobRef MetaFile::serialize() const {
   xdr::XdrEncoder enc;
   enc.put_u32(kMagic);
-  enc.put_u32(1);  // version
+  // Version 1 carries no fingerprint table; emitting it whenever the table
+  // is absent keeps pre-dedup meta files byte-identical.
+  enc.put_u32(has_fingerprints() ? 2 : 1);
   enc.put_u64(file_size_);
   enc.put_u32(zero_block_size_);
   enc.put_opaque(bitmap_);
   enc.put_u32(static_cast<u32>(actions_.size()));
   for (Action a : actions_) enc.put_u32(static_cast<u32>(a));
+  if (has_fingerprints()) {
+    enc.put_u32(fp_block_size_);
+    enc.put_u64(fp_seed_);
+    enc.put_u32(static_cast<u32>(fingerprints_.size()));
+    for (u64 fp : fingerprints_) enc.put_u64(fp);
+  }
   return blob::make_bytes(enc.take());
 }
 
@@ -103,7 +127,10 @@ Result<MetaFile> MetaFile::parse(const blob::Blob& raw) {
   raw.read(0, buf);
   xdr::XdrDecoder dec(buf);
   if (dec.get_u32() != kMagic) return err(ErrCode::kInval, "bad meta magic");
-  if (dec.get_u32() != 1) return err(ErrCode::kInval, "bad meta version");
+  u32 version = dec.get_u32();
+  if (version != 1 && version != 2) {
+    return err(ErrCode::kInval, "bad meta version");
+  }
   MetaFile m;
   m.file_size_ = dec.get_u64();
   m.zero_block_size_ = dec.get_u32();
@@ -111,6 +138,16 @@ Result<MetaFile> MetaFile::parse(const blob::Blob& raw) {
   u32 n = dec.get_u32();
   if (n > 16) return err(ErrCode::kInval, "too many actions");
   for (u32 i = 0; i < n; ++i) m.actions_.push_back(static_cast<Action>(dec.get_u32()));
+  if (version >= 2) {
+    m.fp_block_size_ = dec.get_u32();
+    m.fp_seed_ = dec.get_u64();
+    u32 fps = dec.get_u32();
+    if (m.fp_block_size_ == 0) return err(ErrCode::kInval, "zero fp block size");
+    u64 expect = (m.file_size_ + m.fp_block_size_ - 1) / m.fp_block_size_;
+    if (fps != expect) return err(ErrCode::kInval, "fingerprint count mismatch");
+    m.fingerprints_.reserve(fps);
+    for (u32 i = 0; i < fps; ++i) m.fingerprints_.push_back(dec.get_u64());
+  }
   if (!dec.ok()) return err(ErrCode::kBadXdr, "meta file");
   return m;
 }

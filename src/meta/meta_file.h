@@ -37,9 +37,16 @@ class MetaFile {
   static std::string meta_name_for(const std::string& name);
   static bool is_meta_name(const std::string& name);
 
-  // Scan content and build a zero map at `block_size` granularity.
+  // Scan content and build a zero map at `block_size` granularity. When
+  // `fp_block_size` is nonzero, also record a per-block content fingerprint
+  // table (seeded 64-bit hash via Blob::fingerprint, so synthetic content
+  // stays O(1) per block) that dedup-aware proxies use to alias identical
+  // blocks across files. Default 0 keeps the output byte-identical to the
+  // pre-dedup format.
   static MetaFile generate(const blob::Blob& content, u32 zero_block_size,
-                           std::vector<Action> actions = {});
+                           std::vector<Action> actions = {},
+                           u32 fp_block_size = 0,
+                           u64 fp_seed = blob::kDefaultFingerprintSeed);
 
   // ---- zero map ------------------------------------------------------------
   [[nodiscard]] bool has_zero_map() const { return zero_block_size_ != 0; }
@@ -48,6 +55,16 @@ class MetaFile {
   [[nodiscard]] bool range_is_zero(u64 offset, u64 len) const;
   [[nodiscard]] u64 zero_block_count() const;
   [[nodiscard]] u64 total_blocks() const;
+
+  // ---- fingerprint table (content-addressed dedup keys) --------------------
+  [[nodiscard]] bool has_fingerprints() const { return fp_block_size_ != 0; }
+  [[nodiscard]] u32 fp_block_size() const { return fp_block_size_; }
+  [[nodiscard]] u64 fp_seed() const { return fp_seed_; }
+  [[nodiscard]] u64 fingerprint_count() const { return fingerprints_.size(); }
+  // Fingerprint of block `index` (fp_block_size granularity); 0 if absent.
+  [[nodiscard]] u64 block_fingerprint(u64 index) const {
+    return index < fingerprints_.size() ? fingerprints_[index] : 0;
+  }
 
   // ---- actions ---------------------------------------------------------------
   [[nodiscard]] const std::vector<Action>& actions() const { return actions_; }
@@ -61,7 +78,9 @@ class MetaFile {
 
   bool operator==(const MetaFile& o) const {
     return file_size_ == o.file_size_ && zero_block_size_ == o.zero_block_size_ &&
-           bitmap_ == o.bitmap_ && actions_ == o.actions_;
+           bitmap_ == o.bitmap_ && actions_ == o.actions_ &&
+           fp_block_size_ == o.fp_block_size_ && fp_seed_ == o.fp_seed_ &&
+           fingerprints_ == o.fingerprints_;
   }
 
  private:
@@ -71,6 +90,9 @@ class MetaFile {
   u32 zero_block_size_ = 0;
   std::vector<u8> bitmap_;  // 1 bit per block; set = all-zero
   std::vector<Action> actions_;
+  u32 fp_block_size_ = 0;   // 0 = no fingerprint table
+  u64 fp_seed_ = 0;
+  std::vector<u64> fingerprints_;  // one per fp_block_size block
 };
 
 }  // namespace gvfs::meta

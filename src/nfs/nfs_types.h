@@ -269,6 +269,9 @@ struct ReadRes final : rpc::Message {
   }
   void encode(xdr::XdrEncoder& enc) const override;
   static Result<ReadRes> decode(xdr::XdrDecoder& dec);
+  [[nodiscard]] const blob::Blob* bulk_payload() const override {
+    return status == NfsStat::kOk && count > 0 ? data.get() : nullptr;
+  }
 };
 
 struct WriteArgs final : rpc::Message {
@@ -283,6 +286,9 @@ struct WriteArgs final : rpc::Message {
   }
   void encode(xdr::XdrEncoder& enc) const override;
   static Result<WriteArgs> decode(xdr::XdrDecoder& dec);
+  [[nodiscard]] const blob::Blob* bulk_payload() const override {
+    return count > 0 ? data.get() : nullptr;
+  }
 };
 
 struct WriteRes final : rpc::Message {

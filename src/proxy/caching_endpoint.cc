@@ -2,9 +2,45 @@
 
 namespace gvfs::proxy {
 
+void CachingFileEndpoint::drop_image_(vfs::FileId fileid, u64 compressed_size) {
+  auto fit = fp_of_.find(fileid);
+  if (fit != fp_of_.end()) {
+    auto sit = store_.find(fit->second);
+    if (sit != store_.end() && --sit->second.refs == 0) {
+      resident_.sub(compressed_size);
+      store_.erase(sit);
+    }
+    fp_of_.erase(fit);
+    return;
+  }
+  resident_.sub(compressed_size);
+}
+
 Status CachingFileEndpoint::pull_(sim::Process& p, vfs::FileId fileid) {
   GVFS_ASSIGN_OR_RETURN(meta::CompressedImage img,
                         upstream_.fetch_compressed(p, fileid));
+  u64 fp = 0;
+  if (dedup_) {
+    // rsync-style digest exchange: the origin's compress step already priced
+    // the control round trip; an identical resident image means the bulk
+    // bytes never cross the WAN and the cache disk never sees them.
+    fp = img.content->fingerprint(dedup_seed_, 0, img.content->size());
+    auto sit = store_.find(fp);
+    if (sit != store_.end()) {
+      if (sit->second.size == img.content->size() &&
+          sit->second.compressed_size == img.compressed_size) {
+        ++sit->second.refs;
+        fp_of_[fileid] = fp;
+        dedup_aliases_.inc();
+        dedup_bytes_saved_.inc(img.compressed_size);
+        images_[fileid] = std::move(img);
+        return Status::ok();
+      }
+      // Same fingerprint, different content shape: never alias — pull a
+      // private copy and pay full freight.
+      dedup_collisions_.inc();
+    }
+  }
   // Compressed image crosses the WAN once, then lands on the LAN disk.
   scp_up_.transfer(p, img.compressed_size);
   disk_.access(p, img.compressed_size, sim::Locality::kSequential);
@@ -17,10 +53,18 @@ Status CachingFileEndpoint::pull_(sim::Process& p, vfs::FileId fileid) {
     for (auto it = images_.begin(); it != images_.end(); ++it) {
       if (it->first < victim->first) victim = it;
     }
-    resident_.sub(victim->second.compressed_size);
+    drop_image_(victim->first, victim->second.compressed_size);
     images_.erase(victim);
   }
   resident_.add(img.compressed_size);
+  if (dedup_) {
+    // The transfer above yielded; a concurrent pull of identical content may
+    // have claimed the fingerprint meanwhile. Losing that race keeps this
+    // copy private — both transfers were already in flight, so both charge.
+    auto [slot, inserted] = store_.try_emplace(
+        fp, ImageDedupEntry{img.content->size(), img.compressed_size, 1});
+    if (inserted) fp_of_[fileid] = fp;
+  }
   images_[fileid] = std::move(img);
   return Status::ok();
 }
@@ -80,8 +124,10 @@ Status CachingFileEndpoint::store_compressed(sim::Process& p, vfs::FileId fileid
   img.compressed_size = compressed_size;
   auto it = images_.find(fileid);
   if (it != images_.end()) {
-    resident_.sub(it->second.compressed_size);
+    drop_image_(fileid, it->second.compressed_size);
   }
+  // Write-back content is freshly dirtied: keep it private (the block-cache
+  // CoW policy — dirty data never enters the dedup store).
   resident_.add(compressed_size);
   images_[fileid] = img;
   return upstream_.store_compressed(p, fileid, std::move(content), compressed_size);

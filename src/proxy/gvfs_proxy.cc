@@ -215,6 +215,35 @@ Result<blob::BlobRef> GvfsProxy::get_block_(sim::Process& p, const Fh& fh, u64 b
   }
   if (tracer_) tracer_->annotate(&p, cfg_.name, "block_cache_miss", p.now());
 
+  if (cfg_.dedup_blocks && cfg_.enable_meta && !dedup_written_.contains(fh.key())) {
+    // Content-addressed probe: if this file's meta-data carries a
+    // fingerprint table at our fetch granularity, identical bytes already
+    // resident under any other file/block are aliased locally instead of
+    // fetched upstream (the dedup generalization of zero-block filtering).
+    // Files this session has written are excluded: the installed-image
+    // table can no longer vouch for the server's current bytes.
+    auto mit = metas_.find(fh.key());
+    if (mit != metas_.end() && mit->second.has_fingerprints() &&
+        mit->second.fp_block_size() == cfg_.fetch_block &&
+        mit->second.fp_seed() == block_cache_->config().dedup_seed) {
+      const meta::MetaFile& m = mit->second;
+      u64 off = block * cfg_.fetch_block;
+      if (off < m.file_size()) {
+        u64 len = std::min<u64>(cfg_.fetch_block, m.file_size() - off);
+        if (auto shared =
+                block_cache_->lookup_fingerprint(m.block_fingerprint(block), len)) {
+          dedup_filtered_.inc();
+          if (tracer_) tracer_->annotate(&p, cfg_.name, "dedup_alias", p.now());
+          // Install the alias (the insert re-fingerprints the shared payload
+          // and lands on the same store entry, charging nothing new).
+          GVFS_RETURN_IF_ERROR(
+              block_cache_->insert(p, id, *shared, /*dirty=*/false));
+          return *shared;
+        }
+      }
+    }
+  }
+
   if (!cfg_.single_flight) return fetch_block_upstream_(p, fh, block, cred);
 
   std::pair<u64, u64> key{fh.key(), block};
@@ -1088,6 +1117,10 @@ rpc::RpcReply GvfsProxy::handle_write_(sim::Process& p, const rpc::RpcCall& call
   const rpc::Credential& cred = session_cred_;
   key_to_fh_[a.fh.key()] = a.fh;
   u64 key = a.fh.key();
+  // The fingerprint table describes the image as installed; once this
+  // session writes the file, the table can no longer prove that a resident
+  // twin equals the server's current bytes, so the dedup probe stands down.
+  if (cfg_.dedup_blocks) dedup_written_.insert(key);
 
   // Writes to a file served by the file channel update the whole-file cache
   // (write-back uploads it later as compress+SCP).
@@ -1266,6 +1299,7 @@ rpc::RpcReply GvfsProxy::handle_setattr_(sim::Process& p, const rpc::RpcCall& ca
   if (a.sattr.sa.set_size) {
     // Truncation: staged data past the new EOF must not survive, and the
     // file's read-ahead window no longer describes cached blocks.
+    if (cfg_.dedup_blocks) dedup_written_.insert(key);  // fp table now stale
     if (block_cache_ != nullptr) block_cache_->invalidate_file(key);
     if (file_cache_ != nullptr) file_cache_->invalidate(key);
     size_override_.erase(key);

@@ -75,6 +75,20 @@ struct ProxyConfig {
   // duplicate READs. Only matters when several downstream clients mount
   // through one shared cache proxy; off by default.
   bool single_flight = false;
+
+  // Content-addressed block dedup: when a meta-data file carries a
+  // per-block fingerprint table at this proxy's fetch granularity, a cache
+  // miss first probes the block cache's dedup store — identical bytes
+  // already resident under any other file/block are aliased locally (one
+  // shared resident copy, copy-on-write on dirty) instead of fetched
+  // upstream. Requires the attached cache's dedup_blocks too. Off by
+  // default — the miss path stays byte-identical to the pre-dedup proxy.
+  bool dedup_blocks = false;
+  // Modeled wire compression on the upstream channel stack (the Testbed
+  // wraps the tunnel in a rpc::CompressChannel/CompressHandler pair when
+  // set): bulk READ/WRITE payloads cross the WAN at Blob::compressed_size
+  // with GzipModel CPU charged at both ends. Off by default.
+  bool wire_compression = false;
 };
 
 class GvfsProxy final : public rpc::RpcHandler {
@@ -123,6 +137,9 @@ class GvfsProxy final : public rpc::RpcHandler {
   [[nodiscard]] u64 writes_absorbed() const { return writes_absorbed_.value(); }
   [[nodiscard]] u64 meta_files_loaded() const { return metas_.size(); }
   [[nodiscard]] u64 blocks_prefetched() const { return blocks_prefetched_.value(); }
+  // Cache misses served by aliasing identical resident bytes (no upstream
+  // fetch); see ProxyConfig::dedup_blocks.
+  [[nodiscard]] u64 dedup_filtered_reads() const { return dedup_filtered_.value(); }
 
   // ---- degraded-mode / recovery metrics ------------------------------------
   [[nodiscard]] bool upstream_down() const { return upstream_down_; }
@@ -173,6 +190,9 @@ class GvfsProxy final : public rpc::RpcHandler {
     r.register_counter(prefix + "flush_queue_reads", &flush_queue_reads_);
     r.register_counter(prefix + "single_flight_leads", &single_flight_leads_);
     r.register_counter(prefix + "single_flight_waits", &single_flight_waits_);
+    if (cfg_.dedup_blocks) {
+      r.register_counter(prefix + "dedup_filtered_reads", &dedup_filtered_);
+    }
   }
 
   // Annotate cache-hit / forward / degraded outcomes onto the caller's open
@@ -308,6 +328,7 @@ class GvfsProxy final : public rpc::RpcHandler {
   std::unordered_map<u64, ParentLink> parents_;             // fh.key() -> (dir, name)
   std::unordered_map<u64, meta::MetaFile> metas_;           // fh.key()
   std::unordered_set<u64> meta_negative_;                   // probed, none found
+  std::unordered_set<u64> dedup_written_;  // fh keys whose fp table went stale
   std::unordered_map<u64, nfs::Fh> key_to_fh_;
   std::unordered_set<u64> commit_pending_;  // fh keys with absorbed writes
   rpc::Credential session_cred_;  // per-session identity used upstream
@@ -391,6 +412,7 @@ class GvfsProxy final : public rpc::RpcHandler {
   u32 next_xid_ = 0x70000000;
   metrics::Counter calls_received_;
   metrics::Counter blocks_prefetched_;
+  metrics::Counter dedup_filtered_;
   metrics::Counter calls_forwarded_;
   metrics::Counter block_hits_;
   metrics::Counter file_hits_;

@@ -19,6 +19,10 @@
 #include "sim/resources.h"
 #include "xdr/xdr.h"
 
+namespace gvfs::blob {
+class Blob;
+}
+
 namespace gvfs::rpc {
 
 // Fixed protocol numbers (mirroring the real registry where it matters).
@@ -59,6 +63,12 @@ class Message {
   virtual ~Message() = default;
   [[nodiscard]] virtual u64 wire_size() const = 0;
   virtual void encode(xdr::XdrEncoder& enc) const = 0;
+
+  // The bulk data payload this message carries (READ results, WRITE args),
+  // or nullptr for control messages. The modeled wire-compression stage
+  // (rpc::CompressChannel) derives its byte savings and CPU cost from this
+  // without knowing concrete NFS message types.
+  [[nodiscard]] virtual const blob::Blob* bulk_payload() const { return nullptr; }
 };
 
 using MessagePtr = std::shared_ptr<const Message>;

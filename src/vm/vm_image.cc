@@ -52,11 +52,13 @@ Result<VmImagePaths> install_image(vfs::Vfs& fs, const std::string& dir,
 }
 
 Status generate_vmss_metadata(vfs::Vfs& fs, const VmImagePaths& paths,
-                              u32 zero_block_size, bool with_file_channel) {
+                              u32 zero_block_size, bool with_file_channel,
+                              u32 fp_block_size, u64 fp_seed) {
   GVFS_ASSIGN_OR_RETURN(blob::BlobRef vmss, fs.get_file(paths.vmss()));
   meta::MetaFile m = meta::MetaFile::generate(
       *vmss, zero_block_size,
-      with_file_channel ? meta::file_channel_actions() : std::vector<meta::Action>{});
+      with_file_channel ? meta::file_channel_actions() : std::vector<meta::Action>{},
+      fp_block_size, fp_seed);
   GVFS_RETURN_IF_ERROR(
       fs.put_file(meta::MetaFile::meta_path_for(paths.vmss()), m.serialize()).status());
   return Status::ok();

@@ -51,9 +51,14 @@ blob::BlobRef disk_blob(const VmImageSpec& spec);
 
 // Middleware pre-processing (§3.2.2): scan the .vmss and drop a meta-data
 // file with a zero map at `zero_block_size` plus the file-channel action
-// list next to it.
+// list next to it. `fp_block_size` > 0 additionally embeds a per-block
+// content-fingerprint table (seeded with `fp_seed`) for the proxy's
+// content-addressed dedup; 0 keeps the meta file byte-identical to the
+// pre-dedup (version-1) encoding.
 Status generate_vmss_metadata(vfs::Vfs& fs, const VmImagePaths& paths,
                               u32 zero_block_size = 8_KiB,
-                              bool with_file_channel = true);
+                              bool with_file_channel = true,
+                              u32 fp_block_size = 0,
+                              u64 fp_seed = blob::kDefaultFingerprintSeed);
 
 }  // namespace gvfs::vm

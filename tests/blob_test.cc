@@ -258,5 +258,92 @@ TEST(BlobTeardown, DeepSliceChainDestructsIteratively) {
   chain.reset();  // must unwind on a worklist, not the call stack
 }
 
+// Reference FNV-1a over a byte range, seeded the fingerprint way.
+u64 byte_exact_fp(std::span<const u8> bytes, u64 seed) {
+  return fnv1a64(bytes, fingerprint_init(seed));
+}
+
+TEST(Fingerprint, EqualBytesEqualFingerprintAcrossSeeds) {
+  std::vector<u8> bytes(4096);
+  std::iota(bytes.begin(), bytes.end(), u8{1});
+  BytesBlob a(bytes);
+  BytesBlob b(bytes);
+  u64 fa = a.fingerprint(kDefaultFingerprintSeed, 0, bytes.size());
+  EXPECT_EQ(fa, b.fingerprint(kDefaultFingerprintSeed, 0, bytes.size()));
+  EXPECT_EQ(fa, byte_exact_fp(bytes, kDefaultFingerprintSeed));
+  // A different seed keys a different hash family.
+  EXPECT_NE(fa, a.fingerprint(kDefaultFingerprintSeed + 1, 0, bytes.size()));
+  // Different bytes, different fingerprint.
+  bytes[100] ^= 0xff;
+  EXPECT_NE(fa, BytesBlob(bytes).fingerprint(kDefaultFingerprintSeed, 0, bytes.size()));
+}
+
+TEST(Fingerprint, ZeroRunMatchesByteExactZeros) {
+  // ZeroBlob's O(log n) fast-forward must land on the same state as hashing
+  // the zeros byte by byte — otherwise zero blocks from different blob
+  // representations never dedup against each other.
+  for (u64 len : {u64{1}, u64{7}, u64{4096}, u64{8192}, u64{100000}}) {
+    std::vector<u8> zeros(len, 0);
+    u64 expect = byte_exact_fp(zeros, kDefaultFingerprintSeed);
+    EXPECT_EQ(ZeroBlob(len).fingerprint(kDefaultFingerprintSeed, 0, len), expect)
+        << "len " << len;
+    // The chunked default implementation agrees too.
+    EXPECT_EQ(BytesBlob(zeros).fingerprint(kDefaultFingerprintSeed, 0, len), expect)
+        << "len " << len;
+  }
+  EXPECT_EQ(ZeroBlob(16).fingerprint(7, 0, 0), fingerprint_init(7));
+}
+
+TEST(Fingerprint, SyntheticAllZeroRangeMatchesZeroBlob) {
+  auto s = make_synthetic(9, 256_KiB, 1.0, 2.0);  // every page zero
+  EXPECT_EQ(s->fingerprint(kDefaultFingerprintSeed, 0, 8_KiB),
+            ZeroBlob(8_KiB).fingerprint(kDefaultFingerprintSeed, 0, 8_KiB));
+}
+
+TEST(Fingerprint, SyntheticStructuralDigestIsStableAndContentKeyed) {
+  auto a = make_synthetic(9, 256_KiB, 0.3, 2.0);
+  auto b = make_synthetic(9, 256_KiB, 0.3, 2.0);
+  auto c = make_synthetic(10, 256_KiB, 0.3, 2.0);
+  u64 fa = a->fingerprint(kDefaultFingerprintSeed, 32_KiB, 32_KiB);
+  EXPECT_EQ(fa, b->fingerprint(kDefaultFingerprintSeed, 32_KiB, 32_KiB));
+  EXPECT_NE(fa, c->fingerprint(kDefaultFingerprintSeed, 32_KiB, 32_KiB));
+  EXPECT_NE(fa, a->fingerprint(kDefaultFingerprintSeed, 64_KiB, 32_KiB));
+}
+
+TEST(Fingerprint, SliceDelegatesWithOffset) {
+  std::vector<u8> bytes(16_KiB);
+  std::iota(bytes.begin(), bytes.end(), u8{0});
+  BlobRef base = make_bytes(bytes);
+  SliceBlob slice(base, 4_KiB, 8_KiB);
+  EXPECT_EQ(slice.fingerprint(kDefaultFingerprintSeed, 1_KiB, 2_KiB),
+            base->fingerprint(kDefaultFingerprintSeed, 5_KiB, 2_KiB));
+}
+
+TEST(CompressedSize, NeverExceedsRangeLength) {
+  // Regression: ZeroBlob's len/1000 + 16 model exceeded len for short
+  // ranges, making the "compressed" wire size bigger than the raw bytes.
+  ZeroBlob z(64_KiB);
+  for (u64 len : {u64{0}, u64{1}, u64{8}, u64{15}, u64{16}, u64{17}, u64{4096}}) {
+    EXPECT_LE(z.compressed_size(0, len), len) << "len " << len;
+  }
+  EXPECT_EQ(z.compressed_size(0, 0), 0u);
+
+  auto s = make_synthetic(11, 1_MiB, 0.9, 3.0);
+  for (u64 len : {u64{1}, u64{16}, u64{100}, u64{4096}, u64{64_KiB}}) {
+    EXPECT_LE(s->compressed_size(0, len), len) << "len " << len;
+    EXPECT_LE(s->compressed_size(512_KiB, len), len) << "len " << len;
+  }
+
+  SliceBlob slice(make_zero(1_MiB), 8, 1024);
+  EXPECT_LE(slice.compressed_size(0, 8), 8u);
+
+  ExtentStore es;
+  es.write_blob(0, make_zero(4_KiB), 0, 4_KiB);
+  auto snap = es.snapshot();
+  for (u64 len : {u64{1}, u64{8}, u64{64}}) {
+    EXPECT_LE(snap->compressed_size(0, len), len) << "len " << len;
+  }
+}
+
 }  // namespace
 }  // namespace gvfs::blob

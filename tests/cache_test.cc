@@ -237,6 +237,169 @@ TEST(BlockCache, ResidentBytesTracksPayload) {
   });
 }
 
+// ------------------------------------------------------ content dedup store --
+
+BlockCacheConfig dedup_cfg(CacheFixture& f, u32 key_bits = 64) {
+  BlockCacheConfig cfg = f.small_cfg();
+  cfg.dedup_blocks = true;
+  cfg.dedup_key_bits = key_bits;
+  return cfg;
+}
+
+TEST(BlockCacheDedup, AliasChargesResidentOnce) {
+  CacheFixture f;
+  ProxyDiskCache c(f.disk, dedup_cfg(f));
+  f.run([&](sim::Process& p) {
+    ASSERT_OK(c.insert(p, BlockId{1, 0}, block_data(7), false));
+    ASSERT_OK(c.insert(p, BlockId{2, 5}, block_data(7), false));  // identical bytes
+    EXPECT_EQ(c.resident_blocks(), 2u);          // two addressable frames...
+    EXPECT_EQ(c.resident_bytes(), 32_KiB);       // ...one resident payload
+    EXPECT_EQ(c.dedup_entries(), 1u);
+    EXPECT_EQ(c.dedup_aliases(), 1u);
+    EXPECT_EQ(c.dedup_bytes_saved(), 32_KiB);
+    // Both frames still serve the right bytes.
+    for (BlockId id : {BlockId{1, 0}, BlockId{2, 5}}) {
+      auto hit = c.lookup(p, id);
+      ASSERT_TRUE(hit.has_value());
+      std::vector<u8> buf(1);
+      (*hit)->read(0, buf);
+      EXPECT_EQ(buf[0], 7);
+    }
+  });
+}
+
+TEST(BlockCacheDedup, LookupFingerprintFindsResidentBlock) {
+  CacheFixture f;
+  BlockCacheConfig cfg = dedup_cfg(f);
+  ProxyDiskCache c(f.disk, cfg);
+  f.run([&](sim::Process& p) {
+    auto data = block_data(9);
+    u64 fp = data->fingerprint(cfg.dedup_seed, 0, data->size());
+    EXPECT_FALSE(c.lookup_fingerprint(fp, data->size()).has_value());
+    ASSERT_OK(c.insert(p, BlockId{3, 1}, data, false));
+    auto hit = c.lookup_fingerprint(fp, data->size());
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(c.dedup_hits(), 1u);
+    std::vector<u8> buf(1);
+    (*hit)->read(0, buf);
+    EXPECT_EQ(buf[0], 9);
+    // Size is part of the identity check: same fp, wrong size misses.
+    EXPECT_FALSE(c.lookup_fingerprint(fp, 16_KiB).has_value());
+  });
+}
+
+TEST(BlockCacheDedup, CowSplitRechargesAndLeavesAliasIntact) {
+  CacheFixture f;
+  ProxyDiskCache c(f.disk, dedup_cfg(f));
+  f.run([&](sim::Process& p) {
+    ASSERT_OK(c.insert(p, BlockId{1, 0}, block_data(7), false));
+    ASSERT_OK(c.insert(p, BlockId{2, 0}, block_data(7), false));
+    ASSERT_EQ(c.resident_bytes(), 32_KiB);
+    // Writing into one alias splits it off the shared payload.
+    auto merged = c.merge(p, BlockId{2, 0}, 0, blob::make_bytes(std::vector<u8>(8, 0xee)));
+    ASSERT_TRUE(merged.is_ok());
+    EXPECT_EQ(c.resident_bytes(), 2 * 32_KiB);  // private copy re-charged
+    std::vector<u8> buf(1);
+    (*merged)->read(0, buf);
+    EXPECT_EQ(buf[0], 0xee);
+    // The other alias still reads the original bytes.
+    auto orig = c.lookup(p, BlockId{1, 0});
+    ASSERT_TRUE(orig.has_value());
+    (*orig)->read(0, buf);
+    EXPECT_EQ(buf[0], 7);
+  });
+}
+
+TEST(BlockCacheDedup, DirtyInsertStaysPrivate) {
+  CacheFixture f;
+  BlockCacheConfig cfg = dedup_cfg(f);
+  ProxyDiskCache c(f.disk, cfg);
+  f.run([&](sim::Process& p) {
+    auto data = block_data(4);
+    ASSERT_OK(c.insert(p, BlockId{1, 0}, data, /*dirty=*/true));
+    // Dirty bytes never enter the store: no entry, no fingerprint hit.
+    EXPECT_EQ(c.dedup_entries(), 0u);
+    u64 fp = data->fingerprint(cfg.dedup_seed, 0, data->size());
+    EXPECT_FALSE(c.lookup_fingerprint(fp, data->size()).has_value());
+    // A second identical dirty insert charges its own bytes.
+    ASSERT_OK(c.insert(p, BlockId{2, 0}, block_data(4), /*dirty=*/true));
+    EXPECT_EQ(c.resident_bytes(), 2 * 32_KiB);
+    EXPECT_EQ(c.dedup_aliases(), 0u);
+  });
+}
+
+TEST(BlockCacheDedup, NarrowKeyBitsForcesCollisionNotAliasing) {
+  CacheFixture f;
+  // One key bit: every fingerprint maps to one of two store slots, so
+  // distinct contents collide. Collisions must be counted and must never
+  // alias frames to the wrong bytes.
+  ProxyDiskCache c(f.disk, dedup_cfg(f, /*key_bits=*/1));
+  f.run([&](sim::Process& p) {
+    for (u8 fill = 1; fill <= 8; ++fill) {
+      ASSERT_OK(c.insert(p, BlockId{1, fill}, block_data(fill), false));
+    }
+    EXPECT_GE(c.dedup_collisions(), 6u);  // 8 keys into 2 slots
+    EXPECT_EQ(c.dedup_aliases(), 0u);
+    EXPECT_LE(c.dedup_entries(), 2u);
+    for (u8 fill = 1; fill <= 8; ++fill) {
+      auto hit = c.lookup(p, BlockId{1, fill});
+      ASSERT_TRUE(hit.has_value());
+      std::vector<u8> buf(1);
+      (*hit)->read(0, buf);
+      EXPECT_EQ(buf[0], fill);
+    }
+  });
+}
+
+TEST(BlockCacheDedup, InvalidateAllClearsStore) {
+  CacheFixture f;
+  ProxyDiskCache c(f.disk, dedup_cfg(f));
+  f.run([&](sim::Process& p) {
+    ASSERT_OK(c.insert(p, BlockId{1, 0}, block_data(7), false));
+    ASSERT_OK(c.insert(p, BlockId{2, 0}, block_data(7), false));
+    c.invalidate_all();
+    EXPECT_EQ(c.dedup_entries(), 0u);
+    EXPECT_EQ(c.resident_bytes(), 0u);
+    // Cache works normally afterwards.
+    ASSERT_OK(c.insert(p, BlockId{1, 0}, block_data(8), false));
+    EXPECT_EQ(c.resident_bytes(), 32_KiB);
+    EXPECT_EQ(c.dedup_entries(), 1u);
+  });
+}
+
+TEST(BlockCacheDedup, InvalidateFileReleasesAliasKeepsPayload) {
+  CacheFixture f;
+  ProxyDiskCache c(f.disk, dedup_cfg(f));
+  f.run([&](sim::Process& p) {
+    ASSERT_OK(c.insert(p, BlockId{1, 0}, block_data(7), false));
+    ASSERT_OK(c.insert(p, BlockId{2, 0}, block_data(7), false));
+    c.invalidate_file(2);
+    // File 1 still holds a ref, so the payload stays charged and findable.
+    EXPECT_EQ(c.resident_bytes(), 32_KiB);
+    EXPECT_EQ(c.dedup_entries(), 1u);
+    EXPECT_TRUE(c.contains(BlockId{1, 0}));
+    c.invalidate_file(1);
+    EXPECT_EQ(c.resident_bytes(), 0u);
+    EXPECT_EQ(c.dedup_entries(), 0u);
+  });
+}
+
+TEST(BlockCacheDedup, OffByDefaultIsInert) {
+  CacheFixture f;
+  BlockCacheConfig cfg = f.small_cfg();  // dedup_blocks defaults to false
+  ProxyDiskCache c(f.disk, cfg);
+  f.run([&](sim::Process& p) {
+    auto data = block_data(7);
+    ASSERT_OK(c.insert(p, BlockId{1, 0}, data, false));
+    ASSERT_OK(c.insert(p, BlockId{2, 0}, block_data(7), false));
+    EXPECT_EQ(c.resident_bytes(), 2 * 32_KiB);  // both charged: no aliasing
+    EXPECT_EQ(c.dedup_entries(), 0u);
+    EXPECT_EQ(c.dedup_aliases(), 0u);
+    u64 fp = data->fingerprint(cfg.dedup_seed, 0, data->size());
+    EXPECT_FALSE(c.lookup_fingerprint(fp, data->size()).has_value());
+  });
+}
+
 // Parameterized geometry sweep: for any (associativity, banks) geometry, a
 // working set within capacity never thrashes, and data integrity holds under
 // a random access pattern.

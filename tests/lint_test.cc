@@ -236,6 +236,33 @@ TEST(LintClusterFactory, OutsideTopologyCodeIsOutOfScope) {
   EXPECT_TRUE(lint_content("bench/x.cc", snippet).empty());
 }
 
+TEST(LintFrameData, DirectPayloadAssignmentFires) {
+  auto f = lint_content("src/cache/block_cache.cc",
+                        "void f(Frame& fr, Frame* pf) {\n"
+                        "  fr.data = make_bytes(v);\n"
+                        "  pf->data = nullptr;\n"
+                        "  fr.data.reset();\n"
+                        "}\n");
+  EXPECT_EQ(count_rule(f, "frame-data-mutation"), 3) << dump(f);
+}
+
+TEST(LintFrameData, ReadsAndHelperSitesAreClean) {
+  auto f = lint_content(
+      "src/cache/block_cache.cc",
+      "u64 g(const Frame& fr) { return fr.data ? fr.data->size() : 0; }\n"
+      "// gvfs-lint: allow(frame-data-mutation) sanctioned assign inside the helper\n"
+      "void h(Frame& fr, BlobRef d) { fr.data = std::move(d); }\n"
+      "bool eq(u64 a, u64 b) { return a == b; }\n");
+  EXPECT_TRUE(f.empty()) << dump(f);
+}
+
+TEST(LintFrameData, OutsideBlockCacheIsOutOfScope) {
+  const char* snippet = "void f(Res& r) { r.data = blob::zero_ref(0); }\n";
+  EXPECT_TRUE(lint_content("src/proxy/gvfs_proxy.cc", snippet).empty());
+  EXPECT_TRUE(lint_content("src/nfs/x.cc", snippet).empty());
+  EXPECT_TRUE(lint_content("tests/x.cc", snippet).empty());
+}
+
 TEST(LintHeaderGuard, MissingPragmaOnceFires) {
   auto f = lint_content("src/common/x.h", "int f();\n");
   EXPECT_EQ(count_rule(f, "header-guard"), 1) << dump(f);
@@ -616,6 +643,8 @@ TEST(LintRules, EveryRuleHasAFixtureThatFires) {
   collect(lint_content("src/x.h", "#pragma once\nstruct S { u64 hits_ = 0; };\n"));
   collect(lint_content("src/gvfs/x.cc",
                        "auto s = std::make_unique<nfs::NfsServer>(cfg);\n"));
+  collect(lint_content("src/cache/block_cache.cc",
+                       "void f(Frame& fr) { fr.data = nullptr; }\n"));
   // The three yield rules need a call-graph model; one snippet fires all of
   // them (stale handle, member index loop, and a held permit, each across
   // the same yield).

@@ -3,6 +3,8 @@
 // and the compress/SCP/uncompress file channel in both directions.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "cache/file_cache.h"
 #include "meta/file_channel.h"
 #include "meta/meta_file.h"
@@ -46,6 +48,45 @@ TEST(MetaFile, RangePastEofIsZero) {
 TEST(MetaFile, EmptyRangeNotZero) {
   auto m = MetaFile::generate(*blob::make_zero(16_KiB), 8_KiB);
   EXPECT_FALSE(m.range_is_zero(0, 0));
+}
+
+TEST(MetaFile, RangeIsZeroHugeLenDoesNotWrap) {
+  // Regression: `offset + len` used to wrap for lens near UINT64_MAX, making
+  // `end` tiny so a range covering nonzero blocks reported itself as zero.
+  std::vector<u8> data(64_KiB, 0);
+  for (u64 i = 32_KiB; i < 64_KiB; ++i) data[i] = 1;
+  auto m = MetaFile::generate(*blob::make_bytes(std::move(data)), 8_KiB);
+  const u64 huge = std::numeric_limits<u64>::max() - 4_KiB;
+  // Must clamp to EOF, i.e. agree with the explicit to-EOF query.
+  EXPECT_FALSE(m.range_is_zero(0, huge));
+  EXPECT_EQ(m.range_is_zero(8_KiB, huge), m.range_is_zero(8_KiB, 64_KiB - 8_KiB));
+  EXPECT_FALSE(m.range_is_zero(40_KiB, std::numeric_limits<u64>::max()));
+  // All-zero prefix region clamped past EOF stays consistent too.
+  auto z = MetaFile::generate(*blob::make_zero(16_KiB), 8_KiB);
+  EXPECT_TRUE(z.range_is_zero(8_KiB, std::numeric_limits<u64>::max()));
+}
+
+TEST(MetaFile, FingerprintTableRoundTrip) {
+  auto content = blob::make_synthetic(9, 1_MiB, 0.5, 3.0);
+  auto m = MetaFile::generate(*content, 8_KiB, {}, 32_KiB, /*fp_seed=*/77);
+  ASSERT_TRUE(m.has_fingerprints());
+  EXPECT_EQ(m.fp_block_size(), 32_KiB);
+  EXPECT_EQ(m.fp_seed(), 77u);
+  EXPECT_EQ(m.fingerprint_count(), 1_MiB / 32_KiB);
+  // Table entries are the seeded per-block fingerprints of the content.
+  EXPECT_EQ(m.block_fingerprint(0), content->fingerprint(77, 0, 32_KiB));
+  EXPECT_EQ(m.block_fingerprint(3), content->fingerprint(77, 3 * 32_KiB, 32_KiB));
+  EXPECT_EQ(m.block_fingerprint(m.fingerprint_count()), 0u);  // out of range
+  auto back = MetaFile::parse(*m.serialize());
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(*back, m);
+  EXPECT_EQ(back->block_fingerprint(3), m.block_fingerprint(3));
+  // Without a table the codec stays at version 1 and parses identically.
+  auto v1 = MetaFile::generate(*content, 8_KiB);
+  auto v1back = MetaFile::parse(*v1.serialize());
+  ASSERT_TRUE(v1back.is_ok());
+  EXPECT_FALSE(v1back->has_fingerprints());
+  EXPECT_EQ(*v1back, v1);
 }
 
 TEST(MetaFile, SerializeParseRoundTrip) {

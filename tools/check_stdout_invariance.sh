@@ -28,7 +28,7 @@ build_dir="${1:-$repo_root/build}"
 golden="$repo_root/tools/golden_stdout.sha256"
 
 benches=(ablate_cache ablate_cascade ablate_meta ablate_prefetch
-         ablate_writeback boot_storm fault_recovery fig3_specseis
+         ablate_writeback boot_storm dedup fault_recovery fig3_specseis
          fig4_latex fig5_kernel fig6_cloning origin_cluster
          shared_writeback table1_parallel zerofilter)
 

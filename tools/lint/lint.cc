@@ -282,6 +282,31 @@ bool cluster_factory_scoped(const std::string& path) {
   return starts_with(path, "src/gvfs/");
 }
 
+// The block cache's frame payloads participate in the content-dedup store:
+// each assignment must route through set_frame_data_()/release_frame_data_()
+// so the store refcount, the frame's shared flag, and the resident_bytes
+// gauge move together. A direct `.data =` (or `.reset()`) silently corrupts
+// dedup accounting and skips the copy-on-write split. The helpers' own
+// assignment sites carry `// gvfs-lint: allow(frame-data-mutation)`.
+const std::vector<TokenRule>& frame_data_rules() {
+  static const std::vector<TokenRule> kRules = [] {
+    std::vector<TokenRule> v;
+    v.push_back(
+        {"frame-data-mutation",
+         std::regex(R"([\w\])]\s*(\.|->)\s*data\s*(=[^=]|\.\s*reset\s*\())"),
+         "direct frame-payload mutation bypasses the CoW split helper "
+         "(set_frame_data_/release_frame_data_); dedup refcounts and "
+         "resident_bytes drift",
+         {"data"}});
+    return v;
+  }();
+  return kRules;
+}
+
+bool frame_data_scoped(const std::string& path) {
+  return starts_with(path, "src/cache/block_cache");
+}
+
 const std::vector<TokenRule>& print_rules() {
   static const std::vector<TokenRule> kRules = [] {
     std::vector<TokenRule> v;
@@ -419,8 +444,8 @@ const std::vector<std::string>& all_rules() {
   static const std::vector<std::string> kRules = {
       "determinism-rng",  "determinism-clock",  "unordered-iteration",
       "stdout-print",     "raw-counter",        "header-guard",
-      "cmake-registration", "cluster-factory",  "yield-stale-ref",
-      "yield-index-loop", "yield-held-lock"};
+      "cmake-registration", "cluster-factory",  "frame-data-mutation",
+      "yield-stale-ref",  "yield-index-loop",   "yield-held-lock"};
   return kRules;
 }
 
@@ -449,6 +474,9 @@ std::vector<Finding> lint_content(const std::string& path,
   }
   if (cluster_factory_scoped(path)) {
     apply_token_rules(cluster_factory_rules(), code, sup, path, &out);
+  }
+  if (frame_data_scoped(path)) {
+    apply_token_rules(frame_data_rules(), code, sup, path, &out);
   }
   if (unordered_scoped(path)) {
     std::set<std::string> decls = unordered_decl_names(code);

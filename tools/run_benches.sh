@@ -29,6 +29,7 @@ benches=(
   bench_shared_writeback
   bench_boot_storm
   bench_origin_cluster
+  bench_dedup
   bench_micro
 )
 
