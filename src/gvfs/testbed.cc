@@ -42,6 +42,15 @@ struct Testbed::Node {
   std::vector<std::unique_ptr<rpc::CompressChannel>> origin_compress;
   std::unique_ptr<proxy::ShardRouter> router;
   std::unique_ptr<proxy::GvfsProxy> client_proxy;
+  // Lease-recall callback stacks (enable_leases): the rpc::Channel decorator
+  // chain in reverse — an SshTunnel whose handler is this node's proxy with
+  // the link pair swapped (recalls travel the server->client direction), the
+  // same FaultyChannel/RetryChannel semantics as the forward path. One stack
+  // for the single origin, one per origin in cluster mode. Declared after
+  // client_proxy: destroyed first, so they never outlive their handler.
+  std::vector<std::unique_ptr<ssh::SshTunnel>> cb_tunnels;
+  std::vector<std::unique_ptr<rpc::FaultyChannel>> cb_faulty;
+  std::vector<std::unique_ptr<rpc::RetryChannel>> cb_retry;
   std::unique_ptr<rpc::LinkChannel> loopback;
   std::unique_ptr<rpc::LinkChannel> direct;
   std::unique_ptr<nfs::NfsClient> client;
@@ -131,6 +140,9 @@ Testbed::Testbed(TestbedOptions opt) : opt_(std::move(opt)) {
       server_->drop_caches();
       server_->clear_drc();
       server_->roll_write_verifier();
+      // Leases are volatile too: a rebooted server has no memory of its
+      // grants, and holders must re-acquire (the proxy fencing path).
+      server_->clear_leases();
     });
   }
   if (faults_ && !origins_.empty()) {
@@ -141,6 +153,7 @@ Testbed::Testbed(TestbedOptions opt) : opt_(std::move(opt)) {
         srv->drop_caches();
         srv->clear_drc();
         srv->roll_write_verifier();
+        srv->clear_leases();
       });
     }
   }
@@ -158,6 +171,15 @@ std::unique_ptr<nfs::NfsServer> Testbed::make_origin_server_(vfs::MemFs& fs,
   nfs::NfsServerConfig scfg;
   scfg.max_io = nfs::kMaxBlockSize;
   scfg.drc_survives = opt_.drc_survives;
+  // Scale the duplicate-request cache with the client population: a fixed
+  // 256-entry FIFO can evict an entry before a boot-storm-scale burst's
+  // delayed retransmission arrives, silently re-executing a non-idempotent
+  // op. Sizing is untimed (map capacity only), so faultless runs are
+  // byte-identical regardless.
+  scfg.drc_entries =
+      std::max<u32>(scfg.drc_entries, 32u * static_cast<u32>(opt_.compute_nodes));
+  scfg.enable_leases = opt_.enable_leases;
+  scfg.lease_duration = opt_.lease_duration;
   // gvfs-lint: allow(cluster-factory) the sanctioned origin construction site
   return std::make_unique<nfs::NfsServer>(kernel_, fs, disk, scfg);
 }
@@ -335,6 +357,7 @@ void Testbed::resolve_shared_node_config_() {
   if (node_cfg_.cached) node_cfg_.proxy.prefetch_depth = opt_.prefetch_depth;
   node_cfg_.proxy.degraded_mode = opt_.degraded_proxy;
   node_cfg_.proxy.async_writeback = opt_.enable_async_writeback;
+  node_cfg_.proxy.enable_leases = opt_.enable_leases;
   node_cfg_.proxy.dedup_blocks = node_cfg_.cached && opt_.dedup_blocks;
   node_cfg_.proxy.wire_compression = opt_.wire_compression;
 
@@ -479,10 +502,43 @@ std::unique_ptr<Testbed::Node> Testbed::build_node_(int index) {
 
   proxy::ProxyConfig pcfg = node_cfg_.proxy;
   pcfg.name = tag + "-proxy";
+  if (opt_.enable_leases) pcfg.lease_client_id = static_cast<u64>(index) + 1;
   node->client_proxy = std::make_unique<proxy::GvfsProxy>(pcfg, *upstream_chan);
 
   if (metrics_on) node->client_proxy->register_metrics(registry_, tag + ".proxy.");
   if (tracer_) node->client_proxy->set_tracer(tracer_.get());
+
+  if (opt_.enable_leases) {
+    // Reverse callback stacks: recalls cross the same shared links in the
+    // server->client direction (tunnel handler = this node's proxy, link
+    // pair swapped) and pick up the same fault/retry semantics as the
+    // forward path. Recall retransmission is bounded — a partitioned holder
+    // must lapse at its lease expiry, not pin a server recall fiber forever.
+    rpc::RetryConfig cbretry = opt_.retry;
+    if (cbretry.max_retransmits == 0) cbretry.max_retransmits = 4;
+    const u64 client_id = static_cast<u64>(index) + 1;
+    const std::size_t stacks = opt_.origin_cluster ? origins_.size() : 1;
+    for (std::size_t j = 0; j < stacks; ++j) {
+      auto tun = std::make_unique<ssh::SshTunnel>(
+          *node->client_proxy, node_cfg_.tun_down, node_cfg_.tun_up,
+          node_cfg_.tun_cipher);
+      rpc::RpcChannel* chan = tun.get();
+      node->cb_tunnels.push_back(std::move(tun));
+      if (faults_) {
+        auto fy = std::make_unique<rpc::FaultyChannel>(*chan, *faults_,
+                                                       static_cast<int>(j));
+        auto rt = std::make_unique<rpc::RetryChannel>(*fy, kernel_, cbretry);
+        chan = rt.get();
+        node->cb_faulty.push_back(std::move(fy));
+        node->cb_retry.push_back(std::move(rt));
+      }
+      if (opt_.origin_cluster) {
+        origins_[j]->server->set_lease_callback(client_id, chan);
+      } else if (server_) {
+        server_->set_lease_callback(client_id, chan);
+      }
+    }
+  }
 
   if (node_cfg_.cached) {
     node->block_cache =

@@ -105,6 +105,16 @@ struct TestbedOptions {
   // crash-volatility test seam).
   bool drc_survives = false;
 
+  // ---- delegation-style leases (default off) -------------------------------
+  // Per-file read/write leases with server callbacks (DESIGN.md §5.10): the
+  // origin grows a lease table, every node's proxy acquires before serving
+  // reads/writes, and recalls ride a reverse channel stack (tunnel -> faults
+  // -> retry, links swapped) back to the holder's proxy. Off by default —
+  // topology, RNG draws and bench stdout are byte-identical to the
+  // lease-free build.
+  bool enable_leases = false;
+  SimDuration lease_duration = 30 * kSecond;
+
   // ---- deterministic WAN fault injection -----------------------------------
   // Off by default: no injector, no retry layer, no RNG draws — behaviour
   // (and bench output) is byte-identical to a faultless build.

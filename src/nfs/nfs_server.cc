@@ -354,6 +354,16 @@ rpc::RpcReply NfsServer::dispatch_nfs_(sim::Process& p, const rpc::RpcCall& call
       res = a ? do_commit_(p, *a) : nullptr;
       break;
     }
+    case Proc::kLeaseAcquire: {
+      auto a = rpc::message_cast<LeaseArgs>(call.args);
+      res = a ? do_lease_acquire_(p, *a) : nullptr;
+      break;
+    }
+    case Proc::kLeaseRelease: {
+      auto a = rpc::message_cast<LeaseReleaseArgs>(call.args);
+      res = a ? do_lease_release_(*a) : nullptr;
+      break;
+    }
     default:
       return rpc::make_error_reply(call, err(ErrCode::kRpcMismatch, "bad proc"));
   }
@@ -623,6 +633,166 @@ rpc::MessagePtr NfsServer::do_commit_(sim::Process& p, const CommitArgs& a) {
   res->verifier = write_verifier_;
   res->attr = post_attr_(a.fh.fileid);
   return res;
+}
+
+// ------------------------------------------------------------------ leases --
+//
+// Delegation-style per-file leases (DESIGN.md 5.10). Grants and releases run
+// on nfsd fibers and never block on a callback round trip: a conflicting
+// acquire fires an asynchronous recall fiber at each conflicting holder and
+// answers "not granted, retry later" (the NFS4ERR_DELAY shape). The acquirer
+// retries until the holder flushes and is removed (recall reply), or until
+// the holder's lease lapses in virtual time (partitioned holder).
+//
+// The lease table is only ever mutated through lease_add_holder_,
+// lease_remove_holder_, lease_expire_holders_ and clear_leases; gvfs_lint
+// enforces this (rule: lease-table-mutation).
+
+rpc::MessagePtr NfsServer::do_lease_acquire_(sim::Process& p, const LeaseArgs& a) {
+  auto res = std::make_shared<LeaseRes>();
+  if (!cfg_.enable_leases) {
+    res->status = NfsStat::kNotSupported;
+    return res;
+  }
+  if (!fs_.getattr(a.fh.fileid).is_ok()) {
+    res->status = NfsStat::kStale;
+    return res;
+  }
+  const u64 key = a.fh.key();
+  lease_expire_holders_(key, p.now());
+
+  bool conflict = false;
+  auto it = leases_.find(key);
+  if (it != leases_.end()) {
+    for (auto& h : it->second.holders) {
+      if (h.client == a.client_id) continue;
+      if (a.mode == LeaseMode::kRead && h.mode == LeaseMode::kRead) continue;
+      conflict = true;
+      if (!h.recall_sent) {
+        h.recall_sent = true;
+        spawn_recall_(it->second.fh, h.client, a.mode);
+      }
+    }
+  }
+  if (conflict) {
+    leases_denied_.inc();
+    res->granted = false;
+    return res;
+  }
+
+  const SimTime expiry = p.now() + cfg_.lease_duration;
+  lease_add_holder_(a.fh, a.client_id, a.mode, expiry);
+  leases_granted_.inc();
+  lease_grants_.push_back(LeaseGrant{key, a.client_id, a.mode, p.now()});
+  res->granted = true;
+  res->expiry = expiry;
+  auto granted_it = leases_.find(key);
+  res->holders =
+      granted_it == leases_.end()
+          ? 0u
+          : static_cast<u32>(granted_it->second.holders.size());
+  return res;
+}
+
+rpc::MessagePtr NfsServer::do_lease_release_(const LeaseReleaseArgs& a) {
+  auto res = std::make_shared<LeaseReleaseRes>();
+  if (!cfg_.enable_leases) {
+    res->status = NfsStat::kNotSupported;
+    return res;
+  }
+  if (lease_remove_holder_(a.fh.key(), a.client_id)) lease_releases_.inc();
+  return res;
+}
+
+void NfsServer::lease_add_holder_(const Fh& fh, u64 client, LeaseMode mode,
+                                  SimTime expiry) {
+  // gvfs-lint: allow(lease-table-mutation) sanctioned helper
+  LeaseEntry& e = leases_[fh.key()];
+  e.fh = fh;
+  for (auto& h : e.holders) {
+    if (h.client != client) continue;
+    // Renewal. Upgrade read->write in place; never downgrade, so a holder
+    // re-probing with a read acquire keeps its write delegation.
+    if (mode == LeaseMode::kWrite) h.mode = LeaseMode::kWrite;
+    h.expiry = expiry;
+    h.recall_sent = false;
+    return;
+  }
+  e.holders.push_back(LeaseHolder{client, mode, expiry, false});
+}
+
+bool NfsServer::lease_remove_holder_(u64 key, u64 client) {
+  auto it = leases_.find(key);
+  if (it == leases_.end()) return false;
+  auto& hs = it->second.holders;
+  auto pos = std::find_if(hs.begin(), hs.end(), [&](const LeaseHolder& h) {
+    return h.client == client;
+  });
+  if (pos == hs.end()) return false;
+  hs.erase(pos);
+  if (hs.empty()) {
+    // gvfs-lint: allow(lease-table-mutation) sanctioned helper
+    leases_.erase(it);
+  }
+  return true;
+}
+
+void NfsServer::lease_expire_holders_(u64 key, SimTime now) {
+  auto it = leases_.find(key);
+  if (it == leases_.end()) return;
+  auto& hs = it->second.holders;
+  const std::size_t before = hs.size();
+  hs.erase(std::remove_if(hs.begin(), hs.end(),
+                          [&](const LeaseHolder& h) { return h.expiry <= now; }),
+           hs.end());
+  for (std::size_t n = hs.size(); n < before; ++n) lease_expirations_.inc();
+  if (hs.empty()) {
+    // gvfs-lint: allow(lease-table-mutation) sanctioned helper
+    leases_.erase(it);
+  }
+}
+
+void NfsServer::spawn_recall_(const Fh& fh, u64 client, LeaseMode contender) {
+  auto cb = lease_callbacks_.find(client);
+  if (cb == lease_callbacks_.end()) {
+    // Holder is not lease-aware (no callback channel registered); nothing to
+    // recall, the lease simply lapses at expiry.
+    return;
+  }
+  rpc::RpcChannel* chan = cb->second;
+  lease_recalls_.inc();
+
+  rpc::RpcCall call;
+  call.xid = recall_xid_++;
+  call.prog = kLeaseCallbackProgram;
+  call.vers = kLeaseCallbackVersion;
+  call.proc = static_cast<u32>(CallbackProc::kRecall);
+  auto args = std::make_shared<RecallArgs>();
+  args->fh = fh;
+  args->client_id = client;
+  args->contender = contender;
+  call.args = args;
+
+  const u64 key = fh.key();
+  kernel_.spawn("lease-recall-" + std::to_string(call.xid),
+                [this, chan, call, key, client](sim::Process& rp) {
+                  rpc::RpcReply r = chan->call(rp, call);
+                  auto rres = rpc::message_cast<RecallRes>(r.result);
+                  if (r.status.is_ok() && rres && rres->status == NfsStat::kOk) {
+                    lease_remove_holder_(key, client);
+                    return;
+                  }
+                  // Unreachable or uncooperative holder: the lease lapses at
+                  // its virtual-time expiry and the contender keeps retrying
+                  // until then. Re-arm recall_sent so a later conflicting
+                  // acquire retries the callback once the path heals.
+                  lease_recall_failures_.inc();
+                  auto it = leases_.find(key);
+                  if (it == leases_.end()) return;
+                  for (auto& h : it->second.holders) {
+                    if (h.client == client) h.recall_sent = false;
+                  }
+                });
 }
 
 }  // namespace gvfs::nfs

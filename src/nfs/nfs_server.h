@@ -9,6 +9,7 @@
 #include <functional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/metrics.h"
 #include "common/trace.h"
@@ -46,6 +47,14 @@ struct NfsServerConfig {
   // contract). Cluster tests flip it to isolate which retransmit replays are
   // due to DRC survival vs. plain idempotency.
   bool drc_survives = false;
+  // ---- GVFS lease extension (DESIGN.md §5.10) ------------------------------
+  // Serve LEASE_ACQUIRE / LEASE_RELEASE and issue recall callbacks on
+  // conflict. Off by default: lease procs answer kNotSupported, no lease
+  // state, no callback traffic — byte-identical to the pre-lease server.
+  bool enable_leases = false;
+  // Grant lifetime in virtual time. A holder that cannot be recalled (e.g.
+  // partitioned away) blocks conflicting grants only until its lease lapses.
+  SimDuration lease_duration = 30 * kSecond;
 };
 
 class NfsServer final : public rpc::RpcHandler {
@@ -97,6 +106,44 @@ class NfsServer final : public rpc::RpcHandler {
     drc_order_.clear();
   }
 
+  // ---- lease table (GVFS extension, DESIGN.md §5.10) -----------------------
+  // Reverse callback channel for a lease-aware proxy: recalls to `client_id`
+  // travel it (same decorated fault/retry stack as forward traffic, in
+  // reverse). The channel must outlive every recall issued on it.
+  void set_lease_callback(u64 client_id, rpc::RpcChannel* chan) {
+    lease_callbacks_[client_id] = chan;
+  }
+  // Leases are volatile server state: a crash empties the table (holders
+  // must re-acquire — the proxy's fencing path), like clear_drc() for the DRC.
+  void clear_leases() {
+    if (leases_.empty()) return;
+    lease_clears_.inc();
+    leases_.clear();  // gvfs-lint: allow(lease-table-mutation) crash wipe is a sanctioned site
+  }
+  [[nodiscard]] u64 leases_granted() const { return leases_granted_.value(); }
+  [[nodiscard]] u64 leases_denied() const { return leases_denied_.value(); }
+  [[nodiscard]] u64 lease_recalls() const { return lease_recalls_.value(); }
+  [[nodiscard]] u64 lease_recall_failures() const {
+    return lease_recall_failures_.value();
+  }
+  [[nodiscard]] u64 lease_expirations() const { return lease_expirations_.value(); }
+  [[nodiscard]] u64 lease_releases() const { return lease_releases_.value(); }
+  [[nodiscard]] std::size_t lease_table_size() const { return leases_.size(); }
+  // Grant-order log: the linearization order the multi-writer property sweep
+  // checks against (per-file sequence of grants, in virtual-time order).
+  struct LeaseGrant {
+    u64 key = 0;
+    u64 client = 0;
+    LeaseMode mode = LeaseMode::kRead;
+    SimTime at = 0;
+  };
+  [[nodiscard]] const std::vector<LeaseGrant>& lease_grants() const {
+    return lease_grants_;
+  }
+
+  // DRC capacity actually in effect (the testbed scales it to client count).
+  [[nodiscard]] u32 drc_capacity() const { return cfg_.drc_entries; }
+
   // RFC 1813 §3.3.7: the write verifier must change on every server reboot
   // so clients detect that uncommitted UNSTABLE writes were lost and re-send
   // them. Called from the crash-restart callback alongside clear_drc().
@@ -113,6 +160,15 @@ class NfsServer final : public rpc::RpcHandler {
     r.register_counter(prefix + "drc_clears", &drc_clears_);
     r.register_counter(prefix + "drc_retained", &drc_retained_);
     r.register_histogram(prefix + "service_ms", &service_ms_);
+    if (cfg_.enable_leases) {
+      r.register_counter(prefix + "leases_granted", &leases_granted_);
+      r.register_counter(prefix + "leases_denied", &leases_denied_);
+      r.register_counter(prefix + "lease_recalls", &lease_recalls_);
+      r.register_counter(prefix + "lease_recall_failures", &lease_recall_failures_);
+      r.register_counter(prefix + "lease_expirations", &lease_expirations_);
+      r.register_counter(prefix + "lease_releases", &lease_releases_);
+      r.register_counter(prefix + "lease_clears", &lease_clears_);
+    }
   }
 
   // Annotate DRC outcomes onto the caller's open trace span.
@@ -164,6 +220,22 @@ class NfsServer final : public rpc::RpcHandler {
   rpc::MessagePtr do_fsstat_();
   rpc::MessagePtr do_fsinfo_();
   rpc::MessagePtr do_commit_(sim::Process& p, const CommitArgs& a);
+  rpc::MessagePtr do_lease_acquire_(sim::Process& p, const LeaseArgs& a);
+  rpc::MessagePtr do_lease_release_(const LeaseReleaseArgs& a);
+
+  // ---- sanctioned lease-table mutation helpers -----------------------------
+  // Every mutation of leases_ goes through these (plus clear_leases()); the
+  // gvfs_lint lease-table-mutation rule flags any other site, because the
+  // recall fiber and nfsd fibers interleave and ad-hoc mutation is how grant
+  // order diverges from the log.
+  void lease_add_holder_(const Fh& fh, u64 client, LeaseMode mode,
+                         SimTime expiry);
+  bool lease_remove_holder_(u64 key, u64 client);
+  void lease_expire_holders_(u64 key, SimTime now);
+  // Fire-and-forget recall fiber against `client`'s callback channel; on a
+  // successful recall reply the holder is removed, on timeout it is left to
+  // lapse at its expiry.
+  void spawn_recall_(const Fh& fh, u64 client, LeaseMode contender);
 
   PostOpAttr post_attr_(vfs::FileId id);
   // Timed page-cache read of [offset, offset+len) from file `id`.
@@ -188,6 +260,28 @@ class NfsServer final : public rpc::RpcHandler {
   // proc, xid) and verified against the stored full tuple on every hit.
   std::unordered_map<u64, DrcEntry> drc_;
   std::deque<u64> drc_order_;
+  // ---- lease table ---------------------------------------------------------
+  struct LeaseHolder {
+    u64 client = 0;
+    LeaseMode mode = LeaseMode::kRead;
+    SimTime expiry = 0;
+    bool recall_sent = false;
+  };
+  struct LeaseEntry {
+    Fh fh;
+    std::vector<LeaseHolder> holders;
+  };
+  std::unordered_map<u64, LeaseEntry> leases_;
+  std::unordered_map<u64, rpc::RpcChannel*> lease_callbacks_;
+  std::vector<LeaseGrant> lease_grants_;
+  u32 recall_xid_ = 0x5B000000;
+  metrics::Counter leases_granted_;
+  metrics::Counter leases_denied_;
+  metrics::Counter lease_recalls_;
+  metrics::Counter lease_recall_failures_;
+  metrics::Counter lease_expirations_;
+  metrics::Counter lease_releases_;
+  metrics::Counter lease_clears_;
   metrics::Counter drc_hits_;
   metrics::Counter drc_inserts_;
   metrics::Counter drc_collisions_;

@@ -788,6 +788,92 @@ Result<CommitRes> CommitRes::decode(xdr::XdrDecoder& dec) {
   return r;
 }
 
+// ----------------------------------------------------------------- Lease ----
+
+void LeaseArgs::encode(xdr::XdrEncoder& enc) const {
+  fh.encode(enc);
+  enc.put_u64(client_id);
+  enc.put_u32(static_cast<u32>(mode));
+}
+
+Result<LeaseArgs> LeaseArgs::decode(xdr::XdrDecoder& dec) {
+  LeaseArgs a;
+  GVFS_ASSIGN_OR_RETURN(a.fh, Fh::decode(dec));
+  a.client_id = dec.get_u64();
+  a.mode = static_cast<LeaseMode>(dec.get_u32());
+  if (!dec.ok()) return err(ErrCode::kBadXdr, "lease args");
+  return a;
+}
+
+void LeaseRes::encode(xdr::XdrEncoder& enc) const {
+  put_status(enc, status);
+  enc.put_u32(granted ? 1 : 0);
+  enc.put_u64(static_cast<u64>(expiry));
+  enc.put_u32(holders);
+}
+
+Result<LeaseRes> LeaseRes::decode(xdr::XdrDecoder& dec) {
+  LeaseRes r;
+  r.status = get_status(dec);
+  r.granted = dec.get_u32() != 0;
+  r.expiry = static_cast<SimTime>(dec.get_u64());
+  r.holders = dec.get_u32();
+  if (!dec.ok()) return err(ErrCode::kBadXdr, "lease res");
+  return r;
+}
+
+void LeaseReleaseArgs::encode(xdr::XdrEncoder& enc) const {
+  fh.encode(enc);
+  enc.put_u64(client_id);
+}
+
+Result<LeaseReleaseArgs> LeaseReleaseArgs::decode(xdr::XdrDecoder& dec) {
+  LeaseReleaseArgs a;
+  GVFS_ASSIGN_OR_RETURN(a.fh, Fh::decode(dec));
+  a.client_id = dec.get_u64();
+  if (!dec.ok()) return err(ErrCode::kBadXdr, "lease release args");
+  return a;
+}
+
+void LeaseReleaseRes::encode(xdr::XdrEncoder& enc) const {
+  put_status(enc, status);
+}
+
+Result<LeaseReleaseRes> LeaseReleaseRes::decode(xdr::XdrDecoder& dec) {
+  LeaseReleaseRes r;
+  r.status = get_status(dec);
+  if (!dec.ok()) return err(ErrCode::kBadXdr, "lease release res");
+  return r;
+}
+
+void RecallArgs::encode(xdr::XdrEncoder& enc) const {
+  fh.encode(enc);
+  enc.put_u64(client_id);
+  enc.put_u32(static_cast<u32>(contender));
+}
+
+Result<RecallArgs> RecallArgs::decode(xdr::XdrDecoder& dec) {
+  RecallArgs a;
+  GVFS_ASSIGN_OR_RETURN(a.fh, Fh::decode(dec));
+  a.client_id = dec.get_u64();
+  a.contender = static_cast<LeaseMode>(dec.get_u32());
+  if (!dec.ok()) return err(ErrCode::kBadXdr, "recall args");
+  return a;
+}
+
+void RecallRes::encode(xdr::XdrEncoder& enc) const {
+  put_status(enc, status);
+  enc.put_u32(flushed ? 1 : 0);
+}
+
+Result<RecallRes> RecallRes::decode(xdr::XdrDecoder& dec) {
+  RecallRes r;
+  r.status = get_status(dec);
+  r.flushed = dec.get_u32() != 0;
+  if (!dec.ok()) return err(ErrCode::kBadXdr, "recall res");
+  return r;
+}
+
 // ----------------------------------------------------------------- Mount ----
 
 void MountArgs::encode(xdr::XdrEncoder& enc) const { enc.put_string(dirpath); }

@@ -41,6 +41,12 @@ enum class Proc : u32 {
   kFsinfo = 19,
   kPathconf = 20,
   kCommit = 21,
+  // GVFS lease extension (DESIGN.md §5.10): delegation-style per-file leases
+  // in the spirit of NFSv4 delegations, carried as extra procedures on the
+  // v3 program. Plain v3 clients never issue them; the server enforces
+  // leases only between lease-aware proxies.
+  kLeaseAcquire = 22,
+  kLeaseRelease = 23,
 };
 
 // NFSv3 status codes ride the same numeric space as ErrCode (by design).
@@ -70,6 +76,8 @@ constexpr const char* proc_name(Proc p) {
     case Proc::kFsinfo: return "FSINFO";
     case Proc::kPathconf: return "PATHCONF";
     case Proc::kCommit: return "COMMIT";
+    case Proc::kLeaseAcquire: return "LEASE_ACQUIRE";
+    case Proc::kLeaseRelease: return "LEASE_RELEASE";
   }
   return "?";
 }
@@ -545,6 +553,93 @@ struct CommitRes final : rpc::Message {
   }
   void encode(xdr::XdrEncoder& enc) const override;
   static Result<CommitRes> decode(xdr::XdrDecoder& dec);
+};
+
+// --------------------------------------------------------------------------
+// GVFS lease extension (DESIGN.md §5.10).
+//
+// LEASE_ACQUIRE / LEASE_RELEASE ride the NFS program (procs 22/23); the
+// server-to-proxy recall travels the dedicated callback program below, back
+// through the node's decorated channel stack (tunnel/fault/retry in
+// reverse), so recalls are subject to the same loss and retransmission
+// semantics as forward traffic.
+
+enum class LeaseMode : u32 { kRead = 0, kWrite = 1 };
+
+constexpr const char* lease_mode_name(LeaseMode m) {
+  return m == LeaseMode::kWrite ? "write" : "read";
+}
+
+// Callback program number: a private-use slot well clear of the IANA RPC
+// programs we model (100003/100005).
+constexpr u32 kLeaseCallbackProgram = 200103;
+constexpr u32 kLeaseCallbackVersion = 1;
+
+enum class CallbackProc : u32 { kNull = 0, kRecall = 1 };
+
+struct LeaseArgs final : rpc::Message {
+  Fh fh;
+  u64 client_id = 0;  // stable per-proxy identity (testbed: node index + 1)
+  LeaseMode mode = LeaseMode::kRead;
+  [[nodiscard]] u64 wire_size() const override {
+    return Fh::wire_size() + xdr::size_u64() + xdr::size_u32();
+  }
+  void encode(xdr::XdrEncoder& enc) const override;
+  static Result<LeaseArgs> decode(xdr::XdrDecoder& dec);
+};
+
+struct LeaseRes final : rpc::Message {
+  NfsStat status = NfsStat::kOk;
+  // kOk + !granted means "conflict being recalled, retry later" — the
+  // NFSv4 NFS4ERR_DELAY shape, so the server never blocks an nfsd thread
+  // on a callback round trip.
+  bool granted = false;
+  SimTime expiry = 0;  // absolute virtual time the grant lapses
+  u32 holders = 0;     // holders sharing the file after this grant
+  [[nodiscard]] u64 wire_size() const override {
+    return xdr::size_u32() + xdr::size_bool() + xdr::size_u64() + xdr::size_u32();
+  }
+  void encode(xdr::XdrEncoder& enc) const override;
+  static Result<LeaseRes> decode(xdr::XdrDecoder& dec);
+};
+
+struct LeaseReleaseArgs final : rpc::Message {
+  Fh fh;
+  u64 client_id = 0;
+  [[nodiscard]] u64 wire_size() const override {
+    return Fh::wire_size() + xdr::size_u64();
+  }
+  void encode(xdr::XdrEncoder& enc) const override;
+  static Result<LeaseReleaseArgs> decode(xdr::XdrDecoder& dec);
+};
+
+struct LeaseReleaseRes final : rpc::Message {
+  NfsStat status = NfsStat::kOk;
+  [[nodiscard]] u64 wire_size() const override { return xdr::size_u32(); }
+  void encode(xdr::XdrEncoder& enc) const override;
+  static Result<LeaseReleaseRes> decode(xdr::XdrDecoder& dec);
+};
+
+// Server -> proxy recall (callback program, proc kRecall).
+struct RecallArgs final : rpc::Message {
+  Fh fh;
+  u64 client_id = 0;        // the holder being recalled
+  LeaseMode contender = LeaseMode::kWrite;  // mode the new claimant wants
+  [[nodiscard]] u64 wire_size() const override {
+    return Fh::wire_size() + xdr::size_u64() + xdr::size_u32();
+  }
+  void encode(xdr::XdrEncoder& enc) const override;
+  static Result<RecallArgs> decode(xdr::XdrDecoder& dec);
+};
+
+struct RecallRes final : rpc::Message {
+  NfsStat status = NfsStat::kOk;
+  bool flushed = false;  // the proxy had dirty state to push before replying
+  [[nodiscard]] u64 wire_size() const override {
+    return xdr::size_u32() + xdr::size_bool();
+  }
+  void encode(xdr::XdrEncoder& enc) const override;
+  static Result<RecallRes> decode(xdr::XdrDecoder& dec);
 };
 
 // MOUNT program (RFC 1813 appendix): MNT returns the export's root handle.

@@ -52,6 +52,13 @@ void GvfsProxy::reset_stats() {
   flush_queue_reads_.reset();
   single_flight_leads_.reset();
   single_flight_waits_.reset();
+  leases_acquired_.reset();
+  lease_acquire_retries_.reset();
+  lease_acquire_failures_.reset();
+  recalls_served_.reset();
+  lease_fences_.reset();
+  attr_evictions_.reset();
+  attr_revalidations_.reset();
   outage_total_ = last_recovery_time_ = 0;
 }
 
@@ -105,15 +112,37 @@ rpc::RpcReply GvfsProxy::forward_(sim::Process& p, const rpc::RpcCall& call) {
 
 // ---------------------------------------------------------- attr tracking --
 
-std::optional<vfs::Attr> GvfsProxy::cached_attr_(const Fh& fh, SimTime now) const {
+std::optional<vfs::Attr> GvfsProxy::cached_attr_(const Fh& fh, SimTime now) {
   auto it = attr_cache_.find(fh.key());
   if (it == attr_cache_.end() || it->second.expires <= now) return std::nullopt;
+  it->second.lru_tick = ++attr_tick_;
   return it->second.attr;
 }
 
 void GvfsProxy::remember_attr_(const Fh& fh, const vfs::Attr& a, SimTime now) {
-  attr_cache_[fh.key()] = CachedAttr{a, now + cfg_.attr_ttl};
-  key_to_fh_[fh.key()] = fh;
+  u64 key = fh.key();
+  if (auto it = attr_cache_.find(key); it != attr_cache_.end()) {
+    it->second = CachedAttr{a, now + cfg_.attr_ttl, ++attr_tick_};
+  } else {
+    if (cfg_.attr_cache_entries > 0 &&
+        attr_cache_.size() >= cfg_.attr_cache_entries) {
+      // Bounded attr cache: evict the least-recently-touched entry. Linear
+      // scan — eviction only runs past the (large) bound, and ticks are
+      // unique, so the minimum is well defined and hash order cannot leak
+      // into behavior.
+      // gvfs-lint: allow(unordered-iteration) unique-min-tick scan; order cannot escape
+      auto victim = attr_cache_.begin();
+      // gvfs-lint: allow(unordered-iteration) unique-min-tick scan; order cannot escape
+      for (auto it2 = attr_cache_.begin(); it2 != attr_cache_.end(); ++it2) {
+        if (it2->second.lru_tick < victim->second.lru_tick) victim = it2;
+      }
+      attr_cache_.erase(victim);
+      attr_evictions_.inc();
+    }
+    attr_cache_.emplace(key, CachedAttr{a, now + cfg_.attr_ttl, ++attr_tick_});
+  }
+  attr_gauge_sync_();
+  key_to_fh_[key] = fh;
 }
 
 u64 GvfsProxy::effective_size_(const Fh& fh, const std::optional<vfs::Attr>& a) const {
@@ -666,6 +695,41 @@ Status GvfsProxy::replay_write_queue_(sim::Process& p) {
   if (replaying_) return Status::ok();
   replaying_ = true;
   Status st = Status::ok();
+  if (cfg_.enable_leases && !lease_unsupported_ && !write_queue_.empty()) {
+    // Lease-loss fencing: a node whose write lease lapsed during the
+    // partition must prove exclusive ownership again before its parked
+    // writes replay — the lease may have moved to another writer whose
+    // bytes these stale entries would otherwise clobber blindly. Collect
+    // the keys up front (ensure_lease_ yields; queue indices don't survive
+    // that) and probe in sorted order for determinism.
+    std::vector<u64> fence_keys;
+    for (const auto& w : write_queue_) {
+      u64 k = w.fh.key();
+      if (std::find(fence_keys.begin(), fence_keys.end(), k) == fence_keys.end()) {
+        fence_keys.push_back(k);
+      }
+    }
+    std::sort(fence_keys.begin(), fence_keys.end());
+    for (u64 k : fence_keys) {
+      if (auto held = held_leases_.find(k);
+          held != held_leases_.end() &&
+          held->second.mode == nfs::LeaseMode::kWrite &&
+          held->second.expiry > p.now()) {
+        continue;
+      }
+      auto fh_it = key_to_fh_.find(k);
+      if (fh_it == key_to_fh_.end()) continue;
+      lease_fences_.inc();
+      Status fs =
+          ensure_lease_(p, fh_it->second, nfs::LeaseMode::kWrite, session_cred_);
+      if (!fs.is_ok()) {
+        // Cannot re-establish ownership: abort the replay and stay
+        // degraded; the next reconnect signal (or upstream success) retries.
+        replaying_ = false;
+        return fs;
+      }
+    }
+  }
   // Every WRITE below is an RPC wait point, and concurrent frames
   // (cache_writeback_, flush_file_) erase and coalesce queue entries while
   // it blocks — vector indices are not stable across an iteration. Track
@@ -860,14 +924,74 @@ std::optional<blob::BlobRef> GvfsProxy::queued_block_(u64 file_key,
   return assembled.snapshot();
 }
 
-std::optional<vfs::Attr> GvfsProxy::stale_attr_(const nfs::Fh& fh) const {
+std::optional<vfs::Attr> GvfsProxy::stale_attr_(const nfs::Fh& fh) {
   auto it = attr_cache_.find(fh.key());
   if (it == attr_cache_.end()) return std::nullopt;
+  it->second.lru_tick = ++attr_tick_;
+  // Remember that this answer may be a lie: signal_reconnect re-probes every
+  // key served stale so a remote change mid-outage cannot linger until the
+  // TTL happens to expire.
+  if (upstream_down_) stale_served_.insert(fh.key());
   return it->second.attr;
 }
 
+Status GvfsProxy::revalidate_stale_attrs_(sim::Process& p) {
+  if (stale_served_.empty()) return Status::ok();
+  // gvfs-lint: allow(unordered-iteration) keys are sorted on the next line before any use
+  std::vector<u64> keys(stale_served_.begin(), stale_served_.end());
+  std::sort(keys.begin(), keys.end());
+  stale_served_.clear();
+  for (u64 k : keys) {
+    auto fh_it = key_to_fh_.find(k);
+    if (fh_it == key_to_fh_.end()) continue;
+    const nfs::Fh fh = fh_it->second;  // copy: the GETATTR below yields
+    std::optional<vfs::Attr> old;
+    if (auto it = attr_cache_.find(k); it != attr_cache_.end()) old = it->second.attr;
+
+    auto gargs = std::make_shared<nfs::GetattrArgs>();
+    gargs->fh = fh;
+    auto gres = upstream_as_<nfs::GetattrRes>(p, Proc::kGetattr, gargs, session_cred_);
+    if (!gres.is_ok()) return gres.status();
+    if ((*gres)->status != NfsStat::kOk) {
+      // The file vanished during the outage: drop every local trace.
+      if (block_cache_ != nullptr) block_cache_->invalidate_file(k);
+      if (file_cache_ != nullptr) file_cache_->invalidate(k);
+      attr_cache_.erase(k);
+      attr_gauge_sync_();
+      size_override_.erase(k);
+      continue;
+    }
+    const vfs::Attr fresh = (*gres)->attr.a;
+    attr_revalidations_.inc();
+    const u64 old_size = old ? old->size : 0;
+    if (fresh.size < old_size) {
+      // A remote truncate happened mid-outage: cached frames and staged
+      // sizes describe the pre-outage file. Push any locally dirtied blocks
+      // first (last-writer-wins, same promise replay makes), then drop.
+      if (block_cache_ != nullptr) {
+        sync_drain_ = true;
+        Status st = block_cache_->write_back_file(p, k);
+        if (st.is_ok() && cfg_.async_writeback) st = drain_flush_queues_(p);
+        sync_drain_ = false;
+        GVFS_RETURN_IF_ERROR(st);
+        block_cache_->invalidate_file(k);
+      }
+      if (file_cache_ != nullptr) file_cache_->invalidate(k);
+      size_override_.erase(k);
+      profiles_.erase(k);
+      // The write-back above may have re-extended the file; trust a fresh
+      // probe next time rather than the pre-flush answer.
+      attr_cache_.erase(k);
+      attr_gauge_sync_();
+      continue;
+    }
+    remember_attr_(fh, fresh, p.now());
+  }
+  return Status::ok();
+}
+
 std::shared_ptr<nfs::LookupRes> GvfsProxy::degraded_lookup_(
-    const nfs::LookupArgs& a) const {
+    const nfs::LookupArgs& a) {
   // Serve a LOOKUP from the namespace learned before the outage (linear
   // scan: the learned set is small — files the session actually touched).
   // If a name was relearned under a new handle there can be two matches;
@@ -894,11 +1018,100 @@ std::shared_ptr<nfs::LookupRes> GvfsProxy::degraded_lookup_(
   return nullptr;
 }
 
+// ------------------------------------------------------------------ leases --
+
+Status GvfsProxy::ensure_lease_(sim::Process& p, const Fh& fh, nfs::LeaseMode mode,
+                                const rpc::Credential& cred) {
+  if (!cfg_.enable_leases || lease_unsupported_) return Status::ok();
+  u64 key = fh.key();
+  if (auto it = held_leases_.find(key);
+      it != held_leases_.end() && it->second.expiry > p.now() &&
+      (it->second.mode == nfs::LeaseMode::kWrite || it->second.mode == mode)) {
+    return Status::ok();
+  }
+  for (u32 attempt = 0; attempt <= cfg_.lease_max_retries; ++attempt) {
+    auto largs = std::make_shared<nfs::LeaseArgs>();
+    largs->fh = fh;
+    largs->client_id = cfg_.lease_client_id;
+    largs->mode = mode;
+    auto lres = upstream_as_<nfs::LeaseRes>(p, Proc::kLeaseAcquire, largs, cred);
+    if (!lres.is_ok()) {
+      lease_acquire_failures_.inc();
+      return lres.status();
+    }
+    if ((*lres)->status == NfsStat::kNotSupported) {
+      // Origin not lease-aware (or toggled off): stand down for the session.
+      lease_unsupported_ = true;
+      return Status::ok();
+    }
+    if ((*lres)->status != NfsStat::kOk) {
+      lease_acquire_failures_.inc();
+      return err((*lres)->status, "lease acquire");
+    }
+    if ((*lres)->granted) {
+      held_leases_[key] = HeldLease{mode, (*lres)->expiry};
+      leases_acquired_.inc();
+      if (tracer_) tracer_->annotate(&p, cfg_.name, "lease_granted", p.now());
+      return Status::ok();
+    }
+    // Conflict: the server is recalling the holder (NFS4ERR_DELAY shape).
+    // Back off and retry; the retry horizon outlasts the server's lease
+    // duration, so a partitioned holder lapses before we give up.
+    lease_acquire_retries_.inc();
+    p.delay(cfg_.lease_retry_delay);
+  }
+  lease_acquire_failures_.inc();
+  return err(ErrCode::kTimeout, "lease acquire: conflict never cleared");
+}
+
+rpc::RpcReply GvfsProxy::handle_recall_(sim::Process& p, const rpc::RpcCall& call) {
+  auto res = std::make_shared<nfs::RecallRes>();
+  if (static_cast<nfs::CallbackProc>(call.proc) != nfs::CallbackProc::kRecall) {
+    return rpc::make_reply(call, res);  // kNull ping
+  }
+  auto a = rpc::message_cast<nfs::RecallArgs>(call.args);
+  if (!a) return rpc::make_error_reply(call, err(ErrCode::kBadXdr, "recall args"));
+  u64 key = a->fh.key();
+  recalls_served_.inc();
+  if (tracer_) tracer_->annotate(&p, cfg_.name, "lease_recall", p.now());
+
+  // Flush the file's dirty state through the existing write-back machinery,
+  // then drop every cached copy: the contender may write the moment our
+  // reply lands, so anything kept here would go stale silently.
+  bool flushed = true;
+  if (block_cache_ != nullptr) {
+    sync_drain_ = true;
+    Status st = block_cache_->write_back_file(p, key);
+    if (st.is_ok() && cfg_.async_writeback) st = drain_flush_queues_(p);
+    sync_drain_ = false;
+    if (!st.is_ok()) flushed = false;
+    block_cache_->invalidate_file(key);
+  }
+  if (file_cache_ != nullptr && file_cache_->contains(key)) {
+    Status st = file_cache_->write_back_all(p);
+    if (!st.is_ok()) flushed = false;
+    file_cache_->invalidate(key);
+  }
+  attr_cache_.erase(key);
+  attr_gauge_sync_();
+  size_override_.erase(key);
+  commit_pending_.erase(key);
+  profiles_.erase(key);
+  held_leases_.erase(key);
+  res->status = NfsStat::kOk;
+  res->flushed = flushed;
+  return rpc::make_reply(call, res);
+}
+
 // ---------------------------------------------------------------- handlers --
 
 rpc::RpcReply GvfsProxy::handle(sim::Process& p, const rpc::RpcCall& call) {
   calls_received_.inc();
   if (cfg_.per_call_cpu > 0) p.delay(cfg_.per_call_cpu);
+  // Server-initiated lease recalls ride the callback program down the same
+  // tunnel; they carry the server's identity, not a client credential, so
+  // they bypass the authorizer / cred-mapping that guards client traffic.
+  if (call.prog == nfs::kLeaseCallbackProgram) return handle_recall_(p, call);
   if (authorizer_ && !authorizer_(call.cred)) {
     return rpc::make_error_reply(call, err(ErrCode::kAuthError, "proxy policy"));
   }
@@ -977,6 +1190,13 @@ rpc::RpcReply GvfsProxy::handle_read_(sim::Process& p, const rpc::RpcCall& call,
   // gvfs-lint: allow(yield-stale-ref) session_cred_ is a plain member, not a container element; its address is stable for the proxy's lifetime
   const rpc::Credential& cred = session_cred_;
   key_to_fh_[a.fh.key()] = a.fh;
+  if (cfg_.enable_leases && !upstream_down_) {
+    // Best-effort read lease: holding one means a future writer's recall
+    // reaches us before our cached copies go stale. Failure (conflict that
+    // never cleared, or a transport error) still serves the read — coherence
+    // then falls back to the attr TTL, exactly the lease-free behavior.
+    (void)ensure_lease_(p, a.fh, nfs::LeaseMode::kRead, cred);
+  }
   const meta::MetaFile* meta = meta_for_(p, a.fh, cred);
 
   // ---- file-based channel (compress/copy/uncompress/read-locally) ---------
@@ -1121,6 +1341,20 @@ rpc::RpcReply GvfsProxy::handle_write_(sim::Process& p, const rpc::RpcCall& call
   // session writes the file, the table can no longer prove that a resident
   // twin equals the server's current bytes, so the dedup probe stands down.
   if (cfg_.dedup_blocks) dedup_written_.insert(key);
+
+  if (cfg_.enable_leases) {
+    Status ls = ensure_lease_(p, a.fh, nfs::LeaseMode::kWrite, cred);
+    if (!ls.is_ok()) {
+      // During a partition degraded mode still absorbs/queues the write —
+      // the replay path re-acquires the lease (fencing) before anything
+      // heads upstream. Outside degraded mode a write without a lease would
+      // silently break the multi-writer contract, so it fails loudly.
+      if (!(cfg_.degraded_mode &&
+            (ls.code() == ErrCode::kTimeout || upstream_down_))) {
+        return rpc::make_error_reply(call, ls);
+      }
+    }
+  }
 
   // Writes to a file served by the file channel update the whole-file cache
   // (write-back uploads it later as compress+SCP).
@@ -1304,6 +1538,7 @@ rpc::RpcReply GvfsProxy::handle_setattr_(sim::Process& p, const rpc::RpcCall& ca
     if (file_cache_ != nullptr) file_cache_->invalidate(key);
     size_override_.erase(key);
     attr_cache_.erase(key);
+    attr_gauge_sync_();
     profiles_.erase(key);
   }
   rpc::RpcReply reply = forward_(p, call);
@@ -1317,6 +1552,11 @@ rpc::RpcReply GvfsProxy::handle_setattr_(sim::Process& p, const rpc::RpcCall& ca
 }
 
 // ------------------------------------------------------ middleware signals --
+
+Status GvfsProxy::signal_reconnect(sim::Process& p) {
+  GVFS_RETURN_IF_ERROR(replay_write_queue_(p));
+  return revalidate_stale_attrs_(p);
+}
 
 Status GvfsProxy::signal_write_back(sim::Process& p) {
   if (block_cache_ != nullptr) {
@@ -1338,6 +1578,8 @@ Status GvfsProxy::signal_write_back(sim::Process& p) {
 
 void GvfsProxy::drop_soft_state() {
   attr_cache_.clear();
+  attr_gauge_sync_();
+  stale_served_.clear();
   size_override_.clear();
   metas_.clear();
   meta_negative_.clear();
@@ -1352,6 +1594,8 @@ Status GvfsProxy::signal_flush(sim::Process& p) {
   if (block_cache_ != nullptr) block_cache_->invalidate_all();
   if (file_cache_ != nullptr) file_cache_->invalidate_all();
   attr_cache_.clear();
+  attr_gauge_sync_();
+  stale_served_.clear();
   size_override_.clear();
   metas_.clear();
   meta_negative_.clear();

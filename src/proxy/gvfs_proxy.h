@@ -89,6 +89,26 @@ struct ProxyConfig {
   // set): bulk READ/WRITE payloads cross the WAN at Blob::compressed_size
   // with GzipModel CPU charged at both ends. Off by default.
   bool wire_compression = false;
+
+  // Delegation-style leases (DESIGN.md §5.10): acquire a write lease from
+  // the origin before a WRITE is absorbed or forwarded, a read lease before
+  // a cached READ is served, honour server recalls (flush dirty state, then
+  // drop cached frames and attrs for the recalled file), and fence replay
+  // of degraded writes behind write-lease re-acquisition. Off by default —
+  // the request paths stay byte-identical to the lease-free proxy.
+  bool enable_leases = false;
+  // Identity presented on LEASE_ACQUIRE and matched by server recalls.
+  u64 lease_client_id = 0;
+  // Conflict back-off between LEASE_ACQUIRE retries (the server answered
+  // granted=false while it recalls the current holder). The retry horizon
+  // (delay * max_retries) must outlast the server's lease_duration so a
+  // partitioned holder lapses before the contender gives up.
+  SimDuration lease_retry_delay = 500 * kMillisecond;
+  u32 lease_max_retries = 128;
+
+  // Bound on attr_cache_ entries; the least-recently-touched entry is
+  // evicted past it. 0 = unbounded (pre-fix behavior, tests only).
+  u32 attr_cache_entries = 8192;
 };
 
 class GvfsProxy final : public rpc::RpcHandler {
@@ -119,9 +139,11 @@ class GvfsProxy final : public rpc::RpcHandler {
   // SIGUSR2-equivalent: write back and invalidate everything.
   Status signal_flush(sim::Process& p);
   // Reconnect signal: replay write-backs queued while the upstream was
-  // unreachable (degraded mode). Also runs lazily after the first upstream
-  // call that succeeds post-outage.
-  Status signal_reconnect(sim::Process& p) { return replay_write_queue_(p); }
+  // unreachable (degraded mode), then re-probe every attribute that was
+  // served stale during the outage (a remote truncate performed mid-outage
+  // must become visible here, not at the attr TTL's leisure). The lazy
+  // recovery path (first successful upstream call) only replays.
+  Status signal_reconnect(sim::Process& p);
 
   // Drop soft state only (attr cache, learned namespace, parsed meta-data)
   // without touching cache contents or charging time — used by experiment
@@ -140,6 +162,19 @@ class GvfsProxy final : public rpc::RpcHandler {
   // Cache misses served by aliasing identical resident bytes (no upstream
   // fetch); see ProxyConfig::dedup_blocks.
   [[nodiscard]] u64 dedup_filtered_reads() const { return dedup_filtered_.value(); }
+
+  // ---- lease metrics -------------------------------------------------------
+  [[nodiscard]] u64 leases_acquired() const { return leases_acquired_.value(); }
+  [[nodiscard]] u64 lease_acquire_retries() const { return lease_acquire_retries_.value(); }
+  [[nodiscard]] u64 lease_acquire_failures() const { return lease_acquire_failures_.value(); }
+  [[nodiscard]] u64 recalls_served() const { return recalls_served_.value(); }
+  [[nodiscard]] u64 lease_fences() const { return lease_fences_.value(); }
+  [[nodiscard]] std::size_t held_lease_count() const { return held_leases_.size(); }
+
+  // ---- attr-cache metrics --------------------------------------------------
+  [[nodiscard]] std::size_t attr_cache_size() const { return attr_cache_.size(); }
+  [[nodiscard]] u64 attr_evictions() const { return attr_evictions_.value(); }
+  [[nodiscard]] u64 attr_revalidations() const { return attr_revalidations_.value(); }
 
   // ---- degraded-mode / recovery metrics ------------------------------------
   [[nodiscard]] bool upstream_down() const { return upstream_down_; }
@@ -190,8 +225,18 @@ class GvfsProxy final : public rpc::RpcHandler {
     r.register_counter(prefix + "flush_queue_reads", &flush_queue_reads_);
     r.register_counter(prefix + "single_flight_leads", &single_flight_leads_);
     r.register_counter(prefix + "single_flight_waits", &single_flight_waits_);
+    r.register_counter(prefix + "attr_evictions", &attr_evictions_);
+    r.register_counter(prefix + "attr_revalidations", &attr_revalidations_);
+    r.register_gauge(prefix + "attr_cache_entries", &attr_cache_gauge_);
     if (cfg_.dedup_blocks) {
       r.register_counter(prefix + "dedup_filtered_reads", &dedup_filtered_);
+    }
+    if (cfg_.enable_leases) {
+      r.register_counter(prefix + "leases_acquired", &leases_acquired_);
+      r.register_counter(prefix + "lease_acquire_retries", &lease_acquire_retries_);
+      r.register_counter(prefix + "lease_acquire_failures", &lease_acquire_failures_);
+      r.register_counter(prefix + "lease_recalls_served", &recalls_served_);
+      r.register_counter(prefix + "lease_fences", &lease_fences_);
     }
   }
 
@@ -227,6 +272,16 @@ class GvfsProxy final : public rpc::RpcHandler {
                                const nfs::CommitArgs& a);
   rpc::RpcReply handle_setattr_(sim::Process& p, const rpc::RpcCall& call,
                                 const nfs::SetattrArgs& a);
+
+  // -- leases ----------------------------------------------------------------
+  // Hold (or acquire, retrying through server-side recalls) a lease of at
+  // least `mode` strength on `fh`. No-op when leases are off or the origin
+  // answered kNotSupported once.
+  Status ensure_lease_(sim::Process& p, const nfs::Fh& fh, nfs::LeaseMode mode,
+                       const rpc::Credential& cred);
+  // Server-initiated recall (callback program): flush the file's dirty
+  // state upstream, drop its cached frames and attrs, forget the lease.
+  rpc::RpcReply handle_recall_(sim::Process& p, const rpc::RpcCall& call);
 
   // -- meta-data -------------------------------------------------------------
   // Look for (and load) a meta-data file for `fh` the first time it is read.
@@ -299,15 +354,21 @@ class GvfsProxy final : public rpc::RpcHandler {
   [[nodiscard]] std::optional<blob::BlobRef> queued_block_(u64 file_key,
                                                           u64 block) const;
   // Attribute lookup ignoring the TTL (stale is better than nothing while
-  // the upstream is unreachable).
-  [[nodiscard]] std::optional<vfs::Attr> stale_attr_(const nfs::Fh& fh) const;
+  // the upstream is unreachable). Keys served during an outage are recorded
+  // in stale_served_ for the reconnect-time re-probe.
+  [[nodiscard]] std::optional<vfs::Attr> stale_attr_(const nfs::Fh& fh);
+  // GETATTR re-probe of every key in stale_served_ (sorted, so the probe
+  // order is deterministic); a shrunken size means a remote truncate
+  // happened mid-outage and the file's cached state is dropped.
+  Status revalidate_stale_attrs_(sim::Process& p);
   // LOOKUP served from the learned namespace during an outage (null = miss).
   [[nodiscard]] std::shared_ptr<nfs::LookupRes> degraded_lookup_(
-      const nfs::LookupArgs& a) const;
+      const nfs::LookupArgs& a);
 
   [[nodiscard]] std::optional<vfs::Attr> cached_attr_(const nfs::Fh& fh,
-                                                      SimTime now) const;
+                                                      SimTime now);
   void remember_attr_(const nfs::Fh& fh, const vfs::Attr& a, SimTime now);
+  void attr_gauge_sync_() { attr_cache_gauge_.set(attr_cache_.size()); }
   [[nodiscard]] u64 effective_size_(const nfs::Fh& fh,
                                     const std::optional<vfs::Attr>& a) const;
 
@@ -322,6 +383,7 @@ class GvfsProxy final : public rpc::RpcHandler {
   struct CachedAttr {
     vfs::Attr attr;
     SimTime expires;
+    u64 lru_tick = 0;  // recency for bounded eviction (attr_cache_entries)
   };
   std::unordered_map<u64, CachedAttr> attr_cache_;          // fh.key()
   std::unordered_map<u64, u64> size_override_;              // staged sizes
@@ -408,6 +470,28 @@ class GvfsProxy final : public rpc::RpcHandler {
   std::map<std::pair<u64, u64>, std::shared_ptr<InflightFetch>> inflight_;
   metrics::Counter single_flight_leads_;
   metrics::Counter single_flight_waits_;
+
+  // ---- lease state ---------------------------------------------------------
+  struct HeldLease {
+    nfs::LeaseMode mode;
+    SimTime expiry;
+  };
+  std::unordered_map<u64, HeldLease> held_leases_;  // fh.key()
+  // Latched when the origin answers kNotSupported once (leases toggled off
+  // upstream): every later ensure_lease_ becomes a free no-op.
+  bool lease_unsupported_ = false;
+  metrics::Counter leases_acquired_;
+  metrics::Counter lease_acquire_retries_;
+  metrics::Counter lease_acquire_failures_;
+  metrics::Counter recalls_served_;
+  metrics::Counter lease_fences_;
+
+  // ---- attr-cache bound / reconnect revalidation ---------------------------
+  u64 attr_tick_ = 0;
+  std::unordered_set<u64> stale_served_;  // keys served stale mid-outage
+  metrics::Counter attr_evictions_;
+  metrics::Counter attr_revalidations_;
+  metrics::Gauge attr_cache_gauge_;
 
   u32 next_xid_ = 0x70000000;
   metrics::Counter calls_received_;

@@ -46,6 +46,12 @@ ShardRouter::Route ShardRouter::classify_(const rpc::RpcCall& call) {
   switch (static_cast<nfs::Proc>(call.proc)) {
     case nfs::Proc::kWrite:
     case nfs::Proc::kCommit:
+    // Lease state lives on the home shard: acquire/release fan out to the
+    // shard's replica set exactly like writes (serialized under the shard
+    // write lock, journaled for dead replicas so replay preserves
+    // lease-order).
+    case nfs::Proc::kLeaseAcquire:
+    case nfs::Proc::kLeaseRelease:
       return Route::kQuorumWrite;
     case nfs::Proc::kSetattr:
     case nfs::Proc::kCreate:
@@ -126,6 +132,12 @@ nfs::Fh ShardRouter::route_fh_(const rpc::RpcCall& call) {
       return {};
     case Proc::kReaddirplus:
       if (auto a = rpc::message_cast<nfs::ReaddirplusArgs>(call.args)) return a->dir;
+      return {};
+    case Proc::kLeaseAcquire:
+      if (auto a = rpc::message_cast<nfs::LeaseArgs>(call.args)) return a->fh;
+      return {};
+    case Proc::kLeaseRelease:
+      if (auto a = rpc::message_cast<nfs::LeaseReleaseArgs>(call.args)) return a->fh;
       return {};
     default:
       return {};
@@ -283,8 +295,21 @@ bool ShardRouter::try_reintegrate_(sim::Process& p, u32 j) {
   }
 
   o.reintegrating = false;
-  o.ewma_valid = false;
-  o.ewma_ms = 0.0;
+  // Seed the read-latency estimate from the slowest live peer instead of
+  // resetting it: an invalid estimate scores 0.0 in best_read_replica_, so a
+  // rejoined replica (cold page cache, mid-resync) used to instantly absorb
+  // the full read fan-out. Seeding at the peers' ceiling lets real samples
+  // decay it into place without the thundering herd.
+  double peer_ceiling = 0.0;
+  bool have_peer = false;
+  // gvfs-lint: allow(yield-index-loop) origins_ is a deque sized once at construction; this scan does not yield
+  for (u32 k = 0; k < origin_count(); ++k) {
+    if (k == j || !origins_[k].live || !origins_[k].ewma_valid) continue;
+    peer_ceiling = std::max(peer_ceiling, origins_[k].ewma_ms);
+    have_peer = true;
+  }
+  o.ewma_valid = have_peer;
+  o.ewma_ms = have_peer ? peer_ceiling : 0.0;
   double outage = to_ms(p.now() - o.died_at);
   outage_ms_.observe(outage);
   last_outage_ms_ = outage;
@@ -409,8 +434,10 @@ sim::Semaphore& ShardRouter::shard_write_lock_(sim::Process& p, u32 shard) {
 rpc::RpcReply ShardRouter::quorum_write_(sim::Process& p,
                                          const rpc::RpcCall& call,
                                          const nfs::Fh& fh) {
-  const bool is_commit =
-      static_cast<nfs::Proc>(call.proc) == nfs::Proc::kCommit;
+  const auto proc = static_cast<nfs::Proc>(call.proc);
+  const bool is_commit = proc == nfs::Proc::kCommit;
+  const bool is_lease = proc == nfs::Proc::kLeaseAcquire ||
+                        proc == nfs::Proc::kLeaseRelease;
   (is_commit ? quorum_commits_ : quorum_writes_).inc();
   // Serializing the fan-out is the point of this permit: a second writer
   // slipping in while this one is blocked on a replica RPC could execute in
@@ -463,6 +490,10 @@ rpc::RpcReply ShardRouter::quorum_write_(sim::Process& p,
     return rpc::make_error_reply(
         call, err(ErrCode::kTimeout, "no live replica for shard"));
   }
+  // Lease ops carry no write verifier: the first live replica's verdict is
+  // the shard's verdict (replicas process the serialized fan-out in the same
+  // order, so their lease tables agree).
+  if (is_lease) return first_ok;
   u64 combined = combined_verf_(set, ok, verf);
   if (is_commit) {
     auto res = rpc::message_cast<nfs::CommitRes>(first_ok.result);

@@ -292,6 +292,86 @@ CrashRunStats run_crash_cluster(bool drc_survives) {
   return out;
 }
 
+// Regression for rejoin read-balance: a reintegrated replica used to come
+// back with an invalid latency estimate, which best_read_replica_ scores as
+// 0.0 ms — so the replica with the coldest page cache instantly absorbed the
+// entire read fan-out of every shard it serves. Reintegration now seeds the
+// estimate at the live peers' ceiling; for a shard homed on origin 0 the
+// seeded tie must keep reads on origin 0 (strict <, earlier set position),
+// and the rejoined origin 1 must take none of the post-resync reads.
+TEST(ClusterFailover, RejoinedReplicaDoesNotAbsorbReadFanOut) {
+  TestbedOptions opt;
+  opt.scenario = Scenario::kWanCached;
+  opt.generate_image_meta = false;
+  opt.write_policy = cache::WritePolicy::kWriteThrough;
+  opt.origin_cluster = true;
+  opt.origin_shards = 2;
+  opt.origin_replicas = 2;
+  opt.enable_fault_injection = true;
+  opt.fault.crashes.push_back(sim::FaultWindow{5 * kSecond, 15 * kSecond, 1});
+  opt.retry.timeout = 250 * kMillisecond;
+  opt.retry.max_retransmits = 2;
+  Testbed bed(opt);
+
+  // Pick a file homed on shard 0: its replica set is {origin 0, origin 1},
+  // so the seeded tie must resolve to origin 0.
+  std::vector<u8> content = fill_bytes(70, 256_KiB);
+  std::string home0;
+  for (int i = 0; i < 8 && home0.empty(); ++i) {
+    std::string rel = "/r" + std::to_string(i);
+    ASSERT_TRUE(bed.put_image_file(rel, blob::make_bytes(content)).is_ok());
+    if (shard_of_path(bed, bed.image_dir() + rel) == 0) home0 = rel;
+  }
+  ASSERT_FALSE(home0.empty());
+
+  u64 before0 = 0, before1 = 0, after0 = 0, after1 = 0;
+  const int kHerd = 8;
+  bed.kernel().spawn("setup", [&](sim::Process& p) {
+    ASSERT_TRUE(bed.mount(p).is_ok());
+    auto& session = bed.image_session();
+    p.delay_until(8 * kSecond);  // origin 1 is down
+    for (int i = 0; i < 4; ++i) {  // origin 0 accrues real samples
+      bed.nfs_client()->drop_caches();
+      bed.block_cache()->invalidate_all();
+      auto r = session.read_all(p, home0);
+      ASSERT_TRUE(r.is_ok());
+      EXPECT_EQ(blob::content_hash(**r),
+                blob::content_hash(*blob::make_bytes(content)));
+    }
+    p.delay_until(20 * kSecond);    // healed
+    bed.shard_router()->resync(p);  // reintegrate (seeds the estimate)
+    // Re-warm dentries/attrs (LOOKUPs route by the directory's shard), then
+    // empty the data path so the herd below goes all the way downstream.
+    ASSERT_TRUE(session.read_all(p, home0).is_ok());
+    bed.nfs_client()->page_cache().drop_all();
+    bed.block_cache()->invalidate_all();
+    before0 = bed.shard_router()->reads_routed(0);
+    before1 = bed.shard_router()->reads_routed(1);
+  });
+  // The herd: concurrent cold READs of distinct blocks, all routed before
+  // any completion can feed the estimator a sample. Pre-fix every one of
+  // them picked the 0.0 ms rejoined replica.
+  for (int i = 0; i < kHerd; ++i) {
+    bed.kernel().spawn("reader" + std::to_string(i), [&, i](sim::Process& p) {
+      p.delay_until(21 * kSecond);
+      auto r = bed.image_session().read(p, home0,
+                                        static_cast<u64>(i) * 32_KiB, 32_KiB);
+      ASSERT_TRUE(r.is_ok());
+    });
+  }
+  bed.kernel().spawn("check", [&](sim::Process& p) {
+    p.delay_until(25 * kSecond);
+    after0 = bed.shard_router()->reads_routed(0);
+    after1 = bed.shard_router()->reads_routed(1);
+  });
+  bed.kernel().run();
+  EXPECT_EQ(bed.kernel().failed_processes(), 0) << bed.kernel().failed_names_joined();
+  EXPECT_TRUE(bed.shard_router()->origin_live(1));
+  EXPECT_GT(after0, before0);
+  // Pre-fix the rejoined replica absorbed the entire herd here.
+  EXPECT_EQ(after1, before1);
+}
+
 TEST(ClusterFailover, CrashJournalReplayConvergesWithZeroLostWrites) {
   CrashRunStats s = run_crash_cluster(/*drc_survives=*/false);
   EXPECT_GE(s.failovers, 1u);

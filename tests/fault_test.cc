@@ -586,6 +586,80 @@ TEST(NfsServerDrc, CrashClearsCacheSoDuplicateReExecutes) {
   EXPECT_EQ(f.server.drc_hits(), 0u);
 }
 
+// Regression for the fixed-size DRC: a burst of non-idempotent transactions
+// wider than the cache FIFO-evicts the oldest entries, so a delayed
+// retransmission of an evicted REMOVE re-executes and answers a spurious
+// kNoEnt. At the historical hard-wired 256 entries a multi-node boot storm
+// overflows easily. First pin the failure at that capacity, then show the
+// now-configurable knob retains replay across the identical burst.
+TEST(NfsServerDrc, BurstWiderThanCacheLosesReplayAtDefaultCapacity) {
+  DrcFixture f;  // default drc_entries = 256
+  ASSERT_TRUE(f.fs.put_file("/exports/victim", blob::make_zero(4_KiB)).is_ok());
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(
+        f.fs.put_file("/exports/n" + std::to_string(i), blob::make_zero(1_KiB)).is_ok());
+  }
+  f.kernel.run_process("t", [&](sim::Process& p) {
+    auto first = f.server.handle(p, f.remove_call(500, "victim"));
+    ASSERT_TRUE(first.status.is_ok());
+    EXPECT_EQ(rpc::message_cast<nfs::RemoveRes>(first.result)->status, nfs::NfsStat::kOk);
+    // 300 further removes from the rest of the fleet push xid 500 out.
+    for (int i = 0; i < 300; ++i) {
+      ASSERT_TRUE(
+          f.server.handle(p, f.remove_call(600 + i, "n" + std::to_string(i))).status.is_ok());
+    }
+    EXPECT_EQ(f.server.drc_size(), 256u);
+    // The delayed retransmission re-executes — the wrong answer this PR's
+    // capacity scaling exists to prevent.
+    auto dup = f.server.handle(p, f.remove_call(500, "victim"));
+    ASSERT_TRUE(dup.status.is_ok());
+    EXPECT_EQ(rpc::message_cast<nfs::RemoveRes>(dup.result)->status, nfs::NfsStat::kNoEnt);
+  });
+  EXPECT_EQ(f.kernel.failed_processes(), 0) << f.kernel.failed_names_joined();
+  EXPECT_EQ(f.server.drc_hits(), 0u);
+}
+
+TEST(NfsServerDrc, ScaledCapacityRetainsReplayAcrossTheSameBurst) {
+  nfs::NfsServerConfig cfg;
+  cfg.drc_entries = 512;  // what the testbed provisions for 16 clients
+  DrcFixture f(cfg);
+  ASSERT_TRUE(f.fs.put_file("/exports/victim", blob::make_zero(4_KiB)).is_ok());
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(
+        f.fs.put_file("/exports/n" + std::to_string(i), blob::make_zero(1_KiB)).is_ok());
+  }
+  f.kernel.run_process("t", [&](sim::Process& p) {
+    ASSERT_TRUE(f.server.handle(p, f.remove_call(500, "victim")).status.is_ok());
+    for (int i = 0; i < 300; ++i) {
+      ASSERT_TRUE(
+          f.server.handle(p, f.remove_call(600 + i, "n" + std::to_string(i))).status.is_ok());
+    }
+    auto dup = f.server.handle(p, f.remove_call(500, "victim"));
+    ASSERT_TRUE(dup.status.is_ok());
+    EXPECT_EQ(rpc::message_cast<nfs::RemoveRes>(dup.result)->status, nfs::NfsStat::kOk);
+  });
+  EXPECT_EQ(f.kernel.failed_processes(), 0) << f.kernel.failed_names_joined();
+  EXPECT_EQ(f.server.drc_hits(), 1u);
+}
+
+TEST(NfsServerDrc, TestbedScalesCapacityWithClientCount) {
+  {
+    TestbedOptions opt;
+    opt.scenario = Scenario::kWanCached;
+    opt.generate_image_meta = false;
+    opt.compute_nodes = 16;
+    Testbed bed(opt);
+    EXPECT_EQ(bed.server()->drc_capacity(), 512u);  // 32 slots per client
+  }
+  {
+    TestbedOptions opt;
+    opt.scenario = Scenario::kWanCached;
+    opt.generate_image_meta = false;
+    Testbed bed(opt);  // single client keeps the historical floor
+    EXPECT_EQ(bed.server()->drc_capacity(), 256u);
+  }
+}
+
 // ---- end-to-end: testbed under faults ---------------------------------------
 
 struct E2eResult {
@@ -1213,6 +1287,74 @@ TEST(WritebackDrain, ConcurrentDrainCompletionKeepsInFlightDataVisible) {
   EXPECT_EQ(proxy.pending_flush_blocks(), 0u);
   EXPECT_EQ(blob::content_hash(**f.fs.get_file("/exports/b")),
             blob::content_hash(*b_data));
+}
+
+// Flips every upstream call to kTimeout while `down` — a partition the
+// RetryChannel has already given up on, as the proxy sees it.
+struct ToggleOutageChannel final : rpc::RpcChannel {
+  explicit ToggleOutageChannel(rpc::RpcChannel& in) : inner(in) {}
+  rpc::RpcChannel& inner;
+  bool down = false;
+  rpc::RpcReply call(sim::Process& p, const rpc::RpcCall& c) override {
+    if (down) return rpc::make_error_reply(c, err(ErrCode::kTimeout, "partitioned"));
+    return inner.call(p, c);
+  }
+};
+
+// Regression for degraded attr staleness: attrs served from the cache while
+// the upstream is down used to linger until their TTL lapsed — with a long
+// TTL, a remote truncate during the outage stayed invisible long after the
+// link healed. signal_reconnect must now re-probe every attr it answered
+// stale and drop frames past the new EOF. The 600 s TTL here is the point:
+// natural expiry cannot rescue the old behaviour inside this test.
+TEST(FaultE2E, ReconnectRevalidatesAttrsServedStaleDuringOutage) {
+  MiniProxyStack f;
+  ToggleOutageChannel toggle(f.link);
+  cache::ProxyDiskCache cache(f.client_disk, MiniProxyStack::cache_cfg());
+  proxy::ProxyConfig pcfg;
+  pcfg.name = "degraded-proxy";
+  pcfg.enable_meta = false;
+  pcfg.degraded_mode = true;
+  pcfg.attr_ttl = 600 * kSecond;
+  proxy::GvfsProxy proxy(pcfg, toggle);
+  proxy.attach_block_cache(cache);
+  rpc::LinkChannel loop(proxy, nullptr, nullptr, 15 * kMicrosecond);
+  nfs::NfsClient client(loop, MiniProxyStack::cred(), MiniProxyStack::client_cfg());
+
+  auto id = f.fs.put_file("/exports/f", blob::make_synthetic(51, 64_KiB, 0, 2.0));
+  ASSERT_TRUE(id.is_ok());
+  f.kernel.run_process("t", [&](sim::Process& p) {
+    ASSERT_TRUE(client.mount(p, "/exports").is_ok());
+    auto warm = client.stat(p, "/f");
+    ASSERT_TRUE(warm.is_ok());
+    EXPECT_EQ(warm->size, 64_KiB);
+    ASSERT_TRUE(client.read(p, "/f", 0, 64_KiB).is_ok());
+
+    toggle.down = true;
+    client.drop_caches();
+    auto stale = client.stat(p, "/f");  // served from the proxy attr cache
+    ASSERT_TRUE(stale.is_ok());
+    EXPECT_EQ(stale->size, 64_KiB);
+    EXPECT_TRUE(proxy.upstream_down());
+
+    // Another writer truncates the file at the origin, mid-outage.
+    vfs::SetAttr sa;
+    sa.set_size = true;
+    sa.size = 16_KiB;
+    ASSERT_TRUE(f.fs.setattr(*id, sa).is_ok());
+
+    toggle.down = false;
+    ASSERT_TRUE(proxy.signal_reconnect(p).is_ok());
+    client.drop_caches();
+    auto fresh = client.stat(p, "/f");
+    ASSERT_TRUE(fresh.is_ok());
+    EXPECT_EQ(fresh->size, 16_KiB);  // pre-fix: 64 KiB until the TTL ran out
+    auto data = client.read_all(p, "/f");
+    ASSERT_TRUE(data.is_ok());
+    EXPECT_EQ((*data)->size(), 16_KiB);
+  });
+  EXPECT_EQ(f.kernel.failed_processes(), 0) << f.kernel.failed_names_joined();
+  EXPECT_GE(proxy.attr_revalidations(), 1u);
 }
 
 TEST(FaultE2E, CloneWorkloadSurvivesServerCrash) {

@@ -263,6 +263,35 @@ TEST(LintFrameData, OutsideBlockCacheIsOutOfScope) {
   EXPECT_TRUE(lint_content("tests/x.cc", snippet).empty());
 }
 
+TEST(LintLeaseTable, DirectLeaseTableMutationFires) {
+  auto f = lint_content("src/nfs/nfs_server.cc",
+                        "void f(u64 key, LeaseEntry e) {\n"
+                        "  leases_[key] = e;\n"
+                        "  leases_.erase(key);\n"
+                        "  leases_.emplace(key, e);\n"
+                        "  leases_.insert({key, e});\n"
+                        "  leases_.clear();\n"
+                        "}\n");
+  EXPECT_EQ(count_rule(f, "lease-table-mutation"), 5) << dump(f);
+}
+
+TEST(LintLeaseTable, ReadsAndSanctionedHelperSitesAreClean) {
+  auto f = lint_content(
+      "src/nfs/nfs_server.cc",
+      "u64 g() { return leases_.size(); }\n"
+      "bool h(u64 k) { return leases_.find(k) != leases_.end(); }\n"
+      "// gvfs-lint: allow(lease-table-mutation) sanctioned helper body\n"
+      "void add(u64 k, LeaseEntry e) { leases_[k] = e; }\n");
+  EXPECT_TRUE(f.empty()) << dump(f);
+}
+
+TEST(LintLeaseTable, OutsideServerIsOutOfScope) {
+  const char* snippet = "void f(u64 k) { leases_.erase(k); }\n";
+  EXPECT_TRUE(lint_content("src/proxy/gvfs_proxy.cc", snippet).empty());
+  EXPECT_TRUE(lint_content("src/nfs/nfs_types.cc", snippet).empty());
+  EXPECT_TRUE(lint_content("tests/x.cc", snippet).empty());
+}
+
 TEST(LintHeaderGuard, MissingPragmaOnceFires) {
   auto f = lint_content("src/common/x.h", "int f();\n");
   EXPECT_EQ(count_rule(f, "header-guard"), 1) << dump(f);
@@ -645,6 +674,8 @@ TEST(LintRules, EveryRuleHasAFixtureThatFires) {
                        "auto s = std::make_unique<nfs::NfsServer>(cfg);\n"));
   collect(lint_content("src/cache/block_cache.cc",
                        "void f(Frame& fr) { fr.data = nullptr; }\n"));
+  collect(lint_content("src/nfs/nfs_server.cc",
+                       "void f(u64 k) { leases_.erase(k); }\n"));
   // The three yield rules need a call-graph model; one snippet fires all of
   // them (stale handle, member index loop, and a held permit, each across
   // the same yield).

@@ -604,5 +604,44 @@ TEST(Proxy, StatsCountersConsistent) {
   });
 }
 
+// Regression for the unbounded attribute cache: the proxy remembered an
+// attr entry for every file handle it ever answered, so a namespace walk
+// grew attr_cache_ without limit (a proxy fronting a big image tree leaked
+// an entry per file for the life of the mount). The cache is now a bounded
+// LRU (attr_cache_entries); walking far more files than the bound must top
+// out at the bound, evict, and still answer correctly for evicted entries.
+TEST(Proxy, AttrCacheIsBoundedLruUnderNamespaceWalk) {
+  ProxyFixture f;
+  ProxyConfig pcfg = ProxyFixture::make_client_proxy_cfg();
+  pcfg.enable_meta = false;
+  pcfg.attr_cache_entries = 64;
+  GvfsProxy proxy(pcfg, f.tunnel);
+  rpc::LinkChannel loop(proxy, nullptr, nullptr, 15 * kMicrosecond);
+  nfs::NfsClient client(loop, ProxyFixture::make_cred(), ProxyFixture::make_client_cfg());
+
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(
+        f.server_fs.put_file("/exports/img" + std::to_string(i), blob::make_zero(1_KiB))
+            .is_ok());
+  }
+  f.kernel.run_process("t", [&](sim::Process& p) {
+    ASSERT_OK(client.mount(p, "/exports"));
+    for (int i = 0; i < 300; ++i) {
+      auto a = client.stat(p, "/img" + std::to_string(i));
+      ASSERT_OK(a);
+      EXPECT_EQ(a->size, 1_KiB);
+    }
+    EXPECT_LE(proxy.attr_cache_size(), 64u);
+    EXPECT_GT(proxy.attr_evictions(), 0u);
+    // An evicted early entry still answers correctly (re-fetched upstream).
+    client.drop_caches();
+    auto again = client.stat(p, "/img0");
+    ASSERT_OK(again);
+    EXPECT_EQ(again->size, 1_KiB);
+    EXPECT_LE(proxy.attr_cache_size(), 64u);
+  });
+  EXPECT_EQ(f.kernel.failed_processes(), 0) << f.kernel.failed_names_joined();
+}
+
 }  // namespace
 }  // namespace gvfs::proxy

@@ -307,6 +307,33 @@ bool frame_data_scoped(const std::string& path) {
   return starts_with(path, "src/cache/block_cache");
 }
 
+// The server's lease table is the single source of truth for grant/recall
+// ordering: every mutation must route through the sanctioned helpers
+// (lease_add_holder_/lease_remove_holder_/lease_expire_holders_/clear_leases)
+// so the expiry sweep, recall re-arm flag, and grant log move together. A
+// direct `leases_[...]` or container-level erase/insert silently desyncs the
+// recall state machine. The helpers' own sites carry
+// a `// gvfs-lint: allow(lease-table-mutation)` annotation.
+const std::vector<TokenRule>& lease_table_rules() {
+  static const std::vector<TokenRule> kRules = [] {
+    std::vector<TokenRule> v;
+    v.push_back(
+        {"lease-table-mutation",
+         std::regex(
+             R"(\bleases_\s*(\[|\.\s*(erase|emplace|insert|clear|try_emplace|insert_or_assign)\s*\())"),
+         "direct lease-table mutation bypasses the sanctioned helpers "
+         "(lease_add_holder_/lease_remove_holder_/lease_expire_holders_/"
+         "clear_leases); recall re-arm and grant ordering drift",
+         {"leases_"}});
+    return v;
+  }();
+  return kRules;
+}
+
+bool lease_table_scoped(const std::string& path) {
+  return starts_with(path, "src/nfs/nfs_server");
+}
+
 const std::vector<TokenRule>& print_rules() {
   static const std::vector<TokenRule> kRules = [] {
     std::vector<TokenRule> v;
@@ -445,6 +472,7 @@ const std::vector<std::string>& all_rules() {
       "determinism-rng",  "determinism-clock",  "unordered-iteration",
       "stdout-print",     "raw-counter",        "header-guard",
       "cmake-registration", "cluster-factory",  "frame-data-mutation",
+      "lease-table-mutation",
       "yield-stale-ref",  "yield-index-loop",   "yield-held-lock"};
   return kRules;
 }
@@ -477,6 +505,9 @@ std::vector<Finding> lint_content(const std::string& path,
   }
   if (frame_data_scoped(path)) {
     apply_token_rules(frame_data_rules(), code, sup, path, &out);
+  }
+  if (lease_table_scoped(path)) {
+    apply_token_rules(lease_table_rules(), code, sup, path, &out);
   }
   if (unordered_scoped(path)) {
     std::set<std::string> decls = unordered_decl_names(code);
